@@ -1,0 +1,37 @@
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table benches: seeded flags, CSV
+/// emission, and a consistent header format so EXPERIMENTS.md can quote
+/// outputs verbatim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/random.hpp"
+
+namespace edfkit::bench {
+
+struct BenchSetup {
+  std::int64_t sets;      ///< samples per sweep point
+  std::uint64_t seed;
+  CsvWriter csv;          ///< active iff --csv given
+
+  BenchSetup(const CliFlags& flags, std::int64_t default_sets)
+      : sets(flags.get_int_env("sets", "EDFKIT_SETS", default_sets)),
+        seed(static_cast<std::uint64_t>(flags.get_int("seed", 20050307))),
+        csv(flags.has("csv") ? CsvWriter(flags.get("csv", "bench.csv"))
+                             : CsvWriter()) {}
+};
+
+inline void banner(const char* what, const char* paper_ref,
+                   const BenchSetup& s) {
+  std::printf("== %s ==\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("samples per point: %lld (override: --sets N or EDFKIT_SETS)\n",
+              static_cast<long long>(s.sets));
+  std::printf("seed: %llu\n\n", static_cast<unsigned long long>(s.seed));
+}
+
+}  // namespace edfkit::bench

@@ -1,0 +1,61 @@
+/// \file fig1_acceptance.cpp
+/// Reproduces paper Figure 1: percentage of task sets deemed feasible by
+/// Devi's test, SuperPos(2..10) and the exact processor-demand test, as a
+/// function of utilization (70-100 %).
+///
+/// Expected shape (paper): all curves decline with utilization; Devi is
+/// the lowest; SuperPos(x) improves monotonically with x and approaches
+/// the exact curve from below.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "bench_common.hpp"
+#include "core/superpos.hpp"
+#include "gen/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edfkit;
+  const CliFlags flags(argc, argv);
+  bench::BenchSetup setup(flags, 150);
+  bench::banner("Figure 1: acceptance rate vs utilization",
+                "Albers & Slomka DATE'05, Fig. 1", setup);
+
+  constexpr std::array<Time, 9> kLevels = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  setup.csv.header({"utilization", "devi", "sp2", "sp3", "sp4", "sp5", "sp6",
+                    "sp7", "sp8", "sp9", "sp10", "exact"});
+
+  std::printf("%5s %6s", "U(%)", "devi");
+  for (const Time lv : kLevels) std::printf("   sp%-3lld", (long long)lv);
+  std::printf(" %6s\n", "exact");
+
+  for (int u_pct = 70; u_pct <= 100; u_pct += 2) {
+    const double u = (u_pct == 100) ? 0.9999 : u_pct / 100.0;
+    Rng rng(setup.seed + static_cast<std::uint64_t>(u_pct));
+    int devi_ok = 0;
+    std::array<int, kLevels.size()> sp_ok{};
+    int exact_ok = 0;
+    for (std::int64_t i = 0; i < setup.sets; ++i) {
+      const TaskSet ts = draw_fig1_set(rng, u);
+      if (devi_test(ts).feasible()) ++devi_ok;
+      for (std::size_t l = 0; l < kLevels.size(); ++l) {
+        if (superpos_test(ts, kLevels[l]).feasible()) ++sp_ok[l];
+      }
+      if (processor_demand_test(ts).feasible()) ++exact_ok;
+    }
+    const double f = 100.0 / static_cast<double>(setup.sets);
+    std::printf("%5d %5.1f%%", u_pct, devi_ok * f);
+    for (const int ok : sp_ok) std::printf(" %5.1f%%", ok * f);
+    std::printf(" %5.1f%%\n", exact_ok * f);
+    std::vector<std::string> row = {std::to_string(u_pct),
+                                    std::to_string(devi_ok * f)};
+    for (const int ok : sp_ok) row.push_back(std::to_string(ok * f));
+    row.push_back(std::to_string(exact_ok * f));
+    setup.csv.row(row);
+  }
+  std::printf("\nexpected shape: devi <= sp2 <= ... <= sp10 <= exact, all "
+              "declining with U.\n");
+  return 0;
+}

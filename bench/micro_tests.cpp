@@ -1,0 +1,117 @@
+/// \file micro_tests.cpp
+/// google-benchmark wall-clock measurements supporting the paper's §5
+/// remark that "the run-time overhead of one iteration of the new tests
+/// is small compared to both alternative algorithms": per-call latency
+/// of every feasibility test on the literature sets and on a
+/// paper-style random workload.
+#include <benchmark/benchmark.h>
+
+#include "analysis/chakraborty.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "analysis/qpa.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "core/superpos.hpp"
+#include "gen/scenario.hpp"
+#include "lit/literature.hpp"
+
+namespace {
+
+using namespace edfkit;
+
+const TaskSet& random_high_util_set() {
+  static const TaskSet ts = [] {
+    Rng rng(4242);
+    return draw_fig8_set(rng, 0.97);
+  }();
+  return ts;
+}
+
+void BM_Devi_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state) benchmark::DoNotOptimize(devi_test(ts).verdict);
+}
+BENCHMARK(BM_Devi_Random);
+
+void BM_SuperPos3_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(superpos_test(ts, 3).verdict);
+}
+BENCHMARK(BM_SuperPos3_Random);
+
+void BM_Chakraborty_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chakraborty_test(ts, 0.25).base.verdict);
+}
+BENCHMARK(BM_Chakraborty_Random);
+
+void BM_Dynamic_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dynamic_error_test(ts).verdict);
+}
+BENCHMARK(BM_Dynamic_Random);
+
+void BM_AllApprox_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(all_approx_test(ts).verdict);
+}
+BENCHMARK(BM_AllApprox_Random);
+
+void BM_ProcessorDemand_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(processor_demand_test(ts).verdict);
+}
+BENCHMARK(BM_ProcessorDemand_Random);
+
+void BM_Qpa_Random(benchmark::State& state) {
+  const TaskSet& ts = random_high_util_set();
+  for (auto _ : state) benchmark::DoNotOptimize(qpa_test(ts).verdict);
+}
+BENCHMARK(BM_Qpa_Random);
+
+// Per-literature-set latency of the paper's two new tests vs the
+// classic exact test (Table 1 in wall-clock form).
+void BM_Literature(benchmark::State& state) {
+  const auto sets = lit::all_literature_sets();
+  const auto& s = sets[static_cast<std::size_t>(state.range(0))];
+  const int which = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    switch (which) {
+      case 0:
+        benchmark::DoNotOptimize(dynamic_error_test(s.tasks).verdict);
+        break;
+      case 1:
+        benchmark::DoNotOptimize(all_approx_test(s.tasks).verdict);
+        break;
+      default:
+        benchmark::DoNotOptimize(processor_demand_test(s.tasks).verdict);
+        break;
+    }
+  }
+  state.SetLabel(s.name + (which == 0 ? "/dynamic"
+                                      : which == 1 ? "/all-approx"
+                                                   : "/processor-demand"));
+}
+BENCHMARK(BM_Literature)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 4, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Unit(benchmark::kMicrosecond);
+
+// Workload generation itself (so figure runtimes can be attributed).
+void BM_GenerateFig8Set(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(draw_fig8_set(rng, 0.95).size());
+  }
+}
+BENCHMARK(BM_GenerateFig8Set)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

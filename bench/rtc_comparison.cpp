@@ -1,0 +1,65 @@
+/// \file rtc_comparison.cpp
+/// Quantifies paper §3.6 / Figs. 3-4: the real-time-calculus curve
+/// approximation accepts no more task sets than Devi's test (which is
+/// SuperPos(1)), and the per-task envelope gap is exactly C*D/T.
+///
+/// Series reported: acceptance rate vs utilization for the RTC 2-segment
+/// test, the Devi-envelope curve test, Devi's test proper, and the exact
+/// test — expected ordering RTC <= Devi-envelope <= Devi <= exact.
+#include <cstdio>
+
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "bench_common.hpp"
+#include "gen/scenario.hpp"
+#include "rtc/arrival.hpp"
+#include "rtc/rtc_feas.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edfkit;
+  const CliFlags flags(argc, argv);
+  bench::BenchSetup setup(flags, 200);
+  bench::banner("RTC vs Devi vs exact (paper §3.6, Figs. 3/4)",
+                "Albers & Slomka DATE'05, §3.6", setup);
+
+  setup.csv.header({"utilization", "rtc", "devi_envelope", "devi", "exact"});
+  std::printf("%5s %8s %14s %8s %8s\n", "U(%)", "rtc", "devi-envelope",
+              "devi", "exact");
+  for (int u_pct = 40; u_pct <= 95; u_pct += 5) {
+    Rng rng(setup.seed + static_cast<std::uint64_t>(u_pct));
+    int rtc_ok = 0, env_ok = 0, devi_ok = 0, exact_ok = 0;
+    for (std::int64_t i = 0; i < setup.sets; ++i) {
+      const TaskSet ts = draw_fig1_set(rng, u_pct / 100.0);
+      if (rtc::rtc_feasibility_test(ts).feasible()) ++rtc_ok;
+      if (rtc::devi_envelope_test(ts).feasible()) ++env_ok;
+      if (devi_test(ts).feasible()) ++devi_ok;
+      if (processor_demand_test(ts).feasible()) ++exact_ok;
+    }
+    const double f = 100.0 / static_cast<double>(setup.sets);
+    std::printf("%5d %7.1f%% %13.1f%% %7.1f%% %7.1f%%\n", u_pct, rtc_ok * f,
+                env_ok * f, devi_ok * f, exact_ok * f);
+    setup.csv.row_of(u_pct, rtc_ok * f, env_ok * f, devi_ok * f,
+                     exact_ok * f);
+  }
+
+  // Per-task envelope gap (Fig. 4a vs Fig. 3): RTC - Devi == C*D/T.
+  std::printf("\nper-task envelope gap (RTC minus Devi envelope), sample "
+              "tasks:\n");
+  std::printf("%22s %10s %12s\n", "task", "measured", "C*D/T");
+  for (const auto& [c, d, t] :
+       {std::tuple<Time, Time, Time>{3, 8, 10},
+        std::tuple<Time, Time, Time>{10, 50, 100},
+        std::tuple<Time, Time, Time>{7, 40, 200}}) {
+    const Task task = make_task(c, d, t);
+    const double gap = rtc::rtc_demand_periodic(task).eval(1000.0) -
+                       rtc::devi_demand_envelope(task).eval(1000.0);
+    std::printf("  (C=%3lld,D=%3lld,T=%4lld) %10.3f %12.3f\n",
+                static_cast<long long>(c), static_cast<long long>(d),
+                static_cast<long long>(t), gap,
+                static_cast<double>(c) * static_cast<double>(d) /
+                    static_cast<double>(t));
+  }
+  std::printf("\nexpected: rtc <= devi-envelope <= devi <= exact at every "
+              "U; gap column pairs equal.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// \file batch_analyze.cpp
+/// Command-line batch analyzer — the CI-gate workflow: point it at task-
+/// set files, get a verdict/effort table, CSV for dashboards, and a
+/// non-zero exit code when anything is infeasible (or when exact tests
+/// disagree, which would indicate a library bug).
+///
+///   ./batch_analyze set1.txt set2.txt ...
+///       [--tests devi,dynamic,all-approx,processor-demand,qpa]
+///       [--csv out.csv] [--quiet]
+///
+/// Without file arguments it demonstrates on the built-in literature
+/// sets (paper Table 1).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "lit/literature.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace edfkit;
+
+std::vector<TestKind> parse_tests(const std::string& spec) {
+  std::vector<TestKind> out;
+  std::istringstream is(spec);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    bool found = false;
+    for (const TestKind k : all_test_kinds()) {
+      if (token == to_string(k)) {
+        out.push_back(k);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown test '" + token +
+                                  "' (see README for names)");
+    }
+  }
+  if (out.empty()) throw std::invalid_argument("--tests selected nothing");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    BatchConfig cfg;
+    if (flags.has("tests")) {
+      cfg.tests = parse_tests(flags.get("tests", ""));
+    }
+
+    BatchReport report;
+    if (!flags.rest().empty()) {
+      report = run_batch_files(flags.rest(), cfg);
+    } else {
+      std::printf("no files given; analyzing the built-in literature sets\n"
+                  "(usage: batch_analyze <taskset.txt>... [--tests a,b] "
+                  "[--csv out.csv])\n\n");
+      std::vector<BatchEntry> entries;
+      for (const auto& s : lit::all_literature_sets()) {
+        entries.push_back({s.name, s.tasks});
+      }
+      report = run_batch(entries, cfg);
+    }
+
+    if (!flags.get_bool("quiet", false)) {
+      std::printf("%s", report.to_string().c_str());
+    }
+    if (flags.has("csv")) {
+      std::ofstream out(flags.get("csv", "batch.csv"));
+      out << report.to_csv();
+      std::printf("csv written to %s\n", flags.get("csv", "").c_str());
+    }
+
+    if (!report.exact_disagreements.empty()) return 3;  // library bug!
+    // Gate: fail if any *exact* test found any set infeasible.
+    for (const BatchRow& row : report.rows) {
+      for (std::size_t k = 0; k < report.tests.size(); ++k) {
+        if (is_exact(report.tests[k]) &&
+            row.cells[k].verdict == Verdict::Infeasible) {
+          std::printf("GATE: %s is infeasible\n", row.name.c_str());
+          return 1;
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,101 @@
+/// \file sensitivity_report.cpp
+/// Design-space exploration with the fast exact tests: WCET margins,
+/// minimum processor speed, per-task slack, deadline tightening, and the
+/// effect of scheduler overhead / blocking — the workflows that become
+/// interactive once an exact test costs as little as a sufficient one
+/// (the paper's motivation, §1).
+///
+///   ./sensitivity_report [path/to/taskset.txt]
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "analysis/extensions.hpp"
+#include "analysis/sensitivity.hpp"
+#include "core/all_approx.hpp"
+#include "demand/profile.hpp"
+#include "model/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edfkit;
+  try {
+    TaskSet ts;
+    if (argc > 1) {
+      ts = load_task_set(argv[1]);
+    } else {
+      ts = parse_task_set(R"(
+        task ctl    2   9  10
+        task io     5  35  40
+        task dsp   11  70  80
+        task gui   24 150 200
+      )");
+    }
+    std::printf("task set (U ~ %.4f):\n%s\n", ts.utilization_double(),
+                ts.to_string().c_str());
+
+    const FeasibilityResult base = all_approx_test(ts);
+    std::printf("exact verdict: %s\n\n", base.to_string().c_str());
+    if (!base.feasible()) {
+      std::printf("set infeasible; sensitivity questions need a feasible "
+                  "baseline.\n");
+      return 1;
+    }
+
+    // 1. Uniform WCET growth margin.
+    if (const auto f = max_wcet_scaling(ts)) {
+      std::printf("max uniform WCET scaling: %.4fx\n", f->to_double());
+    }
+
+    // 2. Minimum processor speed (exact rational).
+    const Rational speed = min_processor_speed(ts);
+    std::printf("minimum processor speed:  %s (~%.4f)\n",
+                speed.to_string().c_str(), speed.to_double());
+
+    // 3. Per-task WCET slack and deadline tightening headroom.
+    std::printf("\n%-8s %12s %18s\n", "task", "wcet slack", "min deadline");
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const auto slack = task_wcet_slack(ts, i);
+      const auto dmin = min_feasible_deadline(ts, i);
+      std::printf("%-8s %12lld %18lld\n", ts[i].name.c_str(),
+                  static_cast<long long>(slack.value_or(-1)),
+                  static_cast<long long>(dmin.value_or(-1)));
+    }
+
+    // 4. Scheduler overhead tolerance: largest per-switch cost that
+    // keeps the set schedulable.
+    Time cs = 0;
+    while (all_approx_test(with_context_switch_cost(ts, cs + 1)).feasible())
+      ++cs;
+    std::printf("\nmax context-switch cost: %lld per switch (2 per job)\n",
+                static_cast<long long>(cs));
+
+    // 5. Blocking tolerance: longest critical section the *least urgent*
+    // task may hold against everyone else (SRP/EDF).
+    std::vector<Time> critical(ts.size(), 0);
+    std::size_t laziest = 0;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      if (ts[i].deadline > ts[laziest].deadline) laziest = i;
+    }
+    Time block = 0;
+    while (true) {
+      critical[laziest] = block + 1;
+      if (!srp_blocking_test(ts, critical).feasible()) break;
+      ++block;
+    }
+    std::printf("max critical section of %s: %lld\n",
+                ts[laziest].name.c_str(), static_cast<long long>(block));
+
+    // 6. Demand profile for plotting (gnuplot: plot "out" u 1:2 w steps).
+    const DemandProfile profile = sample_demand(ts, 2 * ts.max_deadline(), 3);
+    std::printf("\ndemand profile (first rows; peak pressure %.3f):\n",
+                profile.peak_pressure());
+    const std::string text = format_profile(profile);
+    std::fwrite(text.data(), 1, std::min<std::size_t>(text.size(), 400),
+                stdout);
+    std::printf("...\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

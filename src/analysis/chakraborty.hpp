@@ -1,0 +1,34 @@
+/// \file chakraborty.hpp
+/// Approximate schedulability analysis of Chakraborty, Künzli & Thiele
+/// (RTSS 2002) [8] — the other approximation the paper names in §3.4 as
+/// bridging Devi's fast test and the slow exact test.
+///
+/// The CKT scheme evaluates the demand bound exactly for the first
+/// k = ceil(1/epsilon) jobs of each task and bounds the remainder by its
+/// linear envelope. Acceptance is sound (the set is feasible); rejection
+/// certifies infeasibility only on a processor of capacity (1 - epsilon).
+/// Structurally this is the superposition test at level k — the paper's
+/// §3.4 groups both under the same umbrella — but the entry point here
+/// exposes the epsilon/error-capacity contract of [8] and reports the
+/// measured demand/capacity ratio.
+#pragma once
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+struct ChakrabortyResult {
+  FeasibilityResult base;
+  /// epsilon actually used (1/k after rounding k up).
+  double epsilon = 0.0;
+  /// max over tested intervals of dbf'(I)/I — the processor speed at
+  /// which the demand provably fits. <= 1 iff accepted.
+  double demand_ratio = 0.0;
+};
+
+/// Run the epsilon-approximate test. \pre 0 < epsilon <= 1
+[[nodiscard]] ChakrabortyResult chakraborty_test(const TaskSet& ts,
+                                                 double epsilon);
+
+}  // namespace edfkit

@@ -1,0 +1,44 @@
+/// \file extensions.hpp
+/// The "practical relevant issues" of Devi's test that paper §3.5 says
+/// carry over to the superposition framework: context-switch overhead,
+/// blocking under a priority-ceiling protocol (SRP for EDF), and
+/// self-suspension. The first and third are pure model transformations —
+/// after them, *every* test in edfkit applies unchanged, including the
+/// paper's new exact tests. Blocking changes the feasibility condition
+/// itself (dbf(I) + B(I) <= I) and comes as a dedicated test.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// Charge every job two context switches (dispatch + completion), the
+/// classic way to fold scheduler overhead into the analysis: C' = C + 2s.
+/// \pre switch_cost >= 0. Tasks whose inflated WCET exceeds the deadline
+/// remain legal inputs (the tests will simply find them infeasible).
+[[nodiscard]] TaskSet with_context_switch_cost(const TaskSet& ts,
+                                               Time switch_cost);
+
+/// Fold worst-case self-suspension into release jitter: a job that may
+/// suspend itself for up to `suspension[i]` behaves (for the demand
+/// test) like one released that much later with the same absolute
+/// deadline, i.e. J' = J + suspension. \pre suspension.size() == ts.size()
+/// \throws std::invalid_argument if any J' >= D (no schedulable jobs left).
+[[nodiscard]] TaskSet with_self_suspension(const TaskSet& ts,
+                                           std::span<const Time> suspension);
+
+/// EDF + Stack Resource Policy blocking test: with `critical[i]` the
+/// longest critical section of task i (0 = takes no resources), the set
+/// is schedulable iff U <= 1 and for every interval I
+///     dbf(I) + B(I) <= I,   B(I) = max{ critical[j] : D_j > I }
+/// (a job with a later deadline can block the bus for at most one
+/// critical section). Exact under the stated blocking model.
+/// \pre critical.size() == ts.size(), all entries >= 0
+[[nodiscard]] FeasibilityResult srp_blocking_test(
+    const TaskSet& ts, std::span<const Time> critical);
+
+}  // namespace edfkit

@@ -1,0 +1,69 @@
+#include "analysis/qpa.hpp"
+
+#include <algorithm>
+
+#include "analysis/bounds.hpp"
+#include "analysis/utilization.hpp"
+#include "demand/dbf.hpp"
+
+namespace edfkit {
+namespace {
+
+/// Largest absolute job deadline strictly below `x`, or -1 if none.
+Time max_deadline_below(const TaskSet& ts, Time x) {
+  Time best = -1;
+  for (const Task& t : ts) {
+    const Time d = t.effective_deadline();
+    if (x <= d) continue;
+    Time cand;
+    if (is_time_infinite(t.period)) {
+      cand = d;
+    } else {
+      // Largest k with k*T + d < x  =>  k = floor((x - d - 1)/T).
+      const Time k = floor_div(x - d - 1, t.period);
+      cand = add_saturating(mul_saturating(k, t.period), d);
+    }
+    best = std::max(best, cand);
+  }
+  return best;
+}
+
+}  // namespace
+
+FeasibilityResult qpa_test(const TaskSet& ts) {
+  FeasibilityResult r;
+  if (ts.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  if (utilization_exceeds_one(ts)) {
+    r.verdict = Verdict::Infeasible;
+    return r;
+  }
+  const Time bound = default_test_bound(ts);
+  const Time dmin = ts.min_deadline();
+
+  Time t = max_deadline_below(ts, add_saturating(bound, 1));
+  if (t < 0) {
+    // No deadline inside the bound: nothing can overflow.
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  r.max_interval_tested = t;
+  while (true) {
+    ++r.iterations;
+    const Time h = dbf(ts, t);
+    if (h > t) {
+      r.verdict = Verdict::Infeasible;
+      r.witness = t;
+      return r;
+    }
+    if (h <= dmin) break;
+    t = (h < t) ? h : max_deadline_below(ts, t);
+    if (t < dmin) break;  // passed below every deadline
+  }
+  r.verdict = Verdict::Feasible;
+  return r;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,167 @@
+#include "analysis/sensitivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/bounds.hpp"
+#include "analysis/utilization.hpp"
+#include "core/all_approx.hpp"
+#include "demand/dbf.hpp"
+#include "demand/intervals.hpp"
+
+namespace edfkit {
+namespace {
+
+bool feasible(const TaskSet& ts) {
+  return all_approx_test(ts).feasible();
+}
+
+TaskSet scale_wcets_floor(const TaskSet& ts, Time num, Time den) {
+  TaskSet out;
+  for (Task t : ts) {
+    const Int128 scaled = mul_wide(t.wcet, num) / den;
+    t.wcet = std::max<Time>(1, narrow_time(scaled));
+    // A WCET beyond the deadline is a legal (infeasible) input; keep the
+    // task valid by capping at the deadline only when the caller scales
+    // *down* — upscaling past D genuinely means infeasible.
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Rational> max_wcet_scaling(const TaskSet& ts,
+                                         const SensitivityOptions& opts) {
+  if (ts.empty()) return std::nullopt;
+  if (!feasible(ts)) return std::nullopt;
+  // Upper limit: factor 1/U scales utilization to ~1; nothing above
+  // ceil(1/U * 2) can ever be feasible. Binary search on num/2^bits in
+  // [2^bits, hi].
+  const Time den = Time{1} << std::min(opts.precision_bits, 40);
+  const double u = std::max(1e-9, ts.utilization_double());
+  // Above 2/U the scaled utilization exceeds 1 (minus floor slack); the
+  // absolute cap only keeps `num` inside int64 (products go via int128).
+  const Time hi_limit = static_cast<Time>(
+      std::min<double>(static_cast<double>(den) * (2.0 / u), 4.0e18));
+  Time lo = den;  // factor 1.0 is feasible
+  Time hi = std::max<Time>(lo + 1, hi_limit);
+  // Ensure hi is infeasible (or give up widening).
+  while (feasible(scale_wcets_floor(ts, hi, den))) {
+    if (hi >= hi_limit) {
+      // The floor(f*C) discretization can keep tiny tasks feasible at
+      // absurd factors; report the limit reached.
+      return Rational(hi, den);
+    }
+    hi = std::min(hi_limit, mul_saturating(hi, 2));
+  }
+  while (lo + 1 < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible(scale_wcets_floor(ts, mid, den))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Rational(lo, den);
+}
+
+Rational min_processor_speed(const TaskSet& ts) {
+  if (ts.empty()) throw std::invalid_argument("min_processor_speed: empty");
+  // The speed is sup_I dbf(I)/I, attained at job deadlines (between
+  // deadlines the numerator is constant while I grows). The envelope
+  // dbf(I) <= U*I + N with N = Sigma max(0, 1 - D/T)*C caps tail ratios:
+  // once the running maximum `best` exceeds U, no point beyond
+  // I_cut = N/(best - U) can beat it, which bounds the scan exactly.
+  Rational best = ts.utilization();
+  Rational envelope_n;
+  for (const Task& t : ts) {
+    if (is_time_infinite(t.period)) {
+      envelope_n += Rational(t.wcet);
+    } else if (t.effective_deadline() <= t.period) {
+      envelope_n += Rational(t.period - t.effective_deadline(), t.period) *
+                    Rational(t.wcet);
+    }
+  }
+  const Time hyper_cap = hyperperiod_bound(ts);
+  DeadlineStream stream(ts, hyper_cap);
+  const Rational u = ts.utilization();
+  while (stream.has_next()) {
+    const Time point = stream.next();
+    const Rational ratio(dbf(ts, point), point);
+    if (ratio.certainly_gt(best)) best = ratio;
+    // Exact cut: for I >= N/(best - U), dbf(I)/I <= U + N/I <= best.
+    Rational gap = best;
+    gap -= u;
+    if (gap.exact() && envelope_n.exact() && !gap.is_zero() &&
+        !gap.is_negative()) {
+      const Rational lhs = gap * Rational(point);  // (best-U) * I >= N ?
+      const Ordering c = envelope_n.compare(lhs);
+      if (c == Ordering::Less || c == Ordering::Equal) break;
+      // Unknown (degraded lhs) must NOT cut: keep scanning instead.
+    }
+  }
+  return best;
+}
+
+std::optional<Time> task_wcet_slack(const TaskSet& ts, std::size_t index) {
+  if (index >= ts.size())
+    throw std::invalid_argument("task_wcet_slack: index out of range");
+  if (!feasible(ts)) return std::nullopt;
+  const Time base = ts[index].wcet;
+  const Time cap = ts[index].effective_deadline();  // C <= D at most
+  auto with_extra = [&](Time extra) {
+    TaskSet out;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      Task t = ts[i];
+      if (i == index) t.wcet = base + extra;
+      out.add(std::move(t));
+    }
+    return out;
+  };
+  Time lo = 0;
+  Time hi = std::max<Time>(0, cap - base);
+  if (hi == 0) return 0;
+  if (feasible(with_extra(hi))) return hi;
+  while (lo + 1 < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible(with_extra(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<Time> min_feasible_deadline(const TaskSet& ts,
+                                          std::size_t index) {
+  if (index >= ts.size())
+    throw std::invalid_argument("min_feasible_deadline: index out of range");
+  if (!feasible(ts)) return std::nullopt;
+  const Task& target = ts[index];
+  auto with_deadline = [&](Time d) {
+    TaskSet out;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      Task t = ts[i];
+      if (i == index) t.deadline = d;
+      out.add(std::move(t));
+    }
+    return out;
+  };
+  Time lo = std::max<Time>(target.wcet, target.jitter + 1);  // lower cap
+  Time hi = target.effective_deadline() + target.jitter;     // current D
+  if (feasible(with_deadline(lo))) return lo;
+  // Invariant: lo infeasible, hi feasible.
+  while (lo + 1 < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible(with_deadline(mid))) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace edfkit

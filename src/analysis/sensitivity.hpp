@@ -1,0 +1,49 @@
+/// \file sensitivity.hpp
+/// Design-space probes built on the paper's fast exact tests. These are
+/// the workflows the paper's introduction motivates ("the automation of
+/// the design process"): once an exact test is as cheap as a sufficient
+/// one, questions like "how much WCET margin do we have?" or "what is
+/// the minimum processor speed?" become interactive.
+#pragma once
+
+#include <optional>
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+#include "util/rational.hpp"
+
+namespace edfkit {
+
+struct SensitivityOptions {
+  /// Resolution of the binary searches (the answers are exact to one
+  /// part in 2^precision_bits of the search range).
+  int precision_bits = 30;
+};
+
+/// Largest uniform WCET scaling factor (as a rational p/q with q =
+/// 2^precision_bits) under which the set stays EDF-feasible. Returns
+/// nullopt if the set is already infeasible at factor 1. WCETs are
+/// scaled as C' = max(1, floor(f * C)); deadlines/periods are untouched.
+[[nodiscard]] std::optional<Rational> max_wcet_scaling(
+    const TaskSet& ts, const SensitivityOptions& opts = {});
+
+/// Minimum processor speed s (demand capacity s per time unit) keeping
+/// the set feasible: the exact maximum of dbf(I)/I over all intervals up
+/// to the feasibility bound, clamped below by U. Exact rational.
+/// Returns >= 1 iff the set is infeasible at unit speed. \pre !ts.empty()
+[[nodiscard]] Rational min_processor_speed(const TaskSet& ts);
+
+/// Largest additional execution budget (integer ticks) task `index` can
+/// receive per job while the whole set remains feasible (its deadline
+/// caps the growth). 0 if nothing can be added; nullopt if the set is
+/// infeasible to begin with. \pre index < ts.size()
+[[nodiscard]] std::optional<Time> task_wcet_slack(const TaskSet& ts,
+                                                  std::size_t index);
+
+/// Smallest relative deadline task `index` can be tightened to while the
+/// set stays feasible (useful for jitter budgeting). nullopt if the set
+/// is infeasible at its current deadlines. \pre index < ts.size()
+[[nodiscard]] std::optional<Time> min_feasible_deadline(const TaskSet& ts,
+                                                        std::size_t index);
+
+}  // namespace edfkit

@@ -1,0 +1,120 @@
+#include "core/all_approx.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/utilization.hpp"
+#include "demand/accumulator.hpp"
+#include "demand/intervals.hpp"
+
+namespace edfkit {
+
+FeasibilityResult all_approx_test(const TaskSet& ts,
+                                  const AllApproxOptions& opts) {
+  FeasibilityResult r;
+  if (ts.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  if (utilization_exceeds_one(ts)) {
+    r.verdict = Verdict::Infeasible;
+    r.iterations = 1;
+    return r;
+  }
+
+  const Time imax = opts.bound.value_or(implicit_test_bound(ts));
+
+  TestList list;
+  std::vector<bool> approximated(ts.size(), false);
+  std::deque<std::size_t> approx_fifo;  // paper's ApproxList (FIFO)
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    list.add(i, ts[i].effective_deadline());
+  }
+
+  DemandAccumulator acc;
+  Time iold = 0;
+
+  // One testlist entry per iteration (paper Fig. 7).
+  while (!list.empty() && list.peek().interval <= imax) {
+    const auto entry = list.pop();
+    const Time point = entry.interval;
+    acc.advance(point - iold);
+    acc.add_job(ts[entry.task].wcet);
+    ++r.iterations;
+    r.max_interval_tested = point;
+
+    // Revise approximations one task at a time (FIFO) until the demand
+    // fits or nothing is approximated (=> the value is the exact dbf).
+    while (true) {
+      bool cmp_degraded = false;
+      const Ordering cmp =
+          acc.compare_with_refresh(ts, approximated, point, &cmp_degraded);
+      r.degraded = r.degraded || cmp_degraded;
+      if (cmp != Ordering::Greater) break;
+      if (approx_fifo.empty()) {
+        if (cmp_degraded) {
+          r.verdict = Verdict::Unknown;  // defensive; exact dbf is integral
+          return r;
+        }
+        r.verdict = Verdict::Infeasible;
+        r.witness = point;
+        return r;
+      }
+      std::size_t ti;
+      switch (opts.revision) {
+        case RevisionPolicy::Lifo:
+          ti = approx_fifo.back();
+          approx_fifo.pop_back();
+          break;
+        case RevisionPolicy::MaxError: {
+          // Pick the approximation with the largest current
+          // overestimation app(point, tau) = frac((point-D)/T) * C.
+          std::size_t best = 0;
+          double best_err = -1.0;
+          for (std::size_t k = 0; k < approx_fifo.size(); ++k) {
+            const Task& cand = ts[approx_fifo[k]];
+            double err = 0.0;
+            if (!is_time_infinite(cand.period)) {
+              err = static_cast<double>(floor_mod(
+                        point - cand.effective_deadline(), cand.period)) *
+                    static_cast<double>(cand.wcet) /
+                    static_cast<double>(cand.period);
+            }
+            if (err > best_err) {
+              best_err = err;
+              best = k;
+            }
+          }
+          ti = approx_fifo[best];
+          approx_fifo.erase(approx_fifo.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+          break;
+        }
+        case RevisionPolicy::Fifo:
+        default:
+          ti = approx_fifo.front();
+          approx_fifo.pop_front();
+          break;
+      }
+      const Task& t = ts[ti];
+      acc.revise(t, point);
+      approximated[ti] = false;
+      ++r.revisions;
+      const Time nxt = t.next_deadline_after(point);
+      if (!is_time_infinite(nxt)) list.add(ti, nxt);
+    }
+
+    // The popped task re-enters approximation immediately: the frontier
+    // sits on its own job deadline, where app == 0.
+    acc.approximate(ts[entry.task]);
+    approximated[entry.task] = true;
+    approx_fifo.push_back(entry.task);
+    iold = point;
+  }
+
+  r.verdict = Verdict::Feasible;
+  return r;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,53 @@
+/// \file analyzer.hpp
+/// Facade over every feasibility test in edfkit: pick a test by enum,
+/// run it, get a uniform instrumented result. This is the entry point the
+/// examples and the benchmark harness use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// Every analysis the library implements.
+enum class TestKind : int {
+  LiuLayland,       ///< utilization bound [12] (exact for implicit deadlines)
+  Devi,             ///< sufficient test [9]
+  SuperPos,         ///< superposition approximation [1], needs `level`
+  Chakraborty,      ///< approximate analysis [8], needs `epsilon`
+  ProcessorDemand,  ///< exact test [3]
+  Qpa,              ///< exact test (Zhang & Burns 2009, extension)
+  Dynamic,          ///< NEW: dynamic-error exact test (paper §4.1)
+  AllApprox,        ///< NEW: all-approximated exact test (paper §4.2)
+};
+
+[[nodiscard]] const char* to_string(TestKind k) noexcept;
+/// All kinds, in declaration order (for sweeps).
+[[nodiscard]] const std::vector<TestKind>& all_test_kinds();
+/// True for tests whose Feasible *and* Infeasible verdicts are exact.
+[[nodiscard]] bool is_exact(TestKind k) noexcept;
+
+/// Knobs for run_test; only the fields relevant to the chosen kind apply.
+struct AnalyzerOptions {
+  Time superpos_level = 3;     ///< for TestKind::SuperPos
+  double epsilon = 0.25;       ///< for TestKind::Chakraborty
+  DynamicTestOptions dynamic;  ///< for TestKind::Dynamic
+  AllApproxOptions all_approx; ///< for TestKind::AllApprox
+  bool pd_use_busy_period = false;  ///< for TestKind::ProcessorDemand
+  std::uint64_t pd_max_iterations = 0;
+};
+
+/// Run one test.
+[[nodiscard]] FeasibilityResult run_test(const TaskSet& ts, TestKind kind,
+                                         const AnalyzerOptions& opts = {});
+
+/// Run every test and render a comparison table (diagnostics/examples).
+[[nodiscard]] std::string compare_all(const TaskSet& ts,
+                                      const AnalyzerOptions& opts = {});
+
+}  // namespace edfkit

@@ -1,0 +1,118 @@
+#include "core/batch.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "model/io.hpp"
+
+namespace edfkit {
+
+BatchReport run_batch(const std::vector<BatchEntry>& entries,
+                      const BatchConfig& config) {
+  BatchReport report;
+  report.tests = config.tests;
+  report.effort.resize(config.tests.size());
+  report.accepted.assign(config.tests.size(), 0);
+
+  for (const BatchEntry& entry : entries) {
+    BatchRow row;
+    row.name = entry.name;
+    row.tasks = entry.tasks.size();
+    row.utilization = entry.tasks.utilization_double();
+    row.cells.reserve(config.tests.size());
+
+    bool saw_exact_feasible = false;
+    bool saw_exact_infeasible = false;
+    for (std::size_t k = 0; k < config.tests.size(); ++k) {
+      const TestKind kind = config.tests[k];
+      const FeasibilityResult r =
+          run_test(entry.tasks, kind, config.options);
+      BatchCell cell;
+      cell.verdict = r.verdict;
+      cell.effort = r.effort();
+      row.cells.push_back(cell);
+      report.effort[k].add(static_cast<double>(cell.effort));
+      if (r.feasible()) ++report.accepted[k];
+      if (is_exact(kind)) {
+        saw_exact_feasible |= r.feasible();
+        saw_exact_infeasible |= r.infeasible();
+      }
+    }
+    if (saw_exact_feasible && saw_exact_infeasible) {
+      report.exact_disagreements.push_back(entry.name);
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+BatchReport run_batch_files(const std::vector<std::string>& paths,
+                            const BatchConfig& config) {
+  std::vector<BatchEntry> entries;
+  entries.reserve(paths.size());
+  for (const std::string& path : paths) {
+    BatchEntry e;
+    e.name = path;
+    e.tasks = load_task_set(path);
+    entries.push_back(std::move(e));
+  }
+  return run_batch(entries, config);
+}
+
+std::string BatchReport::to_string() const {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "set" << std::setw(5) << "n"
+     << std::setw(9) << "U";
+  for (const TestKind k : tests) {
+    os << std::setw(22) << edfkit::to_string(k);
+  }
+  os << "\n";
+  for (const BatchRow& row : rows) {
+    os << std::left << std::setw(24) << row.name << std::setw(5) << row.tasks
+       << std::setw(9) << std::fixed << std::setprecision(4)
+       << row.utilization;
+    for (const BatchCell& c : row.cells) {
+      std::ostringstream cell;
+      cell << edfkit::to_string(c.verdict) << " (" << c.effort << ")";
+      os << std::setw(22) << cell.str();
+    }
+    os << "\n";
+  }
+  os << "\naccepted:";
+  for (std::size_t k = 0; k < tests.size(); ++k) {
+    os << "  " << edfkit::to_string(tests[k]) << "=" << accepted[k] << "/"
+       << rows.size();
+  }
+  os << "\nmean effort:";
+  for (std::size_t k = 0; k < tests.size(); ++k) {
+    os << "  " << edfkit::to_string(tests[k]) << "="
+       << std::setprecision(1) << effort[k].mean();
+  }
+  os << "\n";
+  if (!exact_disagreements.empty()) {
+    os << "!! exact tests disagreed on:";
+    for (const std::string& n : exact_disagreements) os << " " << n;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string BatchReport::to_csv() const {
+  std::ostringstream os;
+  os << "set,n,utilization";
+  for (const TestKind k : tests) {
+    os << "," << edfkit::to_string(k) << "_verdict,"
+       << edfkit::to_string(k) << "_effort";
+  }
+  os << "\n";
+  for (const BatchRow& row : rows) {
+    os << row.name << "," << row.tasks << "," << row.utilization;
+    for (const BatchCell& c : row.cells) {
+      os << "," << edfkit::to_string(c.verdict) << "," << c.effort;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace edfkit

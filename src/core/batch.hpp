@@ -1,0 +1,68 @@
+/// \file batch.hpp
+/// Batch feasibility analysis: run a selection of tests over many task
+/// sets and aggregate verdicts, effort and disagreements into a report —
+/// the workflow of a design-space exploration loop or a CI gate over a
+/// directory of task-set files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "model/task_set.hpp"
+#include "util/stats.hpp"
+
+namespace edfkit {
+
+struct BatchEntry {
+  std::string name;
+  TaskSet tasks;
+};
+
+struct BatchConfig {
+  std::vector<TestKind> tests = {TestKind::Devi, TestKind::Dynamic,
+                                 TestKind::AllApprox,
+                                 TestKind::ProcessorDemand};
+  AnalyzerOptions options;
+};
+
+struct BatchCell {
+  Verdict verdict = Verdict::Unknown;
+  std::uint64_t effort = 0;
+};
+
+struct BatchRow {
+  std::string name;
+  std::size_t tasks = 0;
+  double utilization = 0.0;
+  std::vector<BatchCell> cells;  ///< one per BatchConfig::tests entry
+};
+
+struct BatchReport {
+  std::vector<TestKind> tests;
+  std::vector<BatchRow> rows;
+  /// Effort statistics per test, across all rows.
+  std::vector<OnlineStats> effort;
+  /// Names of sets where two *exact* tests disagreed (must stay empty —
+  /// a non-empty list indicates an implementation bug).
+  std::vector<std::string> exact_disagreements;
+  /// Count of rows each test accepted.
+  std::vector<std::size_t> accepted;
+
+  /// Render as an aligned text table.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as CSV (header + one line per row).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Run the batch. Rows keep the input order.
+[[nodiscard]] BatchReport run_batch(const std::vector<BatchEntry>& entries,
+                                    const BatchConfig& config = {});
+
+/// Convenience: load every path as a task-set file and run the batch.
+/// \throws on unreadable/malformed files (fail fast — a CI gate should
+/// not silently skip inputs).
+[[nodiscard]] BatchReport run_batch_files(
+    const std::vector<std::string>& paths, const BatchConfig& config = {});
+
+}  // namespace edfkit

@@ -1,0 +1,25 @@
+/// \file superpos.hpp
+/// The superposition approximation test SuperPos(x) (paper §3.4,
+/// Defs. 4-6, from Albers & Slomka 2004 [1]).
+///
+/// Each task is evaluated exactly for its first x jobs and approximated
+/// by its linear demand envelope afterwards. The test walks all exact job
+/// deadlines in ascending order, maintaining the approximated demand
+/// incrementally, and accepts iff dbf'(I) <= I at every change point
+/// (which, with U <= 1, covers all intervals; Lemmas 1/3/4).
+///
+/// SuperPos(1) is provably equivalent to Devi's test (Lemma 2) — the
+/// cross-validation suite asserts this on random workloads.
+#pragma once
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// Run SuperPos(level). Sufficient: Feasible on acceptance, Infeasible
+/// only via the exact U > 1 precheck, Unknown on rejection.
+/// \pre level >= 1
+[[nodiscard]] FeasibilityResult superpos_test(const TaskSet& ts, Time level);
+
+}  // namespace edfkit

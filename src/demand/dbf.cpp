@@ -1,0 +1,71 @@
+#include "demand/dbf.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace edfkit {
+
+Time dbf_jobs(const Task& t, Time interval) noexcept {
+  const Time d = t.effective_deadline();
+  if (interval < d) return 0;
+  if (is_time_infinite(t.period)) return 1;  // one-shot
+  return floor_div(interval - d, t.period) + 1;
+}
+
+Time dbf(const Task& t, Time interval) noexcept {
+  return mul_saturating(dbf_jobs(t, interval), t.wcet);
+}
+
+Time dbf(const TaskSet& ts, Time interval) noexcept {
+  Time total = 0;
+  for (const Task& t : ts) {
+    total = add_saturating(total, dbf(t, interval));
+    if (is_time_infinite(total)) return kTimeInfinity;
+  }
+  return total;
+}
+
+Time rbf(const Task& t, Time interval) noexcept {
+  if (interval <= 0) return 0;
+  if (is_time_infinite(t.period)) return t.wcet;
+  return mul_saturating(ceil_div(interval, t.period), t.wcet);
+}
+
+Time rbf(const TaskSet& ts, Time interval) noexcept {
+  Time total = 0;
+  for (const Task& t : ts) {
+    total = add_saturating(total, rbf(t, interval));
+    if (is_time_infinite(total)) return kTimeInfinity;
+  }
+  return total;
+}
+
+Time demand_slack(const TaskSet& ts, Time interval) noexcept {
+  return interval - dbf(ts, interval);
+}
+
+Time first_overflow_brute(const TaskSet& ts, Time bound) {
+  // Merge all job deadlines <= bound with a min-heap of (next deadline,
+  // task index) and test dbf at each distinct point.
+  using Entry = std::pair<Time, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Time d0 = ts[i].effective_deadline();
+    if (d0 <= bound) heap.emplace(d0, i);
+  }
+  Time last = -1;
+  while (!heap.empty()) {
+    const auto [point, idx] = heap.top();
+    heap.pop();
+    if (point != last) {
+      last = point;
+      if (dbf(ts, point) > point) return point;
+    }
+    const Time next = ts[idx].next_deadline_after(point);
+    if (next <= bound && !is_time_infinite(next)) heap.emplace(next, idx);
+  }
+  return -1;
+}
+
+}  // namespace edfkit

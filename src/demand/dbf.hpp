@@ -1,0 +1,42 @@
+/// \file dbf.hpp
+/// Demand bound functions (paper Def. 2).
+///
+/// dbf(I, tau) is the maximum cumulated execution requirement of jobs of
+/// tau having both release and absolute deadline inside a window of
+/// length I, assuming the synchronous worst-case arrival pattern:
+///   dbf(I, tau) = (floor((I - D)/T) + 1) * C     for I >= D, else 0.
+/// dbf(I, Gamma) superposes the per-task functions.
+///
+/// All values are exact 64-bit integers (saturating at kTimeInfinity for
+/// degenerate inputs).
+#pragma once
+
+#include "model/task_set.hpp"
+#include "util/math.hpp"
+
+namespace edfkit {
+
+/// Number of jobs of `t` with deadline within a window of length I
+/// (synchronous release): floor((I - D)/T) + 1, or 0 when I < D.
+[[nodiscard]] Time dbf_jobs(const Task& t, Time interval) noexcept;
+
+/// Per-task demand bound function (Def. 2 restricted to one task).
+[[nodiscard]] Time dbf(const Task& t, Time interval) noexcept;
+
+/// Task-set demand bound function (Def. 2).
+[[nodiscard]] Time dbf(const TaskSet& ts, Time interval) noexcept;
+
+/// Request bound function: demand of jobs *released* within [0, I), i.e.
+/// ceil(I/T)*C. Used by the busy-period bound.
+[[nodiscard]] Time rbf(const Task& t, Time interval) noexcept;
+[[nodiscard]] Time rbf(const TaskSet& ts, Time interval) noexcept;
+
+/// Slack dbf-to-capacity at I: I - dbf(I, ts). Negative means overload.
+[[nodiscard]] Time demand_slack(const TaskSet& ts, Time interval) noexcept;
+
+/// First interval (an absolute job deadline) in (0, bound] where
+/// dbf(I) > I, or -1 if none. Brute-force reference used by tests; the
+/// production path is analysis/processor_demand.hpp.
+[[nodiscard]] Time first_overflow_brute(const TaskSet& ts, Time bound);
+
+}  // namespace edfkit

@@ -1,0 +1,29 @@
+#include "demand/intervals.hpp"
+
+namespace edfkit {
+
+DeadlineStream::DeadlineStream(const TaskSet& ts, Time bound)
+    : ts_(ts), bound_(bound) {
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Time d0 = ts[i].effective_deadline();
+    if (d0 <= bound_) list_.add(i, d0);
+  }
+}
+
+Time DeadlineStream::next() {
+  const auto first = list_.pop();
+  Time point = first.interval;
+  // Re-arm the popped task and drain duplicates at the same point.
+  auto rearm = [this](std::size_t task, Time at) {
+    const Time nxt = ts_[task].next_deadline_after(at);
+    if (nxt <= bound_ && !is_time_infinite(nxt)) list_.add(task, nxt);
+  };
+  rearm(first.task, point);
+  while (!list_.empty() && list_.peek().interval == point) {
+    const auto dup = list_.pop();
+    rearm(dup.task, point);
+  }
+  return point;
+}
+
+}  // namespace edfkit

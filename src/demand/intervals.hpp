@@ -1,0 +1,63 @@
+/// \file intervals.hpp
+/// Test-interval plumbing: the ascending "testlist" of the new algorithms
+/// and a merged iterator over all absolute job deadlines of a task set
+/// (the classic processor-demand test's interval stream).
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "model/task_set.hpp"
+#include "util/math.hpp"
+
+namespace edfkit {
+
+/// Min-heap of (interval, task index) pairs — the paper's `testlist`.
+/// Ties are popped in task-index order for determinism.
+class TestList {
+ public:
+  struct Entry {
+    Time interval;
+    std::size_t task;
+    [[nodiscard]] bool operator>(const Entry& o) const noexcept {
+      if (interval != o.interval) return interval > o.interval;
+      return task > o.task;
+    }
+  };
+
+  void add(std::size_t task, Time interval) {
+    heap_.push(Entry{interval, task});
+  }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Entry& peek() const { return heap_.top(); }
+  Entry pop() {
+    Entry e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+/// Ascending stream of *distinct* absolute job deadlines of a task set in
+/// (0, bound]. Memory O(n); next() is O(log n).
+class DeadlineStream {
+ public:
+  DeadlineStream(const TaskSet& ts, Time bound);
+
+  /// True if another distinct deadline <= bound exists.
+  [[nodiscard]] bool has_next() const noexcept { return !list_.empty(); }
+
+  /// Pop the next distinct deadline. \pre has_next()
+  [[nodiscard]] Time next();
+
+ private:
+  const TaskSet& ts_;
+  Time bound_;
+  TestList list_;
+};
+
+}  // namespace edfkit

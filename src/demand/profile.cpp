@@ -1,0 +1,71 @@
+#include "demand/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "demand/approx.hpp"
+#include "demand/dbf.hpp"
+#include "demand/intervals.hpp"
+
+namespace edfkit {
+
+double DemandProfile::peak_pressure() const noexcept {
+  double peak = 0.0;
+  for (const DemandSample& s : samples) {
+    if (s.interval > 0) {
+      peak = std::max(peak, static_cast<double>(s.dbf) /
+                                static_cast<double>(s.interval));
+    }
+  }
+  return peak;
+}
+
+Time DemandProfile::first_overflow() const noexcept {
+  for (const DemandSample& s : samples) {
+    if (s.dbf > s.interval) return s.interval;
+  }
+  return -1;
+}
+
+DemandProfile sample_demand(const TaskSet& ts, Time horizon, Time level) {
+  if (horizon <= 0) throw std::invalid_argument("sample_demand: horizon <= 0");
+  if (level < 1) throw std::invalid_argument("sample_demand: level < 1");
+  DemandProfile p;
+  p.level = level;
+  DeadlineStream stream(ts, horizon);
+  auto emit = [&](Time interval) {
+    if (interval <= 0) return;
+    DemandSample s;
+    s.interval = interval;
+    s.dbf = dbf(ts, interval);
+    s.approx1 = approx_dbf(ts, interval, 1).to_double();
+    s.approx_level = approx_dbf(ts, interval, level).to_double();
+    p.samples.push_back(s);
+  };
+  Time last = -1;
+  while (stream.has_next()) {
+    const Time point = stream.next();
+    if (point - 1 != last) emit(point - 1);  // left limit of the step
+    emit(point);
+    last = point;
+  }
+  return p;
+}
+
+void write_profile(std::ostream& out, const DemandProfile& profile) {
+  out << "# I dbf dbf'(1) dbf'(" << profile.level << ") capacity\n";
+  for (const DemandSample& s : profile.samples) {
+    out << s.interval << ' ' << s.dbf << ' ' << s.approx1 << ' '
+        << s.approx_level << ' ' << s.interval << '\n';
+  }
+}
+
+std::string format_profile(const DemandProfile& profile) {
+  std::ostringstream os;
+  write_profile(os, profile);
+  return os.str();
+}
+
+}  // namespace edfkit

@@ -1,0 +1,44 @@
+/// \file profile.hpp
+/// Demand-curve sampling for inspection and plotting: the staircase
+/// dbf(I), the superposition approximations dbf'(I, level) and the
+/// capacity line, tabulated at every change point — the data behind the
+/// paper's Figs. 2/3/6 style illustrations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+struct DemandSample {
+  Time interval = 0;
+  Time dbf = 0;            ///< exact demand
+  double approx1 = 0.0;    ///< dbf'(I, 1) — Devi's envelope (Fig. 3)
+  double approx_level = 0.0;  ///< dbf'(I, level) for the chosen level
+};
+
+struct DemandProfile {
+  Time level = 1;             ///< the level used for approx_level
+  std::vector<DemandSample> samples;
+
+  /// max over samples of dbf/I (diagnostic: demand pressure).
+  [[nodiscard]] double peak_pressure() const noexcept;
+  /// First sample with dbf > I, or -1.
+  [[nodiscard]] Time first_overflow() const noexcept;
+};
+
+/// Sample dbf and dbf' at every job deadline in (0, horizon], plus the
+/// points just before each (to expose the staircase's left limits).
+/// \pre horizon > 0, level >= 1
+[[nodiscard]] DemandProfile sample_demand(const TaskSet& ts, Time horizon,
+                                          Time level = 4);
+
+/// Write a gnuplot-ready whitespace table with a header comment:
+/// columns I, dbf, dbf1, dbfL, capacity.
+void write_profile(std::ostream& out, const DemandProfile& profile);
+[[nodiscard]] std::string format_profile(const DemandProfile& profile);
+
+}  // namespace edfkit

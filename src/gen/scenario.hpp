@@ -1,0 +1,28 @@
+/// \file scenario.hpp
+/// Ready-made workload scenarios matching the paper's §5 experiments, so
+/// benches and tests draw from one definition.
+#pragma once
+
+#include <vector>
+
+#include "gen/taskset_gen.hpp"
+
+namespace edfkit {
+
+/// Figure 1 workload: utilization swept 70-100 %, n in [5, 100], average
+/// gap drawn from {20, 30, 40} %.
+[[nodiscard]] TaskSet draw_fig1_set(Rng& rng, double utilization);
+
+/// Figure 8 workload: utilization in [90, 99] %, n in [5, 100], average
+/// gap in {20, 30, 40} % (uniformly chosen per set).
+[[nodiscard]] TaskSet draw_fig8_set(Rng& rng, double utilization);
+
+/// Figure 9 workload: given Tmax/Tmin ratio, n in [5, 100], gap mean in
+/// [10, 50] %, utilization in [90, 100) %.
+[[nodiscard]] TaskSet draw_fig9_set(Rng& rng, Time period_ratio);
+
+/// Small feasible-or-not sets for property tests: n in [2, 12], coarse
+/// periods (hyperperiod small enough for simulation cross-checks).
+[[nodiscard]] TaskSet draw_small_set(Rng& rng, double utilization);
+
+}  // namespace edfkit

@@ -1,0 +1,46 @@
+/// \file taskset_gen.hpp
+/// Random task-set generation following the paper's §5 methodology:
+/// UUniFast utilizations, equally (or log-) distributed periods, and a
+/// "gap" parameter — the relative difference between deadline and period
+/// (gap g => D ~= (1-g)*T).
+///
+/// All parameters are integers (ticks); after rounding, an exact repair
+/// pass nudges WCETs so the achieved utilization lands inside the
+/// requested tolerance band — without it, rounding noise near U = 100 %
+/// silently tips sets over the U <= 1 boundary and biases acceptance
+/// statistics (the effect Bini & Buttazzo [4] warn about).
+#pragma once
+
+#include <cstdint>
+
+#include "model/task_set.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+
+enum class PeriodDistribution : std::uint8_t {
+  Uniform,     ///< T ~ U[tmin, tmax] (paper Figs. 1/8)
+  LogUniform,  ///< log T ~ U[log tmin, log tmax] (paper Fig. 9 sweeps)
+};
+
+struct GeneratorConfig {
+  int tasks = 10;                  ///< n
+  double utilization = 0.95;       ///< target U
+  double utilization_tolerance = 0.002;  ///< accepted |U_actual - U|
+  Time period_min = 10'000;        ///< Tmin (ticks)
+  Time period_max = 1'000'000;     ///< Tmax (ticks)
+  PeriodDistribution period_dist = PeriodDistribution::Uniform;
+  double gap_mean = 0.3;           ///< mean of (T - D)/T
+  double gap_halfwidth = 0.1;      ///< gap_i ~ U[mean-hw, mean+hw], clipped
+  int max_attempts = 64;           ///< regeneration attempts before giving up
+
+  void validate() const;
+};
+
+/// Generate one task set. Guarantees: every task valid, C_i <= D_i (no
+/// trivially dead tasks), and |U_actual - utilization| <= tolerance.
+/// \throws std::runtime_error if max_attempts regenerations cannot meet
+/// the tolerance (pathological configs only).
+[[nodiscard]] TaskSet generate_task_set(Rng& rng, const GeneratorConfig& cfg);
+
+}  // namespace edfkit

@@ -1,0 +1,25 @@
+#include "gen/uunifast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edfkit {
+
+std::vector<double> uunifast(Rng& rng, int n, double total) {
+  if (n < 1) throw std::invalid_argument("uunifast: n < 1");
+  if (!(total > 0.0)) throw std::invalid_argument("uunifast: total <= 0");
+  std::vector<double> us;
+  us.reserve(static_cast<std::size_t>(n));
+  double sum = total;
+  for (int i = 1; i < n; ++i) {
+    // next = sum * U(0,1)^(1/(n-i)): order statistics of the simplex.
+    const double next =
+        sum * std::pow(rng.uniform(0.0, 1.0), 1.0 / static_cast<double>(n - i));
+    us.push_back(sum - next);
+    sum = next;
+  }
+  us.push_back(sum);
+  return us;
+}
+
+}  // namespace edfkit

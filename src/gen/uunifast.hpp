@@ -1,0 +1,19 @@
+/// \file uunifast.hpp
+/// UUniFast (Bini & Buttazzo): unbiased uniform sampling of n task
+/// utilizations summing to a target U. The paper's experiments (§5)
+/// follow "the uniform distribution proposed by Bini [4]"; UUniFast is
+/// that construction — it avoids the biasing effects of naive
+/// normalization the cited paper analyzes.
+#pragma once
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace edfkit {
+
+/// Draw n utilizations u_i > 0 with Sigma u_i == total, uniformly over
+/// the simplex. \pre n >= 1, total > 0
+[[nodiscard]] std::vector<double> uunifast(Rng& rng, int n, double total);
+
+}  // namespace edfkit

@@ -1,0 +1,151 @@
+#include "lit/literature.hpp"
+
+namespace edfkit::lit {
+namespace {
+
+Task t(Time c, Time d, Time tt, const char* name) {
+  return make_task(c, d, tt, name);
+}
+
+}  // namespace
+
+LiteratureSet burns_set() {
+  // 14 mixed-rate control tasks, U ~ 0.95, periods spread 20..10000 (the
+  // wide spread is what makes the processor-demand test expensive while
+  // Devi still accepts — Table 1's Burns row pattern).
+  LiteratureSet s;
+  s.name = "Burns";
+  s.tasks = TaskSet({
+      t(1, 15, 20, "b0"),
+      t(2, 22, 30, "b1"),
+      t(3, 38, 50, "b2"),
+      t(5, 60, 80, "b3"),
+      t(8, 90, 120, "b4"),
+      t(14, 150, 200, "b5"),
+      t(20, 225, 300, "b6"),
+      t(34, 375, 500, "b7"),
+      t(54, 600, 800, "b8"),
+      t(82, 900, 1200, "b9"),
+      t(136, 1800, 2000, "b10"),
+      t(272, 3600, 4000, "b11"),
+      t(500, 5400, 6000, "b12"),
+      t(850, 8100, 10000, "b13"),
+  });
+  s.devi_accepts = true;
+  s.feasible = true;
+  return s;
+}
+
+LiteratureSet ma_shin_set() {
+  // 10 tasks, U ~ 0.98: the aggregate envelope overshoots at the largest
+  // deadline (Devi FAILED) although the exact demand never does.
+  LiteratureSet s;
+  s.name = "Ma&Shin";
+  s.tasks = TaskSet({
+      t(2, 8, 20, "m0"),
+      t(3, 25, 30, "m1"),
+      t(4, 40, 50, "m2"),
+      t(6, 60, 70, "m3"),
+      t(9, 90, 100, "m4"),
+      t(14, 140, 150, "m5"),
+      t(20, 190, 200, "m6"),
+      t(30, 290, 300, "m7"),
+      t(46, 390, 400, "m8"),
+      t(72, 580, 600, "m9"),
+  });
+  s.devi_accepts = false;
+  s.feasible = true;
+  return s;
+}
+
+LiteratureSet gap_set() {
+  // 18 avionics functions (Generic Avionics Platform flavour): flight
+  // control at 20 Hz, displays/navigation/threat processing at
+  // harmonically-related lower rates; U ~ 0.95.
+  LiteratureSet s;
+  s.name = "GAP";
+  s.tasks = TaskSet({
+      t(5, 40, 50, "aileron_ctl"),
+      t(5, 40, 50, "elevator_ctl"),
+      t(3, 40, 59, "rudder_ctl"),
+      t(8, 80, 100, "ads_update"),
+      t(9, 80, 100, "radar_track"),
+      t(12, 160, 200, "nav_update"),
+      t(14, 160, 200, "display_hud"),
+      t(12, 160, 200, "display_mpd"),
+      t(18, 320, 400, "tgt_track"),
+      t(21, 320, 400, "threat_resp"),
+      t(23, 400, 500, "weapon_sel"),
+      t(33, 800, 1000, "nav_steer"),
+      t(38, 800, 1000, "display_stat"),
+      t(42, 800, 1000, "blit_update"),
+      t(45, 1600, 2000, "threat_scan"),
+      t(53, 1600, 2000, "weapon_traj"),
+      t(90, 2500, 5000, "bit_check"),
+      t(120, 5000, 10000, "data_log"),
+  });
+  s.devi_accepts = true;
+  s.feasible = true;
+  return s;
+}
+
+LiteratureSet gresser1_set() {
+  // Event-stream example: three periodic streams plus one 3-event burst
+  // source (inner gap 10 within period 500); expansion yields 6 sporadic
+  // tasks. The burst elements' large T-D gaps blow up Devi's envelope
+  // while the exact demand stays under capacity.
+  LiteratureSet s;
+  s.name = "Gresser1";
+  std::vector<EventStreamTask> streams;
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(20), 2, 15, "g1_fast"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(40), 6, 30, "g1_ctl"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(100), 18, 70, "g1_proc"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(250), 45, 230, "g1_log"});
+  streams.push_back(EventStreamTask{EventStream::bursty(500, 3, 10), 25, 150,
+                                    "g1_burst"});
+  // Heavy background job with D == T: adds utilization (stretching the
+  // processor-demand test's bound) without any Devi-envelope penalty.
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(5000), 1000, 5000, "g1_heavy"});
+  s.tasks = expand(streams);
+  s.devi_accepts = false;
+  s.feasible = true;
+  return s;
+}
+
+LiteratureSet gresser2_set() {
+  // Heavier variant: two burst sources and four periodic streams;
+  // expansion yields 13 sporadic tasks.
+  LiteratureSet s;
+  s.name = "Gresser2";
+  std::vector<EventStreamTask> streams;
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(30), 4, 22, "g2_sense"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(80), 12, 60, "g2_ctl"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(160), 22, 120, "g2_plan"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(400), 50, 400, "g2_log"});
+  streams.push_back(EventStreamTask{EventStream::bursty(600, 4, 12), 20, 200,
+                                    "g2_burst_a"});
+  streams.push_back(EventStreamTask{EventStream::bursty(900, 5, 15), 17, 250,
+                                    "g2_burst_b"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(6000), 900, 6000, "g2_heavy"});
+  s.tasks = expand(streams);
+  s.devi_accepts = false;
+  s.feasible = true;
+  return s;
+}
+
+std::vector<LiteratureSet> all_literature_sets() {
+  return {burns_set(), ma_shin_set(), gap_set(), gresser1_set(),
+          gresser2_set()};
+}
+
+}  // namespace edfkit::lit

@@ -1,0 +1,106 @@
+#include "model/event_stream.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+EventStream::EventStream(std::vector<EventTuple> tuples)
+    : tuples_(std::move(tuples)) {
+  for (const EventTuple& t : tuples_) {
+    if (!t.valid())
+      throw std::invalid_argument("EventStream: invalid tuple");
+  }
+}
+
+void EventStream::add(EventTuple t) {
+  if (!t.valid()) throw std::invalid_argument("EventStream::add: invalid tuple");
+  tuples_.push_back(t);
+}
+
+Time EventStream::eta(Time interval) const noexcept {
+  if (interval < 0) return 0;
+  Time n = 0;
+  for (const EventTuple& t : tuples_) {
+    if (interval < t.offset) continue;
+    if (is_time_infinite(t.cycle)) {
+      n += 1;
+    } else {
+      n += floor_div(interval - t.offset, t.cycle) + 1;
+    }
+  }
+  return n;
+}
+
+EventStream EventStream::periodic(Time period) {
+  return EventStream({EventTuple{period, 0}});
+}
+
+EventStream EventStream::bursty(Time period, Time burst_len, Time inner_gap) {
+  if (burst_len <= 0) throw std::invalid_argument("bursty: burst_len <= 0");
+  if (burst_len > 1 && inner_gap <= 0)
+    throw std::invalid_argument("bursty: inner_gap <= 0");
+  if ((burst_len - 1) * inner_gap >= period)
+    throw std::invalid_argument("bursty: burst longer than period");
+  std::vector<EventTuple> tuples;
+  tuples.reserve(static_cast<std::size_t>(burst_len));
+  for (Time k = 0; k < burst_len; ++k) {
+    tuples.push_back(EventTuple{period, k * inner_gap});
+  }
+  return EventStream(std::move(tuples));
+}
+
+std::string EventStream::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const EventTuple& t : tuples_) {
+    if (!first) os << ", ";
+    os << "(";
+    if (is_time_infinite(t.cycle)) {
+      os << "inf";
+    } else {
+      os << t.cycle;
+    }
+    os << "," << t.offset << ")";
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+Time EventStreamTask::dbf(Time interval) const noexcept {
+  if (interval < deadline) return 0;
+  // Demand = eta(I - D) * C: every event whose deadline falls inside I.
+  const Time events = stream.eta(interval - deadline);
+  return mul_saturating(events, wcet);
+}
+
+void EventStreamTask::validate() const {
+  if (wcet <= 0 || deadline <= 0)
+    throw std::invalid_argument("EventStreamTask: need C > 0 and D > 0");
+  if (stream.size() == 0)
+    throw std::invalid_argument("EventStreamTask: empty stream");
+}
+
+TaskSet expand(const std::vector<EventStreamTask>& tasks) {
+  TaskSet out;
+  for (const EventStreamTask& et : tasks) {
+    et.validate();
+    std::size_t k = 0;
+    for (const EventTuple& t : et.stream.tuples()) {
+      Task tk;
+      tk.wcet = et.wcet;
+      tk.deadline = add_saturating(et.deadline, t.offset);
+      tk.period = t.cycle;
+      tk.name = et.name.empty()
+                    ? ""
+                    : et.name + "#" + std::to_string(k);
+      out.add(std::move(tk));
+      ++k;
+    }
+  }
+  return out;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,90 @@
+/// \file event_stream.hpp
+/// Gresser's event-stream model [11], the task-model extension the paper
+/// names in §2 ("the extension for the event stream model is easy by
+/// following the definitions proposed in [1]").
+///
+/// An event stream is a set of event tuples theta = (z, a): the tuple
+/// contributes events at times a, a+z, a+2z, ... (z = kTimeInfinity makes
+/// it a one-shot event at offset a). The stream's event bound function
+///   eta(I) = Sigma_theta  [ I >= a ] * (floor((I - a)/z) + 1)
+/// is the maximum number of events in any half-open window of length I.
+/// Bursts are expressed by several tuples with small offsets.
+///
+/// An EventStreamTask attaches a WCET and a relative deadline to every
+/// event. Its demand bound function is
+///   dbf(I) = Sigma_theta [ I >= a + D ] * (floor((I - a - D)/z) + 1) * C,
+/// which equals the dbf of one sporadic task (C, D + a, z) per tuple —
+/// exactly the paper's remark that "each element of the burst has to be
+/// handled as a separate element of the event stream" (§3.6). The
+/// expansion expand() realizes that mapping so every feasibility test in
+/// edfkit applies unchanged to event streams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/task_set.hpp"
+#include "util/math.hpp"
+
+namespace edfkit {
+
+/// One event tuple (cycle z, offset a).
+struct EventTuple {
+  Time cycle = kTimeInfinity;  ///< z: recurrence period; infinite = one-shot.
+  Time offset = 0;             ///< a: first occurrence, >= 0.
+
+  [[nodiscard]] bool valid() const noexcept {
+    return cycle > 0 && offset >= 0 && offset < kTimeInfinity;
+  }
+  [[nodiscard]] bool operator==(const EventTuple&) const noexcept = default;
+};
+
+/// A set of event tuples; the densest admissible arrival pattern.
+class EventStream {
+ public:
+  EventStream() = default;
+  explicit EventStream(std::vector<EventTuple> tuples);
+
+  void add(EventTuple t);
+  [[nodiscard]] std::size_t size() const noexcept { return tuples_.size(); }
+  [[nodiscard]] const std::vector<EventTuple>& tuples() const noexcept {
+    return tuples_;
+  }
+
+  /// Event bound function: max number of events in a window of length I.
+  /// eta(0) counts tuples with offset 0 (events at window start).
+  [[nodiscard]] Time eta(Time interval) const noexcept;
+
+  /// A strictly periodic stream with period T: single tuple (T, 0).
+  [[nodiscard]] static EventStream periodic(Time period);
+
+  /// A periodic burst: `burst_len` events spaced `inner_gap` apart,
+  /// repeating every `period`. \pre (burst_len-1)*inner_gap < period
+  [[nodiscard]] static EventStream bursty(Time period, Time burst_len,
+                                          Time inner_gap);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<EventTuple> tuples_;
+};
+
+/// A computational task triggered by an event stream.
+struct EventStreamTask {
+  EventStream stream;
+  Time wcet = 0;      ///< C per event.
+  Time deadline = 0;  ///< D relative to each event.
+  std::string name;
+
+  /// Demand bound function of this stream task.
+  [[nodiscard]] Time dbf(Time interval) const noexcept;
+
+  void validate() const;
+};
+
+/// Expand stream tasks to an equivalent sporadic TaskSet: one sporadic
+/// task (C, D + a, z) per tuple. The expansion preserves the demand bound
+/// function exactly, so feasibility verdicts carry over verbatim.
+[[nodiscard]] TaskSet expand(const std::vector<EventStreamTask>& tasks);
+
+}  // namespace edfkit

@@ -1,0 +1,32 @@
+/// \file io.hpp
+/// Plain-text serialization of task sets so examples and users can keep
+/// workloads in files.
+///
+/// Format (one task per line, '#' starts a comment):
+///   task <name> <wcet> <deadline> <period> [jitter]
+/// A period of `inf` denotes a one-shot task (kTimeInfinity).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// Parse a task set from text. \throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] TaskSet parse_task_set(const std::string& text);
+
+/// Read/Write through streams.
+[[nodiscard]] TaskSet read_task_set(std::istream& in);
+void write_task_set(std::ostream& out, const TaskSet& ts);
+
+/// File convenience wrappers. \throws std::runtime_error on I/O failure.
+[[nodiscard]] TaskSet load_task_set(const std::string& path);
+void save_task_set(const std::string& path, const TaskSet& ts);
+
+/// Serialize to the canonical text format.
+[[nodiscard]] std::string format_task_set(const TaskSet& ts);
+
+}  // namespace edfkit

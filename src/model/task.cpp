@@ -1,0 +1,48 @@
+#include "model/task.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+bool Task::valid() const noexcept {
+  return wcet > 0 && deadline > 0 && period > 0 && jitter >= 0 &&
+         jitter < deadline && wcet < kTimeInfinity && deadline < kTimeInfinity;
+}
+
+void Task::validate() const {
+  if (valid()) return;
+  std::ostringstream os;
+  os << "invalid task " << to_string()
+     << " (need C,D,T > 0 and 0 <= J < D; C,D finite)";
+  throw std::invalid_argument(os.str());
+}
+
+std::string Task::to_string() const {
+  std::ostringstream os;
+  os << (name.empty() ? "task" : name) << "(C=" << wcet << ",D=" << deadline;
+  if (is_time_infinite(period)) {
+    os << ",T=inf";
+  } else {
+    os << ",T=" << period;
+  }
+  if (jitter != 0) os << ",J=" << jitter;
+  os << ")";
+  return os.str();
+}
+
+Task make_task(Time c, Time d, Time t, std::string name) {
+  Task tk;
+  tk.wcet = c;
+  tk.deadline = d;
+  tk.period = t;
+  tk.name = std::move(name);
+  tk.validate();
+  return tk;
+}
+
+Task make_implicit_task(Time c, Time t, std::string name) {
+  return make_task(c, t, t, std::move(name));
+}
+
+}  // namespace edfkit

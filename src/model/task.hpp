@@ -1,0 +1,93 @@
+/// \file task.hpp
+/// The sporadic task model of the paper (§2): each task is described by a
+/// worst-case execution time C, a relative deadline D, and a minimum
+/// inter-arrival distance (period) T. We additionally carry a release
+/// jitter term J (0 by default) to support the "extensions by Devi"
+/// mentioned in §3.5 (self-suspension / release jitter fold into an
+/// effective deadline shortening, equivalently a dbf shift).
+///
+/// Only the synchronous case is analyzed (first jobs released together),
+/// which is the worst case for EDF feasibility and therefore a sufficient
+/// treatment of the asynchronous case (§2).
+#pragma once
+
+#include <string>
+
+#include "util/math.hpp"
+#include "util/rational.hpp"
+
+namespace edfkit {
+
+/// One sporadic task. Plain data; invariants are enforced by validate().
+struct Task {
+  Time wcet = 0;      ///< C: worst-case execution time, > 0.
+  Time deadline = 0;  ///< D: relative deadline, > 0.
+  Time period = 0;    ///< T: minimum inter-arrival time, > 0.
+  Time jitter = 0;    ///< J: release jitter, >= 0 (extension, default 0).
+  std::string name;   ///< Optional label for reports.
+
+  /// Effective deadline used by the demand-bound function: D - J. Jitter
+  /// makes a job's deadline come earlier relative to its worst-case
+  /// release, tightening the test.
+  [[nodiscard]] Time effective_deadline() const noexcept {
+    return deadline - jitter;
+  }
+
+  /// Exact utilization C/T. One-shot tasks (T = kTimeInfinity) have
+  /// utilization 0 (the limit C/T as T -> inf), which keeps the linear
+  /// demand envelope flat and the rational arithmetic clean.
+  [[nodiscard]] Rational utilization() const {
+    if (is_time_infinite(period)) return Rational(Time{0});
+    return Rational(wcet, period);
+  }
+
+  /// Utilization as double (for reporting only).
+  [[nodiscard]] double utilization_double() const noexcept {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+
+  /// Absolute deadline of job k (k = 0 is the first job) in the
+  /// synchronous arrival pattern: k*T + D_eff.
+  [[nodiscard]] Time job_deadline(Time k) const noexcept {
+    return add_saturating(mul_saturating(k, period), effective_deadline());
+  }
+
+  /// First job deadline strictly greater than I. This is the paper's
+  ///   NextInt(I, tau) = (floor((I - D)/T) + 1) * T + D        (Lemma 5).
+  /// For I < D it returns D (the first deadline).
+  [[nodiscard]] Time next_deadline_after(Time i) const noexcept {
+    const Time d = effective_deadline();
+    if (i < d) return d;
+    const Time k = floor_div(i - d, period) + 1;
+    return add_saturating(mul_saturating(k, period), d);
+  }
+
+  /// Index (0-based) of the last job whose deadline is <= I, or -1 if the
+  /// first deadline is already beyond I.
+  [[nodiscard]] Time jobs_with_deadline_within(Time i) const noexcept {
+    const Time d = effective_deadline();
+    if (i < d) return -1;
+    return floor_div(i - d, period);
+  }
+
+  /// True when all invariants hold (C,D,T > 0; C <= T not required —
+  /// infeasible tasks are legal inputs; J in [0, D)).
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// Throwing variant with a descriptive message.
+  void validate() const;
+
+  /// "name(C=..,D=..,T=..)"
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Task& o) const noexcept {
+    return wcet == o.wcet && deadline == o.deadline && period == o.period &&
+           jitter == o.jitter;
+  }
+};
+
+/// Convenience constructors.
+[[nodiscard]] Task make_task(Time c, Time d, Time t, std::string name = "");
+[[nodiscard]] Task make_implicit_task(Time c, Time t, std::string name = "");
+
+}  // namespace edfkit

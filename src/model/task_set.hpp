@@ -1,0 +1,90 @@
+/// \file task_set.hpp
+/// A task set Gamma = {tau_1 .. tau_n} with cached aggregate quantities
+/// (exact utilization, max deadline, hyperperiod) used by every test.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/task.hpp"
+#include "util/rational.hpp"
+
+namespace edfkit {
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks);
+
+  /// Append one task (invalidates caches). \throws on invalid task.
+  void add(Task t);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](std::size_t i) const {
+    return tasks_[i];
+  }
+  [[nodiscard]] std::span<const Task> tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// Exact total utilization Sigma C_i/T_i.
+  [[nodiscard]] const Rational& utilization() const;
+  [[nodiscard]] double utilization_double() const;
+
+  /// Sigma C_i.
+  [[nodiscard]] Time total_wcet() const;
+
+  /// max_i D_i (effective deadlines). 0 for the empty set.
+  [[nodiscard]] Time max_deadline() const;
+  /// min_i D_i (effective deadlines). kTimeInfinity for the empty set.
+  [[nodiscard]] Time min_deadline() const;
+  /// max_i T_i and min_i T_i.
+  [[nodiscard]] Time max_period() const;
+  [[nodiscard]] Time min_period() const;
+
+  /// lcm of periods, saturating at kTimeInfinity.
+  [[nodiscard]] Time hyperperiod() const;
+
+  /// True iff every task has D_i <= T_i (constrained deadlines). Several
+  /// published bounds are only valid under this restriction.
+  [[nodiscard]] bool constrained_deadlines() const;
+
+  /// Indices sorted by non-decreasing effective deadline (Devi's test and
+  /// the superposition seeds want this order).
+  [[nodiscard]] const std::vector<std::size_t>& by_deadline() const;
+
+  /// A copy with tasks sorted by non-decreasing effective deadline.
+  [[nodiscard]] TaskSet sorted_by_deadline() const;
+
+  /// Multiply all C, D, T, J by `factor` (model refinement to finer time
+  /// granularity). Saturating; \pre factor > 0.
+  [[nodiscard]] TaskSet scaled(Time factor) const;
+
+  /// Validate every task and the set as a whole.
+  void validate() const;
+
+  /// Multi-line human-readable listing.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const TaskSet& o) const noexcept {
+    return tasks_ == o.tasks_;
+  }
+
+ private:
+  void invalidate_caches() noexcept;
+
+  std::vector<Task> tasks_;
+
+  // Lazy caches (mutable: logically const accessors).
+  mutable bool util_valid_ = false;
+  mutable Rational util_;
+  mutable bool sorted_valid_ = false;
+  mutable std::vector<std::size_t> sorted_idx_;
+};
+
+}  // namespace edfkit

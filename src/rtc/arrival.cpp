@@ -1,0 +1,61 @@
+#include "rtc/arrival.hpp"
+
+#include <stdexcept>
+
+namespace edfkit::rtc {
+
+ConcaveCurve rtc_demand_periodic(const Task& t) {
+  const double c = static_cast<double>(t.wcet);
+  if (is_time_infinite(t.period)) {
+    return ConcaveCurve({AffineLine{c, 0.0}});
+  }
+  // Fig. 4a: the vertical jump to C at I = 0 (segment l1) plus the rate
+  // line (segment l2). In min-of-lines form the jump is implicit — the
+  // envelope is the single line C*(1 + I/T), anchored one full job above
+  // the origin because the approximation drops the deadline offset. This
+  // exceeds Devi's envelope C*(I - D + T)/T by C*D/T >= 0: "a bit worse
+  // than the test given by Devi" (§3.6).
+  const double period = static_cast<double>(t.period);
+  return ConcaveCurve({AffineLine{c, c / period}});
+}
+
+ConcaveCurve rtc_demand_bursty(Time period, Time burst_len, Time inner_gap,
+                               Time wcet, Time deadline) {
+  if (burst_len < 1) throw std::invalid_argument("rtc_demand_bursty: len < 1");
+  if (burst_len > 1 && inner_gap <= 0)
+    throw std::invalid_argument("rtc_demand_bursty: inner_gap <= 0");
+  if (burst_len * inner_gap > period)
+    throw std::invalid_argument(
+        "rtc_demand_bursty: need burst_len * inner_gap <= period so the "
+        "burst line stays an upper bound");
+  (void)deadline;  // the RTC approximation drops the deadline offset
+  const double c = static_cast<double>(wcet);
+  const double b = static_cast<double>(burst_len);
+  std::vector<AffineLine> lines;
+  // Fig. 4b: jump (l1, implicit) + burst line (l2) + long-run rate (l3).
+  // Burst line: consecutive events are never closer than inner_gap, so
+  // demand(I) <= C * (1 + I/inner_gap). Valid for the whole stream since
+  // the inter-burst gap period - (b-1)*gap is >= gap whenever b*gap <=
+  // period (checked above).
+  if (burst_len > 1) {
+    lines.push_back(AffineLine{c, c / static_cast<double>(inner_gap)});
+  }
+  // Rate line: at most b*(1 + I/period) events in any window.
+  lines.push_back(
+      AffineLine{b * c, b * c / static_cast<double>(period)});
+  return ConcaveCurve(std::move(lines));
+}
+
+ConcaveCurve devi_demand_envelope(const Task& t) {
+  const double c = static_cast<double>(t.wcet);
+  if (is_time_infinite(t.period)) {
+    return ConcaveCurve({AffineLine{c, 0.0}});
+  }
+  const double period = static_cast<double>(t.period);
+  const double d = static_cast<double>(t.effective_deadline());
+  // The single line C*(I - D + T)/T through the corner (D, C) — Fig. 3.
+  return ConcaveCurve(
+      {AffineLine{c * (period - d) / period, c / period}});
+}
+
+}  // namespace edfkit::rtc

@@ -1,0 +1,38 @@
+/// \file arrival.hpp
+/// Building the Fig. 4 curve approximations: demand curves of periodic
+/// and bursty tasks, approximated by 2 or 3 straight line segments as the
+/// real-time calculus literature proposes (§3.6).
+///
+/// Reconstruction notes (the paper gives figures, not formulas):
+///   * Periodic task, 2 segments (Fig. 4a):
+///       l1: y = C               (the first job, from I = 0)
+///       l2: y = C + (C/T) * I   (long-run rate anchored at the origin)
+///     This upper-bounds dbf and is "a bit worse than the test given by
+///     Devi" — Devi's envelope C*(I - D + T)/T is lower by exactly
+///     C*D/T >= 0, matching the paper's observation.
+///   * Bursty task, 3 segments (Fig. 4b): an additional burst line with
+///     slope C/delta (delta = intra-burst gap) between the constant lead
+///     and the long-run rate.
+#pragma once
+
+#include "model/event_stream.hpp"
+#include "model/task.hpp"
+#include "rtc/curve.hpp"
+
+namespace edfkit::rtc {
+
+/// 2-segment RTC demand approximation of a periodic/sporadic task.
+[[nodiscard]] ConcaveCurve rtc_demand_periodic(const Task& t);
+
+/// 3-segment RTC demand approximation of a periodic burst: `burst_len`
+/// events `inner_gap` apart every `period`, each with WCET `wcet` and
+/// relative deadline `deadline`.
+[[nodiscard]] ConcaveCurve rtc_demand_bursty(Time period, Time burst_len,
+                                             Time inner_gap, Time wcet,
+                                             Time deadline);
+
+/// Devi's per-task demand envelope C*(I - D + T)/T (= SuperPos(1)'s
+/// approximated branch), as a 1-line curve — for the §3.6 comparison.
+[[nodiscard]] ConcaveCurve devi_demand_envelope(const Task& t);
+
+}  // namespace edfkit::rtc

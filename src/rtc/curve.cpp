@@ -1,0 +1,136 @@
+#include "rtc/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit::rtc {
+
+ConcaveCurve::ConcaveCurve(std::vector<AffineLine> lines)
+    : lines_(std::move(lines)) {
+  if (lines_.empty())
+    throw std::invalid_argument("ConcaveCurve: no lines");
+  simplify();
+}
+
+double ConcaveCurve::eval(double x) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const AffineLine& l : lines_) {
+    best = std::min(best, l.offset + l.slope * x);
+  }
+  return best;
+}
+
+double ConcaveCurve::asymptotic_slope() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const AffineLine& l : lines_) best = std::min(best, l.slope);
+  return best;
+}
+
+void ConcaveCurve::simplify() {
+  // Sort by slope descending (steep lines dominate near 0); drop lines
+  // that never form the lower envelope on x >= 0.
+  std::sort(lines_.begin(), lines_.end(),
+            [](const AffineLine& a, const AffineLine& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              return a.offset < b.offset;
+            });
+  std::vector<AffineLine> kept;
+  for (const AffineLine& l : lines_) {
+    // Equal slope: only the smallest offset survives (sorted first).
+    if (!kept.empty() && kept.back().slope == l.slope) continue;
+    // A line is useful iff it is strictly below the current envelope
+    // somewhere on x >= 0. With slopes descending, line l beats the last
+    // kept line for large x iff its value eventually dips below.
+    while (!kept.empty()) {
+      const AffineLine& p = kept.back();
+      // Intersection of p and l: x* = (l.offset - p.offset)/(p.slope - l.slope)
+      const double denom = p.slope - l.slope;
+      const double xstar = (l.offset - p.offset) / denom;
+      if (xstar <= 0.0) {
+        // l is below p for all x > 0: p is dominated.
+        kept.pop_back();
+        continue;
+      }
+      // Check p is still useful against the line before it.
+      if (kept.size() >= 2) {
+        const AffineLine& q = kept[kept.size() - 2];
+        const double xq = (p.offset - q.offset) / (q.slope - p.slope);
+        if (xstar <= xq) {
+          kept.pop_back();
+          continue;
+        }
+      }
+      break;
+    }
+    kept.push_back(l);
+  }
+  lines_ = std::move(kept);
+}
+
+std::vector<double> ConcaveCurve::breakpoints() const {
+  std::vector<double> xs = {0.0};
+  for (std::size_t i = 0; i + 1 < lines_.size(); ++i) {
+    const AffineLine& a = lines_[i];
+    const AffineLine& b = lines_[i + 1];
+    const double denom = a.slope - b.slope;
+    if (denom == 0.0) continue;
+    const double x = (b.offset - a.offset) / denom;
+    if (x > 0.0 && std::isfinite(x)) xs.push_back(x);
+  }
+  return xs;
+}
+
+std::string ConcaveCurve::to_string() const {
+  std::ostringstream os;
+  os << "min{";
+  bool first = true;
+  for (const AffineLine& l : lines_) {
+    if (!first) os << ", ";
+    os << l.offset << " + " << l.slope << "*I";
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+double CurveSum::eval(double x) const {
+  double s = 0.0;
+  for (const ConcaveCurve& c : parts) s += c.eval(x);
+  return s;
+}
+
+double CurveSum::asymptotic_slope() const {
+  double s = 0.0;
+  for (const ConcaveCurve& c : parts) s += c.asymptotic_slope();
+  return s;
+}
+
+std::vector<double> CurveSum::breakpoints() const {
+  std::vector<double> xs;
+  for (const ConcaveCurve& c : parts) {
+    const auto b = c.breakpoints();
+    xs.insert(xs.end(), b.begin(), b.end());
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+bool CurveSum::below_capacity_line(double from) const {
+  if (parts.empty()) return true;
+  if (asymptotic_slope() > 1.0) return false;
+  // Concave sum minus I is concave: its maximum over [from, inf) is
+  // attained at `from`, at a breakpoint beyond it, or at infinity (the
+  // slope condition above).
+  if (eval(from) > from) return false;
+  for (const double x : breakpoints()) {
+    if (x <= from) continue;
+    if (eval(x) > x) return false;
+  }
+  return true;
+}
+
+}  // namespace edfkit::rtc

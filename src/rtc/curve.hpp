@@ -1,0 +1,76 @@
+/// \file curve.hpp
+/// Piecewise-linear curves for the real-time-calculus comparison of
+/// paper §3.6 / Fig. 4.
+///
+/// Real-time calculus [6][7] describes demand and service by arrival and
+/// service curves; to stay computable it approximates the (staircase)
+/// curves by a small number of straight line segments. A concave upper
+/// curve is represented here as the *minimum of affine lines*
+/// y = offset + slope * x — the classic leaky-bucket form. Sums of such
+/// curves are concave piecewise-linear; feasibility against the capacity
+/// line beta(I) = I reduces to checks at the (finitely many) breakpoints
+/// plus an asymptotic-slope condition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace edfkit::rtc {
+
+/// One affine piece y = offset + slope * x (x >= 0).
+struct AffineLine {
+  double offset = 0.0;
+  double slope = 0.0;
+};
+
+/// Concave upper curve: min over a non-empty set of affine lines.
+class ConcaveCurve {
+ public:
+  ConcaveCurve() = default;
+  explicit ConcaveCurve(std::vector<AffineLine> lines);
+
+  [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
+  [[nodiscard]] const std::vector<AffineLine>& lines() const noexcept {
+    return lines_;
+  }
+
+  /// Evaluate min over lines at x. \pre !empty()
+  [[nodiscard]] double eval(double x) const;
+
+  /// Smallest asymptotic slope (the long-run rate).
+  [[nodiscard]] double asymptotic_slope() const;
+
+  /// x-coordinates where the active line changes (pairwise
+  /// intersections of consecutive lines of the lower envelope), plus 0.
+  [[nodiscard]] std::vector<double> breakpoints() const;
+
+  /// Remove lines that are never the minimum (dominated pieces).
+  void simplify();
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<AffineLine> lines_;
+};
+
+/// Pointwise sum of concave curves (stays concave). Breakpoints are the
+/// union of the operands' breakpoints.
+struct CurveSum {
+  std::vector<ConcaveCurve> parts;
+
+  void add(ConcaveCurve c) { parts.push_back(std::move(c)); }
+  [[nodiscard]] double eval(double x) const;
+  [[nodiscard]] double asymptotic_slope() const;
+  [[nodiscard]] std::vector<double> breakpoints() const;
+
+  /// True iff sum(I) <= I for all I >= `from` (checked at `from`, at the
+  /// breakpoints beyond it, and via the asymptotic slope; exact for
+  /// concave sums). Demand-envelope feasibility checks pass the smallest
+  /// deadline as `from` — no demand exists in (0, Dmin), and the
+  /// envelopes are positive there by construction.
+  [[nodiscard]] bool below_capacity_line(double from = 0.0) const;
+};
+
+}  // namespace edfkit::rtc

@@ -1,0 +1,43 @@
+#include "rtc/rtc_feas.hpp"
+
+#include "analysis/utilization.hpp"
+#include "rtc/arrival.hpp"
+
+namespace edfkit::rtc {
+namespace {
+
+FeasibilityResult run_curve_test(const TaskSet& ts, bool use_rtc) {
+  FeasibilityResult r;
+  if (ts.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  if (utilization_exceeds_one(ts)) {
+    r.verdict = Verdict::Infeasible;
+    r.iterations = 1;
+    return r;
+  }
+  CurveSum sum;
+  for (const Task& t : ts) {
+    sum.add(use_rtc ? rtc_demand_periodic(t) : devi_demand_envelope(t));
+  }
+  r.iterations = sum.breakpoints().size() + 1;
+  // No demand exists before the smallest deadline; start the capacity
+  // comparison there (the envelopes are positive at 0 by construction).
+  const double dmin = static_cast<double>(ts.min_deadline());
+  r.verdict = sum.below_capacity_line(dmin) ? Verdict::Feasible
+                                            : Verdict::Unknown;
+  return r;
+}
+
+}  // namespace
+
+FeasibilityResult rtc_feasibility_test(const TaskSet& ts) {
+  return run_curve_test(ts, /*use_rtc=*/true);
+}
+
+FeasibilityResult devi_envelope_test(const TaskSet& ts) {
+  return run_curve_test(ts, /*use_rtc=*/false);
+}
+
+}  // namespace edfkit::rtc

@@ -1,0 +1,27 @@
+/// \file rtc_feas.hpp
+/// Feasibility checks in the real-time-calculus style (§3.6): the summed
+/// approximated demand curve must stay below the service curve
+/// beta(I) = I. Sufficient only — the curve approximation overestimates
+/// demand. Provided to reproduce the paper's qualitative claim that the
+/// 2-segment RTC approximation accepts no more task sets than Devi's
+/// test (RTC ⊆ Devi ⊆ SuperPos(1)).
+#pragma once
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+#include "rtc/curve.hpp"
+
+namespace edfkit::rtc {
+
+/// Sufficient test using the 2-segment per-task RTC approximation.
+[[nodiscard]] FeasibilityResult rtc_feasibility_test(const TaskSet& ts);
+
+/// Sufficient test using Devi's 1-line envelopes on the same curve
+/// machinery. Slightly more conservative than devi_test itself: the
+/// curve form sums *every* task's envelope at every interval, whereas
+/// Devi's per-deadline condition only sums tasks with D_i <= D_k. Hence
+/// acceptance here implies acceptance by devi_test (asserted in the test
+/// suite), and RTC ⊆ this ⊆ Devi — the §3.6 ordering.
+[[nodiscard]] FeasibilityResult devi_envelope_test(const TaskSet& ts);
+
+}  // namespace edfkit::rtc

@@ -1,0 +1,83 @@
+#include "sim/async.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/utilization.hpp"
+#include "core/all_approx.hpp"
+#include "sim/edf_sim.hpp"
+
+namespace edfkit {
+
+void AsyncTaskSet::validate() const {
+  tasks.validate();
+  if (offsets.size() != tasks.size())
+    throw std::invalid_argument("AsyncTaskSet: offsets size mismatch");
+  for (const Time phi : offsets) {
+    if (phi < 0 || is_time_infinite(phi))
+      throw std::invalid_argument("AsyncTaskSet: offset out of range");
+  }
+}
+
+Time AsyncTaskSet::max_offset() const {
+  Time m = 0;
+  for (const Time phi : offsets) m = std::max(m, phi);
+  return m;
+}
+
+FeasibilityResult async_sufficient_test(const AsyncTaskSet& ats) {
+  ats.validate();
+  FeasibilityResult r = all_approx_test(ats.tasks);
+  if (r.verdict == Verdict::Infeasible) {
+    // The synchronous pattern need not occur with these offsets: the
+    // rejection proves nothing about the asynchronous system.
+    r.verdict = Verdict::Unknown;
+    r.witness = -1;
+  }
+  return r;
+}
+
+FeasibilityResult async_feasibility(const AsyncTaskSet& ats,
+                                    const AsyncOptions& opts) {
+  ats.validate();
+  FeasibilityResult r;
+  if (ats.tasks.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  if (utilization_exceeds_one(ats.tasks)) {
+    // Long-run demand exceeds capacity regardless of phasing.
+    r.verdict = Verdict::Infeasible;
+    return r;
+  }
+  // Stage 1: synchronous sufficiency.
+  const FeasibilityResult sync = async_sufficient_test(ats);
+  if (sync.verdict == Verdict::Feasible) return sync;
+
+  // Stage 2: exact simulation window [0, max phi + 2H).
+  const Time hyper = ats.tasks.hyperperiod();
+  const Time window = add_saturating(
+      ats.max_offset(),
+      add_saturating(mul_saturating(2, hyper), ats.tasks.max_deadline()));
+  if (is_time_infinite(window) || window > opts.max_horizon) {
+    r = sync;  // Unknown, carrying the synchronous effort numbers
+    return r;
+  }
+  SimConfig sc;
+  sc.horizon = window;
+  sc.offsets = ats.offsets;
+  sc.stop_at_first_miss = true;
+  const SimResult sim = simulate_edf(ats.tasks, sc);
+  r.iterations = sync.iterations + sim.released_jobs;
+  r.revisions = sync.revisions;
+  r.max_interval_tested = window;
+  if (sim.deadline_missed) {
+    r.verdict = Verdict::Infeasible;
+    r.witness = sim.first_miss;
+  } else {
+    r.verdict = Verdict::Feasible;
+  }
+  return r;
+}
+
+}  // namespace edfkit

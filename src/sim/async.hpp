@@ -1,0 +1,46 @@
+/// \file async.hpp
+/// The asynchronous case (paper §2): tasks with initial release offsets
+/// (phases). The synchronous analysis remains a *sufficient* test — the
+/// synchronous pattern maximizes demand — "a common assumption which
+/// also leads to a sufficient test for the asynchronous case [14]".
+/// When the synchronous test rejects, the exact asynchronous question is
+/// decided by simulation over [0, max phi + 2*lcm(T)] (Leung & Merrill /
+/// Baruah-Howell-Rosier window for periodic EDF), when tractable.
+#pragma once
+
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// A periodic task system with per-task phases.
+struct AsyncTaskSet {
+  TaskSet tasks;
+  std::vector<Time> offsets;  ///< phi_i >= 0, one per task
+
+  void validate() const;
+  [[nodiscard]] Time max_offset() const;
+};
+
+struct AsyncOptions {
+  /// Refuse simulation horizons beyond this (the exact asynchronous
+  /// window is max phi + 2H, which explodes for co-prime periods).
+  Time max_horizon = 50'000'000;
+};
+
+/// Decide feasibility of the asynchronous system.
+///  1. U > 1 -> Infeasible.
+///  2. Synchronous exact test accepts -> Feasible (offsets only remove
+///     demand; §2's sufficiency direction).
+///  3. Otherwise simulate [0, max phi + 2H): exact when tractable,
+///     Unknown when the window exceeds max_horizon.
+[[nodiscard]] FeasibilityResult async_feasibility(
+    const AsyncTaskSet& ats, const AsyncOptions& opts = {});
+
+/// The synchronous-reduction sufficient test alone (drops offsets).
+[[nodiscard]] FeasibilityResult async_sufficient_test(
+    const AsyncTaskSet& ats);
+
+}  // namespace edfkit

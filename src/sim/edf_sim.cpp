@@ -1,0 +1,179 @@
+#include "sim/edf_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace edfkit {
+namespace {
+
+struct ActiveJob {
+  Time abs_deadline = 0;
+  std::size_t task = 0;
+  Time job = 0;
+  Time remaining = 0;
+  Time release = 0;
+
+  /// EDF order: earliest deadline first; ties by task then job index so
+  /// runs are deterministic.
+  [[nodiscard]] bool operator>(const ActiveJob& o) const noexcept {
+    if (abs_deadline != o.abs_deadline) return abs_deadline > o.abs_deadline;
+    if (task != o.task) return task > o.task;
+    return job > o.job;
+  }
+};
+
+struct Release {
+  Time when = 0;
+  std::size_t task = 0;
+  [[nodiscard]] bool operator>(const Release& o) const noexcept {
+    if (when != o.when) return when > o.when;
+    return task > o.task;
+  }
+};
+
+}  // namespace
+
+SimResult simulate_edf(const TaskSet& ts, const SimConfig& cfg) {
+  if (cfg.horizon <= 0)
+    throw std::invalid_argument("simulate_edf: horizon <= 0");
+  if (!cfg.offsets.empty() && cfg.offsets.size() != ts.size())
+    throw std::invalid_argument("simulate_edf: offsets size mismatch");
+  SimResult res;
+
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> releases;
+  std::vector<Time> job_counter(ts.size(), 0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Time phi = cfg.offsets.empty() ? 0 : cfg.offsets[i];
+    if (phi < 0) throw std::invalid_argument("simulate_edf: negative offset");
+    if (phi < cfg.horizon) releases.push(Release{phi, i});
+  }
+
+  std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> ready;
+  Time now = 0;
+  bool have_current = false;
+  ActiveJob current;
+
+  auto pop_due_releases = [&](Time t) {
+    while (!releases.empty() && releases.top().when <= t) {
+      const Release rel = releases.top();
+      releases.pop();
+      const Task& task = ts[rel.task];
+      ActiveJob j;
+      j.task = rel.task;
+      j.job = job_counter[rel.task]++;
+      j.release = rel.when;
+      j.abs_deadline = rel.when + task.effective_deadline() + task.jitter;
+      j.remaining = task.wcet;
+      ready.push(j);
+      ++res.released_jobs;
+      if (!is_time_infinite(task.period)) {
+        const Time nxt = add_saturating(rel.when, task.period);
+        if (nxt < cfg.horizon) releases.push(Release{nxt, rel.task});
+      }
+    }
+  };
+
+  auto record_job = [&](const ActiveJob& j, Time completion) {
+    ++res.completed_jobs;
+    if (cfg.record_trace) {
+      JobRecord rec;
+      rec.task = j.task;
+      rec.job = j.job;
+      rec.release = j.release;
+      rec.absolute_deadline = j.abs_deadline;
+      rec.completion = completion;
+      res.trace.add_job(rec);
+    }
+    if (completion > j.abs_deadline && !res.deadline_missed) {
+      res.deadline_missed = true;
+      res.first_miss = j.abs_deadline;
+    }
+  };
+
+  auto check_waiting_misses = [&](Time t) {
+    // The running job has the earliest deadline, so if its deadline is
+    // still ahead, nothing waiting can have missed either.
+    if (have_current && current.remaining > 0 &&
+        current.abs_deadline <= t) {
+      if (!res.deadline_missed) {
+        res.deadline_missed = true;
+        res.first_miss = current.abs_deadline;
+      }
+    }
+  };
+
+  pop_due_releases(0);
+  while (now < cfg.horizon) {
+    if (!have_current) {
+      if (!ready.empty()) {
+        current = ready.top();
+        ready.pop();
+        have_current = true;
+      } else {
+        // Idle until the next release (or horizon).
+        const Time next_rel =
+            releases.empty() ? cfg.horizon : releases.top().when;
+        const Time until = std::min(next_rel, cfg.horizon);
+        res.idle_time += until - now;
+        now = until;
+        if (now >= cfg.horizon) break;
+        pop_due_releases(now);
+        continue;
+      }
+    }
+    // Run `current` until completion, the next release, or the horizon.
+    const Time next_rel = releases.empty()
+                              ? cfg.horizon
+                              : std::min(releases.top().when, cfg.horizon);
+    const Time finish = now + current.remaining;
+    const Time until = std::min({finish, next_rel, cfg.horizon});
+    if (until > now) {
+      if (cfg.record_trace) {
+        res.trace.add_slice(
+            TraceSlice{now, until, current.task, current.job});
+      }
+      current.remaining -= until - now;
+      now = until;
+    }
+    if (current.remaining == 0) {
+      record_job(current, now);
+      have_current = false;
+    }
+    check_waiting_misses(now);
+    if (res.deadline_missed && cfg.stop_at_first_miss) return res;
+
+    if (now >= cfg.horizon) break;
+    pop_due_releases(now);
+    // Preemption: a newly released job with an earlier deadline displaces
+    // the current one.
+    if (have_current && !ready.empty() &&
+        ready.top().abs_deadline < current.abs_deadline) {
+      ActiveJob next = ready.top();
+      ready.pop();
+      ready.push(current);
+      current = next;
+      ++res.preemptions;
+    }
+  }
+
+  // Horizon reached: anything still pending whose deadline is within the
+  // horizon has missed.
+  auto flush_miss = [&](const ActiveJob& j) {
+    if (j.remaining > 0 && j.abs_deadline <= cfg.horizon) {
+      if (!res.deadline_missed || j.abs_deadline < res.first_miss) {
+        res.deadline_missed = true;
+        res.first_miss = j.abs_deadline;
+      }
+    }
+  };
+  if (have_current) flush_miss(current);
+  while (!ready.empty()) {
+    flush_miss(ready.top());
+    ready.pop();
+  }
+  return res;
+}
+
+}  // namespace edfkit

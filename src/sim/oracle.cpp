@@ -1,0 +1,39 @@
+#include "sim/oracle.hpp"
+
+#include "analysis/bounds.hpp"
+#include "analysis/utilization.hpp"
+
+namespace edfkit {
+
+FeasibilityResult simulate_feasibility(const TaskSet& ts,
+                                       const OracleConfig& cfg) {
+  FeasibilityResult r;
+  if (ts.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  if (utilization_exceeds_one(ts)) {
+    r.verdict = Verdict::Infeasible;
+    return r;
+  }
+  const Time horizon = hyperperiod_bound(ts);
+  if (is_time_infinite(horizon) || horizon > cfg.max_horizon) {
+    r.verdict = Verdict::Unknown;  // refuse: not tractable to simulate
+    return r;
+  }
+  SimConfig sc;
+  sc.horizon = horizon;
+  sc.stop_at_first_miss = true;
+  const SimResult sim = simulate_edf(ts, sc);
+  r.iterations = sim.released_jobs;  // proxy for simulation effort
+  r.max_interval_tested = horizon;
+  if (sim.deadline_missed) {
+    r.verdict = Verdict::Infeasible;
+    r.witness = sim.first_miss;
+  } else {
+    r.verdict = Verdict::Feasible;
+  }
+  return r;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,28 @@
+/// \file oracle.hpp
+/// Simulation-based feasibility oracle.
+///
+/// For a synchronous periodic task set with U <= 1 the demand-bound
+/// criterion only needs intervals up to hyperperiod + D_max (dbf is
+/// H-periodic above D_max), and EDF is optimal — so simulating the
+/// synchronous pattern over [0, H + D_max) decides feasibility *exactly*.
+/// The oracle refuses (returns Unknown) when that horizon is too large to
+/// simulate; it exists to cross-validate the analytical tests on small
+/// sets, not to replace them.
+#pragma once
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+#include "sim/edf_sim.hpp"
+
+namespace edfkit {
+
+struct OracleConfig {
+  /// Refuse horizons longer than this many ticks.
+  Time max_horizon = 50'000'000;
+};
+
+/// Exact feasibility by exhaustive simulation (when tractable).
+[[nodiscard]] FeasibilityResult simulate_feasibility(
+    const TaskSet& ts, const OracleConfig& cfg = {});
+
+}  // namespace edfkit

@@ -1,0 +1,66 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+void ScheduleTrace::add_slice(TraceSlice s) {
+  if (s.end <= s.start)
+    throw std::invalid_argument("ScheduleTrace: empty/negative slice");
+  // Coalesce with the previous slice when the same job continues.
+  if (!slices_.empty()) {
+    TraceSlice& last = slices_.back();
+    if (last.end == s.start && last.task == s.task && last.job == s.job) {
+      last.end = s.end;
+      return;
+    }
+  }
+  slices_.push_back(s);
+}
+
+Time ScheduleTrace::busy_time() const noexcept {
+  Time total = 0;
+  for (const TraceSlice& s : slices_) total += s.end - s.start;
+  return total;
+}
+
+Time ScheduleTrace::first_miss() const noexcept {
+  Time best = -1;
+  for (const JobRecord& j : jobs_) {
+    if (!j.missed()) continue;
+    const Time when =
+        (j.completion < 0) ? j.absolute_deadline : j.absolute_deadline;
+    if (best < 0 || when < best) best = when;
+  }
+  return best;
+}
+
+Time ScheduleTrace::worst_response(std::size_t task) const noexcept {
+  Time worst = -1;
+  for (const JobRecord& j : jobs_) {
+    if (j.task != task || j.completion < 0) continue;
+    worst = std::max(worst, j.response_time());
+  }
+  return worst;
+}
+
+std::string ScheduleTrace::render_ascii(std::size_t task_count,
+                                        Time horizon) const {
+  if (horizon <= 0 || horizon > 400) horizon = std::min<Time>(horizon, 400);
+  std::ostringstream os;
+  for (std::size_t t = 0; t < task_count; ++t) {
+    std::string row(static_cast<std::size_t>(horizon), '.');
+    for (const TraceSlice& s : slices_) {
+      if (s.task != t) continue;
+      for (Time x = s.start; x < std::min(s.end, horizon); ++x) {
+        row[static_cast<std::size_t>(x)] = '#';
+      }
+    }
+    os << "task" << t << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace edfkit

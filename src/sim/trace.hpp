@@ -1,0 +1,67 @@
+/// \file trace.hpp
+/// Schedule traces produced by the EDF simulator: execution slices,
+/// deadline misses, and derived response-time statistics. Used by the
+/// trace-inspector example and the oracle's diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace edfkit {
+
+/// One contiguous execution slice of a job on the processor.
+struct TraceSlice {
+  Time start = 0;
+  Time end = 0;           ///< exclusive
+  std::size_t task = 0;   ///< task index in the simulated set
+  Time job = 0;           ///< job index of that task (0-based)
+};
+
+/// A completed (or missed) job record.
+struct JobRecord {
+  std::size_t task = 0;
+  Time job = 0;
+  Time release = 0;
+  Time absolute_deadline = 0;
+  Time completion = -1;   ///< -1 if unfinished at horizon
+  [[nodiscard]] bool missed() const noexcept {
+    return completion < 0 || completion > absolute_deadline;
+  }
+  [[nodiscard]] Time response_time() const noexcept {
+    return (completion < 0) ? -1 : completion - release;
+  }
+};
+
+/// Full simulation trace.
+class ScheduleTrace {
+ public:
+  void add_slice(TraceSlice s);
+  void add_job(JobRecord j) { jobs_.push_back(j); }
+
+  [[nodiscard]] const std::vector<TraceSlice>& slices() const noexcept {
+    return slices_;
+  }
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const noexcept {
+    return jobs_;
+  }
+
+  /// Total busy time in the trace.
+  [[nodiscard]] Time busy_time() const noexcept;
+  /// First deadline miss time, or -1.
+  [[nodiscard]] Time first_miss() const noexcept;
+  /// Worst observed response time of a task, or -1 if it never completed.
+  [[nodiscard]] Time worst_response(std::size_t task) const noexcept;
+
+  /// Gantt-ish ASCII rendering (for small horizons), one row per task.
+  [[nodiscard]] std::string render_ascii(std::size_t task_count,
+                                         Time horizon) const;
+
+ private:
+  std::vector<TraceSlice> slices_;
+  std::vector<JobRecord> jobs_;
+};
+
+}  // namespace edfkit

@@ -1,0 +1,48 @@
+/// \file cli.hpp
+/// Tiny flag parser shared by bench/example binaries.
+///
+/// Supports `--name value`, `--name=value`, and boolean `--name`.
+/// Unknown flags are collected so harness wrappers (e.g. google-benchmark)
+/// can consume them afterwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edfkit {
+
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional arguments and unrecognized tokens, in order.
+  [[nodiscard]] const std::vector<std::string>& rest() const noexcept {
+    return rest_;
+  }
+
+  /// argv[0].
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  /// Integer flag overridable by environment variable (flag wins).
+  [[nodiscard]] std::int64_t get_int_env(const std::string& name,
+                                         const std::string& env_var,
+                                         std::int64_t fallback) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> rest_;
+};
+
+}  // namespace edfkit

@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open())
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string> cols) {
+  row(std::vector<std::string>(cols));
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format_cell(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,53 @@
+/// \file csv.hpp
+/// Minimal CSV emitter used by the benchmark harness so figure data can be
+/// re-plotted (`bench/<name> --csv out.csv`).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace edfkit {
+
+/// RFC-4180-ish CSV writer (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Writes to `path`; throws std::runtime_error if the file cannot open.
+  explicit CsvWriter(const std::string& path);
+  /// Null writer: rows are formatted but discarded (for "--csv" unset).
+  CsvWriter() noexcept = default;
+
+  [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+
+  void header(std::initializer_list<std::string> cols);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: builds a row from heterogeneous printable values.
+  template <typename... Ts>
+  void row_of(const Ts&... vs) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vs));
+    (cells.push_back(format_cell(vs)), ...);
+    row(cells);
+  }
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(long long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long long v) {
+    return std::to_string(v);
+  }
+  static std::string format_cell(long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long v) { return std::to_string(v); }
+  static std::string format_cell(int v) { return std::to_string(v); }
+  static std::string format_cell(unsigned v) { return std::to_string(v); }
+
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+};
+
+}  // namespace edfkit

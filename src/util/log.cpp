@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace edfkit {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void init_from_env() {
+  const char* v = std::getenv("EDFKIT_LOG");
+  if (v == nullptr) return;
+  if (std::strcmp(v, "debug") == 0) g_level = static_cast<int>(LogLevel::Debug);
+  else if (std::strcmp(v, "info") == 0) g_level = static_cast<int>(LogLevel::Info);
+  else if (std::strcmp(v, "warn") == 0) g_level = static_cast<int>(LogLevel::Warn);
+  else if (std::strcmp(v, "error") == 0) g_level = static_cast<int>(LogLevel::Error);
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel lvl) noexcept {
+  g_level = static_cast<int>(lvl);
+}
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+namespace detail {
+void emit(LogLevel lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace edfkit

@@ -1,0 +1,42 @@
+/// \file log.hpp
+/// Lightweight leveled logging to stderr. Benchmarks and examples use this
+/// for progress reporting; the analysis libraries themselves never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edfkit {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Global threshold (default Info). Honors env EDFKIT_LOG=debug|info|...
+void set_log_level(LogLevel lvl) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel lvl, const std::string& msg);
+}
+
+/// Stream-style log statement: `LOG(Info) << "x=" << x;`
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) noexcept : lvl_(lvl) {}
+  ~LogLine() { detail::emit(lvl_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace edfkit
+
+#define EDFKIT_LOG(level) ::edfkit::LogLine(::edfkit::LogLevel::level)

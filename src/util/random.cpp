@@ -1,0 +1,38 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace edfkit {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(eng_);
+}
+
+Time Rng::uniform_time(Time lo, Time hi) {
+  std::uniform_int_distribution<Time> d(lo, hi);
+  return d(eng_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(eng_);
+}
+
+Time Rng::log_uniform_time(Time lo, Time hi) {
+  if (lo == hi) return lo;
+  const double e = uniform(std::log(static_cast<double>(lo)),
+                           std::log(static_cast<double>(hi)));
+  return round_to_time(std::exp(e), lo, hi);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(eng_);
+}
+
+Rng Rng::fork() {
+  return Rng(eng_());
+}
+
+}  // namespace edfkit

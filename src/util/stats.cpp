@@ -1,0 +1,139 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double n1 = static_cast<double>(n_);
+  const double n2 = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = n1 + n2;
+  mean_ += delta * n2 / nt;
+  m2_ += o.m2_ + delta * delta * n1 * n2 / nt;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  sum_ += o.sum_;
+  n_ += o.n_;
+}
+
+std::string OnlineStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " min=" << min_ << " mean=" << mean_ << " max=" << max_;
+  return os.str();
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (xs_.empty()) throw std::logic_error("SampleSet::quantile: empty");
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= xs_.size()) return xs_.back();
+  return xs_[i] * (1.0 - frac) + xs_[i + 1] * frac;
+}
+
+double SampleSet::min() const {
+  if (xs_.empty()) throw std::logic_error("SampleSet::min: empty");
+  ensure_sorted();
+  return xs_.front();
+}
+
+double SampleSet::max() const {
+  if (xs_.empty()) throw std::logic_error("SampleSet::max: empty");
+  ensure_sorted();
+  return xs_.back();
+}
+
+double SampleSet::mean() const {
+  if (xs_.empty()) throw std::logic_error("SampleSet::mean: empty");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0)
+    throw std::invalid_argument("Histogram: bad range/bins");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::size_t i = static_cast<std::size_t>((x - lo_) / w);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar = counts_[i] * width / peak;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (under_ != 0) os << "underflow: " << under_ << "\n";
+  if (over_ != 0) os << "overflow: " << over_ << "\n";
+  return os.str();
+}
+
+}  // namespace edfkit

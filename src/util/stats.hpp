@@ -1,0 +1,86 @@
+/// \file stats.hpp
+/// Streaming statistics and simple histograms for the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edfkit {
+
+/// Online min/max/mean/variance accumulator (Welford). Accepts doubles;
+/// iteration counts are converted by the caller.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one.
+  void merge(const OnlineStats& o) noexcept;
+
+  /// "n=.. min=.. mean=.. max=.."
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; exact quantiles. Use for per-bucket effort
+/// distributions where sample counts are modest.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  /// q in [0,1]; nearest-rank on the sorted samples. \pre count() > 0
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return over_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// ASCII rendering, one line per bin.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t under_ = 0;
+  std::size_t over_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace edfkit

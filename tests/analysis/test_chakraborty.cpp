@@ -1,0 +1,76 @@
+#include "analysis/chakraborty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/processor_demand.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Chakraborty, EpsilonValidation) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  EXPECT_THROW((void)chakraborty_test(ts, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)chakraborty_test(ts, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW((void)chakraborty_test(ts, 1.0));
+}
+
+TEST(Chakraborty, EpsilonRoundsToReciprocalInteger) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  EXPECT_DOUBLE_EQ(chakraborty_test(ts, 0.3).epsilon, 0.25);  // k = 4
+  EXPECT_DOUBLE_EQ(chakraborty_test(ts, 0.5).epsilon, 0.5);   // k = 2
+}
+
+TEST(Chakraborty, AcceptsEasySet) {
+  const TaskSet ts = set_of({tk(1, 6, 8), tk(1, 10, 12)});
+  const ChakrabortyResult r = chakraborty_test(ts, 0.25);
+  EXPECT_EQ(r.base.verdict, Verdict::Feasible);
+  EXPECT_LE(r.demand_ratio, 1.0);
+}
+
+TEST(Chakraborty, RejectionIsUnknownNotInfeasible) {
+  const TaskSet ts = set_of({tk(9, 5, 10), tk(5, 55, 100)});
+  const ChakrabortyResult r = chakraborty_test(ts, 0.5);
+  EXPECT_EQ(r.base.verdict, Verdict::Unknown);
+  EXPECT_GT(r.demand_ratio, 1.0);
+}
+
+TEST(Chakraborty, UtilizationOverload) {
+  const ChakrabortyResult r =
+      chakraborty_test(set_of({tk(9, 8, 8)}), 0.25);
+  EXPECT_EQ(r.base.verdict, Verdict::Infeasible);
+}
+
+/// Soundness + monotonicity: acceptance implies exact feasibility and a
+/// smaller epsilon never loses acceptance.
+class ChakrabortyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChakrabortyProperty, SoundAndMonotoneInEpsilon) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+    const bool coarse = chakraborty_test(ts, 0.5).base.feasible();
+    const bool mid = chakraborty_test(ts, 0.25).base.feasible();
+    const bool fine = chakraborty_test(ts, 0.125).base.feasible();
+    if (coarse) {
+      EXPECT_TRUE(mid) << ts.to_string();
+    }
+    if (mid) {
+      EXPECT_TRUE(fine) << ts.to_string();
+    }
+    if (coarse || mid || fine) {
+      EXPECT_EQ(processor_demand_test(ts).verdict, Verdict::Feasible)
+          << ts.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChakrabortyProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,88 @@
+#include "analysis/devi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/processor_demand.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Devi, AcceptsImplicitDeadlineSetAtFullUtilization) {
+  // D == T: the gap terms vanish and the condition reduces to U <= 1.
+  const TaskSet ts = set_of({tk(4, 8, 8), tk(6, 12, 12)});
+  EXPECT_EQ(devi_test(ts).verdict, Verdict::Feasible);
+}
+
+TEST(Devi, RejectsWithoutClaimingInfeasibility) {
+  // High utilization + gaps: the envelope overshoots -> Unknown, never
+  // Infeasible (the test is only sufficient).
+  const TaskSet ts = set_of({tk(9, 5, 10), tk(5, 55, 100)});
+  const FeasibilityResult r = devi_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Unknown);
+}
+
+TEST(Devi, InfeasibleOnlyViaUtilization) {
+  const TaskSet ts = set_of({tk(9, 8, 8), tk(6, 12, 12)});
+  EXPECT_EQ(devi_test(ts).verdict, Verdict::Infeasible);
+}
+
+TEST(Devi, IterationsOnePerTaskOnAcceptance) {
+  const TaskSet ts =
+      set_of({tk(1, 10, 20), tk(1, 15, 30), tk(1, 25, 50), tk(1, 40, 80)});
+  const FeasibilityResult r = devi_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_EQ(r.iterations, ts.size());
+}
+
+TEST(Devi, OrderIndependent) {
+  // devi_test sorts internally; permuting the input changes nothing.
+  const TaskSet a = set_of({tk(2, 8, 20), tk(9, 90, 100), tk(4, 40, 50)});
+  const TaskSet b = set_of({tk(9, 90, 100), tk(4, 40, 50), tk(2, 8, 20)});
+  EXPECT_EQ(devi_test(a).verdict, devi_test(b).verdict);
+}
+
+TEST(Devi, HandlesOneShotTasks) {
+  TaskSet ts = set_of({tk(1, 10, 20)});
+  ts.add(tk(2, 15, kTimeInfinity));
+  const FeasibilityResult r = devi_test(ts);
+  // Must terminate with a sound verdict (either accept or give up).
+  EXPECT_NE(r.verdict, Verdict::Infeasible);
+}
+
+TEST(Devi, SurvivesCoprimeGiantPeriods) {
+  // The certified fixed-point path: no rational overflow false-rejects.
+  Rng rng(77);
+  TaskSet ts;
+  for (int i = 0; i < 150; ++i) {
+    const Time t = rng.uniform_time(1'000'000'000, 2'000'000'000);
+    ts.add(tk(t / 1000, (t / 10) * 9, t));  // u ~ 0.1%, gap 10 %
+  }
+  const FeasibilityResult r = devi_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_FALSE(r.degraded);
+}
+
+/// Soundness: whatever Devi accepts, the exact test confirms.
+class DeviSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviSoundness, AcceptedImpliesExactFeasible) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+    if (devi_test(ts).feasible()) {
+      EXPECT_EQ(processor_demand_test(ts).verdict, Verdict::Feasible)
+          << ts.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviSoundness,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,122 @@
+#include "analysis/extensions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "../helpers.hpp"
+#include "analysis/processor_demand.hpp"
+#include "core/all_approx.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(ContextSwitch, InflatesWcetByTwoSwitches) {
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12)});
+  const TaskSet out = with_context_switch_cost(ts, 1);
+  EXPECT_EQ(out[0].wcet, 4);
+  EXPECT_EQ(out[1].wcet, 5);
+  EXPECT_EQ(out[0].deadline, 6);
+  EXPECT_THROW((void)with_context_switch_cost(ts, -1),
+               std::invalid_argument);
+  EXPECT_EQ(with_context_switch_cost(ts, 0), ts);
+}
+
+TEST(ContextSwitch, OverheadTightensVerdictMonotonically) {
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.6, 0.95));
+    const bool base_ok = all_approx_test(ts).feasible();
+    const bool loaded_ok =
+        all_approx_test(with_context_switch_cost(ts, 1)).feasible();
+    if (loaded_ok) {
+      EXPECT_TRUE(base_ok) << ts.to_string();
+    }
+  }
+}
+
+TEST(SelfSuspension, FoldsIntoJitter) {
+  const TaskSet ts = set_of({tk(2, 10, 12), tk(3, 15, 20)});
+  const std::array<Time, 2> susp = {3, 0};
+  const TaskSet out = with_self_suspension(ts, susp);
+  EXPECT_EQ(out[0].jitter, 3);
+  EXPECT_EQ(out[0].effective_deadline(), 7);
+  EXPECT_EQ(out[1].jitter, 0);
+}
+
+TEST(SelfSuspension, Validation) {
+  const TaskSet ts = set_of({tk(2, 10, 12)});
+  const std::array<Time, 2> wrong_size = {1, 1};
+  EXPECT_THROW((void)with_self_suspension(ts, wrong_size),
+               std::invalid_argument);
+  const std::array<Time, 1> too_big = {10};
+  EXPECT_THROW((void)with_self_suspension(ts, too_big),
+               std::invalid_argument);
+  const std::array<Time, 1> negative = {-1};
+  EXPECT_THROW((void)with_self_suspension(ts, negative),
+               std::invalid_argument);
+}
+
+TEST(SrpBlocking, ZeroBlockingMatchesPlainTest) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.6, 1.0));
+    const std::vector<Time> none(ts.size(), 0);
+    EXPECT_EQ(srp_blocking_test(ts, none).verdict,
+              processor_demand_test(ts).verdict)
+        << ts.to_string();
+  }
+}
+
+TEST(SrpBlocking, BlockingCanBreakATightSet) {
+  // Feasible without blocking; a long critical section of the slack
+  // task blocks the tight one past its deadline.
+  const TaskSet ts = set_of({tk(3, 4, 8), tk(2, 20, 12)});
+  const std::vector<Time> none = {0, 0};
+  ASSERT_EQ(srp_blocking_test(ts, none).verdict, Verdict::Feasible);
+  const std::vector<Time> heavy = {0, 2};  // task 1 (D=20) blocks task 0
+  const FeasibilityResult r = srp_blocking_test(ts, heavy);
+  EXPECT_EQ(r.verdict, Verdict::Infeasible);
+  EXPECT_EQ(r.witness, 4);  // dbf(4)=3 plus B(4)=2 > 4
+}
+
+TEST(SrpBlocking, OnlyLaterDeadlinesBlock) {
+  // The critical section of the *tightest* task never contributes to
+  // B(I) at its own deadline.
+  const TaskSet ts = set_of({tk(3, 4, 8), tk(2, 20, 12)});
+  const std::vector<Time> own = {4, 0};  // tight task holds the resource
+  EXPECT_EQ(srp_blocking_test(ts, own).verdict, Verdict::Feasible);
+}
+
+TEST(SrpBlocking, BlockingMonotone) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.6, 0.95));
+    std::vector<Time> small(ts.size());
+    std::vector<Time> big(ts.size());
+    for (std::size_t k = 0; k < ts.size(); ++k) {
+      small[k] = rng.uniform_time(0, 1);
+      big[k] = small[k] + rng.uniform_time(0, 2);
+    }
+    const bool big_ok = srp_blocking_test(ts, big).feasible();
+    const bool small_ok = srp_blocking_test(ts, small).feasible();
+    if (big_ok) {
+      EXPECT_TRUE(small_ok) << ts.to_string();
+    }
+  }
+}
+
+TEST(SrpBlocking, Validation) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  const std::vector<Time> wrong(2, 0);
+  EXPECT_THROW((void)srp_blocking_test(ts, wrong), std::invalid_argument);
+  const std::vector<Time> neg = {-1};
+  EXPECT_THROW((void)srp_blocking_test(ts, neg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edfkit

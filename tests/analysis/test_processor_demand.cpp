@@ -1,0 +1,117 @@
+#include "analysis/processor_demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(ProcessorDemand, KnownFeasibleSet) {
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  // George bound here is 5, below the first deadline (6): the bound
+  // alone settles feasibility with zero interval checks.
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(ProcessorDemand, KnownInfeasibleSetWithWitness) {
+  const TaskSet ts = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Infeasible);
+  EXPECT_EQ(r.witness, 22);
+  EXPECT_GT(dbf(ts, r.witness), r.witness);
+}
+
+TEST(ProcessorDemand, UtilizationOverloadShortCircuits) {
+  const TaskSet ts = set_of({tk(9, 8, 8)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Infeasible);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(ProcessorDemand, EmptySetFeasible) {
+  EXPECT_EQ(processor_demand_test(TaskSet{}).verdict, Verdict::Feasible);
+}
+
+TEST(ProcessorDemand, ImplicitDeadlinesNeedNoIntervals) {
+  // George/Baruah bounds are 0 when U < 1: nothing to check.
+  const TaskSet ts = set_of({tk(2, 8, 8), tk(3, 12, 12)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(ProcessorDemand, UtilizationExactlyOneImplicitNeedsNoIntervals) {
+  // U == 1 with D == T everywhere: Baruah's bound degenerates to 0 and
+  // Liu & Layland settles feasibility without interval checks.
+  const TaskSet ts = set_of({tk(4, 8, 8), tk(6, 12, 12)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(ProcessorDemand, UtilizationExactlyOneFallsBackToHyperperiod) {
+  // U == 1 with a constrained deadline: no closed-form bound applies;
+  // the hyperperiod bound keeps the walk finite.
+  const TaskSet ts = set_of({tk(4, 6, 8), tk(6, 12, 12)});
+  const FeasibilityResult r = processor_demand_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_LE(r.max_interval_tested, 36);  // lcm(8,12) + Dmax
+}
+
+TEST(ProcessorDemand, MaxIterationsCapYieldsUnknown) {
+  Rng rng(3);
+  const TaskSet ts = draw_fig8_set(rng, 0.97);
+  ProcessorDemandOptions opts;
+  opts.max_iterations = 3;
+  const FeasibilityResult r = processor_demand_test(ts, opts);
+  if (r.verdict == Verdict::Unknown) {
+    EXPECT_LE(r.iterations, 3u);
+  }
+}
+
+TEST(ProcessorDemand, ExplicitBoundOverride) {
+  const TaskSet ts = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  ProcessorDemandOptions opts;
+  opts.bound = 21;  // witness at 22 is out of reach -> feasible-by-bound
+  const FeasibilityResult r = processor_demand_test(ts, opts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);  // (unsound bound on purpose)
+}
+
+TEST(ProcessorDemand, BusyPeriodOptionTightensOrMatches) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = draw_small_set(rng, 0.9);
+    ProcessorDemandOptions with_bp;
+    with_bp.use_busy_period = true;
+    const FeasibilityResult a = processor_demand_test(ts);
+    const FeasibilityResult b = processor_demand_test(ts, with_bp);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_LE(b.iterations, a.iterations);
+  }
+}
+
+TEST(ProcessorDemand, WitnessIsFirstOverflow) {
+  Rng rng(15);
+  int found = 0;
+  for (int i = 0; i < 60 && found < 10; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.9, 1.0));
+    const FeasibilityResult r = processor_demand_test(ts);
+    if (!r.infeasible() || r.witness < 0) continue;
+    ++found;
+    EXPECT_GT(dbf(ts, r.witness), r.witness);
+    EXPECT_EQ(first_overflow_brute(ts, r.witness), r.witness);
+  }
+  EXPECT_GT(found, 0) << "workload produced no infeasible sets to check";
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,73 @@
+#include "analysis/qpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/processor_demand.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Qpa, KnownVerdicts) {
+  EXPECT_EQ(qpa_test(set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)}))
+                .verdict,
+            Verdict::Feasible);
+  const FeasibilityResult bad =
+      qpa_test(set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)}));
+  EXPECT_EQ(bad.verdict, Verdict::Infeasible);
+  ASSERT_GE(bad.witness, 0);
+  EXPECT_GT(dbf(set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)}),
+                bad.witness),
+            bad.witness);
+}
+
+TEST(Qpa, EmptyAndOverload) {
+  EXPECT_EQ(qpa_test(TaskSet{}).verdict, Verdict::Feasible);
+  EXPECT_EQ(qpa_test(set_of({tk(9, 8, 8)})).verdict, Verdict::Infeasible);
+}
+
+TEST(Qpa, ImplicitDeadlinesTrivial) {
+  const TaskSet ts = set_of({tk(4, 8, 8), tk(6, 12, 12)});
+  EXPECT_EQ(qpa_test(ts).verdict, Verdict::Feasible);
+}
+
+/// QPA and the forward processor-demand test are both exact: they must
+/// agree everywhere. QPA typically needs far fewer iterations — assert
+/// the agreement and record the advantage.
+class QpaAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QpaAgreement, MatchesProcessorDemand) {
+  Rng rng(GetParam());
+  std::uint64_t qpa_total = 0;
+  std::uint64_t pd_total = 0;
+  for (int i = 0; i < 40; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+    const FeasibilityResult q = qpa_test(ts);
+    const FeasibilityResult p = processor_demand_test(ts);
+    EXPECT_EQ(q.verdict, p.verdict) << ts.to_string();
+    qpa_total += q.iterations;
+    pd_total += p.iterations;
+  }
+  // Not a hard guarantee, but on these workloads QPA should never be
+  // grossly worse in aggregate.
+  EXPECT_LE(qpa_total, 4 * pd_total + 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QpaAgreement,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Qpa, AgreesOnPaperScaleWorkloads) {
+  Rng rng(42);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = draw_fig8_set(rng, 0.95);
+    EXPECT_EQ(qpa_test(ts).verdict, processor_demand_test(ts).verdict);
+  }
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,153 @@
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/all_approx.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(MaxWcetScaling, InfeasibleInputGivesNothing) {
+  const TaskSet bad = set_of({tk(9, 8, 8)});
+  EXPECT_FALSE(max_wcet_scaling(bad).has_value());
+}
+
+TaskSet scale_exact(const TaskSet& ts, Int128 num, Int128 den) {
+  // Mirror of the library's floor scaling C' = max(1, floor(C*num/den)).
+  TaskSet out;
+  for (Task t : ts) {
+    t.wcet = std::max<Time>(
+        1, narrow_time(static_cast<Int128>(t.wcet) * num / den));
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+TEST(MaxWcetScaling, FactorIsFeasibleAndExactlyTight) {
+  Rng rng(3);
+  int checked = 0;
+  for (int i = 0; i < 30 && checked < 10; ++i) {
+    // draw_small_set can overshoot the requested utilization (tiny
+    // periods, no repair pass) — skip draws that start out infeasible.
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.4, 0.7));
+    const auto f = max_wcet_scaling(ts);
+    if (!f.has_value()) {
+      EXPECT_FALSE(all_approx_test(ts).feasible()) << ts.to_string();
+      continue;
+    }
+    ++checked;
+    const double factor = f->to_double();
+    EXPECT_GE(factor, 1.0);
+    // The reported factor must itself be feasible...
+    EXPECT_TRUE(all_approx_test(scale_exact(ts, f->num(), f->den()))
+                    .feasible())
+        << ts.to_string() << " factor " << factor;
+    // ...and one search-grid step above it infeasible (binary-search
+    // tightness), unless the search saturated at its 2/U range cap.
+    if (factor < 1.9 / ts.utilization_double()) {
+      const Int128 grid = Int128{1} << 30;
+      const Int128 num_plus = f->num() * (grid / f->den()) + 1;
+      EXPECT_FALSE(
+          all_approx_test(scale_exact(ts, num_plus, grid)).feasible())
+          << ts.to_string() << " factor " << factor;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(MinProcessorSpeed, KnownValues) {
+  // Single task C=4, D=5, T=10: peak dbf/I is 4/5 at I=5
+  // (later deadlines: 8/15, 12/25 ... all smaller).
+  const TaskSet ts = set_of({tk(4, 5, 10)});
+  const Rational s = min_processor_speed(ts);
+  EXPECT_EQ(s.compare(Rational(4, 5)), Ordering::Equal);
+}
+
+TEST(MinProcessorSpeed, InfeasibleSetNeedsMoreThanUnitSpeed) {
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  EXPECT_TRUE(min_processor_speed(bad).certainly_gt(Time{1}));
+  const TaskSet good = set_of({tk(2, 6, 8), tk(3, 10, 12)});
+  EXPECT_TRUE(min_processor_speed(good).certainly_le(Time{1}));
+}
+
+TEST(MinProcessorSpeed, AtLeastUtilization) {
+  Rng rng(17);
+  for (int i = 0; i < 15; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.4, 1.0));
+    const Rational s = min_processor_speed(ts);
+    EXPECT_FALSE(ts.utilization().certainly_gt(s)) << ts.to_string();
+  }
+}
+
+TEST(MinProcessorSpeed, DominatesEveryDemandRatio) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+    const Rational s = min_processor_speed(ts);
+    for (Time interval = 1; interval <= 300; ++interval) {
+      const Rational ratio(dbf(ts, interval), interval);
+      EXPECT_FALSE(ratio.certainly_gt(s))
+          << ts.to_string() << " at I=" << interval;
+    }
+  }
+}
+
+TEST(TaskWcetSlack, KnownSet) {
+  // Task 0 (C=2,D=6,T=8) with a light companion: slack is bounded by
+  // its deadline (C <= D) and by global feasibility.
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(1, 12, 12)});
+  const auto slack = task_wcet_slack(ts, 0);
+  ASSERT_TRUE(slack.has_value());
+  EXPECT_GT(*slack, 0);
+  // Adding exactly `slack` stays feasible; one more tick fails (or the
+  // deadline cap was hit).
+  TaskSet grown;
+  grown.add(tk(2 + *slack, 6, 8));
+  grown.add(tk(1, 12, 12));
+  EXPECT_TRUE(all_approx_test(grown).feasible());
+  EXPECT_LE(2 + *slack, 6);
+}
+
+TEST(TaskWcetSlack, InfeasibleInput) {
+  const TaskSet bad = set_of({tk(9, 8, 8)});
+  EXPECT_FALSE(task_wcet_slack(bad, 0).has_value());
+  EXPECT_THROW((void)task_wcet_slack(bad, 5), std::invalid_argument);
+}
+
+TEST(MinFeasibleDeadline, ShrinksToWcetWhenAlone) {
+  const TaskSet ts = set_of({tk(3, 10, 12)});
+  const auto d = min_feasible_deadline(ts, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 3);  // C itself: dbf(3) = 3 <= 3
+}
+
+TEST(MinFeasibleDeadline, RespectsInterference) {
+  const TaskSet ts = set_of({tk(4, 8, 8), tk(3, 12, 12)});
+  const auto d = min_feasible_deadline(ts, 1);
+  ASSERT_TRUE(d.has_value());
+  // Task 1 needs room for task 0's first job too: dbf must fit.
+  TaskSet tightened;
+  tightened.add(tk(4, 8, 8));
+  tightened.add(tk(3, *d, 12));
+  EXPECT_TRUE(all_approx_test(tightened).feasible());
+  if (*d > 3) {
+    TaskSet too_tight;
+    too_tight.add(tk(4, 8, 8));
+    too_tight.add(tk(3, *d - 1, 12));
+    EXPECT_FALSE(all_approx_test(too_tight).feasible());
+  }
+}
+
+TEST(MinFeasibleDeadline, InfeasibleInput) {
+  const TaskSet bad = set_of({tk(9, 8, 8)});
+  EXPECT_FALSE(min_feasible_deadline(bad, 0).has_value());
+}
+
+}  // namespace
+}  // namespace edfkit

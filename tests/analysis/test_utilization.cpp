@@ -1,0 +1,106 @@
+#include "analysis/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Utilization, ClassifiesExactCases) {
+  EXPECT_EQ(classify_utilization(set_of({tk(1, 4, 8)})),
+            UtilizationClass::BelowOne);
+  EXPECT_EQ(classify_utilization(set_of({tk(4, 8, 8), tk(6, 12, 12)})),
+            UtilizationClass::ExactlyOne);
+  EXPECT_EQ(classify_utilization(set_of({tk(5, 8, 8), tk(6, 12, 12)})),
+            UtilizationClass::AboveOne);
+}
+
+TEST(Utilization, CertifiedFallbackOnCoprimeGiants) {
+  // Hundreds of large near-coprime periods overflow the rationals; the
+  // fixed-point fallback must still classify decisively.
+  Rng rng(31);
+  TaskSet low;
+  TaskSet high;
+  for (int i = 0; i < 300; ++i) {
+    const Time t = rng.uniform_time(1'000'000'000, 2'000'000'000);
+    low.add(tk(t / 1000, t, t));       // each ~0.1%: U ~ 0.3
+    high.add(tk(t / 200, t, t));       // each ~0.5%: U ~ 1.5
+  }
+  EXPECT_FALSE(low.utilization().exact()) << "expected rational overflow";
+  EXPECT_EQ(classify_utilization(low), UtilizationClass::BelowOne);
+  EXPECT_EQ(classify_utilization(high), UtilizationClass::AboveOne);
+  EXPECT_TRUE(utilization_at_most_one(low));
+  EXPECT_FALSE(utilization_at_most_one(high));
+  EXPECT_TRUE(utilization_exceeds_one(high));
+  EXPECT_FALSE(utilization_exceeds_one(low));
+}
+
+TEST(Utilization, OneShotContributesZero) {
+  EXPECT_EQ(classify_utilization(set_of({tk(1000, 2000, kTimeInfinity)})),
+            UtilizationClass::BelowOne);
+}
+
+TEST(LiuLayland, ImplicitDeadlinesDecided) {
+  EXPECT_EQ(liu_layland_test(set_of({tk(4, 8, 8), tk(6, 12, 12)})).verdict,
+            Verdict::Feasible);  // U == 1 exactly
+  EXPECT_EQ(liu_layland_test(set_of({tk(5, 8, 8), tk(6, 12, 12)})).verdict,
+            Verdict::Infeasible);
+}
+
+TEST(LiuLayland, DeadlineAtLeastPeriodStillDecided) {
+  // D >= T: demand is dominated by the implicit case, U <= 1 suffices.
+  EXPECT_EQ(liu_layland_test(set_of({tk(4, 10, 8), tk(5, 14, 12)})).verdict,
+            Verdict::Feasible);
+}
+
+TEST(LiuLayland, ConstrainedDeadlinesOnlyNecessary) {
+  EXPECT_EQ(liu_layland_test(set_of({tk(4, 6, 8)})).verdict,
+            Verdict::Unknown);
+  EXPECT_EQ(liu_layland_test(set_of({tk(9, 6, 8)})).verdict,
+            Verdict::Infeasible);
+}
+
+TEST(LiuLayland, EmptySetFeasible) {
+  EXPECT_EQ(liu_layland_test(TaskSet{}).verdict, Verdict::Feasible);
+}
+
+/// Property: the certified classification never contradicts the double
+/// approximation by more than rounding noise.
+class UtilClassProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UtilClassProperty, ConsistentWithDoubleEstimate) {
+  Rng rng(GetParam());
+  TaskSet ts;
+  const int n = rng.uniform_int(1, 120);
+  for (int i = 0; i < n; ++i) {
+    const Time t = rng.uniform_time(100, 1'000'000);
+    const Time c = rng.uniform_time(1, t);
+    ts.add(tk(c, t, t));
+  }
+  const double u = ts.utilization_double();
+  switch (classify_utilization(ts)) {
+    case UtilizationClass::BelowOne:
+      EXPECT_LT(u, 1.0 + 1e-9);
+      break;
+    case UtilizationClass::AboveOne:
+      EXPECT_GT(u, 1.0 - 1e-9);
+      break;
+    case UtilizationClass::ExactlyOne:
+      EXPECT_NEAR(u, 1.0, 1e-9);
+      break;
+    case UtilizationClass::Marginal:
+      EXPECT_NEAR(u, 1.0, 1e-6);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtilClassProperty,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,80 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "../helpers.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Analyzer, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (const TestKind k : all_test_kinds()) {
+    names.insert(to_string(k));
+  }
+  EXPECT_EQ(names.size(), all_test_kinds().size());
+  EXPECT_EQ(std::string(to_string(TestKind::Dynamic)), "dynamic");
+  EXPECT_EQ(std::string(to_string(TestKind::AllApprox)), "all-approx");
+}
+
+TEST(Analyzer, ExactnessFlags) {
+  EXPECT_TRUE(is_exact(TestKind::ProcessorDemand));
+  EXPECT_TRUE(is_exact(TestKind::Qpa));
+  EXPECT_TRUE(is_exact(TestKind::Dynamic));
+  EXPECT_TRUE(is_exact(TestKind::AllApprox));
+  EXPECT_FALSE(is_exact(TestKind::Devi));
+  EXPECT_FALSE(is_exact(TestKind::SuperPos));
+  EXPECT_FALSE(is_exact(TestKind::Chakraborty));
+  EXPECT_FALSE(is_exact(TestKind::LiuLayland));
+}
+
+TEST(Analyzer, DispatchRunsEveryKind) {
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)});
+  for (const TestKind k : all_test_kinds()) {
+    const FeasibilityResult r = run_test(ts, k);
+    // This set is exactly feasible; exact tests must say so, sufficient
+    // tests may either accept or give up, but never claim infeasibility.
+    EXPECT_NE(r.verdict, Verdict::Infeasible) << to_string(k);
+    if (is_exact(k)) {
+      EXPECT_EQ(r.verdict, Verdict::Feasible) << to_string(k);
+    }
+  }
+}
+
+TEST(Analyzer, OptionsReachTheTests) {
+  const TaskSet ts = set_of({tk(2, 8, 20), tk(3, 25, 30), tk(4, 40, 50),
+                             tk(6, 60, 70), tk(9, 90, 100), tk(14, 140, 150),
+                             tk(20, 190, 200), tk(30, 290, 300),
+                             tk(46, 390, 400), tk(72, 580, 600)});
+  AnalyzerOptions strict;
+  strict.dynamic.max_level = 1;  // degrade dynamic to SuperPos(1)
+  EXPECT_EQ(run_test(ts, TestKind::Dynamic, strict).verdict,
+            Verdict::Unknown);
+  AnalyzerOptions open;
+  EXPECT_EQ(run_test(ts, TestKind::Dynamic, open).verdict,
+            Verdict::Feasible);
+  AnalyzerOptions sp;
+  sp.superpos_level = 1;
+  const auto sp1 = run_test(ts, TestKind::SuperPos, sp);
+  sp.superpos_level = 32;
+  const auto sp32 = run_test(ts, TestKind::SuperPos, sp);
+  EXPECT_EQ(sp1.verdict, Verdict::Unknown);
+  EXPECT_EQ(sp32.verdict, Verdict::Feasible);
+}
+
+TEST(Analyzer, CompareAllMentionsEveryTest) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  const std::string table = compare_all(ts);
+  for (const TestKind k : all_test_kinds()) {
+    EXPECT_NE(table.find(to_string(k)), std::string::npos) << to_string(k);
+  }
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,137 @@
+#include "core/dynamic_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(DynamicTest, OptionValidation) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  DynamicTestOptions bad;
+  bad.initial_level = 0;
+  EXPECT_THROW((void)dynamic_error_test(ts, bad), std::invalid_argument);
+  DynamicTestOptions bad2;
+  bad2.growth_factor = 0;
+  EXPECT_THROW((void)dynamic_error_test(ts, bad2), std::invalid_argument);
+}
+
+TEST(DynamicTest, KnownVerdictsWithWitness) {
+  EXPECT_EQ(dynamic_error_test(set_of({tk(2, 6, 8), tk(3, 10, 12)})).verdict,
+            Verdict::Feasible);
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  const FeasibilityResult r = dynamic_error_test(bad);
+  EXPECT_EQ(r.verdict, Verdict::Infeasible);
+  ASSERT_GE(r.witness, 0);
+  EXPECT_GT(dbf(bad, r.witness), r.witness);
+}
+
+TEST(DynamicTest, DeviAcceptedSetsRunEntirelyOnLevelOne) {
+  // The paper's headline property (§4.1): sets Devi accepts cost one
+  // iteration per task and never raise the level.
+  Rng rng(7);
+  int checked = 0;
+  for (int i = 0; i < 200 && checked < 25; ++i) {
+    const TaskSet ts = draw_fig8_set(rng, rng.uniform(0.80, 0.93));
+    if (!devi_test(ts).feasible()) continue;
+    ++checked;
+    const FeasibilityResult r = dynamic_error_test(ts);
+    EXPECT_EQ(r.verdict, Verdict::Feasible);
+    EXPECT_EQ(r.iterations, ts.size());
+    EXPECT_EQ(r.revisions, 0u);
+    EXPECT_EQ(r.final_level, 1);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DynamicTest, LevelCapGivesUnknownNotWrongAnswer) {
+  // A set Devi rejects but the exact test accepts: with max_level 1 the
+  // dynamic test must answer Unknown (it cannot revise).
+  const TaskSet ts = set_of({tk(2, 8, 20), tk(3, 25, 30), tk(4, 40, 50),
+                             tk(6, 60, 70), tk(9, 90, 100), tk(14, 140, 150),
+                             tk(20, 190, 200), tk(30, 290, 300),
+                             tk(46, 390, 400), tk(72, 580, 600)});
+  ASSERT_EQ(devi_test(ts).verdict, Verdict::Unknown);
+  ASSERT_EQ(processor_demand_test(ts).verdict, Verdict::Feasible);
+  DynamicTestOptions capped;
+  capped.max_level = 1;
+  EXPECT_EQ(dynamic_error_test(ts, capped).verdict, Verdict::Unknown);
+  // Unlimited level resolves it exactly.
+  EXPECT_EQ(dynamic_error_test(ts).verdict, Verdict::Feasible);
+}
+
+TEST(DynamicTest, GrowthFactorVariantsAgree) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.7, 1.0));
+    DynamicTestOptions linear;
+    linear.growth_factor = 1;  // +1 growth
+    DynamicTestOptions quad;
+    quad.growth_factor = 4;
+    const Verdict a = dynamic_error_test(ts).verdict;
+    const Verdict b = dynamic_error_test(ts, linear).verdict;
+    const Verdict c = dynamic_error_test(ts, quad).verdict;
+    EXPECT_EQ(a, b) << ts.to_string();
+    EXPECT_EQ(a, c) << ts.to_string();
+  }
+}
+
+TEST(DynamicTest, EmptyAndOverload) {
+  EXPECT_EQ(dynamic_error_test(TaskSet{}).verdict, Verdict::Feasible);
+  EXPECT_EQ(dynamic_error_test(set_of({tk(9, 8, 8)})).verdict,
+            Verdict::Infeasible);
+}
+
+TEST(DynamicTest, HandlesOneShotTasks) {
+  TaskSet ts = set_of({tk(2, 10, 20), tk(3, 30, 40)});
+  ts.add(tk(4, 25, kTimeInfinity));
+  const FeasibilityResult r = dynamic_error_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+}
+
+TEST(DynamicTest, UtilizationExactlyOneTerminates) {
+  // U == 1 with harmonic periods: hyperperiod bound keeps Imax finite.
+  const TaskSet feasible = set_of({tk(4, 8, 8), tk(6, 12, 12)});
+  EXPECT_EQ(dynamic_error_test(feasible).verdict, Verdict::Feasible);
+  const TaskSet infeasible = set_of({tk(3, 4, 8), tk(5, 10, 12),
+                                     tk(5, 16, 24)});
+  EXPECT_EQ(dynamic_error_test(infeasible).verdict, Verdict::Infeasible);
+}
+
+/// Exactness: the dynamic test agrees with the processor-demand test on
+/// every workload (paper §4.1: the new tests are exact).
+class DynamicExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicExactness, MatchesProcessorDemand) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.05));
+    const Verdict dyn = dynamic_error_test(ts).verdict;
+    const Verdict pd = processor_demand_test(ts).verdict;
+    EXPECT_EQ(dyn, pd) << ts.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicExactness,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(DynamicTest, MatchesProcessorDemandOnPaperScale) {
+  Rng rng(2024);
+  for (int i = 0; i < 25; ++i) {
+    const TaskSet ts = draw_fig8_set(rng, rng.uniform(0.90, 0.99));
+    EXPECT_EQ(dynamic_error_test(ts).verdict,
+              processor_demand_test(ts).verdict)
+        << "set " << i;
+  }
+}
+
+}  // namespace
+}  // namespace edfkit

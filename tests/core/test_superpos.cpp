@@ -1,0 +1,116 @@
+#include "core/superpos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(SuperPos, LevelValidation) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  EXPECT_THROW((void)superpos_test(ts, 0), std::invalid_argument);
+}
+
+TEST(SuperPos, AcceptsEasyRejectsTight) {
+  const TaskSet easy = set_of({tk(1, 6, 8), tk(1, 10, 12)});
+  EXPECT_EQ(superpos_test(easy, 1).verdict, Verdict::Feasible);
+  const TaskSet tight = set_of({tk(9, 5, 10), tk(5, 55, 100)});
+  EXPECT_EQ(superpos_test(tight, 1).verdict, Verdict::Unknown);
+}
+
+TEST(SuperPos, UtilizationOverloadIsInfeasible) {
+  EXPECT_EQ(superpos_test(set_of({tk(9, 8, 8)}), 3).verdict,
+            Verdict::Infeasible);
+}
+
+TEST(SuperPos, EmptySetFeasible) {
+  EXPECT_EQ(superpos_test(TaskSet{}, 1).verdict, Verdict::Feasible);
+}
+
+TEST(SuperPos, HandlesOneShotTasks) {
+  TaskSet ts = set_of({tk(1, 10, 20)});
+  ts.add(tk(2, 15, kTimeInfinity));
+  EXPECT_EQ(superpos_test(ts, 1).verdict, Verdict::Feasible);
+  EXPECT_EQ(superpos_test(ts, 4).verdict, Verdict::Feasible);
+}
+
+/// Paper Lemma 2 (§3.5): Devi's test accepts exactly when SuperPos(1)
+/// accepts. This is the first formal contribution of the paper — here it
+/// is checked on random workloads at several utilizations.
+class DeviEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviEquivalence, DeviMatchesSuperPos1) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.4, 1.05));
+    const Verdict devi = devi_test(ts).verdict;
+    const Verdict sp1 = superpos_test(ts, 1).verdict;
+    EXPECT_EQ(devi, sp1) << ts.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SuperPos, DeviEquivalenceOnPaperScaleWorkloads) {
+  Rng rng(1234);
+  for (int i = 0; i < 30; ++i) {
+    const TaskSet ts = draw_fig8_set(rng, rng.uniform(0.90, 0.99));
+    EXPECT_EQ(devi_test(ts).verdict, superpos_test(ts, 1).verdict)
+        << "set " << i;
+  }
+}
+
+/// Monotonicity: raising the level never loses an acceptance, and every
+/// acceptance is sound against the exact test (Fig. 1's structure).
+class SuperPosHierarchy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuperPosHierarchy, AcceptanceMonotoneAndSound) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 30; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.6, 1.0));
+    bool prev = false;
+    for (const Time level : {1, 2, 4, 8, 16}) {
+      const bool ok = superpos_test(ts, level).feasible();
+      if (prev) {
+        EXPECT_TRUE(ok) << "acceptance lost at level " << level << "\n"
+                        << ts.to_string();
+      }
+      prev = ok;
+    }
+    if (prev) {
+      EXPECT_EQ(processor_demand_test(ts).verdict, Verdict::Feasible)
+          << ts.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuperPosHierarchy,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SuperPos, HighLevelConvergesToExactOnSmallSets) {
+  Rng rng(55);
+  int disagreements_low = 0;
+  for (int i = 0; i < 40; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.7, 1.0));
+    const bool exact = processor_demand_test(ts).feasible();
+    const bool sp = superpos_test(ts, 64).feasible();
+    if (sp != exact) {
+      EXPECT_TRUE(exact && !sp) << "superpos accepted an infeasible set!";
+      ++disagreements_low;
+    }
+  }
+  // At level 64 on tiny-period sets the approximation is essentially
+  // exact; allow a small residue of conservative rejections.
+  EXPECT_LE(disagreements_low, 4);
+}
+
+}  // namespace
+}  // namespace edfkit

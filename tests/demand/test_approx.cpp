@@ -1,0 +1,101 @@
+#include "demand/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(Approx, BorderIsLevelthJobDeadline) {
+  const Task t = testing::tk(2, 7, 10);
+  EXPECT_EQ(approx_border(t, 1), 7);
+  EXPECT_EQ(approx_border(t, 2), 17);
+  EXPECT_EQ(approx_border(t, 5), 47);
+}
+
+TEST(Approx, EnvelopePassesThroughJobDeadlines) {
+  // At job deadlines the linear envelope equals the exact dbf (the
+  // approximation starts with zero error — Lemma 6's app vanishes).
+  const Task t = testing::tk(3, 8, 10);
+  for (Time k = 0; k < 20; ++k) {
+    const Time d = t.job_deadline(k);
+    EXPECT_EQ(approx_demand(t, d).compare(Rational(dbf(t, d))),
+              Ordering::Equal);
+    EXPECT_TRUE(approx_error(t, d).is_zero());
+  }
+}
+
+TEST(Approx, ErrorIdentityEnvelopeMinusDbf) {
+  const Task t = testing::tk(3, 8, 10);
+  for (Time i = 8; i <= 200; ++i) {
+    const Rational err = approx_error(t, i);
+    const Rational diff = approx_demand(t, i) - Rational(dbf(t, i));
+    EXPECT_EQ(err.compare(diff), Ordering::Equal) << "interval " << i;
+    EXPECT_FALSE(err.is_negative());
+  }
+}
+
+TEST(Approx, ErrorRequiresIntervalPastDeadline) {
+  const Task t = testing::tk(3, 8, 10);
+  EXPECT_THROW((void)approx_error(t, 7), std::invalid_argument);
+}
+
+TEST(Approx, OneShotEnvelopeIsFlat) {
+  const Task t = testing::tk(5, 9, kTimeInfinity);
+  EXPECT_EQ(approx_demand(t, 9).compare(Rational(Time{5})), Ordering::Equal);
+  EXPECT_EQ(approx_demand(t, 900).compare(Rational(Time{5})),
+            Ordering::Equal);
+  EXPECT_TRUE(approx_error(t, 100).is_zero());
+}
+
+TEST(Approx, TaskDbfSwitchesAtBorder) {
+  const Task t = testing::tk(2, 7, 10);
+  const Time border = approx_border(t, 2);  // 17
+  // Below the border: exact staircase.
+  EXPECT_EQ(approx_dbf(t, 16, border).compare(Rational(dbf(t, 16))),
+            Ordering::Equal);
+  EXPECT_EQ(approx_dbf(t, border, border).compare(Rational(dbf(t, border))),
+            Ordering::Equal);
+  // Above: strictly between the staircase steps.
+  const Rational v = approx_dbf(t, 22, border);
+  EXPECT_EQ(v.compare(Rational(dbf(t, 22))), Ordering::Greater);
+}
+
+TEST(Approx, SetLevelRejectsZero) {
+  const TaskSet ts = testing::set_of({testing::tk(1, 4, 8)});
+  EXPECT_THROW((void)approx_dbf(ts, 10, 0), std::invalid_argument);
+}
+
+/// Core safety property (paper Def. 4/5): dbf'(I) >= dbf(I) everywhere,
+/// for every level, and dbf' is monotone non-increasing in the level.
+class ApproxDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxDominance, ApproxDominatesExactAndImprovesWithLevel) {
+  Rng rng(GetParam());
+  const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+  for (Time i = 0; i <= 300; i += 3) {
+    const Rational exact(dbf(ts, i));
+    Rational prev;
+    bool have_prev = false;
+    for (Time level : {1, 2, 3, 5, 8}) {
+      const Rational approx = approx_dbf(ts, i, level);
+      EXPECT_NE(approx.compare(exact), Ordering::Less)
+          << "dbf' < dbf at I=" << i << " level=" << level;
+      if (have_prev) {
+        EXPECT_NE(approx.compare(prev), Ordering::Greater)
+            << "dbf' not monotone in level at I=" << i << " level=" << level;
+      }
+      prev = approx;
+      have_prev = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxDominance,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,98 @@
+#include "demand/dbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Dbf, SingleTaskStaircase) {
+  const Task t = testing::tk(2, 7, 10);
+  EXPECT_EQ(dbf(t, 0), 0);
+  EXPECT_EQ(dbf(t, 6), 0);
+  EXPECT_EQ(dbf(t, 7), 2);
+  EXPECT_EQ(dbf(t, 16), 2);
+  EXPECT_EQ(dbf(t, 17), 4);
+  EXPECT_EQ(dbf(t, 107), 22);
+  EXPECT_EQ(dbf_jobs(t, 107), 11);
+}
+
+TEST(Dbf, ArbitraryDeadlineTask) {
+  const Task t = testing::tk(3, 15, 10);  // D > T
+  EXPECT_EQ(dbf(t, 14), 0);
+  EXPECT_EQ(dbf(t, 15), 3);
+  EXPECT_EQ(dbf(t, 25), 6);
+}
+
+TEST(Dbf, OneShotTask) {
+  const Task t = testing::tk(4, 9, kTimeInfinity);
+  EXPECT_EQ(dbf(t, 8), 0);
+  EXPECT_EQ(dbf(t, 9), 4);
+  EXPECT_EQ(dbf(t, 1'000'000), 4);
+}
+
+TEST(Dbf, SetSuperposition) {
+  const TaskSet ts = set_of({tk(1, 4, 8), tk(2, 6, 12)});
+  EXPECT_EQ(dbf(ts, 3), 0);
+  EXPECT_EQ(dbf(ts, 4), 1);
+  EXPECT_EQ(dbf(ts, 6), 3);
+  EXPECT_EQ(dbf(ts, 12), 4);   // jobs: a at 4,12 -> 2; b at 6 -> 1
+  EXPECT_EQ(dbf(ts, 18), 6);   // a: 4,12 (2); b: 6,18 (2)
+}
+
+TEST(Dbf, MonotoneNondecreasing) {
+  Rng rng(3);
+  const TaskSet ts = draw_small_set(rng, 0.8);
+  Time prev = 0;
+  for (Time i = 0; i <= 500; ++i) {
+    const Time v = dbf(ts, i);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Rbf, CeilSemantics) {
+  const Task t = testing::tk(2, 7, 10);
+  EXPECT_EQ(rbf(t, 0), 0);
+  EXPECT_EQ(rbf(t, 1), 2);
+  EXPECT_EQ(rbf(t, 10), 2);
+  EXPECT_EQ(rbf(t, 11), 4);
+  const Task one_shot = testing::tk(3, 5, kTimeInfinity);
+  EXPECT_EQ(rbf(one_shot, 1), 3);
+}
+
+TEST(Rbf, DominatesDbf) {
+  Rng rng(17);
+  const TaskSet ts = draw_small_set(rng, 0.9);
+  for (Time i = 0; i <= 400; ++i) {
+    EXPECT_GE(rbf(ts, i), dbf(ts, i)) << "interval " << i;
+  }
+}
+
+TEST(DemandSlack, SignMatchesOverload) {
+  const TaskSet ok = set_of({tk(1, 4, 8)});
+  EXPECT_GE(demand_slack(ok, 4), 0);
+  const TaskSet bad = set_of({tk(5, 4, 8)});
+  EXPECT_LT(demand_slack(bad, 4), 0);
+}
+
+TEST(FirstOverflowBrute, FindsKnownWitness) {
+  // From the schedule_inspector example: first failure at 22.
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  EXPECT_EQ(first_overflow_brute(bad, 1000), 22);
+  const TaskSet good = set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)});
+  EXPECT_EQ(first_overflow_brute(good, 1000), -1);
+}
+
+TEST(FirstOverflowBrute, RespectsBound) {
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  EXPECT_EQ(first_overflow_brute(bad, 21), -1);  // witness 22 outside bound
+}
+
+}  // namespace
+}  // namespace edfkit

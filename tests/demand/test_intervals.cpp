@@ -1,0 +1,79 @@
+#include "demand/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../helpers.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(TestList, PopsInAscendingOrderWithTaskTiebreak) {
+  TestList list;
+  list.add(2, 30);
+  list.add(0, 10);
+  list.add(1, 30);
+  list.add(3, 20);
+  ASSERT_EQ(list.size(), 4u);
+  auto e = list.pop();
+  EXPECT_EQ(e.interval, 10);
+  EXPECT_EQ(e.task, 0u);
+  e = list.pop();
+  EXPECT_EQ(e.interval, 20);
+  e = list.pop();
+  EXPECT_EQ(e.interval, 30);
+  EXPECT_EQ(e.task, 1u);  // ties by task index
+  e = list.pop();
+  EXPECT_EQ(e.interval, 30);
+  EXPECT_EQ(e.task, 2u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(DeadlineStream, EnumeratesDistinctDeadlines) {
+  const TaskSet ts = testing::set_of(
+      {testing::tk(1, 4, 8), testing::tk(1, 4, 12), testing::tk(1, 6, 10)});
+  DeadlineStream stream(ts, 30);
+  std::vector<Time> got;
+  while (stream.has_next()) got.push_back(stream.next());
+  // Deadlines: task0: 4,12,20,28; task1: 4,16,28; task2: 6,16,26.
+  const std::vector<Time> expect = {4, 6, 12, 16, 20, 26, 28};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(DeadlineStream, EmptyWhenBoundBelowFirstDeadline) {
+  const TaskSet ts = testing::set_of({testing::tk(1, 9, 10)});
+  DeadlineStream stream(ts, 8);
+  EXPECT_FALSE(stream.has_next());
+}
+
+/// Property: the stream equals brute-force enumeration of all job
+/// deadlines, deduplicated and sorted.
+class DeadlineStreamProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeadlineStreamProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const TaskSet ts = draw_small_set(rng, 0.7);
+  const Time bound = rng.uniform_time(10, 400);
+
+  std::set<Time> brute;
+  for (const Task& t : ts) {
+    for (Time k = 0;; ++k) {
+      const Time d = t.job_deadline(k);
+      if (d > bound) break;
+      brute.insert(d);
+    }
+  }
+  DeadlineStream stream(ts, bound);
+  std::vector<Time> got;
+  while (stream.has_next()) got.push_back(stream.next());
+  EXPECT_EQ(got, std::vector<Time>(brute.begin(), brute.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlineStreamProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,78 @@
+#include "demand/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Profile, Validation) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  EXPECT_THROW((void)sample_demand(ts, 0), std::invalid_argument);
+  EXPECT_THROW((void)sample_demand(ts, 10, 0), std::invalid_argument);
+}
+
+TEST(Profile, SamplesEveryDeadlineAndLeftLimit) {
+  const TaskSet ts = set_of({tk(2, 7, 10)});
+  const DemandProfile p = sample_demand(ts, 30, 2);
+  // Deadlines 7, 17, 27 -> samples at 6,7,16,17,26,27.
+  ASSERT_EQ(p.samples.size(), 6u);
+  EXPECT_EQ(p.samples[0].interval, 6);
+  EXPECT_EQ(p.samples[0].dbf, 0);
+  EXPECT_EQ(p.samples[1].interval, 7);
+  EXPECT_EQ(p.samples[1].dbf, 2);
+  EXPECT_EQ(p.samples[3].interval, 17);
+  EXPECT_EQ(p.samples[3].dbf, 4);
+}
+
+TEST(Profile, ApproxColumnsDominateExact) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.0));
+    const DemandProfile p = sample_demand(ts, 300, 3);
+    for (const DemandSample& s : p.samples) {
+      EXPECT_GE(s.approx1 + 1e-9, static_cast<double>(s.dbf))
+          << "I=" << s.interval;
+      EXPECT_GE(s.approx_level + 1e-9, static_cast<double>(s.dbf))
+          << "I=" << s.interval;
+      EXPECT_GE(s.approx1 + 1e-9, s.approx_level) << "I=" << s.interval;
+    }
+  }
+}
+
+TEST(Profile, FirstOverflowMatchesDbf) {
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 10, 12), tk(5, 16, 24)});
+  const DemandProfile p = sample_demand(bad, 100, 2);
+  EXPECT_EQ(p.first_overflow(), 22);
+  const TaskSet good = set_of({tk(2, 6, 8), tk(3, 10, 12)});
+  EXPECT_EQ(sample_demand(good, 100, 2).first_overflow(), -1);
+}
+
+TEST(Profile, PeakPressureMatchesMaxRatio) {
+  const TaskSet ts = set_of({tk(4, 5, 10)});
+  const DemandProfile p = sample_demand(ts, 100, 2);
+  EXPECT_NEAR(p.peak_pressure(), 0.8, 1e-12);  // 4/5 at I=5
+}
+
+TEST(Profile, GnuplotFormat) {
+  const TaskSet ts = set_of({tk(2, 7, 10)});
+  const std::string text = format_profile(sample_demand(ts, 20, 2));
+  EXPECT_NE(text.find("# I dbf"), std::string::npos);
+  // One line per sample plus the header.
+  std::istringstream is(text);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 4);  // deadlines 7,17 -> samples 6,7,16,17
+}
+
+}  // namespace
+}  // namespace edfkit

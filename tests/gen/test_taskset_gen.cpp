@@ -1,0 +1,119 @@
+#include "gen/taskset_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/scenario.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(GeneratorConfig, Validation) {
+  GeneratorConfig cfg;
+  cfg.tasks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.utilization = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.period_max = cfg.period_min - 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.gap_mean = 0.99;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Generator, RespectsStructuralConstraints) {
+  Rng rng(1);
+  GeneratorConfig cfg;
+  cfg.tasks = 40;
+  cfg.utilization = 0.9;
+  cfg.gap_mean = 0.3;
+  for (int rep = 0; rep < 20; ++rep) {
+    const TaskSet ts = generate_task_set(rng, cfg);
+    ASSERT_EQ(ts.size(), 40u);
+    for (const Task& t : ts) {
+      EXPECT_GE(t.wcet, 1);
+      EXPECT_LE(t.wcet, t.deadline);      // no trivially dead tasks
+      EXPECT_LE(t.deadline, t.period);    // constrained deadlines
+      EXPECT_GE(t.period, cfg.period_min);
+      EXPECT_LE(t.period, cfg.period_max);
+    }
+  }
+}
+
+TEST(Generator, HitsUtilizationTolerance) {
+  Rng rng(2);
+  GeneratorConfig cfg;
+  cfg.tasks = 25;
+  for (double u : {0.7, 0.9, 0.95, 0.99}) {
+    cfg.utilization = u;
+    for (int rep = 0; rep < 10; ++rep) {
+      const TaskSet ts = generate_task_set(rng, cfg);
+      EXPECT_NEAR(ts.utilization_double(), u, cfg.utilization_tolerance + 1e-9)
+          << "target " << u;
+    }
+  }
+}
+
+TEST(Generator, LogUniformPeriodsSpreadAcrossDecades) {
+  Rng rng(3);
+  GeneratorConfig cfg;
+  cfg.tasks = 100;
+  cfg.utilization = 0.5;
+  cfg.period_min = 1'000;
+  cfg.period_max = 1'000'000;
+  cfg.period_dist = PeriodDistribution::LogUniform;
+  int low = 0;
+  const TaskSet ts = generate_task_set(rng, cfg);
+  for (const Task& t : ts) {
+    if (t.period < 31'623) ++low;  // geometric midpoint
+  }
+  EXPECT_GT(low, 25);
+  EXPECT_LT(low, 75);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorConfig cfg;
+  cfg.tasks = 10;
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(generate_task_set(a, cfg), generate_task_set(b, cfg));
+}
+
+TEST(Scenario, Fig1FamilyInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = draw_fig1_set(rng, 0.9);
+    EXPECT_GE(ts.size(), 5u);
+    EXPECT_LE(ts.size(), 100u);
+    EXPECT_NEAR(ts.utilization_double(), 0.9, 0.01);
+  }
+}
+
+TEST(Scenario, Fig9FamilyHonorsPeriodRatio) {
+  Rng rng(6);
+  for (const Time ratio : {100, 10'000}) {
+    for (int i = 0; i < 5; ++i) {
+      const TaskSet ts = draw_fig9_set(rng, ratio);
+      EXPECT_GE(ts.min_period(), 1'000);
+      EXPECT_LE(ts.max_period(), 1'000 * ratio);
+      EXPECT_GE(ts.utilization_double(), 0.89);
+      EXPECT_LT(ts.utilization_double(), 1.0);
+    }
+  }
+}
+
+TEST(Scenario, SmallSetsAreSimulable) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const TaskSet ts = draw_small_set(rng, 0.8);
+    EXPECT_LE(ts.hyperperiod(), 240);
+    EXPECT_GE(ts.size(), 2u);
+    EXPECT_LE(ts.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,65 @@
+#include "gen/uunifast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace edfkit {
+namespace {
+
+TEST(UUniFast, Validation) {
+  Rng rng(1);
+  EXPECT_THROW((void)uunifast(rng, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)uunifast(rng, 3, 0.0), std::invalid_argument);
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(1);
+  const auto us = uunifast(rng, 1, 0.7);
+  ASSERT_EQ(us.size(), 1u);
+  EXPECT_DOUBLE_EQ(us[0], 0.7);
+}
+
+TEST(UUniFast, SumsToTargetAndAllPositive) {
+  Rng rng(2);
+  for (int n : {2, 5, 20, 100}) {
+    for (double total : {0.3, 0.9, 0.99}) {
+      const auto us = uunifast(rng, n, total);
+      ASSERT_EQ(us.size(), static_cast<std::size_t>(n));
+      double sum = 0.0;
+      for (double u : us) {
+        EXPECT_GT(u, 0.0);
+        EXPECT_LT(u, total + 1e-12);
+        sum += u;
+      }
+      EXPECT_NEAR(sum, total, 1e-9);
+    }
+  }
+}
+
+TEST(UUniFast, MeanPerTaskIsUniform) {
+  // Unbiasedness smoke test: each slot's average converges to U/n.
+  Rng rng(3);
+  const int n = 5;
+  const double total = 0.8;
+  std::vector<double> mean(n, 0.0);
+  const int reps = 4000;
+  for (int r = 0; r < reps; ++r) {
+    const auto us = uunifast(rng, n, total);
+    for (int i = 0; i < n; ++i) mean[static_cast<std::size_t>(i)] += us[i];
+  }
+  for (double& m : mean) m /= reps;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(mean[static_cast<std::size_t>(i)], total / n, 0.02)
+        << "slot " << i;
+  }
+}
+
+TEST(UUniFast, DeterministicPerSeed) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(uunifast(a, 10, 0.9), uunifast(b, 10, 0.9));
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,54 @@
+/// \file helpers.hpp
+/// Shared helpers for the edfkit test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/scenario.hpp"
+#include "model/task_set.hpp"
+#include "util/random.hpp"
+
+namespace edfkit::testing {
+
+/// Terse task constructor for hand-written fixtures.
+inline Task tk(Time c, Time d, Time t) {
+  Task x;
+  x.wcet = c;
+  x.deadline = d;
+  x.period = t;
+  return x;
+}
+
+inline TaskSet set_of(std::initializer_list<Task> ts) {
+  return TaskSet(std::vector<Task>(ts));
+}
+
+/// A deterministic family of small random task sets whose hyperperiods
+/// are simulable (periods from a divisor-rich pool) — the workhorse of
+/// the property suites.
+inline std::vector<TaskSet> small_random_sets(int count, double utilization,
+                                              std::uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<TaskSet> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(draw_small_set(rng, utilization));
+  }
+  return out;
+}
+
+/// Mid-size random sets at paper-like parameters (not simulable, but all
+/// analytical tests handle them).
+inline std::vector<TaskSet> paper_random_sets(int count, double utilization,
+                                              std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<TaskSet> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(draw_fig8_set(rng, utilization));
+  }
+  return out;
+}
+
+}  // namespace edfkit::testing

@@ -1,0 +1,118 @@
+/// \file test_degradation.cpp
+/// Exactness-degradation paths under stress: hundreds of near-coprime
+/// billion-scale periods overflow the int128 rationals, forcing every
+/// analysis through its certified fixed-point fallbacks. Verdicts must
+/// remain sound and mutually consistent, and runs must terminate in
+/// reasonable effort.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "analysis/qpa.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "core/superpos.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+/// n tasks with periods ~1e9 (near-coprime), utilization ~target, gap g.
+TaskSet giant_period_set(Rng& rng, int n, double target, double gap) {
+  TaskSet ts;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.period = rng.uniform_time(1'000'000'000, 2'000'000'000);
+    const double u = target / n;
+    t.wcet = std::max<Time>(
+        1, static_cast<Time>(u * static_cast<double>(t.period)));
+    t.deadline = std::max<Time>(
+        t.wcet,
+        static_cast<Time>((1.0 - gap) * static_cast<double>(t.period)));
+    ts.add(std::move(t));
+  }
+  return ts;
+}
+
+TEST(Degradation, RationalsOverflowButVerdictsAgree) {
+  Rng rng(71);
+  for (int trial = 0; trial < 6; ++trial) {
+    const TaskSet ts =
+        giant_period_set(rng, 250, rng.uniform(0.5, 0.9), 0.2);
+    ASSERT_FALSE(ts.utilization().exact())
+        << "workload failed to overflow the rationals";
+    const Verdict pd = processor_demand_test(ts).verdict;
+    EXPECT_EQ(pd, qpa_test(ts).verdict);
+    EXPECT_EQ(pd, dynamic_error_test(ts).verdict);
+    EXPECT_EQ(pd, all_approx_test(ts).verdict);
+    EXPECT_NE(pd, Verdict::Unknown);
+  }
+}
+
+TEST(Degradation, HighUtilizationStillDecided) {
+  Rng rng(73);
+  const TaskSet ts = giant_period_set(rng, 300, 0.95, 0.25);
+  ASSERT_FALSE(ts.utilization().exact());
+  const FeasibilityResult pd = processor_demand_test(ts);
+  const FeasibilityResult aa = all_approx_test(ts);
+  const FeasibilityResult dyn = dynamic_error_test(ts);
+  EXPECT_EQ(pd.verdict, aa.verdict);
+  EXPECT_EQ(pd.verdict, dyn.verdict);
+  // The certified fallback keeps effort sane (no revision storms from
+  // spurious Unknown comparisons).
+  EXPECT_LT(aa.effort(), 100 * ts.size());
+  EXPECT_LT(dyn.effort(), 100 * ts.size());
+}
+
+TEST(Degradation, DeviStaysUsable) {
+  // Low utilization + mild gaps: Devi should *accept* despite the
+  // rational overflow (the certified fixed-point path decides).
+  Rng rng(79);
+  const TaskSet ts = giant_period_set(rng, 300, 0.5, 0.1);
+  ASSERT_FALSE(ts.utilization().exact());
+  const FeasibilityResult r = devi_test(ts);
+  EXPECT_EQ(r.verdict, Verdict::Feasible);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(superpos_test(ts, 1).verdict, Verdict::Feasible);
+}
+
+TEST(Degradation, BoundsRemainFiniteAndOrdered) {
+  Rng rng(83);
+  const TaskSet ts = giant_period_set(rng, 300, 0.8, 0.3);
+  ASSERT_FALSE(ts.utilization().exact());
+  const auto g = george_bound(ts);
+  const auto s = superposition_bound(ts);
+  const auto b = baruah_bound(ts);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(is_time_infinite(*g));
+  EXPECT_GE(*s, ts.max_deadline());
+  // Baruah's certified fallback over-approximates George's.
+  EXPECT_GE(*b, *g / 2);
+  EXPECT_FALSE(is_time_infinite(default_test_bound(ts)));
+}
+
+TEST(Degradation, WitnessesStayExactUnderOverflow) {
+  // Force infeasibility in an overflow regime: one tight task on top of
+  // the coprime background.
+  Rng rng(89);
+  TaskSet ts = giant_period_set(rng, 200, 0.7, 0.2);
+  Task tight;
+  tight.wcet = 900'000'000;
+  tight.deadline = 1'000'000'000;
+  tight.period = 1'999'999'999;
+  ts.add(tight);  // ~0.45 extra utilization: overload around I ~ 1e9
+  const FeasibilityResult aa = all_approx_test(ts);
+  const FeasibilityResult pd = processor_demand_test(ts);
+  EXPECT_EQ(aa.verdict, pd.verdict);
+  if (aa.infeasible() && aa.witness >= 0) {
+    EXPECT_GT(dbf(ts, aa.witness), aa.witness);
+  }
+}
+
+}  // namespace
+}  // namespace edfkit

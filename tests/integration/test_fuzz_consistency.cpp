@@ -1,0 +1,181 @@
+/// \file test_fuzz_consistency.cpp
+/// Adversarial randomized consistency: workload families deliberately
+/// outside the paper's evaluation envelope — arbitrary deadlines
+/// (D > T), one-shot tasks, extreme period contrast, unit-scale values,
+/// utilization straddling 1 — where all exact deciders must still agree
+/// and every sufficient verdict must still be sound.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "analysis/qpa.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "core/superpos.hpp"
+#include "demand/dbf.hpp"
+#include "sim/oracle.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+/// Arbitrary-deadline generator: D anywhere in [C, 3T].
+TaskSet draw_arbitrary_deadline_set(Rng& rng) {
+  const int n = rng.uniform_int(1, 8);
+  TaskSet ts;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.period = rng.uniform_time(3, 40);
+    t.wcet = rng.uniform_time(1, std::max<Time>(1, t.period / 2));
+    t.deadline = rng.uniform_time(t.wcet, 3 * t.period);
+    ts.add(std::move(t));
+  }
+  return ts;
+}
+
+/// Mixed extremes: unit-size tasks, one-shots, and period contrast.
+TaskSet draw_extreme_set(Rng& rng) {
+  TaskSet ts;
+  const int n = rng.uniform_int(2, 6);
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // unit task
+        t = make_task(1, 1, rng.uniform_time(1, 4));
+        break;
+      case 1:  // one-shot
+        t = make_task(rng.uniform_time(1, 5), rng.uniform_time(2, 30),
+                      kTimeInfinity);
+        break;
+      case 2:  // slow heavy task
+        t = make_task(rng.uniform_time(5, 30), rng.uniform_time(30, 120),
+                      rng.uniform_time(60, 240));
+        break;
+      default:  // fast light task
+        t = make_task(1, rng.uniform_time(1, 6), rng.uniform_time(2, 8));
+        break;
+    }
+    ts.add(std::move(t));
+  }
+  return ts;
+}
+
+void check_consistency(const TaskSet& ts) {
+  const FeasibilityResult pd = processor_demand_test(ts);
+  const FeasibilityResult qpa = qpa_test(ts);
+  const FeasibilityResult dyn = dynamic_error_test(ts);
+  const FeasibilityResult aa = all_approx_test(ts);
+  EXPECT_EQ(pd.verdict, qpa.verdict) << ts.to_string();
+  EXPECT_EQ(pd.verdict, dyn.verdict) << ts.to_string();
+  EXPECT_EQ(pd.verdict, aa.verdict) << ts.to_string();
+  // Witness validity whenever one is reported.
+  for (const FeasibilityResult* r : {&pd, &dyn, &aa}) {
+    if (r->infeasible() && r->witness >= 0) {
+      EXPECT_GT(dbf(ts, r->witness), r->witness) << ts.to_string();
+    }
+  }
+  // Sufficient tests: acceptance soundness only.
+  if (devi_test(ts).feasible()) {
+    EXPECT_EQ(pd.verdict, Verdict::Feasible) << ts.to_string();
+  }
+  if (superpos_test(ts, 3).feasible()) {
+    EXPECT_EQ(pd.verdict, Verdict::Feasible) << ts.to_string();
+  }
+  // Execution oracle when tractable.
+  const FeasibilityResult oracle = simulate_feasibility(ts);
+  if (oracle.verdict != Verdict::Unknown) {
+    EXPECT_EQ(pd.verdict, oracle.verdict) << ts.to_string();
+  }
+}
+
+class FuzzArbitraryDeadlines
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzArbitraryDeadlines, AllDecidersAgree) {
+  Rng rng(GetParam() * 1013 + 7);
+  for (int i = 0; i < 40; ++i) {
+    check_consistency(draw_arbitrary_deadline_set(rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzArbitraryDeadlines,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+class FuzzExtremes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzExtremes, AllDecidersAgree) {
+  Rng rng(GetParam() * 2027 + 3);
+  for (int i = 0; i < 40; ++i) {
+    check_consistency(draw_extreme_set(rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExtremes,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(FuzzDegenerate, SingleTaskExhaustive) {
+  // Exhaustive sweep over small single-task parameter space: feasible
+  // iff C <= D (a single sporadic task only needs its first job to fit;
+  // later jobs have at least T > 0 fresh budget... exactness check vs
+  // the deciders).
+  for (Time c = 1; c <= 6; ++c) {
+    for (Time d = 1; d <= 8; ++d) {
+      for (Time t = 1; t <= 8; ++t) {
+        TaskSet ts;
+        Task task;
+        task.wcet = c;
+        task.deadline = d;
+        task.period = t;
+        if (!task.valid()) continue;
+        ts.add(task);
+        const bool pd = processor_demand_test(ts).feasible();
+        check_consistency(ts);
+        // Ground truth for one task: every window of k jobs must fit:
+        // k*C <= D + (k-1)*T for all k >= 1.
+        bool truth = c <= d;
+        if (c > t) {
+          // Long-run rate exceeds capacity: some k eventually fails.
+          truth = false;
+        }
+        EXPECT_EQ(pd, truth) << ts.to_string();
+      }
+    }
+  }
+}
+
+TEST(FuzzDegenerate, PairwiseTinyExhaustive) {
+  // All pairs of tiny tasks with parameters in [1,4]: the oracle is
+  // always tractable here, giving a fully independent ground truth.
+  int combos = 0;
+  for (Time c1 = 1; c1 <= 2; ++c1)
+    for (Time d1 = 1; d1 <= 4; ++d1)
+      for (Time t1 = 1; t1 <= 4; ++t1)
+        for (Time c2 = 1; c2 <= 2; ++c2)
+          for (Time d2 = 1; d2 <= 4; ++d2)
+            for (Time t2 = 2; t2 <= 4; t2 += 2) {
+              Task a;
+              a.wcet = c1;
+              a.deadline = d1;
+              a.period = t1;
+              Task b;
+              b.wcet = c2;
+              b.deadline = d2;
+              b.period = t2;
+              if (!a.valid() || !b.valid()) continue;
+              TaskSet ts({a, b});
+              const FeasibilityResult oracle = simulate_feasibility(ts);
+              ASSERT_NE(oracle.verdict, Verdict::Unknown);
+              EXPECT_EQ(processor_demand_test(ts).verdict, oracle.verdict)
+                  << ts.to_string();
+              EXPECT_EQ(all_approx_test(ts).verdict, oracle.verdict)
+                  << ts.to_string();
+              EXPECT_EQ(dynamic_error_test(ts).verdict, oracle.verdict)
+                  << ts.to_string();
+              ++combos;
+            }
+  EXPECT_GT(combos, 300);
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,108 @@
+#include "lit/literature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "analysis/qpa.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+
+namespace edfkit::lit {
+namespace {
+
+class LiteratureSuite : public ::testing::TestWithParam<int> {
+ protected:
+  LiteratureSet set() const {
+    return all_literature_sets()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(LiteratureSuite, SizeInPaperRange) {
+  // §5: "The amount of tasks are small (7 to 21 tasks)".
+  const LiteratureSet s = set();
+  EXPECT_GE(s.tasks.size(), 7u) << s.name;
+  EXPECT_LE(s.tasks.size(), 21u) << s.name;
+}
+
+TEST_P(LiteratureSuite, DeviColumnMatchesTable1) {
+  const LiteratureSet s = set();
+  const FeasibilityResult devi = devi_test(s.tasks);
+  if (s.devi_accepts) {
+    EXPECT_EQ(devi.verdict, Verdict::Feasible) << s.name;
+    // Accepted sets cost exactly one iteration per task (the paper's
+    // Devi column equals n).
+    EXPECT_EQ(devi.iterations, s.tasks.size()) << s.name;
+  } else {
+    EXPECT_EQ(devi.verdict, Verdict::Unknown) << s.name;
+  }
+}
+
+TEST_P(LiteratureSuite, ExactTestsAgreeWithGroundTruth) {
+  const LiteratureSet s = set();
+  const Verdict expect = s.feasible ? Verdict::Feasible : Verdict::Infeasible;
+  EXPECT_EQ(processor_demand_test(s.tasks).verdict, expect) << s.name;
+  EXPECT_EQ(qpa_test(s.tasks).verdict, expect) << s.name;
+  EXPECT_EQ(dynamic_error_test(s.tasks).verdict, expect) << s.name;
+  EXPECT_EQ(all_approx_test(s.tasks).verdict, expect) << s.name;
+}
+
+TEST_P(LiteratureSuite, NewTestsNeedFarFewerIterationsThanPD) {
+  // Table 1's headline: "between 5 and 100 times less iterations than
+  // the processor demand test". Assert a conservative 3x floor.
+  const LiteratureSet s = set();
+  const auto pd = processor_demand_test(s.tasks);
+  const auto dyn = dynamic_error_test(s.tasks);
+  const auto aa = all_approx_test(s.tasks);
+  EXPECT_GE(pd.iterations, 3 * dyn.effort()) << s.name;
+  EXPECT_GE(pd.iterations, 3 * aa.effort()) << s.name;
+}
+
+TEST_P(LiteratureSuite, DeviAcceptedSetsCostTheSameForNewTests) {
+  // Table 1 rows Burns and GAP: Devi == Dynamic == AllApprox == n.
+  const LiteratureSet s = set();
+  if (!s.devi_accepts) return;
+  const auto dyn = dynamic_error_test(s.tasks);
+  const auto aa = all_approx_test(s.tasks);
+  EXPECT_EQ(dyn.iterations, s.tasks.size()) << s.name;
+  EXPECT_EQ(dyn.revisions, 0u) << s.name;
+  EXPECT_EQ(aa.iterations, s.tasks.size()) << s.name;
+  EXPECT_EQ(aa.revisions, 0u) << s.name;
+}
+
+std::string literature_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const names[] = {"Burns", "MaShin", "GAP", "Gresser1",
+                                      "Gresser2"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, LiteratureSuite, ::testing::Range(0, 5),
+                         literature_name);
+
+TEST(Literature, GresserSetsComeFromEventStreams) {
+  // The Gresser reconstructions must contain burst elements: several
+  // tasks sharing a period with staggered deadlines.
+  for (const auto& s : {gresser1_set(), gresser2_set()}) {
+    int burst_elements = 0;
+    for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.tasks.size(); ++j) {
+        if (s.tasks[i].period == s.tasks[j].period &&
+            s.tasks[i].wcet == s.tasks[j].wcet &&
+            s.tasks[i].deadline != s.tasks[j].deadline) {
+          ++burst_elements;
+        }
+      }
+    }
+    EXPECT_GT(burst_elements, 0) << s.name;
+  }
+}
+
+TEST(Literature, AllSetsHaveHighUtilization) {
+  for (const auto& s : all_literature_sets()) {
+    EXPECT_GT(s.tasks.utilization_double(), 0.9) << s.name;
+    EXPECT_LE(s.tasks.utilization_double(), 1.0) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace edfkit::lit

@@ -1,0 +1,113 @@
+#include "model/event_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(EventStream, PeriodicEta) {
+  const EventStream s = EventStream::periodic(10);
+  EXPECT_EQ(s.eta(-1), 0);
+  EXPECT_EQ(s.eta(0), 1);   // window endpoints inclusive at offset 0
+  EXPECT_EQ(s.eta(9), 1);
+  EXPECT_EQ(s.eta(10), 2);
+  EXPECT_EQ(s.eta(95), 10);
+}
+
+TEST(EventStream, BurstyEta) {
+  // 3 events 5 apart, repeating every 100.
+  const EventStream s = EventStream::bursty(100, 3, 5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.eta(0), 1);
+  EXPECT_EQ(s.eta(5), 2);
+  EXPECT_EQ(s.eta(10), 3);
+  EXPECT_EQ(s.eta(99), 3);
+  EXPECT_EQ(s.eta(100), 4);
+  EXPECT_EQ(s.eta(110), 6);
+}
+
+TEST(EventStream, BurstyFactoryValidates) {
+  EXPECT_THROW((void)EventStream::bursty(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)EventStream::bursty(10, 3, 0), std::invalid_argument);
+  EXPECT_THROW((void)EventStream::bursty(10, 3, 5), std::invalid_argument);
+}
+
+TEST(EventStream, OneShotTuple) {
+  EventStream s;
+  s.add(EventTuple{kTimeInfinity, 25});
+  EXPECT_EQ(s.eta(24), 0);
+  EXPECT_EQ(s.eta(25), 1);
+  EXPECT_EQ(s.eta(1'000'000), 1);
+}
+
+TEST(EventStream, InvalidTupleRejected) {
+  EventStream s;
+  EXPECT_THROW(s.add(EventTuple{0, 0}), std::invalid_argument);
+  EXPECT_THROW(s.add(EventTuple{10, -1}), std::invalid_argument);
+}
+
+TEST(EventStreamTask, DbfShiftsEtaByDeadline) {
+  EventStreamTask et{EventStream::bursty(100, 2, 10), 3, 20, "x"};
+  EXPECT_EQ(et.dbf(19), 0);
+  EXPECT_EQ(et.dbf(20), 3);   // first event's deadline
+  EXPECT_EQ(et.dbf(30), 6);   // second event (offset 10) + 20
+  EXPECT_EQ(et.dbf(120), 9);  // next period's first event
+}
+
+TEST(EventStreamTask, ValidateRejectsBadTasks) {
+  EventStreamTask bad{EventStream{}, 1, 1, "b"};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EventStreamTask bad2{EventStream::periodic(10), 0, 1, "b"};
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(Expand, OneTaskPerTuple) {
+  std::vector<EventStreamTask> streams;
+  streams.push_back({EventStream::bursty(100, 3, 5), 2, 30, "burst"});
+  streams.push_back({EventStream::periodic(50), 1, 40, "per"});
+  const TaskSet ts = expand(streams);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts[0].deadline, 30);  // offset 0
+  EXPECT_EQ(ts[1].deadline, 35);  // offset 5
+  EXPECT_EQ(ts[2].deadline, 40);  // offset 10
+  EXPECT_EQ(ts[3].deadline, 40);
+  EXPECT_EQ(ts[0].period, 100);
+}
+
+/// The expansion must preserve the demand bound function exactly — this
+/// is what makes every sporadic feasibility test applicable to event
+/// streams (paper §2/§3.6).
+class ExpandEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpandEquivalence, DbfPreservedOnRandomStreams) {
+  Rng rng(GetParam());
+  std::vector<EventStreamTask> streams;
+  const int n = rng.uniform_int(1, 5);
+  for (int i = 0; i < n; ++i) {
+    const Time period = rng.uniform_time(20, 200);
+    const Time burst = rng.uniform_time(1, 4);
+    const Time gap = (burst > 1)
+                         ? rng.uniform_time(1, (period - 1) / burst)
+                         : 1;
+    EventStreamTask et{
+        (burst > 1) ? EventStream::bursty(period, burst, gap)
+                    : EventStream::periodic(period),
+        rng.uniform_time(1, 10), rng.uniform_time(1, 150), ""};
+    streams.push_back(std::move(et));
+  }
+  const TaskSet expanded = expand(streams);
+  for (Time i = 0; i <= 600; ++i) {
+    Time direct = 0;
+    for (const auto& et : streams) direct += et.dbf(i);
+    EXPECT_EQ(direct, dbf(expanded, i)) << "interval " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,89 @@
+#include "model/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../helpers.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(Io, ParsesBasicFile) {
+  const TaskSet ts = parse_task_set(R"(
+    # a comment
+    task a 1 4 8
+    task b 2 6 12   # trailing comment
+
+    task c 3 20 24
+  )");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].name, "a");
+  EXPECT_EQ(ts[1].wcet, 2);
+  EXPECT_EQ(ts[2].period, 24);
+}
+
+TEST(Io, ParsesJitterAndInf) {
+  const TaskSet ts = parse_task_set("task a 1 10 inf\ntask b 2 9 20 3\n");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_TRUE(is_time_infinite(ts[0].period));
+  EXPECT_EQ(ts[1].jitter, 3);
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_task_set("task a 1 4 8\nbogus line here\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsMalformedFields) {
+  EXPECT_THROW((void)parse_task_set("task a one 4 8\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_task_set("task a 1 4\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_task_set("task a 1 4 8 0 extra\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_task_set("task a 0 4 8\n"),  // invalid task
+               std::invalid_argument);
+}
+
+TEST(Io, RoundTripPreservesTasks) {
+  const TaskSet original = testing::set_of(
+      {testing::tk(1, 4, 8), testing::tk(2, 6, 12), testing::tk(3, 20, 24)});
+  const TaskSet reparsed = parse_task_set(format_task_set(original));
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(Io, RoundTripPreservesInfAndJitter) {
+  Task a = testing::tk(1, 10, kTimeInfinity);
+  Task b = testing::tk(2, 9, 20);
+  b.jitter = 3;
+  const TaskSet original({a, b});
+  const TaskSet reparsed = parse_task_set(format_task_set(original));
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "edfkit_io_test.txt";
+  const TaskSet original =
+      testing::set_of({testing::tk(5, 40, 50), testing::tk(8, 80, 100)});
+  save_task_set(path, original);
+  const TaskSet loaded = load_task_set(path);
+  EXPECT_EQ(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW((void)load_task_set("/no/such/file.txt"), std::runtime_error);
+}
+
+TEST(Io, UnnamedTasksGetGeneratedNamesOnWrite) {
+  const TaskSet ts = testing::set_of({testing::tk(1, 2, 3)});
+  const std::string text = format_task_set(ts);
+  EXPECT_NE(text.find("task t0 1 2 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edfkit

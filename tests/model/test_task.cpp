@@ -1,0 +1,95 @@
+#include "model/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edfkit {
+namespace {
+
+TEST(Task, FactoryValidates) {
+  const Task t = make_task(2, 8, 10, "x");
+  EXPECT_EQ(t.wcet, 2);
+  EXPECT_EQ(t.deadline, 8);
+  EXPECT_EQ(t.period, 10);
+  EXPECT_EQ(t.name, "x");
+  EXPECT_THROW((void)make_task(0, 8, 10), std::invalid_argument);
+  EXPECT_THROW((void)make_task(2, 0, 10), std::invalid_argument);
+  EXPECT_THROW((void)make_task(2, 8, 0), std::invalid_argument);
+}
+
+TEST(Task, ImplicitFactory) {
+  const Task t = make_implicit_task(3, 12);
+  EXPECT_EQ(t.deadline, t.period);
+}
+
+TEST(Task, JitterShrinksEffectiveDeadline) {
+  Task t = make_task(2, 10, 20);
+  EXPECT_EQ(t.effective_deadline(), 10);
+  t.jitter = 3;
+  EXPECT_EQ(t.effective_deadline(), 7);
+  t.jitter = 10;  // J >= D is invalid
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Task, UtilizationExact) {
+  const Task t = make_task(3, 10, 12);
+  EXPECT_EQ(t.utilization().to_string(), "1/4");
+  EXPECT_DOUBLE_EQ(t.utilization_double(), 0.25);
+}
+
+TEST(Task, OneShotUtilizationIsZero) {
+  Task t = make_task(5, 10, kTimeInfinity);
+  EXPECT_TRUE(t.utilization().is_zero());
+}
+
+TEST(Task, JobDeadlines) {
+  const Task t = make_task(1, 7, 10);
+  EXPECT_EQ(t.job_deadline(0), 7);
+  EXPECT_EQ(t.job_deadline(1), 17);
+  EXPECT_EQ(t.job_deadline(5), 57);
+}
+
+TEST(Task, NextDeadlineAfterIsStrictSuccessor) {
+  const Task t = make_task(1, 7, 10);
+  EXPECT_EQ(t.next_deadline_after(0), 7);
+  EXPECT_EQ(t.next_deadline_after(6), 7);
+  EXPECT_EQ(t.next_deadline_after(7), 17);   // strictly greater
+  EXPECT_EQ(t.next_deadline_after(16), 17);
+  EXPECT_EQ(t.next_deadline_after(17), 27);
+  EXPECT_EQ(t.next_deadline_after(1000), 1007);
+}
+
+TEST(Task, NextDeadlineAfterEnumeratesAllDeadlines) {
+  const Task t = make_task(2, 13, 9);  // D > T is legal
+  Time point = -1;
+  for (Time k = 0; k < 50; ++k) {
+    point = t.next_deadline_after(point);
+    EXPECT_EQ(point, t.job_deadline(k));
+  }
+}
+
+TEST(Task, JobsWithDeadlineWithin) {
+  const Task t = make_task(1, 7, 10);
+  EXPECT_EQ(t.jobs_with_deadline_within(6), -1);
+  EXPECT_EQ(t.jobs_with_deadline_within(7), 0);
+  EXPECT_EQ(t.jobs_with_deadline_within(16), 0);
+  EXPECT_EQ(t.jobs_with_deadline_within(17), 1);
+  EXPECT_EQ(t.jobs_with_deadline_within(107), 10);
+}
+
+TEST(Task, ToStringFormats) {
+  EXPECT_EQ(make_task(1, 2, 3, "a").to_string(), "a(C=1,D=2,T=3)");
+  EXPECT_EQ(make_task(1, 2, kTimeInfinity).to_string(), "task(C=1,D=2,T=inf)");
+  Task j = make_task(1, 5, 9, "j");
+  j.jitter = 2;
+  EXPECT_EQ(j.to_string(), "j(C=1,D=5,T=9,J=2)");
+}
+
+TEST(Task, EqualityIgnoresName) {
+  const Task a = make_task(1, 2, 3, "a");
+  const Task b = make_task(1, 2, 3, "b");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == make_task(1, 2, 4));
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,98 @@
+#include "rtc/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "demand/dbf.hpp"
+#include "util/random.hpp"
+
+namespace edfkit::rtc {
+namespace {
+
+using edfkit::testing::tk;
+
+TEST(Arrival, PeriodicCurveDominatesDbf) {
+  const Task t = tk(3, 8, 10);
+  const ConcaveCurve c = rtc_demand_periodic(t);
+  for (Time i = 0; i <= 300; ++i) {
+    EXPECT_GE(c.eval(static_cast<double>(i)) + 1e-9,
+              static_cast<double>(dbf(t, i)))
+        << "interval " << i;
+  }
+}
+
+TEST(Arrival, DeviEnvelopeDominatesDbfAndIsTighterThanRtc) {
+  const Task t = tk(3, 8, 10);
+  const ConcaveCurve devi = devi_demand_envelope(t);
+  const ConcaveCurve rtc = rtc_demand_periodic(t);
+  for (Time i = 0; i <= 300; i += 2) {
+    const double x = static_cast<double>(i);
+    EXPECT_GE(devi.eval(x) + 1e-9, static_cast<double>(dbf(t, i)));
+    // §3.6: the RTC approximation is "a bit worse" — by C*D/T.
+    EXPECT_NEAR(rtc.eval(x) - devi.eval(x),
+                3.0 * 8.0 / 10.0, 1e-9);
+  }
+}
+
+TEST(Arrival, OneShotCurvesAreFlat) {
+  const Task t = tk(4, 9, kTimeInfinity);
+  EXPECT_DOUBLE_EQ(rtc_demand_periodic(t).eval(1000.0), 4.0);
+  EXPECT_DOUBLE_EQ(devi_demand_envelope(t).eval(1000.0), 4.0);
+}
+
+TEST(Arrival, BurstyCurveValidation) {
+  EXPECT_THROW((void)rtc_demand_bursty(100, 0, 5, 2, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)rtc_demand_bursty(100, 3, 0, 2, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)rtc_demand_bursty(100, 30, 5, 2, 10),
+               std::invalid_argument);
+}
+
+TEST(Arrival, BurstyCurveDominatesStreamDemand) {
+  const Time period = 200, blen = 4, gap = 5, c = 8, d = 40;
+  const ConcaveCurve curve = rtc_demand_bursty(period, blen, gap, c, d);
+  EventStreamTask et{EventStream::bursty(period, blen, gap), c, d, "b"};
+  for (Time i = 0; i <= 1000; ++i) {
+    EXPECT_GE(curve.eval(static_cast<double>(i)) + 1e-9,
+              static_cast<double>(et.dbf(i)))
+        << "interval " << i;
+  }
+}
+
+TEST(Arrival, BurstLineActiveNearOriginRateLineFar) {
+  const ConcaveCurve curve = rtc_demand_bursty(1000, 5, 10, 2, 50);
+  // Near 0 the burst line (slope C/gap = 0.2) governs; far out the rate
+  // line (slope 5*2/1000 = 0.01) governs.
+  EXPECT_NEAR(curve.eval(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(curve.eval(10'000.0), 10.0 + 0.01 * 10'000.0, 1e-9);
+}
+
+/// Property: both approximations stay above the exact staircase on
+/// random tasks — the soundness requirement for any sufficient test
+/// built from them.
+class EnvelopeDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvelopeDominance, CurvesUpperBoundDbf) {
+  Rng rng(GetParam());
+  for (int rep = 0; rep < 20; ++rep) {
+    const Time period = rng.uniform_time(5, 500);
+    const Time wcet = rng.uniform_time(1, period);
+    const Time deadline = rng.uniform_time(wcet, period);
+    const Task t = tk(wcet, deadline, period);
+    const ConcaveCurve rtc = rtc_demand_periodic(t);
+    const ConcaveCurve devi = devi_demand_envelope(t);
+    for (Time i = 0; i <= 4 * period; i += std::max<Time>(1, period / 7)) {
+      const double x = static_cast<double>(i);
+      EXPECT_GE(rtc.eval(x) + 1e-9, static_cast<double>(dbf(t, i)));
+      EXPECT_GE(devi.eval(x) + 1e-9, static_cast<double>(dbf(t, i)));
+      EXPECT_GE(rtc.eval(x) + 1e-9, devi.eval(x));  // RTC never tighter
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvelopeDominance,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace edfkit::rtc

@@ -1,0 +1,95 @@
+#include "rtc/curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edfkit::rtc {
+namespace {
+
+TEST(Curve, RejectsEmpty) {
+  EXPECT_THROW(ConcaveCurve(std::vector<AffineLine>{}),
+               std::invalid_argument);
+}
+
+TEST(Curve, EvalIsMinOfLines) {
+  const ConcaveCurve c({{0.0, 2.0}, {10.0, 0.5}});
+  EXPECT_DOUBLE_EQ(c.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.eval(4.0), 8.0);
+  // Crossover at x = 10/1.5 = 6.666...
+  EXPECT_DOUBLE_EQ(c.eval(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.eval(100.0), 60.0);
+}
+
+TEST(Curve, SimplifyDropsDominatedLines) {
+  // The middle line is everywhere above min(l1, l3): it must vanish.
+  const ConcaveCurve c({{0.0, 3.0}, {50.0, 2.0}, {10.0, 1.0}});
+  EXPECT_EQ(c.lines().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.eval(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.eval(20.0), 30.0);
+}
+
+TEST(Curve, SimplifyKeepsSmallestOffsetOnEqualSlopes) {
+  const ConcaveCurve c({{5.0, 1.0}, {3.0, 1.0}});
+  ASSERT_EQ(c.lines().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.lines()[0].offset, 3.0);
+}
+
+TEST(Curve, BreakpointsAtLineIntersections) {
+  const ConcaveCurve c({{0.0, 2.0}, {10.0, 0.5}});
+  const auto bps = c.breakpoints();
+  ASSERT_EQ(bps.size(), 2u);
+  EXPECT_DOUBLE_EQ(bps[0], 0.0);
+  EXPECT_NEAR(bps[1], 10.0 / 1.5, 1e-12);
+}
+
+TEST(Curve, AsymptoticSlopeIsSmallest) {
+  const ConcaveCurve c({{0.0, 2.0}, {10.0, 0.5}});
+  EXPECT_DOUBLE_EQ(c.asymptotic_slope(), 0.5);
+}
+
+TEST(CurveSum, EvalAndSlopeAdd) {
+  CurveSum sum;
+  sum.add(ConcaveCurve({{1.0, 0.25}}));
+  sum.add(ConcaveCurve({{2.0, 0.5}}));
+  EXPECT_DOUBLE_EQ(sum.eval(4.0), (1.0 + 1.0) + (2.0 + 2.0));
+  EXPECT_DOUBLE_EQ(sum.asymptotic_slope(), 0.75);
+}
+
+TEST(CurveSum, BelowCapacityLineDecidesCorrectly) {
+  // Demand 0.5 + 0.25*I: below I for I > 2/3... fails near 0 though:
+  // at I=0 the demand 0.5 > 0 -> not below the line.
+  CurveSum heavy;
+  heavy.add(ConcaveCurve({{0.5, 0.25}}));
+  EXPECT_FALSE(heavy.below_capacity_line());
+
+  // Slope > 1 always fails.
+  CurveSum steep;
+  steep.add(ConcaveCurve({{0.0, 1.5}}));
+  EXPECT_FALSE(steep.below_capacity_line());
+
+  // A line through the origin with slope <= 1 fits.
+  CurveSum ok;
+  ok.add(ConcaveCurve({{0.0, 0.75}}));
+  EXPECT_TRUE(ok.below_capacity_line());
+
+  // Empty sum trivially fits.
+  EXPECT_TRUE(CurveSum{}.below_capacity_line());
+}
+
+TEST(CurveSum, BreakpointsAreUnionDeduplicated) {
+  CurveSum sum;
+  sum.add(ConcaveCurve({{0.0, 2.0}, {10.0, 0.5}}));
+  sum.add(ConcaveCurve({{0.0, 3.0}, {10.0, 1.5}}));  // same x* = 20/3
+  const auto bps = sum.breakpoints();
+  // {0, 6.67} from both (dedup): expect exactly two distinct points.
+  EXPECT_EQ(bps.size(), 2u);
+}
+
+TEST(Curve, ToStringMentionsEveryLine) {
+  const ConcaveCurve c({{1.0, 2.0}, {30.0, 0.25}});
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edfkit::rtc

@@ -1,0 +1,68 @@
+#include "rtc/rtc_feas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "util/random.hpp"
+
+namespace edfkit::rtc {
+namespace {
+
+using edfkit::testing::set_of;
+using edfkit::testing::tk;
+
+TEST(RtcFeas, AcceptsLightLoad) {
+  const TaskSet ts = set_of({tk(1, 8, 10), tk(1, 16, 20)});
+  EXPECT_EQ(rtc_feasibility_test(ts).verdict, Verdict::Feasible);
+  EXPECT_EQ(devi_envelope_test(ts).verdict, Verdict::Feasible);
+}
+
+TEST(RtcFeas, OverloadIsInfeasible) {
+  EXPECT_EQ(rtc_feasibility_test(set_of({tk(9, 8, 8)})).verdict,
+            Verdict::Infeasible);
+}
+
+TEST(RtcFeas, EmptySetFeasible) {
+  EXPECT_EQ(rtc_feasibility_test(TaskSet{}).verdict, Verdict::Feasible);
+}
+
+TEST(RtcFeas, RtcStrictlyWeakerExample) {
+  // Deadline-sensitive set: Devi's envelope (anchored at D) accepts,
+  // the RTC one (anchored at 0) does not.
+  const TaskSet ts = set_of({tk(4, 9, 10), tk(1, 20, 20)});
+  EXPECT_EQ(devi_test(ts).verdict, Verdict::Feasible);
+  EXPECT_EQ(rtc_feasibility_test(ts).verdict, Verdict::Unknown);
+}
+
+/// Paper §3.6 ordering on random workloads:
+///   RTC accepted  =>  Devi-envelope accepted  =>  Devi accepted
+///   and every acceptance is sound against the exact test.
+class RtcOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtcOrdering, AcceptanceChain) {
+  Rng rng(GetParam() + 7);
+  for (int i = 0; i < 40; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.4, 1.0));
+    const bool rtc_ok = rtc_feasibility_test(ts).feasible();
+    const bool devi_env_ok = devi_envelope_test(ts).feasible();
+    const bool devi_ok = devi_test(ts).feasible();
+    if (rtc_ok) {
+      EXPECT_TRUE(devi_env_ok) << ts.to_string();
+    }
+    if (devi_env_ok) {
+      EXPECT_TRUE(devi_ok) << ts.to_string();
+    }
+    if (rtc_ok || devi_env_ok) {
+      EXPECT_EQ(processor_demand_test(ts).verdict, Verdict::Feasible)
+          << ts.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtcOrdering,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace edfkit::rtc

@@ -1,0 +1,82 @@
+#include "sim/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "analysis/processor_demand.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(Oracle, KnownVerdicts) {
+  EXPECT_EQ(simulate_feasibility(set_of({tk(2, 6, 8), tk(3, 10, 12)}))
+                .verdict,
+            Verdict::Feasible);
+  const FeasibilityResult bad =
+      simulate_feasibility(set_of({tk(3, 4, 8), tk(5, 10, 12),
+                                   tk(5, 16, 24)}));
+  EXPECT_EQ(bad.verdict, Verdict::Infeasible);
+  EXPECT_EQ(bad.witness, 22);
+}
+
+TEST(Oracle, RefusesIntractableHorizon) {
+  const TaskSet ts = set_of({tk(1, 999'999'937, 999'999'937),
+                             tk(1, 999'999'893, 999'999'893)});
+  OracleConfig cfg;
+  cfg.max_horizon = 1'000'000;
+  EXPECT_EQ(simulate_feasibility(ts, cfg).verdict, Verdict::Unknown);
+}
+
+TEST(Oracle, OverloadShortCircuits) {
+  EXPECT_EQ(simulate_feasibility(set_of({tk(9, 8, 8)})).verdict,
+            Verdict::Infeasible);
+}
+
+/// THE cross-validation: an execution-based oracle and the analytical
+/// demand-bound tests decide feasibility through entirely different
+/// mechanisms; they must agree on every simulable workload.
+class OracleAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleAgreement, SimulationMatchesAnalysis) {
+  Rng rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 30; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.5, 1.05));
+    const FeasibilityResult oracle = simulate_feasibility(ts);
+    if (oracle.verdict == Verdict::Unknown) continue;  // horizon refused
+    const FeasibilityResult pd = processor_demand_test(ts);
+    const FeasibilityResult dyn = dynamic_error_test(ts);
+    const FeasibilityResult aa = all_approx_test(ts);
+    EXPECT_EQ(oracle.verdict, pd.verdict) << ts.to_string();
+    EXPECT_EQ(oracle.verdict, dyn.verdict) << ts.to_string();
+    EXPECT_EQ(oracle.verdict, aa.verdict) << ts.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleAgreement,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(Oracle, FirstMissMatchesDemandWitnessOnInfeasibleSets) {
+  // EDF misses a deadline at the first interval where demand exceeds
+  // capacity; both sides must report the same instant.
+  Rng rng(404);
+  int found = 0;
+  for (int i = 0; i < 80 && found < 10; ++i) {
+    const TaskSet ts = draw_small_set(rng, rng.uniform(0.92, 1.05));
+    const FeasibilityResult oracle = simulate_feasibility(ts);
+    if (oracle.verdict != Verdict::Infeasible) continue;
+    const FeasibilityResult pd = processor_demand_test(ts);
+    ASSERT_EQ(pd.verdict, Verdict::Infeasible) << ts.to_string();
+    EXPECT_EQ(oracle.witness, pd.witness) << ts.to_string();
+    ++found;
+  }
+  EXPECT_GT(found, 0);
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,85 @@
+#include "util/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(FixedPoint, ScaleFractionBracketsTrueValue) {
+  // 1/3 * S is not an integer: lo < hi and both within one unit.
+  const ScaledPair p = scale_fraction(1, 3);
+  EXPECT_EQ(p.hi - p.lo, 1);
+  // 1/2 * S is exact.
+  const ScaledPair q = scale_fraction(1, 2);
+  EXPECT_EQ(q.lo, q.hi);
+  EXPECT_EQ(q.lo, kFixedPointScale / 2);
+}
+
+TEST(FixedPoint, ScaleIntegerIsExact) {
+  const ScaledPair p = scale_integer(7);
+  EXPECT_EQ(p.lo, p.hi);
+  EXPECT_EQ(p.lo, 7 * kFixedPointScale);
+}
+
+TEST(FixedPoint, CompareScaledDecidesClearCases) {
+  // 3/2 vs threshold 1: certainly greater.
+  EXPECT_EQ(compare_scaled(scale_fraction(3, 2), 1), ScaledCompare::Greater);
+  // 1/2 vs 1: certainly <=.
+  EXPECT_EQ(compare_scaled(scale_fraction(1, 2), 1),
+            ScaledCompare::LessOrEqual);
+  // Exactly 1 vs 1: <= (integral, no rounding).
+  EXPECT_EQ(compare_scaled(scale_integer(1), 1), ScaledCompare::LessOrEqual);
+}
+
+TEST(FixedPoint, AmbiguityOnlyAtHairlineMargins) {
+  // A pair straddling the threshold by construction.
+  ScaledPair p = scale_fraction(1, 3);  // ~0.333*S, width 1
+  p.lo = kFixedPointScale - 1;
+  p.hi = kFixedPointScale + 1;
+  EXPECT_EQ(compare_scaled(p, 1), ScaledCompare::Ambiguous);
+}
+
+TEST(FixedPoint, IntervalSubtractionSwapsEndpoints) {
+  ScaledPair a = scale_fraction(5, 3);
+  const ScaledPair b = scale_fraction(1, 3);
+  a -= b;
+  // True value 4/3: bounds must bracket it.
+  const Int128 truth_lo = (4 * kFixedPointScale) / 3;
+  EXPECT_LE(a.lo, truth_lo);
+  EXPECT_GE(a.hi, truth_lo + 1);
+  EXPECT_LE(a.hi - a.lo, 2);  // width grows by one unit per op
+}
+
+/// Property: sums of random fractions stay bracketed within n units.
+class FixedPointSumTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedPointSumTest, SumBracketsLongDoubleReference) {
+  Rng rng(GetParam());
+  ScaledPair sum;
+  long double ref = 0.0L;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const Time num = rng.uniform_time(0, 1'000'000);
+    const Time den = rng.uniform_time(1, 1'000'000);
+    sum += scale_fraction(num, den);
+    ref += static_cast<long double>(num) / static_cast<long double>(den);
+  }
+  // The long double reference itself carries ~2^-63 relative error, so
+  // compare at double precision with a relative band; the certified
+  // width bound is the exact property.
+  const long double lo_val =
+      static_cast<long double>(sum.lo) /
+      static_cast<long double>(kFixedPointScale);
+  const long double band = ref * 1e-12L + 1e-9L;
+  EXPECT_LE(lo_val, ref + band);
+  EXPECT_GE(lo_val, ref - band);
+  EXPECT_LE(sum.hi - sum.lo, n);  // each term widens by at most 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedPointSumTest,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace edfkit

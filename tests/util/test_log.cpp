@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edfkit {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(before);
+}
+
+TEST(Log, EmitBelowThresholdIsSilentAndSafe) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  // Should be filtered; mostly asserts no crash/interleaving issues.
+  EDFKIT_LOG(Debug) << "invisible " << 42;
+  EDFKIT_LOG(Info) << "also invisible";
+  set_log_level(before);
+}
+
+TEST(Log, StreamingComposesTypes) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);  // keep test output clean
+  EDFKIT_LOG(Warn) << "x=" << 1 << " y=" << 2.5 << " z=" << "s";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace edfkit

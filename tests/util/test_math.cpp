@@ -1,0 +1,103 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace edfkit {
+namespace {
+
+TEST(Math, FloorDivMatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(8, 2), 4);
+  EXPECT_EQ(floor_div(-1, 2), -1);
+  EXPECT_EQ(floor_div(-4, 2), -2);
+  EXPECT_EQ(floor_div(-7, 3), -3);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(Math, CeilDivMatchesMathematicalCeil) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(-1, 2), 0);
+  EXPECT_EQ(ceil_div(-7, 3), -2);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(Math, FloorCeilConsistency) {
+  for (Time n = -50; n <= 50; ++n) {
+    for (Time d = 1; d <= 7; ++d) {
+      EXPECT_LE(floor_div(n, d) * d, n);
+      EXPECT_GT((floor_div(n, d) + 1) * d, n);
+      EXPECT_GE(ceil_div(n, d) * d, n);
+      EXPECT_LT((ceil_div(n, d) - 1) * d, n);
+      EXPECT_EQ(floor_mod(n, d), n - floor_div(n, d) * d);
+      EXPECT_GE(floor_mod(n, d), 0);
+      EXPECT_LT(floor_mod(n, d), d);
+    }
+  }
+}
+
+TEST(Math, GcdBasics) {
+  EXPECT_EQ(gcd_time(12, 18), 6);
+  EXPECT_EQ(gcd_time(18, 12), 6);
+  EXPECT_EQ(gcd_time(7, 13), 1);
+  EXPECT_EQ(gcd_time(0, 9), 9);
+  EXPECT_EQ(gcd_time(9, 0), 9);
+}
+
+TEST(Math, LcmSaturates) {
+  EXPECT_EQ(lcm_saturating(4, 6), 12);
+  EXPECT_EQ(lcm_saturating(0, 6), 0);
+  const Time big = kTimeInfinity - 1;
+  EXPECT_EQ(lcm_saturating(big, big - 1), kTimeInfinity);
+  EXPECT_EQ(lcm_saturating(kTimeInfinity, 2), kTimeInfinity);
+}
+
+TEST(Math, AddSaturates) {
+  EXPECT_EQ(add_saturating(2, 3), 5);
+  EXPECT_EQ(add_saturating(kTimeInfinity, 1), kTimeInfinity);
+  EXPECT_EQ(add_saturating(kTimeInfinity, kTimeInfinity), kTimeInfinity);
+  EXPECT_TRUE(is_time_infinite(add_saturating(kTimeInfinity - 1, 5)));
+}
+
+TEST(Math, MulSaturates) {
+  EXPECT_EQ(mul_saturating(6, 7), 42);
+  EXPECT_EQ(mul_saturating(0, kTimeInfinity), 0);
+  EXPECT_EQ(mul_saturating(kTimeInfinity, 2), kTimeInfinity);
+  EXPECT_EQ(mul_saturating(1'000'000'000, 10'000'000'000), kTimeInfinity);
+}
+
+TEST(Math, MulWideNeverOverflows) {
+  const Time m = std::numeric_limits<Time>::max();
+  const Int128 p = mul_wide(m, m);
+  EXPECT_GT(p, 0);
+  EXPECT_EQ(int128_to_string(mul_wide(3, -4)), "-12");
+}
+
+TEST(Math, NarrowTimeThrowsOutOfRange) {
+  EXPECT_EQ(narrow_time(Int128{42}), 42);
+  EXPECT_EQ(narrow_time(Int128{-42}), -42);
+  const Int128 too_big = mul_wide(std::numeric_limits<Time>::max(), 2);
+  EXPECT_THROW((void)narrow_time(too_big), std::overflow_error);
+}
+
+TEST(Math, Int128ToString) {
+  EXPECT_EQ(int128_to_string(0), "0");
+  EXPECT_EQ(int128_to_string(123456789), "123456789");
+  EXPECT_EQ(int128_to_string(-987), "-987");
+  // 2^100 computed independently.
+  Int128 v = 1;
+  for (int i = 0; i < 100; ++i) v *= 2;
+  EXPECT_EQ(int128_to_string(v), "1267650600228229401496703205376");
+}
+
+TEST(Math, RoundToTimeClampsAndRounds) {
+  EXPECT_EQ(round_to_time(3.4, 0, 100), 3);
+  EXPECT_EQ(round_to_time(3.5, 0, 100), 4);  // nearbyint: banker's or half-up
+  EXPECT_EQ(round_to_time(-5.0, 1, 100), 1);
+  EXPECT_EQ(round_to_time(1e30, 1, 100), 100);
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -1,0 +1,95 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace edfkit {
+namespace {
+
+TEST(Random, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_time(0, 1'000'000), b.uniform_time(0, 1'000'000));
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.uniform_time(0, 1'000'000) == b.uniform_time(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Random, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+    const Time t = rng.uniform_time(10, 20);
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 20);
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Random, UniformTimeCoversRange) {
+  Rng rng(9);
+  std::set<Time> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_time(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, LogUniformRespectsBoundsAndSkews) {
+  Rng rng(13);
+  int low_half = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Time t = rng.log_uniform_time(10, 100'000);
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 100'000);
+    if (t < 1000) ++low_half;  // geometric midpoint of [10, 1e5] is 1e3
+  }
+  // Log-uniform puts about half the mass below the geometric midpoint;
+  // plain uniform would put only ~1 %.
+  EXPECT_GT(low_half, n / 3);
+  EXPECT_LT(low_half, 2 * n / 3);
+}
+
+TEST(Random, LogUniformDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.log_uniform_time(42, 42), 42);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Random, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.fork();
+  // The child does not replay the parent's stream.
+  Rng b(77);
+  (void)b.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.uniform_time(0, 1'000'000) == a.uniform_time(0, 1'000'000))
+      ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace edfkit

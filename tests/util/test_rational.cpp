@@ -1,0 +1,138 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace edfkit {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.exact());
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.to_string(), "0");
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.to_string(), "-3/2");
+  EXPECT_TRUE(r.is_negative());
+  Rational s(-6, -4);
+  EXPECT_EQ(s.to_string(), "3/2");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+}
+
+TEST(Rational, CompareExact) {
+  EXPECT_EQ(Rational(1, 3).compare(Rational(1, 2)), Ordering::Less);
+  EXPECT_EQ(Rational(2, 4).compare(Rational(1, 2)), Ordering::Equal);
+  EXPECT_EQ(Rational(5, 3).compare(Time{1}), Ordering::Greater);
+  EXPECT_TRUE(Rational(7, 7).certainly_le(Time{1}));
+  EXPECT_FALSE(Rational(8, 7).certainly_le(Time{1}));
+  EXPECT_TRUE(Rational(8, 7).certainly_gt(Time{1}));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(Time{5}).floor(), 5);
+  EXPECT_EQ(Rational(Time{5}).ceil(), 5);
+}
+
+TEST(Rational, SumOfManySmallFractionsStaysExact) {
+  // Denominators share factors: the running denominator stays small.
+  Rational sum;
+  for (Time d = 1; d <= 64; ++d) sum += Rational(1, 1 << (d % 16));
+  EXPECT_TRUE(sum.exact());
+}
+
+TEST(Rational, OverflowDegradesStickily) {
+  // Large co-prime denominators blow past the int128 guard.
+  Rng rng(5);
+  Rational sum;
+  bool degraded = false;
+  for (int i = 0; i < 200 && !degraded; ++i) {
+    sum += Rational(1, rng.uniform_time(1'000'000'000, 2'000'000'000));
+    degraded = !sum.exact();
+  }
+  ASSERT_TRUE(degraded) << "expected eventual degradation";
+  // Once inexact, stays inexact, and comparisons refuse to answer.
+  sum += Rational(1, 2);
+  EXPECT_FALSE(sum.exact());
+  EXPECT_EQ(sum.compare(Time{1}), Ordering::Unknown);
+  EXPECT_FALSE(sum.certainly_le(Time{1'000'000}));
+  EXPECT_FALSE(sum.certainly_gt(Time{0}));
+  // The double shadow remains plausible (between 0 and 200).
+  EXPECT_GT(sum.to_double(), 0.0);
+  EXPECT_LT(sum.to_double(), 200.0);
+}
+
+TEST(Rational, InexactConstructor) {
+  const Rational r = Rational::inexact(2.5);
+  EXPECT_FALSE(r.exact());
+  EXPECT_DOUBLE_EQ(r.to_double(), 2.5);
+  EXPECT_THROW((void)r.floor(), std::logic_error);
+}
+
+TEST(Rational, DoubleShadowTracksExactValue) {
+  Rng rng(11);
+  Rational sum;
+  double shadow = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const Time num = rng.uniform_time(1, 100);
+    const Time den = rng.uniform_time(1, 50);
+    sum += Rational(num, den);
+    shadow += static_cast<double>(num) / static_cast<double>(den);
+  }
+  ASSERT_TRUE(sum.exact());
+  EXPECT_NEAR(sum.to_double(), shadow, 1e-9);
+}
+
+/// Property sweep: rational arithmetic against double arithmetic.
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, MatchesDoubleWithinTolerance) {
+  Rng rng(GetParam());
+  Rational acc(1, 1);
+  double ref = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    const Time num = rng.uniform_time(1, 1000);
+    const Time den = rng.uniform_time(1, 64);  // small denominators: exact
+    const int op = rng.uniform_int(0, 2);
+    const Rational x(num, den);
+    const double xd = static_cast<double>(num) / static_cast<double>(den);
+    switch (op) {
+      case 0: acc += x; ref += xd; break;
+      case 1: acc -= x; ref -= xd; break;
+      default:
+        // Multiply by num/(num+1) (< 1) to keep magnitudes bounded.
+        acc *= Rational(num, num + 1);
+        ref *= static_cast<double>(num) / static_cast<double>(num + 1);
+        break;
+    }
+    if (!acc.exact()) return;  // degradation is allowed, not asserted here
+  }
+  if (acc.exact()) {
+    EXPECT_NEAR(acc.to_double(), ref, std::abs(ref) * 1e-6 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace edfkit
