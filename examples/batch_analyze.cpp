@@ -6,7 +6,15 @@
 ///
 ///   ./batch_analyze set1.txt set2.txt ...
 ///       [--tests devi,dynamic,all-approx,processor-demand,qpa]
+///       [--ladder] [--epsilon 0.25] [--fallback qpa]
 ///       [--csv out.csv] [--quiet]
+///
+/// `--ladder` selects exactly the tests the online AdmissionController
+/// escalates through (utilization bound -> epsilon-approximate ->
+/// exact fallback; see src/admission/controller.hpp), so an offline
+/// batch previews which rung would settle each set at admission time.
+/// `--epsilon` tunes the approximate rung and `--fallback` names the
+/// exact rung (any exact test kind).
 ///
 /// Without file arguments it demonstrates on the built-in literature
 /// sets (paper Table 1).
@@ -17,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "admission/controller.hpp"
 #include "core/batch.hpp"
 #include "lit/literature.hpp"
 #include "util/cli.hpp"
@@ -55,6 +64,25 @@ int main(int argc, char** argv) {
     BatchConfig cfg;
     if (flags.has("tests")) {
       cfg.tests = parse_tests(flags.get("tests", ""));
+    }
+    if (flags.get_bool("ladder", false)) {
+      // Mirror the online admission controller's escalation ladder.
+      AdmissionOptions admission;
+      admission.epsilon = flags.get_double("epsilon", admission.epsilon);
+      if (flags.has("fallback")) {
+        const std::vector<TestKind> kinds =
+            parse_tests(flags.get("fallback", ""));
+        if (kinds.size() != 1 || !is_exact(kinds.front())) {
+          throw std::invalid_argument(
+              "--fallback must name one exact test");
+        }
+        admission.exact_fallback = kinds.front();
+      }
+      cfg.tests = admission_ladder_tests(admission);
+      cfg.options.epsilon = admission.epsilon;
+      std::printf("admission ladder: ");
+      for (const TestKind k : cfg.tests) std::printf("%s ", to_string(k));
+      std::printf("(epsilon=%.3f)\n\n", admission.epsilon);
     }
 
     BatchReport report;

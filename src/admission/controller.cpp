@@ -1,0 +1,173 @@
+#include "admission/controller.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+const char* to_string(AdmissionRung r) noexcept {
+  switch (r) {
+    case AdmissionRung::Structural: return "structural";
+    case AdmissionRung::Utilization: return "utilization";
+    case AdmissionRung::Approximate: return "approximate";
+    case AdmissionRung::Exact: return "exact";
+  }
+  return "?";
+}
+
+std::string AdmissionDecision::to_string() const {
+  std::ostringstream os;
+  os << "#" << sequence << " " << (admitted ? "admit" : "reject") << " via "
+     << edfkit::to_string(rung) << " (" << edfkit::to_string(analysis.verdict)
+     << ", effort=" << analysis.effort() << ")";
+  return os.str();
+}
+
+std::string AdmissionStats::to_string() const {
+  std::ostringstream os;
+  os << "arrivals=" << arrivals << " admitted=" << admitted
+     << " rejected=" << rejected << " removals=" << removals
+     << " effort=" << total_effort << " rungs[";
+  for (std::size_t i = 0; i < by_rung.size(); ++i) {
+    if (i != 0) os << " ";
+    os << edfkit::to_string(static_cast<AdmissionRung>(i)) << "="
+       << by_rung[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions opts)
+    : opts_(opts), demand_(opts.epsilon) {
+  if (!opts_.skip_exact && !is_exact(opts_.exact_fallback)) {
+    throw std::invalid_argument(
+        "AdmissionController: exact_fallback must be an exact test kind");
+  }
+}
+
+AdmissionDecision AdmissionController::try_admit(const Task& t) {
+  t.validate();
+  AdmissionDecision d;
+  d.sequence = ++sequence_;
+  ++stats_.arrivals;
+
+  const auto settle = [&](bool admitted, AdmissionRung rung) {
+    d.admitted = admitted;
+    d.rung = rung;
+    ++(admitted ? stats_.admitted : stats_.rejected);
+    ++stats_.by_rung[static_cast<std::size_t>(rung)];
+    stats_.total_effort += d.analysis.effort();
+    return d;
+  };
+
+  // Policy gates: no analysis, verdict stays Unknown.
+  if (opts_.max_tasks != 0 && demand_.size() >= opts_.max_tasks) {
+    return settle(false, AdmissionRung::Structural);
+  }
+  if (opts_.utilization_cap < 1.0 &&
+      demand_.utilization_double() + t.utilization_double() >
+          opts_.utilization_cap) {
+    return settle(false, AdmissionRung::Structural);
+  }
+
+  // Rung 1: exact utilization classification of the widened set, O(1)
+  // and mutation-free — saturation rejects touch no demand state at all.
+  d.analysis.iterations = 1;
+  const UtilizationClass uc = demand_.utilization_class_with(t);
+  if (uc == UtilizationClass::AboveOne) {
+    d.analysis.verdict = Verdict::Infeasible;
+    return settle(false, AdmissionRung::Utilization);
+  }
+  d.analysis.degraded = (uc == UtilizationClass::Marginal);
+  if (uc != UtilizationClass::Marginal &&
+      demand_.constrained_tasks() == 0 &&
+      t.effective_deadline() >= t.period) {
+    // Every deadline (candidate included) is at least its period:
+    // U <= 1 is exact (EDF optimality, cf. liu_layland_test).
+    d.admitted = true;
+    d.id = demand_.add(t);
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Utilization);
+  }
+
+  // Rung 2 fast path: the slack certificate from the last scan proves
+  // the arrival's density fits — O(1), no scan.
+  if (demand_.certificate_covers(t)) {
+    d.admitted = true;
+    d.id = demand_.add(t);
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Approximate);
+  }
+
+  // Rung 2: epsilon-approximate demand scan, O(n*k). Tentatively widen
+  // the incremental state; every update is exact-inverse, so a
+  // rejecting rung restores it by removal.
+  const TaskId id = demand_.add(t);
+  const DemandCheck c = demand_.check();
+  d.analysis.iterations += c.iterations;
+  d.analysis.revisions += c.revisions;
+  d.analysis.max_interval_tested = c.max_interval_tested;
+  d.analysis.degraded = d.analysis.degraded || c.degraded;
+  if (c.fits) {
+    d.admitted = true;
+    d.id = id;
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Approximate);
+  }
+  // The hybrid path found exact dbf(w) > w: a full infeasibility proof
+  // with no exact-test escalation.
+  if (c.overflow_proof) {
+    demand_.remove(id);
+    d.analysis.witness = c.witness;
+    d.analysis.verdict = Verdict::Infeasible;
+    return settle(false, AdmissionRung::Approximate);
+  }
+  if (opts_.skip_exact) {
+    demand_.remove(id);
+    d.analysis.witness = c.witness;
+    d.analysis.verdict = Verdict::Unknown;  // no infeasibility proof
+    return settle(false, AdmissionRung::Approximate);
+  }
+
+  // Rung 3: exact fallback over a materialized snapshot (includes the
+  // candidate) — the only from-scratch rung, for borderline sets.
+  const FeasibilityResult exact =
+      run_test(demand_.snapshot(), opts_.exact_fallback, opts_.analyzer);
+  d.analysis.verdict = exact.verdict;
+  d.analysis.iterations += exact.iterations;
+  d.analysis.revisions += exact.revisions;
+  d.analysis.witness = exact.witness;
+  d.analysis.max_interval_tested =
+      std::max(d.analysis.max_interval_tested, exact.max_interval_tested);
+  d.analysis.degraded = d.analysis.degraded || exact.degraded;
+  if (exact.feasible()) {
+    d.admitted = true;
+    d.id = id;
+    return settle(true, AdmissionRung::Exact);
+  }
+  demand_.remove(id);
+  return settle(false, AdmissionRung::Exact);
+}
+
+bool AdmissionController::remove(TaskId id) {
+  if (!demand_.remove(id)) return false;
+  ++stats_.removals;
+  return true;
+}
+
+const Task* AdmissionController::find(TaskId id) const noexcept {
+  return demand_.find(id);
+}
+
+FeasibilityResult AdmissionController::analyze_resident(TestKind kind) const {
+  return run_test(demand_.snapshot(), kind, opts_.analyzer);
+}
+
+std::vector<TestKind> admission_ladder_tests(const AdmissionOptions& opts) {
+  std::vector<TestKind> kinds = {TestKind::LiuLayland, TestKind::Chakraborty};
+  if (!opts.skip_exact) kinds.push_back(opts.exact_fallback);
+  return kinds;
+}
+
+}  // namespace edfkit

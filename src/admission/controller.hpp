@@ -1,0 +1,149 @@
+/// \file controller.hpp
+/// Online admission controller: a long-lived, mutable task-set that
+/// answers admit/remove/query requests through an escalation ladder
+/// instead of a from-scratch analysis per decision.
+///
+/// Ladder (cheapest rung that decides wins):
+///   1. Utilization — O(1) from the incrementally maintained exact
+///      utilization: U > 1 rejects with proof; U <= 1 with no
+///      constrained-deadline resident accepts with proof (EDF
+///      optimality, cf. liu_layland_test).
+///   2. Approximate demand — one O(n*k) checkpoint scan of the
+///      epsilon-approximated dbf' (incremental_dbf.hpp). A pass is a
+///      feasibility proof (sound accept); a fail escalates.
+///   3. Exact fallback — a configurable exact test (QPA by default)
+///      over a materialized snapshot; this is the only rung that pays
+///      from-scratch cost, and only borderline sets reach it.
+///
+/// Removals are free: the demand bound function decreases pointwise and
+/// utilization decreases, so a feasible resident set stays feasible —
+/// the controller's standing invariant. Every decision returns a
+/// FeasibilityResult-compatible instrumentation record.
+///
+/// Not thread-safe; AdmissionEngine provides sharding + locking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "admission/incremental_dbf.hpp"
+#include "core/analyzer.hpp"
+
+namespace edfkit {
+
+/// Which ladder rung produced a decision.
+enum class AdmissionRung : std::uint8_t {
+  Structural,   ///< capacity policy (max_tasks / utilization_cap), no analysis
+  Utilization,  ///< rung 1: exact U-vs-1 classification
+  Approximate,  ///< rung 2: epsilon-approximate demand scan
+  Exact,        ///< rung 3: exact fallback test
+};
+inline constexpr std::size_t kAdmissionRungs = 4;
+
+[[nodiscard]] const char* to_string(AdmissionRung r) noexcept;
+
+struct AdmissionOptions {
+  /// Accuracy of the approximate rung; k = ceil(1/epsilon) checkpoints
+  /// per task. Smaller epsilon accepts more sets without escalating but
+  /// scans more checkpoints. (Refinement deepens individual tasks on
+  /// demand, so the paper's standard 0.25 is a good default.)
+  double epsilon = 0.25;
+  /// Exact test run when the approximate rung cannot accept. Must be a
+  /// kind with is_exact() == true (checked at construction).
+  TestKind exact_fallback = TestKind::Qpa;
+  /// Options forwarded to the fallback test.
+  AnalyzerOptions analyzer;
+  /// Policy headroom: reject arrivals that would push the utilization
+  /// estimate above this value, before any analysis. 1.0 disables.
+  double utilization_cap = 1.0;
+  /// Reject arrivals beyond this resident count. 0 disables.
+  std::size_t max_tasks = 0;
+  /// Skip rung 3 entirely: borderline arrivals are rejected after the
+  /// approximate scan (bounded worst-case decision latency).
+  bool skip_exact = false;
+};
+
+/// One admit/reject decision, instrumented like the offline tests.
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Handle for a later remove(); kInvalidTaskId when rejected.
+  TaskId id = kInvalidTaskId;
+  AdmissionRung rung = AdmissionRung::Structural;
+  /// Verdict semantics: Feasible = proof the widened set is feasible;
+  /// Infeasible = proof it is not; Unknown = rejected by policy or by a
+  /// sufficient rung without an infeasibility proof.
+  FeasibilityResult analysis;
+  /// Monotone per-controller decision counter.
+  std::uint64_t sequence = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Running controller counters.
+struct AdmissionStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t removals = 0;
+  /// Decisions settled per rung (indexed by AdmissionRung).
+  std::array<std::uint64_t, kAdmissionRungs> by_rung{};
+  /// Sum of FeasibilityResult::effort() over all decisions.
+  std::uint64_t total_effort = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class AdmissionController {
+ public:
+  /// \throws std::invalid_argument on non-exact fallback kind or an
+  /// epsilon outside (0, 1].
+  explicit AdmissionController(AdmissionOptions opts = {});
+
+  /// Admit `t` iff the widened resident set is provably EDF-feasible
+  /// (subject to the policy gates). On rejection the resident set is
+  /// unchanged. \throws std::invalid_argument for invalid tasks.
+  [[nodiscard]] AdmissionDecision try_admit(const Task& t);
+
+  /// Withdraw a resident task. Feasibility is preserved by
+  /// monotonicity; O(k log n). \returns false for unknown ids.
+  bool remove(TaskId id);
+
+  [[nodiscard]] const Task* find(TaskId id) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return demand_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return demand_.empty(); }
+  [[nodiscard]] double utilization() const noexcept {
+    return demand_.utilization_double();
+  }
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return opts_;
+  }
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+
+  /// Materialize the resident set. O(n).
+  [[nodiscard]] TaskSet snapshot() const { return demand_.snapshot(); }
+
+  /// From-scratch analysis of the resident set (verification path; the
+  /// standing invariant is that this is Feasible for exact kinds).
+  [[nodiscard]] FeasibilityResult analyze_resident(
+      TestKind kind = TestKind::ProcessorDemand) const;
+
+  /// Verify the incremental aggregates against a from-scratch rebuild.
+  [[nodiscard]] bool verify_consistency() const {
+    return demand_.matches_rebuild();
+  }
+
+ private:
+  AdmissionOptions opts_;
+  IncrementalDemand demand_;
+  AdmissionStats stats_;
+  std::uint64_t sequence_ = 0;
+};
+
+/// The ladder's test selection as analyzer kinds, in escalation order —
+/// feed to BatchConfig::tests to preview offline what the online
+/// controller would run (see examples/batch_analyze.cpp --ladder).
+[[nodiscard]] std::vector<TestKind> admission_ladder_tests(
+    const AdmissionOptions& opts = {});
+
+}  // namespace edfkit

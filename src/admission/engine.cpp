@@ -1,0 +1,198 @@
+#include "admission/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+const char* to_string(PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::FirstFit: return "first-fit";
+    case PlacementPolicy::WorstFit: return "worst-fit";
+    case PlacementPolicy::BestFit: return "best-fit";
+  }
+  return "?";
+}
+
+std::string EngineStats::to_string() const {
+  std::ostringstream os;
+  os << "resident=" << resident << " total-utilization="
+     << total_utilization << "\n" << admission.to_string() << "\nshards:";
+  for (std::size_t i = 0; i < shard_utilization.size(); ++i) {
+    os << " [" << i << "] n=" << shard_resident[i]
+       << " U=" << shard_utilization[i];
+  }
+  return os.str();
+}
+
+AdmissionEngine::AdmissionEngine(EngineOptions opts) : opts_(opts) {
+  if (opts_.shards == 0) {
+    throw std::invalid_argument("AdmissionEngine: shards >= 1 required");
+  }
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(opts_.admission));
+  }
+}
+
+AdmissionEngine::~AdmissionEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::vector<std::uint32_t> AdmissionEngine::placement_order(
+    double candidate_utilization) const {
+  std::vector<std::uint32_t> order(shards_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (opts_.placement == PlacementPolicy::FirstFit) return order;
+
+  std::vector<double> load(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    load[i] = shards_[i]->load.load(std::memory_order_relaxed);
+  }
+  const auto by_load = [&](bool ascending) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return ascending ? load[a] < load[b]
+                                        : load[a] > load[b];
+                     });
+  };
+  if (opts_.placement == PlacementPolicy::WorstFit) {
+    by_load(/*ascending=*/true);
+  } else {
+    // BestFit: most-loaded shard whose estimate still leaves room for
+    // the candidate first; hopeless-looking shards go last (estimates
+    // are only heuristics — the controller still gets the final say).
+    by_load(/*ascending=*/false);
+    std::stable_partition(order.begin(), order.end(), [&](std::uint32_t i) {
+      return load[i] + candidate_utilization <= 1.0;
+    });
+  }
+  return order;
+}
+
+PlacementDecision AdmissionEngine::admit(const Task& t) {
+  PlacementDecision out;
+  for (const std::uint32_t i : placement_order(t.utilization_double())) {
+    Shard& s = *shards_[i];
+    AdmissionDecision d;
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      d = s.controller.try_admit(t);
+      s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+    }
+    ++out.shards_tried;
+    out.rung = d.rung;
+    out.analysis = d.analysis;
+    if (d.admitted) {
+      out.admitted = true;
+      out.id = {i, d.id};
+      return out;
+    }
+  }
+  return out;
+}
+
+bool AdmissionEngine::remove(GlobalTaskId id) {
+  if (!id.valid() || id.shard >= shards_.size()) return false;
+  Shard& s = *shards_[id.shard];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const bool removed = s.controller.remove(id.local);
+  if (removed) {
+    s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+std::future<PlacementDecision> AdmissionEngine::submit(Task t) {
+  std::packaged_task<PlacementDecision()> job(
+      [this, task = std::move(t)] { return admit(task); });
+  std::future<PlacementDecision> fut = job.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      throw std::runtime_error("AdmissionEngine: submit after shutdown");
+    }
+    if (workers_.empty()) {
+      // Lazily spawn the pool: purely synchronous users (admit/remove
+      // only) never pay for parked worker threads.
+      std::size_t n = opts_.workers;
+      if (n == 0) {
+        n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      }
+      workers_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void AdmissionEngine::worker_loop() {
+  for (;;) {
+    std::packaged_task<PlacementDecision()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+double AdmissionEngine::utilization_estimate() const noexcept {
+  double u = 0.0;
+  for (const auto& shard : shards_) {
+    u += shard->load.load(std::memory_order_relaxed);
+  }
+  return u;
+}
+
+EngineStats AdmissionEngine::stats() const {
+  EngineStats out;
+  out.shard_utilization.reserve(shards_.size());
+  out.shard_resident.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    const AdmissionStats& s = shard->controller.stats();
+    out.admission.arrivals += s.arrivals;
+    out.admission.admitted += s.admitted;
+    out.admission.rejected += s.rejected;
+    out.admission.removals += s.removals;
+    out.admission.total_effort += s.total_effort;
+    for (std::size_t r = 0; r < s.by_rung.size(); ++r) {
+      out.admission.by_rung[r] += s.by_rung[r];
+    }
+    out.shard_resident.push_back(shard->controller.size());
+    out.shard_utilization.push_back(shard->controller.utilization());
+    out.resident += shard->controller.size();
+    out.total_utilization += shard->controller.utilization();
+  }
+  return out;
+}
+
+TaskSet AdmissionEngine::shard_snapshot(std::size_t i) const {
+  const Shard& s = *shards_.at(i);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.controller.snapshot();
+}
+
+FeasibilityResult AdmissionEngine::analyze_shard(std::size_t i,
+                                                 TestKind kind) const {
+  const Shard& s = *shards_.at(i);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.controller.analyze_resident(kind);
+}
+
+}  // namespace edfkit

@@ -1,0 +1,150 @@
+/// \file engine.hpp
+/// Sharded multi-processor admission engine.
+///
+/// Partitioned EDF: N shards, each a uniprocessor AdmissionController
+/// behind its own mutex, so concurrent admission streams scale across
+/// cores. An arrival is placed by a heuristic (first-fit / worst-fit /
+/// best-fit over the shards' load estimates) and tried against shards in
+/// that order until one admits it — the classic partitioned test-cascade
+/// (cf. schedcat's partitioned heuristics).
+///
+/// Two entry points:
+///   admit()/remove() — synchronous, thread-safe, callable from any
+///     number of client threads concurrently;
+///   submit() — enqueue onto the engine's worker-thread pool and get a
+///     std::future, for callers that want pipelined decisions.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admission/controller.hpp"
+
+namespace edfkit {
+
+/// Shard-qualified task handle.
+struct GlobalTaskId {
+  std::uint32_t shard = UINT32_MAX;
+  TaskId local = kInvalidTaskId;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return local != kInvalidTaskId;
+  }
+  [[nodiscard]] bool operator==(const GlobalTaskId& o) const noexcept {
+    return shard == o.shard && local == o.local;
+  }
+};
+
+enum class PlacementPolicy : std::uint8_t {
+  FirstFit,  ///< shards in index order (stable packing)
+  WorstFit,  ///< least-loaded shard first (load balancing)
+  BestFit,   ///< most-loaded shard that still fits first (tight packing)
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy p) noexcept;
+
+struct EngineOptions {
+  std::size_t shards = 4;  ///< partitions (processors); >= 1
+  PlacementPolicy placement = PlacementPolicy::FirstFit;
+  AdmissionOptions admission;  ///< per-shard controller options
+  /// Worker threads behind submit(); 0 = hardware_concurrency.
+  std::size_t workers = 0;
+};
+
+/// Outcome of one placement attempt.
+struct PlacementDecision {
+  bool admitted = false;
+  GlobalTaskId id;  ///< valid iff admitted
+  /// Rung that settled the decision on the admitting shard (or on the
+  /// last shard tried when rejected everywhere).
+  AdmissionRung rung = AdmissionRung::Structural;
+  std::uint32_t shards_tried = 0;
+  FeasibilityResult analysis;  ///< from the same shard as `rung`
+};
+
+/// Aggregate snapshot across shards.
+struct EngineStats {
+  AdmissionStats admission;  ///< merged controller counters
+  std::size_t resident = 0;
+  double total_utilization = 0.0;  ///< sum over shards
+  std::vector<double> shard_utilization;
+  std::vector<std::size_t> shard_resident;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class AdmissionEngine {
+ public:
+  /// \throws std::invalid_argument for shards == 0 or bad controller
+  /// options. Worker threads are spawned lazily on the first submit();
+  /// synchronous-only users never pay for a parked pool.
+  explicit AdmissionEngine(EngineOptions opts = {});
+  ~AdmissionEngine();
+
+  AdmissionEngine(const AdmissionEngine&) = delete;
+  AdmissionEngine& operator=(const AdmissionEngine&) = delete;
+
+  /// Place one task; thread-safe. Tries shards in placement order until
+  /// one admits.
+  [[nodiscard]] PlacementDecision admit(const Task& t);
+
+  /// Withdraw a placed task; thread-safe.
+  bool remove(GlobalTaskId id);
+
+  /// Enqueue a placement onto the worker pool.
+  [[nodiscard]] std::future<PlacementDecision> submit(Task t);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  /// Worker threads currently running (0 until the first submit()).
+  [[nodiscard]] std::size_t workers() const {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    return workers_.size();
+  }
+  /// Lock-free sum of the shards' load estimates. May lag concurrent
+  /// mutations slightly — use stats() for a consistent snapshot.
+  [[nodiscard]] double utilization_estimate() const noexcept;
+  /// Consistent aggregate snapshot (locks shards one at a time).
+  [[nodiscard]] EngineStats stats() const;
+  /// Resident snapshot of one shard. \pre i < shards()
+  [[nodiscard]] TaskSet shard_snapshot(std::size_t i) const;
+  /// From-scratch feasibility of one shard's resident set (verification).
+  [[nodiscard]] FeasibilityResult analyze_shard(
+      std::size_t i, TestKind kind = TestKind::ProcessorDemand) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    AdmissionController controller;
+    /// Lock-free load estimate for placement ordering (refreshed after
+    /// every mutation under mu; staleness only affects heuristic order,
+    /// never correctness).
+    std::atomic<double> load{0.0};
+
+    explicit Shard(const AdmissionOptions& opts) : controller(opts) {}
+  };
+
+  [[nodiscard]] std::vector<std::uint32_t> placement_order(
+      double candidate_utilization) const;
+  void worker_loop();
+
+  EngineOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Worker pool (spawned lazily under queue_mu_ by the first submit).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::packaged_task<PlacementDecision()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace edfkit

@@ -1,0 +1,631 @@
+#include "admission/incremental_dbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "demand/approx.hpp"
+#include "demand/dbf.hpp"
+
+namespace edfkit {
+namespace {
+
+constexpr Int128 kS = kFixedPointScale;
+constexpr double kInvS = 1.0 / 4611686018427387904.0;  // 2^-62
+
+/// Per-task certified utilization pair. Matches scaled_utilization_bounds
+/// term-for-term so incremental sums equal the from-scratch bounds.
+ScaledPair task_util_pair(const Task& t) {
+  if (is_time_infinite(t.period)) return {0, 0};
+  return scale_fraction(static_cast<Int128>(t.wcet),
+                        static_cast<Int128>(t.period));
+}
+
+/// Per-task certified pair for u * border = C * border / T.
+ScaledPair task_offset_pair(const Task& t, Time border) {
+  return scale_fraction(static_cast<Int128>(t.wcet) * border,
+                        static_cast<Int128>(t.period));
+}
+
+/// Per-task certified pair for K_t = C * (T - D_eff) / T = C - C*D_eff/T
+/// (a one-shot task's envelope is the constant C, so K_t = C). May be
+/// negative for D_eff > T.
+ScaledPair task_kay_pair(const Task& t) {
+  const Int128 c = static_cast<Int128>(t.wcet) * kS;
+  if (is_time_infinite(t.period)) return {c, c};
+  const ScaledPair f =
+      scale_fraction(static_cast<Int128>(t.wcet) * t.effective_deadline(),
+                     static_cast<Int128>(t.period));
+  return {c - f.hi, c - f.lo};
+}
+
+/// Cheap certified bounds on (num/den)*S via double division: IEEE
+/// relative error is ~2^-52, far inside the 1e-9 safety inflation, and
+/// the certificate only needs *some* valid bound — int128 divmods here
+/// would dominate the per-update cost. \pre num >= 0, den > 0
+Int128 frac_upper(Int128 num, Int128 den) {
+  const double q = static_cast<double>(num) / static_cast<double>(den);
+  return static_cast<Int128>(q * (1.0 + 1e-9) * static_cast<double>(kS)) + 1;
+}
+Int128 frac_lower(Int128 num, Int128 den) {
+  const double q = static_cast<double>(num) / static_cast<double>(den);
+  const Int128 v =
+      static_cast<Int128>(q * (1.0 - 1e-9) * static_cast<double>(kS)) - 1;
+  return v > 0 ? v : 0;
+}
+
+/// S-scaled upper bound on the contribution ratio of t at intervals
+/// >= x: the envelope ratio u + K_t/I is decreasing for K_t >= 0 (its
+/// value at max(x, D_eff)), and at most u for K_t < 0.
+Int128 region_charge(const Task& t, Time x) {
+  const Time from = std::max(x, t.effective_deadline());
+  if (is_time_infinite(t.period)) {
+    // One-shot: constant envelope C, ratio C/I decreasing.
+    return frac_upper(static_cast<Int128>(t.wcet),
+                      static_cast<Int128>(from));
+  }
+  if (t.effective_deadline() > t.period) {
+    return task_util_pair(t).hi;  // K_t < 0: ratio rises toward u
+  }
+  // u + K_t/from == C*(from - D_eff + T) / (T*from) in one division.
+  const Int128 num =
+      static_cast<Int128>(t.wcet) *
+      (static_cast<Int128>(from) - t.effective_deadline() + t.period);
+  const Int128 den =
+      static_cast<Int128>(t.period) * static_cast<Int128>(from);
+  return frac_upper(num, den);
+}
+
+/// S-scaled lower bound on the contribution ratio of t over intervals
+/// in [x, to_excl): both its exact steps and its envelope satisfy
+/// contribution(I) >= max(C, u*(I - D_eff)) for I >= D_eff, whose two
+/// ratio terms are monotone (C/I falls, u*(1 - D_eff/I) rises), so the
+/// region minimum is max(C/to_excl, u*(1 - D_eff/x)). Zero if the
+/// region reaches below D_eff. Used to credit the certificate when t
+/// departs — departures *restore* fast-path headroom.
+Int128 region_credit(const Task& t, Time x, Time to_excl) {
+  const Time d = t.effective_deadline();
+  if (x < d) return 0;
+  Int128 credit = 0;
+  if (!is_time_infinite(to_excl)) {
+    credit = frac_lower(static_cast<Int128>(t.wcet),
+                        static_cast<Int128>(to_excl));
+  }
+  if (!is_time_infinite(t.period) && x > d) {
+    const Int128 num =
+        static_cast<Int128>(t.wcet) * (static_cast<Int128>(x) - d);
+    credit = std::max(credit,
+                      frac_lower(num, static_cast<Int128>(t.period) *
+                                          static_cast<Int128>(x)));
+  }
+  return credit;
+}
+
+/// Component-wise signed accumulation: lo into lo, hi into hi. This is
+/// the exact inverse required for drift-free removal (ScaledPair's -=
+/// is interval subtraction, which widens instead).
+void accumulate(ScaledPair& dst, const ScaledPair& src, int sign) {
+  dst.lo += sign * src.lo;
+  dst.hi += sign * src.hi;
+}
+
+}  // namespace
+
+IncrementalDemand::IncrementalDemand(double epsilon) {
+  if (!(epsilon > 0.0) || epsilon > 1.0) {
+    throw std::invalid_argument(
+        "IncrementalDemand: epsilon in (0,1] required");
+  }
+  k_ = static_cast<Time>(std::ceil(1.0 / epsilon));
+  cert_x_.fill(0);
+  cert_region_.fill(kS);  // the empty set is fully slack everywhere
+}
+
+void IncrementalDemand::apply_corners(const Task& t, Time from_level,
+                                      Time to_level, int sign) {
+  // Corner times of jobs [from_level, to_level), ascending.
+  corner_scratch_.clear();
+  for (Time j = from_level; j < to_level; ++j) {
+    const Time d = t.job_deadline(j);
+    if (is_time_infinite(d)) break;
+    corner_scratch_.push_back(d);
+    if (is_time_infinite(t.period)) break;  // one-shot: single corner
+  }
+  if (corner_scratch_.empty()) return;
+
+  const auto by_at = [](const StepEntry& e, Time v) { return e.at < v; };
+  if (sign > 0) {
+    // Update existing checkpoints in place and mark genuinely new
+    // times, then splice those in with a single backward merge: one
+    // O(n*k + k) move pass instead of k separate O(n*k) inserts.
+    std::size_t missing = 0;
+    auto it = steps_.begin();
+    for (Time& d : corner_scratch_) {
+      it = std::lower_bound(it, steps_.end(), d, by_at);
+      if (it != steps_.end() && it->at == d) {
+        it->refs += 1;
+        it->step += t.wcet;
+        d = -1;  // handled in place
+      } else {
+        ++missing;
+      }
+    }
+    if (missing != 0) {
+      std::size_t r = steps_.size();  // read cursor into the old tail
+      steps_.resize(steps_.size() + missing);
+      std::size_t w = steps_.size();  // write cursor
+      for (std::size_t j = corner_scratch_.size(); j-- > 0;) {
+        const Time d = corner_scratch_[j];
+        if (d < 0) continue;
+        while (r > 0 && steps_[r - 1].at > d) steps_[--w] = steps_[--r];
+        steps_[--w] = StepEntry{d, t.wcet, 1};
+      }
+    }
+  } else {
+    // Withdraw the task's contributions; compact once if any checkpoint
+    // emptied so the scan length tracks the live set.
+    bool emptied = false;
+    auto it = steps_.begin();
+    for (const Time d : corner_scratch_) {
+      it = std::lower_bound(it, steps_.end(), d, by_at);
+      it->refs -= 1;
+      it->step -= t.wcet;
+      emptied = emptied || it->refs == 0;
+    }
+    if (emptied) {
+      std::erase_if(steps_, [](const StepEntry& e) { return e.refs == 0; });
+    }
+  }
+}
+
+void IncrementalDemand::apply_border(const Task& t, Time level, int sign) {
+  if (is_time_infinite(t.period)) return;  // one-shot: no envelope
+  const Time border = t.job_deadline(level - 1);
+  if (is_time_infinite(border)) return;
+  const auto bit = std::lower_bound(
+      borders_.begin(), borders_.end(), border,
+      [](const BorderEntry& e, Time v) { return e.at < v; });
+  if (bit != borders_.end() && bit->at == border) {
+    bit->refs += sign;
+    accumulate(bit->slope, task_util_pair(t), sign);
+    accumulate(bit->offset, task_offset_pair(t, border), sign);
+    if (bit->refs == 0) borders_.erase(bit);
+  } else {
+    BorderEntry fresh;
+    fresh.at = border;
+    fresh.refs = sign;
+    accumulate(fresh.slope, task_util_pair(t), sign);
+    accumulate(fresh.offset, task_offset_pair(t, border), sign);
+    borders_.insert(bit, fresh);
+  }
+}
+
+void IncrementalDemand::apply_entries(const Task& t, Time level, int sign) {
+  apply_corners(t, 0, level, sign);
+  apply_border(t, level, sign);
+  accumulate(util_scaled_, task_util_pair(t), sign);
+  accumulate(kay_, task_kay_pair(t), sign);
+  if (sign > 0) {
+    d_max_ = std::max(d_max_, t.effective_deadline());
+  } else if (t.effective_deadline() == d_max_) {
+    d_max_stale_ = true;
+  }
+  if (t.effective_deadline() < t.period) {
+    constrained_ += static_cast<std::size_t>(sign);
+  }
+  // Maintain the certificate: an arrival shrinks each region's slack
+  // ratio by at most its decayed contribution bound there (pointwise),
+  // and a departure restores at least its minimum contribution ratio —
+  // so under churn the fast path regenerates without a scan. A fully
+  // dead certificate (every region -1) has nothing to maintain.
+  if (cert_lo_ >= 0 || !cert_dead_) {
+    cert_lo_ = kS;
+    bool any_valid = false;
+    for (std::size_t j = 0; j < kCertCuts; ++j) {
+      Int128& c = cert_region_[j];
+      if (c >= 0) {
+        if (sign > 0) {
+          c -= region_charge(t, cert_x_[j]);
+          if (c < 0) c = -1;
+        } else {
+          const Time to_excl =
+              j + 1 < kCertCuts ? cert_x_[j + 1] : kTimeInfinity;
+          c = std::min(c + region_credit(t, cert_x_[j], to_excl), kS);
+        }
+      }
+      any_valid = any_valid || c >= 0;
+      cert_lo_ = std::min(cert_lo_, c);
+    }
+    cert_dead_ = !any_valid;
+  }
+  util_valid_ = false;
+}
+
+void IncrementalDemand::refine(Resident& r, Time to_level) {
+  apply_border(r.task, r.level, -1);
+  apply_corners(r.task, r.level, to_level, +1);
+  apply_border(r.task, to_level, +1);
+  r.level = to_level;
+}
+
+void IncrementalDemand::ensure_util() const {
+  if (util_valid_) return;
+  Rational u;
+  for (const auto& [id, r] : tasks_) u += r.task.utilization();
+  util_ = u;
+  util_valid_ = true;
+}
+
+TaskId IncrementalDemand::add(const Task& t) {
+  t.validate();
+  const TaskId id = next_id_++;
+  tasks_.emplace_hint(tasks_.end(), id, Resident{t, k_});  // ids ascend
+  apply_entries(t, k_, +1);
+  return id;
+}
+
+bool IncrementalDemand::remove(TaskId id) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) return false;
+  const Resident r = it->second;
+  tasks_.erase(it);
+  apply_entries(r.task, r.level, -1);
+  return true;
+}
+
+const Task* IncrementalDemand::find(TaskId id) const noexcept {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second.task;
+}
+
+Time IncrementalDemand::level_of(TaskId id) const noexcept {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? 0 : it->second.level;
+}
+
+const Rational& IncrementalDemand::utilization() const {
+  ensure_util();
+  return util_;
+}
+
+double IncrementalDemand::utilization_double() const noexcept {
+  return static_cast<double>(util_scaled_.hi) * kInvS;
+}
+
+UtilizationClass IncrementalDemand::utilization_class() const noexcept {
+  // Certified scaled bounds decide everything but a ~n*2^-62-wide band
+  // around exactly 1; only inside it is the exact rational materialized.
+  if (util_scaled_.hi < kS) return UtilizationClass::BelowOne;
+  if (util_scaled_.lo > kS) return UtilizationClass::AboveOne;
+  ensure_util();
+  switch (util_.compare(Time{1})) {
+    case Ordering::Less: return UtilizationClass::BelowOne;
+    case Ordering::Equal: return UtilizationClass::ExactlyOne;
+    case Ordering::Greater: return UtilizationClass::AboveOne;
+    case Ordering::Unknown: return UtilizationClass::Marginal;
+  }
+  return UtilizationClass::Marginal;
+}
+
+UtilizationClass IncrementalDemand::utilization_class_with(
+    const Task& t) const {
+  ScaledPair widened = util_scaled_;
+  accumulate(widened, task_util_pair(t), +1);
+  if (widened.hi < kS) return UtilizationClass::BelowOne;
+  if (widened.lo > kS) return UtilizationClass::AboveOne;
+  ensure_util();
+  switch ((util_ + t.utilization()).compare(Time{1})) {
+    case Ordering::Less: return UtilizationClass::BelowOne;
+    case Ordering::Equal: return UtilizationClass::ExactlyOne;
+    case Ordering::Greater: return UtilizationClass::AboveOne;
+    case Ordering::Unknown: return UtilizationClass::Marginal;
+  }
+  return UtilizationClass::Marginal;
+}
+
+bool IncrementalDemand::certificate_covers(const Task& t) const noexcept {
+  // The widened set must certainly keep U <= 1 (the certificate's
+  // beyond-last-checkpoint argument runs at slope U).
+  if (util_scaled_.hi + task_util_pair(t).hi > kS) return false;
+  // Per-region test with the decayed charge; regions entirely below
+  // the candidate's first deadline see no contribution at all. The
+  // segment-endpoint (phi) argument extends checkpoint coverage to
+  // every interval, so all-regions-pass proves admissibility.
+  const Time d = t.effective_deadline();
+  for (std::size_t j = 0; j < kCertCuts; ++j) {
+    if (j + 1 < kCertCuts && cert_x_[j + 1] <= d) continue;  // below D
+    if (cert_region_[j] < 0) return false;
+    if (region_charge(t, cert_x_[j]) > cert_region_[j]) return false;
+  }
+  return true;
+}
+
+Time IncrementalDemand::exact_dbf_at(Time interval) const noexcept {
+  Time total = 0;
+  for (const auto& [id, r] : tasks_) {
+    total = add_saturating(total, dbf(r.task, interval));
+  }
+  return total;
+}
+
+Rational IncrementalDemand::exact_demand_at(Time interval) const {
+  Rational total;
+  for (const auto& [id, r] : tasks_) {
+    const Task& t = r.task;
+    if (interval < t.effective_deadline()) continue;
+    if (is_time_infinite(t.period) ||
+        interval <= t.job_deadline(r.level - 1)) {
+      total += Rational(dbf(t, interval));
+    } else {
+      total += approx_demand(t, interval);
+    }
+  }
+  return total;
+}
+
+DemandCheck IncrementalDemand::check() {
+  return check(64 + 8 * static_cast<std::uint64_t>(tasks_.size()));
+}
+
+DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
+  DemandCheck out;
+  if (tasks_.empty()) {
+    out.fits = true;
+    cert_lo_ = kS;  // theta = 1
+    return out;
+  }
+  const UtilizationClass uc = utilization_class();
+  if (uc == UtilizationClass::AboveOne || uc == UtilizationClass::Marginal) {
+    // AboveOne cannot fit. Marginal (certified bounds straddle 1 and
+    // the exact rational overflowed) cannot be *proven* to fit either,
+    // and fits is a proof — report degraded and let the caller
+    // escalate rather than rest an accept on an uncertain U <= 1.
+    cert_region_.fill(-1);
+    cert_lo_ = -1;
+    cert_dead_ = true;
+    out.degraded = (uc == UtilizationClass::Marginal);
+    return out;
+  }
+  cert_region_.fill(-1);  // re-established only by a full passing scan
+  cert_lo_ = -1;
+  cert_dead_ = true;
+
+  if (d_max_stale_) {
+    d_max_ = 0;
+    for (const auto& [id, r] : tasks_) {
+      d_max_ = std::max(d_max_, r.task.effective_deadline());
+    }
+    d_max_stale_ = false;
+  }
+  const Time d_max = d_max_;
+  // Refinement ceiling: keeps the learned structure at O(n * 4k)
+  // checkpoints — scans must stay cheap, so regions needing deeper
+  // resolution escalate to the offline exact test instead.
+  const Time max_level = 4 * k_;
+
+restart:
+  // Per-region minima of the certified slack-ratio lower bounds, for
+  // the segmented certificate: region j spans checkpoints in
+  // [cuts[j], cuts[j+1]). Cut positions equidistribute checkpoint
+  // count. Ratio interpolation (slack ratio of a segment interior is
+  // at least the smaller endpoint ratio) makes each region's min valid
+  // for every interval in it, provided the straddling segment's left
+  // endpoint is carried into the region entered — done at advance.
+  //
+  // Past the last checkpoint L the demand is exactly U*I + K, so the
+  // slack ratio 1 - U - K/I is increasing for K >= 0 (its minimum, at
+  // L, is already a measured checkpoint) and approaches 1-U from above
+  // for K < 0 — only then does 1-U bind (folded into the last region).
+  std::array<Time, kCertCuts> cuts{};
+  std::array<double, kCertCuts> region_min;
+  region_min.fill(2.0);
+  for (std::size_t j = 1; j < kCertCuts; ++j) {
+    cuts[j] = steps_[j * steps_.size() / kCertCuts].at;
+  }
+  if (kay_.lo < 0) {
+    region_min.back() = std::min(
+        region_min.back(),
+        static_cast<double>(kS - util_scaled_.hi) * kInvS);
+  }
+
+  const double one_minus_u_d =
+      static_cast<double>(kS - util_scaled_.hi) * kInvS;
+  const double kay_d = static_cast<double>(kay_.hi) * kInvS;
+
+  // Ascending scan. Demand at checkpoint I (certified S-scaled):
+  //   steps_acc * S  +  slope_acc * I  -  offset_acc
+  // where slope/offset absorb each envelope *after* its border is
+  // compared (the envelope term is zero exactly at the border).
+  //
+  // The double filter mirrors the hi-bounds in tick units. Magnitudes
+  // stay below ~2^63 ticks, so the accumulated IEEE error is below
+  // 1e-3 ticks for any realistic workload while certified-interval
+  // widths are ~1e-15 ticks: a guard band of 1e-6 relative (min 1e-3
+  // absolute) classifies every checkpoint outside the band *provably*;
+  // checkpoints inside it re-compare via int128, then exact rationals.
+  {
+    std::int64_t steps_acc = 0;
+    double slope_d = 0.0;
+    double offset_d = 0.0;
+    ScaledPair slope_acc;
+    ScaledPair offset_acc;
+    std::size_t bi = 0;  // borders_ consumed (second merge pointer)
+    std::size_t rj = 0;  // current certificate region
+    double prev_ratio = 2.0;  // left endpoint of the running segment
+
+    for (std::size_t si = 0; si < steps_.size(); ++si) {
+      const StepEntry& node = steps_[si];
+      const Time i = node.at;
+      const double i_d = static_cast<double>(i);
+      // Advance the certificate region, carrying the straddling
+      // segment's left-endpoint ratio into every region entered.
+      while (rj + 1 < kCertCuts && i >= cuts[rj + 1]) {
+        ++rj;
+        region_min[rj] = std::min(region_min[rj], prev_ratio);
+      }
+      // Early stop: from any I >= every deadline, dbf'(I) <= U*I + K
+      // (every task is at or below its envelope line there). Once
+      // (1-U)*I >= K certifiably, this and all later checkpoints fit.
+      if (i >= d_max && one_minus_u_d * i_d > kay_d &&
+          (kS - util_scaled_.hi) * i >= kay_.hi) {
+        double term = one_minus_u_d;
+        if (kay_.hi > 0) {
+          // Slack ratio on the skipped region is worst at its left
+          // edge: theta(I) = 1 - U - K/I is increasing for K > 0.
+          const Int128 q = kay_.hi / i;
+          const Int128 r = kay_.hi % i;
+          term = static_cast<double>(kS - util_scaled_.hi - q -
+                                     (r != 0 ? 1 : 0)) *
+                 kInvS;
+        }
+        region_min[rj] = std::min(region_min[rj], prev_ratio);
+        for (std::size_t j = rj; j < kCertCuts; ++j) {
+          region_min[j] = std::min(region_min[j], term);
+        }
+        break;
+      }
+      steps_acc += node.step;
+      ++out.iterations;
+      out.max_interval_tested = i;
+
+      const double demand_d =
+          static_cast<double>(steps_acc) + slope_d * i_d - offset_d;
+      const double slack_d = i_d - demand_d;
+      const double band = 1e-6 * (demand_d + i_d) + 1e-3;
+      if (slack_d < band) {
+        // Inside (or below) the guard band: decide with certified
+        // arithmetic — int128 bounds, then one exact rational.
+        const Int128 cap = static_cast<Int128>(i) * kS;
+        const Int128 steps_scaled = static_cast<Int128>(steps_acc) * kS;
+        const Int128 hi = steps_scaled + slope_acc.hi * i - offset_acc.lo;
+        Int128 lo = steps_scaled + slope_acc.lo * i - offset_acc.hi;
+        if (lo < steps_scaled) lo = steps_scaled;  // envelopes are >= 0
+        if (hi > cap) {
+          bool fits_here = false;
+          if (lo <= cap) {
+            const Rational exact = exact_demand_at(i);
+            if (exact.exact()) {
+              fits_here = exact.certainly_le(i);
+            } else {
+              out.degraded = true;
+            }
+          }
+          if (!fits_here) {
+            // Approximated overload at i. If no envelope is active
+            // below i the value is the exact dbf: infeasibility proof.
+            // Otherwise raise the contributing tasks' levels past i
+            // and rescan — the refinement persists across decisions.
+            bool refined = false;
+            bool capped = false;
+            for (auto& [id, r] : tasks_) {
+              if (is_time_infinite(r.task.period)) continue;
+              if (r.task.job_deadline(r.level - 1) >= i) continue;
+              const Time want = r.task.jobs_with_deadline_within(i) + 2;
+              if (want > max_level || out.revisions >= max_revisions) {
+                capped = true;
+                continue;
+              }
+              ++out.revisions;
+              refine(r, want);
+              refined = true;
+            }
+            if (!refined) {
+              out.witness = i;
+              if (!capped) {
+                out.overflow_proof = true;  // exact dbf(i) > i
+              }
+              return out;
+            }
+            goto restart;
+          }
+          prev_ratio = 0.0;  // at (or within a unit of) the line
+        } else {
+          prev_ratio =
+              static_cast<double>((cap - hi) / i) * kInvS;
+        }
+        region_min[rj] = std::min(region_min[rj], prev_ratio);
+      } else {
+        // Provably fits; the band-subtracted ratio stays a certified
+        // lower bound.
+        prev_ratio = (slack_d - band) / i_d;
+        region_min[rj] = std::min(region_min[rj], prev_ratio);
+      }
+      // Absorb envelopes whose border is this checkpoint *after* the
+      // comparison (the envelope term is zero exactly at the border;
+      // every border time is also a step checkpoint, so none is
+      // skipped).
+      while (bi < borders_.size() && borders_[bi].at <= i) {
+        accumulate(slope_acc, borders_[bi].slope, +1);
+        accumulate(offset_acc, borders_[bi].offset, +1);
+        ++bi;
+        slope_d = static_cast<double>(slope_acc.hi) * kInvS;
+        offset_d = static_cast<double>(offset_acc.lo) * kInvS;
+      }
+    }
+  }
+  // Publish the per-region certificate (cert_region_[j] bounds every
+  // checkpoint ratio in [cuts[j], cuts[j+1]); segment interiors follow
+  // from the endpoint argument in certificate_covers).
+  cert_x_ = cuts;
+  for (std::size_t j = 0; j < kCertCuts; ++j) {
+    const double r = std::min(region_min[j], 1.0);
+    cert_region_[j] =
+        r >= 0.0 ? static_cast<Int128>(r * static_cast<double>(kS) *
+                                       0.999999)
+                 : Int128{-1};
+  }
+  cert_lo_ = kS;
+  cert_dead_ = true;
+  for (const Int128 c : cert_region_) {
+    cert_lo_ = std::min(cert_lo_, c);
+    cert_dead_ = cert_dead_ && c < 0;
+  }
+  out.fits = true;
+  return out;
+}
+
+TaskSet IncrementalDemand::snapshot() const {
+  std::vector<Task> ts;
+  ts.reserve(tasks_.size());
+  for (const auto& [id, r] : tasks_) ts.push_back(r.task);
+  return TaskSet(std::move(ts));
+}
+
+void IncrementalDemand::rebuild() {
+  steps_.clear();
+  borders_.clear();
+  util_valid_ = false;
+  util_scaled_ = ScaledPair{};
+  kay_ = ScaledPair{};
+  d_max_ = 0;
+  d_max_stale_ = false;
+  cert_x_.fill(0);
+  cert_region_.fill(tasks_.empty() ? kS : -1);  // next check() re-certifies
+  cert_lo_ = cert_region_[0];
+  cert_dead_ = !tasks_.empty();
+  const std::map<TaskId, Resident> resident = tasks_;
+  for (const auto& [id, r] : resident) apply_entries(r.task, r.level, +1);
+}
+
+bool IncrementalDemand::matches_rebuild() const {
+  IncrementalDemand fresh(epsilon());
+  fresh.k_ = k_;
+  for (const auto& [id, r] : tasks_) {
+    fresh.tasks_.emplace(id, r);
+    fresh.apply_entries(r.task, r.level, +1);
+  }
+  if (fresh.steps_ != steps_ || fresh.borders_ != borders_) return false;
+  if (fresh.util_scaled_.lo != util_scaled_.lo ||
+      fresh.util_scaled_.hi != util_scaled_.hi) {
+    return false;
+  }
+  if (fresh.kay_.lo != kay_.lo || fresh.kay_.hi != kay_.hi) return false;
+  if (fresh.constrained_ != constrained_) return false;
+  const Rational& mine = utilization();
+  const Rational& theirs = fresh.utilization();
+  if (mine.exact() != theirs.exact()) return false;
+  return !mine.exact() || mine.compare(theirs) == Ordering::Equal;
+}
+
+}  // namespace edfkit

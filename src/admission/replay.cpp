@@ -1,0 +1,173 @@
+#include "admission/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "gen/scenario.hpp"
+
+namespace edfkit {
+namespace {
+
+/// Refill the arrival pool by flattening one scenario set.
+void refill_pool(std::vector<Task>& pool, Rng& rng, const ChurnConfig& cfg) {
+  TaskSet set;
+  switch (cfg.family) {
+    case ChurnConfig::Family::Small:
+      set = draw_small_set(rng, cfg.pool_utilization);
+      break;
+    case ChurnConfig::Family::Paper:
+      set = draw_fig8_set(rng, cfg.pool_utilization);
+      break;
+    case ChurnConfig::Family::Fixed: {
+      GeneratorConfig g;
+      g.tasks = cfg.fixed_tasks;
+      g.utilization = cfg.pool_utilization;
+      set = generate_task_set(rng, g);
+      break;
+    }
+  }
+  pool.insert(pool.end(), set.begin(), set.end());
+}
+
+/// Shared replay core: `admit` returns (admitted, rung, effort);
+/// `depart` returns true when the key was resident and is now gone;
+/// `utilization` is a cheap (lock-free) load probe — resident counts
+/// derive from the replay's own bookkeeping.
+template <typename AdmitFn, typename DepartFn, typename UtilFn>
+ReplayStats replay_core(const std::vector<TraceEvent>& trace, AdmitFn admit,
+                        DepartFn depart, UtilFn utilization) {
+  ReplayStats out;
+  for (const TraceEvent& ev : trace) {
+    if (ev.op == TraceOp::Arrive) {
+      ++out.arrivals;
+      const auto [admitted, rung, effort] = admit(ev);
+      ++out.by_rung[static_cast<std::size_t>(rung)];
+      out.total_effort += effort;
+      ++(admitted ? out.admitted : out.rejected);
+      if (admitted) {
+        out.peak_utilization =
+            std::max(out.peak_utilization, utilization());
+      }
+    } else {
+      ++out.departures;
+      if (!depart(ev)) ++out.skipped_departures;
+    }
+    const std::size_t resident = static_cast<std::size_t>(
+        out.admitted - (out.departures - out.skipped_departures));
+    out.peak_resident = std::max(out.peak_resident, resident);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChurnConfig::validate() const {
+  if (depart_probability < 0.0 || depart_probability > 1.0) {
+    throw std::invalid_argument(
+        "ChurnConfig: depart_probability in [0,1] required");
+  }
+  if (!(pool_utilization > 0.0)) {
+    throw std::invalid_argument(
+        "ChurnConfig: pool_utilization > 0 required");
+  }
+}
+
+std::vector<TraceEvent> generate_churn_trace(Rng& rng,
+                                             const ChurnConfig& cfg) {
+  cfg.validate();
+  std::vector<TraceEvent> trace;
+  trace.reserve(cfg.warmup_arrivals + cfg.events);
+  std::vector<Task> pool;
+  std::size_t pool_next = 0;
+  std::vector<std::uint64_t> live;  // keys arrivable to a departure
+  std::uint64_t next_key = 1;
+
+  const auto arrive = [&] {
+    if (pool_next == pool.size()) refill_pool(pool, rng, cfg);
+    TraceEvent ev;
+    ev.op = TraceOp::Arrive;
+    ev.key = next_key++;
+    ev.task = pool[pool_next++];
+    live.push_back(ev.key);
+    trace.push_back(ev);
+  };
+
+  for (std::size_t i = 0; i < cfg.warmup_arrivals; ++i) arrive();
+  for (std::size_t i = 0; i < cfg.events; ++i) {
+    if (!live.empty() && rng.bernoulli(cfg.depart_probability)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_time(0, static_cast<Time>(live.size()) - 1));
+      TraceEvent ev;
+      ev.op = TraceOp::Depart;
+      ev.key = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      trace.push_back(ev);
+    } else {
+      arrive();
+    }
+  }
+  return trace;
+}
+
+std::string ReplayStats::to_string() const {
+  std::ostringstream os;
+  os << "arrivals=" << arrivals << " admitted=" << admitted << " rejected="
+     << rejected << " departures=" << departures << " (skipped "
+     << skipped_departures << ") peak-resident=" << peak_resident
+     << " peak-U=" << peak_utilization << " effort=" << total_effort
+     << " rungs[";
+  for (std::size_t i = 0; i < by_rung.size(); ++i) {
+    if (i != 0) os << " ";
+    os << edfkit::to_string(static_cast<AdmissionRung>(i)) << "="
+       << by_rung[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionController& controller) {
+  std::unordered_map<std::uint64_t, TaskId> resident;
+  return replay_core(
+      trace,
+      [&](const TraceEvent& ev) {
+        const AdmissionDecision d = controller.try_admit(ev.task);
+        if (d.admitted) resident.emplace(ev.key, d.id);
+        return std::tuple(d.admitted, d.rung, d.analysis.effort());
+      },
+      [&](const TraceEvent& ev) {
+        const auto it = resident.find(ev.key);
+        if (it == resident.end()) return false;
+        const bool ok = controller.remove(it->second);
+        resident.erase(it);
+        return ok;
+      },
+      [&] { return controller.utilization(); });
+}
+
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionEngine& engine) {
+  std::unordered_map<std::uint64_t, GlobalTaskId> resident;
+  return replay_core(
+      trace,
+      [&](const TraceEvent& ev) {
+        const PlacementDecision d = engine.admit(ev.task);
+        if (d.admitted) resident.emplace(ev.key, d.id);
+        return std::tuple(d.admitted, d.rung, d.analysis.effort());
+      },
+      [&](const TraceEvent& ev) {
+        const auto it = resident.find(ev.key);
+        if (it == resident.end()) return false;
+        const bool ok = engine.remove(it->second);
+        resident.erase(it);
+        return ok;
+      },
+      [&] { return engine.utilization_estimate(); });
+}
+
+}  // namespace edfkit

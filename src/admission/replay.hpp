@@ -1,0 +1,91 @@
+/// \file replay.hpp
+/// Arrival/departure trace driver: synthetic churn workloads for the
+/// admission subsystem, drawn from the paper's §5 scenario families
+/// (gen/scenario.hpp) so online experiments use the same task
+/// populations as the offline figures.
+///
+/// A trace is a flat event list. Arrivals carry the task and a unique
+/// key; departures reference the key of an earlier arrival. Whether an
+/// arrival was *admitted* is only known at replay time, so departures of
+/// rejected (or already-departed) keys are counted and skipped — traces
+/// stay valid for any controller configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/engine.hpp"
+#include "util/random.hpp"
+
+namespace edfkit {
+
+enum class TraceOp : std::uint8_t { Arrive, Depart };
+
+struct TraceEvent {
+  TraceOp op = TraceOp::Arrive;
+  /// Unique per arrival; a departure names the arrival it withdraws.
+  std::uint64_t key = 0;
+  /// Meaningful for arrivals only.
+  Task task;
+};
+
+struct ChurnConfig {
+  /// Total events after warmup.
+  std::size_t events = 1000;
+  /// Unconditional leading arrivals, to fill the system before churn.
+  std::size_t warmup_arrivals = 0;
+  /// Probability that a churn event departs a live key (when any).
+  double depart_probability = 0.5;
+  /// Scenario family supplying the task population.
+  enum class Family : std::uint8_t {
+    Small,  ///< draw_small_set — coarse periods, simulable
+    Paper,  ///< draw_fig8_set — the §5 benchmark parameters
+    Fixed,  ///< generate_task_set with exactly `fixed_tasks` per set —
+            ///< per-task utilization ~ pool_utilization/fixed_tasks, for
+            ///< sweeping resident size at a constant load factor
+  };
+  Family family = Family::Paper;
+  /// Utilization of each drawn pool set (per draw_*_set's contract).
+  double pool_utilization = 0.9;
+  /// Tasks per drawn set for Family::Fixed.
+  int fixed_tasks = 50;
+
+  void validate() const;
+};
+
+/// Deterministically generate a churn trace from `rng`. Tasks are drawn
+/// by flattening scenario sets into an arrival pool; departures pick a
+/// uniformly random not-yet-departed earlier arrival.
+[[nodiscard]] std::vector<TraceEvent> generate_churn_trace(
+    Rng& rng, const ChurnConfig& cfg);
+
+/// Aggregated outcome of replaying one trace.
+struct ReplayStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t departures = 0;
+  /// Departures whose key was never admitted (or already left).
+  std::uint64_t skipped_departures = 0;
+  std::array<std::uint64_t, kAdmissionRungs> by_rung{};
+  std::uint64_t total_effort = 0;
+  std::size_t peak_resident = 0;
+  double peak_utilization = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Drive a single controller through the trace, in order.
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionController& controller);
+
+/// Drive a sharded engine through the trace, in order (synchronous
+/// admits; concurrency is exercised by submitting multiple independent
+/// traces from multiple threads — see examples/admission_server.cpp).
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionEngine& engine);
+
+}  // namespace edfkit

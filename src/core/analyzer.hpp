@@ -47,6 +47,10 @@ struct AnalyzerOptions {
                                          const AnalyzerOptions& opts = {});
 
 /// Run every test and render a comparison table (diagnostics/examples).
+/// The admission subsystem's escalation ladder (admission/controller.hpp)
+/// is a subset of these columns — liu-layland, chakraborty at
+/// `opts.epsilon`, then the configured exact fallback — so this table
+/// also previews which rung would settle the set at admission time.
 [[nodiscard]] std::string compare_all(const TaskSet& ts,
                                       const AnalyzerOptions& opts = {});
 

@@ -20,6 +20,10 @@ struct BatchEntry {
 };
 
 struct BatchConfig {
+  /// Tests to run per set, in column order. For previewing the online
+  /// admission controller's escalation ladder offline, populate this
+  /// from admission_ladder_tests() (admission/controller.hpp) — the
+  /// batch_analyze example exposes that as `--ladder`.
   std::vector<TestKind> tests = {TestKind::Devi, TestKind::Dynamic,
                                  TestKind::AllApprox,
                                  TestKind::ProcessorDemand};

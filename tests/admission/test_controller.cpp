@@ -1,0 +1,196 @@
+#include "admission/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "admission/replay.hpp"
+#include "core/analyzer.hpp"
+#include "helpers.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::set_of;
+using testing::tk;
+
+TEST(AdmissionController, EmptyAndSingleTask) {
+  AdmissionController ctl;
+  EXPECT_TRUE(ctl.empty());
+  EXPECT_TRUE(ctl.analyze_resident().feasible() || ctl.empty());
+
+  const AdmissionDecision d = ctl.try_admit(tk(2, 10, 20));
+  EXPECT_TRUE(d.admitted);
+  EXPECT_NE(d.id, kInvalidTaskId);
+  EXPECT_EQ(ctl.size(), 1u);
+  EXPECT_TRUE(ctl.analyze_resident().feasible());
+  EXPECT_TRUE(ctl.verify_consistency());
+}
+
+TEST(AdmissionController, RejectsInfeasibleSingleTask) {
+  AdmissionController ctl;
+  // C > D with C <= T: infeasible although U < 1.
+  const AdmissionDecision d = ctl.try_admit(tk(8, 4, 100));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.analysis.verdict, Verdict::Infeasible);
+  EXPECT_TRUE(ctl.empty());  // state restored
+  EXPECT_TRUE(ctl.verify_consistency());
+}
+
+TEST(AdmissionController, UtilizationBoundaryExactlyOne) {
+  AdmissionController ctl;
+  // Implicit deadlines: U <= 1 is exact; fill to exactly 1.
+  EXPECT_TRUE(ctl.try_admit(tk(1, 2, 2)).admitted);
+  EXPECT_TRUE(ctl.try_admit(tk(1, 4, 4)).admitted);
+  const AdmissionDecision full = ctl.try_admit(tk(1, 4, 4));  // U == 1
+  EXPECT_TRUE(full.admitted);
+  // Anything more is provably infeasible (U > 1), settled at rung 1.
+  const AdmissionDecision over = ctl.try_admit(tk(1, 1000, 1000));
+  EXPECT_FALSE(over.admitted);
+  EXPECT_EQ(over.rung, AdmissionRung::Utilization);
+  EXPECT_EQ(over.analysis.verdict, Verdict::Infeasible);
+  // Departures restore admissibility.
+  EXPECT_TRUE(ctl.remove(full.id));
+  EXPECT_TRUE(ctl.try_admit(tk(1, 1000, 1000)).admitted);
+}
+
+TEST(AdmissionController, PolicyGates) {
+  AdmissionOptions opts;
+  opts.max_tasks = 2;
+  AdmissionController ctl(opts);
+  EXPECT_TRUE(ctl.try_admit(tk(1, 10, 100)).admitted);
+  EXPECT_TRUE(ctl.try_admit(tk(1, 10, 100)).admitted);
+  const AdmissionDecision d = ctl.try_admit(tk(1, 10, 100));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.rung, AdmissionRung::Structural);
+  EXPECT_EQ(d.analysis.verdict, Verdict::Unknown);  // policy, not analysis
+
+  AdmissionOptions capped;
+  capped.utilization_cap = 0.5;
+  AdmissionController ctl2(capped);
+  EXPECT_TRUE(ctl2.try_admit(tk(2, 10, 10)).admitted);   // U 0.2
+  EXPECT_TRUE(ctl2.try_admit(tk(2, 10, 10)).admitted);   // U 0.4
+  const AdmissionDecision over = ctl2.try_admit(tk(2, 10, 10));
+  EXPECT_FALSE(over.admitted);
+  EXPECT_EQ(over.rung, AdmissionRung::Structural);
+}
+
+TEST(AdmissionController, SkipExactModeStaysSound) {
+  AdmissionOptions opts;
+  opts.skip_exact = true;
+  AdmissionController ctl(opts);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const TaskSet pool = draw_small_set(rng, 0.95);
+    for (const Task& t : pool) {
+      const AdmissionDecision d = ctl.try_admit(t);
+      if (d.admitted) {
+        EXPECT_NE(d.rung, AdmissionRung::Exact);
+      } else {
+        // Rejections without an infeasibility proof report Unknown.
+        EXPECT_TRUE(d.analysis.verdict == Verdict::Unknown ||
+                    d.analysis.verdict == Verdict::Infeasible);
+      }
+    }
+  }
+  // The standing invariant holds regardless of the weaker ladder.
+  EXPECT_TRUE(ctl.empty() || ctl.analyze_resident().feasible());
+}
+
+TEST(AdmissionController, RejectsNonExactFallbackKind) {
+  AdmissionOptions opts;
+  opts.exact_fallback = TestKind::Devi;  // sufficient only
+  EXPECT_THROW(AdmissionController{opts}, std::invalid_argument);
+}
+
+TEST(AdmissionController, StatsAreConsistent) {
+  AdmissionController ctl;
+  Rng rng(17);
+  const TaskSet pool = draw_small_set(rng, 0.9);
+  std::vector<TaskId> ids;
+  for (const Task& t : pool) {
+    const AdmissionDecision d = ctl.try_admit(t);
+    if (d.admitted) ids.push_back(d.id);
+  }
+  for (const TaskId id : ids) EXPECT_TRUE(ctl.remove(id));
+  const AdmissionStats& s = ctl.stats();
+  EXPECT_EQ(s.arrivals, pool.size());
+  EXPECT_EQ(s.admitted + s.rejected, s.arrivals);
+  EXPECT_EQ(s.removals, ids.size());
+  std::uint64_t by_rung = 0;
+  for (const std::uint64_t c : s.by_rung) by_rung += c;
+  EXPECT_EQ(by_rung, s.arrivals);
+  EXPECT_TRUE(ctl.empty());
+}
+
+/// The headline property (issue acceptance criterion): on randomized
+/// churn traces, every single admission verdict agrees with a
+/// from-scratch exact analysis of the widened set, and the resident set
+/// stays provably feasible after every operation.
+class ControllerChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerChurnTest, VerdictsMatchFromScratchAfterEveryOp) {
+  Rng rng(GetParam());
+  ChurnConfig cfg;
+  cfg.events = 250;  // x4 seeds = 1000+ randomized ops overall
+  cfg.warmup_arrivals = 6;
+  cfg.depart_probability = 0.45;
+  cfg.family = ChurnConfig::Family::Small;
+  cfg.pool_utilization = 0.93;
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, cfg);
+
+  AdmissionController ctl;
+  std::unordered_map<std::uint64_t, TaskId> resident;
+  std::size_t checked = 0;
+  for (const TraceEvent& ev : trace) {
+    if (ev.op == TraceOp::Arrive) {
+      // From-scratch oracle on the widened set, before mutating.
+      TaskSet widened = ctl.snapshot();
+      widened.add(ev.task);
+      const bool oracle =
+          run_test(widened, TestKind::ProcessorDemand).feasible();
+      const AdmissionDecision d = ctl.try_admit(ev.task);
+      ASSERT_EQ(d.admitted, oracle)
+          << "op " << checked << " task " << ev.task.to_string() << "\n"
+          << widened.to_string();
+      if (d.admitted) resident.emplace(ev.key, d.id);
+    } else {
+      const auto it = resident.find(ev.key);
+      if (it != resident.end()) {
+        ASSERT_TRUE(ctl.remove(it->second));
+        resident.erase(it);
+      }
+    }
+    // The resident set must stay provably feasible throughout.
+    if (!ctl.empty()) {
+      ASSERT_TRUE(ctl.analyze_resident(TestKind::ProcessorDemand)
+                      .feasible())
+          << "op " << checked;
+    }
+    if (checked % 25 == 0) {
+      ASSERT_TRUE(ctl.verify_consistency()) << "op " << checked;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 250u);
+  EXPECT_GT(ctl.stats().admitted, 0u);
+  EXPECT_GT(ctl.stats().removals, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerChurnTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AdmissionLadder, TestSelectionIsDiscoverable) {
+  AdmissionOptions opts;
+  const std::vector<TestKind> kinds = admission_ladder_tests(opts);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], TestKind::LiuLayland);
+  EXPECT_EQ(kinds[1], TestKind::Chakraborty);
+  EXPECT_EQ(kinds[2], opts.exact_fallback);
+  opts.skip_exact = true;
+  EXPECT_EQ(admission_ladder_tests(opts).size(), 2u);
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -134,5 +134,95 @@ TEST_P(RationalPropertyTest, MatchesDoubleWithinTolerance) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// --- Normalization/overflow edges exercised by the admission
+// accumulator's exact-fallback path (sums of C/T and approx-demand
+// terms compared against an integer interval). ---
+
+TEST(RationalEdges, NormalizesInt64Extremes) {
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  constexpr Time kMax = std::numeric_limits<Time>::max();
+  // -min overflows int64 but the internals are int128: sign
+  // normalization must not wrap.
+  const Rational r(kMin, kMin);
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.to_string(), "1");
+  const Rational s(kMin, -1);
+  EXPECT_TRUE(s.exact());
+  EXPECT_EQ(s.compare(Time{0}), Ordering::Greater);
+  const Rational t(kMax, kMin);
+  EXPECT_TRUE(t.is_negative());
+  EXPECT_EQ((t * Rational(kMin, kMax)).to_string(), "1");
+}
+
+TEST(RationalEdges, GcdReducesLargeCommonFactors) {
+  const Time big = Time{1} << 40;
+  const Rational r(3 * big, 6 * big);
+  EXPECT_EQ(r.to_string(), "1/2");
+  // Repeated self-addition keeps the canonical form small.
+  Rational acc;
+  for (int i = 0; i < 1000; ++i) acc += r;
+  EXPECT_TRUE(acc.exact());
+  EXPECT_EQ(acc.to_string(), "500");
+}
+
+TEST(RationalEdges, ProductOfHugeCoprimeDenominatorsDegrades) {
+  // Two denominators just under 2^62 with no common factor: the exact
+  // product exceeds the int128 guard and must degrade, not wrap.
+  const Time d1 = (Time{1} << 62) - 57;
+  const Time d2 = (Time{1} << 62) - 87;
+  Rational a(1, d1);
+  const Rational b(1, d2);
+  Rational prod = a * b;
+  // Whether the representation stayed exact or degraded, the comparison
+  // must never be *wrong* — Unknown is the honest answer when the
+  // cross-products would overflow the int128 guard.
+  const Ordering c = prod.compare(Time{1});
+  EXPECT_TRUE(c == Ordering::Less || c == Ordering::Unknown);
+  EXPECT_FALSE(prod.certainly_gt(Time{1}));
+  // Summing many such terms is the accumulator fallback's shape.
+  Rational sum;
+  for (Time i = 0; i < 64; ++i) sum += Rational(1, d1 - 2 * i);
+  if (sum.exact()) {
+    EXPECT_TRUE(sum.certainly_le(Time{1}));
+  } else {
+    EXPECT_FALSE(sum.certainly_le(Time{1}));
+    EXPECT_FALSE(sum.certainly_gt(Time{0}));
+  }
+}
+
+TEST(RationalEdges, InexactPropagatesThroughEveryOperator) {
+  const Rational bad = Rational::inexact(0.5);
+  const Rational good(1, 2);
+  EXPECT_FALSE((bad + good).exact());
+  EXPECT_FALSE((good - bad).exact());
+  EXPECT_FALSE((bad * good).exact());
+  EXPECT_FALSE((good / bad).exact());
+  EXPECT_EQ((bad + good).compare(good), Ordering::Unknown);
+  EXPECT_FALSE(bad == bad);  // inexact values never compare equal
+}
+
+TEST(RationalEdges, ComparisonAgainstIntervalBoundary) {
+  // The accumulator's verdicts hinge on demand-vs-interval compares at
+  // exact equality; these must be decided, not approximated.
+  const Time interval = 999'983;  // prime
+  Rational demand(interval * 7, 7);
+  EXPECT_EQ(demand.compare(interval), Ordering::Equal);
+  EXPECT_TRUE(demand.certainly_le(interval));
+  EXPECT_FALSE(demand.certainly_gt(interval));
+  demand += Rational(1, interval);
+  EXPECT_EQ(demand.compare(interval), Ordering::Greater);
+  demand -= Rational(2, interval);
+  EXPECT_EQ(demand.compare(interval), Ordering::Less);
+}
+
+TEST(RationalEdges, FloorCeilAtExactIntegers) {
+  const Rational r(-12, 4);
+  EXPECT_EQ(r.floor(), -3);
+  EXPECT_EQ(r.ceil(), -3);
+  const Rational q((Time{1} << 50) * 3, Time{3});
+  EXPECT_EQ(q.floor(), Time{1} << 50);
+  EXPECT_EQ(q.ceil(), Time{1} << 50);
+}
+
 }  // namespace
 }  // namespace edfkit
