@@ -27,6 +27,7 @@
 #include "admission/replay.hpp"
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
+#include "query/query.hpp"
 
 namespace {
 
@@ -38,12 +39,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// From-scratch baseline: admit iff the same policy gate passes and
-/// run_test on the widened set accepts. Stateless by design — both the
-/// utilization sum and the analysis are recomputed per arrival.
+/// From-scratch baseline: admit iff the same policy gate passes and a
+/// single-backend Query on the widened set accepts (the repo's offline
+/// analysis workflow). Stateless by design — both the utilization sum
+/// and the analysis are recomputed per arrival.
 struct ScratchAdmission {
   TestKind kind;
-  AnalyzerOptions opts;
   double utilization_cap;
   std::vector<std::pair<std::uint64_t, Task>> live;
 
@@ -57,8 +58,10 @@ struct ScratchAdmission {
     widened.reserve(live.size() + 1);
     for (const auto& [k, task] : live) widened.push_back(task);
     widened.push_back(t);
-    const bool ok =
-        run_test(TaskSet(std::move(widened)), kind, opts).feasible();
+    const bool ok = Query::single(kind)
+                        .with_certificates(false)
+                        .run(Workload::periodic(TaskSet(std::move(widened))))
+                        .feasible();
     if (ok) live.emplace_back(key, t);
     return ok;
   }
@@ -146,7 +149,7 @@ int main(int argc, char** argv) {
         // From-scratch baseline over the same trace, timed pure…
         double scratch_secs = 1e300;
         for (std::int64_t rep = 0; rep < setup.sets; ++rep) {
-          ScratchAdmission pure{baseline_kind, opts.analyzer, cap, {}};
+          ScratchAdmission pure{baseline_kind, cap, {}};
           const auto t1 = std::chrono::steady_clock::now();
           for (const TraceEvent& ev : trace) {
             if (ev.op == TraceOp::Arrive) {
@@ -161,7 +164,7 @@ int main(int argc, char** argv) {
         // …then re-run both untimed, asserting decision agreement.
         std::uint64_t disagreements = 0;
         {
-          ScratchAdmission scratch{baseline_kind, opts.analyzer, cap, {}};
+          ScratchAdmission scratch{baseline_kind, cap, {}};
           AdmissionController shadow(opts);
           std::vector<std::pair<std::uint64_t, TaskId>> shadow_ids;
           for (const TraceEvent& ev : trace) {

@@ -1,20 +1,24 @@
 /// \file batch_analyze.cpp
 /// Command-line batch analyzer — the CI-gate workflow: point it at task-
-/// set files, get a verdict/effort table, CSV for dashboards, and a
+/// set files, get a verdict/effort table, CSV/JSON for dashboards, and a
 /// non-zero exit code when anything is infeasible (or when exact tests
 /// disagree, which would indicate a library bug).
 ///
 ///   ./batch_analyze set1.txt set2.txt ...
-///       [--tests devi,dynamic,all-approx,processor-demand,qpa]
+///       [--tests qpa,chakraborty,...]   (registry names, see --list)
 ///       [--ladder] [--epsilon 0.25] [--fallback qpa]
-///       [--csv out.csv] [--quiet]
+///       [--csv out.csv] [--json | --json=out.json] [--quiet] [--list]
+///
+/// Test selection is by backend-registry name (`--list` prints the
+/// capability table), so the selection survives enum reordering and new
+/// backends become selectable the moment they register.
 ///
 /// `--ladder` selects exactly the tests the online AdmissionController
 /// escalates through (utilization bound -> epsilon-approximate ->
-/// exact fallback; see src/admission/controller.hpp), so an offline
-/// batch previews which rung would settle each set at admission time.
-/// `--epsilon` tunes the approximate rung and `--fallback` names the
-/// exact rung (any exact test kind).
+/// exact fallback; see query/query.hpp default_ladder_kinds), so an
+/// offline batch previews which rung would settle each set at admission
+/// time. `--epsilon` tunes the approximate rung and `--fallback` names
+/// the exact rung (any exact backend).
 ///
 /// Without file arguments it demonstrates on the built-in literature
 /// sets (paper Table 1).
@@ -25,32 +29,58 @@
 #include <string>
 #include <vector>
 
-#include "admission/controller.hpp"
 #include "core/batch.hpp"
 #include "lit/literature.hpp"
+#include "query/query.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using namespace edfkit;
 
+/// CliFlags' generic `--name value` parsing is greedy: a bare boolean
+/// flag followed by a positional (`batch_analyze --json setA.txt`) would
+/// absorb the file name — worst case opening an *input* file for output.
+/// The boolean-ish flags --json and --list are therefore parsed strictly
+/// as `--flag` / `--flag=value` from argv, and a space-separated token
+/// that CliFlags absorbed is restored to the file list.
+struct BareFlag {
+  bool present = false;
+  std::string value;  ///< from the `--flag=value` spelling only
+};
+
+BareFlag scan_bare(int argc, char** argv, const std::string& name,
+                   std::vector<std::string>& restored) {
+  BareFlag out;
+  const std::string bare = "--" + name;
+  const std::string eq = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok == bare) {
+      out.present = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        restored.push_back(argv[i + 1]);  // absorbed positional
+        ++i;
+      }
+    } else if (tok.rfind(eq, 0) == 0) {
+      out.present = true;
+      out.value = tok.substr(eq.size());
+    }
+  }
+  return out;
+}
+
 std::vector<TestKind> parse_tests(const std::string& spec) {
   std::vector<TestKind> out;
   std::istringstream is(spec);
   std::string token;
   while (std::getline(is, token, ',')) {
-    bool found = false;
-    for (const TestKind k : all_test_kinds()) {
-      if (token == to_string(k)) {
-        out.push_back(k);
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
+    const BackendInfo* info = BackendRegistry::instance().find(token);
+    if (info == nullptr) {
       throw std::invalid_argument("unknown test '" + token +
-                                  "' (see README for names)");
+                                  "' (--list shows registry names)");
     }
+    out.push_back(info->kind);
   }
   if (out.empty()) throw std::invalid_argument("--tests selected nothing");
   return out;
@@ -61,14 +91,19 @@ std::vector<TestKind> parse_tests(const std::string& spec) {
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
-    BatchConfig cfg;
-    if (flags.has("tests")) {
-      cfg.tests = parse_tests(flags.get("tests", ""));
+    std::vector<std::string> files = flags.rest();
+    const BareFlag list_flag = scan_bare(argc, argv, "list", files);
+    const BareFlag json_flag = scan_bare(argc, argv, "json", files);
+    if (list_flag.present) {
+      std::printf("%s", BackendRegistry::instance().capability_table().c_str());
+      return 0;
     }
+
+    Query query;
+    const double epsilon = flags.get_double("epsilon", 0.25);
     if (flags.get_bool("ladder", false)) {
       // Mirror the online admission controller's escalation ladder.
-      AdmissionOptions admission;
-      admission.epsilon = flags.get_double("epsilon", admission.epsilon);
+      TestKind fallback = TestKind::Qpa;
       if (flags.has("fallback")) {
         const std::vector<TestKind> kinds =
             parse_tests(flags.get("fallback", ""));
@@ -76,27 +111,42 @@ int main(int argc, char** argv) {
           throw std::invalid_argument(
               "--fallback must name one exact test");
         }
-        admission.exact_fallback = kinds.front();
+        fallback = kinds.front();
       }
-      cfg.tests = admission_ladder_tests(admission);
-      cfg.options.epsilon = admission.epsilon;
+      query = Query::ladder(fallback, epsilon);
       std::printf("admission ladder: ");
-      for (const TestKind k : cfg.tests) std::printf("%s ", to_string(k));
-      std::printf("(epsilon=%.3f)\n\n", admission.epsilon);
+      for (const BackendSelection& s : query.backends()) {
+        std::printf("%s ", to_string(s.kind));
+      }
+      std::printf("(epsilon=%.3f)\n\n", epsilon);
+    } else {
+      const std::vector<TestKind> kinds =
+          flags.has("tests")
+              ? parse_tests(flags.get("tests", ""))
+              : std::vector<TestKind>{TestKind::Devi, TestKind::Dynamic,
+                                      TestKind::AllApprox,
+                                      TestKind::ProcessorDemand};
+      for (const TestKind k : kinds) {
+        BackendParams p = default_params(k);
+        if (auto* ck = std::get_if<ChakrabortyParams>(&p)) {
+          ck->epsilon = epsilon;
+        }
+        query.add(k, std::move(p));
+      }
     }
 
     BatchReport report;
-    if (!flags.rest().empty()) {
-      report = run_batch_files(flags.rest(), cfg);
+    if (!files.empty()) {
+      report = run_batch_files(files, query);
     } else {
       std::printf("no files given; analyzing the built-in literature sets\n"
                   "(usage: batch_analyze <taskset.txt>... [--tests a,b] "
-                  "[--csv out.csv])\n\n");
+                  "[--csv out.csv] [--json out.json])\n\n");
       std::vector<BatchEntry> entries;
       for (const auto& s : lit::all_literature_sets()) {
         entries.push_back({s.name, s.tasks});
       }
-      report = run_batch(entries, cfg);
+      report = run_batch(entries, query);
     }
 
     if (!flags.get_bool("quiet", false)) {
@@ -106,6 +156,16 @@ int main(int argc, char** argv) {
       std::ofstream out(flags.get("csv", "batch.csv"));
       out << report.to_csv();
       std::printf("csv written to %s\n", flags.get("csv", "").c_str());
+    }
+    if (json_flag.present) {
+      // `--json` alone prints to stdout; `--json=FILE` writes the file.
+      if (json_flag.value.empty()) {
+        std::printf("%s\n", report.to_json().c_str());
+      } else {
+        std::ofstream out(json_flag.value);
+        out << report.to_json();
+        std::printf("json written to %s\n", json_flag.value.c_str());
+      }
     }
 
     if (!report.exact_disagreements.empty()) return 3;  // library bug!

@@ -1,8 +1,10 @@
 /// \file event_stream_bursts.cpp
 /// Event-stream modelling (paper §2/§3.6): describe bursty triggers with
-/// Gresser event streams, expand them to sporadic tasks, and compare how
-/// the tests cope with the burst — including the real-time-calculus
-/// 3-segment approximation the paper discusses in §3.6.
+/// Gresser event streams and feed them to the unified query API as a
+/// first-class stream workload — the expansion to sporadic tasks happens
+/// inside `Workload`, and the backend registry's capability flags decide
+/// which tests run. Also shows the real-time-calculus 3-segment
+/// approximation the paper discusses in §3.6.
 #include <cstdio>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "core/all_approx.hpp"
 #include "core/analyzer.hpp"
 #include "model/event_stream.hpp"
+#include "query/query.hpp"
 #include "rtc/arrival.hpp"
 #include "rtc/curve.hpp"
 
@@ -27,8 +30,10 @@ int main() {
   streams.push_back(
       EventStreamTask{EventStream::periodic(120), 30, 100, "worker_b"});
 
-  const TaskSet ts = expand(streams);
-  std::printf("expanded task set:\n%s\n", ts.to_string().c_str());
+  const Workload workload = Workload::event_streams(streams);
+  const TaskSet& ts = workload.tasks();
+  std::printf("workload %s, expanded task set:\n%s\n",
+              workload.to_string().c_str(), ts.to_string().c_str());
 
   std::printf("event bound of the burst stream over small windows:\n");
   const EventStream& burst = streams[0].stream;
@@ -37,7 +42,18 @@ int main() {
                 static_cast<long long>(burst.eta(i)));
   }
 
-  std::printf("\nDevi on the expanded set: %s\n",
+  // Stream workloads are first-class query inputs: the ladder escalates
+  // through the registry's stream-capable backends (liu-layland is
+  // filtered out by its capability flags) and certifies the verdict.
+  const Outcome ladder = Query::ladder().run(workload);
+  std::printf("\nladder on the stream workload: %s\n",
+              ladder.to_string().c_str());
+  if (ladder.certificate.present()) {
+    std::printf("certificate check: %s\n",
+                verify(workload, ladder.certificate).valid ? "VALID"
+                                                           : "INVALID");
+  }
+  std::printf("Devi on the expanded set: %s\n",
               devi_test(ts).to_string().c_str());
   std::printf("All-approx (exact):       %s\n\n",
               all_approx_test(ts).to_string().c_str());

@@ -1,6 +1,7 @@
 /// \file quickstart.cpp
-/// edfkit in five minutes: build a task set, run every feasibility test,
-/// and read the instrumented results.
+/// edfkit in five minutes: build a task set, run every feasibility test
+/// through the unified query API, and read the instrumented results —
+/// including a machine-checkable certificate verified independently.
 ///
 ///   ./quickstart [path/to/taskset.txt]
 ///
@@ -9,10 +10,11 @@
 #include <exception>
 #include <string>
 
-#include "core/analyzer.hpp"
 #include "analysis/bounds.hpp"
+#include "core/analyzer.hpp"
 #include "model/io.hpp"
 #include "model/task_set.hpp"
+#include "query/query.hpp"
 
 int main(int argc, char** argv) {
   using namespace edfkit;
@@ -46,13 +48,21 @@ int main(int argc, char** argv) {
                 "%lld\n\n",
                 static_cast<long long>(default_test_bound(ts)));
 
-    // One-call comparison across every implemented test.
+    // One-call comparison across every registered backend.
     std::printf("%s\n", compare_all(ts).c_str());
 
-    // Programmatic use: run the paper's all-approximated test directly.
-    const FeasibilityResult r = run_test(ts, TestKind::AllApprox);
-    std::printf("all-approx verdict: %s\n", r.to_string().c_str());
-    return r.verdict == Verdict::Infeasible ? 1 : 0;
+    // Programmatic use: query the paper's all-approximated exact test.
+    // Exact decisive outcomes carry a machine-checkable certificate.
+    const Outcome out =
+        Query::single(TestKind::AllApprox).run(Workload::periodic(ts));
+    std::printf("all-approx outcome: %s\n", out.to_string().c_str());
+    if (out.certificate.present()) {
+      const CertificateCheck check = verify(ts, out.certificate);
+      std::printf("independent certificate check: %s (%llu points)\n",
+                  check.valid ? "VALID" : check.reason.c_str(),
+                  static_cast<unsigned long long>(check.points_checked));
+    }
+    return out.infeasible() ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

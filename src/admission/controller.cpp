@@ -4,7 +4,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "query/query.hpp"
+
 namespace edfkit {
+namespace {
+
+/// Rung-3 / verification analyses route through the unified query API
+/// (certificates off: the controller keeps its own instrumentation and
+/// the hot path must not pay a construction sweep).
+FeasibilityResult query_exact(const TaskSet& ts, TestKind kind,
+                              const AnalyzerOptions& opts) {
+  if (ts.empty()) return make_verdict(Verdict::Feasible);
+  return Query::single(kind, params_from_legacy(kind, opts))
+      .with_certificates(false)
+      .run(Workload::periodic(ts))
+      .analysis;
+}
+
+}  // namespace
 
 const char* to_string(AdmissionRung r) noexcept {
   switch (r) {
@@ -133,7 +150,7 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
   // Rung 3: exact fallback over a materialized snapshot (includes the
   // candidate) — the only from-scratch rung, for borderline sets.
   const FeasibilityResult exact =
-      run_test(demand_.snapshot(), opts_.exact_fallback, opts_.analyzer);
+      query_exact(demand_.snapshot(), opts_.exact_fallback, opts_.analyzer);
   d.analysis.verdict = exact.verdict;
   d.analysis.iterations += exact.iterations;
   d.analysis.revisions += exact.revisions;
@@ -161,13 +178,13 @@ const Task* AdmissionController::find(TaskId id) const noexcept {
 }
 
 FeasibilityResult AdmissionController::analyze_resident(TestKind kind) const {
-  return run_test(demand_.snapshot(), kind, opts_.analyzer);
+  return query_exact(demand_.snapshot(), kind, opts_.analyzer);
 }
 
 std::vector<TestKind> admission_ladder_tests(const AdmissionOptions& opts) {
-  std::vector<TestKind> kinds = {TestKind::LiuLayland, TestKind::Chakraborty};
-  if (!opts.skip_exact) kinds.push_back(opts.exact_fallback);
-  return kinds;
+  // The ladder is the query layer's default escalation: the registry's
+  // incremental backends, then the configured exact fallback.
+  return default_ladder_kinds(opts.exact_fallback, !opts.skip_exact);
 }
 
 }  // namespace edfkit

@@ -3,87 +3,52 @@
 #include <iomanip>
 #include <sstream>
 
-#include "analysis/chakraborty.hpp"
-#include "analysis/devi.hpp"
-#include "analysis/processor_demand.hpp"
-#include "analysis/qpa.hpp"
-#include "analysis/utilization.hpp"
-#include "core/superpos.hpp"
+#include "query/query.hpp"
 
 namespace edfkit {
 
-const char* to_string(TestKind k) noexcept {
-  switch (k) {
-    case TestKind::LiuLayland: return "liu-layland";
-    case TestKind::Devi: return "devi";
-    case TestKind::SuperPos: return "superpos";
-    case TestKind::Chakraborty: return "chakraborty";
-    case TestKind::ProcessorDemand: return "processor-demand";
-    case TestKind::Qpa: return "qpa";
-    case TestKind::Dynamic: return "dynamic";
-    case TestKind::AllApprox: return "all-approx";
-  }
-  return "?";
-}
-
-const std::vector<TestKind>& all_test_kinds() {
-  static const std::vector<TestKind> kinds = {
-      TestKind::LiuLayland, TestKind::Devi,    TestKind::SuperPos,
-      TestKind::Chakraborty, TestKind::ProcessorDemand, TestKind::Qpa,
-      TestKind::Dynamic,    TestKind::AllApprox};
-  return kinds;
-}
-
-bool is_exact(TestKind k) noexcept {
-  switch (k) {
-    case TestKind::ProcessorDemand:
-    case TestKind::Qpa:
-    case TestKind::AllApprox:
-      return true;
-    case TestKind::Dynamic:
-      return true;  // exact while max_level == 0 (the default)
-    default:
-      return false;
+BackendParams params_from_legacy(TestKind kind, const AnalyzerOptions& opts) {
+  switch (kind) {
+    case TestKind::SuperPos: return SuperPosParams{opts.superpos_level};
+    case TestKind::Chakraborty: return ChakrabortyParams{opts.epsilon};
+    case TestKind::ProcessorDemand: {
+      ProcessorDemandOptions po;
+      po.use_busy_period = opts.pd_use_busy_period;
+      po.max_iterations = opts.pd_max_iterations;
+      return po;
+    }
+    case TestKind::Dynamic: return opts.dynamic;
+    case TestKind::AllApprox: return opts.all_approx;
+    default: return default_params(kind);
   }
 }
 
 FeasibilityResult run_test(const TaskSet& ts, TestKind kind,
                            const AnalyzerOptions& opts) {
-  switch (kind) {
-    case TestKind::LiuLayland:
-      return liu_layland_test(ts);
-    case TestKind::Devi:
-      return devi_test(ts);
-    case TestKind::SuperPos:
-      return superpos_test(ts, opts.superpos_level);
-    case TestKind::Chakraborty:
-      return chakraborty_test(ts, opts.epsilon).base;
-    case TestKind::ProcessorDemand: {
-      ProcessorDemandOptions po;
-      po.use_busy_period = opts.pd_use_busy_period;
-      po.max_iterations = opts.pd_max_iterations;
-      return processor_demand_test(ts, po);
-    }
-    case TestKind::Qpa:
-      return qpa_test(ts);
-    case TestKind::Dynamic:
-      return dynamic_error_test(ts, opts.dynamic);
-    case TestKind::AllApprox:
-      return all_approx_test(ts, opts.all_approx);
-  }
-  return make_verdict(Verdict::Unknown);
+  if (ts.empty()) return make_verdict(Verdict::Feasible);
+  return Query::single(kind, params_from_legacy(kind, opts))
+      .with_certificates(false)
+      .run(Workload::periodic(ts))
+      .analysis;
 }
 
 std::string compare_all(const TaskSet& ts, const AnalyzerOptions& opts) {
+  Query q;
+  q.with_policy(ExecPolicy::Batch).with_certificates(false);
+  for (const TestKind k : all_test_kinds()) {
+    q.add(k, params_from_legacy(k, opts));
+  }
   std::ostringstream os;
   os << std::left << std::setw(18) << "test" << std::setw(12) << "verdict"
      << std::setw(12) << "iterations" << std::setw(11) << "revisions"
      << "max interval\n";
-  for (const TestKind k : all_test_kinds()) {
-    const FeasibilityResult r = run_test(ts, k, opts);
-    os << std::left << std::setw(18) << to_string(k) << std::setw(12)
-       << to_string(r.verdict) << std::setw(12) << r.iterations
-       << std::setw(11) << r.revisions << r.max_interval_tested << "\n";
+  if (ts.empty()) return os.str();
+  const Outcome out = q.run(Workload::periodic(ts));
+  for (const BackendAttempt& a : out.attempts) {
+    os << std::left << std::setw(18) << to_string(a.kind) << std::setw(12)
+       << to_string(a.result.verdict) << std::setw(12) << a.result.iterations
+       << std::setw(11) << a.result.revisions << a.result.max_interval_tested
+       << "\n";
   }
   return os.str();
 }

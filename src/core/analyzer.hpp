@@ -1,7 +1,11 @@
 /// \file analyzer.hpp
-/// Facade over every feasibility test in edfkit: pick a test by enum,
-/// run it, get a uniform instrumented result. This is the entry point the
-/// examples and the benchmark harness use.
+/// DEPRECATED facade kept as a thin shim over the unified query API
+/// (src/query/). `TestKind` now lives in query/registry.hpp as the
+/// backend-registry lookup key; `run_test`/`compare_all` translate the
+/// legacy kitchen-sink `AnalyzerOptions` into the typed per-backend
+/// parameters and route through `Query`. New code should build a
+/// `Query` directly (see query/query.hpp and the README migration
+/// guide).
 #pragma once
 
 #include <string>
@@ -11,28 +15,14 @@
 #include "core/all_approx.hpp"
 #include "core/dynamic_test.hpp"
 #include "model/task_set.hpp"
+#include "query/options.hpp"
+#include "query/registry.hpp"
 
 namespace edfkit {
 
-/// Every analysis the library implements.
-enum class TestKind : int {
-  LiuLayland,       ///< utilization bound [12] (exact for implicit deadlines)
-  Devi,             ///< sufficient test [9]
-  SuperPos,         ///< superposition approximation [1], needs `level`
-  Chakraborty,      ///< approximate analysis [8], needs `epsilon`
-  ProcessorDemand,  ///< exact test [3]
-  Qpa,              ///< exact test (Zhang & Burns 2009, extension)
-  Dynamic,          ///< NEW: dynamic-error exact test (paper §4.1)
-  AllApprox,        ///< NEW: all-approximated exact test (paper §4.2)
-};
-
-[[nodiscard]] const char* to_string(TestKind k) noexcept;
-/// All kinds, in declaration order (for sweeps).
-[[nodiscard]] const std::vector<TestKind>& all_test_kinds();
-/// True for tests whose Feasible *and* Infeasible verdicts are exact.
-[[nodiscard]] bool is_exact(TestKind k) noexcept;
-
-/// Knobs for run_test; only the fields relevant to the chosen kind apply.
+/// Legacy knob pile for run_test; only the fields relevant to the chosen
+/// kind apply. Superseded by the typed per-backend structs in
+/// query/options.hpp.
 struct AnalyzerOptions {
   Time superpos_level = 3;     ///< for TestKind::SuperPos
   double epsilon = 0.25;       ///< for TestKind::Chakraborty
@@ -42,15 +32,21 @@ struct AnalyzerOptions {
   std::uint64_t pd_max_iterations = 0;
 };
 
-/// Run one test.
+/// Map the legacy options onto the typed params of one backend.
+[[nodiscard]] BackendParams params_from_legacy(TestKind kind,
+                                               const AnalyzerOptions& opts);
+
+/// DEPRECATED: run one test. Equivalent to
+/// `Query::single(kind, params_from_legacy(kind, opts))
+///      .with_certificates(false).run(ts)` for non-empty sets; empty sets
+/// keep the historical trivially-Feasible behavior.
 [[nodiscard]] FeasibilityResult run_test(const TaskSet& ts, TestKind kind,
                                          const AnalyzerOptions& opts = {});
 
-/// Run every test and render a comparison table (diagnostics/examples).
-/// The admission subsystem's escalation ladder (admission/controller.hpp)
-/// is a subset of these columns — liu-layland, chakraborty at
-/// `opts.epsilon`, then the configured exact fallback — so this table
-/// also previews which rung would settle the set at admission time.
+/// Run every registered backend and render a comparison table
+/// (diagnostics/examples). The admission subsystem's escalation ladder
+/// (admission/controller.hpp) is a subset of these columns — see
+/// default_ladder_kinds() in query/query.hpp.
 [[nodiscard]] std::string compare_all(const TaskSet& ts,
                                       const AnalyzerOptions& opts = {});
 

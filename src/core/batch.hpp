@@ -1,8 +1,13 @@
 /// \file batch.hpp
-/// Batch feasibility analysis: run a selection of tests over many task
-/// sets and aggregate verdicts, effort and disagreements into a report —
-/// the workflow of a design-space exploration loop or a CI gate over a
+/// Batch feasibility analysis: route many task sets through one query and
+/// aggregate verdicts, effort and disagreements into a report — the
+/// workflow of a design-space exploration loop or a CI gate over a
 /// directory of task-set files.
+///
+/// The batch runner is the query API's Batch execution policy applied
+/// per entry: `run_batch(entries, query)` takes any Query (its backend
+/// selection defines the column order) and runs it on every entry. The
+/// legacy `BatchConfig` path remains as a thin shim.
 #pragma once
 
 #include <string>
@@ -10,6 +15,7 @@
 
 #include "core/analyzer.hpp"
 #include "model/task_set.hpp"
+#include "query/query.hpp"
 #include "util/stats.hpp"
 
 namespace edfkit {
@@ -19,6 +25,7 @@ struct BatchEntry {
   TaskSet tasks;
 };
 
+/// DEPRECATED legacy batch configuration; superseded by passing a Query.
 struct BatchConfig {
   /// Tests to run per set, in column order. For previewing the online
   /// admission controller's escalation ladder offline, populate this
@@ -39,7 +46,7 @@ struct BatchRow {
   std::string name;
   std::size_t tasks = 0;
   double utilization = 0.0;
-  std::vector<BatchCell> cells;  ///< one per BatchConfig::tests entry
+  std::vector<BatchCell> cells;  ///< one per selected backend
 };
 
 struct BatchReport {
@@ -57,9 +64,16 @@ struct BatchReport {
   [[nodiscard]] std::string to_string() const;
   /// Render as CSV (header + one line per row).
   [[nodiscard]] std::string to_csv() const;
+  /// Render as machine-readable JSON (tests, rows, aggregates).
+  [[nodiscard]] std::string to_json() const;
 };
 
-/// Run the batch. Rows keep the input order.
+/// Run `query`'s backend selection over every entry (Batch policy; the
+/// query's params and limits apply per backend). Rows keep input order.
+[[nodiscard]] BatchReport run_batch(const std::vector<BatchEntry>& entries,
+                                    const Query& query);
+
+/// DEPRECATED shim: translate the legacy config into a Query.
 [[nodiscard]] BatchReport run_batch(const std::vector<BatchEntry>& entries,
                                     const BatchConfig& config = {});
 
@@ -68,5 +82,7 @@ struct BatchReport {
 /// not silently skip inputs).
 [[nodiscard]] BatchReport run_batch_files(
     const std::vector<std::string>& paths, const BatchConfig& config = {});
+[[nodiscard]] BatchReport run_batch_files(
+    const std::vector<std::string>& paths, const Query& query);
 
 }  // namespace edfkit

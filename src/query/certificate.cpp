@@ -1,0 +1,295 @@
+#include "query/certificate.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/utilization.hpp"
+#include "demand/accumulator.hpp"
+#include "demand/approx.hpp"
+#include "demand/dbf.hpp"
+#include "demand/intervals.hpp"
+#include "util/fixedpoint.hpp"
+
+namespace edfkit {
+namespace {
+
+CertificateCheck rejected(std::string reason) {
+  CertificateCheck c;
+  c.valid = false;
+  c.reason = std::move(reason);
+  return c;
+}
+
+/// U <= 1 provable with exact rationals? (Marginal fixed-point fallbacks
+/// are not accepted as certificate evidence — the checker only signs off
+/// on claims it can fully re-establish.)
+bool utilization_provably_at_most_one(const TaskSet& ts) {
+  const UtilizationClass uc = classify_utilization(ts);
+  return uc == UtilizationClass::BelowOne ||
+         uc == UtilizationClass::ExactlyOne;
+}
+
+/// Border must be an absolute job deadline of `t`: D_eff + k*T (k >= 0),
+/// or exactly D_eff for one-shot tasks.
+bool border_is_job_deadline(const Task& t, Time border) noexcept {
+  const Time d = t.effective_deadline();
+  if (border < d || is_time_infinite(border)) return false;
+  if (is_time_infinite(t.period)) return border == d;
+  return floor_mod(border - d, t.period) == 0;
+}
+
+CertificateCheck verify_borders(const TaskSet& ts, const Certificate& c,
+                                std::uint64_t max_points) {
+  CertificateCheck out;
+  if (c.borders.size() != ts.size()) {
+    return rejected("border count does not match task count");
+  }
+  if (!utilization_provably_at_most_one(ts)) {
+    return rejected("utilization not provably <= 1");
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!border_is_job_deadline(ts[i], c.borders[i])) {
+      return rejected("border " + std::to_string(c.borders[i]) +
+                      " is not a job deadline of task " + std::to_string(i));
+    }
+  }
+
+  // Regenerate every job deadline <= its task's border and replay the
+  // demand/capacity comparison with exact rationals. Between the points
+  // dbf' is piecewise linear with slope <= U <= 1 (Lemmas 1/3/4), so
+  // pointwise acceptance here proves dbf(I) <= dbf'(I) <= I everywhere.
+  TestList list;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    list.add(i, ts[i].effective_deadline());
+  }
+  while (!list.empty()) {
+    const Time point = list.peek().interval;
+    while (!list.empty() && list.peek().interval == point) {
+      const auto e = list.pop();
+      if (point < c.borders[e.task]) {
+        const Time nxt = ts[e.task].next_deadline_after(point);
+        if (!is_time_infinite(nxt)) list.add(e.task, nxt);
+      }
+    }
+    if (++out.points_checked > max_points) {
+      return rejected("certificate exceeds the verification point cap");
+    }
+    // Two-stage exact comparison, mirroring the accumulator's strategy:
+    // certified 2^-62 fixed-point bounds settle almost every point; only
+    // bound-straddling points (equality) pay the exact rationals.
+    std::vector<bool> approximated(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      approximated[i] = c.borders[i] < point;
+    }
+    const ScaledDemand scaled =
+        recompute_demand_scaled(ts, approximated, point);
+    const Int128 cap = static_cast<Int128>(point) * kFixedPointScale;
+    if (scaled.hi > cap) {
+      if (scaled.lo > cap) {
+        return rejected("demand exceeds capacity at I=" +
+                        std::to_string(point));
+      }
+      Rational demand;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        demand += approx_dbf(ts[i], point, c.borders[i]);
+      }
+      if (!demand.exact()) {
+        return rejected("rational arithmetic degraded; unverifiable");
+      }
+      if (!demand.certainly_le(point)) {
+        std::ostringstream os;
+        os << "demand " << demand.to_string() << " exceeds capacity at I="
+           << point;
+        return rejected(os.str());
+      }
+    }
+  }
+  out.valid = true;
+  return out;
+}
+
+CertificateCheck verify_exhaustive(const TaskSet& ts, const Certificate& c,
+                                   std::uint64_t max_points) {
+  CertificateCheck out;
+  if (!utilization_provably_at_most_one(ts)) {
+    return rejected("utilization not provably <= 1");
+  }
+  // The checker trusts only its own horizon: the certificate's bound must
+  // cover it (a shrunk/mutated bound is rejected), and the replay runs to
+  // the checker's bound.
+  const Time horizon = implicit_test_bound(ts);
+  if (c.bound < horizon) {
+    return rejected("certificate bound " + std::to_string(c.bound) +
+                    " is below the sound replay horizon " +
+                    std::to_string(horizon));
+  }
+  TestList list;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Time d0 = ts[i].effective_deadline();
+    if (d0 <= horizon) list.add(i, d0);
+  }
+  Time demand = 0;
+  while (!list.empty()) {
+    const Time point = list.peek().interval;
+    while (!list.empty() && list.peek().interval == point) {
+      const auto e = list.pop();
+      demand = add_saturating(demand, ts[e.task].wcet);
+      const Time nxt = ts[e.task].next_deadline_after(point);
+      if (nxt <= horizon && !is_time_infinite(nxt)) list.add(e.task, nxt);
+    }
+    if (++out.points_checked > max_points) {
+      return rejected("certificate exceeds the verification point cap");
+    }
+    if (demand > point) {
+      return rejected("exact demand exceeds capacity at I=" +
+                      std::to_string(point));
+    }
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(CertificateKind k) noexcept {
+  switch (k) {
+    case CertificateKind::None: return "none";
+    case CertificateKind::FeasibleBorders: return "feasible-borders";
+    case CertificateKind::FeasibleExhaustive: return "feasible-exhaustive";
+    case CertificateKind::InfeasibleWitness: return "infeasible-witness";
+    case CertificateKind::InfeasibleOverload: return "infeasible-overload";
+  }
+  return "?";
+}
+
+std::string Certificate::to_string() const {
+  std::ostringstream os;
+  os << edfkit::to_string(kind);
+  switch (kind) {
+    case CertificateKind::InfeasibleWitness: os << "(W=" << witness << ")";
+      break;
+    case CertificateKind::FeasibleExhaustive: os << "(B=" << bound << ")";
+      break;
+    case CertificateKind::FeasibleBorders:
+      os << "(n=" << borders.size() << ")";
+      break;
+    default: break;
+  }
+  return os.str();
+}
+
+CertificateCheck verify(const TaskSet& ts, const Certificate& c,
+                        std::uint64_t max_points) {
+  switch (c.kind) {
+    case CertificateKind::None:
+      return rejected("no certificate attached");
+    case CertificateKind::InfeasibleWitness: {
+      CertificateCheck out;
+      if (c.witness <= 0) return rejected("witness interval must be > 0");
+      out.points_checked = 1;
+      if (dbf(ts, c.witness) <= c.witness) {
+        return rejected("exact dbf does not exceed the witness interval");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::InfeasibleOverload: {
+      CertificateCheck out;
+      out.points_checked = 1;
+      if (classify_utilization(ts) != UtilizationClass::AboveOne) {
+        return rejected("utilization not provably > 1");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::FeasibleBorders:
+      return verify_borders(ts, c, max_points);
+    case CertificateKind::FeasibleExhaustive:
+      return verify_exhaustive(ts, c, max_points);
+  }
+  return rejected("unknown certificate kind");
+}
+
+CertificateCheck verify(const Workload& w, const Certificate& c,
+                        std::uint64_t max_points) {
+  return verify(w.tasks(), c, max_points);
+}
+
+Certificate make_infeasibility_certificate(const FeasibilityResult& r) {
+  Certificate c;
+  if (r.witness >= 0) {
+    c.kind = CertificateKind::InfeasibleWitness;
+    c.witness = r.witness;
+  } else {
+    c.kind = CertificateKind::InfeasibleOverload;
+  }
+  return c;
+}
+
+std::optional<Certificate> build_feasibility_certificate(
+    const TaskSet& ts, std::uint64_t step_cap) {
+  Certificate cert;
+  cert.kind = CertificateKind::FeasibleBorders;
+  if (ts.empty()) return cert;
+  if (!utilization_provably_at_most_one(ts)) return std::nullopt;
+
+  const auto exhaustive_fallback = [&]() -> std::optional<Certificate> {
+    Certificate c;
+    c.kind = CertificateKind::FeasibleExhaustive;
+    c.bound = implicit_test_bound(ts);
+    return c;
+  };
+
+  // All-approximated sweep (paper Fig. 7, FIFO revision) run to test-list
+  // drain — not to a bound — so the recorded per-task borders cover every
+  // point the checker will regenerate. Revising a task re-enters its next
+  // deadline, and re-approximating it there raises its border; at drain
+  // every recorded border is the task's last verified job deadline.
+  TestList list;
+  std::vector<bool> approximated(ts.size(), false);
+  std::deque<std::size_t> approx_fifo;
+  cert.borders.assign(ts.size(), 0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    list.add(i, ts[i].effective_deadline());
+  }
+  DemandAccumulator acc;
+  Time iold = 0;
+  std::uint64_t steps = 0;
+
+  while (!list.empty()) {
+    if (++steps > step_cap) return exhaustive_fallback();
+    const auto entry = list.pop();
+    const Time point = entry.interval;
+    acc.advance(point - iold);
+    acc.add_job(ts[entry.task].wcet);
+
+    while (true) {
+      bool degraded = false;
+      const Ordering cmp =
+          acc.compare_with_refresh(ts, approximated, point, &degraded);
+      if (cmp != Ordering::Greater) break;
+      if (approx_fifo.empty()) {
+        // Every task exact: either a true overflow (the set is not
+        // feasible — never certify) or degraded arithmetic (fall back).
+        return degraded ? exhaustive_fallback() : std::nullopt;
+      }
+      if (++steps > step_cap) return exhaustive_fallback();
+      const std::size_t ti = approx_fifo.front();
+      approx_fifo.pop_front();
+      acc.revise(ts[ti], point);
+      approximated[ti] = false;
+      const Time nxt = ts[ti].next_deadline_after(point);
+      if (!is_time_infinite(nxt)) list.add(ti, nxt);
+    }
+
+    acc.approximate(ts[entry.task]);
+    approximated[entry.task] = true;
+    approx_fifo.push_back(entry.task);
+    cert.borders[entry.task] = point;
+    iold = point;
+  }
+  return cert;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,111 @@
+/// \file certificate.hpp
+/// Machine-checkable certificates for feasibility verdicts, with an
+/// independent checker.
+///
+/// Infeasibility is certified by replayable evidence: either a witness
+/// interval W with exact dbf(W) > W (checked by one exact dbf
+/// evaluation), or provable over-utilization U > 1 (checked by the exact
+/// rational classifier).
+///
+/// Feasibility by an exact test is certified by a *superposition-border
+/// certificate*: one job deadline b_i ("border") per task, with the claim
+/// that the approximated demand dbf'(I) — exact per task up to its
+/// border, linear envelope beyond (paper Defs. 4/5) — stays at or below
+/// capacity at every absolute job deadline <= its task's border. The
+/// checker re-derives feasibility from nothing but the borders and the
+/// paper's lemmas:
+///   1. exact rational U <= 1 (Lemma 1 tail argument needs it);
+///   2. every border is a job deadline of its task;
+///   3. regenerating ALL deadline points {D_i + k*T_i <= b_i} and
+///      evaluating dbf' with exact rational arithmetic at each, demand
+///      never exceeds capacity.
+/// Between checked points dbf' is piecewise linear with slope <= U <= 1
+/// against a capacity line of slope 1, and beyond the largest border
+/// every task is on its envelope — so pointwise acceptance at the
+/// regenerated points proves dbf(I) <= dbf'(I) <= I for every I > 0
+/// (Lemmas 1/3/4). The checker shares no code path with the tests other
+/// than the Def. 4/5 demand formulas; a mutated certificate (border off a
+/// deadline, border shrunk below a violation, transplanted task set)
+/// fails one of the three checks.
+///
+/// The rare fallback (step-capped construction at U == 1) is an
+/// exhaustive certificate: a bound B such that checking the exact dbf at
+/// every deadline in (0, B] proves feasibility; the checker recomputes
+/// its own sound bound and replays the full scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+#include "query/workload.hpp"
+
+namespace edfkit {
+
+enum class CertificateKind : std::uint8_t {
+  None,                ///< no certificate attached
+  FeasibleBorders,     ///< per-task superposition borders (see above)
+  FeasibleExhaustive,  ///< bound B; full exact-dbf replay over (0, B]
+  InfeasibleWitness,   ///< interval W with exact dbf(W) > W
+  InfeasibleOverload,  ///< exact utilization > 1
+};
+
+[[nodiscard]] const char* to_string(CertificateKind k) noexcept;
+
+struct Certificate {
+  CertificateKind kind = CertificateKind::None;
+  /// InfeasibleWitness: the overflow interval W.
+  Time witness = -1;
+  /// FeasibleExhaustive: the replay bound B.
+  Time bound = 0;
+  /// FeasibleBorders: border b_i per task, aligned with task order.
+  std::vector<Time> borders;
+
+  [[nodiscard]] bool present() const noexcept {
+    return kind != CertificateKind::None;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Verdict of the independent checker.
+struct CertificateCheck {
+  bool valid = false;
+  /// Demand/capacity comparisons the checker replayed.
+  std::uint64_t points_checked = 0;
+  /// Human-readable rejection reason (empty when valid).
+  std::string reason;
+};
+
+/// Default cap on checker comparisons (guards hyperperiod blow-ups in
+/// the exhaustive form; certificates needing more are rejected as
+/// unverifiable, never accepted unchecked).
+inline constexpr std::uint64_t kDefaultVerifyPointCap = 1u << 22;
+
+/// Independently verify `c` against `ts`. Accepts only certificates
+/// whose claim it can fully re-establish with exact arithmetic.
+[[nodiscard]] CertificateCheck verify(
+    const TaskSet& ts, const Certificate& c,
+    std::uint64_t max_points = kDefaultVerifyPointCap);
+
+/// Workload overload: verifies against the canonical sporadic form.
+[[nodiscard]] CertificateCheck verify(
+    const Workload& w, const Certificate& c,
+    std::uint64_t max_points = kDefaultVerifyPointCap);
+
+/// Build the infeasibility certificate matching an Infeasible result:
+/// witness form when `r.witness >= 0`, overload form otherwise.
+[[nodiscard]] Certificate make_infeasibility_certificate(
+    const FeasibilityResult& r);
+
+/// Construct a feasibility certificate for a provably feasible set by an
+/// all-approximated superposition sweep that records per-task borders.
+/// Falls back to the exhaustive form when the sweep exceeds `step_cap`
+/// (possible only for pathological U == 1 sets). Returns nullopt when the
+/// set is not provably feasible (never emits an unsound certificate).
+[[nodiscard]] std::optional<Certificate> build_feasibility_certificate(
+    const TaskSet& ts, std::uint64_t step_cap = 1u << 20);
+
+}  // namespace edfkit

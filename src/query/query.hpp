@@ -1,0 +1,147 @@
+/// \file query.hpp
+/// The unified analysis service: one entry point every caller routes
+/// through — examples, the batch analyzer, the admission controller's
+/// escalation ladder, and the bench harness.
+///
+/// A `Query` selects backends from the registry (with typed, validated
+/// per-backend parameters), an execution policy, resource limits, and
+/// whether outcomes should carry machine-checkable certificates. It runs
+/// against a `Workload` (task set or event streams) and returns a uniform
+/// `Outcome`.
+///
+/// Policies:
+///   Single     run exactly one backend.
+///   Ladder     escalate through the selection in order, stopping at the
+///              first decisive (Feasible/Infeasible) verdict — the online
+///              admission controller's ladder is this policy over the
+///              registry's incremental backends plus an exact fallback.
+///   Portfolio  race the selection on threads; the first decisive verdict
+///              wins (losers run to completion under their own limits —
+///              backends have no cancellation points).
+///   Batch      run every selected backend and report all verdicts (the
+///              comparison-table / batch-column workflow).
+///
+/// Backends that do not support the workload's kind are skipped under
+/// multi-backend policies (and rejected under Single) — capability
+/// filtering replaces the old hard-coded test lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "query/certificate.hpp"
+#include "query/options.hpp"
+#include "query/registry.hpp"
+#include "query/workload.hpp"
+
+namespace edfkit {
+
+enum class ExecPolicy : std::uint8_t { Single, Ladder, Portfolio, Batch };
+
+[[nodiscard]] const char* to_string(ExecPolicy p) noexcept;
+
+/// One backend the query will (attempt to) run.
+struct BackendSelection {
+  TestKind kind;
+  BackendParams params;
+};
+
+/// One executed backend with its instrumented result.
+struct BackendAttempt {
+  TestKind kind;
+  FeasibilityResult result;
+};
+
+/// Uniform result of a query.
+struct Outcome {
+  /// Combined verdict under the policy (see decided_by).
+  Verdict verdict = Verdict::Unknown;
+  /// True when some backend produced a decisive Feasible/Infeasible.
+  bool decided = false;
+  /// The backend whose verdict stands (meaningful when decided).
+  TestKind decided_by = TestKind::LiuLayland;
+  /// The deciding backend's instrumented result (last attempt otherwise).
+  FeasibilityResult analysis;
+  /// Every backend that ran, in completion order.
+  std::vector<BackendAttempt> attempts;
+  /// Backends skipped because they do not support the workload kind.
+  std::vector<TestKind> skipped;
+  /// Machine-checkable evidence (kind None when not requested or when
+  /// the verdict is Unknown). See certificate.hpp / verify().
+  Certificate certificate;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return verdict == Verdict::Feasible;
+  }
+  [[nodiscard]] bool infeasible() const noexcept {
+    return verdict == Verdict::Infeasible;
+  }
+  /// Sum of effort over every attempt (the ladder/portfolio cost).
+  [[nodiscard]] std::uint64_t total_effort() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Query {
+ public:
+  /// Empty selection; add backends with add(). Policy defaults to Batch.
+  Query() = default;
+
+  /// One backend, default or explicit params.
+  [[nodiscard]] static Query single(TestKind kind);
+  [[nodiscard]] static Query single(TestKind kind, BackendParams params);
+
+  /// The default escalation ladder: the registry's incremental backends
+  /// (utilization, epsilon-approximate) then an exact fallback.
+  [[nodiscard]] static Query ladder(TestKind exact_fallback = TestKind::Qpa,
+                                    double epsilon = 0.25,
+                                    bool include_exact = true);
+
+  /// Race every exact backend in the registry.
+  [[nodiscard]] static Query portfolio();
+
+  /// Run all `kinds` with default params and report every verdict.
+  [[nodiscard]] static Query batch(const std::vector<TestKind>& kinds);
+
+  Query& add(TestKind kind);
+  Query& add(TestKind kind, BackendParams params);
+  Query& with_policy(ExecPolicy policy);
+  Query& with_limits(ResourceLimits limits);
+  Query& with_certificates(bool want);
+
+  [[nodiscard]] const std::vector<BackendSelection>& backends() const noexcept {
+    return backends_;
+  }
+  [[nodiscard]] ExecPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const ResourceLimits& limits() const noexcept {
+    return limits_;
+  }
+  [[nodiscard]] bool certificates() const noexcept { return certificates_; }
+
+  /// Boundary validation (also run by run()): throws std::invalid_argument
+  /// on an empty selection, on out-of-range parameters (epsilon outside
+  /// (0,1), superpos level < 1, ...), or on a Single policy with an
+  /// unsupported/ambiguous selection.
+  void validate() const;
+
+  /// Execute against `w`. \throws std::invalid_argument on validation
+  /// failure, an empty (zero-task) workload, or when no selected backend
+  /// supports the workload's kind.
+  [[nodiscard]] Outcome run(const Workload& w) const;
+
+ private:
+  std::vector<BackendSelection> backends_;
+  ExecPolicy policy_ = ExecPolicy::Batch;
+  ResourceLimits limits_;
+  bool certificates_ = true;
+};
+
+/// The escalation-ladder kinds the default ladder (and the online
+/// admission controller) run, in order: the registry's incremental
+/// backends, then `exact_fallback` when included. \throws when
+/// include_exact and the fallback is not exact.
+[[nodiscard]] std::vector<TestKind> default_ladder_kinds(
+    TestKind exact_fallback = TestKind::Qpa, bool include_exact = true);
+
+}  // namespace edfkit

@@ -1,0 +1,166 @@
+#include "query/registry.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "analysis/chakraborty.hpp"
+#include "analysis/devi.hpp"
+#include "analysis/processor_demand.hpp"
+#include "analysis/qpa.hpp"
+#include "analysis/utilization.hpp"
+#include "core/all_approx.hpp"
+#include "core/dynamic_test.hpp"
+#include "core/superpos.hpp"
+#include "rtc/rtc_feas.hpp"
+
+namespace edfkit {
+namespace {
+
+FeasibilityResult run_liu_layland(const TaskSet& ts, const BackendParams&) {
+  return liu_layland_test(ts);
+}
+FeasibilityResult run_devi(const TaskSet& ts, const BackendParams&) {
+  return devi_test(ts);
+}
+FeasibilityResult run_superpos(const TaskSet& ts, const BackendParams& p) {
+  return superpos_test(ts, std::get<SuperPosParams>(p).level);
+}
+FeasibilityResult run_chakraborty(const TaskSet& ts, const BackendParams& p) {
+  return chakraborty_test(ts, std::get<ChakrabortyParams>(p).epsilon).base;
+}
+FeasibilityResult run_processor_demand(const TaskSet& ts,
+                                       const BackendParams& p) {
+  return processor_demand_test(ts, std::get<ProcessorDemandOptions>(p));
+}
+FeasibilityResult run_qpa(const TaskSet& ts, const BackendParams&) {
+  return qpa_test(ts);
+}
+FeasibilityResult run_dynamic(const TaskSet& ts, const BackendParams& p) {
+  return dynamic_error_test(ts, std::get<DynamicTestOptions>(p));
+}
+FeasibilityResult run_all_approx(const TaskSet& ts, const BackendParams& p) {
+  return all_approx_test(ts, std::get<AllApproxOptions>(p));
+}
+FeasibilityResult run_rtc_curve(const TaskSet& ts, const BackendParams&) {
+  return rtc::rtc_feasibility_test(ts);
+}
+FeasibilityResult run_devi_envelope(const TaskSet& ts, const BackendParams&) {
+  return rtc::devi_envelope_test(ts);
+}
+
+}  // namespace
+
+const char* to_string(TestKind k) noexcept {
+  const BackendInfo* info = BackendRegistry::instance().find(k);
+  return info != nullptr ? info->name : "?";
+}
+
+BackendRegistry::BackendRegistry() {
+  // Registration order == TestKind declaration order == sweep order.
+  // LiuLayland does not take event streams: the offset expansion folds
+  // tuple offsets into deadlines, so the implicit-deadline acceptance
+  // direction never applies to genuinely bursty streams and only the
+  // vacuous U > 1 direction would remain.
+  backends_ = {
+      {TestKind::LiuLayland, "liu-layland",
+       "utilization bound [12]; exact for implicit deadlines",
+       /*exact=*/false, /*tasks=*/true, /*streams=*/false,
+       /*incremental=*/true, &run_liu_layland},
+      {TestKind::Devi, "devi", "sufficient density test [9]",
+       /*exact=*/false, true, true, /*incremental=*/false, &run_devi},
+      {TestKind::SuperPos, "superpos",
+       "superposition approximation SuperPos(x) [1]",
+       /*exact=*/false, true, true, /*incremental=*/false, &run_superpos},
+      {TestKind::Chakraborty, "chakraborty",
+       "epsilon-approximate analysis [8]",
+       /*exact=*/false, true, true, /*incremental=*/true, &run_chakraborty},
+      {TestKind::ProcessorDemand, "processor-demand",
+       "classic exact processor-demand test [3]",
+       /*exact=*/true, true, true, /*incremental=*/false,
+       &run_processor_demand},
+      {TestKind::Qpa, "qpa", "quick processor-demand analysis (exact)",
+       /*exact=*/true, true, true, /*incremental=*/false, &run_qpa},
+      {TestKind::Dynamic, "dynamic",
+       "dynamic-error exact test (paper 4.1)",
+       /*exact=*/true, true, true, /*incremental=*/false, &run_dynamic},
+      {TestKind::AllApprox, "all-approx",
+       "all-approximated exact test (paper 4.2)",
+       /*exact=*/true, true, true, /*incremental=*/false, &run_all_approx},
+      {TestKind::RtcCurve, "rtc-curve",
+       "real-time-calculus 2-segment curve test (3.6, sufficient)",
+       /*exact=*/false, true, true, /*incremental=*/false, &run_rtc_curve},
+      {TestKind::DeviEnvelope, "devi-envelope",
+       "Devi envelopes on the curve machinery (3.6, sufficient)",
+       /*exact=*/false, true, true, /*incremental=*/false,
+       &run_devi_envelope},
+  };
+}
+
+const BackendRegistry& BackendRegistry::instance() {
+  static const BackendRegistry registry;
+  return registry;
+}
+
+const BackendInfo* BackendRegistry::find(TestKind k) const noexcept {
+  for (const BackendInfo& b : backends_) {
+    if (b.kind == k) return &b;
+  }
+  return nullptr;
+}
+
+const BackendInfo* BackendRegistry::find(
+    std::string_view name) const noexcept {
+  for (const BackendInfo& b : backends_) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<TestKind> BackendRegistry::exact_kinds() const {
+  std::vector<TestKind> out;
+  for (const BackendInfo& b : backends_) {
+    if (b.exact) out.push_back(b.kind);
+  }
+  return out;
+}
+
+std::vector<TestKind> BackendRegistry::kinds_for(WorkloadKind w) const {
+  std::vector<TestKind> out;
+  for (const BackendInfo& b : backends_) {
+    if (b.supports(w)) out.push_back(b.kind);
+  }
+  return out;
+}
+
+std::string BackendRegistry::capability_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << "backend" << std::setw(8) << "exact"
+     << std::setw(8) << "tasks" << std::setw(9) << "streams"
+     << std::setw(13) << "incremental" << "summary\n";
+  for (const BackendInfo& b : backends_) {
+    os << std::left << std::setw(18) << b.name << std::setw(8)
+       << (b.exact ? "yes" : "no") << std::setw(8)
+       << (b.supports_tasks ? "yes" : "no") << std::setw(9)
+       << (b.supports_streams ? "yes" : "no") << std::setw(13)
+       << (b.incremental ? "yes" : "no") << b.summary << "\n";
+  }
+  return os.str();
+}
+
+const std::vector<TestKind>& all_test_kinds() {
+  static const std::vector<TestKind> kinds = [] {
+    std::vector<TestKind> out;
+    for (const BackendInfo& b : BackendRegistry::instance().all()) {
+      out.push_back(b.kind);
+    }
+    return out;
+  }();
+  return kinds;
+}
+
+bool is_exact(TestKind k) noexcept {
+  const BackendInfo* info = BackendRegistry::instance().find(k);
+  return info != nullptr && info->exact;
+}
+
+}  // namespace edfkit

@@ -1,0 +1,103 @@
+/// \file registry.hpp
+/// The backend registry of the unified query API: every feasibility test
+/// in edfkit registers here with its name, exactness, supported workload
+/// kinds, and incremental (admission-usable) capability. `TestKind` — the
+/// enum callers historically switched over — is now just a lookup key
+/// into this table; sweeps, ladders, and the batch analyzer enumerate the
+/// registry instead of hard-coded kind lists.
+///
+/// Backends run through a uniform function-pointer entry taking the
+/// canonical sporadic `TaskSet` plus their typed parameter struct (see
+/// options.hpp); the Query layer (query.hpp) handles workload
+/// normalization, validation, policies, and certificates on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "model/task_set.hpp"
+#include "query/options.hpp"
+#include "query/workload.hpp"
+
+namespace edfkit {
+
+/// Every analysis the library implements. A lookup key into the
+/// BackendRegistry; new backends extend the enum and register a row.
+enum class TestKind : int {
+  LiuLayland,       ///< utilization bound [12] (exact for implicit deadlines)
+  Devi,             ///< sufficient test [9]
+  SuperPos,         ///< superposition approximation [1], needs `level`
+  Chakraborty,      ///< approximate analysis [8], needs `epsilon`
+  ProcessorDemand,  ///< exact test [3]
+  Qpa,              ///< exact test (Zhang & Burns 2009, extension)
+  Dynamic,          ///< dynamic-error exact test (paper §4.1)
+  AllApprox,        ///< all-approximated exact test (paper §4.2)
+  RtcCurve,         ///< real-time-calculus 2-segment curve test (§3.6)
+  DeviEnvelope,     ///< Devi's envelopes on the RTC curve machinery (§3.6)
+};
+
+[[nodiscard]] const char* to_string(TestKind k) noexcept;
+
+/// One registered backend: capabilities plus the uniform runner.
+struct BackendInfo {
+  TestKind kind;
+  const char* name;     ///< stable registry/CLI name (e.g. "qpa")
+  const char* summary;  ///< one-line description for listings
+  /// True for tests whose Feasible *and* Infeasible verdicts are proofs.
+  bool exact = false;
+  /// Workload kinds the backend accepts (event streams run on the exact
+  /// dbf-preserving sporadic expansion unless natively supported).
+  bool supports_tasks = true;
+  bool supports_streams = true;
+  /// True when the test has an incremental/online formulation used by the
+  /// admission controller's cheap rungs (utilization, epsilon-approx).
+  bool incremental = false;
+  /// Uniform entry point: canonical sporadic form + typed params. The
+  /// params variant must hold the alternative for `kind` (see
+  /// validate_params); Query guarantees this before dispatch.
+  FeasibilityResult (*run)(const TaskSet& ts, const BackendParams& params);
+
+  [[nodiscard]] bool supports(WorkloadKind w) const noexcept {
+    return w == WorkloadKind::PeriodicTasks ? supports_tasks
+                                            : supports_streams;
+  }
+};
+
+/// Immutable singleton table of every backend.
+class BackendRegistry {
+ public:
+  [[nodiscard]] static const BackendRegistry& instance();
+
+  /// Lookup by kind; never nullptr for a valid TestKind.
+  [[nodiscard]] const BackendInfo* find(TestKind k) const noexcept;
+  /// Lookup by stable name ("qpa", "all-approx", ...); nullptr if unknown.
+  [[nodiscard]] const BackendInfo* find(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::span<const BackendInfo> all() const noexcept {
+    return backends_;
+  }
+
+  /// Kinds with exact == true, in registration order.
+  [[nodiscard]] std::vector<TestKind> exact_kinds() const;
+  /// Kinds supporting the given workload kind, in registration order.
+  [[nodiscard]] std::vector<TestKind> kinds_for(WorkloadKind w) const;
+
+  /// Aligned text table of the registry (name, exactness, workloads,
+  /// incremental) — the README's capability table is generated from this.
+  [[nodiscard]] std::string capability_table() const;
+
+ private:
+  BackendRegistry();
+  std::vector<BackendInfo> backends_;
+};
+
+/// All kinds, in declaration order (for sweeps). Enumerates the registry.
+[[nodiscard]] const std::vector<TestKind>& all_test_kinds();
+
+/// True for tests whose Feasible *and* Infeasible verdicts are exact.
+[[nodiscard]] bool is_exact(TestKind k) noexcept;
+
+}  // namespace edfkit

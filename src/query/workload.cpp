@@ -1,0 +1,58 @@
+#include "query/workload.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edfkit {
+
+const char* to_string(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::PeriodicTasks: return "tasks";
+    case WorkloadKind::EventStreams: return "streams";
+  }
+  return "?";
+}
+
+Workload Workload::event_streams(std::vector<EventStreamTask> streams) {
+  for (const EventStreamTask& s : streams) s.validate();
+  Workload w;
+  w.data_ = std::move(streams);
+  return w;
+}
+
+bool Workload::empty() const noexcept { return source_size() == 0; }
+
+std::size_t Workload::source_size() const noexcept {
+  if (const auto* ts = std::get_if<TaskSet>(&data_)) return ts->size();
+  return std::get<std::vector<EventStreamTask>>(data_).size();
+}
+
+const TaskSet& Workload::tasks() const {
+  if (const auto* ts = std::get_if<TaskSet>(&data_)) return *ts;
+  if (!expanded_valid_) {
+    expanded_ = expand(std::get<std::vector<EventStreamTask>>(data_));
+    expanded_valid_ = true;
+  }
+  return expanded_;
+}
+
+const std::vector<EventStreamTask>& Workload::streams() const {
+  const auto* s = std::get_if<std::vector<EventStreamTask>>(&data_);
+  if (s == nullptr) {
+    throw std::logic_error("Workload::streams: periodic-task workload");
+  }
+  return *s;
+}
+
+std::string Workload::to_string() const {
+  std::ostringstream os;
+  if (kind() == WorkloadKind::PeriodicTasks) {
+    os << "tasks(n=" << source_size() << ")";
+  } else {
+    os << "streams(n=" << source_size() << ", expanded=" << tasks().size()
+       << ")";
+  }
+  return os.str();
+}
+
+}  // namespace edfkit

@@ -1,0 +1,79 @@
+/// \file workload.hpp
+/// The workload abstraction of the unified query API: a variant over the
+/// sporadic task-set model and Gresser event-stream sets, so RTC-style
+/// bursty workloads are first-class inputs to every feasibility backend.
+///
+/// Backends analyze the *canonical sporadic form*: for periodic/sporadic
+/// workloads that is the task set itself; for event streams it is the
+/// demand-preserving expansion of model/event_stream.hpp (one sporadic
+/// task (C, D + a, z) per tuple), under which every verdict carries over
+/// verbatim. The expansion is computed once and cached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "model/event_stream.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit {
+
+/// Workload families a backend can declare support for.
+enum class WorkloadKind : std::uint8_t {
+  PeriodicTasks,  ///< sporadic/periodic task set (the paper's base model)
+  EventStreams,   ///< Gresser event-stream tasks (paper §2/§3.6)
+};
+
+[[nodiscard]] const char* to_string(WorkloadKind k) noexcept;
+
+class Workload {
+ public:
+  /// Empty periodic workload (rejected by Query::run — see query.hpp).
+  Workload() : data_(TaskSet{}) {}
+
+  /// Implicit from a task set: lets existing call sites pass a TaskSet
+  /// straight to Query::run during migration from run_test.
+  Workload(TaskSet ts) : data_(std::move(ts)) {}  // NOLINT(runtime/explicit)
+
+  [[nodiscard]] static Workload periodic(TaskSet ts) {
+    return Workload(std::move(ts));
+  }
+  [[nodiscard]] static Workload event_streams(
+      std::vector<EventStreamTask> streams);
+
+  [[nodiscard]] WorkloadKind kind() const noexcept {
+    return std::holds_alternative<TaskSet>(data_)
+               ? WorkloadKind::PeriodicTasks
+               : WorkloadKind::EventStreams;
+  }
+
+  /// True when no task/stream is present.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Number of source entities: tasks, or streams (not expanded tuples).
+  [[nodiscard]] std::size_t source_size() const noexcept;
+
+  /// Canonical sporadic form every backend runs on. For event streams
+  /// this is the exact dbf-preserving expansion (cached after first use).
+  [[nodiscard]] const TaskSet& tasks() const;
+
+  /// The stream set. \pre kind() == WorkloadKind::EventStreams
+  [[nodiscard]] const std::vector<EventStreamTask>& streams() const;
+
+  /// Exact utilization of the canonical form, as double (reporting).
+  [[nodiscard]] double utilization_double() const {
+    return tasks().utilization_double();
+  }
+
+  /// "tasks(n=..)" or "streams(n=.., expanded=..)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<TaskSet, std::vector<EventStreamTask>> data_;
+  mutable TaskSet expanded_;        // cache for the stream case
+  mutable bool expanded_valid_ = false;
+};
+
+}  // namespace edfkit

@@ -5,6 +5,12 @@
 /// demand. Provided to reproduce the paper's qualitative claim that the
 /// 2-segment RTC approximation accepts no more task sets than Devi's
 /// test (RTC ⊆ Devi ⊆ SuperPos(1)).
+///
+/// Both tests are registered with the unified query API as backends
+/// "rtc-curve" and "devi-envelope" (TestKind::RtcCurve /
+/// TestKind::DeviEnvelope, see query/registry.hpp), so event-stream and
+/// task-set workloads reach them through the same Query surface as every
+/// other test.
 #pragma once
 
 #include "analysis/types.hpp"

@@ -1,0 +1,170 @@
+#include "query/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "demand/dbf.hpp"
+#include "query/query.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::paper_random_sets;
+using testing::set_of;
+using testing::small_random_sets;
+using testing::tk;
+
+TEST(Certificate, EveryExactDecisiveOutcomeCarriesAValidCertificate) {
+  // The acceptance criterion of the query API: fuzzed task sets, every
+  // exact backend, every decisive outcome ships evidence the independent
+  // checker signs off on.
+  std::size_t feasible_seen = 0;
+  std::size_t infeasible_seen = 0;
+  for (const double u : {0.7, 0.95, 1.05}) {
+    for (const TaskSet& ts : small_random_sets(12, u, /*seed=*/421)) {
+      if (ts.empty()) continue;
+      for (const TestKind k : BackendRegistry::instance().exact_kinds()) {
+        const Outcome out = Query::single(k).run(Workload::periodic(ts));
+        ASSERT_TRUE(out.decided) << to_string(k);
+        ASSERT_TRUE(out.certificate.present()) << to_string(k);
+        const CertificateCheck check = verify(ts, out.certificate);
+        EXPECT_TRUE(check.valid)
+            << to_string(k) << ": " << check.reason << "\n" << ts.to_string();
+        (out.feasible() ? feasible_seen : infeasible_seen) += 1;
+      }
+    }
+  }
+  // The fuzz family must exercise both verdicts to mean anything.
+  EXPECT_GT(feasible_seen, 0u);
+  EXPECT_GT(infeasible_seen, 0u);
+}
+
+TEST(Certificate, PaperSizedSetsCertifyToo) {
+  for (const TaskSet& ts : paper_random_sets(6, 0.9, /*seed=*/77)) {
+    const Outcome out =
+        Query::single(TestKind::AllApprox).run(Workload::periodic(ts));
+    ASSERT_TRUE(out.decided);
+    ASSERT_TRUE(out.certificate.present());
+    const CertificateCheck check = verify(ts, out.certificate);
+    EXPECT_TRUE(check.valid) << check.reason;
+  }
+}
+
+TEST(Certificate, MutatedFeasibleBordersAreRejected) {
+  std::size_t mutated_checked = 0;
+  for (const TaskSet& ts : small_random_sets(10, 0.85, /*seed=*/11)) {
+    const Outcome out =
+        Query::single(TestKind::Qpa).run(Workload::periodic(ts));
+    if (!out.feasible() ||
+        out.certificate.kind != CertificateKind::FeasibleBorders) {
+      continue;
+    }
+    ASSERT_TRUE(verify(ts, out.certificate).valid);
+
+    // Mutation 1: push a border below the task's first deadline — no
+    // longer a job deadline, whatever the period lattice.
+    Certificate off = out.certificate;
+    off.borders[0] = ts[0].effective_deadline() - 1;
+    EXPECT_FALSE(verify(ts, off).valid);
+
+    // Mutation 2: drop a border (count mismatch).
+    Certificate dropped = out.certificate;
+    dropped.borders.pop_back();
+    EXPECT_FALSE(verify(ts, dropped).valid);
+
+    // Mutation 3: transplant the certificate onto a heavier workload —
+    // the replayed demand comparison must catch it.
+    std::vector<Task> heavier(ts.begin(), ts.end());
+    for (Task& t : heavier) t.wcet = t.period;  // drive demand to U >= 1
+    Certificate transplanted = out.certificate;
+    EXPECT_FALSE(verify(TaskSet(heavier), transplanted).valid);
+    ++mutated_checked;
+  }
+  EXPECT_GT(mutated_checked, 0u);
+}
+
+TEST(Certificate, MutatedWitnessIsRejected) {
+  // U = 3/8 + 5/12 < 1 but dbf(6) = 3 + 5 = 8 > 6: a genuine demand
+  // overflow, so the witness (not the overload) form is emitted.
+  const TaskSet ts = set_of({tk(3, 4, 8), tk(5, 6, 12)});
+  const Outcome out =
+      Query::single(TestKind::ProcessorDemand).run(Workload::periodic(ts));
+  ASSERT_TRUE(out.infeasible());
+  ASSERT_EQ(out.certificate.kind, CertificateKind::InfeasibleWitness);
+  ASSERT_TRUE(verify(ts, out.certificate).valid);
+
+  // An interval where demand fits is no witness.
+  Certificate bogus = out.certificate;
+  bogus.witness = 1;  // dbf(1) == 0 <= 1
+  EXPECT_FALSE(verify(ts, bogus).valid);
+  bogus.witness = -5;
+  EXPECT_FALSE(verify(ts, bogus).valid);
+}
+
+TEST(Certificate, OverloadCertificateChecksUtilization) {
+  const TaskSet over = set_of({tk(7, 8, 8), tk(3, 10, 10)});  // U > 1
+  const Outcome out =
+      Query::single(TestKind::Qpa).run(Workload::periodic(over));
+  ASSERT_TRUE(out.infeasible());
+  ASSERT_EQ(out.certificate.kind, CertificateKind::InfeasibleOverload);
+  EXPECT_TRUE(verify(over, out.certificate).valid);
+
+  // The same claim against a U < 1 set must be rejected.
+  const TaskSet light = set_of({tk(1, 8, 8)});
+  EXPECT_FALSE(verify(light, out.certificate).valid);
+}
+
+TEST(Certificate, ExhaustiveFormVerifiesAndDetectsShrunkBound) {
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)});
+  // Force the exhaustive fallback with a zero-step cap.
+  const auto cert = build_feasibility_certificate(ts, /*step_cap=*/0);
+  ASSERT_TRUE(cert.has_value());
+  ASSERT_EQ(cert->kind, CertificateKind::FeasibleExhaustive);
+  EXPECT_TRUE(verify(ts, *cert).valid);
+
+  Certificate shrunk = *cert;
+  shrunk.bound = 1;  // below the checker's own sound horizon
+  EXPECT_FALSE(verify(ts, shrunk).valid);
+
+  // Transplanting onto an infeasible set fails the replay.
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 6, 12)});
+  EXPECT_FALSE(verify(bad, *cert).valid);
+}
+
+TEST(Certificate, BuilderRefusesInfeasibleSets) {
+  // Demand overflow under U < 1: the sweep runs out of approximations at
+  // the failing interval and must refuse to certify.
+  const TaskSet bad = set_of({tk(3, 4, 8), tk(5, 6, 12)});
+  EXPECT_FALSE(build_feasibility_certificate(bad).has_value());
+  const TaskSet over = set_of({tk(9, 8, 8)});  // U > 1
+  EXPECT_FALSE(build_feasibility_certificate(over).has_value());
+}
+
+TEST(Certificate, EmptySetHasTrivialBordersCertificate) {
+  const TaskSet empty;
+  const auto cert = build_feasibility_certificate(empty);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->kind, CertificateKind::FeasibleBorders);
+  EXPECT_TRUE(verify(empty, *cert).valid);
+}
+
+TEST(Certificate, NoneNeverVerifies) {
+  const TaskSet ts = set_of({tk(1, 4, 8)});
+  EXPECT_FALSE(verify(ts, Certificate{}).valid);
+}
+
+TEST(Certificate, StreamWorkloadCertificatesVerifyAgainstExpansion) {
+  std::vector<EventStreamTask> streams;
+  streams.push_back(
+      EventStreamTask{EventStream::bursty(200, 4, 5), 8, 40, "irq"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(50), 11, 45, "worker"});
+  const Workload w = Workload::event_streams(streams);
+  const Outcome out = Query::single(TestKind::AllApprox).run(w);
+  ASSERT_TRUE(out.decided);
+  ASSERT_TRUE(out.certificate.present());
+  EXPECT_TRUE(verify(w, out.certificate).valid);
+}
+
+}  // namespace
+}  // namespace edfkit
