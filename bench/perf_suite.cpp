@@ -1,0 +1,381 @@
+/// \file perf_suite.cpp
+/// The repo's performance regression suite: fixed-seed sweeps through
+/// the demand-kernel hot paths, old-equivalent vs new, emitting a
+/// machine-readable BENCH_perf.json that CI gates on.
+///
+///   ./perf_suite [--quick] [--events N] [--epsilon 0.25] [--seed N]
+///                [--sets reps] [--json BENCH_perf.json]
+///                [--baseline path/to/committed.json] [--tolerance 0.2]
+///
+/// --quick only reduces timing repetitions (best-of-1) and query-cell
+/// iterations; the sweep grid and trace lengths stay identical so a
+/// quick run's headline is directly comparable to the committed
+/// full-run baseline (the CI gate depends on this).
+///
+/// Two sections:
+///
+///  * admission — churn traces (gen/scenario Fixed family) with
+///    n in {10, 100, 1000} resident tasks and pool utilization
+///    U in {0.7, 0.9, 0.99}, replayed through two AdmissionControllers
+///    that differ only in `use_slack_index`: OFF is the pre-index
+///    behavior (every scan walks the whole checkpoint array — the
+///    pre-refactor admission path), ON fast-forwards buckets proven
+///    slack by earlier scans. Decisions are asserted identical
+///    event-for-event before timing is trusted. Both run `skip_exact`
+///    (rung <= 2) so the measurement isolates the approximate demand
+///    kernel this suite guards; one full-ladder cell is replayed as an
+///    additional agreement check where verdict equality is guaranteed
+///    by exactness. The headline cell is n=1000, U=0.99 (target: >= 3x
+///    decisions/sec).
+///
+///  * query — per-query latency of Query::run for the legacy
+///    Workload-copy entry vs the zero-copy WorkloadView entry, on the
+///    same backend (chakraborty), isolating the per-query task-set copy.
+///
+/// JSON schema (schema = 1):
+///   { "bench": "perf_suite", "schema": 1, "seed": N, "quick": bool,
+///     "epsilon": e,
+///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
+///                      "old_dps": f, "new_dps": f, "speedup": f,
+///                      "agreement": true } ... ],
+///     "query": [ { "n": N, "backend": "chakraborty",
+///                  "old_ns_per_query": f, "view_ns_per_query": f,
+///                  "speedup": f } ... ],
+///     "headline": { "n": 1000, "u": 0.99, "old_dps": f, "new_dps": f,
+///                   "speedup": f } }
+///
+/// With --baseline, exits 4 when the headline speedup regresses by more
+/// than --tolerance (default 0.2 = 20%) against the committed baseline —
+/// the speedup ratio is machine-independent, so the gate is meaningful
+/// on shared CI runners. Exits 3 on any decision disagreement.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/replay.hpp"
+#include "bench_common.hpp"
+#include "gen/taskset_gen.hpp"
+#include "query/query.hpp"
+
+namespace {
+
+using namespace edfkit;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Replays a trace through one controller, tracking key -> TaskId so the
+/// two compared paths can be stepped in lockstep.
+struct Shadow {
+  AdmissionController ctl;
+  std::vector<std::pair<std::uint64_t, TaskId>> live;
+
+  explicit Shadow(const AdmissionOptions& o) : ctl(o) {}
+
+  /// Returns the admit decision for arrivals, true for departures.
+  bool step(const TraceEvent& ev) {
+    if (ev.op == TraceOp::Arrive) {
+      const AdmissionDecision d = ctl.try_admit(ev.task);
+      if (d.admitted) live.emplace_back(ev.key, d.id);
+      return d.admitted;
+    }
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->first == ev.key) {
+        ctl.remove(it->second);
+        live.erase(it);
+        break;
+      }
+    }
+    return true;
+  }
+};
+
+struct AdmissionRow {
+  std::size_t n = 0;
+  double u = 0.0;
+  std::size_t events = 0;
+  bool ladder = false;
+  double old_dps = 0.0;
+  double new_dps = 0.0;
+  double speedup = 0.0;
+};
+
+/// One sweep cell: agreement first, then best-of-reps timing per path.
+AdmissionRow run_admission_cell(std::size_t n, double u, std::size_t events,
+                                double epsilon, bool ladder,
+                                std::uint64_t seed, std::int64_t reps) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = n;
+  churn.events = events;
+  churn.pool_utilization = u;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = static_cast<int>(n);
+  Rng rng(seed);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+
+  AdmissionOptions base;
+  base.epsilon = epsilon;
+  base.skip_exact = !ladder;
+  AdmissionOptions old_opts = base;
+  old_opts.use_slack_index = false;
+  AdmissionOptions new_opts = base;
+  new_opts.use_slack_index = true;
+
+  // Decision-for-decision agreement (untimed).
+  {
+    Shadow oldp(old_opts);
+    Shadow newp(new_opts);
+    std::uint64_t mismatches = 0;
+    for (const TraceEvent& ev : trace) {
+      const bool a = oldp.step(ev);
+      const bool b = newp.step(ev);
+      if (a != b) ++mismatches;
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "BUG: %llu decision mismatches (n=%zu u=%.2f%s)\n",
+                   static_cast<unsigned long long>(mismatches), n, u,
+                   ladder ? " ladder" : "");
+      std::exit(3);
+    }
+  }
+
+  const auto timed = [&](const AdmissionOptions& opts) {
+    double best = 1e300;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      AdmissionController ctl(opts);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)replay_trace(trace, ctl);
+      best = std::min(best, seconds_since(t0));
+    }
+    return best;
+  };
+
+  AdmissionRow row;
+  row.n = n;
+  row.u = u;
+  row.events = trace.size();
+  row.ladder = ladder;
+  const double total = static_cast<double>(trace.size());
+  row.old_dps = total / timed(old_opts);
+  row.new_dps = total / timed(new_opts);
+  row.speedup = row.new_dps / row.old_dps;
+  return row;
+}
+
+struct QueryRow {
+  std::size_t n = 0;
+  double old_ns = 0.0;
+  double view_ns = 0.0;
+  double speedup = 0.0;
+};
+
+QueryRow run_query_cell(std::size_t n, double epsilon, std::uint64_t seed,
+                        std::int64_t reps, bool quick) {
+  GeneratorConfig gen;
+  gen.tasks = static_cast<int>(n);
+  gen.utilization = 0.9;
+  Rng rng(seed);
+  const TaskSet ts = generate_task_set(rng, gen);
+
+  ChakrabortyParams params;
+  params.epsilon = epsilon;
+  const Query q =
+      Query::single(TestKind::Chakraborty, params).with_certificates(false);
+
+  const std::size_t iters =
+      std::max<std::size_t>(50, (quick ? 20000 : 100000) / n);
+  double old_best = 1e300;
+  double view_best = 1e300;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t it = 0; it < iters; ++it) {
+        // The legacy entry: every call copies the set into a Workload.
+        (void)q.run(Workload::periodic(ts));
+      }
+      old_best = std::min(old_best, seconds_since(t0));
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t it = 0; it < iters; ++it) {
+        (void)q.run(WorkloadView(ts));  // zero-copy
+      }
+      view_best = std::min(view_best, seconds_since(t0));
+    }
+  }
+  QueryRow row;
+  row.n = n;
+  row.old_ns = old_best * 1e9 / static_cast<double>(iters);
+  row.view_ns = view_best * 1e9 / static_cast<double>(iters);
+  row.speedup = row.old_ns / row.view_ns;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const bool quick = flags.get_bool("quick", false);
+    bench::BenchSetup setup(flags, /*default_sets=*/quick ? 1 : 3);
+    bench::banner("perf suite: demand-kernel hot paths, old vs new",
+                  "regression harness (no paper figure); churn of §5 "
+                  "workloads",
+                  setup);
+
+    const auto events =
+        static_cast<std::size_t>(flags.get_int("events", 2000));
+    const double epsilon = flags.get_double("epsilon", 0.25);
+    const std::string json_path = flags.get("json", "BENCH_perf.json");
+    const double tolerance = flags.get_double("tolerance", 0.2);
+
+    setup.csv.header({"section", "n", "u", "events", "old", "new",
+                      "speedup"});
+    std::printf("%-10s %6s %6s %8s %14s %14s %9s\n", "section", "n", "u",
+                "events", "old", "new", "speedup");
+
+    std::vector<AdmissionRow> admission;
+    for (const std::size_t n :
+         {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+      for (const double u : {0.7, 0.9, 0.99}) {
+        const AdmissionRow row = run_admission_cell(
+            n, u, events, epsilon, /*ladder=*/false,
+            setup.seed + n * 1000 + static_cast<std::uint64_t>(u * 100),
+            setup.sets);
+        admission.push_back(row);
+        std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx\n",
+                    "admission", n, u, row.events, row.old_dps, row.new_dps,
+                    row.speedup);
+        setup.csv.row_of("admission", static_cast<long long>(n), u,
+                         static_cast<long long>(row.events), row.old_dps,
+                         row.new_dps, row.speedup);
+      }
+    }
+    // One full-ladder cell: decisions are exact-backed on both paths, so
+    // agreement is guaranteed by construction — a sanity anchor for the
+    // rung-<=2 rows above.
+    {
+      const AdmissionRow row =
+          run_admission_cell(100, 0.99, events, epsilon, /*ladder=*/true,
+                             setup.seed + 777, setup.sets);
+      admission.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx (ladder)\n",
+                  "admission", row.n, row.u, row.events, row.old_dps,
+                  row.new_dps, row.speedup);
+      setup.csv.row_of("admission-ladder", 100LL, 0.99,
+                       static_cast<long long>(row.events), row.old_dps,
+                       row.new_dps, row.speedup);
+    }
+
+    std::vector<QueryRow> queries;
+    for (const std::size_t n :
+         {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+      const QueryRow row =
+          run_query_cell(n, epsilon, setup.seed + 13 * n, setup.sets, quick);
+      queries.push_back(row);
+      std::printf("%-10s %6zu %6s %8zu %12.0fns %12.0fns %8.2fx\n", "query",
+                  n, "-", std::size_t{0}, row.old_ns, row.view_ns,
+                  row.speedup);
+      setup.csv.row_of("query", static_cast<long long>(n), 0.0, 0LL,
+                       row.old_ns, row.view_ns, row.speedup);
+    }
+
+    // Headline: the saturated large-set admission cell.
+    const AdmissionRow* headline = nullptr;
+    for (const AdmissionRow& row : admission) {
+      if (row.n == 1000 && row.u == 0.99 && !row.ladder) headline = &row;
+    }
+
+    bench::JsonEmitter json;
+    json.kv("bench", "perf_suite")
+        .kv("schema", 1LL)
+        .kv("seed", static_cast<long long>(setup.seed))
+        .kv("quick", quick)
+        .kv("epsilon", epsilon);
+    json.begin_array("admission");
+    for (const AdmissionRow& row : admission) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("events", static_cast<long long>(row.events))
+          .kv("ladder", row.ladder)
+          .kv("old_dps", row.old_dps)
+          .kv("new_dps", row.new_dps)
+          .kv("speedup", row.speedup)
+          .kv("agreement", true)
+          .end();
+    }
+    json.end();
+    json.begin_array("query");
+    for (const QueryRow& row : queries) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("backend", "chakraborty")
+          .kv("old_ns_per_query", row.old_ns)
+          .kv("view_ns_per_query", row.view_ns)
+          .kv("speedup", row.speedup)
+          .end();
+    }
+    json.end();
+    json.begin_object("headline")
+        .kv("n", 1000LL)
+        .kv("u", 0.99)
+        .kv("old_dps", headline != nullptr ? headline->old_dps : 0.0)
+        .kv("new_dps", headline != nullptr ? headline->new_dps : 0.0)
+        .kv("speedup", headline != nullptr ? headline->speedup : 0.0)
+        .end();
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s (headline speedup: %.2fx at n=1000, U=0.99)\n",
+                json_path.c_str(),
+                headline != nullptr ? headline->speedup : 0.0);
+
+    if (flags.has("baseline")) {
+      const std::string base_path = flags.get("baseline", "");
+      std::ifstream f(base_path);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot read baseline %s\n",
+                     base_path.c_str());
+        return 2;
+      }
+      std::stringstream buf;
+      buf << f.rdbuf();
+      const double base_speedup =
+          bench::json_number_after(buf.str(), "headline", "speedup", -1.0);
+      if (base_speedup <= 0.0) {
+        std::fprintf(stderr, "error: baseline %s has no headline.speedup\n",
+                     base_path.c_str());
+        return 2;
+      }
+      const double now =
+          headline != nullptr ? headline->speedup : 0.0;
+      const double floor = base_speedup * (1.0 - tolerance);
+      std::printf("baseline gate: %.2fx now vs %.2fx committed "
+                  "(floor %.2fx)\n",
+                  now, base_speedup, floor);
+      if (now < floor) {
+        std::fprintf(stderr,
+                     "REGRESSION: headline speedup %.2fx fell below "
+                     "%.2fx (baseline %.2fx - %.0f%%)\n",
+                     now, floor, base_speedup, tolerance * 100.0);
+        return 4;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

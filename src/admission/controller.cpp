@@ -11,13 +11,15 @@ namespace {
 
 /// Rung-3 / verification analyses route through the unified query API
 /// (certificates off: the controller keeps its own instrumentation and
-/// the hot path must not pay a construction sweep).
+/// the hot path must not pay a construction sweep). The WorkloadView
+/// hands the resident set to the backend zero-copy — escalations no
+/// longer materialize a snapshot or copy it into a Workload.
 FeasibilityResult query_exact(const TaskSet& ts, TestKind kind,
                               const AnalyzerOptions& opts) {
   if (ts.empty()) return make_verdict(Verdict::Feasible);
   return Query::single(kind, params_from_legacy(kind, opts))
       .with_certificates(false)
-      .run(Workload::periodic(ts))
+      .run(WorkloadView(ts))
       .analysis;
 }
 
@@ -56,7 +58,7 @@ std::string AdmissionStats::to_string() const {
 }
 
 AdmissionController::AdmissionController(AdmissionOptions opts)
-    : opts_(opts), demand_(opts.epsilon) {
+    : opts_(opts), demand_(opts.epsilon, opts.use_slack_index) {
   if (!opts_.skip_exact && !is_exact(opts_.exact_fallback)) {
     throw std::invalid_argument(
         "AdmissionController: exact_fallback must be an exact test kind");
@@ -147,10 +149,10 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
     return settle(false, AdmissionRung::Approximate);
   }
 
-  // Rung 3: exact fallback over a materialized snapshot (includes the
-  // candidate) — the only from-scratch rung, for borderline sets.
+  // Rung 3: exact fallback over the resident set, zero-copy (includes
+  // the candidate) — the only from-scratch rung, for borderline sets.
   const FeasibilityResult exact =
-      query_exact(demand_.snapshot(), opts_.exact_fallback, opts_.analyzer);
+      query_exact(demand_.resident(), opts_.exact_fallback, opts_.analyzer);
   d.analysis.verdict = exact.verdict;
   d.analysis.iterations += exact.iterations;
   d.analysis.revisions += exact.revisions;
@@ -178,7 +180,7 @@ const Task* AdmissionController::find(TaskId id) const noexcept {
 }
 
 FeasibilityResult AdmissionController::analyze_resident(TestKind kind) const {
-  return query_exact(demand_.snapshot(), kind, opts_.analyzer);
+  return query_exact(demand_.resident(), kind, opts_.analyzer);
 }
 
 std::vector<TestKind> admission_ladder_tests(const AdmissionOptions& opts) {

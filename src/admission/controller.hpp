@@ -62,6 +62,11 @@ struct AdmissionOptions {
   /// Skip rung 3 entirely: borderline arrivals are rejected after the
   /// approximate scan (bounded worst-case decision latency).
   bool skip_exact = false;
+  /// Cached-slack index for the approximate rung (incremental_dbf.hpp):
+  /// scans fast-forward over checkpoint buckets proven slack by earlier
+  /// scans. Off = the pre-index full-rescan behavior (the perf_suite
+  /// baseline); verdicts are identical either way.
+  bool use_slack_index = true;
 };
 
 /// One admit/reject decision, instrumented like the offline tests.
@@ -120,7 +125,12 @@ class AdmissionController {
   }
   [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
 
-  /// Materialize the resident set. O(n).
+  /// The resident set, zero-copy (see IncrementalDemand::resident).
+  [[nodiscard]] const TaskSet& resident() const noexcept {
+    return demand_.resident();
+  }
+
+  /// Materialize a copy of the resident set. O(n).
   [[nodiscard]] TaskSet snapshot() const { return demand_.snapshot(); }
 
   /// From-scratch analysis of the resident set (verification path; the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -13,6 +14,10 @@ namespace {
 
 constexpr Int128 kS = kFixedPointScale;
 constexpr double kInvS = 1.0 / 4611686018427387904.0;  // 2^-62
+
+/// Below this many checkpoints the store stays single-segment: one flat
+/// array scans faster than any index can save.
+constexpr std::size_t kMinIndexSteps = 192;
 
 /// Per-task certified utilization pair. Matches scaled_utilization_bounds
 /// term-for-term so incremental sums equal the from-scratch bounds.
@@ -82,8 +87,9 @@ Int128 region_charge(const Task& t, Time x) {
 /// contribution(I) >= max(C, u*(I - D_eff)) for I >= D_eff, whose two
 /// ratio terms are monotone (C/I falls, u*(1 - D_eff/I) rises), so the
 /// region minimum is max(C/to_excl, u*(1 - D_eff/x)). Zero if the
-/// region reaches below D_eff. Used to credit the certificate when t
-/// departs — departures *restore* fast-path headroom.
+/// region reaches below D_eff. Used to credit the certificate (and the
+/// slack index) when t departs — departures *restore* fast-path
+/// headroom.
 Int128 region_credit(const Task& t, Time x, Time to_excl) {
   const Time d = t.effective_deadline();
   if (x < d) return 0;
@@ -112,14 +118,161 @@ void accumulate(ScaledPair& dst, const ScaledPair& src, int sign) {
 
 }  // namespace
 
-IncrementalDemand::IncrementalDemand(double epsilon) {
+IncrementalDemand::IncrementalDemand(double epsilon, bool use_slack_index)
+    : use_slack_index_(use_slack_index) {
   if (!(epsilon > 0.0) || epsilon > 1.0) {
     throw std::invalid_argument(
         "IncrementalDemand: epsilon in (0,1] required");
   }
   k_ = static_cast<Time>(std::ceil(1.0 / epsilon));
+  segs_.emplace_back();  // one segment covering [0, infinity)
   cert_x_.fill(0);
   cert_region_.fill(kS);  // the empty set is fully slack everywhere
+}
+
+std::size_t IncrementalDemand::segment_of(Time at) const noexcept {
+  // Last segment with lo <= at (segs_[0].lo is always 0).
+  std::size_t lo = 0;
+  std::size_t hi = segs_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segs_[mid].lo <= at) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Time IncrementalDemand::step_time_at(std::size_t idx) const noexcept {
+  for (const Segment& g : segs_) {
+    if (idx < g.steps.size()) return g.steps[idx].at;
+    idx -= g.steps.size();
+  }
+  return kTimeInfinity;  // unreachable for idx < total_steps_
+}
+
+void IncrementalDemand::slack_note_new_time(std::size_t seg, Time pred,
+                                            Time succ) {
+  Segment& g = segs_[seg];
+  if (g.min_ratio < 0.0) return;  // already dirty
+  // A new checkpoint splits an existing demand segment. Demand is
+  // affine between existing checkpoints (steps and envelope borders
+  // only change at them), so the slack *ratio* is monotone there and
+  // the interior is bounded by the smaller endpoint ratio; with no
+  // predecessor the demand left of the first checkpoint is zero
+  // (ratio 1). A time beyond the last checkpoint has no right anchor:
+  // the segment goes dirty and the next scan measures it.
+  if (succ < 0) {
+    g.min_ratio = -1.0;
+    return;
+  }
+  double m = 1.0;
+  const double sm = segs_[segment_of(succ)].min_ratio;
+  if (sm < 0.0) {
+    g.min_ratio = -1.0;
+    return;
+  }
+  m = std::min(m, sm);
+  if (pred >= 0) {
+    const double pm = segs_[segment_of(pred)].min_ratio;
+    if (pm < 0.0) {
+      g.min_ratio = -1.0;
+      return;
+    }
+    m = std::min(m, pm);
+  }
+  g.min_ratio = std::min(g.min_ratio, m);
+}
+
+void IncrementalDemand::slack_adjust(const Task& t, int sign) {
+  // Double-arithmetic mirror of region_charge/region_credit: this runs
+  // per segment on *every* add/remove, so the Int128 helpers are too
+  // heavy. IEEE relative error (~2^-52) sits far inside the 1e-9
+  // inflation/deflation, so charges stay certified upper bounds and
+  // credits certified lower bounds.
+  const Time d = t.effective_deadline();
+  const double c_d = static_cast<double>(t.wcet);
+  const double t_d = static_cast<double>(t.period);
+  const double d_d = static_cast<double>(d);
+  const bool one_shot = is_time_infinite(t.period);
+  const double u_hi = one_shot ? 0.0 : (c_d / t_d) * (1.0 + 1e-9);
+  for (Segment& g : segs_) {
+    if (g.min_ratio < 0.0) continue;
+    if (g.hi <= d) continue;  // the task contributes nothing below D
+    const double from = static_cast<double>(std::max(g.lo, d));
+    if (sign > 0) {
+      // Upper bound on the contribution ratio at I >= g.lo (the
+      // envelope ratio, decreasing for K >= 0; at most u for K < 0).
+      double charge;
+      if (one_shot) {
+        charge = c_d / from;
+      } else if (d > t.period) {
+        charge = u_hi;
+      } else {
+        charge = c_d * (from - d_d + t_d) / (t_d * from);
+      }
+      g.min_ratio -= charge * (1.0 + 1e-9) + 1e-15;
+      if (g.min_ratio < 0.0) g.min_ratio = -1.0;
+    } else {
+      // Lower bound on the restored ratio over [lo, hi): max of the
+      // monotone pieces C/hi and u*(1 - D/lo), deflated.
+      double credit = 0.0;
+      if (g.lo >= d) {
+        if (!is_time_infinite(g.hi)) {
+          credit = c_d / static_cast<double>(g.hi);
+        }
+        if (!one_shot && g.lo > d) {
+          const double lo_d = static_cast<double>(g.lo);
+          credit = std::max(credit, (c_d / t_d) * (lo_d - d_d) / lo_d);
+        }
+        credit = credit * (1.0 - 1e-9) - 1e-15;
+        if (credit < 0.0) credit = 0.0;
+      }
+      g.min_ratio = std::min(g.min_ratio + credit, 2.0);
+    }
+  }
+}
+
+void IncrementalDemand::resegment() {
+  // Flatten the store, pick fresh boundaries that equidistribute the
+  // checkpoints, and redistribute. All cached bounds restart dirty.
+  std::vector<StepEntry> steps;
+  steps.reserve(total_steps_);
+  std::vector<BorderEntry> borders;
+  for (Segment& g : segs_) {
+    steps.insert(steps.end(), g.steps.begin(), g.steps.end());
+    borders.insert(borders.end(), g.borders.begin(), g.borders.end());
+  }
+  seg_built_steps_ = steps.size();
+  const std::size_t want =
+      (!use_slack_index_ || steps.size() < kMinIndexSteps)
+          ? 1
+          : std::clamp<std::size_t>(steps.size() / 24, 4, 64);
+  std::vector<Time> los{0};
+  for (std::size_t j = 1; j < want; ++j) {
+    const Time lo = steps[j * steps.size() / want].at;
+    if (lo != los.back()) los.push_back(lo);
+  }
+  segs_.assign(los.size(), Segment{});
+  for (std::size_t j = 0; j < segs_.size(); ++j) {
+    segs_[j].lo = los[j];
+    segs_[j].hi = j + 1 < segs_.size() ? los[j + 1] : kTimeInfinity;
+  }
+  std::size_t gi = 0;
+  for (const StepEntry& e : steps) {
+    while (gi + 1 < segs_.size() && e.at >= segs_[gi + 1].lo) ++gi;
+    segs_[gi].steps.push_back(e);
+    segs_[gi].step_sum += e.step;
+  }
+  gi = 0;
+  for (const BorderEntry& e : borders) {
+    while (gi + 1 < segs_.size() && e.at >= segs_[gi + 1].lo) ++gi;
+    segs_[gi].borders.push_back(e);
+    accumulate(segs_[gi].slope_sum, e.slope, +1);
+    accumulate(segs_[gi].offset_sum, e.offset, +1);
+  }
 }
 
 void IncrementalDemand::apply_corners(const Task& t, Time from_level,
@@ -134,48 +287,100 @@ void IncrementalDemand::apply_corners(const Task& t, Time from_level,
   }
   if (corner_scratch_.empty()) return;
 
+  // Process the (ascending) corners grouped by segment, so each touched
+  // segment pays one in-place pass plus at most one backward splice —
+  // the single-segment case is exactly the historical flat-array merge.
   const auto by_at = [](const StepEntry& e, Time v) { return e.at < v; };
-  if (sign > 0) {
-    // Update existing checkpoints in place and mark genuinely new
-    // times, then splice those in with a single backward merge: one
-    // O(n*k + k) move pass instead of k separate O(n*k) inserts.
-    std::size_t missing = 0;
-    auto it = steps_.begin();
-    for (Time& d : corner_scratch_) {
-      it = std::lower_bound(it, steps_.end(), d, by_at);
-      if (it != steps_.end() && it->at == d) {
-        it->refs += 1;
-        it->step += t.wcet;
-        d = -1;  // handled in place
-      } else {
-        ++missing;
+  std::size_t c0 = 0;
+  std::size_t gi = segment_of(corner_scratch_.front());
+  while (c0 < corner_scratch_.size()) {
+    while (gi + 1 < segs_.size() &&
+           corner_scratch_[c0] >= segs_[gi + 1].lo) {
+      ++gi;
+    }
+    Segment& g = segs_[gi];
+    std::size_t c1 = c0 + 1;
+    while (c1 < corner_scratch_.size() && corner_scratch_[c1] < g.hi) ++c1;
+    g.step_sum +=
+        sign * t.wcet * static_cast<std::int64_t>(c1 - c0);
+    if (sign > 0) {
+      // Update existing checkpoints in place and mark genuinely new
+      // times, then splice those in with a single backward merge.
+      std::size_t missing = 0;
+      auto it = g.steps.begin();
+      for (std::size_t c = c0; c < c1; ++c) {
+        Time& d = corner_scratch_[c];
+        it = std::lower_bound(it, g.steps.end(), d, by_at);
+        if (it != g.steps.end() && it->at == d) {
+          it->refs += 1;
+          it->step += t.wcet;
+          d = -1;  // handled in place
+        } else {
+          ++missing;
+          // Dirty segments need no bound update — skip the (costly)
+          // neighbor discovery for them.
+          if (use_slack_index_ && g.min_ratio >= 0.0) {
+            // Existing neighbors anchor the new time's ratio bound.
+            Time pred = -1;
+            if (it != g.steps.begin()) {
+              pred = (it - 1)->at;
+            } else {
+              for (std::size_t j = gi; j-- > 0;) {
+                if (!segs_[j].steps.empty()) {
+                  pred = segs_[j].steps.back().at;
+                  break;
+                }
+              }
+            }
+            Time succ = -1;
+            if (it != g.steps.end()) {
+              succ = it->at;
+            } else {
+              for (std::size_t j = gi + 1; j < segs_.size(); ++j) {
+                if (!segs_[j].steps.empty()) {
+                  succ = segs_[j].steps.front().at;
+                  break;
+                }
+              }
+            }
+            slack_note_new_time(gi, pred, succ);
+          }
+        }
+      }
+      if (missing != 0) {
+        std::size_t r = g.steps.size();  // read cursor into the old tail
+        g.steps.resize(g.steps.size() + missing);
+        std::size_t w = g.steps.size();  // write cursor
+        for (std::size_t c = c1; c-- > c0;) {
+          const Time d = corner_scratch_[c];
+          if (d < 0) continue;
+          while (r > 0 && g.steps[r - 1].at > d) {
+            g.steps[--w] = g.steps[--r];
+          }
+          g.steps[--w] = StepEntry{d, t.wcet, 1};
+        }
+        total_steps_ += missing;
+      }
+    } else {
+      // Withdraw the contributions; compact once if any checkpoint
+      // emptied so the scan length tracks the live set.
+      bool emptied = false;
+      auto it = g.steps.begin();
+      for (std::size_t c = c0; c < c1; ++c) {
+        it = std::lower_bound(it, g.steps.end(), corner_scratch_[c],
+                              by_at);
+        it->refs -= 1;
+        it->step -= t.wcet;
+        emptied = emptied || it->refs == 0;
+      }
+      if (emptied) {
+        const std::size_t before = g.steps.size();
+        std::erase_if(g.steps,
+                      [](const StepEntry& e) { return e.refs == 0; });
+        total_steps_ -= before - g.steps.size();
       }
     }
-    if (missing != 0) {
-      std::size_t r = steps_.size();  // read cursor into the old tail
-      steps_.resize(steps_.size() + missing);
-      std::size_t w = steps_.size();  // write cursor
-      for (std::size_t j = corner_scratch_.size(); j-- > 0;) {
-        const Time d = corner_scratch_[j];
-        if (d < 0) continue;
-        while (r > 0 && steps_[r - 1].at > d) steps_[--w] = steps_[--r];
-        steps_[--w] = StepEntry{d, t.wcet, 1};
-      }
-    }
-  } else {
-    // Withdraw the task's contributions; compact once if any checkpoint
-    // emptied so the scan length tracks the live set.
-    bool emptied = false;
-    auto it = steps_.begin();
-    for (const Time d : corner_scratch_) {
-      it = std::lower_bound(it, steps_.end(), d, by_at);
-      it->refs -= 1;
-      it->step -= t.wcet;
-      emptied = emptied || it->refs == 0;
-    }
-    if (emptied) {
-      std::erase_if(steps_, [](const StepEntry& e) { return e.refs == 0; });
-    }
+    c0 = c1;
   }
 }
 
@@ -183,27 +388,31 @@ void IncrementalDemand::apply_border(const Task& t, Time level, int sign) {
   if (is_time_infinite(t.period)) return;  // one-shot: no envelope
   const Time border = t.job_deadline(level - 1);
   if (is_time_infinite(border)) return;
+  Segment& g = segs_[segment_of(border)];
+  accumulate(g.slope_sum, task_util_pair(t), sign);
+  accumulate(g.offset_sum, task_offset_pair(t, border), sign);
   const auto bit = std::lower_bound(
-      borders_.begin(), borders_.end(), border,
+      g.borders.begin(), g.borders.end(), border,
       [](const BorderEntry& e, Time v) { return e.at < v; });
-  if (bit != borders_.end() && bit->at == border) {
+  if (bit != g.borders.end() && bit->at == border) {
     bit->refs += sign;
     accumulate(bit->slope, task_util_pair(t), sign);
     accumulate(bit->offset, task_offset_pair(t, border), sign);
-    if (bit->refs == 0) borders_.erase(bit);
+    if (bit->refs == 0) g.borders.erase(bit);
   } else {
     BorderEntry fresh;
     fresh.at = border;
     fresh.refs = sign;
     accumulate(fresh.slope, task_util_pair(t), sign);
     accumulate(fresh.offset, task_offset_pair(t, border), sign);
-    borders_.insert(bit, fresh);
+    g.borders.insert(bit, fresh);
   }
 }
 
 void IncrementalDemand::apply_entries(const Task& t, Time level, int sign) {
   apply_corners(t, 0, level, sign);
   apply_border(t, level, sign);
+  if (use_slack_index_) slack_adjust(t, sign);
   accumulate(util_scaled_, task_util_pair(t), sign);
   accumulate(kay_, task_kay_pair(t), sign);
   if (sign > 0) {
@@ -242,46 +451,78 @@ void IncrementalDemand::apply_entries(const Task& t, Time level, int sign) {
   util_valid_ = false;
 }
 
-void IncrementalDemand::refine(Resident& r, Time to_level) {
-  apply_border(r.task, r.level, -1);
-  apply_corners(r.task, r.level, to_level, +1);
-  apply_border(r.task, to_level, +1);
-  r.level = to_level;
+void IncrementalDemand::refine(std::size_t row, Time to_level) {
+  const Task& t = view_.tasks()[row];
+  apply_border(t, levels_[row], -1);
+  apply_corners(t, levels_[row], to_level, +1);
+  apply_border(t, to_level, +1);
+  levels_[row] = to_level;
+  borders_of_row_[row] = is_time_infinite(t.period)
+                             ? kTimeInfinity
+                             : t.job_deadline(to_level - 1);
+  // Refinement only lowers the approximated demand, so cached slack
+  // bounds stay conservative — no adjustment needed.
 }
 
 void IncrementalDemand::ensure_util() const {
   if (util_valid_) return;
   Rational u;
-  for (const auto& [id, r] : tasks_) u += r.task.utilization();
+  for (const Task& t : view_.tasks()) u += t.utilization();
   util_ = u;
   util_valid_ = true;
 }
 
 TaskId IncrementalDemand::add(const Task& t) {
-  t.validate();
   const TaskId id = next_id_++;
-  tasks_.emplace_hint(tasks_.end(), id, Resident{t, k_});  // ids ascend
+  const TaskView::Slot slot = view_.add(t);  // validates
+  levels_.push_back(k_);
+  borders_of_row_.push_back(is_time_infinite(t.period)
+                                ? kTimeInfinity
+                                : t.job_deadline(k_ - 1));
+  id_index_.emplace_back(id, slot);  // ids ascend: stays sorted
   apply_entries(t, k_, +1);
   return id;
 }
 
+std::size_t IncrementalDemand::id_pos(TaskId id) const noexcept {
+  const auto it = std::lower_bound(
+      id_index_.begin(), id_index_.end(), id,
+      [](const std::pair<TaskId, TaskView::Slot>& p, TaskId v) {
+        return p.first < v;
+      });
+  if (it == id_index_.end() || it->first != id) {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(it - id_index_.begin());
+}
+
 bool IncrementalDemand::remove(TaskId id) {
-  const auto it = tasks_.find(id);
-  if (it == tasks_.end()) return false;
-  const Resident r = it->second;
-  tasks_.erase(it);
-  apply_entries(r.task, r.level, -1);
+  const std::size_t pos = id_pos(id);
+  if (pos == static_cast<std::size_t>(-1)) return false;
+  const TaskView::Slot slot = id_index_[pos].second;
+  id_index_.erase(id_index_.begin() + static_cast<std::ptrdiff_t>(pos));
+  const std::size_t row = view_.row_of(slot);
+  const Task t = view_[slot];  // copy out before the swap-remove
+  const Time level = levels_[row];
+  view_.remove(slot);
+  levels_[row] = levels_.back();
+  levels_.pop_back();
+  borders_of_row_[row] = borders_of_row_.back();
+  borders_of_row_.pop_back();
+  apply_entries(t, level, -1);
   return true;
 }
 
 const Task* IncrementalDemand::find(TaskId id) const noexcept {
-  const auto it = tasks_.find(id);
-  return it == tasks_.end() ? nullptr : &it->second.task;
+  const std::size_t pos = id_pos(id);
+  if (pos == static_cast<std::size_t>(-1)) return nullptr;
+  return &view_[id_index_[pos].second];
 }
 
 Time IncrementalDemand::level_of(TaskId id) const noexcept {
-  const auto it = tasks_.find(id);
-  return it == tasks_.end() ? 0 : it->second.level;
+  const std::size_t pos = id_pos(id);
+  if (pos == static_cast<std::size_t>(-1)) return 0;
+  return levels_[view_.row_of(id_index_[pos].second)];
 }
 
 const Rational& IncrementalDemand::utilization() const {
@@ -342,20 +583,17 @@ bool IncrementalDemand::certificate_covers(const Task& t) const noexcept {
 }
 
 Time IncrementalDemand::exact_dbf_at(Time interval) const noexcept {
-  Time total = 0;
-  for (const auto& [id, r] : tasks_) {
-    total = add_saturating(total, dbf(r.task, interval));
-  }
-  return total;
+  return columns_dbf(view_.columns(), interval);
 }
 
 Rational IncrementalDemand::exact_demand_at(Time interval) const {
   Rational total;
-  for (const auto& [id, r] : tasks_) {
-    const Task& t = r.task;
+  const std::span<const Task> rows = view_.tasks();
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    const Task& t = rows[row];
     if (interval < t.effective_deadline()) continue;
     if (is_time_infinite(t.period) ||
-        interval <= t.job_deadline(r.level - 1)) {
+        interval <= t.job_deadline(levels_[row] - 1)) {
       total += Rational(dbf(t, interval));
     } else {
       total += approx_demand(t, interval);
@@ -365,12 +603,12 @@ Rational IncrementalDemand::exact_demand_at(Time interval) const {
 }
 
 DemandCheck IncrementalDemand::check() {
-  return check(64 + 8 * static_cast<std::uint64_t>(tasks_.size()));
+  return check(64 + 8 * static_cast<std::uint64_t>(view_.size()));
 }
 
 DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
   DemandCheck out;
-  if (tasks_.empty()) {
+  if (view_.empty()) {
     out.fits = true;
     cert_lo_ = kS;  // theta = 1
     return out;
@@ -390,12 +628,21 @@ DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
   cert_region_.fill(-1);  // re-established only by a full passing scan
   cert_lo_ = -1;
   cert_dead_ = true;
+  if (total_steps_ == 0) {
+    // Residents exist but contribute no finite checkpoint (degenerate
+    // saturated deadlines): zero demand at every finite interval.
+    cert_x_.fill(0);
+    cert_region_.fill(kS);
+    cert_lo_ = kS;
+    cert_dead_ = false;
+    out.fits = true;
+    return out;
+  }
 
   if (d_max_stale_) {
+    const TaskColumns& cols = view_.columns();
     d_max_ = 0;
-    for (const auto& [id, r] : tasks_) {
-      d_max_ = std::max(d_max_, r.task.effective_deadline());
-    }
+    for (const Time d : cols.deadline) d_max_ = std::max(d_max_, d);
     d_max_stale_ = false;
   }
   const Time d_max = d_max_;
@@ -403,6 +650,15 @@ DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
   // checkpoints — scans must stay cheap, so regions needing deeper
   // resolution escalate to the offline exact test instead.
   const Time max_level = 4 * k_;
+
+  // Re-partition when the index should engage or the structure drifted
+  // past its bucketing (refinement growth, mass departures).
+  if (use_slack_index_ &&
+      ((segs_.size() == 1 && total_steps_ >= kMinIndexSteps) ||
+       (segs_.size() > 1 && (total_steps_ > 2 * seg_built_steps_ ||
+                             2 * total_steps_ < seg_built_steps_)))) {
+    resegment();
+  }
 
 restart:
   // Per-region minima of the certified slack-ratio lower bounds, for
@@ -421,7 +677,7 @@ restart:
   std::array<double, kCertCuts> region_min;
   region_min.fill(2.0);
   for (std::size_t j = 1; j < kCertCuts; ++j) {
-    cuts[j] = steps_[j * steps_.size() / kCertCuts].at;
+    cuts[j] = step_time_at(j * total_steps_ / kCertCuts);
   }
   if (kay_.lo < 0) {
     region_min.back() = std::min(
@@ -433,10 +689,18 @@ restart:
       static_cast<double>(kS - util_scaled_.hi) * kInvS;
   const double kay_d = static_cast<double>(kay_.hi) * kInvS;
 
-  // Ascending scan. Demand at checkpoint I (certified S-scaled):
+  // Ascending scan over the segments. Demand at checkpoint I (certified
+  // S-scaled):
   //   steps_acc * S  +  slope_acc * I  -  offset_acc
   // where slope/offset absorb each envelope *after* its border is
   // compared (the envelope term is zero exactly at the border).
+  //
+  // A segment whose cached slack-ratio bound is non-negative is
+  // *proven* to fit everywhere inside: the scan fast-forwards over it
+  // with its exact sums (leaving the accumulators exactly as a full
+  // walk would) and only walks dirty segments — the saturated-regime
+  // fast path. Walked segments re-measure their bound from the same
+  // certified ratios the comparisons produce.
   //
   // The double filter mirrors the hi-bounds in tick units. Magnitudes
   // stay below ~2^63 ticks, so the accumulated IEEE error is below
@@ -450,118 +714,165 @@ restart:
     double offset_d = 0.0;
     ScaledPair slope_acc;
     ScaledPair offset_acc;
-    std::size_t bi = 0;  // borders_ consumed (second merge pointer)
     std::size_t rj = 0;  // current certificate region
     double prev_ratio = 2.0;  // left endpoint of the running segment
+    bool done = false;
 
-    for (std::size_t si = 0; si < steps_.size(); ++si) {
-      const StepEntry& node = steps_[si];
-      const Time i = node.at;
-      const double i_d = static_cast<double>(i);
-      // Advance the certificate region, carrying the straddling
-      // segment's left-endpoint ratio into every region entered.
-      while (rj + 1 < kCertCuts && i >= cuts[rj + 1]) {
-        ++rj;
-        region_min[rj] = std::min(region_min[rj], prev_ratio);
+    for (std::size_t gi = 0; gi < segs_.size() && !done; ++gi) {
+      Segment& g = segs_[gi];
+      if (g.steps.empty()) {
+        // No checkpoint (and hence no border) in range: vacuously fits.
+        if (use_slack_index_) g.min_ratio = 2.0;
+        continue;
       }
-      // Early stop: from any I >= every deadline, dbf'(I) <= U*I + K
-      // (every task is at or below its envelope line there). Once
-      // (1-U)*I >= K certifiably, this and all later checkpoints fit.
-      if (i >= d_max && one_minus_u_d * i_d > kay_d &&
-          (kS - util_scaled_.hi) * i >= kay_.hi) {
-        double term = one_minus_u_d;
-        if (kay_.hi > 0) {
-          // Slack ratio on the skipped region is worst at its left
-          // edge: theta(I) = 1 - U - K/I is increasing for K > 0.
-          const Int128 q = kay_.hi / i;
-          const Int128 r = kay_.hi % i;
-          term = static_cast<double>(kS - util_scaled_.hi - q -
-                                     (r != 0 ? 1 : 0)) *
-                 kInvS;
-        }
-        region_min[rj] = std::min(region_min[rj], prev_ratio);
-        for (std::size_t j = rj; j < kCertCuts; ++j) {
-          region_min[j] = std::min(region_min[j], term);
-        }
-        break;
-      }
-      steps_acc += node.step;
-      ++out.iterations;
-      out.max_interval_tested = i;
-
-      const double demand_d =
-          static_cast<double>(steps_acc) + slope_d * i_d - offset_d;
-      const double slack_d = i_d - demand_d;
-      const double band = 1e-6 * (demand_d + i_d) + 1e-3;
-      if (slack_d < band) {
-        // Inside (or below) the guard band: decide with certified
-        // arithmetic — int128 bounds, then one exact rational.
-        const Int128 cap = static_cast<Int128>(i) * kS;
-        const Int128 steps_scaled = static_cast<Int128>(steps_acc) * kS;
-        const Int128 hi = steps_scaled + slope_acc.hi * i - offset_acc.lo;
-        Int128 lo = steps_scaled + slope_acc.lo * i - offset_acc.hi;
-        if (lo < steps_scaled) lo = steps_scaled;  // envelopes are >= 0
-        if (hi > cap) {
-          bool fits_here = false;
-          if (lo <= cap) {
-            const Rational exact = exact_demand_at(i);
-            if (exact.exact()) {
-              fits_here = exact.certainly_le(i);
-            } else {
-              out.degraded = true;
-            }
-          }
-          if (!fits_here) {
-            // Approximated overload at i. If no envelope is active
-            // below i the value is the exact dbf: infeasibility proof.
-            // Otherwise raise the contributing tasks' levels past i
-            // and rescan — the refinement persists across decisions.
-            bool refined = false;
-            bool capped = false;
-            for (auto& [id, r] : tasks_) {
-              if (is_time_infinite(r.task.period)) continue;
-              if (r.task.job_deadline(r.level - 1) >= i) continue;
-              const Time want = r.task.jobs_with_deadline_within(i) + 2;
-              if (want > max_level || out.revisions >= max_revisions) {
-                capped = true;
-                continue;
-              }
-              ++out.revisions;
-              refine(r, want);
-              refined = true;
-            }
-            if (!refined) {
-              out.witness = i;
-              if (!capped) {
-                out.overflow_proof = true;  // exact dbf(i) > i
-              }
-              return out;
-            }
-            goto restart;
-          }
-          prev_ratio = 0.0;  // at (or within a unit of) the line
-        } else {
-          prev_ratio =
-              static_cast<double>((cap - hi) / i) * kInvS;
-        }
-        region_min[rj] = std::min(region_min[rj], prev_ratio);
-      } else {
-        // Provably fits; the band-subtracted ratio stays a certified
-        // lower bound.
-        prev_ratio = (slack_d - band) / i_d;
-        region_min[rj] = std::min(region_min[rj], prev_ratio);
-      }
-      // Absorb envelopes whose border is this checkpoint *after* the
-      // comparison (the envelope term is zero exactly at the border;
-      // every border time is also a step checkpoint, so none is
-      // skipped).
-      while (bi < borders_.size() && borders_[bi].at <= i) {
-        accumulate(slope_acc, borders_[bi].slope, +1);
-        accumulate(offset_acc, borders_[bi].offset, +1);
-        ++bi;
+      if (use_slack_index_ && g.min_ratio >= 0.0) {
+        // Fast-forward: every checkpoint inside is proven to fit.
+        steps_acc += g.step_sum;
+        accumulate(slope_acc, g.slope_sum, +1);
+        accumulate(offset_acc, g.offset_sum, +1);
         slope_d = static_cast<double>(slope_acc.hi) * kInvS;
         offset_d = static_cast<double>(offset_acc.lo) * kInvS;
+        region_min[rj] = std::min(region_min[rj], g.min_ratio);
+        while (rj + 1 < kCertCuts && cuts[rj + 1] < g.hi) {
+          ++rj;
+          region_min[rj] = std::min(region_min[rj], g.min_ratio);
+        }
+        prev_ratio = std::min(prev_ratio, g.min_ratio);
+        continue;
       }
+
+      double seg_min = 2.0;  // measured ratio bound for this segment
+      std::size_t bi = 0;    // g.borders consumed (second merge pointer)
+      for (std::size_t si = 0; si < g.steps.size(); ++si) {
+        const StepEntry& node = g.steps[si];
+        const Time i = node.at;
+        const double i_d = static_cast<double>(i);
+        // Advance the certificate region, carrying the straddling
+        // segment's left-endpoint ratio into every region entered.
+        while (rj + 1 < kCertCuts && i >= cuts[rj + 1]) {
+          ++rj;
+          region_min[rj] = std::min(region_min[rj], prev_ratio);
+        }
+        // Early stop: from any I >= every deadline, dbf'(I) <= U*I + K
+        // (every task is at or below its envelope line there). Once
+        // (1-U)*I >= K certifiably, this and all later checkpoints fit.
+        if (i >= d_max && one_minus_u_d * i_d > kay_d &&
+            (kS - util_scaled_.hi) * i >= kay_.hi) {
+          double term = one_minus_u_d;
+          if (kay_.hi > 0) {
+            // Slack ratio on the skipped region is worst at its left
+            // edge: theta(I) = 1 - U - K/I is increasing for K > 0.
+            const Int128 q = kay_.hi / i;
+            const Int128 r = kay_.hi % i;
+            term = static_cast<double>(kS - util_scaled_.hi - q -
+                                       (r != 0 ? 1 : 0)) *
+                   kInvS;
+          }
+          region_min[rj] = std::min(region_min[rj], prev_ratio);
+          for (std::size_t j = rj; j < kCertCuts; ++j) {
+            region_min[j] = std::min(region_min[j], term);
+          }
+          if (use_slack_index_) {
+            // The stop proves slack >= 0 from i on (demand <= U*I + K
+            // <= I), so the tail bounds refresh for free.
+            const double tp = std::max(0.0, term);
+            g.min_ratio = std::min(seg_min, tp);
+            for (std::size_t j = gi + 1; j < segs_.size(); ++j) {
+              segs_[j].min_ratio = std::max(segs_[j].min_ratio, tp);
+            }
+          }
+          done = true;
+          break;
+        }
+        steps_acc += node.step;
+        ++out.iterations;
+        out.max_interval_tested = i;
+
+        const double demand_d =
+            static_cast<double>(steps_acc) + slope_d * i_d - offset_d;
+        const double slack_d = i_d - demand_d;
+        const double band = 1e-6 * (demand_d + i_d) + 1e-3;
+        if (slack_d < band) {
+          // Inside (or below) the guard band: decide with certified
+          // arithmetic — int128 bounds, then one exact rational.
+          const Int128 cap = static_cast<Int128>(i) * kS;
+          const Int128 steps_scaled = static_cast<Int128>(steps_acc) * kS;
+          const Int128 hi = steps_scaled + slope_acc.hi * i - offset_acc.lo;
+          Int128 lo = steps_scaled + slope_acc.lo * i - offset_acc.hi;
+          if (lo < steps_scaled) lo = steps_scaled;  // envelopes are >= 0
+          if (hi > cap) {
+            bool fits_here = false;
+            if (lo <= cap) {
+              const Rational exact = exact_demand_at(i);
+              if (exact.exact()) {
+                fits_here = exact.certainly_le(i);
+              } else {
+                out.degraded = true;
+              }
+            }
+            if (!fits_here) {
+              // Approximated overload at i. If no envelope is active
+              // below i the value is the exact dbf: infeasibility
+              // proof. Otherwise raise the contributing tasks' levels
+              // past i and rescan — the refinement persists across
+              // decisions.
+              bool refined = false;
+              bool capped = false;
+              const TaskColumns& cols = view_.columns();
+              for (std::size_t row = 0; row < cols.size(); ++row) {
+                // One flat-array read filters almost every row (the
+                // border is kTimeInfinity for one-shots).
+                if (borders_of_row_[row] >= i) continue;
+                const Time want =
+                    floor_div(i - cols.deadline[row], cols.period[row]) +
+                    2;
+                if (want > max_level || out.revisions >= max_revisions) {
+                  capped = true;
+                  continue;
+                }
+                ++out.revisions;
+                // Overshoot the minimum level that clears i (within the
+                // ceiling): one deep refinement replaces the cascade of
+                // shallow ones a tight region otherwise provokes as the
+                // scan fails at successively later checkpoints.
+                refine(row, std::min<Time>(2 * want, max_level));
+                refined = true;
+              }
+              if (!refined) {
+                out.witness = i;
+                if (!capped) {
+                  out.overflow_proof = true;  // exact dbf(i) > i
+                }
+                return out;
+              }
+              goto restart;
+            }
+            prev_ratio = 0.0;  // at (or within a unit of) the line
+          } else {
+            prev_ratio =
+                static_cast<double>((cap - hi) / i) * kInvS;
+          }
+          region_min[rj] = std::min(region_min[rj], prev_ratio);
+        } else {
+          // Provably fits; the band-subtracted ratio stays a certified
+          // lower bound.
+          prev_ratio = (slack_d - band) / i_d;
+          region_min[rj] = std::min(region_min[rj], prev_ratio);
+        }
+        seg_min = std::min(seg_min, prev_ratio);
+        // Absorb envelopes whose border is this checkpoint *after* the
+        // comparison (the envelope term is zero exactly at the border;
+        // every border time is also a step checkpoint, so none is
+        // skipped).
+        while (bi < g.borders.size() && g.borders[bi].at <= i) {
+          accumulate(slope_acc, g.borders[bi].slope, +1);
+          accumulate(offset_acc, g.borders[bi].offset, +1);
+          ++bi;
+          slope_d = static_cast<double>(slope_acc.hi) * kInvS;
+          offset_d = static_cast<double>(offset_acc.lo) * kInvS;
+        }
+      }
+      if (!done && use_slack_index_) g.min_ratio = seg_min;
     }
   }
   // Publish the per-region certificate (cert_region_[j] bounds every
@@ -585,37 +896,73 @@ restart:
   return out;
 }
 
-TaskSet IncrementalDemand::snapshot() const {
-  std::vector<Task> ts;
-  ts.reserve(tasks_.size());
-  for (const auto& [id, r] : tasks_) ts.push_back(r.task);
-  return TaskSet(std::move(ts));
-}
-
 void IncrementalDemand::rebuild() {
-  steps_.clear();
-  borders_.clear();
+  segs_.assign(1, Segment{});
+  total_steps_ = 0;
+  seg_built_steps_ = 0;
   util_valid_ = false;
   util_scaled_ = ScaledPair{};
   kay_ = ScaledPair{};
   d_max_ = 0;
   d_max_stale_ = false;
   cert_x_.fill(0);
-  cert_region_.fill(tasks_.empty() ? kS : -1);  // next check() re-certifies
+  cert_region_.fill(view_.empty() ? kS : -1);  // next check() re-certifies
   cert_lo_ = cert_region_[0];
-  cert_dead_ = !tasks_.empty();
-  const std::map<TaskId, Resident> resident = tasks_;
-  for (const auto& [id, r] : resident) apply_entries(r.task, r.level, +1);
+  cert_dead_ = !view_.empty();
+  const std::span<const Task> rows = view_.tasks();
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    apply_entries(rows[row], levels_[row], +1);
+  }
 }
 
 bool IncrementalDemand::matches_rebuild() const {
-  IncrementalDemand fresh(epsilon());
+  IncrementalDemand fresh(epsilon(), /*use_slack_index=*/false);
   fresh.k_ = k_;
-  for (const auto& [id, r] : tasks_) {
-    fresh.tasks_.emplace(id, r);
-    fresh.apply_entries(r.task, r.level, +1);
+  const std::span<const Task> rows = view_.tasks();
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    (void)fresh.view_.add(rows[row]);
+    fresh.levels_.push_back(levels_[row]);
+    fresh.borders_of_row_.push_back(borders_of_row_[row]);
+    fresh.apply_entries(rows[row], levels_[row], +1);
   }
-  if (fresh.steps_ != steps_ || fresh.borders_ != borders_) return false;
+  // Compare the flattened checkpoint/border sequences (the fresh copy
+  // is single-segment; ours may be partitioned) and verify our
+  // per-segment aggregates against their own contents.
+  if (fresh.total_steps_ != total_steps_) return false;
+  {
+    const std::vector<StepEntry>& fs = fresh.segs_[0].steps;
+    const std::vector<BorderEntry>& fb = fresh.segs_[0].borders;
+    std::size_t si = 0;
+    std::size_t bi = 0;
+    Time prev_lo = -1;
+    for (const Segment& g : segs_) {
+      if (g.lo <= prev_lo || g.hi <= g.lo) return false;
+      prev_lo = g.lo;
+      std::int64_t step_sum = 0;
+      ScaledPair slope_sum;
+      ScaledPair offset_sum;
+      for (const StepEntry& e : g.steps) {
+        if (e.at < g.lo || e.at >= g.hi) return false;
+        if (si >= fs.size() || !(fs[si] == e)) return false;
+        ++si;
+        step_sum += e.step;
+      }
+      for (const BorderEntry& e : g.borders) {
+        if (e.at < g.lo || e.at >= g.hi) return false;
+        if (bi >= fb.size() || !(fb[bi] == e)) return false;
+        ++bi;
+        accumulate(slope_sum, e.slope, +1);
+        accumulate(offset_sum, e.offset, +1);
+      }
+      if (step_sum != g.step_sum || slope_sum.lo != g.slope_sum.lo ||
+          slope_sum.hi != g.slope_sum.hi ||
+          offset_sum.lo != g.offset_sum.lo ||
+          offset_sum.hi != g.offset_sum.hi) {
+        return false;
+      }
+    }
+    if (si != fs.size() || bi != fb.size()) return false;
+  }
   if (fresh.util_scaled_.lo != util_scaled_.lo ||
       fresh.util_scaled_.hi != util_scaled_.hi) {
     return false;

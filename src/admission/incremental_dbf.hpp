@@ -51,14 +51,38 @@
 /// any scan; theta just shrinks by the density. Removals only grow the
 /// true slack, so the certificate stays valid (conservatively) across
 /// departures.
+///
+/// Cached-slack index (the saturated-regime fast path): the checkpoint
+/// store is partitioned into interval *segments*, each owning its slice
+/// of the step/border arrays, their exact step/slope/offset sums, and a
+/// certified lower bound on the minimum checkpoint slack *ratio* inside
+/// it, measured by the last scan. Maintenance mirrors the certificate
+/// calculus: an arrival debits every segment by its decayed
+/// contribution-ratio bound (region_charge), a departure credits it
+/// (region_credit), and refinement only lowers the demand, so bounds
+/// survive churn conservatively. A segment whose bound stays
+/// non-negative is *proven* to still fit and the next scan
+/// fast-forwards over it using the exact sums — at U -> 1 a decision
+/// rescans only the dirty segments around the tight region instead of
+/// the whole checkpoint array. Segmenting also caps update cost: a
+/// corner insert memmoves one segment (~hundreds of entries), not the
+/// whole structure. With the index disabled everything lives in one
+/// segment and every scan walks it end to end — byte-for-byte the
+/// pre-index behavior, kept selectable as the bench baseline.
+///
+/// Residents live in a TaskView (demand/task_view.hpp): densely packed
+/// structure-of-arrays rows behind stable slots, so the refinement loop
+/// and the O(n) aggregates stream flat arrays instead of walking a
+/// std::map, and the resident set is available zero-copy as a TaskSet
+/// for the exact escalation rung.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "analysis/utilization.hpp"
+#include "demand/task_view.hpp"
 #include "model/task_set.hpp"
 #include "util/fixedpoint.hpp"
 #include "util/rational.hpp"
@@ -93,7 +117,11 @@ struct DemandCheck {
 class IncrementalDemand {
  public:
   /// \pre 0 < epsilon <= 1. Initial steps per task: k = ceil(1/epsilon).
-  explicit IncrementalDemand(double epsilon = 0.25);
+  /// `use_slack_index` toggles the bucketed cached-slack index; off, every
+  /// scan walks the full checkpoint array (the pre-index behavior, kept
+  /// selectable as the bench baseline — see bench/perf_suite.cpp).
+  explicit IncrementalDemand(double epsilon = 0.25,
+                             bool use_slack_index = true);
 
   /// Insert a task at level k; O(k log n + move). \throws
   /// std::invalid_argument (validate()).
@@ -102,9 +130,11 @@ class IncrementalDemand {
   /// \returns false for unknown ids.
   bool remove(TaskId id);
 
+  /// Resident task by id, or nullptr. The pointer is invalidated by the
+  /// next add/remove (rows are densely packed) — read, don't hold.
   [[nodiscard]] const Task* find(TaskId id) const noexcept;
-  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return view_.empty(); }
   [[nodiscard]] Time steps_per_task() const noexcept { return k_; }
   /// epsilon actually used (1/k after rounding k up).
   [[nodiscard]] double epsilon() const noexcept {
@@ -116,7 +146,7 @@ class IncrementalDemand {
     return constrained_;
   }
   [[nodiscard]] std::size_t checkpoint_count() const noexcept {
-    return steps_.size();
+    return total_steps_;
   }
   /// Current approximation level of a resident task (>= k after
   /// refinement). \returns 0 for unknown ids.
@@ -166,11 +196,18 @@ class IncrementalDemand {
   [[nodiscard]] DemandCheck check(std::uint64_t max_revisions);
 
   /// Exact (integer) demand bound function of the resident set at one
-  /// interval; O(n).
+  /// interval; O(n) over the flat columns.
   [[nodiscard]] Time exact_dbf_at(Time interval) const noexcept;
 
-  /// Materialize the resident set (insertion order). O(n).
-  [[nodiscard]] TaskSet snapshot() const;
+  /// The resident set, zero-copy (dense row order; stays valid across
+  /// add/remove). This is what the exact escalation rung analyzes —
+  /// no snapshot materialization on the decision path.
+  [[nodiscard]] const TaskSet& resident() const noexcept {
+    return view_.as_task_set();
+  }
+
+  /// Materialize a copy of the resident set (dense row order). O(n).
+  [[nodiscard]] TaskSet snapshot() const { return resident(); }
 
   /// From-scratch reconstruction of every aggregate from the resident
   /// tasks (preserving refinement levels) — the verification path for
@@ -180,10 +217,6 @@ class IncrementalDemand {
   [[nodiscard]] bool matches_rebuild() const;
 
  private:
-  struct Resident {
-    Task task;
-    Time level = 0;  ///< approximation level L (border = deadline of job L)
-  };
   /// One step checkpoint: total demand jump at this interval. Kept
   /// small (24 bytes) — this is both the scan's hot array and the bulk
   /// of per-update memmove traffic.
@@ -211,6 +244,22 @@ class IncrementalDemand {
     }
   };
 
+  /// One range [lo, hi) of the segmented checkpoint store: its slice of
+  /// the sorted step/border arrays, their exact aggregate sums (for
+  /// fast-forwarding), and the cached-slack bound — a certified lower
+  /// bound on the minimum checkpoint slack *ratio* (slack/I) inside the
+  /// range, or < 0 when dirty (the next scan must walk it).
+  struct Segment {
+    Time lo = 0;
+    Time hi = kTimeInfinity;
+    std::vector<StepEntry> steps;      ///< sorted by at, within [lo, hi)
+    std::vector<BorderEntry> borders;  ///< sorted by at, within [lo, hi)
+    std::int64_t step_sum = 0;         ///< Sigma steps[].step
+    ScaledPair slope_sum;              ///< Sigma borders[].slope
+    ScaledPair offset_sum;             ///< Sigma borders[].offset
+    double min_ratio = -1.0;
+  };
+
   /// Add/withdraw the step corners of jobs [from_level, to_level) of t.
   void apply_corners(const Task& t, Time from_level, Time to_level,
                      int sign);
@@ -218,17 +267,50 @@ class IncrementalDemand {
   void apply_border(const Task& t, Time level, int sign);
   /// Everything for one task at `level` (corners, border, aggregates).
   void apply_entries(const Task& t, Time level, int sign);
-  /// Raise one resident task's level. \pre to_level > current level.
-  void refine(Resident& r, Time to_level);
+  /// Raise one resident row's level. \pre to_level > current level.
+  void refine(std::size_t row, Time to_level);
   [[nodiscard]] Rational exact_demand_at(Time interval) const;
   void ensure_util() const;
 
+  /// Index into id_index_ of `id`, or npos when unknown.
+  [[nodiscard]] std::size_t id_pos(TaskId id) const noexcept;
+
+  [[nodiscard]] std::size_t segment_of(Time at) const noexcept;
+  /// Checkpoint time at flat index `idx` across segments. \pre idx <
+  /// total_steps_
+  [[nodiscard]] Time step_time_at(std::size_t idx) const noexcept;
+  /// A genuinely new checkpoint time appeared in segment `seg`: bound
+  /// its ratio through its existing neighbors (segment interiors have
+  /// ratio at least the smaller endpoint ratio) or dirty the segment.
+  void slack_note_new_time(std::size_t seg, Time pred, Time succ);
+  /// Certificate-style maintenance of the per-segment ratio bounds:
+  /// debit on arrival (region_charge at the segment's left edge),
+  /// credit on departure (region_credit over the range).
+  void slack_adjust(const Task& t, int sign);
+  /// Re-partition the store so segments equidistribute checkpoints
+  /// (single segment while the index is off or the set is small). All
+  /// bounds start dirty until a scan measures them.
+  void resegment();
+
   Time k_;
+  bool use_slack_index_;
   TaskId next_id_ = 1;
-  std::map<TaskId, Resident> tasks_;
-  /// Sorted by `at`; flat for scan locality (the hot loop).
-  std::vector<StepEntry> steps_;
-  std::vector<BorderEntry> borders_;
+  /// Resident tasks: dense SoA rows behind stable slots.
+  TaskView view_;
+  /// Approximation level per dense row (mirrors view_'s swap-remove).
+  std::vector<Time> levels_;
+  /// Envelope border per dense row (deadline of job `level`;
+  /// kTimeInfinity for one-shots) — the refinement loop's hot filter
+  /// reads this single flat array instead of recomputing job deadlines.
+  std::vector<Time> borders_of_row_;
+  /// id -> slot, sorted by id (ids ascend, so inserts append). Binary
+  /// search on lookup; O(n) memmove on erase — both cache-friendly.
+  std::vector<std::pair<TaskId, TaskView::Slot>> id_index_;
+  /// The segmented checkpoint store (always >= 1 segment covering
+  /// [0, infinity); exactly 1 while the slack index is off).
+  std::vector<Segment> segs_;
+  std::size_t total_steps_ = 0;       ///< Sigma segs_[i].steps.size()
+  std::size_t seg_built_steps_ = 0;   ///< total at last resegment
   std::vector<Time> corner_scratch_;  ///< reused per-update buffer
   /// Exact Sigma C/T, materialized lazily (rational gcds are far too
   /// expensive to pay on every add/remove; the scaled bounds below are

@@ -5,6 +5,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/utilization.hpp"
 #include "demand/intervals.hpp"
+#include "demand/task_view.hpp"
 
 namespace edfkit {
 
@@ -24,19 +25,27 @@ FeasibilityResult processor_demand_test(const TaskSet& ts,
 
   // Walk all job deadlines <= bound in ascending order, accumulating the
   // demand incrementally: every popped (task, deadline) adds one job's C.
+  // The heap carries row indices into the flat columns so the inner loop
+  // reads dense wcet/deadline/period arrays, not one Task struct per job.
+  const TaskColumns cols(ts.tasks());
   TestList list;
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const Time d0 = ts[i].effective_deadline();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const Time d0 = cols.deadline[i];
     if (d0 <= bound) list.add(i, d0);
   }
   Time demand = 0;
   while (!list.empty()) {
+    if (opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed)) {
+      r.verdict = Verdict::Unknown;
+      r.cancelled = true;
+      return r;
+    }
     const Time point = list.peek().interval;
     // Drain every job deadline at this point.
     while (!list.empty() && list.peek().interval == point) {
       const auto e = list.pop();
-      demand = add_saturating(demand, ts[e.task].wcet);
-      const Time nxt = ts[e.task].next_deadline_after(point);
+      demand = add_saturating(demand, cols.wcet[e.task]);
+      const Time nxt = row_next_deadline_after(cols, e.task, point);
       if (nxt <= bound && !is_time_infinite(nxt)) list.add(e.task, nxt);
     }
     ++r.iterations;

@@ -4,33 +4,11 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/utilization.hpp"
-#include "demand/dbf.hpp"
+#include "demand/task_view.hpp"
 
 namespace edfkit {
-namespace {
 
-/// Largest absolute job deadline strictly below `x`, or -1 if none.
-Time max_deadline_below(const TaskSet& ts, Time x) {
-  Time best = -1;
-  for (const Task& t : ts) {
-    const Time d = t.effective_deadline();
-    if (x <= d) continue;
-    Time cand;
-    if (is_time_infinite(t.period)) {
-      cand = d;
-    } else {
-      // Largest k with k*T + d < x  =>  k = floor((x - d - 1)/T).
-      const Time k = floor_div(x - d - 1, t.period);
-      cand = add_saturating(mul_saturating(k, t.period), d);
-    }
-    best = std::max(best, cand);
-  }
-  return best;
-}
-
-}  // namespace
-
-FeasibilityResult qpa_test(const TaskSet& ts) {
+FeasibilityResult qpa_test(const TaskSet& ts, const std::atomic<bool>* stop) {
   FeasibilityResult r;
   if (ts.empty()) {
     r.verdict = Verdict::Feasible;
@@ -43,7 +21,11 @@ FeasibilityResult qpa_test(const TaskSet& ts) {
   const Time bound = default_test_bound(ts);
   const Time dmin = ts.min_deadline();
 
-  Time t = max_deadline_below(ts, add_saturating(bound, 1));
+  // Each loop step is two dense passes over the flat columns (one dbf
+  // evaluation, one predecessor-deadline scan) instead of Task-struct
+  // walks.
+  const TaskColumns cols(ts.tasks());
+  Time t = columns_max_deadline_below(cols, add_saturating(bound, 1));
   if (t < 0) {
     // No deadline inside the bound: nothing can overflow.
     r.verdict = Verdict::Feasible;
@@ -51,15 +33,20 @@ FeasibilityResult qpa_test(const TaskSet& ts) {
   }
   r.max_interval_tested = t;
   while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      r.verdict = Verdict::Unknown;
+      r.cancelled = true;
+      return r;
+    }
     ++r.iterations;
-    const Time h = dbf(ts, t);
+    const Time h = columns_dbf(cols, t);
     if (h > t) {
       r.verdict = Verdict::Infeasible;
       r.witness = t;
       return r;
     }
     if (h <= dmin) break;
-    t = (h < t) ? h : max_deadline_below(ts, t);
+    t = (h < t) ? h : columns_max_deadline_below(cols, t);
     if (t < dmin) break;  // passed below every deadline
   }
   r.verdict = Verdict::Feasible;

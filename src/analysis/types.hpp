@@ -36,6 +36,9 @@ struct FeasibilityResult {
   /// Set when exact rational arithmetic degraded and a conservative
   /// fallback path ran (verdicts remain sound; see DESIGN.md §3).
   bool degraded = false;
+  /// Set when the test observed a cooperative stop token and returned
+  /// early (verdict is then Unknown) — portfolio losers report this.
+  bool cancelled = false;
 
   [[nodiscard]] std::uint64_t effort() const noexcept {
     return iterations + revisions;

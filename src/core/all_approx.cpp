@@ -37,6 +37,11 @@ FeasibilityResult all_approx_test(const TaskSet& ts,
 
   // One testlist entry per iteration (paper Fig. 7).
   while (!list.empty() && list.peek().interval <= imax) {
+    if (opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed)) {
+      r.verdict = Verdict::Unknown;
+      r.cancelled = true;
+      return r;
+    }
     const auto entry = list.pop();
     const Time point = entry.interval;
     acc.advance(point - iold);

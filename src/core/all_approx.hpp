@@ -17,6 +17,7 @@
 /// and cost equal Devi's test — the paper's key property.
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "analysis/types.hpp"
@@ -41,6 +42,8 @@ struct AllApproxOptions {
   /// feasibility bound.
   std::optional<Time> bound;
   RevisionPolicy revision = RevisionPolicy::Fifo;
+  /// Cooperative cancellation (see ProcessorDemandOptions::stop).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 [[nodiscard]] FeasibilityResult all_approx_test(

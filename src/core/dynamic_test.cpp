@@ -53,6 +53,12 @@ FeasibilityResult dynamic_error_test(const TaskSet& ts,
   // One testlist entry per iteration (paper Fig. 5): pop (tau, Iact),
   // account the job, then fix up the level until the demand fits.
   while (!list.empty() && list.peek().interval <= imax) {
+    if (opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed)) {
+      r.verdict = Verdict::Unknown;
+      r.cancelled = true;
+      r.final_level = level;
+      return r;
+    }
     const auto entry = list.pop();
     const Time point = entry.interval;
     acc.advance(point - iold);

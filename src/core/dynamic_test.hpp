@@ -20,6 +20,7 @@
 /// one iteration per task — the paper's headline property.
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "analysis/types.hpp"
@@ -39,6 +40,8 @@ struct DynamicTestOptions {
   Time max_level = 0;
   /// Override for the feasibility bound Imax.
   std::optional<Time> bound;
+  /// Cooperative cancellation (see ProcessorDemandOptions::stop).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 [[nodiscard]] FeasibilityResult dynamic_error_test(

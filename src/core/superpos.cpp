@@ -5,8 +5,8 @@
 
 #include "analysis/utilization.hpp"
 #include "demand/accumulator.hpp"
-#include "demand/approx.hpp"
 #include "demand/intervals.hpp"
+#include "demand/task_view.hpp"
 
 namespace edfkit {
 
@@ -23,10 +23,11 @@ FeasibilityResult superpos_test(const TaskSet& ts, Time level) {
     return r;
   }
 
+  const TaskColumns cols(ts.tasks());
   TestList list;
-  std::vector<bool> approximated(ts.size(), false);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    list.add(i, ts[i].effective_deadline());
+  std::vector<bool> approximated(cols.size(), false);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    list.add(i, cols.deadline[i]);
   }
   DemandAccumulator acc;
   Time iold = 0;
@@ -35,12 +36,13 @@ FeasibilityResult superpos_test(const TaskSet& ts, Time level) {
   // pseudocode. Several tasks may share a test interval; the comparison
   // after the *last* entry of an interval sees the complete demand, and
   // earlier (partial-demand) failures are still true failures because
-  // demand only grows within an interval.
+  // demand only grows within an interval. The per-job reads (wcet,
+  // border, next deadline) come from the flat columns.
   while (!list.empty()) {
     const auto e = list.pop();
     const Time point = e.interval;
     acc.advance(point - iold);  // no-op for entries at the same interval
-    acc.add_job(ts[e.task].wcet);
+    acc.add_job(cols.wcet[e.task]);
     ++r.iterations;
     r.max_interval_tested = point;
 
@@ -53,13 +55,12 @@ FeasibilityResult superpos_test(const TaskSet& ts, Time level) {
       return r;
     }
 
-    const Task& t = ts[e.task];
     // Border = deadline of job #level; at or past it, approximate.
-    if (point < approx_border(t, level)) {
-      const Time nxt = t.next_deadline_after(point);
+    if (point < row_approx_border(cols, e.task, level)) {
+      const Time nxt = row_next_deadline_after(cols, e.task, point);
       if (!is_time_infinite(nxt)) list.add(e.task, nxt);
     } else {
-      acc.approximate(t);
+      acc.approximate(ts[e.task]);
       approximated[e.task] = true;
     }
     iold = point;

@@ -1,0 +1,120 @@
+#include "demand/task_view.hpp"
+
+#include <algorithm>
+
+namespace edfkit {
+
+void TaskColumns::assign(std::span<const Task> tasks) {
+  clear();
+  reserve(tasks.size());
+  for (const Task& t : tasks) push(t);
+}
+
+void TaskColumns::push(const Task& t) {
+  wcet.push_back(t.wcet);
+  deadline.push_back(t.effective_deadline());
+  period.push_back(t.period);
+  util.push_back(is_time_infinite(t.period) ? 0.0 : t.utilization_double());
+}
+
+void TaskColumns::swap_remove(std::size_t row) {
+  wcet[row] = wcet.back();
+  wcet.pop_back();
+  deadline[row] = deadline.back();
+  deadline.pop_back();
+  period[row] = period.back();
+  period.pop_back();
+  util[row] = util.back();
+  util.pop_back();
+}
+
+void TaskColumns::clear() {
+  wcet.clear();
+  deadline.clear();
+  period.clear();
+  util.clear();
+}
+
+void TaskColumns::reserve(std::size_t n) {
+  wcet.reserve(n);
+  deadline.reserve(n);
+  period.reserve(n);
+  util.reserve(n);
+}
+
+Time columns_dbf(const TaskColumns& c, Time interval) noexcept {
+  Time total = 0;
+  for (std::size_t r = 0; r < c.size(); ++r) {
+    total = add_saturating(total, row_dbf(c, r, interval));
+  }
+  return total;
+}
+
+Time columns_max_deadline_below(const TaskColumns& c, Time x) noexcept {
+  Time best = -1;
+  for (std::size_t r = 0; r < c.size(); ++r) {
+    const Time d = c.deadline[r];
+    if (x <= d) continue;
+    Time cand;
+    if (is_time_infinite(c.period[r])) {
+      cand = d;
+    } else {
+      // Largest k with k*T + d < x  =>  k = floor((x - d - 1)/T).
+      const Time k = floor_div(x - d - 1, c.period[r]);
+      cand = add_saturating(mul_saturating(k, c.period[r]), d);
+    }
+    best = std::max(best, cand);
+  }
+  return best;
+}
+
+TaskView::Slot TaskView::add(const Task& t) {
+  t.validate();
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<Slot>(slot_to_row_.size());
+    slot_to_row_.push_back(kInvalidSlot);
+  }
+  slot_to_row_[s] = static_cast<std::uint32_t>(aos_.size());
+  row_to_slot_.push_back(s);
+  aos_.add(t);
+  cols_.push(t);
+  return s;
+}
+
+bool TaskView::remove(Slot s) {
+  if (!contains(s)) return false;
+  const std::size_t row = slot_to_row_[s];
+  const std::size_t last = aos_.size() - 1;
+  aos_.swap_remove(row);
+  cols_.swap_remove(row);
+  if (row != last) {
+    const Slot moved = row_to_slot_[last];
+    row_to_slot_[row] = moved;
+    slot_to_row_[moved] = static_cast<std::uint32_t>(row);
+  }
+  row_to_slot_.pop_back();
+  slot_to_row_[s] = kInvalidSlot;
+  free_.push_back(s);
+  return true;
+}
+
+void TaskView::clear() {
+  aos_ = TaskSet{};
+  cols_.clear();
+  slot_to_row_.clear();
+  row_to_slot_.clear();
+  free_.clear();
+}
+
+void TaskView::reserve(std::size_t n) {
+  aos_.reserve(n);
+  cols_.reserve(n);
+  slot_to_row_.reserve(n);
+  row_to_slot_.reserve(n);
+}
+
+}  // namespace edfkit

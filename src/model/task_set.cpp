@@ -17,6 +17,12 @@ void TaskSet::add(Task t) {
   invalidate_caches();
 }
 
+void TaskSet::swap_remove(std::size_t i) {
+  tasks_[i] = std::move(tasks_.back());
+  tasks_.pop_back();
+  invalidate_caches();
+}
+
 void TaskSet::invalidate_caches() noexcept {
   util_valid_ = false;
   sorted_valid_ = false;

@@ -21,6 +21,15 @@ class TaskSet {
   /// Append one task (invalidates caches). \throws on invalid task.
   void add(Task t);
 
+  /// Remove the task at index `i` in O(1) by swapping the last task into
+  /// its place (invalidates caches; does not preserve order). The online
+  /// containers (demand/task_view.hpp) use this to keep the set dense.
+  /// \pre i < size()
+  void swap_remove(std::size_t i);
+
+  /// Reserve capacity for `n` tasks (bulk loads / online growth).
+  void reserve(std::size_t n) { tasks_.reserve(n); }
+
   [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
   [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
   [[nodiscard]] const Task& operator[](std::size_t i) const {

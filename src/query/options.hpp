@@ -10,6 +10,7 @@
 /// descriptive `std::invalid_argument` instead of a degenerate scan.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <variant>
 
@@ -38,8 +39,11 @@ struct ChakrabortyParams {
   double epsilon = 0.25;  ///< in (0, 1): k = ceil(1/epsilon) exact jobs
 };
 
-/// QPA (Zhang & Burns) — no knobs.
-struct QpaParams {};
+/// QPA (Zhang & Burns): only a cancellation hook.
+struct QpaParams {
+  /// Cooperative cancellation (see ProcessorDemandOptions::stop).
+  const std::atomic<bool>* stop = nullptr;
+};
 
 /// Real-time-calculus 2-segment curve test — no knobs.
 struct RtcCurveParams {};

@@ -1,5 +1,6 @@
 #include "query/query.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
@@ -21,6 +22,19 @@ BackendParams apply_limits(BackendParams params, const ResourceLimits& l) {
       }
     }
   }
+  return params;
+}
+
+/// Thread the portfolio stop token into every param struct that has a
+/// cancellation hook (the long-running exact backends). A null token is
+/// a no-op so callers' own stop pointers survive non-portfolio runs.
+BackendParams arm_stop(BackendParams params, const std::atomic<bool>* stop) {
+  if (stop == nullptr) return params;
+  std::visit(
+      [&](auto& p) {
+        if constexpr (requires { p.stop; }) p.stop = stop;
+      },
+      params);
   return params;
 }
 
@@ -133,7 +147,9 @@ void Query::validate() const {
   }
 }
 
-Outcome Query::run(const Workload& w) const {
+Outcome Query::run(const Workload& w) const { return run(WorkloadView(w)); }
+
+Outcome Query::run(const WorkloadView& w) const {
   validate();
   if (w.empty()) {
     throw std::invalid_argument(
@@ -164,9 +180,10 @@ Outcome Query::run(const Workload& w) const {
         "Query: no selected backend supports this workload kind");
   }
 
-  const auto run_one = [&](const BackendSelection& sel) {
+  const auto run_one = [&](const BackendSelection& sel,
+                           const std::atomic<bool>* stop = nullptr) {
     const BackendInfo* info = reg.find(sel.kind);
-    return info->run(ts, apply_limits(sel.params, limits_));
+    return info->run(ts, arm_stop(apply_limits(sel.params, limits_), stop));
   };
 
   const auto settle = [&](TestKind kind, const FeasibilityResult& r) {
@@ -192,8 +209,16 @@ Outcome Query::run(const Workload& w) const {
     }
     case ExecPolicy::Portfolio: {
       // Race: every backend on its own thread; completion order decides
-      // the winner. No cancellation — losers run to completion bounded by
-      // their own limits.
+      // the winner. The first decisive finisher raises the stop token;
+      // the long-running exact backends poll it and return early with
+      // `cancelled`, so the race never pays for the slowest loser.
+      //
+      // Populate the set's lazy caches (exact utilization, deadline
+      // order) on this thread first: they are unsynchronized mutables,
+      // and every backend's precheck would otherwise race to fill them.
+      (void)ts.utilization();
+      (void)ts.by_deadline();
+      std::atomic<bool> stop{false};
       std::mutex m;
       std::vector<BackendAttempt> done;
       done.reserve(runnable.size());
@@ -201,7 +226,10 @@ Outcome Query::run(const Workload& w) const {
       threads.reserve(runnable.size());
       for (const BackendSelection* sel : runnable) {
         threads.emplace_back([&, sel] {
-          FeasibilityResult r = run_one(*sel);
+          FeasibilityResult r = run_one(*sel, &stop);
+          if (decisive(r.verdict) && !r.cancelled) {
+            stop.store(true, std::memory_order_relaxed);
+          }
           const std::lock_guard<std::mutex> lock(m);
           done.push_back({sel->kind, std::move(r)});
         });

@@ -16,8 +16,10 @@
 ///              admission controller's ladder is this policy over the
 ///              registry's incremental backends plus an exact fallback.
 ///   Portfolio  race the selection on threads; the first decisive verdict
-///              wins (losers run to completion under their own limits —
-///              backends have no cancellation points).
+///              wins and raises a stop token that the long-running exact
+///              backends observe, so losers return early (with
+///              `cancelled` set on their attempt) instead of running to
+///              completion.
 ///   Batch      run every selected backend and report all verdicts (the
 ///              comparison-table / batch-column workflow).
 ///
@@ -129,6 +131,18 @@ class Query {
   /// failure, an empty (zero-task) workload, or when no selected backend
   /// supports the workload's kind.
   [[nodiscard]] Outcome run(const Workload& w) const;
+
+  /// Zero-copy execution against a non-owning view — the hot-path entry
+  /// point (the admission ladder's exact rung, the bench harness):
+  /// `q.run(WorkloadView(ts))` hands `ts` to the backends without ever
+  /// copying it into a Workload. Same contract as run(const Workload&).
+  [[nodiscard]] Outcome run(const WorkloadView& w) const;
+
+  /// Convenience for the common migration case: runs zero-copy through a
+  /// view (a plain TaskSet argument used to copy into a Workload).
+  [[nodiscard]] Outcome run(const TaskSet& ts) const {
+    return run(WorkloadView(ts));
+  }
 
  private:
   std::vector<BackendSelection> backends_;

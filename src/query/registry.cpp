@@ -32,8 +32,8 @@ FeasibilityResult run_processor_demand(const TaskSet& ts,
                                        const BackendParams& p) {
   return processor_demand_test(ts, std::get<ProcessorDemandOptions>(p));
 }
-FeasibilityResult run_qpa(const TaskSet& ts, const BackendParams&) {
-  return qpa_test(ts);
+FeasibilityResult run_qpa(const TaskSet& ts, const BackendParams& p) {
+  return qpa_test(ts, std::get<QpaParams>(p).stop);
 }
 FeasibilityResult run_dynamic(const TaskSet& ts, const BackendParams& p) {
   return dynamic_error_test(ts, std::get<DynamicTestOptions>(p));

@@ -13,10 +13,46 @@ const char* to_string(WorkloadKind k) noexcept {
   return "?";
 }
 
+std::unique_ptr<Workload::Expansion> Workload::fresh_expansion() const {
+  return std::holds_alternative<std::vector<EventStreamTask>>(data_)
+             ? std::make_unique<Expansion>()
+             : nullptr;
+}
+
+Workload::Workload(const Workload& o)
+    : data_(o.data_), expansion_(fresh_expansion()) {}
+
+Workload& Workload::operator=(const Workload& o) {
+  if (this != &o) {
+    data_ = o.data_;
+    expansion_ = fresh_expansion();
+  }
+  return *this;
+}
+
+// Moves swap with a default (empty periodic) workload: the cache — and
+// any expansion already computed — travels along, no allocation happens
+// inside noexcept, and the moved-from object is a valid empty workload.
+Workload::Workload(Workload&& o) noexcept {
+  data_.swap(o.data_);
+  expansion_.swap(o.expansion_);
+}
+
+Workload& Workload::operator=(Workload&& o) noexcept {
+  if (this != &o) {
+    data_ = std::move(o.data_);
+    expansion_ = std::move(o.expansion_);
+    o.data_ = TaskSet{};
+    o.expansion_.reset();
+  }
+  return *this;
+}
+
 Workload Workload::event_streams(std::vector<EventStreamTask> streams) {
   for (const EventStreamTask& s : streams) s.validate();
   Workload w;
   w.data_ = std::move(streams);
+  w.expansion_ = std::make_unique<Expansion>();
   return w;
 }
 
@@ -29,11 +65,11 @@ std::size_t Workload::source_size() const noexcept {
 
 const TaskSet& Workload::tasks() const {
   if (const auto* ts = std::get_if<TaskSet>(&data_)) return *ts;
-  if (!expanded_valid_) {
-    expanded_ = expand(std::get<std::vector<EventStreamTask>>(data_));
-    expanded_valid_ = true;
-  }
-  return expanded_;
+  Expansion& e = *expansion_;
+  std::call_once(e.once, [&] {
+    e.tasks = expand(std::get<std::vector<EventStreamTask>>(data_));
+  });
+  return e.tasks;
 }
 
 const std::vector<EventStreamTask>& Workload::streams() const {
@@ -52,6 +88,30 @@ std::string Workload::to_string() const {
     os << "streams(n=" << source_size() << ", expanded=" << tasks().size()
        << ")";
   }
+  return os.str();
+}
+
+bool WorkloadView::empty() const noexcept { return source_size() == 0; }
+
+std::size_t WorkloadView::source_size() const noexcept {
+  if (workload_ != nullptr) return workload_->source_size();
+  if (set_ != nullptr) return set_->size();
+  return span_.size();
+}
+
+const TaskSet& WorkloadView::tasks() const {
+  if (workload_ != nullptr) return workload_->tasks();
+  if (set_ != nullptr) return *set_;
+  std::call_once(once_, [&] {
+    materialized_ = TaskSet(std::vector<Task>(span_.begin(), span_.end()));
+  });
+  return materialized_;
+}
+
+std::string WorkloadView::to_string() const {
+  if (workload_ != nullptr) return workload_->to_string();
+  std::ostringstream os;
+  os << "tasks(n=" << source_size() << ", view)";
   return os.str();
 }
 

@@ -7,10 +7,18 @@
 /// workloads that is the task set itself; for event streams it is the
 /// demand-preserving expansion of model/event_stream.hpp (one sporadic
 /// task (C, D + a, z) per tuple), under which every verdict carries over
-/// verbatim. The expansion is computed once and cached.
+/// verbatim. The expansion is computed once and cached (thread-safe:
+/// concurrent tasks() calls synchronize on a std::once_flag).
+///
+/// `Workload` owns its tasks/streams. `WorkloadView` is the non-owning
+/// companion for hot paths (one view per query, zero task copies) — see
+/// below and the README migration guide.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -37,6 +45,14 @@ class Workload {
   /// straight to Query::run during migration from run_test.
   Workload(TaskSet ts) : data_(std::move(ts)) {}  // NOLINT(runtime/explicit)
 
+  // Copies get a fresh expansion cache (a std::once_flag cannot be
+  // copied), so a copied stream workload re-expands on first use;
+  // moves steal the cache, keeping an already computed expansion.
+  Workload(const Workload& o);
+  Workload& operator=(const Workload& o);
+  Workload(Workload&& o) noexcept;
+  Workload& operator=(Workload&& o) noexcept;
+
   [[nodiscard]] static Workload periodic(TaskSet ts) {
     return Workload(std::move(ts));
   }
@@ -56,7 +72,8 @@ class Workload {
   [[nodiscard]] std::size_t source_size() const noexcept;
 
   /// Canonical sporadic form every backend runs on. For event streams
-  /// this is the exact dbf-preserving expansion (cached after first use).
+  /// this is the exact dbf-preserving expansion, computed once under a
+  /// std::once_flag (safe to call from concurrent query threads).
   [[nodiscard]] const TaskSet& tasks() const;
 
   /// The stream set. \pre kind() == WorkloadKind::EventStreams
@@ -71,9 +88,70 @@ class Workload {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// Stream-expansion cache. Heap-allocated so the enclosing Workload
+  /// stays copyable/movable; guarded by the once_flag (the old mutable
+  /// bool + TaskSet pair was a data race under concurrent tasks()).
+  /// Allocated only for stream-backed workloads — the invariant is
+  /// expansion_ != nullptr iff data_ holds streams.
+  struct Expansion {
+    std::once_flag once;
+    TaskSet tasks;
+  };
+
+  [[nodiscard]] std::unique_ptr<Expansion> fresh_expansion() const;
+
   std::variant<TaskSet, std::vector<EventStreamTask>> data_;
-  mutable TaskSet expanded_;        // cache for the stream case
-  mutable bool expanded_valid_ = false;
+  mutable std::unique_ptr<Expansion> expansion_;
+};
+
+/// Non-owning view of an analyzable workload: a reference to the tasks
+/// plus their lazily cached aggregates. `Query::run(const WorkloadView&)`
+/// is the hot entry point — constructing a `Workload` copies the task
+/// set; a view copies nothing. The viewed storage must outlive the view
+/// (it is meant to be built at the call site: `q.run(WorkloadView(ts))`).
+///
+/// Three backings:
+///   - a `TaskSet` — zero-copy, aggregates come from the set's caches;
+///   - a `Workload` — zero-copy pass-through (streams expand in the
+///     workload's own cache);
+///   - a raw `std::span<const Task>` — the canonical TaskSet is
+///     materialized once on first use (one copy, owned by the view).
+class WorkloadView {
+ public:
+  /// View over a task set (implicit: hot call sites read naturally).
+  WorkloadView(const TaskSet& ts) noexcept  // NOLINT(runtime/explicit)
+      : set_(&ts) {}
+  /// View over a full workload (task sets and event streams alike).
+  WorkloadView(const Workload& w) noexcept  // NOLINT(runtime/explicit)
+      : workload_(&w) {}
+  /// View over raw task storage (e.g. a TaskView's dense rows).
+  explicit WorkloadView(std::span<const Task> tasks) noexcept
+      : span_(tasks) {}
+
+  WorkloadView(const WorkloadView&) = delete;
+  WorkloadView& operator=(const WorkloadView&) = delete;
+
+  [[nodiscard]] WorkloadKind kind() const noexcept {
+    return workload_ != nullptr ? workload_->kind()
+                                : WorkloadKind::PeriodicTasks;
+  }
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t source_size() const noexcept;
+
+  /// Canonical sporadic form (zero-copy for set/workload backings).
+  [[nodiscard]] const TaskSet& tasks() const;
+
+  [[nodiscard]] double utilization_double() const {
+    return tasks().utilization_double();
+  }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  const Workload* workload_ = nullptr;
+  const TaskSet* set_ = nullptr;
+  std::span<const Task> span_;
+  mutable std::once_flag once_;       ///< span backing: materialize once
+  mutable TaskSet materialized_;      ///< span backing only
 };
 
 }  // namespace edfkit

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 
 #include "../helpers.hpp"
+#include "analysis/qpa.hpp"
 
 namespace edfkit {
 namespace {
@@ -109,6 +111,76 @@ TEST(QueryPolicy, LadderSkipsStreamIncapableBackends) {
   ASSERT_EQ(out.skipped.size(), 1u);
   EXPECT_EQ(out.skipped.front(), TestKind::LiuLayland);
   EXPECT_TRUE(out.decided);
+}
+
+TEST(QueryPolicy, StopTokenCancelsEveryLongRunningBackend) {
+  // Each long-running exact backend observes a pre-raised token and
+  // returns Unknown + cancelled instead of scanning. The set is tight
+  // enough (U ~ 0.92) that every test's bound admits real iterations —
+  // a loose set would return Feasible before reaching a checkpoint.
+  const TaskSet ts = set_of({tk(4, 5, 8), tk(5, 11, 12)});
+  std::atomic<bool> stop{true};
+  ProcessorDemandOptions pd;
+  pd.stop = &stop;
+  const FeasibilityResult r1 = processor_demand_test(ts, pd);
+  EXPECT_TRUE(r1.cancelled);
+  EXPECT_EQ(r1.verdict, Verdict::Unknown);
+  const FeasibilityResult r2 = qpa_test(ts, &stop);
+  EXPECT_TRUE(r2.cancelled);
+  EXPECT_EQ(r2.verdict, Verdict::Unknown);
+  DynamicTestOptions dy;
+  dy.stop = &stop;
+  const FeasibilityResult r3 = dynamic_error_test(ts, dy);
+  EXPECT_TRUE(r3.cancelled);
+  EXPECT_EQ(r3.verdict, Verdict::Unknown);
+  AllApproxOptions aa;
+  aa.stop = &stop;
+  const FeasibilityResult r4 = all_approx_test(ts, aa);
+  EXPECT_TRUE(r4.cancelled);
+  EXPECT_EQ(r4.verdict, Verdict::Unknown);
+}
+
+TEST(QueryPolicy, UserStopTokensSurviveNonPortfolioPolicies) {
+  // A caller-supplied token in the typed params must reach the backend
+  // under Single too (the portfolio's own arming must not clobber it).
+  const TaskSet ts = set_of({tk(4, 5, 8), tk(5, 11, 12)});
+  std::atomic<bool> stop{true};
+  ProcessorDemandOptions pd;
+  pd.stop = &stop;
+  const Outcome out = Query::single(TestKind::ProcessorDemand, pd)
+                          .with_certificates(false)
+                          .run(ts);
+  EXPECT_TRUE(out.analysis.cancelled);
+  EXPECT_EQ(out.verdict, Verdict::Unknown);
+}
+
+TEST(QueryPolicy, PortfolioLosersObserveTheStopToken) {
+  // A processor-demand backend pointed at an astronomically distant
+  // bound would walk ~1e14 deadlines; QPA decides the same (feasible)
+  // set in microseconds. The portfolio's stop token must reach the
+  // loser: it returns early with `cancelled` after a tiny fraction of
+  // its bound. (The iteration cap is a safety valve so a cancellation
+  // regression fails this test in seconds instead of hanging CI.)
+  const TaskSet ts = set_of({tk(1, 4, 8), tk(2, 8, 16)});
+  ProcessorDemandOptions slow;
+  slow.bound = Time{1'000'000'000'000'000};
+  slow.max_iterations = 500'000'000;
+  const Outcome out = Query()
+                          .add(TestKind::Qpa)
+                          .add(TestKind::ProcessorDemand, slow)
+                          .with_policy(ExecPolicy::Portfolio)
+                          .with_certificates(false)
+                          .run(ts);
+  ASSERT_TRUE(out.decided);
+  EXPECT_EQ(out.verdict, Verdict::Feasible);
+  const BackendAttempt* pd = nullptr;
+  for (const BackendAttempt& a : out.attempts) {
+    if (a.kind == TestKind::ProcessorDemand) pd = &a;
+  }
+  ASSERT_NE(pd, nullptr);
+  EXPECT_TRUE(pd->result.cancelled);
+  EXPECT_EQ(pd->result.verdict, Verdict::Unknown);
+  EXPECT_LT(pd->result.iterations, 500'000'000u);
 }
 
 TEST(QueryPolicy, PortfolioRacesExactBackendsToAgreement) {

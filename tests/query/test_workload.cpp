@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <thread>
+#include <vector>
+
 #include "../helpers.hpp"
 #include "demand/dbf.hpp"
 
@@ -72,6 +76,80 @@ TEST(Workload, InvalidStreamTaskThrows) {
   std::vector<EventStreamTask> streams;
   streams.push_back(EventStreamTask{EventStream::periodic(20), 0, 15, "bad"});
   EXPECT_THROW((void)Workload::event_streams(streams), std::exception);
+}
+
+TEST(Workload, ConcurrentTasksCallsAreRaceFree) {
+  // The stream expansion cache used to be a bare mutable bool + TaskSet
+  // (a data race under concurrent tasks()); it is now guarded by a
+  // std::once_flag. Hammer it from many threads — under TSan this test
+  // is the race detector, and everywhere it checks that every thread
+  // sees the same fully expanded set.
+  std::vector<EventStreamTask> streams;
+  streams.push_back(
+      EventStreamTask{EventStream::bursty(100, 3, 4), 5, 30, "burst"});
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(40), 7, 35, "periodic"});
+  for (int round = 0; round < 8; ++round) {
+    const Workload w = Workload::event_streams(streams);
+    constexpr int kThreads = 8;
+    std::vector<const TaskSet*> seen(kThreads, nullptr);
+    std::vector<std::size_t> sizes(kThreads, 0);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&w, &seen, &sizes, i] {
+          const TaskSet& ts = w.tasks();
+          seen[static_cast<std::size_t>(i)] = &ts;
+          sizes[static_cast<std::size_t>(i)] = ts.size();
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (int i = 0; i < kThreads; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(i)], seen[0]);
+      EXPECT_EQ(sizes[static_cast<std::size_t>(i)], 4u);
+    }
+  }
+}
+
+TEST(Workload, CopiesReExpandIndependently) {
+  // Copies share the variant but get a fresh expansion cache (a
+  // once_flag cannot be copied); both sides must still expand correctly.
+  std::vector<EventStreamTask> streams;
+  streams.push_back(
+      EventStreamTask{EventStream::periodic(20), 3, 15, "only"});
+  const Workload a = Workload::event_streams(streams);
+  (void)a.tasks();  // populate a's cache
+  const Workload b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(b.tasks().size(), a.tasks().size());
+  EXPECT_NE(&b.tasks(), &a.tasks());  // caches are independent
+  Workload c;
+  c = a;
+  EXPECT_EQ(c.tasks().size(), a.tasks().size());
+}
+
+TEST(WorkloadView, ViewsAreZeroCopyOverSetsAndWorkloads) {
+  const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12)});
+  const WorkloadView view(ts);
+  EXPECT_EQ(&view.tasks(), &ts);  // zero-copy: the very same object
+  EXPECT_EQ(view.kind(), WorkloadKind::PeriodicTasks);
+  EXPECT_EQ(view.source_size(), 2u);
+  EXPECT_FALSE(view.empty());
+
+  const Workload w = Workload::periodic(ts);
+  const WorkloadView wview(w);
+  EXPECT_EQ(&wview.tasks(), &w.tasks());
+  EXPECT_EQ(wview.to_string(), w.to_string());
+}
+
+TEST(WorkloadView, SpanBackedViewMaterializesOnce) {
+  const std::vector<Task> raw{tk(1, 4, 8), tk(2, 6, 12)};
+  const WorkloadView view{std::span<const Task>(raw)};
+  EXPECT_EQ(view.source_size(), 2u);
+  const TaskSet* first = &view.tasks();
+  EXPECT_EQ(first, &view.tasks());  // built once, then cached
+  EXPECT_EQ(view.tasks().size(), 2u);
 }
 
 }  // namespace
