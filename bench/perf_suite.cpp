@@ -6,58 +6,95 @@
 ///   ./perf_suite [--quick] [--events N] [--epsilon 0.25] [--seed N]
 ///                [--sets reps] [--json BENCH_perf.json]
 ///                [--baseline path/to/committed.json] [--tolerance 0.2]
+///                [--gate-batch X] [--gate-small-n X]
 ///
-/// --quick only reduces timing repetitions (best-of-1) and query-cell
-/// iterations; the sweep grid and trace lengths stay identical so a
-/// quick run's headline is directly comparable to the committed
+/// --quick only reduces timing repetitions (best-of-1) and query/read
+/// cell iterations; the sweep grid and trace lengths stay identical so
+/// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Two sections:
+/// Sections (schema = 2):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
 ///    U in {0.7, 0.9, 0.99}, replayed through two AdmissionControllers
 ///    that differ only in `use_slack_index`: OFF is the pre-index
-///    behavior (every scan walks the whole checkpoint array — the
-///    pre-refactor admission path), ON fast-forwards buckets proven
-///    slack by earlier scans. Decisions are asserted identical
-///    event-for-event before timing is trusted. Both run `skip_exact`
-///    (rung <= 2) so the measurement isolates the approximate demand
-///    kernel this suite guards; one full-ladder cell is replayed as an
-///    additional agreement check where verdict equality is guaranteed
-///    by exactness. The headline cell is n=1000, U=0.99 (target: >= 3x
-///    decisions/sec).
+///    behavior (every scan walks the whole checkpoint array), ON
+///    fast-forwards buckets proven slack by earlier scans (engaging
+///    adaptively by resident count, so small-n cells no longer pay
+///    index maintenance they cannot amortize). Decisions are asserted
+///    identical event-for-event before timing is trusted. Both run
+///    `skip_exact` (rung <= 2); one full-ladder cell is replayed as an
+///    additional agreement anchor. Headline: n=1000, U=0.99.
+///
+///  * batch — group-arrival traces (8-task groups, admission-feedback
+///    churn: departures withdraw resident groups) replayed through
+///    admit_group (at most one certified scan per group) vs two
+///    per-task all-or-nothing baselines: the *full loop* (try_admit
+///    every member, roll back on any failure — the client that reports
+///    which member broke the group; `loop_dps`, the headline
+///    comparison) and the *short-circuit loop* (abort on first reject;
+///    `shortcircuit_dps`). Decisions are asserted identical
+///    event-for-event across all three (EDF feasibility is
+///    subset-monotone, so union-feasible == every-member-admitted) and
+///    only the group decisions are timed. The gate wants >= 2x
+///    batch_dps/loop_dps at n=1000, U=0.99.
+///
+///  * removal — a drain of half the resident set through the
+///    tombstoned store (departures mark checkpoints dead, O(level))
+///    vs eager compaction (the pre-tombstone per-removal segment
+///    erase), on a single-segment store where the memmove cost is
+///    maximal. Tombstoned ns/removal should stay flat as n grows;
+///    eager scales with the store size.
+///
+///  * read — concurrent-read throughput of AdmissionEngine::stats():
+///    `read_qps` polls the epoch-versioned wait-free headers while a
+///    writer churns; `locked_qps` is the mutex path (stats_locked),
+///    which convoys behind admissions.
 ///
 ///  * query — per-query latency of Query::run for the legacy
-///    Workload-copy entry vs the zero-copy WorkloadView entry, on the
-///    same backend (chakraborty), isolating the per-query task-set copy.
+///    Workload-copy entry vs the zero-copy WorkloadView entry.
 ///
-/// JSON schema (schema = 1):
-///   { "bench": "perf_suite", "schema": 1, "seed": N, "quick": bool,
+/// JSON schema (schema = 2; v1 had no batch/removal/read sections):
+///   { "bench": "perf_suite", "schema": 2, "seed": N, "quick": bool,
 ///     "epsilon": e,
 ///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
 ///                      "old_dps": f, "new_dps": f, "speedup": f,
 ///                      "agreement": true } ... ],
-///     "query": [ { "n": N, "backend": "chakraborty",
-///                  "old_ns_per_query": f, "view_ns_per_query": f,
-///                  "speedup": f } ... ],
+///     "batch":     [ { "n": N, "u": U, "group": G, "events": N,
+///                      "loop_dps": f, "shortcircuit_dps": f,
+///                      "batch_dps": f, "speedup": f,
+///                      "speedup_vs_shortcircuit": f,
+///                      "agreement": true } ... ],
+///     "removal":   [ { "n": N, "checkpoints": N, "eager_ns": f,
+///                      "tombstone_ns": f, "speedup": f } ... ],
+///     "read":      [ { "readers": R, "locked_qps": f, "read_qps": f,
+///                      "speedup": f } ],
+///     "query":     [ { "n": N, "backend": "chakraborty",
+///                      "old_ns_per_query": f, "view_ns_per_query": f,
+///                      "speedup": f } ... ],
 ///     "headline": { "n": 1000, "u": 0.99, "old_dps": f, "new_dps": f,
-///                   "speedup": f } }
+///                   "speedup": f },
+///     "batch_headline": { "n": 1000, "u": 0.99, "group": 8,
+///                         "speedup": f } }
 ///
-/// With --baseline, exits 4 when the headline speedup regresses by more
-/// than --tolerance (default 0.2 = 20%) against the committed baseline —
-/// the speedup ratio is machine-independent, so the gate is meaningful
-/// on shared CI runners. Exits 3 on any decision disagreement.
+/// Exit codes: 3 = decision disagreement; with --baseline, 4 = headline
+/// speedup regressed by more than --tolerance (default 0.2) vs the
+/// committed BENCH_perf.json; 5 = batch headline speedup below
+/// --gate-batch; 6 = some n=10 admission cell below --gate-small-n.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "admission/controller.hpp"
+#include "admission/engine.hpp"
 #include "admission/replay.hpp"
 #include "bench_common.hpp"
 #include "gen/taskset_gen.hpp"
@@ -73,31 +110,147 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Replays a trace through one controller, tracking key -> TaskId so the
-/// two compared paths can be stepped in lockstep.
+/// How a shadow handles group arrivals (all decide all-or-nothing and
+/// agree event-for-event — EDF feasibility is subset-monotone, so
+/// "union feasible" == "every member individually admitted"):
+///   Batch      admit_group — one certified scan for the group.
+///   FullLoop   try_admit every member, roll back if any failed — the
+///              per-task baseline with per-member verdicts (what an
+///              all-or-nothing client runs when it must report *which*
+///              member broke the group).
+///   ShortLoop  try_admit members, abort on the first reject — the
+///              thriftiest per-task client (no failure attribution).
+enum class GroupMode { Batch, FullLoop, ShortLoop };
+
+/// Replays a trace through one controller, tracking key -> ids so the
+/// compared paths can be stepped in lockstep.
 struct Shadow {
   AdmissionController ctl;
-  std::vector<std::pair<std::uint64_t, TaskId>> live;
+  GroupMode mode;
+  std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> live;
 
-  explicit Shadow(const AdmissionOptions& o) : ctl(o) {}
+  explicit Shadow(const AdmissionOptions& o,
+                  GroupMode m = GroupMode::Batch)
+      : ctl(o), mode(m) {}
 
   /// Returns the admit decision for arrivals, true for departures.
   bool step(const TraceEvent& ev) {
-    if (ev.op == TraceOp::Arrive) {
-      const AdmissionDecision d = ctl.try_admit(ev.task);
-      if (d.admitted) live.emplace_back(ev.key, d.id);
-      return d.admitted;
-    }
-    for (auto it = live.begin(); it != live.end(); ++it) {
-      if (it->first == ev.key) {
-        ctl.remove(it->second);
-        live.erase(it);
+    if (ev.op == TraceOp::Depart) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first != ev.key) continue;
+        (void)ctl.remove_group(live[i].second);
+        live[i] = live.back();
+        live.pop_back();
         break;
       }
+      return true;
     }
+    if (ev.op == TraceOp::Arrive) {
+      const AdmissionDecision d = ctl.try_admit(ev.task);
+      if (d.admitted) live.emplace_back(ev.key, std::vector<TaskId>{d.id});
+      return d.admitted;
+    }
+    if (mode == GroupMode::Batch) {
+      GroupDecision d = ctl.admit_group(ev.group);
+      const bool ok = d.admitted;
+      if (ok) live.emplace_back(ev.key, std::move(d.ids));
+      return ok;
+    }
+    // Per-task all-or-nothing baselines.
+    std::vector<TaskId> ids;
+    ids.reserve(ev.group.size());
+    bool all = true;
+    for (const Task& t : ev.group) {
+      const AdmissionDecision d = ctl.try_admit(t);
+      if (!d.admitted) {
+        all = false;
+        if (mode == GroupMode::ShortLoop) break;
+        continue;  // FullLoop: keep deciding the remaining members
+      }
+      ids.push_back(d.id);
+    }
+    if (!all) {
+      for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+        (void)ctl.remove(*it);
+      }
+      return false;
+    }
+    live.emplace_back(ev.key, std::move(ids));
     return true;
   }
 };
+
+/// Decision-for-decision agreement between two shadow configurations
+/// (untimed); exits 3 on any mismatch.
+void assert_agreement(const std::vector<TraceEvent>& trace,
+                      Shadow& a, Shadow& b, const char* what) {
+  std::uint64_t mismatches = 0;
+  for (const TraceEvent& ev : trace) {
+    if (a.step(ev) != b.step(ev)) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr, "BUG: %llu decision mismatches (%s)\n",
+                 static_cast<unsigned long long>(mismatches), what);
+    std::exit(3);
+  }
+}
+
+template <typename MakeShadow>
+double timed_replay(const std::vector<TraceEvent>& trace,
+                    MakeShadow make, std::int64_t reps) {
+  double best = 1e300;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    auto shadow = make();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const TraceEvent& ev : trace) (void)shadow.step(ev);
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+/// Time the *group decisions* only: warmup singles and departures are
+/// replayed (the store must evolve identically) but excluded from the
+/// measurement — they cost the same on both compared paths and would
+/// only dilute the group-decision-rate ratio the cell exists to
+/// measure. Returns best-of-reps seconds per full pass.
+template <typename MakeShadow>
+double timed_replay_groups(const std::vector<TraceEvent>& trace,
+                           MakeShadow make, std::int64_t reps) {
+  double best = 1e300;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    auto shadow = make();
+    double spent = 0.0;
+    for (const TraceEvent& ev : trace) {
+      if (ev.op != TraceOp::ArriveGroup) {
+        (void)shadow.step(ev);
+        continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)shadow.step(ev);
+      spent += seconds_since(t0);
+    }
+    best = std::min(best, spent);
+  }
+  return best;
+}
+
+std::vector<TraceEvent> make_trace(std::size_t n, double u,
+                                   std::size_t events, std::uint64_t seed,
+                                   double group_probability,
+                                   std::size_t group_size) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = n;
+  churn.events = events;
+  churn.pool_utilization = u;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = static_cast<int>(n);
+  churn.group_probability = group_probability;
+  churn.group_size = group_size;
+  Rng rng(seed);
+  return generate_churn_trace(rng, churn);
+}
+
+// ------------------------------------------------------------ admission
 
 struct AdmissionRow {
   std::size_t n = 0;
@@ -113,14 +266,8 @@ struct AdmissionRow {
 AdmissionRow run_admission_cell(std::size_t n, double u, std::size_t events,
                                 double epsilon, bool ladder,
                                 std::uint64_t seed, std::int64_t reps) {
-  ChurnConfig churn;
-  churn.warmup_arrivals = n;
-  churn.events = events;
-  churn.pool_utilization = u;
-  churn.family = ChurnConfig::Family::Fixed;
-  churn.fixed_tasks = static_cast<int>(n);
-  Rng rng(seed);
-  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+  const std::vector<TraceEvent> trace =
+      make_trace(n, u, events, seed, 0.0, 1);
 
   AdmissionOptions base;
   base.epsilon = epsilon;
@@ -130,35 +277,11 @@ AdmissionRow run_admission_cell(std::size_t n, double u, std::size_t events,
   AdmissionOptions new_opts = base;
   new_opts.use_slack_index = true;
 
-  // Decision-for-decision agreement (untimed).
   {
     Shadow oldp(old_opts);
     Shadow newp(new_opts);
-    std::uint64_t mismatches = 0;
-    for (const TraceEvent& ev : trace) {
-      const bool a = oldp.step(ev);
-      const bool b = newp.step(ev);
-      if (a != b) ++mismatches;
-    }
-    if (mismatches != 0) {
-      std::fprintf(stderr,
-                   "BUG: %llu decision mismatches (n=%zu u=%.2f%s)\n",
-                   static_cast<unsigned long long>(mismatches), n, u,
-                   ladder ? " ladder" : "");
-      std::exit(3);
-    }
+    assert_agreement(trace, oldp, newp, "index on/off");
   }
-
-  const auto timed = [&](const AdmissionOptions& opts) {
-    double best = 1e300;
-    for (std::int64_t rep = 0; rep < reps; ++rep) {
-      AdmissionController ctl(opts);
-      const auto t0 = std::chrono::steady_clock::now();
-      (void)replay_trace(trace, ctl);
-      best = std::min(best, seconds_since(t0));
-    }
-    return best;
-  };
 
   AdmissionRow row;
   row.n = n;
@@ -166,11 +289,291 @@ AdmissionRow run_admission_cell(std::size_t n, double u, std::size_t events,
   row.events = trace.size();
   row.ladder = ladder;
   const double total = static_cast<double>(trace.size());
-  row.old_dps = total / timed(old_opts);
-  row.new_dps = total / timed(new_opts);
+  row.old_dps =
+      total / timed_replay(trace, [&] { return Shadow(old_opts); }, reps);
+  row.new_dps =
+      total / timed_replay(trace, [&] { return Shadow(new_opts); }, reps);
   row.speedup = row.new_dps / row.old_dps;
   return row;
 }
+
+// ---------------------------------------------------------------- batch
+
+struct BatchRow {
+  std::size_t n = 0;
+  double u = 0.0;
+  std::size_t group = 0;
+  std::size_t events = 0;       ///< group decisions in the trace
+  double loop_dps = 0.0;         ///< full per-task loop baseline
+  double shortcircuit_dps = 0.0; ///< abort-on-first-reject loop
+  double batch_dps = 0.0;        ///< admit_group
+  double speedup = 0.0;          ///< batch vs full loop (the headline)
+  double speedup_vs_shortcircuit = 0.0;
+};
+
+/// Group-arrival churn: admit_group (one scan per group) vs the
+/// per-task rollback loop (g scans), same controller options.
+///
+/// The trace is built with *admission feedback*: departures withdraw
+/// keys that were actually admitted — the production shape (you can
+/// only withdraw what is resident). A blind trace would mostly depart
+/// never-admitted keys, pinning the system at capacity where nearly
+/// every group is a cheap reject and there is no scan to share.
+/// Decisions agree event-for-event across the compared paths (asserted
+/// below), so the recorded trace is identical for both.
+BatchRow run_batch_cell(std::size_t n, double u, std::size_t group_size,
+                        std::size_t events, double epsilon,
+                        std::uint64_t seed, std::int64_t reps) {
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.skip_exact = true;
+
+  std::vector<TraceEvent> trace;
+  trace.reserve(n + events);
+  {
+    Shadow ref(opts, GroupMode::Batch);
+    Rng rng(seed);
+    std::vector<Task> pool;
+    std::size_t pool_next = 0;
+    const auto draw = [&]() -> const Task& {
+      if (pool_next == pool.size()) {
+        GeneratorConfig gen;
+        gen.tasks = static_cast<int>(n);
+        gen.utilization = u;
+        const TaskSet ts = generate_task_set(rng, gen);
+        pool.assign(ts.begin(), ts.end());
+        pool_next = 0;
+      }
+      return pool[pool_next++];
+    };
+    std::uint64_t key = 1;
+    for (std::size_t i = 0; i < n; ++i) {  // warmup singles
+      TraceEvent ev;
+      ev.op = TraceOp::Arrive;
+      ev.key = key++;
+      ev.task = draw();
+      (void)ref.step(ev);
+      trace.push_back(std::move(ev));
+    }
+    for (std::size_t i = 0; i < events; ++i) {
+      if (!ref.live.empty() && rng.bernoulli(0.55)) {
+        TraceEvent ev;
+        ev.op = TraceOp::Depart;
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_time(
+            0, static_cast<Time>(ref.live.size()) - 1));
+        ev.key = ref.live[pick].first;
+        (void)ref.step(ev);
+        trace.push_back(std::move(ev));
+      } else {
+        TraceEvent ev;
+        ev.op = TraceOp::ArriveGroup;
+        ev.key = key++;
+        ev.group.reserve(group_size);
+        for (std::size_t j = 0; j < group_size; ++j) {
+          ev.group.push_back(draw());
+        }
+        (void)ref.step(ev);
+        trace.push_back(std::move(ev));
+      }
+    }
+  }
+
+  {
+    Shadow full(opts, GroupMode::FullLoop);
+    Shadow batch(opts, GroupMode::Batch);
+    assert_agreement(trace, full, batch, "group vs full per-task loop");
+  }
+  {
+    Shadow brief(opts, GroupMode::ShortLoop);
+    Shadow batch(opts, GroupMode::Batch);
+    assert_agreement(trace, brief, batch,
+                     "group vs short-circuit per-task loop");
+  }
+
+  BatchRow row;
+  row.n = n;
+  row.u = u;
+  row.group = group_size;
+  std::size_t groups = 0;
+  for (const TraceEvent& ev : trace) {
+    groups += ev.op == TraceOp::ArriveGroup ? 1 : 0;
+  }
+  row.events = groups;
+  const double total = static_cast<double>(groups);
+  row.loop_dps =
+      total / timed_replay_groups(
+                  trace, [&] { return Shadow(opts, GroupMode::FullLoop); },
+                  reps);
+  row.shortcircuit_dps =
+      total / timed_replay_groups(
+                  trace,
+                  [&] { return Shadow(opts, GroupMode::ShortLoop); },
+                  reps);
+  row.batch_dps =
+      total / timed_replay_groups(
+                  trace, [&] { return Shadow(opts, GroupMode::Batch); },
+                  reps);
+  row.speedup = row.batch_dps / row.loop_dps;
+  row.speedup_vs_shortcircuit = row.batch_dps / row.shortcircuit_dps;
+  return row;
+}
+
+// -------------------------------------------------------------- removal
+
+struct RemovalRow {
+  std::size_t n = 0;
+  std::size_t checkpoints = 0;
+  double eager_ns = 0.0;
+  double tombstone_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Drain half the store, eager compaction vs tombstones, on the
+/// single-segment layout (index off) where the per-removal memmove is
+/// the whole checkpoint array — the cost the tombstones delete.
+RemovalRow run_removal_cell(std::size_t n, double epsilon,
+                            std::uint64_t seed, std::int64_t reps) {
+  GeneratorConfig gen;
+  gen.tasks = static_cast<int>(n);
+  gen.utilization = 0.7;
+  Rng rng(seed);
+  const TaskSet ts = generate_task_set(rng, gen);
+  // One shared removal order (Fisher-Yates with the bench rng).
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform_time(0, static_cast<Time>(i)));
+    std::swap(order[i], order[j]);
+  }
+  const std::size_t removals = ts.size() / 2;
+
+  RemovalRow row;
+  row.n = n;
+  const auto timed = [&](bool eager) {
+    double best = 1e300;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      IncrementalDemand d(epsilon, /*use_slack_index=*/false, eager);
+      d.reserve(ts.size());  // bulk load: one reservation up front
+      std::vector<TaskId> ids;
+      ids.reserve(ts.size());
+      for (const Task& t : ts) ids.push_back(d.add(t));
+      row.checkpoints = d.checkpoint_count();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < removals; ++i) {
+        (void)d.remove(ids[order[i]]);
+      }
+      best = std::min(best, seconds_since(t0));
+    }
+    return best * 1e9 / static_cast<double>(removals);
+  };
+  row.eager_ns = timed(/*eager=*/true);
+  row.tombstone_ns = timed(/*eager=*/false);
+  row.speedup = row.eager_ns / row.tombstone_ns;
+  return row;
+}
+
+// ----------------------------------------------------------------- read
+
+struct ReadRow {
+  std::size_t readers = 0;
+  double locked_qps = 0.0;
+  double read_qps = 0.0;
+  double speedup = 0.0;
+};
+
+/// Reader throughput against a churning engine: the epoch path takes
+/// no shard mutex; the locked path convoys behind the writer.
+ReadRow run_read_cell(std::size_t readers, double epsilon,
+                      std::uint64_t seed, bool quick) {
+  EngineOptions eopts;
+  eopts.shards = 2;
+  eopts.admission.epsilon = epsilon;
+  eopts.admission.skip_exact = true;
+  AdmissionEngine engine(eopts);
+
+  // A saturated n=1000 writer: its admissions hold the shard mutex for
+  // whole certified scans, which is exactly the convoy the epoch
+  // headers remove for readers.
+  const std::vector<TraceEvent> trace =
+      make_trace(1000, 0.99, 4000, seed, 0.0, 1);
+  // Pre-fill so the writer's admits carry realistic scan cost.
+  std::vector<std::pair<std::uint64_t, GlobalTaskId>> live;
+  std::size_t warm = 0;
+  for (const TraceEvent& ev : trace) {
+    if (ev.op != TraceOp::Arrive || warm >= 1000) break;
+    const PlacementDecision d = engine.admit(ev.task);
+    if (d.admitted) live.emplace_back(ev.key, d.id);
+    ++warm;
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Remove one resident, then admit arrivals until one *rejects*:
+    // every iteration ends in a failing certified scan (accepted
+    // arrivals at this density are mostly certificate-covered and hold
+    // the lock for nanoseconds — it is the boundary rejects that pin
+    // the shard mutex for a whole scan, the convoy the locked read
+    // path pays and the epoch path does not).
+    Rng wrng(seed + 1);
+    std::size_t cursor = warm;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!live.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            wrng.uniform_time(0, static_cast<Time>(live.size()) - 1));
+        (void)engine.remove(live[pick].second);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+      for (int tries = 0; tries < 8; ++tries) {
+        if (cursor >= trace.size()) cursor = warm;
+        const TraceEvent& ev = trace[cursor++];
+        if (ev.op != TraceOp::Arrive) continue;
+        const PlacementDecision d = engine.admit(ev.task);
+        if (!d.admitted) break;  // the failing scan this loop exists for
+        live.emplace_back(ev.key, d.id);
+      }
+    }
+  });
+
+  const double window = quick ? 0.08 : 0.25;
+  const auto measure = [&](bool locked) {
+    std::atomic<std::uint64_t> count{0};
+    std::vector<std::thread> pool;
+    pool.reserve(readers);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < readers; ++r) {
+      pool.emplace_back([&] {
+        // Allocation-free polling (stats_into reuses capacity): the
+        // cell measures mutex convoy vs epoch reads, not malloc.
+        EngineStats snap;
+        std::uint64_t mine = 0;
+        while (seconds_since(t0) < window) {
+          if (locked) {
+            engine.stats_locked_into(snap);
+          } else {
+            engine.stats_into(snap);
+          }
+          ++mine;
+        }
+        count.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    return static_cast<double>(count.load()) / window;
+  };
+
+  ReadRow row;
+  row.readers = readers;
+  row.locked_qps = measure(/*locked=*/true);
+  row.read_qps = measure(/*locked=*/false);
+  row.speedup = row.read_qps / row.locked_qps;
+  stop.store(true);
+  writer.join();
+  return row;
+}
+
+// ---------------------------------------------------------------- query
 
 struct QueryRow {
   std::size_t n = 0;
@@ -238,6 +641,8 @@ int main(int argc, char** argv) {
     const double epsilon = flags.get_double("epsilon", 0.25);
     const std::string json_path = flags.get("json", "BENCH_perf.json");
     const double tolerance = flags.get_double("tolerance", 0.2);
+    const double gate_batch = flags.get_double("gate-batch", 0.0);
+    const double gate_small_n = flags.get_double("gate-small-n", 0.0);
 
     setup.csv.header({"section", "n", "u", "events", "old", "new",
                       "speedup"});
@@ -247,11 +652,16 @@ int main(int argc, char** argv) {
     std::vector<AdmissionRow> admission;
     for (const std::size_t n :
          {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+      // Small cells finish in single-digit milliseconds, where best-of
+      // timing is scheduler-noise-bound: scale repetitions inversely
+      // with cell size so the n=10 non-regression gate is stable.
+      const std::int64_t reps =
+          setup.sets * (n == 10 ? 10 : n == 100 ? 3 : 1);
       for (const double u : {0.7, 0.9, 0.99}) {
         const AdmissionRow row = run_admission_cell(
             n, u, events, epsilon, /*ladder=*/false,
             setup.seed + n * 1000 + static_cast<std::uint64_t>(u * 100),
-            setup.sets);
+            reps);
         admission.push_back(row);
         std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx\n",
                     "admission", n, u, row.events, row.old_dps, row.new_dps,
@@ -277,6 +687,51 @@ int main(int argc, char** argv) {
                        row.new_dps, row.speedup);
     }
 
+    // Batch group admission: one scan per 8-task group vs g scans.
+    std::vector<BatchRow> batch;
+    for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
+      const BatchRow row = run_batch_cell(
+          n, 0.99, /*group_size=*/8, events, epsilon,
+          setup.seed + 31 * n, setup.sets);
+      batch.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx "
+                  "(g=8; %.2fx vs short-circuit)\n",
+                  "batch", row.n, row.u, row.events, row.loop_dps,
+                  row.batch_dps, row.speedup,
+                  row.speedup_vs_shortcircuit);
+      setup.csv.row_of("batch", static_cast<long long>(n), 0.99,
+                       static_cast<long long>(row.events), row.loop_dps,
+                       row.batch_dps, row.speedup);
+    }
+
+    // Tombstoned removals: ns/removal must not scale with store size.
+    std::vector<RemovalRow> removal;
+    for (const std::size_t n :
+         {std::size_t{100}, std::size_t{1000}, std::size_t{4000}}) {
+      const RemovalRow row =
+          run_removal_cell(n, epsilon, setup.seed + 7 * n, setup.sets);
+      removal.push_back(row);
+      std::printf("%-10s %6zu %6s %8zu %12.0fns %12.0fns %8.2fx\n",
+                  "removal", row.n, "-", row.checkpoints, row.eager_ns,
+                  row.tombstone_ns, row.speedup);
+      setup.csv.row_of("removal", static_cast<long long>(n), 0.0,
+                       static_cast<long long>(row.checkpoints),
+                       row.eager_ns, row.tombstone_ns, row.speedup);
+    }
+
+    // Concurrent reads: wait-free epoch headers vs the mutex path.
+    std::vector<ReadRow> reads;
+    {
+      const ReadRow row =
+          run_read_cell(/*readers=*/4, epsilon, setup.seed + 4242, quick);
+      reads.push_back(row);
+      std::printf("%-10s %6zu %6s %8s %11.0f/s %12.0f/s %8.2fx\n", "read",
+                  row.readers, "-", "-", row.locked_qps, row.read_qps,
+                  row.speedup);
+      setup.csv.row_of("read", static_cast<long long>(row.readers), 0.0,
+                       0LL, row.locked_qps, row.read_qps, row.speedup);
+    }
+
     std::vector<QueryRow> queries;
     for (const std::size_t n :
          {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
@@ -290,15 +745,19 @@ int main(int argc, char** argv) {
                        row.old_ns, row.view_ns, row.speedup);
     }
 
-    // Headline: the saturated large-set admission cell.
+    // Headlines: the saturated large-set admission and batch cells.
     const AdmissionRow* headline = nullptr;
     for (const AdmissionRow& row : admission) {
       if (row.n == 1000 && row.u == 0.99 && !row.ladder) headline = &row;
     }
+    const BatchRow* batch_headline = nullptr;
+    for (const BatchRow& row : batch) {
+      if (row.n == 1000) batch_headline = &row;
+    }
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 1LL)
+        .kv("schema", 2LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -313,6 +772,43 @@ int main(int argc, char** argv) {
           .kv("new_dps", row.new_dps)
           .kv("speedup", row.speedup)
           .kv("agreement", true)
+          .end();
+    }
+    json.end();
+    json.begin_array("batch");
+    for (const BatchRow& row : batch) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("group", static_cast<long long>(row.group))
+          .kv("events", static_cast<long long>(row.events))
+          .kv("loop_dps", row.loop_dps)
+          .kv("shortcircuit_dps", row.shortcircuit_dps)
+          .kv("batch_dps", row.batch_dps)
+          .kv("speedup", row.speedup)
+          .kv("speedup_vs_shortcircuit", row.speedup_vs_shortcircuit)
+          .kv("agreement", true)
+          .end();
+    }
+    json.end();
+    json.begin_array("removal");
+    for (const RemovalRow& row : removal) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("checkpoints", static_cast<long long>(row.checkpoints))
+          .kv("eager_ns", row.eager_ns)
+          .kv("tombstone_ns", row.tombstone_ns)
+          .kv("speedup", row.speedup)
+          .end();
+    }
+    json.end();
+    json.begin_array("read");
+    for (const ReadRow& row : reads) {
+      json.begin_object()
+          .kv("readers", static_cast<long long>(row.readers))
+          .kv("locked_qps", row.locked_qps)
+          .kv("read_qps", row.read_qps)
+          .kv("speedup", row.speedup)
           .end();
     }
     json.end();
@@ -334,13 +830,22 @@ int main(int argc, char** argv) {
         .kv("new_dps", headline != nullptr ? headline->new_dps : 0.0)
         .kv("speedup", headline != nullptr ? headline->speedup : 0.0)
         .end();
+    json.begin_object("batch_headline")
+        .kv("n", 1000LL)
+        .kv("u", 0.99)
+        .kv("group", 8LL)
+        .kv("speedup",
+            batch_headline != nullptr ? batch_headline->speedup : 0.0)
+        .end();
     if (!json.write(json_path)) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
       return 2;
     }
-    std::printf("\nwrote %s (headline speedup: %.2fx at n=1000, U=0.99)\n",
+    std::printf("\nwrote %s (headline %.2fx at n=1000,U=0.99; "
+                "group-admit %.2fx)\n",
                 json_path.c_str(),
-                headline != nullptr ? headline->speedup : 0.0);
+                headline != nullptr ? headline->speedup : 0.0,
+                batch_headline != nullptr ? batch_headline->speedup : 0.0);
 
     if (flags.has("baseline")) {
       const std::string base_path = flags.get("baseline", "");
@@ -372,6 +877,32 @@ int main(int argc, char** argv) {
                      now, floor, base_speedup, tolerance * 100.0);
         return 4;
       }
+    }
+    if (gate_batch > 0.0) {
+      const double now =
+          batch_headline != nullptr ? batch_headline->speedup : 0.0;
+      std::printf("batch gate: %.2fx now vs %.2fx required\n", now,
+                  gate_batch);
+      if (now < gate_batch) {
+        std::fprintf(stderr,
+                     "REGRESSION: group-admit speedup %.2fx below the "
+                     "%.2fx gate (n=1000, U=0.99, g=8)\n",
+                     now, gate_batch);
+        return 5;
+      }
+    }
+    if (gate_small_n > 0.0) {
+      for (const AdmissionRow& row : admission) {
+        if (row.n != 10) continue;
+        if (row.speedup < gate_small_n) {
+          std::fprintf(stderr,
+                       "REGRESSION: small-n cell (n=10, u=%.2f) at "
+                       "%.2fx, below the %.2fx non-regression gate\n",
+                       row.u, row.speedup, gate_small_n);
+          return 6;
+        }
+      }
+      std::printf("small-n gate: all n=10 cells >= %.2fx\n", gate_small_n);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -43,11 +43,20 @@ std::string AdmissionDecision::to_string() const {
   return os.str();
 }
 
+std::string GroupDecision::to_string() const {
+  std::ostringstream os;
+  os << "#" << sequence << " group(" << ids.size() << ") "
+     << (admitted ? "admit" : "reject") << " via "
+     << edfkit::to_string(rung) << " (" << edfkit::to_string(analysis.verdict)
+     << ", effort=" << analysis.effort() << ")";
+  return os.str();
+}
+
 std::string AdmissionStats::to_string() const {
   std::ostringstream os;
   os << "arrivals=" << arrivals << " admitted=" << admitted
      << " rejected=" << rejected << " removals=" << removals
-     << " effort=" << total_effort << " rungs[";
+     << " groups=" << groups << " effort=" << total_effort << " rungs[";
   for (std::size_t i = 0; i < by_rung.size(); ++i) {
     if (i != 0) os << " ";
     os << edfkit::to_string(static_cast<AdmissionRung>(i)) << "="
@@ -58,7 +67,8 @@ std::string AdmissionStats::to_string() const {
 }
 
 AdmissionController::AdmissionController(AdmissionOptions opts)
-    : opts_(opts), demand_(opts.epsilon, opts.use_slack_index) {
+    : opts_(opts),
+      demand_(opts.epsilon, opts.use_slack_index, opts.eager_compaction) {
   if (!opts_.skip_exact && !is_exact(opts_.exact_fallback)) {
     throw std::invalid_argument(
         "AdmissionController: exact_fallback must be an exact test kind");
@@ -169,10 +179,145 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
   return settle(false, AdmissionRung::Exact);
 }
 
+GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
+  for (const Task& t : group) t.validate();  // before any mutation
+  GroupDecision d;
+  d.sequence = ++sequence_;
+  ++stats_.groups;
+  stats_.arrivals += group.size();
+
+  const auto settle = [&](bool admitted, AdmissionRung rung) {
+    d.admitted = admitted;
+    d.rung = rung;
+    (admitted ? stats_.admitted : stats_.rejected) += group.size();
+    ++stats_.by_rung[static_cast<std::size_t>(rung)];
+    stats_.total_effort += d.analysis.effort();
+    if (!admitted) d.ids.clear();
+    return d;
+  };
+
+  if (group.empty()) {
+    // Vacuous: the resident set is unchanged and (by the standing
+    // invariant) feasible.
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Structural);
+  }
+
+  // Policy gates over the whole group.
+  if (opts_.max_tasks != 0 &&
+      demand_.size() + group.size() > opts_.max_tasks) {
+    return settle(false, AdmissionRung::Structural);
+  }
+  if (opts_.utilization_cap < 1.0) {
+    double u = demand_.utilization_double();
+    for (const Task& t : group) u += t.utilization_double();
+    if (u > opts_.utilization_cap) {
+      return settle(false, AdmissionRung::Structural);
+    }
+  }
+
+  // Rung 1: one exact utilization classification of the widened set.
+  d.analysis.iterations = 1;
+  const UtilizationClass uc = demand_.utilization_class_with(group);
+  if (uc == UtilizationClass::AboveOne) {
+    d.analysis.verdict = Verdict::Infeasible;
+    return settle(false, AdmissionRung::Utilization);
+  }
+  d.analysis.degraded = (uc == UtilizationClass::Marginal);
+  bool implicit = uc != UtilizationClass::Marginal &&
+                  demand_.constrained_tasks() == 0;
+  if (implicit) {
+    for (const Task& t : group) {
+      implicit = implicit && t.effective_deadline() >= t.period;
+    }
+  }
+  if (implicit) {
+    // Every deadline (group included) is at least its period: U <= 1
+    // is exact (EDF optimality, cf. liu_layland_test).
+    demand_.add_group(group, d.ids);
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Utilization);
+  }
+
+  // Rung 2: certificate-covered members admit O(1) in sequence (each
+  // add charges the certificate, so cover-then-add stays sound); from
+  // the first uncovered member on, the rest insert fused and *one*
+  // certified scan decides the whole widened set. A group of one
+  // degenerates exactly to try_admit's ladder.
+  std::size_t covered = 0;
+  while (covered < group.size() &&
+         demand_.certificate_covers(group[covered])) {
+    d.ids.push_back(demand_.add(group[covered]));
+    ++covered;
+  }
+  if (covered == group.size()) {
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Approximate);
+  }
+  demand_.add_group(group.subspan(covered), d.ids);
+
+  // One certified scan for the whole group. With rollback_refinements,
+  // refinements are logged so a rejection can restore pre-scan levels
+  // (bit-identical rollback); by default a rejected group keeps the
+  // learned refinement, like single-task rejects — discarding it would
+  // force every subsequent scan to re-learn the tight region.
+  IncrementalDemand::RefineLog log;
+  const DemandCheck c = demand_.check(
+      64 + 8 * static_cast<std::uint64_t>(demand_.size()),
+      opts_.rollback_refinements ? &log : nullptr);
+  d.analysis.iterations += c.iterations;
+  d.analysis.revisions += c.revisions;
+  d.analysis.max_interval_tested = c.max_interval_tested;
+  d.analysis.degraded = d.analysis.degraded || c.degraded;
+  if (c.fits) {
+    d.analysis.verdict = Verdict::Feasible;
+    return settle(true, AdmissionRung::Approximate);
+  }
+  const auto rollback = [&] {
+    (void)demand_.remove_group(d.ids);
+    demand_.undo_refinements(log);
+  };
+  if (c.overflow_proof) {
+    rollback();
+    d.analysis.witness = c.witness;
+    d.analysis.verdict = Verdict::Infeasible;
+    return settle(false, AdmissionRung::Approximate);
+  }
+  if (opts_.skip_exact) {
+    rollback();
+    d.analysis.witness = c.witness;
+    d.analysis.verdict = Verdict::Unknown;  // no infeasibility proof
+    return settle(false, AdmissionRung::Approximate);
+  }
+
+  // Rung 3: one exact fallback over the widened resident set (the
+  // group is tentatively resident), zero-copy.
+  const FeasibilityResult exact =
+      query_exact(demand_.resident(), opts_.exact_fallback, opts_.analyzer);
+  d.analysis.verdict = exact.verdict;
+  d.analysis.iterations += exact.iterations;
+  d.analysis.revisions += exact.revisions;
+  d.analysis.witness = exact.witness;
+  d.analysis.max_interval_tested =
+      std::max(d.analysis.max_interval_tested, exact.max_interval_tested);
+  d.analysis.degraded = d.analysis.degraded || exact.degraded;
+  if (exact.feasible()) {
+    return settle(true, AdmissionRung::Exact);
+  }
+  rollback();
+  return settle(false, AdmissionRung::Exact);
+}
+
 bool AdmissionController::remove(TaskId id) {
   if (!demand_.remove(id)) return false;
   ++stats_.removals;
   return true;
+}
+
+std::size_t AdmissionController::remove_group(std::span<const TaskId> ids) {
+  const std::size_t gone = demand_.remove_group(ids);
+  stats_.removals += gone;
+  return gone;
 }
 
 const Task* AdmissionController::find(TaskId id) const noexcept {

@@ -25,7 +25,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "admission/incremental_dbf.hpp"
 #include "core/analyzer.hpp"
@@ -64,9 +66,23 @@ struct AdmissionOptions {
   bool skip_exact = false;
   /// Cached-slack index for the approximate rung (incremental_dbf.hpp):
   /// scans fast-forward over checkpoint buckets proven slack by earlier
-  /// scans. Off = the pre-index full-rescan behavior (the perf_suite
-  /// baseline); verdicts are identical either way.
+  /// scans. On, the index engages adaptively by resident count (small
+  /// sets never pay its maintenance). Off = the pre-index full-rescan
+  /// behavior (the perf_suite baseline); verdicts are identical either
+  /// way.
   bool use_slack_index = true;
+  /// Compact the checkpoint store on every removal instead of
+  /// tombstoning emptied checkpoints (the pre-tombstone behavior, kept
+  /// selectable for the perf_suite removal baseline and differential
+  /// tests). Verdicts are identical either way.
+  bool eager_compaction = false;
+  /// On a rejected admit_group, also restore the refinement levels the
+  /// failing scan raised, leaving the store bit-identical to its
+  /// pre-call state. Off (default), a rejected group keeps the learned
+  /// refinement — exactly like single-task rejects — which is what
+  /// keeps steady-state scans cheap under sustained group churn;
+  /// membership and aggregates are restored exact-inverse either way.
+  bool rollback_refinements = false;
 };
 
 /// One admit/reject decision, instrumented like the offline tests.
@@ -85,12 +101,30 @@ struct AdmissionDecision {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// One all-or-nothing group decision: either every task of the group
+/// was admitted (ids in group order) or the resident set is unchanged.
+struct GroupDecision {
+  bool admitted = false;
+  /// One handle per group member, in order; empty when rejected.
+  std::vector<TaskId> ids;
+  AdmissionRung rung = AdmissionRung::Structural;
+  /// Verdict semantics as AdmissionDecision, for the *whole widened
+  /// set* (resident + group): one scan decides the group.
+  FeasibilityResult analysis;
+  std::uint64_t sequence = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Running controller counters.
 struct AdmissionStats {
-  std::uint64_t arrivals = 0;
+  std::uint64_t arrivals = 0;  ///< tasks offered (group members count)
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t removals = 0;
+  /// Group decisions taken (each also counts its tasks in arrivals and
+  /// one decision in by_rung).
+  std::uint64_t groups = 0;
   /// Decisions settled per rung (indexed by AdmissionRung).
   std::array<std::uint64_t, kAdmissionRungs> by_rung{};
   /// Sum of FeasibilityResult::effort() over all decisions.
@@ -110,9 +144,26 @@ class AdmissionController {
   /// unchanged. \throws std::invalid_argument for invalid tasks.
   [[nodiscard]] AdmissionDecision try_admit(const Task& t);
 
+  /// Admit the whole group atomically (all-or-nothing): the group's
+  /// checkpoints are inserted in one pass and a *single* certified scan
+  /// decides the widened set — one scan for g tasks instead of g scans.
+  /// On rejection every insertion is rolled back exact-inverse: the
+  /// resident membership and every aggregate return to their pre-call
+  /// values (with rollback_refinements, the refinement levels raised by
+  /// the failing scan too — a fully bit-identical store). An empty
+  /// group is trivially admitted. \throws std::invalid_argument for
+  /// invalid tasks (before any mutation).
+  [[nodiscard]] GroupDecision admit_group(std::span<const Task> group);
+
   /// Withdraw a resident task. Feasibility is preserved by
-  /// monotonicity; O(k log n). \returns false for unknown ids.
+  /// monotonicity; with deferred compaction this is O(level) amortized.
+  /// \returns false for unknown ids.
   bool remove(TaskId id);
+
+  /// Withdraw a whole group (unknown ids skipped) with the per-update
+  /// overhead amortized across the group — the departure path for
+  /// group-admitted tasks. \returns the number withdrawn.
+  std::size_t remove_group(std::span<const TaskId> ids);
 
   [[nodiscard]] const Task* find(TaskId id) const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return demand_.size(); }
@@ -128,6 +179,14 @@ class AdmissionController {
   /// The resident set, zero-copy (see IncrementalDemand::resident).
   [[nodiscard]] const TaskSet& resident() const noexcept {
     return demand_.resident();
+  }
+
+  /// Wait-free epoch-consistent snapshot of the demand store's
+  /// aggregates — safe to call concurrently with the one mutating
+  /// thread (the engine's wait-free stats path reads this without the
+  /// shard mutex).
+  [[nodiscard]] StoreHeader demand_header() const noexcept {
+    return demand_.header();
   }
 
   /// Materialize a copy of the resident set. O(n).

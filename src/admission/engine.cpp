@@ -27,6 +27,47 @@ std::string EngineStats::to_string() const {
   return os.str();
 }
 
+void AdmissionEngine::Shard::publish() noexcept {
+  // The protocol (odd-epoch, fences, lap check) lives in
+  // util/seqlock.hpp; this only fills the named buffer.
+  epoch.publish([&](std::size_t idx) {
+    Header& h = header[idx];
+    const AdmissionStats& s = controller.stats();
+    h.arrivals.store(s.arrivals, std::memory_order_relaxed);
+    h.admitted.store(s.admitted, std::memory_order_relaxed);
+    h.rejected.store(s.rejected, std::memory_order_relaxed);
+    h.removals.store(s.removals, std::memory_order_relaxed);
+    h.groups.store(s.groups, std::memory_order_relaxed);
+    h.effort.store(s.total_effort, std::memory_order_relaxed);
+    for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
+      h.by_rung[r].store(s.by_rung[r], std::memory_order_relaxed);
+    }
+    h.resident.store(controller.size(), std::memory_order_relaxed);
+    h.utilization.store(controller.utilization(),
+                        std::memory_order_relaxed);
+  });
+}
+
+void AdmissionEngine::Shard::read_stats(AdmissionStats& stats,
+                                        std::size_t& resident,
+                                        double& utilization) const noexcept {
+  (void)epoch.read([&](std::size_t idx) {
+    const Header& h = header[idx];
+    stats.arrivals = h.arrivals.load(std::memory_order_relaxed);
+    stats.admitted = h.admitted.load(std::memory_order_relaxed);
+    stats.rejected = h.rejected.load(std::memory_order_relaxed);
+    stats.removals = h.removals.load(std::memory_order_relaxed);
+    stats.groups = h.groups.load(std::memory_order_relaxed);
+    stats.total_effort = h.effort.load(std::memory_order_relaxed);
+    for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
+      stats.by_rung[r] = h.by_rung[r].load(std::memory_order_relaxed);
+    }
+    resident = static_cast<std::size_t>(
+        h.resident.load(std::memory_order_relaxed));
+    utilization = h.utilization.load(std::memory_order_relaxed);
+  });
+}
+
 AdmissionEngine::AdmissionEngine(EngineOptions opts) : opts_(opts) {
   if (opts_.shards == 0) {
     throw std::invalid_argument("AdmissionEngine: shards >= 1 required");
@@ -86,6 +127,7 @@ PlacementDecision AdmissionEngine::admit(const Task& t) {
       const std::lock_guard<std::mutex> lock(s.mu);
       d = s.controller.try_admit(t);
       s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+      s.publish();
     }
     ++out.shards_tried;
     out.rung = d.rung;
@@ -99,6 +141,33 @@ PlacementDecision AdmissionEngine::admit(const Task& t) {
   return out;
 }
 
+GroupPlacement AdmissionEngine::admit_group(std::span<const Task> group) {
+  GroupPlacement out;
+  double group_util = 0.0;
+  for (const Task& t : group) group_util += t.utilization_double();
+  for (const std::uint32_t i : placement_order(group_util)) {
+    Shard& s = *shards_[i];
+    GroupDecision d;
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      d = s.controller.admit_group(group);
+      s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+      s.publish();
+    }
+    ++out.shards_tried;
+    out.rung = d.rung;
+    out.analysis = d.analysis;
+    if (d.admitted) {
+      out.admitted = true;
+      out.shard = i;
+      out.ids.reserve(d.ids.size());
+      for (const TaskId id : d.ids) out.ids.push_back({i, id});
+      return out;
+    }
+  }
+  return out;
+}
+
 bool AdmissionEngine::remove(GlobalTaskId id) {
   if (!id.valid() || id.shard >= shards_.size()) return false;
   Shard& s = *shards_[id.shard];
@@ -106,6 +175,7 @@ bool AdmissionEngine::remove(GlobalTaskId id) {
   const bool removed = s.controller.remove(id.local);
   if (removed) {
     s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+    s.publish();
   }
   return removed;
 }
@@ -159,26 +229,66 @@ double AdmissionEngine::utilization_estimate() const noexcept {
   return u;
 }
 
-EngineStats AdmissionEngine::stats() const {
-  EngineStats out;
-  out.shard_utilization.reserve(shards_.size());
-  out.shard_resident.reserve(shards_.size());
+namespace {
+
+void reset_stats(EngineStats& out, std::size_t shards) {
+  out.admission = AdmissionStats{};
+  out.resident = 0;
+  out.total_utilization = 0.0;
+  out.shard_utilization.clear();
+  out.shard_resident.clear();
+  out.shard_utilization.reserve(shards);
+  out.shard_resident.reserve(shards);
+}
+
+void merge_shard(EngineStats& out, const AdmissionStats& s,
+                 std::size_t resident, double utilization) {
+  out.admission.arrivals += s.arrivals;
+  out.admission.admitted += s.admitted;
+  out.admission.rejected += s.rejected;
+  out.admission.removals += s.removals;
+  out.admission.groups += s.groups;
+  out.admission.total_effort += s.total_effort;
+  for (std::size_t r = 0; r < s.by_rung.size(); ++r) {
+    out.admission.by_rung[r] += s.by_rung[r];
+  }
+  out.shard_resident.push_back(resident);
+  out.shard_utilization.push_back(utilization);
+  out.resident += resident;
+  out.total_utilization += utilization;
+}
+
+}  // namespace
+
+void AdmissionEngine::stats_into(EngineStats& out) const {
+  reset_stats(out, shards_.size());
+  for (const auto& shard : shards_) {
+    AdmissionStats s;
+    std::size_t resident = 0;
+    double utilization = 0.0;
+    shard->read_stats(s, resident, utilization);  // no mutex: wait-free
+    merge_shard(out, s, resident, utilization);
+  }
+}
+
+void AdmissionEngine::stats_locked_into(EngineStats& out) const {
+  reset_stats(out, shards_.size());
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
-    const AdmissionStats& s = shard->controller.stats();
-    out.admission.arrivals += s.arrivals;
-    out.admission.admitted += s.admitted;
-    out.admission.rejected += s.rejected;
-    out.admission.removals += s.removals;
-    out.admission.total_effort += s.total_effort;
-    for (std::size_t r = 0; r < s.by_rung.size(); ++r) {
-      out.admission.by_rung[r] += s.by_rung[r];
-    }
-    out.shard_resident.push_back(shard->controller.size());
-    out.shard_utilization.push_back(shard->controller.utilization());
-    out.resident += shard->controller.size();
-    out.total_utilization += shard->controller.utilization();
+    merge_shard(out, shard->controller.stats(), shard->controller.size(),
+                shard->controller.utilization());
   }
+}
+
+EngineStats AdmissionEngine::stats() const {
+  EngineStats out;
+  stats_into(out);
+  return out;
+}
+
+EngineStats AdmissionEngine::stats_locked() const {
+  EngineStats out;
+  stats_locked_into(out);
   return out;
 }
 

@@ -9,12 +9,20 @@
 /// (cf. schedcat's partitioned heuristics).
 ///
 /// Two entry points:
-///   admit()/remove() — synchronous, thread-safe, callable from any
-///     number of client threads concurrently;
+///   admit()/admit_group()/remove() — synchronous, thread-safe,
+///     callable from any number of client threads concurrently;
 ///   submit() — enqueue onto the engine's worker-thread pool and get a
 ///     std::future, for callers that want pipelined decisions.
+///
+/// Reads do not convoy on the shard mutexes: every mutation publishes
+/// the shard's counters into a double-buffered set of epoch-versioned
+/// atomic headers, and stats() composes per-shard snapshots from them
+/// wait-free — a monitoring loop polling stats() at high rate costs
+/// the admit path nothing. stats_locked() remains for callers that
+/// need fully up-to-the-instant counters.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -23,11 +31,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "admission/controller.hpp"
+#include "util/seqlock.hpp"
 
 namespace edfkit {
 
@@ -71,6 +81,17 @@ struct PlacementDecision {
   FeasibilityResult analysis;  ///< from the same shard as `rung`
 };
 
+/// Outcome of one all-or-nothing group placement: the whole group lands
+/// on a single shard (co-scheduled partitioned EDF) or nowhere.
+struct GroupPlacement {
+  bool admitted = false;
+  std::uint32_t shard = UINT32_MAX;     ///< valid iff admitted
+  std::vector<GlobalTaskId> ids;        ///< group order; empty on reject
+  AdmissionRung rung = AdmissionRung::Structural;
+  std::uint32_t shards_tried = 0;
+  FeasibilityResult analysis;
+};
+
 /// Aggregate snapshot across shards.
 struct EngineStats {
   AdmissionStats admission;  ///< merged controller counters
@@ -97,6 +118,12 @@ class AdmissionEngine {
   /// one admits.
   [[nodiscard]] PlacementDecision admit(const Task& t);
 
+  /// Place a whole group atomically on one shard; thread-safe. Tries
+  /// shards in placement order (by the group's summed utilization)
+  /// until one admits the group all-or-nothing with a single scan —
+  /// see AdmissionController::admit_group.
+  [[nodiscard]] GroupPlacement admit_group(std::span<const Task> group);
+
   /// Withdraw a placed task; thread-safe.
   bool remove(GlobalTaskId id);
 
@@ -112,8 +139,23 @@ class AdmissionEngine {
   /// Lock-free sum of the shards' load estimates. May lag concurrent
   /// mutations slightly — use stats() for a consistent snapshot.
   [[nodiscard]] double utilization_estimate() const noexcept;
-  /// Consistent aggregate snapshot (locks shards one at a time).
+  /// Aggregate snapshot from the shards' epoch-versioned headers: no
+  /// shard mutex is taken, so readers never convoy behind admits (and
+  /// never slow them down). Each shard's numbers are internally
+  /// consistent (one publication); cross-shard composition may span
+  /// publications. A reader overlapping one whole publication returns
+  /// without re-copying; it only spins across the writer's brief store
+  /// window or when lapped mid-copy.
   [[nodiscard]] EngineStats stats() const;
+  /// Fully synchronous snapshot (locks shards one at a time) — strictly
+  /// current counters, at the cost of contending with admits.
+  [[nodiscard]] EngineStats stats_locked() const;
+  /// Allocation-free variants for monitoring loops: refill `out`
+  /// in place (vector capacity is reused across calls). A poller
+  /// calling stats_into at high rate neither allocates nor touches a
+  /// shard mutex.
+  void stats_into(EngineStats& out) const;
+  void stats_locked_into(EngineStats& out) const;
   /// Resident snapshot of one shard. \pre i < shards()
   [[nodiscard]] TaskSet shard_snapshot(std::size_t i) const;
   /// From-scratch feasibility of one shard's resident set (verification).
@@ -129,7 +171,31 @@ class AdmissionEngine {
     /// never correctness).
     std::atomic<double> load{0.0};
 
+    /// One buffer of the double-buffered published counters. Plain
+    /// atomics keep concurrent reads data-race-free; the epoch protocol
+    /// makes them consistent.
+    struct Header {
+      std::atomic<std::uint64_t> arrivals{0};
+      std::atomic<std::uint64_t> admitted{0};
+      std::atomic<std::uint64_t> rejected{0};
+      std::atomic<std::uint64_t> removals{0};
+      std::atomic<std::uint64_t> groups{0};
+      std::atomic<std::uint64_t> effort{0};
+      std::array<std::atomic<std::uint64_t>, kAdmissionRungs> by_rung{};
+      std::atomic<std::uint64_t> resident{0};
+      std::atomic<double> utilization{0.0};
+    };
+    std::array<Header, 2> header;
+    SeqlockEpoch epoch;  ///< protocol in util/seqlock.hpp
+
     explicit Shard(const AdmissionOptions& opts) : controller(opts) {}
+
+    /// Publish the controller's counters into the inactive buffer and
+    /// advance the epoch. \pre mu held (the write side is serialized).
+    void publish() noexcept;
+    /// Epoch-consistent read of the last publication (no mutex).
+    void read_stats(AdmissionStats& stats, std::size_t& resident,
+                    double& utilization) const noexcept;
   };
 
   [[nodiscard]] std::vector<std::uint32_t> placement_order(

@@ -19,6 +19,18 @@ constexpr double kInvS = 1.0 / 4611686018427387904.0;  // 2^-62
 /// array scans faster than any index can save.
 constexpr std::size_t kMinIndexSteps = 192;
 
+/// Resident-count hysteresis for index engagement: the per-update bound
+/// maintenance (slack_adjust, neighbor discovery) only pays for itself
+/// once scans are long. The 16-task gap means churn oscillating around
+/// either threshold cannot thrash engage/disengage transitions.
+constexpr std::size_t kIndexOnResidents = 48;
+constexpr std::size_t kIndexOffResidents = 32;
+
+/// Deferred compaction: a segment (or the id index) compacts once its
+/// tombstones are at least this many *and* at least a quarter (half for
+/// ids) of the array — amortized O(1) per removal either way.
+constexpr std::size_t kMinDeadForCompact = 32;
+
 /// Per-task certified utilization pair. Matches scaled_utilization_bounds
 /// term-for-term so incremental sums equal the from-scratch bounds.
 ScaledPair task_util_pair(const Task& t) {
@@ -118,8 +130,12 @@ void accumulate(ScaledPair& dst, const ScaledPair& src, int sign) {
 
 }  // namespace
 
-IncrementalDemand::IncrementalDemand(double epsilon, bool use_slack_index)
-    : use_slack_index_(use_slack_index) {
+IncrementalDemand::IncrementalDemand(double epsilon, bool use_slack_index,
+                                     bool eager_compaction)
+    : use_slack_index_(use_slack_index),
+      eager_compact_(eager_compaction),
+      engage_at_(kIndexOnResidents),
+      disengage_below_(kIndexOffResidents) {
   if (!(epsilon > 0.0) || epsilon > 1.0) {
     throw std::invalid_argument(
         "IncrementalDemand: epsilon in (0,1] required");
@@ -128,6 +144,30 @@ IncrementalDemand::IncrementalDemand(double epsilon, bool use_slack_index)
   segs_.emplace_back();  // one segment covering [0, infinity)
   cert_x_.fill(0);
   cert_region_.fill(kS);  // the empty set is fully slack everywhere
+  publish_header();
+}
+
+void IncrementalDemand::set_index_thresholds(std::size_t engage_at,
+                                             std::size_t disengage_below) {
+  if (disengage_below > engage_at) {
+    throw std::invalid_argument(
+        "IncrementalDemand: disengage_below <= engage_at required");
+  }
+  engage_at_ = engage_at;
+  disengage_below_ = disengage_below;
+  update_index_engagement();
+}
+
+void IncrementalDemand::update_index_engagement() {
+  if (!use_slack_index_) return;  // manual override: hard off
+  if (!index_engaged_ && view_.size() >= engage_at_) {
+    index_engaged_ = true;  // bounds start dirty; the next scan measures
+  } else if (index_engaged_ && view_.size() < disengage_below_) {
+    index_engaged_ = false;
+    // Nothing maintains the bounds while disengaged — they must not be
+    // trusted if the index later re-engages.
+    for (Segment& g : segs_) g.min_ratio = -1.0;
+  }
 }
 
 std::size_t IncrementalDemand::segment_of(Time at) const noexcept {
@@ -146,9 +186,21 @@ std::size_t IncrementalDemand::segment_of(Time at) const noexcept {
 }
 
 Time IncrementalDemand::step_time_at(std::size_t idx) const noexcept {
+  // Live indexing keeps certificate cut anchors bit-identical between
+  // tombstoned and eagerly compacted stores (decision agreement depends
+  // on it); the dead-skip walk only runs for segments that hold
+  // tombstones, a few per check at most.
   for (const Segment& g : segs_) {
-    if (idx < g.steps.size()) return g.steps[idx].at;
-    idx -= g.steps.size();
+    const std::size_t live = g.steps.size() - g.dead;
+    if (idx < live) {
+      if (g.dead == 0) return g.steps[idx].at;
+      for (const StepEntry& e : g.steps) {
+        if (e.refs == 0) continue;
+        if (idx == 0) return e.at;
+        --idx;
+      }
+    }
+    idx -= live;
   }
   return kTimeInfinity;  // unreachable for idx < total_steps_
 }
@@ -187,67 +239,95 @@ void IncrementalDemand::slack_note_new_time(std::size_t seg, Time pred,
 }
 
 void IncrementalDemand::slack_adjust(const Task& t, int sign) {
+  slack_adjust(std::span<const Task>(&t, 1), sign);
+}
+
+void IncrementalDemand::slack_adjust(std::span<const Task> tasks,
+                                     int sign) {
   // Double-arithmetic mirror of region_charge/region_credit: this runs
   // per segment on *every* add/remove, so the Int128 helpers are too
   // heavy. IEEE relative error (~2^-52) sits far inside the 1e-9
   // inflation/deflation, so charges stay certified upper bounds and
-  // credits certified lower bounds.
-  const Time d = t.effective_deadline();
-  const double c_d = static_cast<double>(t.wcet);
-  const double t_d = static_cast<double>(t.period);
-  const double d_d = static_cast<double>(d);
-  const bool one_shot = is_time_infinite(t.period);
-  const double u_hi = one_shot ? 0.0 : (c_d / t_d) * (1.0 + 1e-9);
+  // credits certified lower bounds. Group updates walk the segment
+  // array once, applying every task's charge/credit to a segment
+  // before moving on — same per-task arithmetic, one pass of segment
+  // traffic.
   for (Segment& g : segs_) {
-    if (g.min_ratio < 0.0) continue;
-    if (g.hi <= d) continue;  // the task contributes nothing below D
-    const double from = static_cast<double>(std::max(g.lo, d));
-    if (sign > 0) {
-      // Upper bound on the contribution ratio at I >= g.lo (the
-      // envelope ratio, decreasing for K >= 0; at most u for K < 0).
-      double charge;
-      if (one_shot) {
-        charge = c_d / from;
-      } else if (d > t.period) {
-        charge = u_hi;
+    for (const Task& t : tasks) {
+      if (g.min_ratio < 0.0) break;
+      const Time d = t.effective_deadline();
+      if (g.hi <= d) continue;  // the task contributes nothing below D
+      const double c_d = static_cast<double>(t.wcet);
+      const double t_d = static_cast<double>(t.period);
+      const double d_d = static_cast<double>(d);
+      const bool one_shot = is_time_infinite(t.period);
+      const double from = static_cast<double>(std::max(g.lo, d));
+      if (sign > 0) {
+        // Upper bound on the contribution ratio at I >= g.lo (the
+        // envelope ratio, decreasing for K >= 0; at most u for K < 0).
+        double charge;
+        if (one_shot) {
+          charge = c_d / from;
+        } else if (d > t.period) {
+          charge = (c_d / t_d) * (1.0 + 1e-9);
+        } else {
+          charge = c_d * (from - d_d + t_d) / (t_d * from);
+        }
+        g.min_ratio -= charge * (1.0 + 1e-9) + 1e-15;
+        if (g.min_ratio < 0.0) g.min_ratio = -1.0;
       } else {
-        charge = c_d * (from - d_d + t_d) / (t_d * from);
-      }
-      g.min_ratio -= charge * (1.0 + 1e-9) + 1e-15;
-      if (g.min_ratio < 0.0) g.min_ratio = -1.0;
-    } else {
-      // Lower bound on the restored ratio over [lo, hi): max of the
-      // monotone pieces C/hi and u*(1 - D/lo), deflated.
-      double credit = 0.0;
-      if (g.lo >= d) {
-        if (!is_time_infinite(g.hi)) {
-          credit = c_d / static_cast<double>(g.hi);
+        // Lower bound on the restored ratio over [lo, hi): max of the
+        // monotone pieces C/hi and u*(1 - D/lo), deflated.
+        double credit = 0.0;
+        if (g.lo >= d) {
+          if (!is_time_infinite(g.hi)) {
+            credit = c_d / static_cast<double>(g.hi);
+          }
+          if (!one_shot && g.lo > d) {
+            const double lo_d = static_cast<double>(g.lo);
+            credit = std::max(credit, (c_d / t_d) * (lo_d - d_d) / lo_d);
+          }
+          credit = credit * (1.0 - 1e-9) - 1e-15;
+          if (credit < 0.0) credit = 0.0;
         }
-        if (!one_shot && g.lo > d) {
-          const double lo_d = static_cast<double>(g.lo);
-          credit = std::max(credit, (c_d / t_d) * (lo_d - d_d) / lo_d);
-        }
-        credit = credit * (1.0 - 1e-9) - 1e-15;
-        if (credit < 0.0) credit = 0.0;
+        g.min_ratio = std::min(g.min_ratio + credit, 2.0);
       }
-      g.min_ratio = std::min(g.min_ratio + credit, 2.0);
     }
   }
 }
 
+void IncrementalDemand::compact_segment(Segment& g) {
+  if (g.dead != 0) {
+    std::erase_if(g.steps, [](const StepEntry& e) { return e.refs == 0; });
+    dead_steps_ -= g.dead;
+    g.dead = 0;
+  }
+  if (g.dead_borders != 0) {
+    std::erase_if(g.borders,
+                  [](const BorderEntry& e) { return e.refs == 0; });
+    g.dead_borders = 0;
+  }
+}
+
 void IncrementalDemand::resegment() {
-  // Flatten the store, pick fresh boundaries that equidistribute the
+  // Flatten the store (dropping tombstones — resegmentation is a full
+  // compaction), pick fresh boundaries that equidistribute the live
   // checkpoints, and redistribute. All cached bounds restart dirty.
   std::vector<StepEntry> steps;
   steps.reserve(total_steps_);
   std::vector<BorderEntry> borders;
   for (Segment& g : segs_) {
-    steps.insert(steps.end(), g.steps.begin(), g.steps.end());
-    borders.insert(borders.end(), g.borders.begin(), g.borders.end());
+    for (const StepEntry& e : g.steps) {
+      if (e.refs != 0) steps.push_back(e);
+    }
+    for (const BorderEntry& e : g.borders) {
+      if (e.refs != 0) borders.push_back(e);
+    }
   }
+  dead_steps_ = 0;
   seg_built_steps_ = steps.size();
   const std::size_t want =
-      (!use_slack_index_ || steps.size() < kMinIndexSteps)
+      (!index_engaged_ || steps.size() < kMinIndexSteps)
           ? 1
           : std::clamp<std::size_t>(steps.size() / 24, 4, 64);
   std::vector<Time> los{0};
@@ -287,6 +367,72 @@ void IncrementalDemand::apply_corners(const Task& t, Time from_level,
   }
   if (corner_scratch_.empty()) return;
 
+  // Nearest *live* neighbors of the position `pos` inside segment
+  // `seg_idx` (tombstones are demand-transparent, so the affine-
+  // interpolation bound must anchor on live checkpoints). `skip_pos`
+  // when pos itself is the entry being resurrected. The walk over
+  // tombstone runs is capped: past kNoteWalkCap entries the segment
+  // just goes dirty (conservative — the next scan measures it) instead
+  // of paying an O(dead-run) search on the insert path.
+  constexpr int kNoteWalkCap = 8;
+  const auto note_between = [&](std::size_t seg_idx,
+                                std::vector<StepEntry>::iterator pos,
+                                bool skip_pos) {
+    int budget = kNoteWalkCap;
+    Time pred = -1;
+    for (auto p = pos; p != segs_[seg_idx].steps.begin();) {
+      --p;
+      if (p->refs != 0) {
+        pred = p->at;
+        break;
+      }
+      if (--budget == 0) break;
+    }
+    if (pred < 0 && budget != 0) {
+      for (std::size_t j = seg_idx; j-- > 0 && pred < 0 && budget != 0;) {
+        for (auto p = segs_[j].steps.rbegin(); p != segs_[j].steps.rend();
+             ++p) {
+          if (p->refs != 0) {
+            pred = p->at;
+            break;
+          }
+          if (--budget == 0) break;
+        }
+      }
+    }
+    if (pred < 0 && budget == 0) {
+      segs_[seg_idx].min_ratio = -1.0;
+      return;
+    }
+    budget = kNoteWalkCap;
+    Time succ = -1;
+    for (auto p = pos + (skip_pos ? 1 : 0);
+         p != segs_[seg_idx].steps.end(); ++p) {
+      if (p->refs != 0) {
+        succ = p->at;
+        break;
+      }
+      if (--budget == 0) break;
+    }
+    if (succ < 0 && budget != 0) {
+      for (std::size_t j = seg_idx + 1;
+           j < segs_.size() && succ < 0 && budget != 0; ++j) {
+        for (const StepEntry& e : segs_[j].steps) {
+          if (e.refs != 0) {
+            succ = e.at;
+            break;
+          }
+          if (--budget == 0) break;
+        }
+      }
+    }
+    if (succ < 0 && budget == 0) {
+      segs_[seg_idx].min_ratio = -1.0;
+      return;
+    }
+    slack_note_new_time(seg_idx, pred, succ);
+  };
+
   // Process the (ascending) corners grouped by segment, so each touched
   // segment pays one in-place pass plus at most one backward splice —
   // the single-segment case is exactly the historical flat-array merge.
@@ -304,14 +450,25 @@ void IncrementalDemand::apply_corners(const Task& t, Time from_level,
     g.step_sum +=
         sign * t.wcet * static_cast<std::int64_t>(c1 - c0);
     if (sign > 0) {
-      // Update existing checkpoints in place and mark genuinely new
-      // times, then splice those in with a single backward merge.
+      // Update existing checkpoints in place (resurrecting tombstones)
+      // and mark genuinely new times, then splice those in with a
+      // single backward merge.
       std::size_t missing = 0;
       auto it = g.steps.begin();
       for (std::size_t c = c0; c < c1; ++c) {
         Time& d = corner_scratch_[c];
         it = std::lower_bound(it, g.steps.end(), d, by_at);
         if (it != g.steps.end() && it->at == d) {
+          if (it->refs == 0) {
+            // Resurrection: demand-wise a brand-new checkpoint time —
+            // bound its ratio through its live neighbors.
+            --g.dead;
+            --dead_steps_;
+            ++total_steps_;
+            if (index_engaged_ && g.min_ratio >= 0.0) {
+              note_between(gi, it, /*skip_pos=*/true);
+            }
+          }
           it->refs += 1;
           it->step += t.wcet;
           d = -1;  // handled in place
@@ -319,31 +476,8 @@ void IncrementalDemand::apply_corners(const Task& t, Time from_level,
           ++missing;
           // Dirty segments need no bound update — skip the (costly)
           // neighbor discovery for them.
-          if (use_slack_index_ && g.min_ratio >= 0.0) {
-            // Existing neighbors anchor the new time's ratio bound.
-            Time pred = -1;
-            if (it != g.steps.begin()) {
-              pred = (it - 1)->at;
-            } else {
-              for (std::size_t j = gi; j-- > 0;) {
-                if (!segs_[j].steps.empty()) {
-                  pred = segs_[j].steps.back().at;
-                  break;
-                }
-              }
-            }
-            Time succ = -1;
-            if (it != g.steps.end()) {
-              succ = it->at;
-            } else {
-              for (std::size_t j = gi + 1; j < segs_.size(); ++j) {
-                if (!segs_[j].steps.empty()) {
-                  succ = segs_[j].steps.front().at;
-                  break;
-                }
-              }
-            }
-            slack_note_new_time(gi, pred, succ);
+          if (index_engaged_ && g.min_ratio >= 0.0) {
+            note_between(gi, it, /*skip_pos=*/false);
           }
         }
       }
@@ -362,22 +496,28 @@ void IncrementalDemand::apply_corners(const Task& t, Time from_level,
         total_steps_ += missing;
       }
     } else {
-      // Withdraw the contributions; compact once if any checkpoint
-      // emptied so the scan length tracks the live set.
-      bool emptied = false;
+      // Withdraw the contributions. An emptied checkpoint becomes a
+      // tombstone (refs == 0, step == 0) — no memmove; reclamation is
+      // deferred until tombstones dominate the segment (or immediate
+      // under eager_compaction, the pre-tombstone baseline).
+      std::size_t newly_dead = 0;
       auto it = g.steps.begin();
       for (std::size_t c = c0; c < c1; ++c) {
         it = std::lower_bound(it, g.steps.end(), corner_scratch_[c],
                               by_at);
         it->refs -= 1;
         it->step -= t.wcet;
-        emptied = emptied || it->refs == 0;
+        if (it->refs == 0) ++newly_dead;
       }
-      if (emptied) {
-        const std::size_t before = g.steps.size();
-        std::erase_if(g.steps,
-                      [](const StepEntry& e) { return e.refs == 0; });
-        total_steps_ -= before - g.steps.size();
+      if (newly_dead != 0) {
+        total_steps_ -= newly_dead;
+        g.dead += newly_dead;
+        dead_steps_ += newly_dead;
+        if (eager_compact_ ||
+            (g.dead >= kMinDeadForCompact &&
+             g.dead * 4 >= g.steps.size())) {
+          compact_segment(g);
+        }
       }
     }
     c0 = c1;
@@ -388,31 +528,53 @@ void IncrementalDemand::apply_border(const Task& t, Time level, int sign) {
   if (is_time_infinite(t.period)) return;  // one-shot: no envelope
   const Time border = t.job_deadline(level - 1);
   if (is_time_infinite(border)) return;
+  // One evaluation of each certified pair (they cost 128-bit divides;
+  // this path runs per add/remove/refine).
+  const ScaledPair slope_pair = task_util_pair(t);
+  const ScaledPair offset_pair = task_offset_pair(t, border);
   Segment& g = segs_[segment_of(border)];
-  accumulate(g.slope_sum, task_util_pair(t), sign);
-  accumulate(g.offset_sum, task_offset_pair(t, border), sign);
+  accumulate(g.slope_sum, slope_pair, sign);
+  accumulate(g.offset_sum, offset_pair, sign);
   const auto bit = std::lower_bound(
       g.borders.begin(), g.borders.end(), border,
       [](const BorderEntry& e, Time v) { return e.at < v; });
   if (bit != g.borders.end() && bit->at == border) {
+    if (bit->refs == 0) --g.dead_borders;  // resurrection
     bit->refs += sign;
-    accumulate(bit->slope, task_util_pair(t), sign);
-    accumulate(bit->offset, task_offset_pair(t, border), sign);
-    if (bit->refs == 0) g.borders.erase(bit);
+    accumulate(bit->slope, slope_pair, sign);
+    accumulate(bit->offset, offset_pair, sign);
+    if (bit->refs == 0) {
+      // Exact-inverse withdrawal zeroed slope/offset: the entry is a
+      // harmless tombstone the scan absorbs as zero. Erasing it here
+      // memmoves the border tail (O(n) per removal) — defer instead.
+      if (eager_compact_) {
+        g.borders.erase(bit);
+      } else {
+        ++g.dead_borders;
+        if (g.dead_borders >= kMinDeadForCompact &&
+            g.dead_borders * 4 >= g.borders.size()) {
+          std::erase_if(g.borders, [](const BorderEntry& e) {
+            return e.refs == 0;
+          });
+          g.dead_borders = 0;
+        }
+      }
+    }
   } else {
     BorderEntry fresh;
     fresh.at = border;
     fresh.refs = sign;
-    accumulate(fresh.slope, task_util_pair(t), sign);
-    accumulate(fresh.offset, task_offset_pair(t, border), sign);
+    accumulate(fresh.slope, slope_pair, sign);
+    accumulate(fresh.offset, offset_pair, sign);
     g.borders.insert(bit, fresh);
   }
 }
 
-void IncrementalDemand::apply_entries(const Task& t, Time level, int sign) {
+void IncrementalDemand::apply_entries(const Task& t, Time level, int sign,
+                                      bool adjust_slack) {
   apply_corners(t, 0, level, sign);
   apply_border(t, level, sign);
-  if (use_slack_index_) slack_adjust(t, sign);
+  if (adjust_slack && index_engaged_) slack_adjust(t, sign);
   accumulate(util_scaled_, task_util_pair(t), sign);
   accumulate(kay_, task_kay_pair(t), sign);
   if (sign > 0) {
@@ -452,6 +614,10 @@ void IncrementalDemand::apply_entries(const Task& t, Time level, int sign) {
 }
 
 void IncrementalDemand::refine(std::size_t row, Time to_level) {
+  if (refine_log_ != nullptr && refine_logged_[row] == 0) {
+    refine_logged_[row] = 1;
+    refine_log_->emplace_back(view_.slot_of(row), levels_[row]);
+  }
   const Task& t = view_.tasks()[row];
   apply_border(t, levels_[row], -1);
   apply_corners(t, levels_[row], to_level, +1);
@@ -464,6 +630,41 @@ void IncrementalDemand::refine(std::size_t row, Time to_level) {
   // bounds stay conservative — no adjustment needed.
 }
 
+void IncrementalDemand::lower_level(std::size_t row, Time to_level) {
+  const Task& t = view_.tasks()[row];
+  apply_border(t, levels_[row], -1);
+  apply_corners(t, to_level, levels_[row], -1);
+  apply_border(t, to_level, +1);
+  levels_[row] = to_level;
+  borders_of_row_[row] = is_time_infinite(t.period)
+                             ? kTimeInfinity
+                             : t.job_deadline(to_level - 1);
+}
+
+void IncrementalDemand::undo_refinements(const RefineLog& log) {
+  if (log.empty()) return;
+  bool changed = false;
+  for (const auto& [slot, old_level] : log) {
+    // Slots of tasks removed since the logged check (a rolled-back
+    // group's own members) are simply gone — their entries left with
+    // them.
+    if (!view_.contains(slot)) continue;
+    const std::size_t row = view_.row_of(slot);
+    if (levels_[row] <= old_level) continue;
+    lower_level(row, old_level);
+    changed = true;
+  }
+  if (changed) {
+    // Coarser levels raise the approximated demand, so every cached
+    // bound measured against the refined structure is now unsafe.
+    for (Segment& g : segs_) g.min_ratio = -1.0;
+    cert_region_.fill(-1);
+    cert_lo_ = -1;
+    cert_dead_ = true;
+  }
+  publish_header();
+}
+
 void IncrementalDemand::ensure_util() const {
   if (util_valid_) return;
   Rational u;
@@ -472,7 +673,14 @@ void IncrementalDemand::ensure_util() const {
   util_valid_ = true;
 }
 
-TaskId IncrementalDemand::add(const Task& t) {
+void IncrementalDemand::reserve(std::size_t n) {
+  view_.reserve(n);
+  levels_.reserve(n);
+  borders_of_row_.reserve(n);
+  id_index_.reserve(n);
+}
+
+TaskId IncrementalDemand::add_one(const Task& t, bool adjust_slack) {
   const TaskId id = next_id_++;
   const TaskView::Slot slot = view_.add(t);  // validates
   levels_.push_back(k_);
@@ -480,8 +688,28 @@ TaskId IncrementalDemand::add(const Task& t) {
                                 ? kTimeInfinity
                                 : t.job_deadline(k_ - 1));
   id_index_.emplace_back(id, slot);  // ids ascend: stays sorted
-  apply_entries(t, k_, +1);
+  update_index_engagement();
+  apply_entries(t, k_, +1, adjust_slack);
   return id;
+}
+
+TaskId IncrementalDemand::add(const Task& t) {
+  const TaskId id = add_one(t, /*adjust_slack=*/true);
+  publish_header();
+  return id;
+}
+
+void IncrementalDemand::add_group(std::span<const Task> group,
+                                  std::vector<TaskId>& ids) {
+  for (const Task& t : group) t.validate();  // before any mutation
+  ids.reserve(ids.size() + group.size());
+  for (const Task& t : group) {
+    ids.push_back(add_one(t, /*adjust_slack=*/false));
+  }
+  // One batched slack pass for the whole group (identical per-task
+  // arithmetic, one walk of segment traffic).
+  if (index_engaged_) slack_adjust(group, +1);
+  publish_header();
 }
 
 std::size_t IncrementalDemand::id_pos(TaskId id) const noexcept {
@@ -490,27 +718,64 @@ std::size_t IncrementalDemand::id_pos(TaskId id) const noexcept {
       [](const std::pair<TaskId, TaskView::Slot>& p, TaskId v) {
         return p.first < v;
       });
-  if (it == id_index_.end() || it->first != id) {
+  if (it == id_index_.end() || it->first != id ||
+      it->second == TaskView::kInvalidSlot) {
     return static_cast<std::size_t>(-1);
   }
   return static_cast<std::size_t>(it - id_index_.begin());
 }
 
-bool IncrementalDemand::remove(TaskId id) {
+bool IncrementalDemand::remove_one(TaskId id, bool adjust_slack,
+                                   std::vector<Task>* withdrawn) {
   const std::size_t pos = id_pos(id);
   if (pos == static_cast<std::size_t>(-1)) return false;
   const TaskView::Slot slot = id_index_[pos].second;
-  id_index_.erase(id_index_.begin() + static_cast<std::ptrdiff_t>(pos));
+  // Tombstone the index entry (ids stay sorted for binary search); the
+  // O(n) tail memmove is deferred until dead entries dominate.
+  id_index_[pos].second = TaskView::kInvalidSlot;
+  ++dead_ids_;
+  if (dead_ids_ >= kMinDeadForCompact &&
+      dead_ids_ * 2 >= id_index_.size()) {
+    std::erase_if(id_index_,
+                  [](const std::pair<TaskId, TaskView::Slot>& p) {
+                    return p.second == TaskView::kInvalidSlot;
+                  });
+    dead_ids_ = 0;
+  }
   const std::size_t row = view_.row_of(slot);
-  const Task t = view_[slot];  // copy out before the swap-remove
   const Time level = levels_[row];
+  // Withdraw the contributions while the row is still resident (no
+  // Task copy — the name string alone would cost an allocation), then
+  // drop the row.
+  apply_entries(view_[slot], level, -1, adjust_slack);
+  if (withdrawn != nullptr) withdrawn->push_back(view_[slot]);
   view_.remove(slot);
   levels_[row] = levels_.back();
   levels_.pop_back();
   borders_of_row_[row] = borders_of_row_.back();
   borders_of_row_.pop_back();
-  apply_entries(t, level, -1);
+  update_index_engagement();
   return true;
+}
+
+bool IncrementalDemand::remove(TaskId id) {
+  if (!remove_one(id, /*adjust_slack=*/true, nullptr)) return false;
+  publish_header();
+  return true;
+}
+
+std::size_t IncrementalDemand::remove_group(std::span<const TaskId> ids) {
+  std::vector<Task> withdrawn;
+  withdrawn.reserve(ids.size());
+  std::size_t gone = 0;
+  for (const TaskId id : ids) {
+    gone += remove_one(id, /*adjust_slack=*/false, &withdrawn) ? 1 : 0;
+  }
+  if (gone != 0) {
+    if (index_engaged_) slack_adjust(withdrawn, -1);
+    publish_header();
+  }
+  return gone;
 }
 
 const Task* IncrementalDemand::find(TaskId id) const noexcept {
@@ -551,12 +816,19 @@ UtilizationClass IncrementalDemand::utilization_class() const noexcept {
 
 UtilizationClass IncrementalDemand::utilization_class_with(
     const Task& t) const {
+  return utilization_class_with(std::span<const Task>(&t, 1));
+}
+
+UtilizationClass IncrementalDemand::utilization_class_with(
+    std::span<const Task> group) const {
   ScaledPair widened = util_scaled_;
-  accumulate(widened, task_util_pair(t), +1);
+  for (const Task& t : group) accumulate(widened, task_util_pair(t), +1);
   if (widened.hi < kS) return UtilizationClass::BelowOne;
   if (widened.lo > kS) return UtilizationClass::AboveOne;
   ensure_util();
-  switch ((util_ + t.utilization()).compare(Time{1})) {
+  Rational u = util_;
+  for (const Task& t : group) u += t.utilization();
+  switch (u.compare(Time{1})) {
     case Ordering::Less: return UtilizationClass::BelowOne;
     case Ordering::Equal: return UtilizationClass::ExactlyOne;
     case Ordering::Greater: return UtilizationClass::AboveOne;
@@ -582,6 +854,37 @@ bool IncrementalDemand::certificate_covers(const Task& t) const noexcept {
   return true;
 }
 
+bool IncrementalDemand::certificate_covers(
+    std::span<const Task> group) const noexcept {
+  // Sequential cover-then-charge on a local copy: member i is tested
+  // against the certificate as its predecessors would have charged it,
+  // mirroring apply_entries' maintenance arithmetic exactly.
+  std::array<Int128, kCertCuts> region = cert_region_;
+  Int128 util_hi = util_scaled_.hi;
+  std::array<Int128, kCertCuts> charges;
+  for (const Task& t : group) {
+    const Int128 u_hi = task_util_pair(t).hi;
+    if (util_hi + u_hi > kS) return false;
+    util_hi += u_hi;
+    // One region_charge evaluation per (task, region) — it costs
+    // 128-bit divides; the cover test and the charge reuse it.
+    const Time d = t.effective_deadline();
+    for (std::size_t j = 0; j < kCertCuts; ++j) {
+      charges[j] = region_charge(t, cert_x_[j]);
+      if (j + 1 < kCertCuts && cert_x_[j + 1] <= d) continue;  // below D
+      if (region[j] < 0) return false;
+      if (charges[j] > region[j]) return false;
+    }
+    for (std::size_t j = 0; j < kCertCuts; ++j) {
+      Int128& c = region[j];
+      if (c < 0) continue;
+      c -= charges[j];
+      if (c < 0) c = -1;
+    }
+  }
+  return true;
+}
+
 Time IncrementalDemand::exact_dbf_at(Time interval) const noexcept {
   return columns_dbf(view_.columns(), interval);
 }
@@ -602,11 +905,57 @@ Rational IncrementalDemand::exact_demand_at(Time interval) const {
   return total;
 }
 
+void IncrementalDemand::publish_header() noexcept {
+  // The protocol (odd-epoch, fences, lap check) lives in
+  // util/seqlock.hpp; this only fills the named buffer.
+  header_epoch_.publish([&](std::size_t idx) {
+    HeaderSlot& h = header_buf_[idx];
+    h.residents.store(view_.size(), std::memory_order_relaxed);
+    h.constrained.store(constrained_, std::memory_order_relaxed);
+    h.live.store(total_steps_, std::memory_order_relaxed);
+    h.dead.store(dead_steps_, std::memory_order_relaxed);
+    h.segments.store(segs_.size(), std::memory_order_relaxed);
+    h.utilization.store(utilization_double(), std::memory_order_relaxed);
+    h.cert_ratio.store(
+        cert_lo_ < 0 ? -1.0 : static_cast<double>(cert_lo_) * kInvS,
+        std::memory_order_relaxed);
+  });
+}
+
+StoreHeader IncrementalDemand::header() const noexcept {
+  StoreHeader out;
+  out.epoch = header_epoch_.read([&](std::size_t idx) {
+    const HeaderSlot& h = header_buf_[idx];
+    out.residents = h.residents.load(std::memory_order_relaxed);
+    out.constrained = h.constrained.load(std::memory_order_relaxed);
+    out.live_checkpoints = h.live.load(std::memory_order_relaxed);
+    out.dead_checkpoints = h.dead.load(std::memory_order_relaxed);
+    out.segments = h.segments.load(std::memory_order_relaxed);
+    out.utilization = h.utilization.load(std::memory_order_relaxed);
+    out.cert_ratio = h.cert_ratio.load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
 DemandCheck IncrementalDemand::check() {
   return check(64 + 8 * static_cast<std::uint64_t>(view_.size()));
 }
 
 DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
+  return check(max_revisions, nullptr);
+}
+
+DemandCheck IncrementalDemand::check(std::uint64_t max_revisions,
+                                     RefineLog* refine_log) {
+  refine_log_ = refine_log;
+  if (refine_log != nullptr) refine_logged_.assign(view_.size(), 0);
+  const DemandCheck out = do_check(max_revisions);
+  refine_log_ = nullptr;
+  publish_header();
+  return out;
+}
+
+DemandCheck IncrementalDemand::do_check(std::uint64_t max_revisions) {
   DemandCheck out;
   if (view_.empty()) {
     out.fits = true;
@@ -652,22 +1001,27 @@ DemandCheck IncrementalDemand::check(std::uint64_t max_revisions) {
   const Time max_level = 4 * k_;
 
   // Re-partition when the index should engage or the structure drifted
-  // past its bucketing (refinement growth, mass departures).
-  if (use_slack_index_ &&
-      ((segs_.size() == 1 && total_steps_ >= kMinIndexSteps) ||
-       (segs_.size() > 1 && (total_steps_ > 2 * seg_built_steps_ ||
-                             2 * total_steps_ < seg_built_steps_)))) {
+  // past its bucketing (refinement growth, mass departures); collapse
+  // to the single flat segment when the index disengaged.
+  if ((index_engaged_ &&
+       ((segs_.size() == 1 && total_steps_ >= kMinIndexSteps) ||
+        (segs_.size() > 1 && (total_steps_ > 2 * seg_built_steps_ ||
+                              2 * total_steps_ < seg_built_steps_)))) ||
+      (!index_engaged_ && segs_.size() > 1)) {
     resegment();
   }
 
 restart:
   // Per-region minima of the certified slack-ratio lower bounds, for
   // the segmented certificate: region j spans checkpoints in
-  // [cuts[j], cuts[j+1]). Cut positions equidistribute checkpoint
-  // count. Ratio interpolation (slack ratio of a segment interior is
-  // at least the smaller endpoint ratio) makes each region's min valid
-  // for every interval in it, provided the straddling segment's left
-  // endpoint is carried into the region entered — done at advance.
+  // [cuts[j], cuts[j+1]). Cut positions equidistribute the *live*
+  // checkpoint count (tombstones excluded, so the cuts — and every
+  // decision derived from the certificate — are identical whether the
+  // store tombstones or compacts eagerly). Ratio interpolation (slack
+  // ratio of a segment interior is at least the smaller endpoint
+  // ratio) makes each region's min valid for every interval in it,
+  // provided the straddling segment's left endpoint is carried into
+  // the region entered — done at advance.
   //
   // Past the last checkpoint L the demand is exactly U*I + K, so the
   // slack ratio 1 - U - K/I is increasing for K >= 0 (its minimum, at
@@ -702,6 +1056,11 @@ restart:
   // fast path. Walked segments re-measure their bound from the same
   // certified ratios the comparisons produce.
   //
+  // Tombstones (refs == 0) are skipped outright: their step is zero
+  // and, at U <= 1, slack is non-decreasing between live checkpoints
+  // (demand slope Sigma u_active <= U <= 1), so a dead time can never
+  // be the first failure point.
+  //
   // The double filter mirrors the hi-bounds in tick units. Magnitudes
   // stay below ~2^63 ticks, so the accumulated IEEE error is below
   // 1e-3 ticks for any realistic workload while certified-interval
@@ -722,10 +1081,10 @@ restart:
       Segment& g = segs_[gi];
       if (g.steps.empty()) {
         // No checkpoint (and hence no border) in range: vacuously fits.
-        if (use_slack_index_) g.min_ratio = 2.0;
+        if (index_engaged_) g.min_ratio = 2.0;
         continue;
       }
-      if (use_slack_index_ && g.min_ratio >= 0.0) {
+      if (index_engaged_ && g.min_ratio >= 0.0) {
         // Fast-forward: every checkpoint inside is proven to fit.
         steps_acc += g.step_sum;
         accumulate(slope_acc, g.slope_sum, +1);
@@ -745,6 +1104,7 @@ restart:
       std::size_t bi = 0;    // g.borders consumed (second merge pointer)
       for (std::size_t si = 0; si < g.steps.size(); ++si) {
         const StepEntry& node = g.steps[si];
+        if (node.refs == 0) continue;  // tombstone: never a failure point
         const Time i = node.at;
         const double i_d = static_cast<double>(i);
         // Advance the certificate region, carrying the straddling
@@ -772,7 +1132,7 @@ restart:
           for (std::size_t j = rj; j < kCertCuts; ++j) {
             region_min[j] = std::min(region_min[j], term);
           }
-          if (use_slack_index_) {
+          if (index_engaged_) {
             // The stop proves slack >= 0 from i on (demand <= U*I + K
             // <= I), so the tail bounds refresh for free.
             const double tp = std::max(0.0, term);
@@ -862,8 +1222,9 @@ restart:
         seg_min = std::min(seg_min, prev_ratio);
         // Absorb envelopes whose border is this checkpoint *after* the
         // comparison (the envelope term is zero exactly at the border;
-        // every border time is also a step checkpoint, so none is
-        // skipped).
+        // every border time is also a *live* step checkpoint — the
+        // border's own task holds a reference on that corner — so none
+        // is skipped by tombstone handling).
         while (bi < g.borders.size() && g.borders[bi].at <= i) {
           accumulate(slope_acc, g.borders[bi].slope, +1);
           accumulate(offset_acc, g.borders[bi].offset, +1);
@@ -872,7 +1233,7 @@ restart:
           offset_d = static_cast<double>(offset_acc.lo) * kInvS;
         }
       }
-      if (!done && use_slack_index_) g.min_ratio = seg_min;
+      if (!done && index_engaged_) g.min_ratio = seg_min;
     }
   }
   // Publish the per-region certificate (cert_region_[j] bounds every
@@ -899,6 +1260,7 @@ restart:
 void IncrementalDemand::rebuild() {
   segs_.assign(1, Segment{});
   total_steps_ = 0;
+  dead_steps_ = 0;
   seg_built_steps_ = 0;
   util_valid_ = false;
   util_scaled_ = ScaledPair{};
@@ -913,6 +1275,7 @@ void IncrementalDemand::rebuild() {
   for (std::size_t row = 0; row < rows.size(); ++row) {
     apply_entries(rows[row], levels_[row], +1);
   }
+  publish_header();
 }
 
 bool IncrementalDemand::matches_rebuild() const {
@@ -925,15 +1288,17 @@ bool IncrementalDemand::matches_rebuild() const {
     fresh.borders_of_row_.push_back(borders_of_row_[row]);
     fresh.apply_entries(rows[row], levels_[row], +1);
   }
-  // Compare the flattened checkpoint/border sequences (the fresh copy
-  // is single-segment; ours may be partitioned) and verify our
-  // per-segment aggregates against their own contents.
+  // Compare the flattened *live* checkpoint/border sequences (the fresh
+  // copy is single-segment and tombstone-free; ours may be partitioned
+  // and carry tombstones, which must be step-0 and invisible) and
+  // verify our per-segment aggregates against their own contents.
   if (fresh.total_steps_ != total_steps_) return false;
   {
     const std::vector<StepEntry>& fs = fresh.segs_[0].steps;
     const std::vector<BorderEntry>& fb = fresh.segs_[0].borders;
     std::size_t si = 0;
     std::size_t bi = 0;
+    std::size_t dead_seen = 0;
     Time prev_lo = -1;
     for (const Segment& g : segs_) {
       if (g.lo <= prev_lo || g.hi <= g.lo) return false;
@@ -941,19 +1306,39 @@ bool IncrementalDemand::matches_rebuild() const {
       std::int64_t step_sum = 0;
       ScaledPair slope_sum;
       ScaledPair offset_sum;
+      std::size_t seg_dead = 0;
       for (const StepEntry& e : g.steps) {
         if (e.at < g.lo || e.at >= g.hi) return false;
+        if (e.refs == 0) {
+          // Tombstone invariant: demand-transparent.
+          if (e.step != 0) return false;
+          ++seg_dead;
+          continue;
+        }
         if (si >= fs.size() || !(fs[si] == e)) return false;
         ++si;
         step_sum += e.step;
       }
+      if (seg_dead != g.dead) return false;
+      dead_seen += seg_dead;
+      std::size_t seg_dead_borders = 0;
       for (const BorderEntry& e : g.borders) {
         if (e.at < g.lo || e.at >= g.hi) return false;
+        if (e.refs == 0) {
+          // Border tombstone invariant: exactly zero contribution.
+          if (e.slope.lo != 0 || e.slope.hi != 0 || e.offset.lo != 0 ||
+              e.offset.hi != 0) {
+            return false;
+          }
+          ++seg_dead_borders;
+          continue;
+        }
         if (bi >= fb.size() || !(fb[bi] == e)) return false;
         ++bi;
         accumulate(slope_sum, e.slope, +1);
         accumulate(offset_sum, e.offset, +1);
       }
+      if (seg_dead_borders != g.dead_borders) return false;
       if (step_sum != g.step_sum || slope_sum.lo != g.slope_sum.lo ||
           slope_sum.hi != g.slope_sum.hi ||
           offset_sum.lo != g.offset_sum.lo ||
@@ -962,6 +1347,7 @@ bool IncrementalDemand::matches_rebuild() const {
       }
     }
     if (si != fs.size() || bi != fb.size()) return false;
+    if (dead_seen != dead_steps_) return false;
   }
   if (fresh.util_scaled_.lo != util_scaled_.lo ||
       fresh.util_scaled_.hi != util_scaled_.hi) {

@@ -43,6 +43,22 @@
 /// component-wise exactly what addition added — the aggregates never
 /// drift, which rebuild()/matches_rebuild() verify.
 ///
+/// Tombstoned removals (the churn-throughput fast path): a departure
+/// no longer memmoves every touched segment. Checkpoints whose last
+/// referencing task left are *marked dead* (refs == 0, step == 0) and
+/// left in place; the scan skips them. This is sound because a dead
+/// checkpoint is provably never a failure point while U <= 1: demand
+/// is affine between live checkpoints with slope Sigma u_active <= U
+/// <= 1, so slack is non-decreasing across a dead time and the
+/// preceding live checkpoint dominates it. Removal therefore costs
+/// O(level) binary searches plus O(1) writes — no per-segment memmove.
+/// Dead entries are reclaimed by *deferred compaction*: a segment
+/// compacts once its dead fraction crosses a threshold (amortized O(1)
+/// per removal), and resegmentation drops all tombstones wholesale. A
+/// re-arriving checkpoint time resurrects its tombstone in place.
+/// `eager_compaction` restores the erase-on-remove behavior
+/// byte-for-byte (the bench baseline and differential-fuzz twin).
+///
 /// Slack certificate (the O(1) fast path): a clean passing scan also
 /// certifies theta = min_I (I - dbf'(I))/I, the minimum fractional
 /// slack. Every per-task envelope satisfies dbf'(I, t) <= density(t)*I
@@ -66,9 +82,27 @@
 /// rescans only the dirty segments around the tight region instead of
 /// the whole checkpoint array. Segmenting also caps update cost: a
 /// corner insert memmoves one segment (~hundreds of entries), not the
-/// whole structure. With the index disabled everything lives in one
-/// segment and every scan walks it end to end — byte-for-byte the
-/// pre-index behavior, kept selectable as the bench baseline.
+/// whole structure.
+///
+/// Index engagement is adaptive: per-update bound maintenance only pays
+/// off once the store is large, so the index *engages* with hysteresis
+/// on the resident count (on at >= kIndexOnResidents, off below
+/// kIndexOffResidents — churn across one threshold cannot thrash).
+/// While disengaged (or with `use_slack_index` false — the manual
+/// override and bench baseline) everything lives in one segment, no
+/// bounds are maintained, and every scan walks end to end — byte-for-
+/// byte the pre-index behavior.
+///
+/// Epoch-versioned store header (the lock-free read path): mutators
+/// publish a small aggregate header (resident/checkpoint counts,
+/// utilization, certificate ratio) into a double-buffered pair of
+/// atomic slots under a seqlock epoch (odd while a publication is
+/// between its stores). `header()` reads the slot the epoch names and
+/// re-checks the epoch: a reader overlapping one whole publication
+/// still returns without re-copying (that publication fills the
+/// *other* slot); it only spins across the writer's brief store window
+/// or when lapped mid-copy — and never blocks the writer. This is what
+/// lets AdmissionEngine::stats() run without taking shard mutexes.
 ///
 /// Residents live in a TaskView (demand/task_view.hpp): densely packed
 /// structure-of-arrays rows behind stable slots, so the refinement loop
@@ -78,7 +112,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "analysis/utilization.hpp"
@@ -86,6 +122,7 @@
 #include "model/task_set.hpp"
 #include "util/fixedpoint.hpp"
 #include "util/rational.hpp"
+#include "util/seqlock.hpp"
 
 namespace edfkit {
 
@@ -112,23 +149,62 @@ struct DemandCheck {
   bool degraded = false;      ///< a comparison needed the conservative path
 };
 
+/// Wait-free aggregate snapshot of the store (see header()). All fields
+/// come from one epoch-consistent publication.
+struct StoreHeader {
+  std::uint64_t epoch = 0;            ///< publication count
+  std::uint64_t residents = 0;
+  std::uint64_t constrained = 0;
+  std::uint64_t live_checkpoints = 0;
+  std::uint64_t dead_checkpoints = 0;  ///< tombstones awaiting compaction
+  std::uint64_t segments = 0;
+  double utilization = 0.0;            ///< certified upper bound, as double
+  double cert_ratio = -1.0;            ///< min certified slack ratio; <0 none
+};
+
 /// Mutable task multiset + approximated demand checkpoints.
-/// Not thread-safe; AdmissionEngine shards and locks around it.
+/// Not thread-safe for mutation; AdmissionEngine shards and locks
+/// around it. header() alone is safe to call concurrently with one
+/// mutator (the wait-free read path).
 class IncrementalDemand {
  public:
   /// \pre 0 < epsilon <= 1. Initial steps per task: k = ceil(1/epsilon).
   /// `use_slack_index` toggles the bucketed cached-slack index; off, every
   /// scan walks the full checkpoint array (the pre-index behavior, kept
-  /// selectable as the bench baseline — see bench/perf_suite.cpp).
+  /// selectable as the bench baseline — see bench/perf_suite.cpp). On,
+  /// the index engages adaptively by resident count (see file header).
+  /// `eager_compaction` erases emptied checkpoints on every removal
+  /// instead of tombstoning them (the pre-tombstone behavior, kept
+  /// selectable for the bench baseline and differential tests).
   explicit IncrementalDemand(double epsilon = 0.25,
-                             bool use_slack_index = true);
+                             bool use_slack_index = true,
+                             bool eager_compaction = false);
 
   /// Insert a task at level k; O(k log n + move). \throws
   /// std::invalid_argument (validate()).
   TaskId add(const Task& t);
-  /// Withdraw a task (at whatever level it was refined to).
+  /// Withdraw a task (at whatever level it was refined to). With
+  /// deferred compaction this is O(level) searches plus O(1) writes.
   /// \returns false for unknown ids.
   bool remove(TaskId id);
+
+  /// Insert a whole group, appending the new ids to `ids` in group
+  /// order. Equivalent to add() per task but amortizes the per-update
+  /// overhead across the group: one cached-slack maintenance pass over
+  /// the segments (instead of one per task) and one header
+  /// publication. \throws std::invalid_argument (validate()) before
+  /// any mutation.
+  void add_group(std::span<const Task> group, std::vector<TaskId>& ids);
+  /// Withdraw a group of resident ids (unknown ids are skipped), with
+  /// the same amortization as add_group — the group-admission rollback
+  /// path. \returns the number of tasks withdrawn.
+  std::size_t remove_group(std::span<const TaskId> ids);
+
+  /// Pre-size every per-task array for `n` residents — bulk loading /
+  /// warmup before churn. (The per-group paths deliberately do NOT
+  /// reserve: exact-fit reservations every group would defeat the
+  /// vectors' geometric growth.)
+  void reserve(std::size_t n);
 
   /// Resident task by id, or nullptr. The pointer is invalidated by the
   /// next add/remove (rows are densely packed) — read, don't hold.
@@ -145,9 +221,27 @@ class IncrementalDemand {
   [[nodiscard]] std::size_t constrained_tasks() const noexcept {
     return constrained_;
   }
+  /// Live checkpoints (tombstones excluded).
   [[nodiscard]] std::size_t checkpoint_count() const noexcept {
     return total_steps_;
   }
+  /// Tombstoned checkpoints awaiting deferred compaction.
+  [[nodiscard]] std::size_t dead_checkpoints() const noexcept {
+    return dead_steps_;
+  }
+  [[nodiscard]] bool eager_compaction() const noexcept {
+    return eager_compact_;
+  }
+  /// True while the cached-slack index is maintaining per-segment
+  /// bounds (use_slack_index on and the resident count is above the
+  /// engagement hysteresis).
+  [[nodiscard]] bool slack_index_engaged() const noexcept {
+    return index_engaged_;
+  }
+  /// Override the index-engagement hysteresis (tests/bench: 0, 0
+  /// engages unconditionally). \pre disengage_below <= engage_at.
+  void set_index_thresholds(std::size_t engage_at,
+                            std::size_t disengage_below);
   /// Current approximation level of a resident task (>= k after
   /// refinement). \returns 0 for unknown ids.
   [[nodiscard]] Time level_of(TaskId id) const noexcept;
@@ -165,6 +259,10 @@ class IncrementalDemand {
   }
   /// Classification after a hypothetical add(t), without mutating. O(1).
   [[nodiscard]] UtilizationClass utilization_class_with(const Task& t) const;
+  /// Classification after hypothetically adding every task of `group`,
+  /// without mutating. O(|group|).
+  [[nodiscard]] UtilizationClass utilization_class_with(
+      std::span<const Task> group) const;
 
   /// True iff the slack certificate proves `t` admissible right now —
   /// the O(1) fast path. A subsequent add(t) charges the certificate,
@@ -178,9 +276,23 @@ class IncrementalDemand {
   /// regions only see the task's utilization — far less than the flat
   /// density — and zero below its first deadline.
   [[nodiscard]] bool certificate_covers(const Task& t) const noexcept;
+  /// Group fast path, without mutating: simulates the sequential
+  /// cover-then-charge walk (each member is tested against the
+  /// certificate as charged by its predecessors — exactly the state a
+  /// real add sequence would produce) on a local copy of the regions.
+  /// True proves the whole group admissible; a subsequent add_group
+  /// applies the same charges for real.
+  [[nodiscard]] bool certificate_covers(
+      std::span<const Task> group) const noexcept;
   /// Certified S-scaled lower bound on the *global* minimum fractional
   /// slack theta, or -1 when no (non-negative) certificate is held.
   [[nodiscard]] Int128 certificate() const noexcept { return cert_lo_; }
+
+  /// Refinements performed by one check, as (slot, level-before) pairs
+  /// in first-touch order — enough to undo them exactly (group-admit
+  /// rollback). Slots of since-removed tasks are skipped by
+  /// undo_refinements.
+  using RefineLog = std::vector<std::pair<TaskView::Slot, Time>>;
 
   /// One ascending checkpoint scan with adaptive refinement (see file
   /// header); stops early once the linear envelope provably fits
@@ -194,6 +306,20 @@ class IncrementalDemand {
   /// (the tests assert this).
   [[nodiscard]] DemandCheck check();  ///< default budget 64 + 8n
   [[nodiscard]] DemandCheck check(std::uint64_t max_revisions);
+  /// As check(max_revisions); additionally appends every refinement to
+  /// `*refine_log` so the caller can restore pre-scan levels.
+  [[nodiscard]] DemandCheck check(std::uint64_t max_revisions,
+                                  RefineLog* refine_log);
+
+  /// Lower every still-resident slot in `log` back to its recorded
+  /// level — the exact inverse of the refinements a logged check
+  /// performed. Invalidates the cached slack bounds (a coarser level
+  /// raises the approximated demand), which the next scan re-measures.
+  void undo_refinements(const RefineLog& log);
+
+  /// Wait-free epoch-consistent aggregate snapshot; safe to call
+  /// concurrently with one mutating thread (see file header).
+  [[nodiscard]] StoreHeader header() const noexcept;
 
   /// Exact (integer) demand bound function of the resident set at one
   /// interval; O(n) over the flat columns.
@@ -213,13 +339,16 @@ class IncrementalDemand {
   /// tasks (preserving refinement levels) — the verification path for
   /// the incremental updates.
   void rebuild();
-  /// True iff the incremental aggregates equal a from-scratch rebuild.
+  /// True iff the incremental aggregates equal a from-scratch rebuild
+  /// (tombstones are transparent: only live structure is compared).
   [[nodiscard]] bool matches_rebuild() const;
 
  private:
   /// One step checkpoint: total demand jump at this interval. Kept
   /// small (24 bytes) — this is both the scan's hot array and the bulk
-  /// of per-update memmove traffic.
+  /// of per-update memmove traffic. refs == 0 (implying step == 0) is a
+  /// tombstone: skipped by scans, reclaimed by deferred compaction,
+  /// resurrected in place when its time re-arrives.
   struct StepEntry {
     Time at = 0;             ///< the test interval
     Time step = 0;           ///< Sigma C of jobs with this deadline
@@ -231,6 +360,9 @@ class IncrementalDemand {
   };
   /// Envelope begin: one per periodic task (its border is always also a
   /// step checkpoint), consumed by a second pointer during the scan.
+  /// refs == 0 (slope/offset exactly zero by exact-inverse withdrawal)
+  /// is a tombstone: the scan absorbs its zero contribution harmlessly;
+  /// deferred compaction reclaims it.
   struct BorderEntry {
     Time at = 0;
     std::int64_t refs = 0;
@@ -254,10 +386,25 @@ class IncrementalDemand {
     Time hi = kTimeInfinity;
     std::vector<StepEntry> steps;      ///< sorted by at, within [lo, hi)
     std::vector<BorderEntry> borders;  ///< sorted by at, within [lo, hi)
-    std::int64_t step_sum = 0;         ///< Sigma steps[].step
+    std::int64_t step_sum = 0;         ///< Sigma steps[].step (live only)
     ScaledPair slope_sum;              ///< Sigma borders[].slope
     ScaledPair offset_sum;             ///< Sigma borders[].offset
     double min_ratio = -1.0;
+    std::size_t dead = 0;              ///< tombstones inside steps
+    std::size_t dead_borders = 0;      ///< tombstones inside borders
+  };
+
+  /// One buffer of the double-buffered published header. Plain atomics
+  /// so concurrent reads are data-race-free; the epoch protocol makes
+  /// them *consistent* (see header()).
+  struct HeaderSlot {
+    std::atomic<std::uint64_t> residents{0};
+    std::atomic<std::uint64_t> constrained{0};
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> dead{0};
+    std::atomic<std::uint64_t> segments{0};
+    std::atomic<double> utilization{0.0};
+    std::atomic<double> cert_ratio{-1.0};
   };
 
   /// Add/withdraw the step corners of jobs [from_level, to_level) of t.
@@ -266,18 +413,32 @@ class IncrementalDemand {
   /// Add/withdraw t's envelope border entry at level `level`.
   void apply_border(const Task& t, Time level, int sign);
   /// Everything for one task at `level` (corners, border, aggregates).
-  void apply_entries(const Task& t, Time level, int sign);
+  /// Group ops pass adjust_slack = false and run one batched
+  /// slack_adjust afterwards.
+  void apply_entries(const Task& t, Time level, int sign,
+                     bool adjust_slack = true);
+  /// add() body minus slack maintenance and header publication.
+  TaskId add_one(const Task& t, bool adjust_slack);
+  /// remove() body minus slack maintenance and header publication; the
+  /// withdrawn task is appended to `withdrawn` (for the batched slack
+  /// credit). \returns false for unknown ids.
+  bool remove_one(TaskId id, bool adjust_slack,
+                  std::vector<Task>* withdrawn);
   /// Raise one resident row's level. \pre to_level > current level.
   void refine(std::size_t row, Time to_level);
+  /// Lower one resident row's level (refinement undo). \pre to_level <
+  /// current level.
+  void lower_level(std::size_t row, Time to_level);
   [[nodiscard]] Rational exact_demand_at(Time interval) const;
   void ensure_util() const;
 
-  /// Index into id_index_ of `id`, or npos when unknown.
+  /// Index into id_index_ of a *live* entry for `id`, or npos.
   [[nodiscard]] std::size_t id_pos(TaskId id) const noexcept;
 
   [[nodiscard]] std::size_t segment_of(Time at) const noexcept;
-  /// Checkpoint time at flat index `idx` across segments. \pre idx <
-  /// total_steps_
+  /// Time of the idx-th *live* checkpoint across segments (tombstones
+  /// excluded, so cut anchors are identical between tombstoned and
+  /// eagerly compacted stores). \pre idx < total_steps_
   [[nodiscard]] Time step_time_at(std::size_t idx) const noexcept;
   /// A genuinely new checkpoint time appeared in segment `seg`: bound
   /// its ratio through its existing neighbors (segment interiors have
@@ -285,15 +446,33 @@ class IncrementalDemand {
   void slack_note_new_time(std::size_t seg, Time pred, Time succ);
   /// Certificate-style maintenance of the per-segment ratio bounds:
   /// debit on arrival (region_charge at the segment's left edge),
-  /// credit on departure (region_credit over the range).
+  /// credit on departure (region_credit over the range). The group
+  /// overload walks the segments once for the whole group.
   void slack_adjust(const Task& t, int sign);
+  void slack_adjust(std::span<const Task> tasks, int sign);
   /// Re-partition the store so segments equidistribute checkpoints
-  /// (single segment while the index is off or the set is small). All
-  /// bounds start dirty until a scan measures them.
+  /// (single segment while the index is disengaged or the set is
+  /// small). Tombstones are dropped wholesale; all bounds start dirty
+  /// until a scan measures them.
   void resegment();
+  /// Erase g's tombstones now (the deferred part of removal).
+  void compact_segment(Segment& g);
+  /// Flip index_engaged_ per the resident-count hysteresis; on
+  /// disengage, dirty every cached bound (nothing maintains them while
+  /// off).
+  void update_index_engagement();
+  /// Publish the current aggregates into the inactive header buffer and
+  /// advance the epoch (every mutator's last step).
+  void publish_header() noexcept;
+  [[nodiscard]] DemandCheck do_check(std::uint64_t max_revisions);
 
   Time k_;
   bool use_slack_index_;
+  bool eager_compact_;
+  /// Hysteresis state of the cached-slack index (see file header).
+  bool index_engaged_ = false;
+  std::size_t engage_at_;
+  std::size_t disengage_below_;
   TaskId next_id_ = 1;
   /// Resident tasks: dense SoA rows behind stable slots.
   TaskView view_;
@@ -304,14 +483,24 @@ class IncrementalDemand {
   /// reads this single flat array instead of recomputing job deadlines.
   std::vector<Time> borders_of_row_;
   /// id -> slot, sorted by id (ids ascend, so inserts append). Binary
-  /// search on lookup; O(n) memmove on erase — both cache-friendly.
+  /// search on lookup. Removal tombstones the entry (slot :=
+  /// kInvalidSlot) instead of memmoving the tail; compaction is
+  /// deferred until dead entries dominate.
   std::vector<std::pair<TaskId, TaskView::Slot>> id_index_;
+  std::size_t dead_ids_ = 0;
   /// The segmented checkpoint store (always >= 1 segment covering
-  /// [0, infinity); exactly 1 while the slack index is off).
+  /// [0, infinity); exactly 1 while the slack index is disengaged).
   std::vector<Segment> segs_;
-  std::size_t total_steps_ = 0;       ///< Sigma segs_[i].steps.size()
-  std::size_t seg_built_steps_ = 0;   ///< total at last resegment
+  std::size_t total_steps_ = 0;       ///< live checkpoints across segments
+  std::size_t dead_steps_ = 0;        ///< Sigma segs_[i].dead
+  std::size_t seg_built_steps_ = 0;   ///< live total at last resegment
   std::vector<Time> corner_scratch_;  ///< reused per-update buffer
+  /// Active refinement log (non-null only inside a logged check()).
+  RefineLog* refine_log_ = nullptr;
+  /// Per-row "already logged this check" flags (rows are stable within
+  /// one check — scans refine, never add/remove), so first-touch
+  /// logging is O(1) per refinement.
+  std::vector<std::uint8_t> refine_logged_;
   /// Exact Sigma C/T, materialized lazily (rational gcds are far too
   /// expensive to pay on every add/remove; the scaled bounds below are
   /// maintained incrementally and decide all but exact-equality cases).
@@ -339,6 +528,10 @@ class IncrementalDemand {
   Int128 cert_lo_ = kFixedPointScale;
   bool cert_dead_ = false;  ///< every region -1: skip maintenance
   std::size_t constrained_ = 0;
+  /// Double-buffered published header + seqlock epoch (see header()
+  /// and util/seqlock.hpp for the protocol).
+  std::array<HeaderSlot, 2> header_buf_;
+  SeqlockEpoch header_epoch_;
 };
 
 }  // namespace edfkit

@@ -33,31 +33,41 @@ void refill_pool(std::vector<Task>& pool, Rng& rng, const ChurnConfig& cfg) {
   pool.insert(pool.end(), set.begin(), set.end());
 }
 
-/// Shared replay core: `admit` returns (admitted, rung, effort);
-/// `depart` returns true when the key was resident and is now gone;
-/// `utilization` is a cheap (lock-free) load probe — resident counts
-/// derive from the replay's own bookkeeping.
+/// Shared replay core: `admit` returns (admitted, rung, effort) for an
+/// arrival event (single or group — the event says which); `depart`
+/// returns the number of tasks withdrawn (0 = the key was never
+/// admitted or already left); `utilization` is a cheap (lock-free)
+/// load probe — resident counts derive from the replay's own
+/// bookkeeping.
 template <typename AdmitFn, typename DepartFn, typename UtilFn>
 ReplayStats replay_core(const std::vector<TraceEvent>& trace, AdmitFn admit,
                         DepartFn depart, UtilFn utilization) {
   ReplayStats out;
+  std::size_t resident = 0;
   for (const TraceEvent& ev : trace) {
-    if (ev.op == TraceOp::Arrive) {
-      ++out.arrivals;
+    if (ev.op != TraceOp::Depart) {
+      const std::size_t tasks =
+          ev.op == TraceOp::Arrive ? 1 : ev.group.size();
+      out.arrivals += tasks;
+      if (ev.op == TraceOp::ArriveGroup) ++out.groups;
       const auto [admitted, rung, effort] = admit(ev);
       ++out.by_rung[static_cast<std::size_t>(rung)];
       out.total_effort += effort;
-      ++(admitted ? out.admitted : out.rejected);
+      (admitted ? out.admitted : out.rejected) += tasks;
       if (admitted) {
+        resident += tasks;
         out.peak_utilization =
             std::max(out.peak_utilization, utilization());
       }
     } else {
       ++out.departures;
-      if (!depart(ev)) ++out.skipped_departures;
+      const std::size_t gone = depart(ev);
+      if (gone == 0) {
+        ++out.skipped_departures;
+      } else {
+        resident -= gone;
+      }
     }
-    const std::size_t resident = static_cast<std::size_t>(
-        out.admitted - (out.departures - out.skipped_departures));
     out.peak_resident = std::max(out.peak_resident, resident);
   }
   return out;
@@ -74,6 +84,13 @@ void ChurnConfig::validate() const {
     throw std::invalid_argument(
         "ChurnConfig: pool_utilization > 0 required");
   }
+  if (group_probability < 0.0 || group_probability > 1.0) {
+    throw std::invalid_argument(
+        "ChurnConfig: group_probability in [0,1] required");
+  }
+  if (group_probability > 0.0 && group_size == 0) {
+    throw std::invalid_argument("ChurnConfig: group_size >= 1 required");
+  }
 }
 
 std::vector<TraceEvent> generate_churn_trace(Rng& rng,
@@ -86,14 +103,26 @@ std::vector<TraceEvent> generate_churn_trace(Rng& rng,
   std::vector<std::uint64_t> live;  // keys arrivable to a departure
   std::uint64_t next_key = 1;
 
-  const auto arrive = [&] {
+  const auto draw_task = [&]() -> const Task& {
     if (pool_next == pool.size()) refill_pool(pool, rng, cfg);
+    return pool[pool_next++];
+  };
+  const auto arrive = [&] {
     TraceEvent ev;
-    ev.op = TraceOp::Arrive;
     ev.key = next_key++;
-    ev.task = pool[pool_next++];
+    if (cfg.group_probability > 0.0 &&
+        rng.bernoulli(cfg.group_probability)) {
+      ev.op = TraceOp::ArriveGroup;
+      ev.group.reserve(cfg.group_size);
+      for (std::size_t i = 0; i < cfg.group_size; ++i) {
+        ev.group.push_back(draw_task());
+      }
+    } else {
+      ev.op = TraceOp::Arrive;
+      ev.task = draw_task();
+    }
     live.push_back(ev.key);
-    trace.push_back(ev);
+    trace.push_back(std::move(ev));
   };
 
   for (std::size_t i = 0; i < cfg.warmup_arrivals; ++i) arrive();
@@ -117,8 +146,9 @@ std::vector<TraceEvent> generate_churn_trace(Rng& rng,
 std::string ReplayStats::to_string() const {
   std::ostringstream os;
   os << "arrivals=" << arrivals << " admitted=" << admitted << " rejected="
-     << rejected << " departures=" << departures << " (skipped "
-     << skipped_departures << ") peak-resident=" << peak_resident
+     << rejected << " groups=" << groups << " departures=" << departures
+     << " (skipped " << skipped_departures << ") peak-resident="
+     << peak_resident
      << " peak-U=" << peak_utilization << " effort=" << total_effort
      << " rungs[";
   for (std::size_t i = 0; i < by_rung.size(); ++i) {
@@ -132,40 +162,57 @@ std::string ReplayStats::to_string() const {
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
                          AdmissionController& controller) {
-  std::unordered_map<std::uint64_t, TaskId> resident;
+  std::unordered_map<std::uint64_t, std::vector<TaskId>> resident;
   return replay_core(
       trace,
       [&](const TraceEvent& ev) {
+        if (ev.op == TraceOp::ArriveGroup) {
+          GroupDecision g = controller.admit_group(ev.group);
+          if (g.admitted) resident.emplace(ev.key, std::move(g.ids));
+          return std::tuple(g.admitted, g.rung, g.analysis.effort());
+        }
         const AdmissionDecision d = controller.try_admit(ev.task);
-        if (d.admitted) resident.emplace(ev.key, d.id);
+        if (d.admitted) {
+          resident.emplace(ev.key, std::vector<TaskId>{d.id});
+        }
         return std::tuple(d.admitted, d.rung, d.analysis.effort());
       },
       [&](const TraceEvent& ev) {
         const auto it = resident.find(ev.key);
-        if (it == resident.end()) return false;
-        const bool ok = controller.remove(it->second);
+        if (it == resident.end()) return std::size_t{0};
+        const std::size_t gone = controller.remove_group(it->second);
         resident.erase(it);
-        return ok;
+        return gone;
       },
       [&] { return controller.utilization(); });
 }
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
                          AdmissionEngine& engine) {
-  std::unordered_map<std::uint64_t, GlobalTaskId> resident;
+  std::unordered_map<std::uint64_t, std::vector<GlobalTaskId>> resident;
   return replay_core(
       trace,
       [&](const TraceEvent& ev) {
+        if (ev.op == TraceOp::ArriveGroup) {
+          GroupPlacement g = engine.admit_group(ev.group);
+          if (g.admitted) resident.emplace(ev.key, std::move(g.ids));
+          return std::tuple(g.admitted, g.rung, g.analysis.effort());
+        }
         const PlacementDecision d = engine.admit(ev.task);
-        if (d.admitted) resident.emplace(ev.key, d.id);
+        if (d.admitted) {
+          resident.emplace(ev.key, std::vector<GlobalTaskId>{d.id});
+        }
         return std::tuple(d.admitted, d.rung, d.analysis.effort());
       },
       [&](const TraceEvent& ev) {
         const auto it = resident.find(ev.key);
-        if (it == resident.end()) return false;
-        const bool ok = engine.remove(it->second);
+        if (it == resident.end()) return std::size_t{0};
+        std::size_t gone = 0;
+        for (const GlobalTaskId id : it->second) {
+          gone += engine.remove(id) ? 1 : 0;
+        }
         resident.erase(it);
-        return ok;
+        return gone;
       },
       [&] { return engine.utilization_estimate(); });
 }

@@ -4,11 +4,13 @@
 /// (gen/scenario.hpp) so online experiments use the same task
 /// populations as the offline figures.
 ///
-/// A trace is a flat event list. Arrivals carry the task and a unique
-/// key; departures reference the key of an earlier arrival. Whether an
-/// arrival was *admitted* is only known at replay time, so departures of
-/// rejected (or already-departed) keys are counted and skipped — traces
-/// stay valid for any controller configuration.
+/// A trace is a flat event list. Arrivals carry the task (or, for
+/// group arrivals, the whole task group — admitted all-or-nothing via
+/// admit_group) and a unique key; departures reference the key of an
+/// earlier arrival and withdraw everything it admitted. Whether an
+/// arrival was *admitted* is only known at replay time, so departures
+/// of rejected (or already-departed) keys are counted and skipped —
+/// traces stay valid for any controller configuration.
 #pragma once
 
 #include <array>
@@ -22,14 +24,17 @@
 
 namespace edfkit {
 
-enum class TraceOp : std::uint8_t { Arrive, Depart };
+enum class TraceOp : std::uint8_t { Arrive, ArriveGroup, Depart };
 
 struct TraceEvent {
   TraceOp op = TraceOp::Arrive;
   /// Unique per arrival; a departure names the arrival it withdraws.
   std::uint64_t key = 0;
-  /// Meaningful for arrivals only.
+  /// Meaningful for Arrive only.
   Task task;
+  /// Meaningful for ArriveGroup only: admitted atomically, departed
+  /// together when `key` departs.
+  std::vector<Task> group;
 };
 
 struct ChurnConfig {
@@ -52,6 +57,11 @@ struct ChurnConfig {
   double pool_utilization = 0.9;
   /// Tasks per drawn set for Family::Fixed.
   int fixed_tasks = 50;
+  /// Probability that an arrival event is a *group* arrival of
+  /// `group_size` tasks (admitted all-or-nothing). 0 = single-task
+  /// traces (the historical shape).
+  double group_probability = 0.0;
+  std::size_t group_size = 4;
 
   void validate() const;
 };
@@ -64,9 +74,12 @@ struct ChurnConfig {
 
 /// Aggregated outcome of replaying one trace.
 struct ReplayStats {
-  std::uint64_t arrivals = 0;
+  std::uint64_t arrivals = 0;  ///< tasks offered (group members count)
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
+  /// Group arrival events (their tasks are folded into the task
+  /// counters above; one decision per group in by_rung).
+  std::uint64_t groups = 0;
   std::uint64_t departures = 0;
   /// Departures whose key was never admitted (or already left).
   std::uint64_t skipped_departures = 0;

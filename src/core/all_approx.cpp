@@ -7,6 +7,7 @@
 #include "analysis/utilization.hpp"
 #include "demand/accumulator.hpp"
 #include "demand/intervals.hpp"
+#include "demand/task_view.hpp"
 
 namespace edfkit {
 
@@ -25,11 +26,15 @@ FeasibilityResult all_approx_test(const TaskSet& ts,
 
   const Time imax = opts.bound.value_or(implicit_test_bound(ts));
 
+  // Flat hot columns for the revision loops (ROADMAP: "SoA the
+  // accumulator tests"): the MaxError error sweep and the testlist
+  // re-arming only read wcet / deadline / period / util.
+  const TaskColumns cols(ts);
   TestList list;
   std::vector<bool> approximated(ts.size(), false);
   std::deque<std::size_t> approx_fifo;  // paper's ApproxList (FIFO)
   for (std::size_t i = 0; i < ts.size(); ++i) {
-    list.add(i, ts[i].effective_deadline());
+    list.add(i, cols.deadline[i]);
   }
 
   DemandAccumulator acc;
@@ -45,7 +50,7 @@ FeasibilityResult all_approx_test(const TaskSet& ts,
     const auto entry = list.pop();
     const Time point = entry.interval;
     acc.advance(point - iold);
-    acc.add_job(ts[entry.task].wcet);
+    acc.add_job(cols.wcet[entry.task]);
     ++r.iterations;
     r.max_interval_tested = point;
 
@@ -74,17 +79,17 @@ FeasibilityResult all_approx_test(const TaskSet& ts,
           break;
         case RevisionPolicy::MaxError: {
           // Pick the approximation with the largest current
-          // overestimation app(point, tau) = frac((point-D)/T) * C.
+          // overestimation app(point, tau) = frac((point-D)/T) * C —
+          // one dense sweep over the flat columns.
           std::size_t best = 0;
           double best_err = -1.0;
           for (std::size_t k = 0; k < approx_fifo.size(); ++k) {
-            const Task& cand = ts[approx_fifo[k]];
+            const std::size_t ci = approx_fifo[k];
             double err = 0.0;
-            if (!is_time_infinite(cand.period)) {
+            if (!is_time_infinite(cols.period[ci])) {
               err = static_cast<double>(floor_mod(
-                        point - cand.effective_deadline(), cand.period)) *
-                    static_cast<double>(cand.wcet) /
-                    static_cast<double>(cand.period);
+                        point - cols.deadline[ci], cols.period[ci])) *
+                    cols.util[ci];
             }
             if (err > best_err) {
               best_err = err;
@@ -102,11 +107,10 @@ FeasibilityResult all_approx_test(const TaskSet& ts,
           approx_fifo.pop_front();
           break;
       }
-      const Task& t = ts[ti];
-      acc.revise(t, point);
+      acc.revise(ts[ti], point);
       approximated[ti] = false;
       ++r.revisions;
-      const Time nxt = t.next_deadline_after(point);
+      const Time nxt = row_next_deadline_after(cols, ti, point);
       if (!is_time_infinite(nxt)) list.add(ti, nxt);
     }
 

@@ -7,8 +7,8 @@
 #include "analysis/bounds.hpp"
 #include "analysis/utilization.hpp"
 #include "demand/accumulator.hpp"
-#include "demand/approx.hpp"
 #include "demand/intervals.hpp"
+#include "demand/task_view.hpp"
 
 namespace edfkit {
 namespace {
@@ -40,11 +40,17 @@ FeasibilityResult dynamic_error_test(const TaskSet& ts,
   const Time imax = opts.bound.value_or(implicit_test_bound(ts));
   Time level = opts.initial_level;
 
+  // The revision loops below only read wcet / effective deadline /
+  // period — stream them from flat columns instead of re-indexing the
+  // 80-byte Task structs every iteration (ROADMAP: "SoA the
+  // accumulator tests"). The accumulator's refresh stages keep the
+  // TaskSet (cold path).
+  const TaskColumns cols(ts);
   TestList list;
   std::vector<bool> approximated(ts.size(), false);
   std::vector<std::size_t> approx_members;  // tasks currently approximated
   for (std::size_t i = 0; i < ts.size(); ++i) {
-    list.add(i, ts[i].effective_deadline());
+    list.add(i, cols.deadline[i]);
   }
 
   DemandAccumulator acc;
@@ -62,7 +68,7 @@ FeasibilityResult dynamic_error_test(const TaskSet& ts,
     const auto entry = list.pop();
     const Time point = entry.interval;
     acc.advance(point - iold);
-    acc.add_job(ts[entry.task].wcet);
+    acc.add_job(cols.wcet[entry.task]);
     ++r.iterations;
     r.max_interval_tested = point;
 
@@ -99,15 +105,16 @@ FeasibilityResult dynamic_error_test(const TaskSet& ts,
           return r;
         }
         for (const std::size_t ti : approx_members) {
-          if (approx_border(ts[ti], level) > point) revised.push_back(ti);
+          if (row_approx_border(cols, ti, level) > point) {
+            revised.push_back(ti);
+          }
         }
       }
       for (const std::size_t ti : revised) {
-        const Task& t = ts[ti];
-        acc.revise(t, point);
+        acc.revise(ts[ti], point);
         approximated[ti] = false;
         ++r.revisions;
-        const Time nxt = t.next_deadline_after(point);
+        const Time nxt = row_next_deadline_after(cols, ti, point);
         if (!is_time_infinite(nxt)) list.add(ti, nxt);
       }
       approx_members.erase(
@@ -120,12 +127,11 @@ FeasibilityResult dynamic_error_test(const TaskSet& ts,
     // popped task exactly below its border, approximate at/after it.
     {
       const std::size_t ti = entry.task;
-      const Task& t = ts[ti];
-      if (point < approx_border(t, level)) {
-        const Time nxt = t.next_deadline_after(point);
+      if (point < row_approx_border(cols, ti, level)) {
+        const Time nxt = row_next_deadline_after(cols, ti, point);
         if (!is_time_infinite(nxt)) list.add(ti, nxt);
       } else {
-        acc.approximate(t);
+        acc.approximate(ts[ti]);
         approximated[ti] = true;
         approx_members.push_back(ti);
       }

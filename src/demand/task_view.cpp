@@ -85,6 +85,15 @@ TaskView::Slot TaskView::add(const Task& t) {
   return s;
 }
 
+std::vector<TaskView::Slot> TaskView::add_batch(std::span<const Task> group) {
+  for (const Task& t : group) t.validate();  // all-or-nothing
+  std::vector<Slot> out;
+  out.reserve(group.size());
+  reserve(size() + group.size());
+  for (const Task& t : group) out.push_back(add(t));
+  return out;
+}
+
 bool TaskView::remove(Slot s) {
   if (!contains(s)) return false;
   const std::size_t row = slot_to_row_[s];

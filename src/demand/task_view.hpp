@@ -97,7 +97,11 @@ struct TaskColumns {
                                               Time x) noexcept;
 
 /// Mutable SoA container for resident task sets: stable slot handles
-/// over densely packed rows.
+/// over densely packed rows. Freed slots are recycled (LIFO), so an
+/// external index that can outlive a removal — e.g. the admission
+/// store's tombstoned id index — must overwrite its copy of the slot
+/// with kInvalidSlot instead of retaining it: a recycled slot aliases
+/// a different task.
 class TaskView {
  public:
   using Slot = std::uint32_t;
@@ -106,6 +110,13 @@ class TaskView {
   /// Insert, reusing a free slot when available. \throws on invalid
   /// tasks (Task::validate).
   Slot add(const Task& t);
+  /// Bulk-load convenience: one capacity reservation, and every task
+  /// validates *before* any inserts, so a throw leaves the view
+  /// untouched. Returns the slots in group order. (The admission
+  /// store's add_group interleaves per-task bookkeeping and inserts
+  /// row by row instead — this entry is for callers loading a view
+  /// directly.)
+  std::vector<Slot> add_batch(std::span<const Task> group);
   /// Withdraw a slot; the last row swaps into its place.
   /// \returns false for unknown/free slots.
   bool remove(Slot s);

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -142,6 +143,14 @@ class Query {
   /// view (a plain TaskSet argument used to copy into a Workload).
   [[nodiscard]] Outcome run(const TaskSet& ts) const {
     return run(WorkloadView(ts));
+  }
+
+  /// Group-admission overlay: analyze `base` plus a candidate `extra`
+  /// group as one workload without mutating either (the combined set
+  /// materializes at most once, inside the view).
+  [[nodiscard]] Outcome run(const TaskSet& base,
+                            std::span<const Task> extra) const {
+    return run(WorkloadView(base, extra));
   }
 
  private:

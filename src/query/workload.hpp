@@ -110,12 +110,16 @@ class Workload {
 /// set; a view copies nothing. The viewed storage must outlive the view
 /// (it is meant to be built at the call site: `q.run(WorkloadView(ts))`).
 ///
-/// Three backings:
+/// Four backings:
 ///   - a `TaskSet` — zero-copy, aggregates come from the set's caches;
 ///   - a `Workload` — zero-copy pass-through (streams expand in the
 ///     workload's own cache);
 ///   - a raw `std::span<const Task>` — the canonical TaskSet is
-///     materialized once on first use (one copy, owned by the view).
+///     materialized once on first use (one copy, owned by the view);
+///   - an overlay: a base `TaskSet` plus an extra task span (a
+///     candidate group over the resident set) — the combined set
+///     materializes once on first use, so a "would this group fit?"
+///     query never mutates the base and copies at most once.
 class WorkloadView {
  public:
   /// View over a task set (implicit: hot call sites read naturally).
@@ -127,6 +131,17 @@ class WorkloadView {
   /// View over raw task storage (e.g. a TaskView's dense rows).
   explicit WorkloadView(std::span<const Task> tasks) noexcept
       : span_(tasks) {}
+  /// Overlay view: `base` plus a candidate `extra` group, analyzed as
+  /// one workload (the group-admission plumbing). Zero-copy when
+  /// `extra` is empty.
+  WorkloadView(const TaskSet& base, std::span<const Task> extra) noexcept {
+    if (extra.empty()) {
+      set_ = &base;
+    } else {
+      base_ = &base;
+      span_ = extra;
+    }
+  }
 
   WorkloadView(const WorkloadView&) = delete;
   WorkloadView& operator=(const WorkloadView&) = delete;
@@ -149,9 +164,10 @@ class WorkloadView {
  private:
   const Workload* workload_ = nullptr;
   const TaskSet* set_ = nullptr;
-  std::span<const Task> span_;
-  mutable std::once_flag once_;       ///< span backing: materialize once
-  mutable TaskSet materialized_;      ///< span backing only
+  const TaskSet* base_ = nullptr;     ///< overlay backing: base set
+  std::span<const Task> span_;        ///< raw backing, or overlay extra
+  mutable std::once_flag once_;       ///< span/overlay: materialize once
+  mutable TaskSet materialized_;      ///< span/overlay backing only
 };
 
 }  // namespace edfkit

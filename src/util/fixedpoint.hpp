@@ -34,12 +34,17 @@ struct ScaledPair {
 
 /// floor/ceil of (num/den) * kFixedPointScale.
 /// \pre den > 0, num >= 0, num < 2^122 (intermediates stay < 2^125)
+/// Two 128-bit divisions (not four): remainders come from multiply-
+/// back, and the ceil endpoint is floor + (remainder != 0) — this is
+/// on the admission store's per-update path.
 [[nodiscard]] inline ScaledPair scale_fraction(Int128 num,
                                                Int128 den) noexcept {
   const Int128 q = num / den;
-  const Int128 r = num % den;
-  return {q * kFixedPointScale + (r * kFixedPointScale) / den,
-          q * kFixedPointScale + (r * kFixedPointScale + den - 1) / den};
+  const Int128 r = num - q * den;
+  const Int128 scaled_r = r * kFixedPointScale;
+  const Int128 lo_frac = scaled_r / den;
+  const Int128 lo = q * kFixedPointScale + lo_frac;
+  return {lo, lo + (scaled_r - lo_frac * den != 0 ? 1 : 0)};
 }
 
 /// An exactly-representable integer value.

@@ -1,0 +1,619 @@
+/// \file test_pipeline.cpp
+/// The high-throughput admission pipeline (PR 4): tombstoned removals
+/// vs eager compaction (differential fuzz), batch group admission
+/// (atomicity, rollback bit-identity, per-task-loop agreement), and the
+/// epoch-versioned wait-free read paths (engine stats headers + the
+/// demand store header) under a real writer — run this under the
+/// EDFKIT_SANITIZE configuration for TSan-grade confidence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/engine.hpp"
+#include "admission/replay.hpp"
+#include "demand/task_view.hpp"
+#include "helpers.hpp"
+#include "query/query.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::tk;
+
+// ---------------------------------------------------------- tombstones
+
+/// Twin stores that differ only in compaction policy must agree on
+/// every verdict and match their own rebuilds through churn at U -> 1.
+TEST(Tombstones, DifferentialFuzzAgainstEagerCompaction) {
+  Rng rng(20050307);
+  IncrementalDemand eager(0.25, /*use_slack_index=*/true,
+                          /*eager_compaction=*/true);
+  IncrementalDemand lazy(0.25, /*use_slack_index=*/true,
+                         /*eager_compaction=*/false);
+  eager.set_index_thresholds(0, 0);
+  lazy.set_index_thresholds(0, 0);
+  std::vector<std::pair<TaskId, TaskId>> live;
+  std::vector<Task> pool;
+  std::size_t max_dead = 0;
+  for (int op = 0; op < 1200; ++op) {
+    if (pool.empty()) {
+      const TaskSet ts = draw_small_set(rng, 0.99);  // ride the boundary
+      pool.assign(ts.begin(), ts.end());
+    }
+    if (!live.empty() && rng.bernoulli(0.45)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_time(0, static_cast<Time>(live.size()) - 1));
+      ASSERT_TRUE(eager.remove(live[pick].first));
+      ASSERT_TRUE(lazy.remove(live[pick].second));
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      live.emplace_back(eager.add(pool.back()), lazy.add(pool.back()));
+      pool.pop_back();
+    }
+    const DemandCheck a = eager.check();
+    const DemandCheck b = lazy.check();
+    ASSERT_EQ(a.fits, b.fits) << "op " << op;
+    ASSERT_EQ(a.overflow_proof, b.overflow_proof) << "op " << op;
+    if (a.overflow_proof) {
+      ASSERT_EQ(a.witness, b.witness) << "op " << op;
+    }
+    ASSERT_EQ(eager.checkpoint_count(), lazy.checkpoint_count())
+        << "op " << op;
+    EXPECT_EQ(eager.dead_checkpoints(), 0u);  // eager never tombstones
+    max_dead = std::max(max_dead, lazy.dead_checkpoints());
+    if (op % 64 == 0) {
+      ASSERT_TRUE(eager.matches_rebuild()) << "op " << op;
+      ASSERT_TRUE(lazy.matches_rebuild()) << "op " << op;
+    }
+  }
+  // Tombstones actually accumulate between compactions (the mechanism
+  // is exercised), but deferred compaction keeps them bounded.
+  EXPECT_GT(max_dead, 0u);
+  EXPECT_LT(max_dead,
+            lazy.checkpoint_count() + lazy.dead_checkpoints() + 4096);
+}
+
+TEST(Tombstones, ControllerDecisionsIdenticalEitherPolicy) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = 60;
+  churn.events = 1000;
+  churn.pool_utilization = 0.99;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 60;
+  Rng rng(7);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+
+  AdmissionOptions eager_opts;
+  eager_opts.skip_exact = true;
+  eager_opts.eager_compaction = true;
+  AdmissionOptions lazy_opts = eager_opts;
+  lazy_opts.eager_compaction = false;
+  AdmissionController eager(eager_opts);
+  AdmissionController lazy(lazy_opts);
+  const ReplayStats a = replay_trace(trace, eager);
+  const ReplayStats b = replay_trace(trace, lazy);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.by_rung, b.by_rung);
+  EXPECT_TRUE(eager.verify_consistency());
+  EXPECT_TRUE(lazy.verify_consistency());
+}
+
+TEST(Tombstones, RemovalBurstDefersThenCompacts) {
+  // A drain leaves tombstones rather than memmoving the store; deferred
+  // compaction reclaims them, and removing everything empties the live
+  // view either way.
+  IncrementalDemand d(0.25, /*use_slack_index=*/false);
+  Rng rng(3);
+  const TaskSet ts = draw_fig8_set(rng, 0.7);
+  std::vector<TaskId> ids;
+  ids.reserve(ts.size());
+  for (const Task& t : ts) ids.push_back(d.add(t));
+  ASSERT_TRUE(d.check().fits);
+  const std::size_t before = d.checkpoint_count();
+  std::size_t seen_dead = 0;
+  for (const TaskId id : ids) {
+    ASSERT_TRUE(d.remove(id));
+    seen_dead = std::max(seen_dead, d.dead_checkpoints());
+  }
+  EXPECT_GT(before, 0u);
+  EXPECT_GT(seen_dead, 0u);  // tombstones appeared mid-burst
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.checkpoint_count(), 0u);  // no live checkpoints remain
+  EXPECT_TRUE(d.check().fits);
+  EXPECT_TRUE(d.matches_rebuild());
+}
+
+// ------------------------------------------------------- group admits
+
+TEST(GroupAdmit, EmptyAndImplicitGroups) {
+  AdmissionController ctl;
+  const GroupDecision none = ctl.admit_group({});
+  EXPECT_TRUE(none.admitted);
+  EXPECT_TRUE(none.ids.empty());
+  EXPECT_EQ(ctl.size(), 0u);
+
+  // Implicit deadlines at U <= 1: settled by the utilization rung.
+  const std::vector<Task> g{tk(1, 10, 10), tk(2, 20, 20), tk(3, 30, 30)};
+  const GroupDecision d = ctl.admit_group(g);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.ids.size(), 3u);
+  EXPECT_EQ(d.rung, AdmissionRung::Utilization);
+  EXPECT_EQ(ctl.size(), 3u);
+  EXPECT_EQ(ctl.stats().groups, 2u);
+  EXPECT_EQ(ctl.stats().arrivals, 3u);
+}
+
+TEST(GroupAdmit, OverUtilizationGroupRejectedWithoutMutation) {
+  AdmissionController ctl;
+  (void)ctl.admit_group(std::vector<Task>{tk(4, 8, 8)});
+  const AdmissionStats pre = ctl.stats();
+  // Sum utilization 0.5 + 0.4 + 0.4 > 1: rung-1 infeasibility proof.
+  const std::vector<Task> g{tk(4, 10, 10), tk(4, 10, 10)};
+  const GroupDecision d = ctl.admit_group(g);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_TRUE(d.ids.empty());
+  EXPECT_EQ(d.rung, AdmissionRung::Utilization);
+  EXPECT_EQ(d.analysis.verdict, Verdict::Infeasible);
+  EXPECT_EQ(ctl.size(), 1u);
+  EXPECT_EQ(ctl.stats().rejected, pre.rejected + 2);
+  EXPECT_TRUE(ctl.verify_consistency());
+}
+
+TEST(GroupAdmit, RejectionRollbackLeavesStoreBitIdentical) {
+  AdmissionOptions opts;
+  opts.skip_exact = true;  // force the rollback path on borderline sets
+  // Audit mode: also restore refinement levels raised by the failing
+  // scan (the default keeps them, like single-task rejects).
+  opts.rollback_refinements = true;
+  AdmissionController ctl(opts);
+  Rng rng(23);
+  // Fill from a handful of moderate pools (whatever admits, admits).
+  for (int round = 0; round < 6; ++round) {
+    const TaskSet ts = draw_small_set(rng, 0.6);
+    for (const Task& t : ts) (void)ctl.try_admit(t);
+  }
+  ASSERT_GT(ctl.size(), 0u);
+  ASSERT_TRUE(ctl.verify_consistency());
+
+  // Groups that pass the utilization rung (tiny u) but provably
+  // overflow a tight deadline force the tentative-insert + rollback
+  // path; drawn groups add variety (any reject must also roll back).
+  // The baseline is re-captured per trial: admitted trials
+  // legitimately leave learned refinement behind, but a *rejected*
+  // group must leave the live store bit-identical.
+  int rejections = 0;
+  for (int trial = 0; trial < 60 && rejections < 5; ++trial) {
+    const TaskSet before = ctl.snapshot();
+    const StoreHeader h_before = ctl.demand_header();
+    std::vector<Task> g;
+    if (trial % 2 == 0) {
+      // dbf(6) = 15 > 6 while U stays ~0.015: overflow-proof reject.
+      g = {tk(5, 6, 1000), tk(5, 6, 1000), tk(5, 6, 1000)};
+    } else {
+      const TaskSet extra = draw_small_set(rng, 0.5);
+      g.assign(extra.begin(), extra.end());
+    }
+    const GroupDecision d = ctl.admit_group(g);
+    if (d.admitted) {
+      // Keep the store roughly where it was for the next trial.
+      for (const TaskId id : d.ids) ASSERT_TRUE(ctl.remove(id));
+      continue;
+    }
+    ++rejections;
+    const TaskSet after = ctl.snapshot();
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].wcet, after[i].wcet) << i;
+      EXPECT_EQ(before[i].deadline, after[i].deadline) << i;
+      EXPECT_EQ(before[i].period, after[i].period) << i;
+    }
+    // Live structure identical: counts match (rollback undoes the
+    // group's checkpoints *and* any refinement the failing scan
+    // performed) and the incremental aggregates still equal a
+    // from-scratch rebuild — tombstones left by the rollback are
+    // invisible.
+    EXPECT_EQ(ctl.demand_header().live_checkpoints,
+              h_before.live_checkpoints);
+    EXPECT_EQ(ctl.demand_header().residents, h_before.residents);
+    ASSERT_TRUE(ctl.verify_consistency());
+  }
+  EXPECT_GT(rejections, 0);  // the rollback path actually ran
+
+  // Default mode (refinement kept): membership and aggregates still
+  // roll back exact-inverse — the store must match its own rebuild and
+  // keep the same residents after a rejected group.
+  AdmissionOptions fast = opts;
+  fast.rollback_refinements = false;
+  AdmissionController ctl2(fast);
+  for (int round = 0; round < 4; ++round) {
+    const TaskSet ts = draw_small_set(rng, 0.6);
+    for (const Task& t : ts) (void)ctl2.try_admit(t);
+  }
+  const std::size_t n_before = ctl2.size();
+  const std::vector<Task> overload{tk(5, 6, 1000), tk(5, 6, 1000),
+                                   tk(5, 6, 1000)};
+  const GroupDecision d = ctl2.admit_group(overload);
+  ASSERT_FALSE(d.admitted);
+  EXPECT_EQ(ctl2.size(), n_before);
+  EXPECT_TRUE(ctl2.verify_consistency());
+}
+
+TEST(GroupAdmit, LoggedCheckUndoRestoresRefinementLevels) {
+  // Hunt across seeds for a saturated store whose scan actually
+  // refines, then assert the logged undo restores every level exactly.
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !exercised; ++seed) {
+    IncrementalDemand d(0.25);
+    Rng rng(seed);
+    std::vector<TaskId> ids;
+    const TaskSet ts = draw_small_set(rng, 0.99);  // U <= 1: scans run
+    for (const Task& t : ts) ids.push_back(d.add(t));
+    std::vector<Time> before;
+    before.reserve(ids.size());
+    for (const TaskId id : ids) before.push_back(d.level_of(id));
+    IncrementalDemand::RefineLog log;
+    (void)d.check(1 << 20, &log);
+    if (log.empty()) continue;
+    exercised = true;
+    d.undo_refinements(log);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(d.level_of(ids[i]), before[i]) << "seed " << seed;
+    }
+    ASSERT_TRUE(d.matches_rebuild()) << "seed " << seed;
+  }
+  EXPECT_TRUE(exercised) << "no seed triggered refinement";
+}
+
+/// The per-task all-or-nothing loop (admit each; roll back on the first
+/// reject) is the semantic baseline for admit_group. With the exact
+/// rung enabled both must agree decision-for-decision: EDF feasibility
+/// is monotone under subsets, so "union feasible" == "every prefix
+/// feasible".
+TEST(GroupAdmit, AgreesWithPerTaskRollbackLoop) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = 40;
+  churn.events = 300;
+  churn.pool_utilization = 0.95;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 40;
+  churn.group_probability = 0.35;
+  churn.group_size = 5;
+  Rng rng(77);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+
+  AdmissionOptions opts;  // full ladder: decisions are exact-backed
+  AdmissionController grouped(opts);
+  AdmissionController looped(opts);
+  std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> g_live;
+  std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> l_live;
+
+  const auto depart = [](auto& live, AdmissionController& ctl,
+                         std::uint64_t key) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].first != key) continue;
+      for (const TaskId id : live[i].second) {
+        EXPECT_TRUE(ctl.remove(id));
+      }
+      live[i] = live.back();
+      live.pop_back();
+      return;
+    }
+  };
+
+  for (const TraceEvent& ev : trace) {
+    if (ev.op == TraceOp::Depart) {
+      depart(g_live, grouped, ev.key);
+      depart(l_live, looped, ev.key);
+      continue;
+    }
+    const std::vector<Task> group =
+        ev.op == TraceOp::ArriveGroup ? ev.group
+                                      : std::vector<Task>{ev.task};
+    const GroupDecision gd = grouped.admit_group(group);
+    // Per-task baseline: admit in order, roll back on first reject.
+    std::vector<TaskId> ids;
+    bool all = true;
+    for (const Task& t : group) {
+      const AdmissionDecision d = looped.try_admit(t);
+      if (!d.admitted) {
+        all = false;
+        break;
+      }
+      ids.push_back(d.id);
+    }
+    if (!all) {
+      for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+        ASSERT_TRUE(looped.remove(*it));
+      }
+      ids.clear();
+    }
+    ASSERT_EQ(gd.admitted, all) << "key " << ev.key;
+    if (gd.admitted) {
+      g_live.emplace_back(ev.key, gd.ids);
+      l_live.emplace_back(ev.key, ids);
+    }
+  }
+  EXPECT_TRUE(grouped.verify_consistency());
+  EXPECT_TRUE(looped.verify_consistency());
+  EXPECT_GT(grouped.stats().groups, 0u);
+}
+
+TEST(GroupAdmit, EnginePlacesGroupOnOneShard) {
+  EngineOptions opts;
+  opts.shards = 3;
+  opts.placement = PlacementPolicy::WorstFit;
+  AdmissionEngine engine(opts);
+  const std::vector<Task> g{tk(1, 8, 8), tk(2, 16, 16), tk(1, 4, 8)};
+  const GroupPlacement p = engine.admit_group(g);
+  ASSERT_TRUE(p.admitted);
+  ASSERT_EQ(p.ids.size(), 3u);
+  for (const GlobalTaskId id : p.ids) {
+    EXPECT_EQ(id.shard, p.shard);  // co-scheduled on a single shard
+  }
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.admission.groups, 1u);
+  EXPECT_EQ(s.resident, 3u);
+  for (const GlobalTaskId id : p.ids) EXPECT_TRUE(engine.remove(id));
+  EXPECT_EQ(engine.stats().resident, 0u);
+}
+
+TEST(GroupAdmit, ReplayDrivesGroupTraces) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = 20;
+  churn.events = 400;
+  churn.pool_utilization = 0.9;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 30;
+  churn.group_probability = 0.5;
+  churn.group_size = 4;
+  Rng rng(123);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+  AdmissionOptions opts;
+  opts.skip_exact = true;
+  AdmissionController ctl(opts);
+  const ReplayStats stats = replay_trace(trace, ctl);
+  EXPECT_GT(stats.groups, 0u);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.arrivals);
+  EXPECT_TRUE(ctl.verify_consistency());
+  // And through a sharded engine.
+  AdmissionEngine engine(EngineOptions{.shards = 2, .admission = opts});
+  const ReplayStats estats = replay_trace(trace, engine);
+  EXPECT_EQ(estats.admitted + estats.rejected, estats.arrivals);
+  EXPECT_GE(estats.admitted, stats.admitted);  // two shards fit more
+}
+
+TEST(GroupAdmit, GroupCertificateCoverIsSound) {
+  // The read-only group cover simulation must only ever approve groups
+  // whose union is provably feasible (it mirrors the sequential
+  // cover-then-charge walk the real adds perform).
+  Rng rng(31);
+  int covered_groups = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    IncrementalDemand d(0.25);
+    const TaskSet ts = draw_small_set(rng, 0.55);
+    for (const Task& t : ts) (void)d.add(t);
+    if (!d.check().fits) continue;  // publish a certificate
+    // Light long-deadline members plus one drawn task: a group shape
+    // the decayed per-region charges can actually cover.
+    std::vector<Task> g{tk(1, 400, 400), tk(1, 800, 800)};
+    const TaskSet extra = draw_small_set(rng, 0.1);
+    if (!extra.empty()) g.push_back(extra[0]);
+    if (!d.certificate_covers(std::span<const Task>(g))) continue;
+    ++covered_groups;
+    std::vector<TaskId> ids;
+    d.add_group(g, ids);
+    EXPECT_TRUE(run_test(d.resident(), TestKind::ProcessorDemand)
+                    .feasible())
+        << d.resident().to_string();
+  }
+  EXPECT_GT(covered_groups, 3);  // the fast path actually fires
+}
+
+TEST(GroupAdmit, OverlayQueryMatchesMaterializedUnion) {
+  // The query layer's group plumbing: Query::run(base, extra) analyzes
+  // resident + candidate group without mutating either, and must agree
+  // with the materialized union verdict.
+  Rng rng(17);
+  const Query q = Query::single(TestKind::ProcessorDemand)
+                      .with_certificates(false);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskSet base = draw_small_set(rng, 0.6);
+    const TaskSet extra = draw_small_set(rng, 0.5);
+    const std::vector<Task> g(extra.begin(), extra.end());
+    const Outcome overlay = q.run(base, std::span<const Task>(g));
+    std::vector<Task> all(base.begin(), base.end());
+    all.insert(all.end(), g.begin(), g.end());
+    const Outcome direct = q.run(TaskSet(std::move(all)));
+    EXPECT_EQ(overlay.verdict, direct.verdict) << "trial " << trial;
+  }
+}
+
+TEST(GroupAdmit, TaskViewBatchInsertIsAllOrNothing) {
+  TaskView v;
+  const std::vector<Task> good{tk(1, 4, 8), tk(2, 6, 12)};
+  const std::vector<TaskView::Slot> slots = v.add_batch(good);
+  EXPECT_EQ(slots.size(), 2u);
+  EXPECT_EQ(v.size(), 2u);
+  std::vector<Task> bad{tk(3, 10, 20), tk(0, 4, 8)};  // C == 0 invalid
+  EXPECT_THROW((void)v.add_batch(bad), std::invalid_argument);
+  EXPECT_EQ(v.size(), 2u);  // untouched: validation precedes insertion
+}
+
+// ------------------------------------------------- wait-free read paths
+
+TEST(EpochReads, StoreHeaderReflectsCounters) {
+  IncrementalDemand d(0.25);
+  const StoreHeader h0 = d.header();
+  EXPECT_EQ(h0.residents, 0u);
+  EXPECT_EQ(h0.live_checkpoints, 0u);
+  const TaskId a = d.add(tk(1, 4, 8));
+  (void)d.check();
+  StoreHeader h1 = d.header();
+  EXPECT_GT(h1.epoch, h0.epoch);  // every mutation publishes
+  EXPECT_EQ(h1.residents, 1u);
+  EXPECT_EQ(h1.live_checkpoints, d.checkpoint_count());
+  EXPECT_GE(h1.cert_ratio, 0.0);  // passing scan published a certificate
+  EXPECT_NEAR(h1.utilization, 0.125, 1e-9);
+  ASSERT_TRUE(d.remove(a));
+  StoreHeader h2 = d.header();
+  EXPECT_EQ(h2.residents, 0u);
+  EXPECT_EQ(h2.live_checkpoints, 0u);
+  EXPECT_EQ(h2.dead_checkpoints, d.dead_checkpoints());
+}
+
+TEST(EpochReads, StoreHeaderNeverTearsUnderConcurrentChurn) {
+  // One mutator (the documented write-side contract) + hammering
+  // readers: every header() must be internally consistent — a torn
+  // read would pair counters from different publications. Run under
+  // EDFKIT_SANITIZE for TSan-grade checking of the protocol itself.
+  IncrementalDemand d(0.25);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  const Time k_ceiling = 4 * d.steps_per_task();  // max corners per task
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const StoreHeader h = d.header();
+        // Epochs only advance.
+        EXPECT_GE(h.epoch, last_epoch);
+        last_epoch = h.epoch;
+        // Cross-field invariants of any single publication: a torn
+        // read mixing (old counts, new counts) breaks them.
+        if (h.residents == 0) {
+          EXPECT_EQ(h.live_checkpoints, 0u);
+          EXPECT_LT(h.utilization, 1e-9);
+        } else {
+          EXPECT_LE(h.live_checkpoints,
+                    h.residents * static_cast<std::uint64_t>(k_ceiling));
+        }
+        EXPECT_GE(h.segments, 1u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Rng rng(99);
+  std::vector<TaskId> live;
+  std::vector<Task> pool;
+  int op = 0;
+  const auto churn_once = [&] {
+    if (pool.empty()) {
+      const TaskSet ts = draw_small_set(rng, 0.9);
+      pool.assign(ts.begin(), ts.end());
+    }
+    if (!live.empty() &&
+        (live.size() > 60 || rng.bernoulli(0.45))) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_time(0, static_cast<Time>(live.size()) - 1));
+      ASSERT_TRUE(d.remove(live[pick]));
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      live.push_back(d.add(pool.back()));
+      pool.pop_back();
+    }
+    if (op % 16 == 0) (void)d.check();
+    ++op;
+  };
+  for (int i = 0; i < 6000; ++i) churn_once();
+  // Keep mutating until the readers have genuinely raced the writer
+  // (a fast machine can finish the fixed churn before they start).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (reads.load(std::memory_order_relaxed) < 200 &&
+         std::chrono::steady_clock::now() < deadline) {
+    churn_once();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(), 100u);
+}
+
+TEST(EpochReads, EngineStatsConsistentWithoutShardLocks) {
+  // Writers churn the engine while readers poll stats() — which takes
+  // no shard mutex. Per-shard publications are atomic snapshots, so
+  // the composed counters must satisfy the bookkeeping identities at
+  // every single read.
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.admission.skip_exact = true;
+  AdmissionEngine engine(opts);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EngineStats s = engine.stats();
+        EXPECT_EQ(s.admission.arrivals,
+                  s.admission.admitted + s.admission.rejected);
+        EXPECT_EQ(s.resident, static_cast<std::size_t>(
+                                  s.admission.admitted -
+                                  s.admission.removals));
+        std::uint64_t decisions = 0;
+        for (const std::uint64_t c : s.admission.by_rung) decisions += c;
+        EXPECT_GE(s.admission.arrivals, decisions);  // groups batch tasks
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(1000 + static_cast<std::uint64_t>(w));
+      std::vector<GlobalTaskId> live;
+      std::vector<Task> pool;
+      for (int op = 0; op < 1500; ++op) {
+        if (pool.empty()) {
+          const TaskSet ts = draw_small_set(rng, 0.8);
+          pool.assign(ts.begin(), ts.end());
+        }
+        if (!live.empty() && (live.size() > 40 || rng.bernoulli(0.4))) {
+          const std::size_t pick = static_cast<std::size_t>(
+              rng.uniform_time(0, static_cast<Time>(live.size()) - 1));
+          (void)engine.remove(live[pick]);
+          live[pick] = live.back();
+          live.pop_back();
+        } else if (op % 7 == 0) {
+          const std::vector<Task> group{pool.back(), pool.back()};
+          pool.pop_back();
+          const GroupPlacement p = engine.admit_group(group);
+          if (p.admitted) {
+            live.insert(live.end(), p.ids.begin(), p.ids.end());
+          }
+        } else {
+          const PlacementDecision p = engine.admit(pool.back());
+          pool.pop_back();
+          if (p.admitted) live.push_back(p.id);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(), 100u);
+
+  // Quiesced: the wait-free snapshot equals the fully locked one.
+  const EngineStats a = engine.stats();
+  const EngineStats b = engine.stats_locked();
+  EXPECT_EQ(a.admission.arrivals, b.admission.arrivals);
+  EXPECT_EQ(a.admission.admitted, b.admission.admitted);
+  EXPECT_EQ(a.admission.removals, b.admission.removals);
+  EXPECT_EQ(a.admission.groups, b.admission.groups);
+  EXPECT_EQ(a.resident, b.resident);
+}
+
+}  // namespace
+}  // namespace edfkit

@@ -143,6 +143,14 @@ struct TwinDemand {
   IncrementalDemand indexed{0.25, /*use_slack_index=*/true};
   std::vector<std::pair<TaskId, TaskId>> live;  // (plain id, indexed id)
 
+  TwinDemand() {
+    // These sets are small; force the index to engage regardless of the
+    // resident-count hysteresis so the twin genuinely diverges in
+    // mechanism (bounds maintained, segments partitioned) while
+    // verdicts must stay identical.
+    indexed.set_index_thresholds(0, 0);
+  }
+
   void arrive(const Task& t) {
     live.emplace_back(plain.add(t), indexed.add(t));
   }
@@ -272,6 +280,7 @@ TEST(KernelEquivalence, CertificatesStaySoundWithIndex) {
   for (int trial = 0; trial < 25; ++trial) {
     const TaskSet ts = draw_small_set(rng, 0.6);
     IncrementalDemand d(0.25, /*use_slack_index=*/true);
+    d.set_index_thresholds(0, 0);  // engage on these small sets too
     for (const Task& t : ts) d.add(t);
     if (!d.check().fits) continue;
     const TaskSet extra = draw_small_set(rng, 0.2);
