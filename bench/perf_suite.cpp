@@ -13,7 +13,7 @@
 /// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Sections (schema = 2):
+/// Sections (schema = 3):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
@@ -55,8 +55,17 @@
 ///  * query — per-query latency of Query::run for the legacy
 ///    Workload-copy entry vs the zero-copy WorkloadView entry.
 ///
-/// JSON schema (schema = 2; v1 had no batch/removal/read sections):
-///   { "bench": "perf_suite", "schema": 2, "seed": N, "quick": bool,
+///  * persist — durability costs (admission/snapshot.hpp): full
+///    snapshot save (serialize + fsync + atomic rename) and load
+///    (parse + CRC + store rebuild) of an n-resident controller, and
+///    journal ns/append for admit records (FsyncPolicy::None — the
+///    page-cache path; fsync-per-record is a device property, not a
+///    code property). Reported, not gated: these are off the decision
+///    path (the checkpoint thread and the WAL run beside it).
+///
+/// JSON schema (schema = 3; v2 had no persist section; v1 had no
+/// batch/removal/read sections):
+///   { "bench": "perf_suite", "schema": 3, "seed": N, "quick": bool,
 ///     "epsilon": e,
 ///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
 ///                      "old_dps": f, "new_dps": f, "speedup": f,
@@ -73,6 +82,8 @@
 ///     "query":     [ { "n": N, "backend": "chakraborty",
 ///                      "old_ns_per_query": f, "view_ns_per_query": f,
 ///                      "speedup": f } ... ],
+///     "persist":   [ { "n": N, "snapshot_bytes": N, "save_ns": f,
+///                      "load_ns": f, "journal_append_ns": f } ... ],
 ///     "headline": { "n": 1000, "u": 0.99, "old_dps": f, "new_dps": f,
 ///                   "speedup": f },
 ///     "batch_headline": { "n": 1000, "u": 0.99, "group": 8,
@@ -96,6 +107,7 @@
 #include "admission/controller.hpp"
 #include "admission/engine.hpp"
 #include "admission/replay.hpp"
+#include "admission/snapshot.hpp"
 #include "bench_common.hpp"
 #include "gen/taskset_gen.hpp"
 #include "query/query.hpp"
@@ -624,6 +636,76 @@ QueryRow run_query_cell(std::size_t n, double epsilon, std::uint64_t seed,
   return row;
 }
 
+// -------------------------------------------------------------- persist
+
+struct PersistRow {
+  std::size_t n = 0;
+  std::size_t snapshot_bytes = 0;
+  double save_ns = 0.0;
+  double load_ns = 0.0;
+  double append_ns = 0.0;
+};
+
+/// Durability costs on an n-resident controller: snapshot save/load
+/// wall time (save includes fsync + atomic rename) and journal
+/// ns/append under FsyncPolicy::None.
+PersistRow run_persist_cell(std::size_t n, double epsilon,
+                            std::uint64_t seed, std::int64_t reps) {
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.skip_exact = true;
+  Shadow shadow(opts);
+  const std::vector<TraceEvent> warm = make_trace(n, 0.9, 0, seed, 0.0, 1);
+  for (const TraceEvent& ev : warm) (void)shadow.step(ev);
+
+  PersistRow row;
+  row.n = shadow.ctl.size();
+  const std::string snap = "perf_persist.tmp.snap";
+  const std::string wal = "perf_persist.tmp.wal";
+
+  double save_best = 1e300;
+  double load_best = 1e300;
+  const std::int64_t iters = std::max<std::int64_t>(3, reps * 3);
+  for (std::int64_t it = 0; it < iters; ++it) {
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      save_snapshot(shadow.ctl, snap, 0);
+      save_best = std::min(save_best, seconds_since(t0));
+    }
+    {
+      AdmissionController fresh(opts);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)load_snapshot(fresh, snap);
+      load_best = std::min(load_best, seconds_since(t0));
+    }
+  }
+  {
+    std::ifstream f(snap, std::ios::binary | std::ios::ate);
+    row.snapshot_bytes = static_cast<std::size_t>(f.tellg());
+  }
+  row.save_ns = save_best * 1e9;
+  row.load_ns = load_best * 1e9;
+
+  // Journal throughput: admit records for the resident tasks, cycled.
+  TaskSet resident = shadow.ctl.snapshot();
+  if (resident.empty()) resident.add(make_implicit_task(1, 10));
+  const std::size_t appends = 4096;
+  double append_best = 1e300;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    persist::Journal journal = persist::Journal::create(wal);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < appends; ++i) {
+      (void)journal.append(
+          journal_codec::admit(resident[i % resident.size()]));
+    }
+    append_best = std::min(append_best, seconds_since(t0));
+  }
+  row.append_ns = append_best * 1e9 / static_cast<double>(appends);
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -745,6 +827,22 @@ int main(int argc, char** argv) {
                        row.old_ns, row.view_ns, row.speedup);
     }
 
+    // Durability costs: snapshot save/load + journal append (reported,
+    // not gated — these run beside the decision path).
+    std::vector<PersistRow> persists;
+    for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
+      const PersistRow row =
+          run_persist_cell(n, epsilon, setup.seed + 17 * n, setup.sets);
+      persists.push_back(row);
+      std::printf("%-10s %6zu %6s %8zu %12.0fns %12.0fns (save/load; "
+                  "%.0fns/journal-append)\n",
+                  "persist", row.n, "-", row.snapshot_bytes, row.save_ns,
+                  row.load_ns, row.append_ns);
+      setup.csv.row_of("persist", static_cast<long long>(row.n), 0.0,
+                       static_cast<long long>(row.snapshot_bytes),
+                       row.save_ns, row.load_ns, row.append_ns);
+    }
+
     // Headlines: the saturated large-set admission and batch cells.
     const AdmissionRow* headline = nullptr;
     for (const AdmissionRow& row : admission) {
@@ -757,7 +855,7 @@ int main(int argc, char** argv) {
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 2LL)
+        .kv("schema", 3LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -820,6 +918,17 @@ int main(int argc, char** argv) {
           .kv("old_ns_per_query", row.old_ns)
           .kv("view_ns_per_query", row.view_ns)
           .kv("speedup", row.speedup)
+          .end();
+    }
+    json.end();
+    json.begin_array("persist");
+    for (const PersistRow& row : persists) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("snapshot_bytes", static_cast<long long>(row.snapshot_bytes))
+          .kv("save_ns", row.save_ns)
+          .kv("load_ns", row.load_ns)
+          .kv("journal_append_ns", row.append_ns)
           .end();
     }
     json.end();

@@ -6,6 +6,8 @@
 ///                      [--events 500] [--epsilon 0.1]
 ///                      [--placement first-fit|worst-fit|best-fit]
 ///                      [--utilization 0.9] [--seed N]
+///                      [--snapshot engine.snap] [--journal engine.wal]
+///                      [--checkpoint-ms 250] [--fsync none|record]
 ///
 /// Each stream generates its own churn trace (gen/scenario §5 workload)
 /// and pushes arrivals through the engine's worker pool via submit();
@@ -13,9 +15,21 @@
 /// merged engine statistics and a from-scratch exact re-analysis of
 /// every shard — which must come back Feasible (the admission
 /// invariant).
+///
+/// Durability (admission/snapshot.hpp): with --snapshot/--journal the
+/// server recovers any existing state on startup (snapshot + committed
+/// journal suffix), journals every committed placement, and checkpoints
+/// periodically from a background thread. SIGTERM drains the client
+/// streams at the next event boundary, then flushes one final snapshot
+/// and fsyncs the journal before exiting — a restart resumes from
+/// exactly that state.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -23,12 +37,18 @@
 
 #include "admission/engine.hpp"
 #include "admission/replay.hpp"
+#include "admission/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 
 namespace {
 
 using namespace edfkit;
+
+/// SIGTERM drains the streams; the flush happens on the main thread.
+std::atomic<bool> g_stop{false};
+
+void on_sigterm(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 PlacementPolicy parse_placement(const std::string& s) {
   for (const PlacementPolicy p :
@@ -45,6 +65,7 @@ void run_stream(AdmissionEngine& engine, const std::vector<TraceEvent>& trace,
                 std::uint64_t* admitted, std::uint64_t* rejected) {
   std::unordered_map<std::uint64_t, GlobalTaskId> resident;
   for (const TraceEvent& ev : trace) {
+    if (g_stop.load(std::memory_order_relaxed)) return;  // SIGTERM drain
     if (ev.op == TraceOp::Arrive) {
       const PlacementDecision d = engine.submit(ev.task).get();
       if (d.admitted) {
@@ -84,7 +105,55 @@ int main(int argc, char** argv) {
     const auto seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 20050307));
 
+    const std::string snapshot_path = flags.get("snapshot", "");
+    const std::string journal_path = flags.get("journal", "");
+    const auto checkpoint_ms = flags.get_int("checkpoint-ms", 250);
+    const std::string fsync_name = flags.get("fsync", "none");
+    persist::JournalOptions jopts;
+    if (fsync_name == "record") {
+      jopts.fsync = persist::FsyncPolicy::EveryRecord;
+    } else if (fsync_name != "none") {
+      throw std::invalid_argument("unknown --fsync '" + fsync_name + "'");
+    }
+
+    // The journal outlives the engine (declared first, destroyed last):
+    // worker threads may append until the engine's destructor joins
+    // them.
+    std::optional<persist::Journal> journal;
     AdmissionEngine engine(opts);
+
+    // Resume whatever a previous process left behind, then arm
+    // durability for this run. Recovery runs before any stream starts
+    // (the engine is not serving yet).
+    if (!snapshot_path.empty() || !journal_path.empty()) {
+      const RecoveryResult rec =
+          recover(engine, snapshot_path, journal_path);
+      std::printf("recovery: snapshot %s(lsn=%llu), %llu/%llu journal "
+                  "records replayed%s%s, %zu resident\n",
+                  rec.snapshot_loaded ? "loaded " : "absent ",
+                  static_cast<unsigned long long>(rec.snapshot_lsn),
+                  static_cast<unsigned long long>(rec.replayed),
+                  static_cast<unsigned long long>(rec.journal_records),
+                  rec.torn_tail ? ", torn tail dropped" : "",
+                  rec.skipped != 0 ? ", some records skipped" : "",
+                  engine.stats().resident);
+    }
+    if (!journal_path.empty()) {
+      journal.emplace(persist::Journal::open_append(journal_path, jopts));
+      engine.attach_journal(&*journal);
+    }
+    std::optional<CheckpointDaemon> checkpointer;
+    if (!snapshot_path.empty()) {
+      checkpointer.emplace(engine, snapshot_path,
+                           std::chrono::milliseconds(checkpoint_ms),
+                           journal.has_value() ? &*journal : nullptr);
+    }
+    if (!snapshot_path.empty() || !journal_path.empty()) {
+      // Journal-only runs need the graceful drain too: SIGTERM must
+      // end in a journal fsync, not a mid-append kill.
+      std::signal(SIGTERM, on_sigterm);
+    }
+
     const std::string workers =
         opts.workers == 0 ? "auto" : std::to_string(opts.workers);
     std::printf("admission server: %zu shards, %s workers, %s placement, "
@@ -129,6 +198,19 @@ int main(int argc, char** argv) {
     std::printf("\n%llu events in %.3fs -> %.0f decisions/sec\n",
                 static_cast<unsigned long long>(events), secs,
                 static_cast<double>(events) / secs);
+
+    // Durable shutdown: one final snapshot + journal fsync while the
+    // engine is quiesced (streams joined above). This is the same path
+    // a SIGTERM drain takes — a restart resumes from exactly here.
+    if (checkpointer.has_value()) checkpointer->flush_now();
+    if (journal.has_value()) journal->sync();
+    if (g_stop.load(std::memory_order_relaxed)) {
+      std::printf("SIGTERM: streams drained, state flushed to %s%s%s\n",
+                  snapshot_path.c_str(),
+                  snapshot_path.empty() || journal_path.empty() ? ""
+                                                                : " + ",
+                  journal_path.c_str());
+    }
 
     // The admission invariant: every shard's resident set is provably
     // feasible under an exact from-scratch test.

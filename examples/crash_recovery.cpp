@@ -1,0 +1,282 @@
+/// \file crash_recovery.cpp
+/// Kill-and-recover harness: the executable proof that the durable
+/// admission state (admission/snapshot.hpp) survives a real process
+/// death — the crash-recovery CI job runs this on a seed matrix.
+///
+///   ./crash_recovery [--seed N] [--trials 3] [--events 8000]
+///                    [--snapshot-every 48] [--kill-min-ms 5]
+///                    [--kill-max-ms 120] [--dir crash-scratch]
+///                    [--fsync none|record]
+///
+/// Each trial:
+///   1. fork() a child that replays a deterministic group-churn trace
+///      (U -> 1, mixed singles/groups/departures) through an
+///      AdmissionController with journaling + periodic snapshots, then
+///      SIGKILL it at a random point mid-churn (no warning, no flush —
+///      exactly a crash).
+///   2. Recover two controllers from the orphaned artifacts:
+///        recovered — snapshot + journal-suffix replay (the production
+///                    path), and
+///        twin      — cold journal-only replay of the full op stream
+///                    (the "uninterrupted" reference: every operation
+///                    the dead process committed, re-executed from
+///                    scratch).
+///   3. Assert the two are bit-identical: resident sets, store headers
+///      (epoch excluded — epochs count publications per process),
+///      stats, and refinement levels per id.
+///   4. Drive BOTH through a fresh continuation churn trace and assert
+///      decision-stream equality event for event, then
+///      verify_consistency() on each.
+///
+/// Exit 0 = all trials passed. Exit 1 = divergence (the scratch dir is
+/// left in place — CI uploads it as the failure artifact). Exit 2 =
+/// harness error.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "admission/replay.hpp"
+#include "admission/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace edfkit;
+
+AdmissionOptions controller_options() {
+  AdmissionOptions opts;
+  opts.epsilon = 0.25;
+  // Rung <= 2 keeps child runs fast; decisions stay deterministic (the
+  // full ladder is deterministic too, just slower under SIGKILL loops).
+  opts.skip_exact = true;
+  return opts;
+}
+
+std::vector<TraceEvent> churn_trace(std::uint64_t seed, std::size_t events,
+                                    std::size_t warmup) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = warmup;
+  churn.events = events;
+  churn.pool_utilization = 0.99;  // ride the admission boundary
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 40;
+  churn.group_probability = 0.35;
+  churn.group_size = 5;
+  Rng rng(seed);
+  return generate_churn_trace(rng, churn);
+}
+
+/// Continuation stepper: one event against one controller, tracking
+/// key -> ids so departures withdraw what this controller admitted.
+struct Stepper {
+  AdmissionController& ctl;
+  std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> live;
+
+  bool step(const TraceEvent& ev) {
+    if (ev.op == TraceOp::Depart) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first != ev.key) continue;
+        (void)ctl.remove_group(live[i].second);
+        live[i] = live.back();
+        live.pop_back();
+        break;
+      }
+      return true;
+    }
+    if (ev.op == TraceOp::Crash) return true;
+    if (ev.op == TraceOp::ArriveGroup) {
+      GroupDecision d = ctl.admit_group(ev.group);
+      if (d.admitted) live.emplace_back(ev.key, std::move(d.ids));
+      return d.admitted;
+    }
+    const AdmissionDecision d = ctl.try_admit(ev.task);
+    if (d.admitted) live.emplace_back(ev.key, std::vector<TaskId>{d.id});
+    return d.admitted;
+  }
+};
+
+bool headers_equal(const StoreHeader& a, const StoreHeader& b) {
+  // Everything but the epoch, which counts publications per process.
+  return a.residents == b.residents && a.constrained == b.constrained &&
+         a.live_checkpoints == b.live_checkpoints &&
+         a.dead_checkpoints == b.dead_checkpoints &&
+         a.segments == b.segments && a.utilization == b.utilization &&
+         a.cert_ratio == b.cert_ratio;
+}
+
+bool resident_equal(const TaskSet& a, const TaskSet& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+/// One fork/kill/recover/compare cycle. Returns true on success.
+bool run_trial(std::uint64_t seed, int trial, const std::string& dir,
+               std::size_t events, std::size_t snapshot_every,
+               Time kill_min_ms, Time kill_max_ms,
+               persist::FsyncPolicy fsync) {
+  const std::string snap = dir + "/ctl.snap";
+  const std::string wal = dir + "/ctl.wal";
+  std::remove(snap.c_str());
+  std::remove((snap + ".tmp").c_str());
+  std::remove(wal.c_str());
+
+  const std::uint64_t trial_seed = seed + 1000003u * static_cast<std::uint64_t>(trial);
+  const std::vector<TraceEvent> trace = churn_trace(trial_seed, events, 40);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    // Child: churn with durability until killed (or until the trace
+    // ends — a fast finish is fine, recovery then sees a complete run).
+    try {
+      AdmissionController ctl(controller_options());
+      ReplayPersistence persistence;
+      persistence.snapshot_path = snap;
+      persistence.journal_path = wal;
+      persistence.snapshot_every = snapshot_every;
+      persistence.fsync = fsync;
+      (void)replay_trace(trace, ctl, persistence);
+    } catch (...) {
+      _exit(3);
+    }
+    _exit(0);
+  }
+
+  Rng kill_rng(trial_seed ^ 0xDEADu);
+  const Time delay_ms = kill_rng.uniform_time(kill_min_ms, kill_max_ms);
+  ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+
+  // Recover the production way (snapshot + suffix) and the reference
+  // way (cold full-journal replay).
+  AdmissionController recovered(controller_options());
+  const RecoveryResult rec = recover(recovered, snap, wal);
+  AdmissionController twin(controller_options());
+  const RecoveryResult ref = recover(twin, "", wal);
+
+  std::printf(
+      "trial %d: killed=%d after %lldms | journal=%llu records%s | "
+      "snapshot %s(lsn=%llu) +%llu replayed | resident=%zu U=%.4f\n",
+      trial, killed ? 1 : 0, static_cast<long long>(delay_ms),
+      static_cast<unsigned long long>(rec.journal_records),
+      rec.torn_tail ? " (torn tail dropped)" : "",
+      rec.snapshot_loaded ? "loaded " : "absent ",
+      static_cast<unsigned long long>(rec.snapshot_lsn),
+      static_cast<unsigned long long>(rec.replayed), recovered.size(),
+      recovered.utilization());
+  if (ref.replayed != ref.journal_records) {
+    std::fprintf(stderr, "FAIL: cold twin replayed %llu of %llu records\n",
+                 static_cast<unsigned long long>(ref.replayed),
+                 static_cast<unsigned long long>(ref.journal_records));
+    return false;
+  }
+
+  if (!resident_equal(recovered.snapshot(), twin.snapshot())) {
+    std::fprintf(stderr, "FAIL: recovered resident set != twin\n");
+    return false;
+  }
+  if (!headers_equal(recovered.demand_header(), twin.demand_header())) {
+    std::fprintf(stderr, "FAIL: recovered store header != twin\n");
+    return false;
+  }
+  if (recovered.stats().to_string() != twin.stats().to_string()) {
+    std::fprintf(stderr, "FAIL: recovered stats != twin\n  rec:  %s\n  twin: %s\n",
+                 recovered.stats().to_string().c_str(),
+                 twin.stats().to_string().c_str());
+    return false;
+  }
+
+  // Decision-stream equality under continued churn: identical states
+  // must keep making identical decisions.
+  const std::vector<TraceEvent> continuation =
+      churn_trace(trial_seed ^ 0xC0FFEEu, events / 2, 0);
+  Stepper a{recovered, {}};
+  Stepper b{twin, {}};
+  for (std::size_t i = 0; i < continuation.size(); ++i) {
+    const bool da = a.step(continuation[i]);
+    const bool db = b.step(continuation[i]);
+    if (da != db) {
+      std::fprintf(stderr,
+                   "FAIL: continuation decision diverged at event %zu "
+                   "(recovered=%d twin=%d)\n",
+                   i, da ? 1 : 0, db ? 1 : 0);
+      return false;
+    }
+  }
+  if (!headers_equal(recovered.demand_header(), twin.demand_header())) {
+    std::fprintf(stderr, "FAIL: headers diverged after continuation\n");
+    return false;
+  }
+  if (!recovered.verify_consistency() || !twin.verify_consistency()) {
+    std::fprintf(stderr, "FAIL: recovered store fails its own rebuild\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const auto seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 20050307));
+    const int trials = static_cast<int>(flags.get_int("trials", 3));
+    const auto events =
+        static_cast<std::size_t>(flags.get_int("events", 8000));
+    const auto snapshot_every =
+        static_cast<std::size_t>(flags.get_int("snapshot-every", 48));
+    const Time kill_min = flags.get_int("kill-min-ms", 5);
+    const Time kill_max = flags.get_int("kill-max-ms", 120);
+    const std::string dir = flags.get("dir", "crash-scratch");
+    const std::string fsync_name = flags.get("fsync", "none");
+    persist::FsyncPolicy fsync = persist::FsyncPolicy::None;
+    if (fsync_name == "record") {
+      fsync = persist::FsyncPolicy::EveryRecord;
+    } else if (fsync_name != "none") {
+      throw std::invalid_argument("unknown --fsync '" + fsync_name + "'");
+    }
+    ::mkdir(dir.c_str(), 0755);
+
+    std::printf("crash recovery harness: seed=%llu trials=%d events=%zu "
+                "snapshot-every=%zu kill=[%lld,%lld]ms fsync=%s\n\n",
+                static_cast<unsigned long long>(seed), trials, events,
+                snapshot_every, static_cast<long long>(kill_min),
+                static_cast<long long>(kill_max), fsync_name.c_str());
+
+    for (int t = 0; t < trials; ++t) {
+      if (!run_trial(seed, t, dir, events, snapshot_every, kill_min,
+                     kill_max, fsync)) {
+        std::fprintf(stderr,
+                     "\ntrial %d FAILED (seed %llu) — artifacts kept in "
+                     "%s/\n",
+                     t, static_cast<unsigned long long>(seed), dir.c_str());
+        return 1;
+      }
+    }
+    std::printf("\nall %d trials: recovered store bit-identical to the "
+                "uninterrupted twin\n",
+                trials);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

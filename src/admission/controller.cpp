@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "admission/snapshot.hpp"
+#include "persist/journal.hpp"
 #include "query/query.hpp"
 
 namespace edfkit {
@@ -77,6 +79,10 @@ AdmissionController::AdmissionController(AdmissionOptions opts)
 
 AdmissionDecision AdmissionController::try_admit(const Task& t) {
   t.validate();
+  // Write-ahead: the offered operation is durable before it executes,
+  // so journal replay re-runs this exact call (rejections included —
+  // their tentative insert consumes a TaskId and may learn refinement).
+  if (journal_ != nullptr) journal_->append(journal_codec::admit(t));
   AdmissionDecision d;
   d.sequence = ++sequence_;
   ++stats_.arrivals;
@@ -181,6 +187,9 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
 
 GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   for (const Task& t : group) t.validate();  // before any mutation
+  if (journal_ != nullptr) {
+    journal_->append(journal_codec::admit_group(group));
+  }
   GroupDecision d;
   d.sequence = ++sequence_;
   ++stats_.groups;
@@ -309,12 +318,19 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
 }
 
 bool AdmissionController::remove(TaskId id) {
+  // Journaled even when the id turns out unknown: replaying a no-op
+  // remove is a no-op, and recording before executing keeps the WAL
+  // ordering uniform.
+  if (journal_ != nullptr) journal_->append(journal_codec::remove(id));
   if (!demand_.remove(id)) return false;
   ++stats_.removals;
   return true;
 }
 
 std::size_t AdmissionController::remove_group(std::span<const TaskId> ids) {
+  if (journal_ != nullptr) {
+    journal_->append(journal_codec::remove_group(ids));
+  }
   const std::size_t gone = demand_.remove_group(ids);
   stats_.removals += gone;
   return gone;

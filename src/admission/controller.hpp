@@ -34,6 +34,10 @@
 
 namespace edfkit {
 
+namespace persist {
+class Journal;
+}
+
 /// Which ladder rung produced a decision.
 enum class AdmissionRung : std::uint8_t {
   Structural,   ///< capacity policy (max_tasks / utilization_cap), no analysis
@@ -202,11 +206,30 @@ class AdmissionController {
     return demand_.matches_rebuild();
   }
 
+  /// Write-ahead journaling (admission/snapshot.hpp): while attached,
+  /// every offered operation — try_admit, admit_group, remove,
+  /// remove_group, *including* rejected admits, whose tentative
+  /// insert/remove cycle consumes a TaskId and may refine levels —
+  /// appends one record before it executes, so replaying the journal
+  /// through these same entry points reproduces the store
+  /// bit-identically. Pass nullptr to detach (recovery replays
+  /// detached). The journal must outlive the attachment.
+  void attach_journal(persist::Journal* journal) noexcept {
+    journal_ = journal;
+  }
+  [[nodiscard]] persist::Journal* journal() const noexcept {
+    return journal_;
+  }
+
  private:
+  /// Snapshot save/load reaches every field (admission/snapshot.cpp).
+  friend struct SnapshotCodec;
+
   AdmissionOptions opts_;
   IncrementalDemand demand_;
   AdmissionStats stats_;
   std::uint64_t sequence_ = 0;
+  persist::Journal* journal_ = nullptr;
 };
 
 /// The ladder's test selection as analyzer kinds, in escalation order —

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "admission/snapshot.hpp"
+#include "persist/journal.hpp"
+
 namespace edfkit {
 
 const char* to_string(PlacementPolicy p) noexcept {
@@ -128,6 +131,12 @@ PlacementDecision AdmissionEngine::admit(const Task& t) {
       d = s.controller.try_admit(t);
       s.load.store(s.controller.utilization(), std::memory_order_relaxed);
       s.publish();
+      // Journal committed placements from inside the critical section
+      // so the per-shard record order equals the apply order.
+      persist::Journal* j = journal_.load(std::memory_order_acquire);
+      if (j != nullptr && d.admitted) {
+        j->append(journal_codec::engine_admit(i, d.id, t));
+      }
     }
     ++out.shards_tried;
     out.rung = d.rung;
@@ -153,6 +162,13 @@ GroupPlacement AdmissionEngine::admit_group(std::span<const Task> group) {
       d = s.controller.admit_group(group);
       s.load.store(s.controller.utilization(), std::memory_order_relaxed);
       s.publish();
+      persist::Journal* j = journal_.load(std::memory_order_acquire);
+      if (j != nullptr && d.admitted) {
+        std::vector<GlobalTaskId> assigned;
+        assigned.reserve(d.ids.size());
+        for (const TaskId id : d.ids) assigned.push_back({i, id});
+        j->append(journal_codec::engine_admit_group(i, assigned, group));
+      }
     }
     ++out.shards_tried;
     out.rung = d.rung;
@@ -176,6 +192,8 @@ bool AdmissionEngine::remove(GlobalTaskId id) {
   if (removed) {
     s.load.store(s.controller.utilization(), std::memory_order_relaxed);
     s.publish();
+    persist::Journal* j = journal_.load(std::memory_order_acquire);
+    if (j != nullptr) j->append(journal_codec::engine_remove(id));
   }
   return removed;
 }

@@ -162,7 +162,25 @@ class AdmissionEngine {
   [[nodiscard]] FeasibilityResult analyze_shard(
       std::size_t i, TestKind kind = TestKind::ProcessorDemand) const;
 
+  /// Engine-level write-ahead journaling (admission/snapshot.hpp):
+  /// while attached, every *committed* state change — a successful
+  /// admit/admit_group (with the shard it landed on and the ids it was
+  /// assigned) or a successful remove — appends one shard-qualified
+  /// record from inside the shard's critical section, so the per-shard
+  /// record order equals the per-shard apply order. Rejected placements
+  /// are not journaled: engine recovery restores the resident sets and
+  /// the admission invariant, not the rejected-probe side effects (see
+  /// README "Durability" for the contrast with controller-level
+  /// journaling, which is bit-identical). The journal must outlive the
+  /// attachment; Journal::append is thread-safe.
+  void attach_journal(persist::Journal* journal) noexcept {
+    journal_.store(journal, std::memory_order_release);
+  }
+
  private:
+  /// Snapshot save/load composes per-shard sections (admission/snapshot.cpp).
+  friend struct SnapshotCodec;
+
   struct Shard {
     mutable std::mutex mu;
     AdmissionController controller;
@@ -204,6 +222,7 @@ class AdmissionEngine {
 
   EngineOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<persist::Journal*> journal_{nullptr};
 
   // Worker pool (spawned lazily under queue_mu_ by the first submit).
   mutable std::mutex queue_mu_;

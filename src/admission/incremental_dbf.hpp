@@ -126,6 +126,10 @@
 
 namespace edfkit {
 
+/// Serializes/deserializes the store field-for-field (admission
+/// snapshots — see admission/snapshot.hpp).
+struct SnapshotCodec;
+
 /// Stable handle for a resident task. Never reused within one structure.
 using TaskId = std::uint64_t;
 inline constexpr TaskId kInvalidTaskId = 0;
@@ -344,6 +348,11 @@ class IncrementalDemand {
   [[nodiscard]] bool matches_rebuild() const;
 
  private:
+  /// Snapshot save/load touches every field (admission/snapshot.cpp);
+  /// the decode path restores them one-for-one so a loaded store makes
+  /// bit-identical decisions.
+  friend struct SnapshotCodec;
+
   /// One step checkpoint: total demand jump at this interval. Kept
   /// small (24 bytes) — this is both the scan's hot array and the bulk
   /// of per-update memmove traffic. refs == 0 (implying step == 0) is a

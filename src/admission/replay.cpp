@@ -1,12 +1,14 @@
 #include "admission/replay.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 
+#include "admission/snapshot.hpp"
 #include "gen/scenario.hpp"
 
 namespace edfkit {
@@ -39,12 +41,19 @@ void refill_pool(std::vector<Task>& pool, Rng& rng, const ChurnConfig& cfg) {
 /// admitted or already left); `utilization` is a cheap (lock-free)
 /// load probe — resident counts derive from the replay's own
 /// bookkeeping.
-template <typename AdmitFn, typename DepartFn, typename UtilFn>
+template <typename AdmitFn, typename DepartFn, typename UtilFn,
+          typename CrashFn>
 ReplayStats replay_core(const std::vector<TraceEvent>& trace, AdmitFn admit,
-                        DepartFn depart, UtilFn utilization) {
+                        DepartFn depart, UtilFn utilization,
+                        CrashFn crash) {
   ReplayStats out;
   std::size_t resident = 0;
   for (const TraceEvent& ev : trace) {
+    if (ev.op == TraceOp::Crash) {
+      ++out.crashes;
+      crash();
+      continue;
+    }
     if (ev.op != TraceOp::Depart) {
       const std::size_t tasks =
           ev.op == TraceOp::Arrive ? 1 : ev.group.size();
@@ -91,6 +100,10 @@ void ChurnConfig::validate() const {
   if (group_probability > 0.0 && group_size == 0) {
     throw std::invalid_argument("ChurnConfig: group_size >= 1 required");
   }
+  if (crash_probability < 0.0 || crash_probability > 1.0) {
+    throw std::invalid_argument(
+        "ChurnConfig: crash_probability in [0,1] required");
+  }
 }
 
 std::vector<TraceEvent> generate_churn_trace(Rng& rng,
@@ -127,6 +140,13 @@ std::vector<TraceEvent> generate_churn_trace(Rng& rng,
 
   for (std::size_t i = 0; i < cfg.warmup_arrivals; ++i) arrive();
   for (std::size_t i = 0; i < cfg.events; ++i) {
+    if (cfg.crash_probability > 0.0 &&
+        rng.bernoulli(cfg.crash_probability)) {
+      TraceEvent ev;
+      ev.op = TraceOp::Crash;
+      trace.push_back(std::move(ev));
+      continue;
+    }
     if (!live.empty() && rng.bernoulli(cfg.depart_probability)) {
       const std::size_t pick = static_cast<std::size_t>(
           rng.uniform_time(0, static_cast<Time>(live.size()) - 1));
@@ -157,11 +177,20 @@ std::string ReplayStats::to_string() const {
        << by_rung[i];
   }
   os << "]";
+  if (crashes != 0) os << " crashes=" << crashes;
+  if (snapshots != 0) os << " snapshots=" << snapshots;
   return os.str();
 }
 
-ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
-                         AdmissionController& controller) {
+namespace {
+
+/// Controller replay body shared by the plain and persistence-enabled
+/// entries: `crash` handles TraceOp::Crash, `after_event` runs once per
+/// non-crash event (the snapshot cadence hook).
+template <typename CrashFn, typename AfterFn>
+ReplayStats replay_controller(const std::vector<TraceEvent>& trace,
+                              AdmissionController& controller,
+                              CrashFn crash, AfterFn after_event) {
   std::unordered_map<std::uint64_t, std::vector<TaskId>> resident;
   return replay_core(
       trace,
@@ -169,22 +198,91 @@ ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
         if (ev.op == TraceOp::ArriveGroup) {
           GroupDecision g = controller.admit_group(ev.group);
           if (g.admitted) resident.emplace(ev.key, std::move(g.ids));
+          after_event();
           return std::tuple(g.admitted, g.rung, g.analysis.effort());
         }
         const AdmissionDecision d = controller.try_admit(ev.task);
         if (d.admitted) {
           resident.emplace(ev.key, std::vector<TaskId>{d.id});
         }
+        after_event();
         return std::tuple(d.admitted, d.rung, d.analysis.effort());
       },
       [&](const TraceEvent& ev) {
         const auto it = resident.find(ev.key);
-        if (it == resident.end()) return std::size_t{0};
+        if (it == resident.end()) {
+          after_event();
+          return std::size_t{0};
+        }
         const std::size_t gone = controller.remove_group(it->second);
         resident.erase(it);
+        after_event();
         return gone;
       },
-      [&] { return controller.utilization(); });
+      [&] { return controller.utilization(); }, crash);
+}
+
+}  // namespace
+
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionController& controller) {
+  return replay_controller(trace, controller, [] {}, [] {});
+}
+
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionController& controller,
+                         const ReplayPersistence& persistence) {
+  persist::JournalOptions jopts;
+  jopts.fsync = persistence.fsync;
+  std::optional<persist::Journal> journal;
+  const auto open_journal = [&] {
+    if (persistence.journal_path.empty()) return;
+    journal.emplace(
+        persist::Journal::open_append(persistence.journal_path, jopts));
+    controller.attach_journal(&*journal);
+  };
+  open_journal();
+
+  std::size_t since_snapshot = 0;
+  std::uint64_t snapshots = 0;
+  const auto maybe_snapshot = [&] {
+    if (persistence.snapshot_path.empty() ||
+        persistence.snapshot_every == 0) {
+      return;
+    }
+    if (++since_snapshot < persistence.snapshot_every) return;
+    since_snapshot = 0;
+    save_snapshot(controller, persistence.snapshot_path,
+                  journal.has_value() ? journal->lsn() : 0);
+    ++snapshots;
+  };
+
+  ReplayStats out;
+  try {
+    out = replay_controller(
+        trace, controller,
+        [&] {
+          // Simulated process death: drop the journal handle, recover
+          // the controller in place from the durable artifacts, and
+          // resume. Recovered ids are bit-identical, so the
+          // caller-visible key bookkeeping stays valid across the
+          // crash.
+          controller.attach_journal(nullptr);
+          journal.reset();
+          (void)recover(controller, persistence.snapshot_path,
+                        persistence.journal_path);
+          open_journal();
+        },
+        maybe_snapshot);
+  } catch (...) {
+    // The journal dies with this scope — never leave the controller
+    // holding a pointer to it.
+    controller.attach_journal(nullptr);
+    throw;
+  }
+  out.snapshots = snapshots;
+  controller.attach_journal(nullptr);
+  return out;
 }
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
@@ -214,7 +312,7 @@ ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
         resident.erase(it);
         return gone;
       },
-      [&] { return engine.utilization_estimate(); });
+      [&] { return engine.utilization_estimate(); }, [] {});
 }
 
 }  // namespace edfkit

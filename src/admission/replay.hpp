@@ -20,11 +20,18 @@
 
 #include "admission/controller.hpp"
 #include "admission/engine.hpp"
+#include "persist/journal.hpp"
 #include "util/random.hpp"
 
 namespace edfkit {
 
-enum class TraceOp : std::uint8_t { Arrive, ArriveGroup, Depart };
+/// Crash marks a process-death point in the trace: the persistence-
+/// enabled controller replay drops all in-memory state there and
+/// recovers from its snapshot + journal before continuing — a
+/// deterministic, fork-free way to exercise the resume path (the CI
+/// harness additionally SIGKILLs a real child process). Replays without
+/// persistence count and skip it.
+enum class TraceOp : std::uint8_t { Arrive, ArriveGroup, Depart, Crash };
 
 struct TraceEvent {
   TraceOp op = TraceOp::Arrive;
@@ -62,6 +69,9 @@ struct ChurnConfig {
   /// traces (the historical shape).
   double group_probability = 0.0;
   std::size_t group_size = 4;
+  /// Probability that a churn event is a TraceOp::Crash marker (the
+  /// persistence replay recovers there; other replays skip it).
+  double crash_probability = 0.0;
 
   void validate() const;
 };
@@ -87,6 +97,11 @@ struct ReplayStats {
   std::uint64_t total_effort = 0;
   std::size_t peak_resident = 0;
   double peak_utilization = 0.0;
+  /// TraceOp::Crash events encountered (recovered through in the
+  /// persistence replay, skipped otherwise).
+  std::uint64_t crashes = 0;
+  /// Snapshots written by the persistence replay.
+  std::uint64_t snapshots = 0;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -94,6 +109,28 @@ struct ReplayStats {
 /// Drive a single controller through the trace, in order.
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
                          AdmissionController& controller);
+
+/// Durability wiring for the persistence-enabled controller replay.
+struct ReplayPersistence {
+  /// Snapshot file; empty = journal-only durability.
+  std::string snapshot_path;
+  /// Journal file (created, or resumed with its torn tail truncated);
+  /// empty = snapshot-only durability.
+  std::string journal_path;
+  /// Trace events between snapshots; 0 = never snapshot mid-run.
+  std::size_t snapshot_every = 0;
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::None;
+};
+
+/// As replay_trace(trace, controller), additionally journaling every
+/// admission operation (controller.attach_journal for the duration),
+/// writing a snapshot every `snapshot_every` events, and servicing
+/// TraceOp::Crash events by recovering the controller in place from
+/// snapshot + journal — the crash/resume driver behind the
+/// crash-recovery CI harness.
+ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
+                         AdmissionController& controller,
+                         const ReplayPersistence& persistence);
 
 /// Drive a sharded engine through the trace, in order (synchronous
 /// admits; concurrency is exercised by submitting multiple independent

@@ -1,0 +1,870 @@
+#include "admission/snapshot.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "persist/format.hpp"
+
+namespace edfkit {
+namespace {
+
+using persist::PersistErrc;
+using persist::PersistError;
+
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecController = 2;
+constexpr std::uint32_t kSecEngine = 3;
+constexpr std::uint32_t kSecShard = 4;
+
+void encode_task(ByteWriter& w, const Task& t) {
+  w.i64(t.wcet);
+  w.i64(t.deadline);
+  w.i64(t.period);
+  w.i64(t.jitter);
+  w.str(t.name);
+}
+
+Task decode_task(ByteReader& r) {
+  Task t;
+  t.wcet = r.i64();
+  t.deadline = r.i64();
+  t.period = r.i64();
+  t.jitter = r.i64();
+  t.name = r.str();
+  return t;
+}
+
+void encode_pair(ByteWriter& w, const ScaledPair& p) {
+  w.i128(p.lo);
+  w.i128(p.hi);
+}
+
+ScaledPair decode_pair(ByteReader& r) {
+  ScaledPair p;
+  p.lo = r.i128();
+  p.hi = r.i128();
+  return p;
+}
+
+void encode_optional_time(ByteWriter& w, const std::optional<Time>& v) {
+  w.boolean(v.has_value());
+  w.i64(v.value_or(0));
+}
+
+std::optional<Time> decode_optional_time(ByteReader& r) {
+  const bool has = r.boolean();
+  const Time v = r.i64();
+  return has ? std::optional<Time>(v) : std::nullopt;
+}
+
+void encode_meta(persist::SectionWriter& sw, SnapshotKind kind,
+                 std::uint64_t lsn) {
+  ByteWriter& w = sw.begin(kSecMeta);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(lsn);
+}
+
+SnapshotMeta decode_meta(const persist::SectionReader& sr,
+                         SnapshotKind want) {
+  ByteReader r = sr.section(kSecMeta);
+  SnapshotMeta meta;
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(SnapshotKind::Controller) &&
+      kind != static_cast<std::uint8_t>(SnapshotKind::Engine)) {
+    throw PersistError(PersistErrc::BadValue, "unknown snapshot kind");
+  }
+  meta.kind = static_cast<SnapshotKind>(kind);
+  meta.journal_lsn = r.u64();
+  if (meta.kind != want) {
+    throw PersistError(PersistErrc::BadValue,
+                       meta.kind == SnapshotKind::Engine
+                           ? "engine snapshot loaded as controller"
+                           : "controller snapshot loaded as engine");
+  }
+  return meta;
+}
+
+/// One decoded journal record (union-style: only the op's fields are
+/// meaningful).
+struct Record {
+  JournalOp op;
+  Task task;
+  std::vector<Task> group;
+  TaskId id = kInvalidTaskId;
+  std::vector<TaskId> ids;
+  std::uint32_t shard = 0;
+  std::vector<TaskId> assigned;
+};
+
+Record decode_record(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  Record rec;
+  const std::uint8_t tag = r.u8();
+  rec.op = static_cast<JournalOp>(tag);
+  switch (rec.op) {
+    case JournalOp::Admit:
+      rec.task = decode_task(r);
+      break;
+    case JournalOp::AdmitGroup: {
+      const std::uint32_t n = r.u32();
+      rec.group.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.group.push_back(decode_task(r));
+      }
+      break;
+    }
+    case JournalOp::Remove:
+      rec.id = r.u64();
+      break;
+    case JournalOp::RemoveGroup: {
+      const std::uint32_t n = r.u32();
+      rec.ids.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) rec.ids.push_back(r.u64());
+      break;
+    }
+    case JournalOp::EngineAdmit:
+      rec.shard = r.u32();
+      rec.id = r.u64();
+      rec.task = decode_task(r);
+      break;
+    case JournalOp::EngineAdmitGroup: {
+      rec.shard = r.u32();
+      const std::uint32_t n = r.u32();
+      rec.assigned.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) rec.assigned.push_back(r.u64());
+      rec.group.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.group.push_back(decode_task(r));
+      }
+      break;
+    }
+    case JournalOp::EngineRemove:
+      rec.shard = r.u32();
+      rec.id = r.u64();
+      break;
+    default:
+      throw PersistError(PersistErrc::BadValue,
+                         "unknown journal record tag " +
+                             std::to_string(tag));
+  }
+  if (!r.exhausted()) {
+    throw PersistError(PersistErrc::BadValue,
+                       "journal record has trailing bytes");
+  }
+  return rec;
+}
+
+}  // namespace
+
+namespace journal_codec {
+
+std::vector<std::uint8_t> admit(const Task& t) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::Admit));
+  encode_task(w, t);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> admit_group(std::span<const Task> group) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::AdmitGroup));
+  w.u32(static_cast<std::uint32_t>(group.size()));
+  for (const Task& t : group) encode_task(w, t);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> remove(TaskId id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::Remove));
+  w.u64(id);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> remove_group(std::span<const TaskId> ids) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::RemoveGroup));
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const TaskId id : ids) w.u64(id);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> engine_admit(std::uint32_t shard, TaskId assigned,
+                                       const Task& t) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::EngineAdmit));
+  w.u32(shard);
+  w.u64(assigned);
+  encode_task(w, t);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> engine_admit_group(
+    std::uint32_t shard, std::span<const GlobalTaskId> assigned,
+    std::span<const Task> group) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::EngineAdmitGroup));
+  w.u32(shard);
+  w.u32(static_cast<std::uint32_t>(assigned.size()));
+  for (const GlobalTaskId id : assigned) w.u64(id.local);
+  for (const Task& t : group) encode_task(w, t);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> engine_remove(GlobalTaskId id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::EngineRemove));
+  w.u32(id.shard);
+  w.u64(id.local);
+  return std::move(w).take();
+}
+
+}  // namespace journal_codec
+
+/// Field-for-field (de)serialization of the admission state. Every
+/// member the decision paths read is written out and restored verbatim
+/// — this is what makes a loaded store bit-identical to the live one.
+/// Transient scratch (corner buffer, refine-log plumbing, the lazily
+/// materialized exact rational) is reset instead, and the epoch header
+/// is re-published rather than restored (epoch counts publications of
+/// *this process*; readers compare header fields, not epochs, across
+/// restarts).
+struct SnapshotCodec {
+  static void encode_demand(const IncrementalDemand& d, ByteWriter& w) {
+    w.i64(d.k_);
+    w.boolean(d.use_slack_index_);
+    w.boolean(d.eager_compact_);
+    w.boolean(d.index_engaged_);
+    w.u64(d.engage_at_);
+    w.u64(d.disengage_below_);
+    w.u64(d.next_id_);
+
+    const std::span<const Task> rows = d.view_.tasks();
+    w.u64(rows.size());
+    for (const Task& t : rows) encode_task(w, t);
+    for (std::size_t row = 0; row < rows.size(); ++row) {
+      w.i64(d.levels_[row]);
+    }
+    for (std::size_t row = 0; row < rows.size(); ++row) {
+      w.i64(d.borders_of_row_[row]);
+    }
+
+    // id -> slot index, tombstones included (slots are translated to
+    // dense rows: the loaded view re-assigns slot i to row i).
+    w.u64(d.id_index_.size());
+    for (const auto& [id, slot] : d.id_index_) {
+      w.u64(id);
+      w.u32(slot == TaskView::kInvalidSlot
+                ? TaskView::kInvalidSlot
+                : static_cast<std::uint32_t>(d.view_.row_of(slot)));
+    }
+    w.u64(d.dead_ids_);
+
+    w.u64(d.segs_.size());
+    for (const IncrementalDemand::Segment& g : d.segs_) {
+      w.i64(g.lo);
+      w.i64(g.hi);
+      w.i64(g.step_sum);
+      encode_pair(w, g.slope_sum);
+      encode_pair(w, g.offset_sum);
+      w.f64(g.min_ratio);
+      w.u64(g.dead);
+      w.u64(g.dead_borders);
+      w.u64(g.steps.size());
+      for (const IncrementalDemand::StepEntry& e : g.steps) {
+        w.i64(e.at);
+        w.i64(e.step);
+        w.i64(e.refs);
+      }
+      w.u64(g.borders.size());
+      for (const IncrementalDemand::BorderEntry& e : g.borders) {
+        w.i64(e.at);
+        w.i64(e.refs);
+        encode_pair(w, e.slope);
+        encode_pair(w, e.offset);
+      }
+    }
+    w.u64(d.total_steps_);
+    w.u64(d.dead_steps_);
+    w.u64(d.seg_built_steps_);
+
+    encode_pair(w, d.util_scaled_);
+    encode_pair(w, d.kay_);
+    w.i64(d.d_max_);
+    w.boolean(d.d_max_stale_);
+    for (const Time x : d.cert_x_) w.i64(x);
+    for (const Int128 c : d.cert_region_) w.i128(c);
+    w.i128(d.cert_lo_);
+    w.boolean(d.cert_dead_);
+    w.u64(d.constrained_);
+  }
+
+  static void decode_demand(IncrementalDemand& d, ByteReader& r) {
+    d.k_ = r.i64();
+    if (d.k_ < 1) {
+      throw PersistError(PersistErrc::BadValue, "k < 1");
+    }
+    d.use_slack_index_ = r.boolean();
+    d.eager_compact_ = r.boolean();
+    d.index_engaged_ = r.boolean();
+    d.engage_at_ = r.u64();
+    d.disengage_below_ = r.u64();
+    d.next_id_ = r.u64();
+
+    const std::uint64_t n = r.u64();
+    d.view_ = TaskView{};
+    d.view_.reserve(n);
+    for (std::uint64_t row = 0; row < n; ++row) {
+      // Fresh views assign slot i to row i, so the serialized rows of
+      // the id index stay valid as slots.
+      const TaskView::Slot slot = d.view_.add(decode_task(r));
+      if (slot != row) {
+        throw PersistError(PersistErrc::BadValue, "non-dense view slots");
+      }
+    }
+    d.levels_.assign(n, 0);
+    for (std::uint64_t row = 0; row < n; ++row) d.levels_[row] = r.i64();
+    d.borders_of_row_.assign(n, 0);
+    for (std::uint64_t row = 0; row < n; ++row) {
+      d.borders_of_row_[row] = r.i64();
+    }
+
+    const std::uint64_t index_n = r.u64();
+    d.id_index_.clear();
+    d.id_index_.reserve(index_n);
+    std::vector<std::uint8_t> row_seen(n, 0);
+    TaskId prev_id = 0;
+    for (std::uint64_t i = 0; i < index_n; ++i) {
+      const TaskId id = r.u64();
+      const std::uint32_t row = r.u32();
+      if (id <= prev_id || id >= d.next_id_) {
+        throw PersistError(PersistErrc::BadValue, "id index not sorted");
+      }
+      prev_id = id;
+      if (row != TaskView::kInvalidSlot) {
+        if (row >= n || row_seen[row] != 0) {
+          throw PersistError(PersistErrc::BadValue, "id index row");
+        }
+        row_seen[row] = 1;
+      }
+      d.id_index_.emplace_back(id, row);
+    }
+    if (std::count(row_seen.begin(), row_seen.end(), 1) !=
+        static_cast<std::ptrdiff_t>(n)) {
+      throw PersistError(PersistErrc::BadValue, "unreferenced rows");
+    }
+    d.dead_ids_ = r.u64();
+
+    const std::uint64_t seg_n = r.u64();
+    if (seg_n == 0) {
+      throw PersistError(PersistErrc::BadValue, "no segments");
+    }
+    d.segs_.assign(seg_n, IncrementalDemand::Segment{});
+    for (IncrementalDemand::Segment& g : d.segs_) {
+      g.lo = r.i64();
+      g.hi = r.i64();
+      g.step_sum = r.i64();
+      g.slope_sum = decode_pair(r);
+      g.offset_sum = decode_pair(r);
+      g.min_ratio = r.f64();
+      g.dead = r.u64();
+      g.dead_borders = r.u64();
+      const std::uint64_t steps_n = r.u64();
+      g.steps.resize(steps_n);
+      for (IncrementalDemand::StepEntry& e : g.steps) {
+        e.at = r.i64();
+        e.step = r.i64();
+        e.refs = r.i64();
+      }
+      const std::uint64_t borders_n = r.u64();
+      g.borders.resize(borders_n);
+      for (IncrementalDemand::BorderEntry& e : g.borders) {
+        e.at = r.i64();
+        e.refs = r.i64();
+        e.slope = decode_pair(r);
+        e.offset = decode_pair(r);
+      }
+    }
+    d.total_steps_ = r.u64();
+    d.dead_steps_ = r.u64();
+    d.seg_built_steps_ = r.u64();
+
+    d.util_scaled_ = decode_pair(r);
+    d.kay_ = decode_pair(r);
+    d.d_max_ = r.i64();
+    d.d_max_stale_ = r.boolean();
+    for (Time& x : d.cert_x_) x = r.i64();
+    for (Int128& c : d.cert_region_) c = r.i128();
+    d.cert_lo_ = r.i128();
+    d.cert_dead_ = r.boolean();
+    d.constrained_ = r.u64();
+
+    // Transient state restarts clean; the exact rational rematerializes
+    // lazily from the (restored) resident rows.
+    d.corner_scratch_.clear();
+    d.refine_log_ = nullptr;
+    d.refine_logged_.clear();
+    d.util_ = Rational{};
+    d.util_valid_ = false;
+    d.publish_header();
+  }
+
+  static void encode_controller(const AdmissionController& c,
+                                ByteWriter& w) {
+    const AdmissionOptions& o = c.opts_;
+    w.f64(o.epsilon);
+    w.u32(static_cast<std::uint32_t>(o.exact_fallback));
+    w.i64(o.analyzer.superpos_level);
+    w.f64(o.analyzer.epsilon);
+    w.i64(o.analyzer.dynamic.initial_level);
+    w.i64(o.analyzer.dynamic.growth_factor);
+    w.i64(o.analyzer.dynamic.max_level);
+    encode_optional_time(w, o.analyzer.dynamic.bound);
+    encode_optional_time(w, o.analyzer.all_approx.bound);
+    w.u8(static_cast<std::uint8_t>(o.analyzer.all_approx.revision));
+    w.boolean(o.analyzer.pd_use_busy_period);
+    w.u64(o.analyzer.pd_max_iterations);
+    w.f64(o.utilization_cap);
+    w.u64(o.max_tasks);
+    w.boolean(o.skip_exact);
+    w.boolean(o.use_slack_index);
+    w.boolean(o.eager_compaction);
+    w.boolean(o.rollback_refinements);
+
+    const AdmissionStats& s = c.stats_;
+    w.u64(s.arrivals);
+    w.u64(s.admitted);
+    w.u64(s.rejected);
+    w.u64(s.removals);
+    w.u64(s.groups);
+    for (const std::uint64_t v : s.by_rung) w.u64(v);
+    w.u64(s.total_effort);
+    w.u64(c.sequence_);
+
+    encode_demand(c.demand_, w);
+  }
+
+  static void decode_controller(AdmissionController& c, ByteReader& r) {
+    AdmissionOptions o;
+    o.epsilon = r.f64();
+    const std::uint32_t kind = r.u32();
+    if (kind > static_cast<std::uint32_t>(TestKind::DeviEnvelope)) {
+      throw PersistError(PersistErrc::BadValue, "exact_fallback kind");
+    }
+    o.exact_fallback = static_cast<TestKind>(kind);
+    o.analyzer.superpos_level = r.i64();
+    o.analyzer.epsilon = r.f64();
+    o.analyzer.dynamic.initial_level = r.i64();
+    o.analyzer.dynamic.growth_factor = r.i64();
+    o.analyzer.dynamic.max_level = r.i64();
+    o.analyzer.dynamic.bound = decode_optional_time(r);
+    o.analyzer.all_approx.bound = decode_optional_time(r);
+    const std::uint8_t revision = r.u8();
+    if (revision > static_cast<std::uint8_t>(RevisionPolicy::MaxError)) {
+      throw PersistError(PersistErrc::BadValue, "revision policy");
+    }
+    o.analyzer.all_approx.revision = static_cast<RevisionPolicy>(revision);
+    o.analyzer.pd_use_busy_period = r.boolean();
+    o.analyzer.pd_max_iterations = r.u64();
+    o.utilization_cap = r.f64();
+    o.max_tasks = r.u64();
+    o.skip_exact = r.boolean();
+    o.use_slack_index = r.boolean();
+    o.eager_compaction = r.boolean();
+    o.rollback_refinements = r.boolean();
+    if (!o.skip_exact && !is_exact(o.exact_fallback)) {
+      // Same invariant the constructor enforces.
+      throw PersistError(PersistErrc::BadValue,
+                         "exact_fallback is not an exact test kind");
+    }
+    c.opts_ = o;
+
+    AdmissionStats s;
+    s.arrivals = r.u64();
+    s.admitted = r.u64();
+    s.rejected = r.u64();
+    s.removals = r.u64();
+    s.groups = r.u64();
+    for (std::uint64_t& v : s.by_rung) v = r.u64();
+    s.total_effort = r.u64();
+    c.stats_ = s;
+    c.sequence_ = r.u64();
+
+    decode_demand(c.demand_, r);
+  }
+
+  static void engine_save(const AdmissionEngine& e, const std::string& path,
+                          const persist::Journal* journal) {
+    // Hold every shard across the journal-LSN capture: the snapshot
+    // then matches exactly one journal cut (no shard can commit+append
+    // between the capture and its serialization).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(e.shards_.size());
+    for (const auto& shard : e.shards_) locks.emplace_back(shard->mu);
+    const std::uint64_t lsn = journal != nullptr ? journal->lsn() : 0;
+
+    persist::SectionWriter sw;
+    encode_meta(sw, SnapshotKind::Engine, lsn);
+    {
+      ByteWriter& w = sw.begin(kSecEngine);
+      w.u64(e.shards_.size());
+      w.u8(static_cast<std::uint8_t>(e.opts_.placement));
+      w.u64(e.opts_.workers);
+    }
+    for (std::size_t i = 0; i < e.shards_.size(); ++i) {
+      ByteWriter& w = sw.begin(kSecShard);
+      w.u32(static_cast<std::uint32_t>(i));
+      // The shard's published store-header epoch at snapshot time —
+      // purely diagnostic (epochs restart with the process).
+      w.u64(e.shards_[i]->controller.demand_header().epoch);
+      encode_controller(e.shards_[i]->controller, w);
+    }
+    locks.clear();  // serialize happened under lock; IO happens outside
+    sw.finish(path);
+  }
+
+  static SnapshotMeta engine_load(AdmissionEngine& e,
+                                  const std::string& path) {
+    {
+      const std::lock_guard<std::mutex> lock(e.queue_mu_);
+      if (!e.workers_.empty()) {
+        throw PersistError(PersistErrc::BadValue,
+                           "load_snapshot into a serving engine");
+      }
+    }
+    const persist::SectionReader sr(persist::read_file(path));
+    const SnapshotMeta meta = decode_meta(sr, SnapshotKind::Engine);
+    ByteReader er = sr.section(kSecEngine);
+    const std::uint64_t shards = er.u64();
+    const std::uint8_t placement = er.u8();
+    if (shards == 0 ||
+        placement > static_cast<std::uint8_t>(PlacementPolicy::BestFit)) {
+      throw PersistError(PersistErrc::BadValue, "engine options");
+    }
+    std::vector<std::unique_ptr<AdmissionEngine::Shard>> fresh;
+    fresh.reserve(shards);
+    const std::vector<std::uint32_t>& ids = sr.ids();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] != kSecShard) continue;
+      ByteReader w = sr.section_at(i);
+      const std::uint32_t idx = w.u32();
+      (void)w.u64();  // header epoch (diagnostic)
+      if (idx != fresh.size()) {
+        throw PersistError(PersistErrc::BadValue, "shard order");
+      }
+      auto shard = std::make_unique<AdmissionEngine::Shard>(
+          AdmissionOptions{});
+      decode_controller(shard->controller, w);
+      shard->load.store(shard->controller.utilization(),
+                        std::memory_order_relaxed);
+      shard->publish();
+      fresh.push_back(std::move(shard));
+    }
+    if (fresh.size() != shards) {
+      throw PersistError(PersistErrc::BadValue, "shard count");
+    }
+    e.opts_.shards = shards;
+    e.opts_.placement = static_cast<PlacementPolicy>(placement);
+    e.opts_.workers = er.u64();
+    e.opts_.admission = fresh.front()->controller.options();
+    e.shards_ = std::move(fresh);
+    return meta;
+  }
+
+  /// Replay one committed engine record onto its recorded shard,
+  /// translating recorded local ids to the ids the recovered shard
+  /// actually assigns.
+  static void engine_apply(
+      AdmissionEngine& e, const Record& rec,
+      std::map<std::pair<std::uint32_t, TaskId>, TaskId>& remap,
+      RecoveryResult& out) {
+    if (rec.shard >= e.shards_.size()) {
+      throw PersistError(PersistErrc::BadValue, "record shard index");
+    }
+    AdmissionEngine::Shard& s = *e.shards_[rec.shard];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    switch (rec.op) {
+      case JournalOp::EngineAdmit: {
+        const AdmissionDecision d = s.controller.try_admit(rec.task);
+        if (d.admitted) {
+          remap[{rec.shard, rec.id}] = d.id;
+        } else {
+          ++out.skipped;
+        }
+        break;
+      }
+      case JournalOp::EngineAdmitGroup: {
+        const GroupDecision d = s.controller.admit_group(rec.group);
+        if (d.admitted && d.ids.size() == rec.assigned.size()) {
+          for (std::size_t i = 0; i < d.ids.size(); ++i) {
+            remap[{rec.shard, rec.assigned[i]}] = d.ids[i];
+          }
+        } else {
+          ++out.skipped;
+        }
+        break;
+      }
+      case JournalOp::EngineRemove: {
+        TaskId local = rec.id;
+        const auto it = remap.find({rec.shard, rec.id});
+        if (it != remap.end()) local = it->second;
+        if (!s.controller.remove(local)) ++out.skipped;
+        break;
+      }
+      default:
+        throw PersistError(PersistErrc::BadValue,
+                           "controller record in engine journal");
+    }
+    s.load.store(s.controller.utilization(), std::memory_order_relaxed);
+    s.publish();
+  }
+
+  static persist::Journal* detach_journal(AdmissionEngine& e) noexcept {
+    return e.journal_.exchange(nullptr, std::memory_order_acq_rel);
+  }
+  static void reattach_journal(AdmissionEngine& e,
+                               persist::Journal* j) noexcept {
+    e.journal_.store(j, std::memory_order_release);
+  }
+
+  /// Return the store to its freshly-constructed state (configuration
+  /// — epsilon, index/compaction flags, thresholds — kept). Cold
+  /// journal replay starts from here: replaying records into a
+  /// controller that still holds state would double-apply every one.
+  static void reset_demand(IncrementalDemand& d) {
+    d.next_id_ = 1;
+    d.view_ = TaskView{};
+    d.levels_.clear();
+    d.borders_of_row_.clear();
+    d.id_index_.clear();
+    d.dead_ids_ = 0;
+    d.segs_.assign(1, IncrementalDemand::Segment{});
+    d.total_steps_ = 0;
+    d.dead_steps_ = 0;
+    d.seg_built_steps_ = 0;
+    d.index_engaged_ = false;
+    d.corner_scratch_.clear();
+    d.refine_log_ = nullptr;
+    d.refine_logged_.clear();
+    d.util_ = Rational{};
+    d.util_valid_ = true;
+    d.util_scaled_ = ScaledPair{};
+    d.kay_ = ScaledPair{};
+    d.d_max_ = 0;
+    d.d_max_stale_ = false;
+    d.cert_x_.fill(0);
+    d.cert_region_.fill(kFixedPointScale);  // empty set: fully slack
+    d.cert_lo_ = kFixedPointScale;
+    d.cert_dead_ = false;
+    d.constrained_ = 0;
+    d.publish_header();
+  }
+
+  static void reset_controller(AdmissionController& c) {
+    c.stats_ = AdmissionStats{};
+    c.sequence_ = 0;
+    reset_demand(c.demand_);
+  }
+
+  /// Rebuild every shard empty (engine options kept). \pre not serving.
+  static void reset_engine(AdmissionEngine& e) {
+    {
+      const std::lock_guard<std::mutex> lock(e.queue_mu_);
+      if (!e.workers_.empty()) {
+        throw PersistError(PersistErrc::BadValue,
+                           "recover into a serving engine");
+      }
+    }
+    std::vector<std::unique_ptr<AdmissionEngine::Shard>> fresh;
+    fresh.reserve(e.opts_.shards);
+    for (std::size_t i = 0; i < e.opts_.shards; ++i) {
+      fresh.push_back(
+          std::make_unique<AdmissionEngine::Shard>(e.opts_.admission));
+    }
+    e.shards_ = std::move(fresh);
+  }
+};
+
+void save_snapshot(const AdmissionController& controller,
+                   const std::string& path, std::uint64_t journal_lsn) {
+  persist::SectionWriter sw;
+  encode_meta(sw, SnapshotKind::Controller, journal_lsn);
+  SnapshotCodec::encode_controller(controller, sw.begin(kSecController));
+  sw.finish(path);
+}
+
+void save_snapshot(const AdmissionEngine& engine, const std::string& path,
+                   const persist::Journal* journal) {
+  SnapshotCodec::engine_save(engine, path, journal);
+}
+
+SnapshotMeta load_snapshot(AdmissionController& out,
+                           const std::string& path) {
+  try {
+    const persist::SectionReader sr(persist::read_file(path));
+    const SnapshotMeta meta = decode_meta(sr, SnapshotKind::Controller);
+    ByteReader r = sr.section(kSecController);
+    SnapshotCodec::decode_controller(out, r);
+    return meta;
+  } catch (const std::out_of_range&) {
+    throw PersistError(PersistErrc::Truncated, path);
+  }
+}
+
+SnapshotMeta load_snapshot(AdmissionEngine& out, const std::string& path) {
+  try {
+    return SnapshotCodec::engine_load(out, path);
+  } catch (const std::out_of_range&) {
+    throw PersistError(PersistErrc::Truncated, path);
+  }
+}
+
+RecoveryResult recover(AdmissionController& out,
+                       const std::string& snapshot_path,
+                       const std::string& journal_path) {
+  RecoveryResult result;
+  // Replay must not re-journal the records it applies.
+  persist::Journal* attached = out.journal();
+  out.attach_journal(nullptr);
+  try {
+    if (!snapshot_path.empty() && persist::file_exists(snapshot_path)) {
+      const SnapshotMeta meta = load_snapshot(out, snapshot_path);
+      result.snapshot_loaded = true;
+      result.snapshot_lsn = meta.journal_lsn;
+    } else {
+      // Cold start: recovery reconstructs from the artifacts alone, so
+      // any state the caller's controller already holds must go —
+      // replaying the journal on top of it would double-apply every
+      // record.
+      SnapshotCodec::reset_controller(out);
+    }
+    if (!journal_path.empty() && persist::file_exists(journal_path)) {
+      const persist::JournalScan scan = persist::scan_journal(journal_path);
+      result.torn_tail = scan.torn_tail;
+      result.journal_records = scan.records.size();
+      if (result.snapshot_lsn > scan.records.size()) {
+        throw PersistError(PersistErrc::BadValue,
+                           "snapshot is ahead of the journal");
+      }
+      for (std::uint64_t i = result.snapshot_lsn; i < scan.records.size();
+           ++i) {
+        const Record rec = decode_record(scan.records[i]);
+        switch (rec.op) {
+          case JournalOp::Admit:
+            (void)out.try_admit(rec.task);
+            break;
+          case JournalOp::AdmitGroup:
+            (void)out.admit_group(rec.group);
+            break;
+          case JournalOp::Remove:
+            (void)out.remove(rec.id);
+            break;
+          case JournalOp::RemoveGroup:
+            (void)out.remove_group(rec.ids);
+            break;
+          default:
+            throw PersistError(PersistErrc::BadValue,
+                               "engine record in controller journal");
+        }
+        ++result.replayed;
+      }
+    }
+  } catch (...) {
+    out.attach_journal(attached);
+    throw;
+  }
+  out.attach_journal(attached);
+  return result;
+}
+
+RecoveryResult recover(AdmissionEngine& out,
+                       const std::string& snapshot_path,
+                       const std::string& journal_path) {
+  RecoveryResult result;
+  persist::Journal* attached = SnapshotCodec::detach_journal(out);
+  try {
+    if (!snapshot_path.empty() && persist::file_exists(snapshot_path)) {
+      const SnapshotMeta meta = load_snapshot(out, snapshot_path);
+      result.snapshot_loaded = true;
+      result.snapshot_lsn = meta.journal_lsn;
+    } else {
+      // Cold start: discard any state the caller's engine holds (see
+      // the controller overload).
+      SnapshotCodec::reset_engine(out);
+    }
+    if (!journal_path.empty() && persist::file_exists(journal_path)) {
+      const persist::JournalScan scan = persist::scan_journal(journal_path);
+      result.torn_tail = scan.torn_tail;
+      result.journal_records = scan.records.size();
+      if (result.snapshot_lsn > scan.records.size()) {
+        throw PersistError(PersistErrc::BadValue,
+                           "snapshot is ahead of the journal");
+      }
+      std::map<std::pair<std::uint32_t, TaskId>, TaskId> remap;
+      for (std::uint64_t i = result.snapshot_lsn; i < scan.records.size();
+           ++i) {
+        const Record rec = decode_record(scan.records[i]);
+        SnapshotCodec::engine_apply(out, rec, remap, result);
+        ++result.replayed;
+      }
+    }
+  } catch (...) {
+    SnapshotCodec::reattach_journal(out, attached);
+    throw;
+  }
+  SnapshotCodec::reattach_journal(out, attached);
+  return result;
+}
+
+CheckpointDaemon::CheckpointDaemon(const AdmissionEngine& engine,
+                                   std::string path,
+                                   std::chrono::milliseconds interval,
+                                   const persist::Journal* journal)
+    : engine_(engine),
+      path_(std::move(path)),
+      interval_(interval),
+      journal_(journal),
+      thread_([this] { run(); }) {}
+
+CheckpointDaemon::~CheckpointDaemon() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // One final checkpoint so a clean shutdown never loses tail state
+  // (failure absorbed: a destructor must not throw).
+  try_flush();
+}
+
+void CheckpointDaemon::flush_now() {
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  save_snapshot(engine_, path_, journal_);
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CheckpointDaemon::try_flush() noexcept {
+  try {
+    flush_now();
+  } catch (...) {
+    // Transient IO failure (disk full, permissions): the previous
+    // snapshot is still intact on disk (writes are atomic) and the
+    // next tick retries — degrading durability must never take the
+    // serving process down.
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CheckpointDaemon::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
+    lock.unlock();
+    try_flush();
+    lock.lock();
+  }
+}
+
+}  // namespace edfkit

@@ -1,0 +1,207 @@
+/// \file snapshot.hpp
+/// Durable admission state: versioned binary snapshots of the
+/// controller/engine plus the admission journal codec and crash
+/// recovery (ROADMAP "Persistence").
+///
+/// Two composable artifacts:
+///
+///   * snapshot — a CRC-framed section file (persist/format.hpp)
+///     serializing the complete decision-relevant state: every
+///     IncrementalDemand field (TaskView rows, id->slot index with its
+///     tombstones, refinement levels, the segmented checkpoint/border
+///     store including step/border tombstone flags and the per-segment
+///     cached-slack ratios, certificate regions, certified scaled
+///     aggregates), controller policy options, stats, and the decision
+///     sequence counter. load_snapshot() restores a store that makes
+///     *bit-identical* admit/reject decisions to the original from that
+///     point on (the persist test suite differential-fuzzes this
+///     against a never-persisted twin).
+///
+///   * journal — an append-only record stream (persist/journal.hpp) of
+///     the operations offered to a controller. Controller::attach_journal
+///     appends a record ahead of every try_admit / admit_group /
+///     remove / remove_group (rejected admits included: their tentative
+///     insert consumes a TaskId and may leave learned refinement, so
+///     replay must re-execute them to stay bit-identical).
+///
+/// recover() composes the two: load the snapshot (taken at journal LSN
+/// L), then replay journal records [L, end) through the normal
+/// controller entry points. Cold recovery (journal only, no snapshot)
+/// replays from the beginning into a freshly constructed controller;
+/// snapshot-only recovery restores the checkpoint and replays nothing.
+///
+/// Engine-level durability is coarser by design: save_snapshot(engine)
+/// briefly locks every shard, composing one section per shard under the
+/// shard's published epoch header, and engine journaling records only
+/// *committed* placements (shard + assigned ids). Engine recovery
+/// restores the resident sets and the admission invariant, but not the
+/// id/refinement residue of rejected placement probes — those probe
+/// multiple shards in a load-heuristic order that is not deterministic
+/// under concurrency. Use controller-level journaling when bit-exact
+/// reconstruction matters (the crash-recovery CI harness does).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admission/engine.hpp"
+#include "persist/journal.hpp"
+
+namespace edfkit {
+
+/// Snapshot container kinds (section kSecMeta).
+enum class SnapshotKind : std::uint8_t { Controller = 1, Engine = 2 };
+
+struct SnapshotMeta {
+  SnapshotKind kind = SnapshotKind::Controller;
+  /// Journal LSN the snapshot reflects: records [0, journal_lsn) are
+  /// already folded in; recovery replays from journal_lsn.
+  std::uint64_t journal_lsn = 0;
+};
+
+/// Journal record tags (first payload byte).
+enum class JournalOp : std::uint8_t {
+  Admit = 1,        ///< controller: one offered task
+  AdmitGroup = 2,   ///< controller: one offered group
+  Remove = 3,       ///< controller: withdraw one id
+  RemoveGroup = 4,  ///< controller: withdraw an id group
+  EngineAdmit = 16,       ///< engine: committed single placement
+  EngineAdmitGroup = 17,  ///< engine: committed group placement
+  EngineRemove = 18,      ///< engine: committed removal
+};
+
+/// Record encoders (the attach_journal hooks call these; tests build
+/// records directly).
+namespace journal_codec {
+[[nodiscard]] std::vector<std::uint8_t> admit(const Task& t);
+[[nodiscard]] std::vector<std::uint8_t> admit_group(
+    std::span<const Task> group);
+[[nodiscard]] std::vector<std::uint8_t> remove(TaskId id);
+[[nodiscard]] std::vector<std::uint8_t> remove_group(
+    std::span<const TaskId> ids);
+[[nodiscard]] std::vector<std::uint8_t> engine_admit(std::uint32_t shard,
+                                                     TaskId assigned,
+                                                     const Task& t);
+[[nodiscard]] std::vector<std::uint8_t> engine_admit_group(
+    std::uint32_t shard, std::span<const GlobalTaskId> assigned,
+    std::span<const Task> group);
+[[nodiscard]] std::vector<std::uint8_t> engine_remove(GlobalTaskId id);
+}  // namespace journal_codec
+
+/// Serialize the controller (options + stats + sequence + the complete
+/// demand store) to `path`, atomically. `journal_lsn` records which
+/// journal prefix the snapshot reflects (0 when not journaling).
+/// Not safe concurrently with controller mutation (the controller
+/// itself is single-mutator; snapshot between operations).
+void save_snapshot(const AdmissionController& controller,
+                   const std::string& path, std::uint64_t journal_lsn = 0);
+
+/// Serialize the engine: engine options plus one section per shard
+/// (each taken under its shard mutex; all shards are held across the
+/// journal-LSN capture so the snapshot matches one journal cut).
+/// Safe concurrently with serving threads.
+void save_snapshot(const AdmissionEngine& engine, const std::string& path,
+                   const persist::Journal* journal = nullptr);
+
+/// Restore `out` from a controller snapshot, overwriting its options
+/// and entire store. \throws PersistError on any framing/CRC/value
+/// problem or a kind mismatch.
+SnapshotMeta load_snapshot(AdmissionController& out,
+                           const std::string& path);
+
+/// Restore `out` from an engine snapshot (shard count and options come
+/// from the file). \pre the engine is not serving (no worker pool, no
+/// concurrent callers). \throws PersistError; BadValue when workers
+/// are already running.
+SnapshotMeta load_snapshot(AdmissionEngine& out, const std::string& path);
+
+struct RecoveryResult {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_lsn = 0;   ///< journal records folded into it
+  std::uint64_t journal_records = 0;  ///< intact records found
+  std::uint64_t replayed = 0;       ///< records applied on top
+  /// Engine recovery only: replayed records whose effect could not be
+  /// reproduced (e.g. a committed admit the recovered shard rejects —
+  /// possible only when rejected-probe refinement residue mattered).
+  std::uint64_t skipped = 0;
+  bool torn_tail = false;  ///< a partial final record was dropped
+};
+
+/// Load the snapshot (if `snapshot_path` names an existing file), then
+/// replay the journal suffix (if `journal_path` names an existing
+/// file) through the normal admission entry points. Either path may be
+/// empty/absent: snapshot-only, journal-only (cold), and nothing-at-all
+/// recoveries are all valid. Whatever state `out` already holds is
+/// discarded — overwritten by the snapshot, or reset to empty (options
+/// kept) when there is none, so a cold journal replay never
+/// double-applies records on top of live state. The controller's
+/// attached journal (if any) is detached for the duration — replay
+/// must not re-journal. \throws PersistError on corruption (a torn
+/// journal tail is NOT corruption — it is dropped and reported).
+RecoveryResult recover(AdmissionController& out,
+                       const std::string& snapshot_path,
+                       const std::string& journal_path);
+
+/// Engine recovery: snapshot + committed-op replay with id remapping
+/// (replayed admits may be assigned fresh local ids; later removes are
+/// translated). \pre not serving.
+RecoveryResult recover(AdmissionEngine& out,
+                       const std::string& snapshot_path,
+                       const std::string& journal_path);
+
+/// Periodic engine checkpointing: a background thread that
+/// save_snapshot()s the engine every `interval` (first write one
+/// interval after start). flush_now() forces a synchronous checkpoint
+/// (the SIGTERM path) and throws on IO failure; the background thread
+/// and the destructor instead *absorb* failures (a full disk must
+/// degrade the durability sidecar, never terminate the serving
+/// process) — `checkpoint_failures()` counts them, the previous
+/// on-disk snapshot stays intact (writes are atomic), and the next
+/// tick retries. The destructor stops the thread and writes one final
+/// snapshot. Writes are serialized internally, so flush_now() never
+/// races the periodic write on the same path.
+class CheckpointDaemon {
+ public:
+  CheckpointDaemon(const AdmissionEngine& engine, std::string path,
+                   std::chrono::milliseconds interval,
+                   const persist::Journal* journal = nullptr);
+  ~CheckpointDaemon();
+
+  CheckpointDaemon(const CheckpointDaemon&) = delete;
+  CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
+
+  /// Synchronous checkpoint. \throws PersistError on IO failure.
+  void flush_now();
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+  /// Periodic/final checkpoints that failed (and were absorbed).
+  [[nodiscard]] std::uint64_t checkpoint_failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  /// flush_now() with the failure absorbed into failures_.
+  void try_flush() noexcept;
+
+  const AdmissionEngine& engine_;
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  const persist::Journal* journal_;
+  std::mutex write_mu_;  ///< serializes snapshot writes to path_
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::thread thread_;
+};
+
+}  // namespace edfkit

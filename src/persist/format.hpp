@@ -1,0 +1,115 @@
+/// \file format.hpp
+/// Versioned, CRC-framed binary container shared by every durable
+/// artifact the admission subsystem writes (snapshots today; any future
+/// on-disk state should reuse it).
+///
+/// File layout (all integers little-endian):
+///
+///   [magic 8B "EDFKSNAP"] [version u32] [section_count u32]
+///   section*: [id u32] [len u64] [crc32 u32 of payload] [payload]
+///
+/// Every section is independently CRC-checked on open, so a bit flip is
+/// detected before any payload byte is decoded. Writers publish
+/// atomically: the bytes go to `path.tmp`, are fsynced, and rename(2)
+/// over `path` — a crash mid-write leaves either the old snapshot or
+/// the new one, never a torn file. Readers pull the whole file into
+/// memory first (snapshots are small relative to the store they
+/// serialize) and hand out bounds-checked ByteReaders per section.
+///
+/// Error taxonomy: every failure throws PersistError carrying a
+/// PersistErrc — callers distinguish "no file" (fine: cold start) from
+/// "corrupt file" (must not be silently ignored).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace edfkit::persist {
+
+inline constexpr char kSnapshotMagic[8] = {'E', 'D', 'F', 'K',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class PersistErrc : std::uint8_t {
+  IoError,     ///< open/read/write/rename/fsync failed
+  BadMagic,    ///< not one of our files
+  BadVersion,  ///< a future (or mangled) format version
+  BadCrc,      ///< framing intact but payload bits changed
+  Truncated,   ///< file ends inside a declared frame
+  BadSection,  ///< a required section is missing
+  BadValue,    ///< decoded payload violates an invariant
+};
+
+[[nodiscard]] const char* to_string(PersistErrc e) noexcept;
+
+/// The persistence layer's typed exception.
+class PersistError : public std::runtime_error {
+ public:
+  PersistError(PersistErrc code, const std::string& what)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what),
+        code_(code) {}
+
+  [[nodiscard]] PersistErrc code() const noexcept { return code_; }
+
+ private:
+  PersistErrc code_;
+};
+
+/// Write `bytes` to `path` atomically (tmp + fsync + rename + directory
+/// fsync). \throws PersistError{IoError}
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Read a whole file. \throws PersistError{IoError} (missing files
+/// included — probe with file_exists() for optional artifacts).
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
+
+[[nodiscard]] bool file_exists(const std::string& path) noexcept;
+
+/// Accumulates CRC-framed sections and writes the container atomically.
+class SectionWriter {
+ public:
+  /// Start a section; returns the writer to fill its payload with.
+  /// Sections are emitted in begin() order.
+  ByteWriter& begin(std::uint32_t id);
+
+  /// Serialize header + all sections into one buffer.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// encode() + write_file_atomic().
+  void finish(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::uint32_t, ByteWriter>> sections_;
+};
+
+/// Parses + CRC-verifies a container; hands out per-section readers.
+class SectionReader {
+ public:
+  /// \throws PersistError on any framing/CRC problem.
+  explicit SectionReader(std::vector<std::uint8_t> bytes);
+
+  /// Reader over the payload of the first section with `id`.
+  /// \throws PersistError{BadSection} when absent.
+  [[nodiscard]] ByteReader section(std::uint32_t id) const;
+  [[nodiscard]] bool has_section(std::uint32_t id) const noexcept;
+  /// Section ids in file order (duplicates allowed — the engine writes
+  /// one shard section per shard under the same id family).
+  [[nodiscard]] const std::vector<std::uint32_t>& ids() const noexcept {
+    return ids_;
+  }
+  /// Reader over the i-th section (file order). \pre i < ids().size()
+  [[nodiscard]] ByteReader section_at(std::size_t i) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint32_t> ids_;
+  std::vector<std::pair<std::size_t, std::size_t>> spans_;  ///< offset, len
+};
+
+}  // namespace edfkit::persist

@@ -1,0 +1,178 @@
+#include "persist/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace edfkit::persist {
+namespace {
+
+constexpr std::size_t kJournalHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kRecordFrameBytes = 4 + 4;  // len + crc
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw PersistError(PersistErrc::IoError,
+                     what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JournalScan scan_journal(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  JournalScan out;
+  if (bytes.size() < kJournalHeaderBytes) {
+    // Even the header is cut: treat a partial header as a torn creation
+    // (nothing was ever committed), but a wrong magic as corruption.
+    if (!bytes.empty() &&
+        std::memcmp(bytes.data(), kJournalMagic,
+                    std::min<std::size_t>(bytes.size(), 8)) != 0) {
+      throw PersistError(PersistErrc::BadMagic, path);
+    }
+    out.torn_tail = !bytes.empty();
+    return out;
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, 8) != 0) {
+    throw PersistError(PersistErrc::BadMagic, path);
+  }
+  ByteReader hdr{std::span<const std::uint8_t>(bytes).subspan(8)};
+  const std::uint32_t version = hdr.u32();
+  if (version != kJournalVersion) {
+    throw PersistError(PersistErrc::BadVersion,
+                       path + ": journal version " +
+                           std::to_string(version));
+  }
+  std::size_t off = kJournalHeaderBytes;
+  out.valid_bytes = off;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kRecordFrameBytes) {
+      out.torn_tail = true;  // frame header cut mid-write
+      break;
+    }
+    ByteReader frame{std::span<const std::uint8_t>(bytes).subspan(off)};
+    const std::uint32_t len = frame.u32();
+    const std::uint32_t crc = frame.u32();
+    if (bytes.size() - off - kRecordFrameBytes < len) {
+      out.torn_tail = true;  // payload cut mid-write
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + off + kRecordFrameBytes;
+    if (crc32(payload, len) != crc) {
+      // The record is fully present, so this is not a torn append —
+      // the bits changed underneath us. Do not silently drop the
+      // suffix.
+      throw PersistError(
+          PersistErrc::BadCrc,
+          path + ": record " + std::to_string(out.records.size()));
+    }
+    out.records.emplace_back(payload, payload + len);
+    off += kRecordFrameBytes + len;
+    out.valid_bytes = off;
+  }
+  return out;
+}
+
+Journal::Journal(int fd, std::string path, JournalOptions opts,
+                 std::uint64_t next_lsn) noexcept
+    : fd_(fd), path_(std::move(path)), opts_(opts), next_lsn_(next_lsn) {}
+
+Journal::Journal(Journal&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)),
+      path_(std::move(o.path_)),
+      opts_(o.opts_),
+      next_lsn_(o.next_lsn_),
+      unsynced_(o.unsynced_) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    (void)::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+Journal Journal::create(const std::string& path, JournalOptions opts) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  ByteWriter hdr;
+  hdr.bytes(kJournalMagic, sizeof kJournalMagic);
+  hdr.u32(kJournalVersion);
+  hdr.u32(0);  // reserved
+  try {
+    write_all(fd, hdr.data().data(), hdr.size(), path);
+    if (::fdatasync(fd) != 0) throw_errno("fdatasync " + path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return Journal(fd, path, opts, 0);
+}
+
+Journal Journal::open_append(const std::string& path, JournalOptions opts) {
+  if (!file_exists(path)) return create(path, opts);
+  const JournalScan scan = scan_journal(path);
+  if (scan.valid_bytes < kJournalHeaderBytes) {
+    // Header itself torn: nothing committed — start over.
+    return create(path, opts);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open " + path);
+  if (scan.torn_tail &&
+      ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+    ::close(fd);
+    throw_errno("ftruncate " + path);
+  }
+  if (::lseek(fd, static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0) {
+    ::close(fd);
+    throw_errno("lseek " + path);
+  }
+  return Journal(fd, path, opts, scan.records.size());
+}
+
+std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload));
+  frame.bytes(payload.data(), payload.size());
+  write_all(fd_, frame.data().data(), frame.size(), path_);
+  const std::uint64_t lsn = next_lsn_++;
+  ++unsynced_;
+  const bool flush =
+      opts_.fsync == FsyncPolicy::EveryRecord ||
+      (opts_.fsync == FsyncPolicy::EveryN &&
+       unsynced_ >= std::max<std::uint64_t>(1, opts_.fsync_interval));
+  if (flush) {
+    if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    unsynced_ = 0;
+  }
+  return lsn;
+}
+
+std::uint64_t Journal::lsn() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+void Journal::sync() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+  unsynced_ = 0;
+}
+
+}  // namespace edfkit::persist

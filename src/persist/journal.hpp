@@ -1,0 +1,119 @@
+/// \file journal.hpp
+/// Append-only, CRC-per-record operation journal — the write-ahead half
+/// of the admission subsystem's durability story (snapshots are the
+/// checkpoint half; recover() composes the two).
+///
+/// File layout (little-endian):
+///
+///   [magic 8B "EDFKJRNL"] [version u32] [reserved u32]
+///   record*: [len u32] [crc32 u32 of payload] [payload len bytes]
+///
+/// Records are opaque byte payloads here; the admission layer defines
+/// their encoding (admission/snapshot.hpp). Each record carries its own
+/// CRC, so recovery distinguishes the two failure shapes precisely:
+///
+///   * torn tail — the file ends inside the final record's frame (the
+///     classic crash-mid-append). The partial record is DROPPED, not
+///     fatal: the operation never committed. open_append() truncates
+///     the tail so subsequent appends extend a clean prefix.
+///   * corruption — a record is fully present but its CRC does not
+///     match. That is bit rot, not a crash artifact; scan_journal()
+///     throws PersistError{BadCrc} rather than silently losing suffix
+///     operations.
+///
+/// The fsync policy knob trades durability for append latency:
+///   None        — rely on the OS page cache (a *process* crash loses
+///                 nothing; an OS/power crash may lose the tail).
+///   EveryRecord — fdatasync per append: a committed decision survives
+///                 power loss, at ~one device flush per operation.
+///   EveryN      — fdatasync every `fsync_interval` records: bounded
+///                 loss window, amortized flush cost.
+///
+/// append() is thread-safe (internal mutex): the engine journals from
+/// concurrent admit paths. LSNs are record indices (0-based): a
+/// snapshot taken at lsn L reflects exactly records [0, L), and
+/// recovery replays [L, end).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/format.hpp"
+
+namespace edfkit::persist {
+
+inline constexpr char kJournalMagic[8] = {'E', 'D', 'F', 'K',
+                                          'J', 'R', 'N', 'L'};
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+enum class FsyncPolicy : std::uint8_t { None, EveryRecord, EveryN };
+
+struct JournalOptions {
+  FsyncPolicy fsync = FsyncPolicy::None;
+  /// Records between fdatasyncs under FsyncPolicy::EveryN.
+  std::uint64_t fsync_interval = 64;
+};
+
+/// Result of scanning a journal file front to back.
+struct JournalScan {
+  /// Every intact record's payload, in append order.
+  std::vector<std::vector<std::uint8_t>> records;
+  /// The file ended inside the final record's frame; the partial
+  /// record was dropped (crash mid-append, not an error).
+  bool torn_tail = false;
+  /// Bytes of the valid prefix (header + intact records) — what
+  /// open_append() truncates to.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Read + verify a journal front to back. Torn tails are dropped (see
+/// file header); CRC corruption throws PersistError{BadCrc}; a missing
+/// file throws PersistError{IoError}.
+[[nodiscard]] JournalScan scan_journal(const std::string& path);
+
+class Journal {
+ public:
+  /// Create (or truncate) a fresh journal at `path`.
+  [[nodiscard]] static Journal create(const std::string& path,
+                                      JournalOptions opts = {});
+  /// Open an existing journal for append: scans it (throwing on
+  /// corruption), truncates any torn tail, and resumes LSNs after the
+  /// last intact record.
+  [[nodiscard]] static Journal open_append(const std::string& path,
+                                           JournalOptions opts = {});
+
+  Journal(Journal&& o) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Append one record; returns its LSN. Thread-safe. Durability per
+  /// the fsync policy. \throws PersistError{IoError}
+  std::uint64_t append(std::span<const std::uint8_t> payload);
+
+  /// Next LSN to be assigned == records committed so far.
+  [[nodiscard]] std::uint64_t lsn() const noexcept;
+
+  /// Force an fdatasync now (e.g. a SIGTERM flush), regardless of
+  /// policy.
+  void sync();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  Journal(int fd, std::string path, JournalOptions opts,
+          std::uint64_t next_lsn) noexcept;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  JournalOptions opts_;
+  std::uint64_t next_lsn_ = 0;
+  std::uint64_t unsynced_ = 0;
+};
+
+}  // namespace edfkit::persist

@@ -1,0 +1,35 @@
+#include "util/binio.hpp"
+
+#include <array>
+
+namespace edfkit {
+namespace {
+
+/// Reflected CRC-32 lookup table, generated once at static init.
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFF'FFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFF'FFFFu;
+}
+
+}  // namespace edfkit

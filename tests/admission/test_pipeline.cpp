@@ -28,6 +28,8 @@ using testing::tk;
 
 /// Twin stores that differ only in compaction policy must agree on
 /// every verdict and match their own rebuilds through churn at U -> 1.
+/// EDFKIT_FUZZ_MULT deepens the churn (the nightly long-fuzz workflow
+/// runs 20x); a divergence drops a repro artifact for upload.
 TEST(Tombstones, DifferentialFuzzAgainstEagerCompaction) {
   Rng rng(20050307);
   IncrementalDemand eager(0.25, /*use_slack_index=*/true,
@@ -39,7 +41,9 @@ TEST(Tombstones, DifferentialFuzzAgainstEagerCompaction) {
   std::vector<std::pair<TaskId, TaskId>> live;
   std::vector<Task> pool;
   std::size_t max_dead = 0;
-  for (int op = 0; op < 1200; ++op) {
+  const int ops =
+      1200 * static_cast<int>(testing::fuzz_multiplier());
+  for (int op = 0; op < ops; ++op) {
     if (pool.empty()) {
       const TaskSet ts = draw_small_set(rng, 0.99);  // ride the boundary
       pool.assign(ts.begin(), ts.end());
@@ -57,6 +61,14 @@ TEST(Tombstones, DifferentialFuzzAgainstEagerCompaction) {
     }
     const DemandCheck a = eager.check();
     const DemandCheck b = lazy.check();
+    if (a.fits != b.fits || a.overflow_proof != b.overflow_proof) {
+      testing::write_fuzz_artifact(
+          "tombstone_fuzz_divergence.txt",
+          "tombstone-vs-eager divergence\nseed=20050307 op=" +
+              std::to_string(op) + " eager.fits=" +
+              std::to_string(a.fits) + " lazy.fits=" +
+              std::to_string(b.fits) + "\n");
+    }
     ASSERT_EQ(a.fits, b.fits) << "op " << op;
     ASSERT_EQ(a.overflow_proof, b.overflow_proof) << "op " << op;
     if (a.overflow_proof) {

@@ -2,7 +2,11 @@
 /// Shared helpers for the edfkit test suite.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "gen/scenario.hpp"
@@ -49,6 +53,29 @@ inline std::vector<TaskSet> paper_random_sets(int count, double utilization,
     out.push_back(draw_fig8_set(rng, utilization));
   }
   return out;
+}
+
+/// Iteration multiplier for the differential fuzz suites. The nightly
+/// long-fuzz CI workflow sets EDFKIT_FUZZ_MULT=20 to run the same
+/// fuzzers at 20x depth; interactive runs default to 1.
+inline std::uint64_t fuzz_multiplier() {
+  const char* env = std::getenv("EDFKIT_FUZZ_MULT");
+  if (env == nullptr || *env == '\0') return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+/// Drop a minimized-repro artifact (seed + config + failure context)
+/// into $EDFKIT_FUZZ_ARTIFACT_DIR, when set — the nightly workflow
+/// uploads that directory on failure. No-op otherwise.
+inline void write_fuzz_artifact(const std::string& name,
+                                const std::string& content) {
+  const char* dir = std::getenv("EDFKIT_FUZZ_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(std::string(dir) + "/" + name);
+  out << content;
 }
 
 }  // namespace edfkit::testing

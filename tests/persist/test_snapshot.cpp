@@ -1,0 +1,382 @@
+/// \file test_snapshot.cpp
+/// Durable admission state, snapshot half: save()/load() must restore a
+/// store that makes *bit-identical* decisions to the original. The
+/// centerpiece is a differential fuzz (>= 500 churn ops at U -> 1 with
+/// group arrivals and removals) that repeatedly round-trips one
+/// controller through disk while a never-persisted twin steps the same
+/// trace — every decision and every published header field must match.
+/// EDFKIT_FUZZ_MULT scales the depth (the nightly long-fuzz workflow
+/// runs 20x).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "admission/replay.hpp"
+#include "admission/snapshot.hpp"
+#include "helpers.hpp"
+#include "persist/format.hpp"
+
+namespace edfkit {
+namespace {
+
+using testing::tk;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "edfkit_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+AdmissionOptions fuzz_options() {
+  AdmissionOptions opts;
+  opts.skip_exact = true;  // rung <= 2: pure incremental-store decisions
+  return opts;
+}
+
+std::vector<TraceEvent> fuzz_trace(std::uint64_t seed, std::size_t events) {
+  ChurnConfig churn;
+  churn.warmup_arrivals = 40;
+  churn.events = events;
+  churn.pool_utilization = 0.99;  // ride the admission boundary
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 40;
+  churn.group_probability = 0.35;
+  churn.group_size = 5;
+  Rng rng(seed);
+  return generate_churn_trace(rng, churn);
+}
+
+void expect_headers_equal(const StoreHeader& a, const StoreHeader& b,
+                          const char* what) {
+  // Epochs count publications per process and legitimately differ.
+  EXPECT_EQ(a.residents, b.residents) << what;
+  EXPECT_EQ(a.constrained, b.constrained) << what;
+  EXPECT_EQ(a.live_checkpoints, b.live_checkpoints) << what;
+  EXPECT_EQ(a.dead_checkpoints, b.dead_checkpoints) << what;
+  EXPECT_EQ(a.segments, b.segments) << what;
+  EXPECT_EQ(a.utilization, b.utilization) << what;
+  EXPECT_EQ(a.cert_ratio, b.cert_ratio) << what;
+}
+
+/// Step one trace event against a controller, tracking key -> ids.
+struct Stepper {
+  AdmissionController* ctl;
+  std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> live;
+
+  bool step(const TraceEvent& ev) {
+    if (ev.op == TraceOp::Depart) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first != ev.key) continue;
+        (void)ctl->remove_group(live[i].second);
+        live[i] = live.back();
+        live.pop_back();
+        break;
+      }
+      return true;
+    }
+    if (ev.op == TraceOp::Crash) return true;
+    if (ev.op == TraceOp::ArriveGroup) {
+      GroupDecision d = ctl->admit_group(ev.group);
+      if (d.admitted) live.emplace_back(ev.key, std::move(d.ids));
+      return d.admitted;
+    }
+    const AdmissionDecision d = ctl->try_admit(ev.task);
+    if (d.admitted) live.emplace_back(ev.key, std::vector<TaskId>{d.id});
+    return d.admitted;
+  }
+};
+
+TEST(Snapshot, EmptyControllerRoundTrips) {
+  const std::string path = temp_path("empty");
+  AdmissionController a(fuzz_options());
+  save_snapshot(a, path, 0);
+  AdmissionController b;  // different default options get overwritten
+  const SnapshotMeta meta = load_snapshot(b, path);
+  EXPECT_EQ(meta.kind, SnapshotKind::Controller);
+  EXPECT_EQ(meta.journal_lsn, 0u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.options().skip_exact);
+  // Both decide the same arrival the same way.
+  const Task t = tk(1, 4, 8);
+  EXPECT_EQ(a.try_admit(t).admitted, b.try_admit(t).admitted);
+  EXPECT_TRUE(b.verify_consistency());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RoundTripRestoresStateBitExactly) {
+  const std::string path = temp_path("roundtrip");
+  AdmissionController live(fuzz_options());
+  const std::vector<TraceEvent> trace = fuzz_trace(11, 400);
+  Stepper s{&live, {}};
+  for (const TraceEvent& ev : trace) (void)s.step(ev);
+  ASSERT_GT(live.size(), 0u);
+
+  save_snapshot(live, path, 123);
+  AdmissionController loaded;
+  const SnapshotMeta meta = load_snapshot(loaded, path);
+  EXPECT_EQ(meta.journal_lsn, 123u);
+
+  // Aggregates, options, stats, and per-id refinement levels all match.
+  expect_headers_equal(live.demand_header(), loaded.demand_header(),
+                       "after load");
+  EXPECT_EQ(live.stats().to_string(), loaded.stats().to_string());
+  EXPECT_EQ(live.options().epsilon, loaded.options().epsilon);
+  const TaskSet a = live.snapshot();
+  const TaskSet b = loaded.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "row " << i;
+  }
+  for (const auto& [key, ids] : s.live) {
+    for (const TaskId id : ids) {
+      ASSERT_NE(live.find(id), nullptr);
+      ASSERT_NE(loaded.find(id), nullptr);
+      EXPECT_TRUE(*live.find(id) == *loaded.find(id)) << "id " << id;
+    }
+  }
+  // The loaded store's incremental aggregates equal a from-scratch
+  // rebuild of its own rows — the strongest internal-consistency check.
+  EXPECT_TRUE(loaded.verify_consistency());
+  std::remove(path.c_str());
+}
+
+/// The acceptance fuzz: >= 500 churn ops at U -> 1 (groups + removals);
+/// one controller round-trips through disk every ~90 events, the twin
+/// never touches disk. Bit-identical decisions and headers throughout.
+TEST(Snapshot, DifferentialFuzzRestoredVsNeverPersistedTwin) {
+  const std::uint64_t mult = testing::fuzz_multiplier();
+  const std::string path = temp_path("fuzz");
+  const std::size_t events = 600 * static_cast<std::size_t>(mult);
+  for (std::uint64_t seed : {3u, 17u}) {
+    const std::vector<TraceEvent> trace = fuzz_trace(seed, events);
+    auto persisted = std::make_unique<AdmissionController>(fuzz_options());
+    AdmissionController twin(fuzz_options());
+    Stepper sp{persisted.get(), {}};
+    Stepper st{&twin, {}};
+    std::size_t round_trips = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const bool dp = sp.step(trace[i]);
+      const bool dt = st.step(trace[i]);
+      if (dp != dt) {
+        std::ostringstream repro;
+        repro << "snapshot differential fuzz divergence\nseed=" << seed
+              << " event=" << i << " persisted=" << dp << " twin=" << dt
+              << "\n";
+        testing::write_fuzz_artifact("snapshot_fuzz_divergence.txt",
+                                     repro.str());
+      }
+      ASSERT_EQ(dp, dt) << "seed " << seed << " event " << i;
+      expect_headers_equal(persisted->demand_header(), twin.demand_header(),
+                           "mid-fuzz");
+      if ((i + 1) % 89 == 0) {
+        // Round-trip the persisted controller through disk and carry
+        // on with the *loaded* store.
+        save_snapshot(*persisted, path, 0);
+        auto loaded = std::make_unique<AdmissionController>();
+        (void)load_snapshot(*loaded, path);
+        persisted = std::move(loaded);
+        sp.ctl = persisted.get();
+        ++round_trips;
+      }
+    }
+    EXPECT_GT(round_trips, 4u) << "the fuzz must actually round-trip";
+    EXPECT_GT(persisted->stats().rejected, 0u)
+        << "U -> 1 churn must exercise rejects";
+    EXPECT_TRUE(persisted->verify_consistency());
+    EXPECT_TRUE(twin.verify_consistency());
+    EXPECT_EQ(persisted->stats().to_string(), twin.stats().to_string());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CrashOpsResumeTransparently) {
+  // TraceOp::Crash makes the persistence replay drop state and recover
+  // in place; the decision stream must equal a crash-free replay of the
+  // same trace.
+  const std::string snap = temp_path("crash.snap");
+  const std::string wal = temp_path("crash.wal");
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+  ChurnConfig churn;
+  churn.warmup_arrivals = 30;
+  churn.events = 500;
+  churn.pool_utilization = 0.99;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 30;
+  churn.group_probability = 0.3;
+  churn.group_size = 4;
+  churn.crash_probability = 0.05;
+  Rng rng(21);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+
+  AdmissionController durable(fuzz_options());
+  ReplayPersistence persistence;
+  persistence.snapshot_path = snap;
+  persistence.journal_path = wal;
+  persistence.snapshot_every = 32;
+  const ReplayStats a = replay_trace(trace, durable, persistence);
+
+  AdmissionController plain(fuzz_options());
+  const ReplayStats b = replay_trace(trace, plain);
+
+  EXPECT_GT(a.crashes, 0u);  // the resume path actually ran
+  EXPECT_GT(a.snapshots, 0u);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.by_rung, b.by_rung);
+  expect_headers_equal(durable.demand_header(), plain.demand_header(),
+                       "after crash/resume replay");
+  EXPECT_TRUE(durable.verify_consistency());
+
+  // Journal-only durability (no snapshot file ever): every crash is a
+  // cold full-journal replay — recover() must reset the live state
+  // first, not double-apply the records on top of it.
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+  AdmissionController journal_only(fuzz_options());
+  ReplayPersistence wal_only;
+  wal_only.journal_path = wal;
+  const ReplayStats c = replay_trace(trace, journal_only, wal_only);
+  EXPECT_GT(c.crashes, 0u);
+  EXPECT_EQ(c.admitted, b.admitted);
+  EXPECT_EQ(c.rejected, b.rejected);
+  EXPECT_EQ(c.by_rung, b.by_rung);
+  expect_headers_equal(journal_only.demand_header(), plain.demand_header(),
+                       "after journal-only crash/resume replay");
+  EXPECT_TRUE(journal_only.verify_consistency());
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+}
+
+TEST(Snapshot, EngineRoundTripRestoresShards) {
+  const std::string path = temp_path("engine");
+  EngineOptions opts;
+  opts.shards = 3;
+  opts.placement = PlacementPolicy::WorstFit;
+  opts.admission.skip_exact = true;
+  AdmissionEngine engine(opts);
+  Rng rng(5);
+  std::vector<GlobalTaskId> placed;
+  for (int round = 0; round < 6; ++round) {
+    const TaskSet ts = draw_small_set(rng, 0.6);
+    for (const Task& t : ts) {
+      const PlacementDecision d = engine.admit(t);
+      if (d.admitted) placed.push_back(d.id);
+    }
+  }
+  for (std::size_t i = 0; i < placed.size(); i += 3) {
+    (void)engine.remove(placed[i]);
+  }
+  ASSERT_GT(engine.stats().resident, 0u);
+
+  save_snapshot(engine, path);
+  EngineOptions stale;  // every option is overwritten by the load
+  stale.shards = 1;
+  AdmissionEngine restored(stale);
+  const SnapshotMeta meta = load_snapshot(restored, path);
+  EXPECT_EQ(meta.kind, SnapshotKind::Engine);
+  ASSERT_EQ(restored.shards(), engine.shards());
+  const EngineStats a = engine.stats_locked();
+  const EngineStats b = restored.stats_locked();
+  EXPECT_EQ(a.resident, b.resident);
+  EXPECT_EQ(a.admission.to_string(), b.admission.to_string());
+  EXPECT_EQ(a.shard_resident, b.shard_resident);
+  for (std::size_t i = 0; i < engine.shards(); ++i) {
+    const TaskSet sa = engine.shard_snapshot(i);
+    const TaskSet sb = restored.shard_snapshot(i);
+    ASSERT_EQ(sa.size(), sb.size()) << "shard " << i;
+    for (std::size_t r = 0; r < sa.size(); ++r) {
+      EXPECT_TRUE(sa[r] == sb[r]) << "shard " << i << " row " << r;
+    }
+    EXPECT_TRUE(restored.analyze_shard(i).feasible() ||
+                sb.empty());  // the admission invariant survives disk
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EngineJournalRecoveryRestoresResidents) {
+  const std::string snap = temp_path("ej.snap");
+  const std::string wal = temp_path("ej.wal");
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.admission.skip_exact = true;
+  persist::Journal journal = persist::Journal::create(wal);
+  std::vector<GlobalTaskId> placed;
+  {
+    AdmissionEngine engine(opts);
+    engine.attach_journal(&journal);
+    Rng rng(9);
+    for (int round = 0; round < 4; ++round) {
+      const TaskSet ts = draw_small_set(rng, 0.5);
+      std::vector<Task> group(ts.begin(), ts.end());
+      const GroupPlacement g = engine.admit_group(group);
+      if (g.admitted) {
+        placed.insert(placed.end(), g.ids.begin(), g.ids.end());
+      }
+      if (round == 1) save_snapshot(engine, snap, &journal);
+      if (!placed.empty() && round >= 2) {
+        (void)engine.remove(placed.front());
+        placed.erase(placed.begin());
+      }
+    }
+    engine.attach_journal(nullptr);
+
+    EngineOptions stale;
+    stale.shards = 1;
+    AdmissionEngine restored(stale);
+    const RecoveryResult rec = recover(restored, snap, wal);
+    EXPECT_TRUE(rec.snapshot_loaded);
+    EXPECT_GT(rec.replayed, 0u);
+    EXPECT_EQ(rec.skipped, 0u);
+    const EngineStats a = engine.stats_locked();
+    const EngineStats b = restored.stats_locked();
+    EXPECT_EQ(a.resident, b.resident);
+    EXPECT_EQ(a.shard_resident, b.shard_resident);
+    for (std::size_t i = 0; i < engine.shards(); ++i) {
+      const TaskSet sa = engine.shard_snapshot(i);
+      const TaskSet sb = restored.shard_snapshot(i);
+      ASSERT_EQ(sa.size(), sb.size()) << "shard " << i;
+      for (std::size_t r = 0; r < sa.size(); ++r) {
+        EXPECT_TRUE(sa[r] == sb[r]) << "shard " << i << " row " << r;
+      }
+    }
+  }
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+}
+
+TEST(Snapshot, KindMismatchAndGarbageAreTypedErrors) {
+  const std::string path = temp_path("kind");
+  AdmissionController ctl;
+  save_snapshot(ctl, path, 0);
+  EngineOptions eopts;
+  eopts.shards = 1;
+  AdmissionEngine engine(eopts);
+  try {
+    (void)load_snapshot(engine, path);
+    FAIL() << "controller snapshot loaded as engine";
+  } catch (const persist::PersistError& e) {
+    EXPECT_EQ(e.code(), persist::PersistErrc::BadValue);
+  }
+  // Garbage bytes: BadMagic, not a silent empty store.
+  {
+    std::vector<std::uint8_t> junk(32, static_cast<std::uint8_t>('n'));
+    persist::write_file_atomic(path, junk);
+    AdmissionController out;
+    try {
+      (void)load_snapshot(out, path);
+      FAIL() << "garbage accepted";
+    } catch (const persist::PersistError& e) {
+      EXPECT_EQ(e.code(), persist::PersistErrc::BadMagic);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edfkit
