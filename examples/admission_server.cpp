@@ -8,6 +8,8 @@
 ///                      [--utilization 0.9] [--seed N]
 ///                      [--snapshot engine.snap] [--journal engine.wal]
 ///                      [--checkpoint-ms 250] [--fsync none|record]
+///                      [--metrics-dump] [--trace-out flight.json]
+///                      [--trace-capacity 512]
 ///
 /// Each stream generates its own churn trace (gen/scenario §5 workload)
 /// and pushes arrivals through the engine's worker pool via submit();
@@ -23,13 +25,23 @@
 /// streams at the next event boundary, then flushes one final snapshot
 /// and fsyncs the journal before exiting — a restart resumes from
 /// exactly that state.
+///
+/// Observability (src/obs/): the server always runs with metrics and
+/// the per-shard flight recorder attached. SIGUSR1 dumps the registry
+/// (Prometheus text format) to stderr at any point mid-run without
+/// pausing the streams; --metrics-dump prints the same dump to stdout
+/// at the end; --trace-out writes the flight recorder's most recent
+/// decision traces as JSON.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -38,6 +50,7 @@
 #include "admission/engine.hpp"
 #include "admission/replay.hpp"
 #include "admission/snapshot.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 
@@ -49,6 +62,12 @@ using namespace edfkit;
 std::atomic<bool> g_stop{false};
 
 void on_sigterm(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// SIGUSR1 requests a metrics dump; the handler only sets a flag — a
+/// monitor thread does the (allocating, non-async-signal-safe) export.
+std::atomic<bool> g_dump{false};
+
+void on_sigusr1(int) { g_dump.store(true, std::memory_order_relaxed); }
 
 PlacementPolicy parse_placement(const std::string& s) {
   for (const PlacementPolicy p :
@@ -105,6 +124,12 @@ int main(int argc, char** argv) {
     const auto seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 20050307));
 
+    const bool metrics_dump = flags.get_bool("metrics-dump", false);
+    const std::string trace_out = flags.get("trace-out", "");
+    obs::ObsConfig ocfg;
+    ocfg.trace_capacity =
+        static_cast<std::size_t>(flags.get_int("trace-capacity", 512));
+
     const std::string snapshot_path = flags.get("snapshot", "");
     const std::string journal_path = flags.get("journal", "");
     const auto checkpoint_ms = flags.get_int("checkpoint-ms", 250);
@@ -116,11 +141,13 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --fsync '" + fsync_name + "'");
     }
 
-    // The journal outlives the engine (declared first, destroyed last):
-    // worker threads may append until the engine's destructor joins
-    // them.
+    // The journal and the Obs sink outlive the engine (declared first,
+    // destroyed last): worker threads may append / record until the
+    // engine's destructor joins them.
     std::optional<persist::Journal> journal;
+    obs::Obs obs(ocfg, std::max<std::size_t>(1, opts.shards));
     AdmissionEngine engine(opts);
+    engine.attach_obs(&obs);
 
     // Resume whatever a previous process left behind, then arm
     // durability for this run. Recovery runs before any stream starts
@@ -140,6 +167,7 @@ int main(int argc, char** argv) {
     }
     if (!journal_path.empty()) {
       journal.emplace(persist::Journal::open_append(journal_path, jopts));
+      journal->attach_obs(obs.journal());
       engine.attach_journal(&*journal);
     }
     std::optional<CheckpointDaemon> checkpointer;
@@ -153,6 +181,23 @@ int main(int argc, char** argv) {
       // end in a journal fsync, not a mid-append kill.
       std::signal(SIGTERM, on_sigterm);
     }
+
+    // SIGUSR1 → live metrics dump to stderr, serviced by a polling
+    // monitor so the export (which allocates) never runs in signal
+    // context. The registry aggregates lock-free, so dumping does not
+    // pause the streams.
+    std::signal(SIGUSR1, on_sigusr1);
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor([&] {
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        if (g_dump.exchange(false, std::memory_order_relaxed)) {
+          const std::string text = obs.registry().to_prometheus();
+          std::fwrite(text.data(), 1, text.size(), stderr);
+          std::fflush(stderr);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
 
     const std::string workers =
         opts.workers == 0 ? "auto" : std::to_string(opts.workers);
@@ -198,6 +243,21 @@ int main(int argc, char** argv) {
     std::printf("\n%llu events in %.3fs -> %.0f decisions/sec\n",
                 static_cast<unsigned long long>(events), secs,
                 static_cast<double>(events) / secs);
+
+    monitor_stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+    if (metrics_dump) {
+      const std::string text = obs.registry().to_prometheus();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        throw std::runtime_error("cannot open --trace-out " + trace_out);
+      }
+      out << obs.recorder().to_json() << '\n';
+      std::printf("flight recorder -> %s\n", trace_out.c_str());
+    }
 
     // Durable shutdown: one final snapshot + journal fsync while the
     // engine is quiesced (streams joined above). This is the same path

@@ -8,6 +8,12 @@
 ///       [--tests qpa,chakraborty,...]   (registry names, see --list)
 ///       [--ladder] [--epsilon 0.25] [--fallback qpa]
 ///       [--csv out.csv] [--json | --json=out.json] [--quiet] [--list]
+///       [--metrics-json | --metrics-json=out.json]
+///
+/// `--metrics-json` re-runs every (set, backend) cell standalone with a
+/// wall-clock probe and emits the obs metrics registry (per-backend
+/// `query_ns_<backend>` latency histograms, log2 buckets) as JSON — the
+/// dashboard-friendly companion to the effort columns.
 ///
 /// Test selection is by backend-registry name (`--list` prints the
 /// capability table), so the selection survives enum reordering and new
@@ -31,6 +37,8 @@
 
 #include "core/batch.hpp"
 #include "lit/literature.hpp"
+#include "model/io.hpp"
+#include "obs/obs.hpp"
 #include "query/query.hpp"
 #include "util/cli.hpp"
 
@@ -94,6 +102,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> files = flags.rest();
     const BareFlag list_flag = scan_bare(argc, argv, "list", files);
     const BareFlag json_flag = scan_bare(argc, argv, "json", files);
+    const BareFlag metrics_flag =
+        scan_bare(argc, argv, "metrics-json", files);
     if (list_flag.present) {
       std::printf("%s", BackendRegistry::instance().capability_table().c_str());
       return 0;
@@ -135,19 +145,23 @@ int main(int argc, char** argv) {
       }
     }
 
-    BatchReport report;
+    // The entries stay materialized (rather than going through
+    // run_batch_files) so the --metrics-json timing pass below can
+    // reuse them.
+    std::vector<BatchEntry> entries;
     if (!files.empty()) {
-      report = run_batch_files(files, query);
+      for (const std::string& path : files) {
+        entries.push_back({path, load_task_set(path)});
+      }
     } else {
       std::printf("no files given; analyzing the built-in literature sets\n"
                   "(usage: batch_analyze <taskset.txt>... [--tests a,b] "
                   "[--csv out.csv] [--json out.json])\n\n");
-      std::vector<BatchEntry> entries;
       for (const auto& s : lit::all_literature_sets()) {
         entries.push_back({s.name, s.tasks});
       }
-      report = run_batch(entries, query);
     }
+    const BatchReport report = run_batch(entries, query);
 
     if (!flags.get_bool("quiet", false)) {
       std::printf("%s", report.to_string().c_str());
@@ -165,6 +179,35 @@ int main(int argc, char** argv) {
         std::ofstream out(json_flag.value);
         out << report.to_json();
         std::printf("json written to %s\n", json_flag.value.c_str());
+      }
+    }
+    if (metrics_flag.present) {
+      // Per-backend wall-clock latency: every (set, backend) cell runs
+      // once more standalone, timed into a `query_ns_<backend>`
+      // histogram. A second pass costs one extra batch but keeps the
+      // main report's effort columns untouched by probe overhead.
+      obs::Obs obs(obs::ObsConfig{true, false, 0});
+      for (const BackendSelection& s : query.backends()) {
+        obs::Histogram h = obs.query_ns(to_string(s.kind));
+        const Query one = Query::single(s.kind, s.params);
+        for (const BatchEntry& e : entries) {
+          try {
+            const std::uint64_t t0 = obs::now_ns();
+            (void)one.run(e.tasks);
+            h.record(obs::now_ns() - t0);
+          } catch (const std::invalid_argument&) {
+            // Backend does not support this workload kind — the main
+            // report already shows the cell as skipped.
+          }
+        }
+      }
+      if (metrics_flag.value.empty()) {
+        std::printf("%s\n", obs.registry().to_json().c_str());
+      } else {
+        std::ofstream out(metrics_flag.value);
+        out << obs.registry().to_json();
+        std::printf("metrics json written to %s\n",
+                    metrics_flag.value.c_str());
       }
     }
 

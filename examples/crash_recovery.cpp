@@ -7,6 +7,7 @@
 ///                    [--snapshot-every 48] [--kill-min-ms 5]
 ///                    [--kill-max-ms 120] [--dir crash-scratch]
 ///                    [--fsync none|record]
+///                    [--flight-out <dir>/flight_recorder.json]
 ///
 /// Each trial:
 ///   1. fork() a child that replays a deterministic group-churn trace
@@ -28,6 +29,12 @@
 ///      decision-stream equality event for event, then
 ///      verify_consistency() on each.
 ///
+/// The recovered controller runs the continuation with the flight
+/// recorder attached (the bare twin stays uninstrumented — the
+/// decision-stream equality check doubles as proof that observability
+/// is purely read-side), and each trial dumps the captured decision
+/// traces as JSON to --flight-out.
+///
 /// Exit 0 = all trials passed. Exit 1 = divergence (the scratch dir is
 /// left in place — CI uploads it as the failure artifact). Exit 2 =
 /// harness error.
@@ -39,11 +46,13 @@
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "admission/replay.hpp"
 #include "admission/snapshot.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 
@@ -124,7 +133,7 @@ bool resident_equal(const TaskSet& a, const TaskSet& b) {
 bool run_trial(std::uint64_t seed, int trial, const std::string& dir,
                std::size_t events, std::size_t snapshot_every,
                Time kill_min_ms, Time kill_max_ms,
-               persist::FsyncPolicy fsync) {
+               persist::FsyncPolicy fsync, const std::string& flight_out) {
   const std::string snap = dir + "/ctl.snap";
   const std::string wal = dir + "/ctl.wal";
   std::remove(snap.c_str());
@@ -170,6 +179,12 @@ bool run_trial(std::uint64_t seed, int trial, const std::string& dir,
   const RecoveryResult rec = recover(recovered, snap, wal);
   AdmissionController twin(controller_options());
   const RecoveryResult ref = recover(twin, "", wal);
+
+  // Flight recorder on the recovered side only: probes are purely
+  // read-side, so the instrumented `recovered` must keep matching the
+  // bare `twin` decision for decision below.
+  obs::Obs obs({}, 1);
+  recovered.attach_obs(&obs);
 
   std::printf(
       "trial %d: killed=%d after %lldms | journal=%llu records%s | "
@@ -228,6 +243,21 @@ bool run_trial(std::uint64_t seed, int trial, const std::string& dir,
     std::fprintf(stderr, "FAIL: recovered store fails its own rebuild\n");
     return false;
   }
+
+  // Dump what the recovered controller just decided (the continuation
+  // run above) — the CI artifact for post-mortem inspection. Each
+  // trial overwrites the file; the last one wins.
+  std::vector<obs::DecisionTrace> captured;
+  const std::size_t n = obs.recorder().capture_all(captured);
+  std::ofstream fo(flight_out);
+  if (fo) {
+    fo << obs.recorder().to_json() << '\n';
+    std::printf("trial %d: flight recorder: %zu decision traces -> %s\n",
+                trial, n, flight_out.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot open --flight-out %s\n",
+                 flight_out.c_str());
+  }
   return true;
 }
 
@@ -253,6 +283,8 @@ int main(int argc, char** argv) {
     } else if (fsync_name != "none") {
       throw std::invalid_argument("unknown --fsync '" + fsync_name + "'");
     }
+    const std::string flight_out =
+        flags.get("flight-out", dir + "/flight_recorder.json");
     ::mkdir(dir.c_str(), 0755);
 
     std::printf("crash recovery harness: seed=%llu trials=%d events=%zu "
@@ -263,7 +295,7 @@ int main(int argc, char** argv) {
 
     for (int t = 0; t < trials; ++t) {
       if (!run_trial(seed, t, dir, events, snapshot_every, kill_min,
-                     kill_max, fsync)) {
+                     kill_max, fsync, flight_out)) {
         std::fprintf(stderr,
                      "\ntrial %d FAILED (seed %llu) — artifacts kept in "
                      "%s/\n",

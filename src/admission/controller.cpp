@@ -5,10 +5,17 @@
 #include <stdexcept>
 
 #include "admission/snapshot.hpp"
+#include "obs/obs.hpp"
 #include "persist/journal.hpp"
 #include "query/query.hpp"
 
 namespace edfkit {
+
+// The obs layer is a dependency leaf and mirrors the rung count; keep
+// the mirror honest here, where both headers are visible.
+static_assert(obs::kTraceRungs == kAdmissionRungs,
+              "obs::kTraceRungs must mirror kAdmissionRungs");
+
 namespace {
 
 /// Rung-3 / verification analyses route through the unified query API
@@ -24,6 +31,128 @@ FeasibilityResult query_exact(const TaskSet& ts, TestKind kind,
       .run(WorkloadView(ts))
       .analysis;
 }
+
+/// Per-decision observability probe: collects rung-boundary timestamps
+/// and scan internals while the ladder runs, then settles them into
+/// the instrument bundle and the flight-recorder ring in one shot.
+/// When nothing is attached every method is a single branch — the
+/// ObsConfig::disabled() overhead story depends on exactly that.
+struct DecisionProbe {
+  const obs::AdmissionInstruments* m;
+  obs::TraceRing* ring;
+  bool active;
+  std::uint64_t t0 = 0;
+  std::uint64_t t_rung = 0;
+  std::uint64_t compactions0 = 0;
+  std::uint64_t scan_iters = 0;
+  std::size_t cur = 0;  // rung currently on the clock
+  std::size_t ws = 0;   // write_shard(), looked up once per decision
+  obs::DecisionTrace tr;
+
+  DecisionProbe(const obs::AdmissionInstruments* metrics,
+                obs::TraceRing* trace,
+                std::uint64_t compactions_now) noexcept
+      : m(metrics), ring(trace),
+        active(metrics != nullptr || trace != nullptr) {
+    if (!active) return;
+    t0 = t_rung = obs::now_ticks();
+    compactions0 = compactions_now;
+    tr.rungs_entered = 1;  // every decision starts on Structural
+    if (m != nullptr) ws = obs::write_shard();
+  }
+
+  /// The ladder escalated: close the current rung's clock, open `r`'s.
+  /// rung_ns accumulates raw ticks until finish() converts in place.
+  /// No counter write here: rung attempts are derived at read time
+  /// from the rung_ns sample counts (one sample per entered rung).
+  void enter(AdmissionRung r) noexcept {
+    if (!active) return;
+    const std::uint64_t now = obs::now_ticks();
+    tr.rung_ns[cur] += now - t_rung;
+    t_rung = now;
+    cur = static_cast<std::size_t>(r);
+    tr.rungs_entered |= static_cast<std::uint8_t>(1u << cur);
+  }
+
+  /// Outcome of the rung-2 O(1) certificate-cover test. Only misses
+  /// write (amortized into the scan they trigger); hits are derived as
+  /// rung-2 attempts minus misses, keeping the O(1) fast path free.
+  void cover(bool hit) noexcept {
+    if (!active) return;
+    tr.cert_cover = hit;
+    if (m != nullptr && !hit) m->cert_cover_misses.add_at(ws);
+  }
+
+  /// Fold one demand scan's internals into the decision record. The
+  /// counters flush once in finish(), not per scan call.
+  void scan(const DemandCheck& c) noexcept {
+    if (!active) return;
+    scan_iters += c.iterations;
+    tr.refinements += static_cast<std::uint32_t>(c.revisions);
+    tr.segments_walked += c.segments_walked;
+    tr.segments_fast_forwarded += c.segments_fast_forwarded;
+  }
+
+  void rollback() noexcept {
+    if (active) tr.rollback = true;
+  }
+
+  void finish(bool admitted, AdmissionRung rung, std::uint64_t sequence,
+              TaskId id, std::size_t group_size,
+              std::uint64_t compactions_now) noexcept {
+    if (!active) return;
+    const std::uint64_t now = obs::now_ticks();
+    tr.rung_ns[cur] += now - t_rung;
+    // Convert tick deltas to ns in place. total_ns is the sum of the
+    // converted per-rung values (not the converted t0 delta) so that
+    // "entered rung_ns sum exactly to total_ns" survives rounding.
+    const double k = obs::ns_per_tick();
+    tr.total_ns = 0;
+    for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
+      tr.rung_ns[r] = static_cast<std::uint64_t>(
+          static_cast<double>(tr.rung_ns[r]) * k);
+      tr.total_ns += tr.rung_ns[r];
+    }
+    tr.sequence = sequence;
+    tr.task_id = id;
+    tr.group_size = static_cast<std::uint32_t>(group_size);
+    tr.admitted = admitted;
+    tr.rung = static_cast<std::uint8_t>(rung);
+    if (m != nullptr) {
+      // Rung histograms in ascending order: attempts/settled/rejects
+      // are all derived from their sample counts, and recording r
+      // before r + 1 keeps those differences non-negative even for a
+      // reader racing this flush. The entire outcome tally then costs
+      // one RMW (rung_admits on admit, nothing on reject).
+      for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
+        if (((tr.rungs_entered >> r) & 1u) != 0) {
+          m->rung_ns[r].record_at(ws, tr.rung_ns[r]);
+        }
+      }
+      m->decision_ns.record_at(ws, tr.total_ns);
+      if (admitted) {
+        m->rung_admits[static_cast<std::size_t>(rung)].add_at(ws);
+      }
+      if (group_size > 0) m->group_decisions.add_at(ws);
+      if (tr.rollback) m->rollbacks.add_at(ws);
+      const std::uint64_t compacted = compactions_now - compactions0;
+      if (compacted != 0) m->tombstone_compactions.add_at(ws, compacted);
+      // Scan internals accumulated across the decision's scans flush
+      // here once; zero deltas skip the RMW entirely.
+      if (scan_iters != 0) m->scan_iterations.add_at(ws, scan_iters);
+      if (tr.refinements != 0) {
+        m->scan_refinements.add_at(ws, tr.refinements);
+      }
+      if (tr.segments_walked != 0) {
+        m->segments_walked.add_at(ws, tr.segments_walked);
+      }
+      if (tr.segments_fast_forwarded != 0) {
+        m->segments_fast_forwarded.add_at(ws, tr.segments_fast_forwarded);
+      }
+    }
+    if (ring != nullptr) ring->push(tr);
+  }
+};
 
 }  // namespace
 
@@ -68,6 +197,21 @@ std::string AdmissionStats::to_string() const {
   return os.str();
 }
 
+std::string AdmissionStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"arrivals\":" << arrivals << ",\"admitted\":" << admitted
+     << ",\"rejected\":" << rejected << ",\"removals\":" << removals
+     << ",\"groups\":" << groups << ",\"total_effort\":" << total_effort
+     << ",\"by_rung\":{";
+  for (std::size_t i = 0; i < by_rung.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << edfkit::to_string(static_cast<AdmissionRung>(i)) << "\":"
+       << by_rung[i];
+  }
+  os << "}}";
+  return os.str();
+}
+
 AdmissionController::AdmissionController(AdmissionOptions opts)
     : opts_(opts),
       demand_(opts.epsilon, opts.use_slack_index, opts.eager_compaction) {
@@ -86,6 +230,9 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
   AdmissionDecision d;
   d.sequence = ++sequence_;
   ++stats_.arrivals;
+  // Probe clock starts after the WAL append: rung timings measure
+  // ladder work; journal latency has its own histograms.
+  DecisionProbe probe(metrics_, trace_, demand_.compactions());
 
   const auto settle = [&](bool admitted, AdmissionRung rung) {
     d.admitted = admitted;
@@ -93,6 +240,8 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
     ++(admitted ? stats_.admitted : stats_.rejected);
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
+    probe.finish(admitted, rung, d.sequence, d.id, 0,
+                 demand_.compactions());
     return d;
   };
 
@@ -108,6 +257,7 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
 
   // Rung 1: exact utilization classification of the widened set, O(1)
   // and mutation-free — saturation rejects touch no demand state at all.
+  probe.enter(AdmissionRung::Utilization);
   d.analysis.iterations = 1;
   const UtilizationClass uc = demand_.utilization_class_with(t);
   if (uc == UtilizationClass::AboveOne) {
@@ -128,7 +278,10 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
 
   // Rung 2 fast path: the slack certificate from the last scan proves
   // the arrival's density fits — O(1), no scan.
-  if (demand_.certificate_covers(t)) {
+  probe.enter(AdmissionRung::Approximate);
+  const bool covered = demand_.certificate_covers(t);
+  probe.cover(covered);
+  if (covered) {
     d.admitted = true;
     d.id = demand_.add(t);
     d.analysis.verdict = Verdict::Feasible;
@@ -140,6 +293,7 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
   // rejecting rung restores it by removal.
   const TaskId id = demand_.add(t);
   const DemandCheck c = demand_.check();
+  probe.scan(c);
   d.analysis.iterations += c.iterations;
   d.analysis.revisions += c.revisions;
   d.analysis.max_interval_tested = c.max_interval_tested;
@@ -167,6 +321,7 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
 
   // Rung 3: exact fallback over the resident set, zero-copy (includes
   // the candidate) — the only from-scratch rung, for borderline sets.
+  probe.enter(AdmissionRung::Exact);
   const FeasibilityResult exact =
       query_exact(demand_.resident(), opts_.exact_fallback, opts_.analyzer);
   d.analysis.verdict = exact.verdict;
@@ -194,6 +349,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   d.sequence = ++sequence_;
   ++stats_.groups;
   stats_.arrivals += group.size();
+  DecisionProbe probe(metrics_, trace_, demand_.compactions());
 
   const auto settle = [&](bool admitted, AdmissionRung rung) {
     d.admitted = admitted;
@@ -202,6 +358,9 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
     if (!admitted) d.ids.clear();
+    probe.finish(admitted, rung, d.sequence,
+                 d.ids.empty() ? kInvalidTaskId : d.ids.front(),
+                 group.size(), demand_.compactions());
     return d;
   };
 
@@ -226,6 +385,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   }
 
   // Rung 1: one exact utilization classification of the widened set.
+  probe.enter(AdmissionRung::Utilization);
   d.analysis.iterations = 1;
   const UtilizationClass uc = demand_.utilization_class_with(group);
   if (uc == UtilizationClass::AboveOne) {
@@ -253,12 +413,14 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   // the first uncovered member on, the rest insert fused and *one*
   // certified scan decides the whole widened set. A group of one
   // degenerates exactly to try_admit's ladder.
+  probe.enter(AdmissionRung::Approximate);
   std::size_t covered = 0;
   while (covered < group.size() &&
          demand_.certificate_covers(group[covered])) {
     d.ids.push_back(demand_.add(group[covered]));
     ++covered;
   }
+  probe.cover(covered == group.size());
   if (covered == group.size()) {
     d.analysis.verdict = Verdict::Feasible;
     return settle(true, AdmissionRung::Approximate);
@@ -274,6 +436,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   const DemandCheck c = demand_.check(
       64 + 8 * static_cast<std::uint64_t>(demand_.size()),
       opts_.rollback_refinements ? &log : nullptr);
+  probe.scan(c);
   d.analysis.iterations += c.iterations;
   d.analysis.revisions += c.revisions;
   d.analysis.max_interval_tested = c.max_interval_tested;
@@ -285,6 +448,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   const auto rollback = [&] {
     (void)demand_.remove_group(d.ids);
     demand_.undo_refinements(log);
+    probe.rollback();
   };
   if (c.overflow_proof) {
     rollback();
@@ -301,6 +465,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
 
   // Rung 3: one exact fallback over the widened resident set (the
   // group is tentatively resident), zero-copy.
+  probe.enter(AdmissionRung::Exact);
   const FeasibilityResult exact =
       query_exact(demand_.resident(), opts_.exact_fallback, opts_.analyzer);
   d.analysis.verdict = exact.verdict;
@@ -324,6 +489,7 @@ bool AdmissionController::remove(TaskId id) {
   if (journal_ != nullptr) journal_->append(journal_codec::remove(id));
   if (!demand_.remove(id)) return false;
   ++stats_.removals;
+  if (metrics_ != nullptr) metrics_->removals.add();
   return true;
 }
 
@@ -333,7 +499,18 @@ std::size_t AdmissionController::remove_group(std::span<const TaskId> ids) {
   }
   const std::size_t gone = demand_.remove_group(ids);
   stats_.removals += gone;
+  if (metrics_ != nullptr && gone != 0) metrics_->removals.add(gone);
   return gone;
+}
+
+void AdmissionController::attach_obs(obs::Obs* obs, std::size_t shard) {
+  if (obs == nullptr || !obs->config().any()) {
+    metrics_ = nullptr;
+    trace_ = nullptr;
+    return;
+  }
+  metrics_ = obs->config().metrics ? obs->admission() : nullptr;
+  trace_ = obs->recorder().ring(shard);
 }
 
 const Task* AdmissionController::find(TaskId id) const noexcept {

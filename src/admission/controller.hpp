@@ -38,6 +38,12 @@ namespace persist {
 class Journal;
 }
 
+namespace obs {
+class Obs;
+class TraceRing;
+struct AdmissionInstruments;
+}  // namespace obs
+
 /// Which ladder rung produced a decision.
 enum class AdmissionRung : std::uint8_t {
   Structural,   ///< capacity policy (max_tasks / utilization_cap), no analysis
@@ -135,6 +141,9 @@ struct AdmissionStats {
   std::uint64_t total_effort = 0;
 
   [[nodiscard]] std::string to_string() const;
+  /// Machine-readable rendering (keys mirror the field names; by_rung
+  /// is an object keyed by rung name).
+  [[nodiscard]] std::string to_json() const;
 };
 
 class AdmissionController {
@@ -221,6 +230,15 @@ class AdmissionController {
     return journal_;
   }
 
+  /// Observability (src/obs/): while attached, every decision updates
+  /// the ladder's per-rung counters + cost histograms and pushes one
+  /// DecisionTrace into the recorder's ring for `shard`. Purely
+  /// read-side — verdicts, ids and the serialized store are unchanged,
+  /// so a recovered controller may attach where its crashed twin did
+  /// not. Pass nullptr (or a disabled Obs) to detach. The Obs must
+  /// outlive the attachment.
+  void attach_obs(obs::Obs* obs, std::size_t shard = 0);
+
  private:
   /// Snapshot save/load reaches every field (admission/snapshot.cpp).
   friend struct SnapshotCodec;
@@ -230,6 +248,9 @@ class AdmissionController {
   AdmissionStats stats_;
   std::uint64_t sequence_ = 0;
   persist::Journal* journal_ = nullptr;
+  /// Not serialized: observability is runtime wiring, not store state.
+  const obs::AdmissionInstruments* metrics_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 /// The ladder's test selection as analyzer kinds, in escalation order —

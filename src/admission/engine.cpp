@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "admission/snapshot.hpp"
+#include "obs/obs.hpp"
 #include "persist/journal.hpp"
 
 namespace edfkit {
@@ -30,6 +31,21 @@ std::string EngineStats::to_string() const {
   return os.str();
 }
 
+std::string EngineStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"admission\":" << admission.to_json()
+     << ",\"resident\":" << resident
+     << ",\"total_utilization\":" << total_utilization
+     << ",\"stats_read_retries\":" << stats_read_retries << ",\"shards\":[";
+  for (std::size_t i = 0; i < shard_utilization.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"resident\":" << shard_resident[i]
+       << ",\"utilization\":" << shard_utilization[i] << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
 void AdmissionEngine::Shard::publish() noexcept {
   // The protocol (odd-epoch, fences, lap check) lives in
   // util/seqlock.hpp; this only fills the named buffer.
@@ -51,24 +67,26 @@ void AdmissionEngine::Shard::publish() noexcept {
   });
 }
 
-void AdmissionEngine::Shard::read_stats(AdmissionStats& stats,
-                                        std::size_t& resident,
-                                        double& utilization) const noexcept {
-  (void)epoch.read([&](std::size_t idx) {
-    const Header& h = header[idx];
-    stats.arrivals = h.arrivals.load(std::memory_order_relaxed);
-    stats.admitted = h.admitted.load(std::memory_order_relaxed);
-    stats.rejected = h.rejected.load(std::memory_order_relaxed);
-    stats.removals = h.removals.load(std::memory_order_relaxed);
-    stats.groups = h.groups.load(std::memory_order_relaxed);
-    stats.total_effort = h.effort.load(std::memory_order_relaxed);
-    for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
-      stats.by_rung[r] = h.by_rung[r].load(std::memory_order_relaxed);
-    }
-    resident = static_cast<std::size_t>(
-        h.resident.load(std::memory_order_relaxed));
-    utilization = h.utilization.load(std::memory_order_relaxed);
-  });
+void AdmissionEngine::Shard::read_stats(
+    AdmissionStats& stats, std::size_t& resident, double& utilization,
+    std::uint64_t& retries) const noexcept {
+  (void)epoch.read(
+      [&](std::size_t idx) {
+        const Header& h = header[idx];
+        stats.arrivals = h.arrivals.load(std::memory_order_relaxed);
+        stats.admitted = h.admitted.load(std::memory_order_relaxed);
+        stats.rejected = h.rejected.load(std::memory_order_relaxed);
+        stats.removals = h.removals.load(std::memory_order_relaxed);
+        stats.groups = h.groups.load(std::memory_order_relaxed);
+        stats.total_effort = h.effort.load(std::memory_order_relaxed);
+        for (std::size_t r = 0; r < kAdmissionRungs; ++r) {
+          stats.by_rung[r] = h.by_rung[r].load(std::memory_order_relaxed);
+        }
+        resident = static_cast<std::size_t>(
+            h.resident.load(std::memory_order_relaxed));
+        utilization = h.utilization.load(std::memory_order_relaxed);
+      },
+      retries);
 }
 
 AdmissionEngine::AdmissionEngine(EngineOptions opts) : opts_(opts) {
@@ -123,9 +141,12 @@ std::vector<std::uint32_t> AdmissionEngine::placement_order(
 
 PlacementDecision AdmissionEngine::admit(const Task& t) {
   PlacementDecision out;
+  obs::EngineInstruments* const m = metrics_;
+  const std::uint64_t t0 = m != nullptr ? obs::now_ns() : 0;
   for (const std::uint32_t i : placement_order(t.utilization_double())) {
     Shard& s = *shards_[i];
     AdmissionDecision d;
+    const std::uint64_t s0 = m != nullptr ? obs::now_ns() : 0;
     {
       const std::lock_guard<std::mutex> lock(s.mu);
       d = s.controller.try_admit(t);
@@ -138,25 +159,37 @@ PlacementDecision AdmissionEngine::admit(const Task& t) {
         j->append(journal_codec::engine_admit(i, d.id, t));
       }
     }
+    if (m != nullptr) {
+      m->shard_decision_ns[i].record(obs::now_ns() - s0);
+    }
     ++out.shards_tried;
     out.rung = d.rung;
     out.analysis = d.analysis;
     if (d.admitted) {
       out.admitted = true;
       out.id = {i, d.id};
-      return out;
+      break;
     }
+  }
+  if (m != nullptr) {
+    m->placements.add();
+    if (!out.admitted) m->placement_rejects.add();
+    m->placement_ns.record(obs::now_ns() - t0);
+    m->shards_tried.record(out.shards_tried);
   }
   return out;
 }
 
 GroupPlacement AdmissionEngine::admit_group(std::span<const Task> group) {
   GroupPlacement out;
+  obs::EngineInstruments* const m = metrics_;
+  const std::uint64_t t0 = m != nullptr ? obs::now_ns() : 0;
   double group_util = 0.0;
   for (const Task& t : group) group_util += t.utilization_double();
   for (const std::uint32_t i : placement_order(group_util)) {
     Shard& s = *shards_[i];
     GroupDecision d;
+    const std::uint64_t s0 = m != nullptr ? obs::now_ns() : 0;
     {
       const std::lock_guard<std::mutex> lock(s.mu);
       d = s.controller.admit_group(group);
@@ -170,6 +203,9 @@ GroupPlacement AdmissionEngine::admit_group(std::span<const Task> group) {
         j->append(journal_codec::engine_admit_group(i, assigned, group));
       }
     }
+    if (m != nullptr) {
+      m->shard_decision_ns[i].record(obs::now_ns() - s0);
+    }
     ++out.shards_tried;
     out.rung = d.rung;
     out.analysis = d.analysis;
@@ -178,8 +214,14 @@ GroupPlacement AdmissionEngine::admit_group(std::span<const Task> group) {
       out.shard = i;
       out.ids.reserve(d.ids.size());
       for (const TaskId id : d.ids) out.ids.push_back({i, id});
-      return out;
+      break;
     }
+  }
+  if (m != nullptr) {
+    m->group_placements.add();
+    if (!out.admitted) m->placement_rejects.add();
+    m->placement_ns.record(obs::now_ns() - t0);
+    m->shards_tried.record(out.shards_tried);
   }
   return out;
 }
@@ -280,13 +322,22 @@ void merge_shard(EngineStats& out, const AdmissionStats& s,
 
 void AdmissionEngine::stats_into(EngineStats& out) const {
   reset_stats(out, shards_.size());
+  std::uint64_t retries = 0;
   for (const auto& shard : shards_) {
     AdmissionStats s;
     std::size_t resident = 0;
     double utilization = 0.0;
-    shard->read_stats(s, resident, utilization);  // no mutex: wait-free
+    // No mutex: wait-free (retries counts lapped-reader spins).
+    shard->read_stats(s, resident, utilization, retries);
     merge_shard(out, s, resident, utilization);
   }
+  std::uint64_t total = stats_retries_.load(std::memory_order_relaxed);
+  if (retries != 0) {
+    total = stats_retries_.fetch_add(retries, std::memory_order_relaxed) +
+            retries;
+    if (metrics_ != nullptr) metrics_->stats_read_retries.add(retries);
+  }
+  out.stats_read_retries = total;
 }
 
 void AdmissionEngine::stats_locked_into(EngineStats& out) const {
@@ -296,6 +347,7 @@ void AdmissionEngine::stats_locked_into(EngineStats& out) const {
     merge_shard(out, shard->controller.stats(), shard->controller.size(),
                 shard->controller.utilization());
   }
+  out.stats_read_retries = stats_retries_.load(std::memory_order_relaxed);
 }
 
 EngineStats AdmissionEngine::stats() const {
@@ -321,6 +373,17 @@ FeasibilityResult AdmissionEngine::analyze_shard(std::size_t i,
   const Shard& s = *shards_.at(i);
   const std::lock_guard<std::mutex> lock(s.mu);
   return s.controller.analyze_resident(kind);
+}
+
+void AdmissionEngine::attach_obs(obs::Obs* obs) {
+  const bool on = obs != nullptr && obs->config().any();
+  metrics_ = on && obs->config().metrics ? obs->engine(shards_.size())
+                                         : nullptr;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.controller.attach_obs(on ? obs : nullptr, i);
+  }
 }
 
 }  // namespace edfkit

@@ -41,6 +41,11 @@
 
 namespace edfkit {
 
+namespace obs {
+class Obs;
+struct EngineInstruments;
+}  // namespace obs
+
 /// Shard-qualified task handle.
 struct GlobalTaskId {
   std::uint32_t shard = UINT32_MAX;
@@ -99,8 +104,16 @@ struct EngineStats {
   double total_utilization = 0.0;  ///< sum over shards
   std::vector<double> shard_utilization;
   std::vector<std::size_t> shard_resident;
+  /// Cumulative seqlock read retries ("lapped reader" count) the
+  /// wait-free stats path has paid across the engine's lifetime, as of
+  /// this snapshot: each retry is a publication that landed while a
+  /// header copy was in flight. stats_locked() reports the running
+  /// total without adding to it.
+  std::uint64_t stats_read_retries = 0;
 
   [[nodiscard]] std::string to_string() const;
+  /// Machine-readable rendering (nests AdmissionStats::to_json()).
+  [[nodiscard]] std::string to_json() const;
 };
 
 class AdmissionEngine {
@@ -177,6 +190,16 @@ class AdmissionEngine {
     journal_.store(journal, std::memory_order_release);
   }
 
+  /// Observability (src/obs/): attaches every shard controller to the
+  /// Obs's shared admission instruments + its shard's flight-recorder
+  /// ring, and the engine itself to placement latency/fan-out
+  /// histograms and the lapped-reader counter. Quiesce concurrent
+  /// admits before re-attaching (each shard is swapped under its
+  /// mutex, but the set of shards should change atomically from the
+  /// caller's view). Pass nullptr (or a disabled Obs) to detach. The
+  /// Obs must outlive the attachment.
+  void attach_obs(obs::Obs* obs);
+
  private:
   /// Snapshot save/load composes per-shard sections (admission/snapshot.cpp).
   friend struct SnapshotCodec;
@@ -211,9 +234,11 @@ class AdmissionEngine {
     /// Publish the controller's counters into the inactive buffer and
     /// advance the epoch. \pre mu held (the write side is serialized).
     void publish() noexcept;
-    /// Epoch-consistent read of the last publication (no mutex).
+    /// Epoch-consistent read of the last publication (no mutex);
+    /// `retries` accumulates the lapped-reader spins paid.
     void read_stats(AdmissionStats& stats, std::size_t& resident,
-                    double& utilization) const noexcept;
+                    double& utilization,
+                    std::uint64_t& retries) const noexcept;
   };
 
   [[nodiscard]] std::vector<std::uint32_t> placement_order(
@@ -223,6 +248,11 @@ class AdmissionEngine {
   EngineOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<persist::Journal*> journal_{nullptr};
+  /// Observability wiring (not serialized). metrics_ is read without
+  /// the shard mutexes; swap only while admits are quiesced.
+  obs::EngineInstruments* metrics_ = nullptr;
+  /// Lifetime total of seqlock read retries paid by stats_into.
+  mutable std::atomic<std::uint64_t> stats_retries_{0};
 
   // Worker pool (spawned lazily under queue_mu_ by the first submit).
   mutable std::mutex queue_mu_;

@@ -297,6 +297,7 @@ void IncrementalDemand::slack_adjust(std::span<const Task> tasks,
 }
 
 void IncrementalDemand::compact_segment(Segment& g) {
+  ++compactions_;
   if (g.dead != 0) {
     std::erase_if(g.steps, [](const StepEntry& e) { return e.refs == 0; });
     dead_steps_ -= g.dead;
@@ -1086,6 +1087,7 @@ restart:
       }
       if (index_engaged_ && g.min_ratio >= 0.0) {
         // Fast-forward: every checkpoint inside is proven to fit.
+        ++out.segments_fast_forwarded;
         steps_acc += g.step_sum;
         accumulate(slope_acc, g.slope_sum, +1);
         accumulate(offset_acc, g.offset_sum, +1);
@@ -1100,6 +1102,7 @@ restart:
         continue;
       }
 
+      ++out.segments_walked;
       double seg_min = 2.0;  // measured ratio bound for this segment
       std::size_t bi = 0;    // g.borders consumed (second merge pointer)
       for (std::size_t si = 0; si < g.steps.size(); ++si) {

@@ -151,6 +151,12 @@ struct DemandCheck {
   /// checkpoint (!fits), or -1.
   Time witness = -1;
   bool degraded = false;      ///< a comparison needed the conservative path
+  /// Scan internals (observability): segments actually walked vs.
+  /// skipped whole via the cached-slack index's fast-forward branch.
+  /// Restart passes (refinement) recount — these measure work done,
+  /// not store shape.
+  std::uint64_t segments_walked = 0;
+  std::uint64_t segments_fast_forwarded = 0;
 };
 
 /// Wait-free aggregate snapshot of the store (see header()). All fields
@@ -347,6 +353,13 @@ class IncrementalDemand {
   /// (tombstones are transparent: only live structure is compared).
   [[nodiscard]] bool matches_rebuild() const;
 
+  /// Deferred tombstone-compaction passes performed so far
+  /// (observability only — not serialized, so a recovered store
+  /// restarts the count at zero).
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
  private:
   /// Snapshot save/load touches every field (admission/snapshot.cpp);
   /// the decode path restores them one-for-one so a loaded store makes
@@ -537,6 +550,8 @@ class IncrementalDemand {
   Int128 cert_lo_ = kFixedPointScale;
   bool cert_dead_ = false;  ///< every region -1: skip maintenance
   std::size_t constrained_ = 0;
+  /// Deferred-compaction pass count (see compactions()).
+  std::uint64_t compactions_ = 0;
   /// Double-buffered published header + seqlock epoch (see header()
   /// and util/seqlock.hpp for the protocol).
   std::array<HeaderSlot, 2> header_buf_;

@@ -10,9 +10,24 @@
 
 #include "admission/snapshot.hpp"
 #include "gen/scenario.hpp"
+#include "obs/obs.hpp"
 
 namespace edfkit {
 namespace {
+
+/// Fold one finished replay's counters into the replay_* metrics —
+/// zero hot-path cost: the driver's own bookkeeping already holds
+/// every number.
+void record_replay(obs::Obs* obs, std::size_t trace_events,
+                   const ReplayStats& out) {
+  if (obs == nullptr || !obs->config().metrics) return;
+  obs::ReplayInstruments* const r = obs->replay();
+  r->events.add(trace_events);
+  r->arrivals.add(out.arrivals);
+  r->departures.add(out.departures);
+  r->crashes.add(out.crashes);
+  r->snapshots.add(out.snapshots);
+}
 
 /// Refill the arrival pool by flattening one scenario set.
 void refill_pool(std::vector<Task>& pool, Rng& rng, const ChurnConfig& cfg) {
@@ -225,13 +240,17 @@ ReplayStats replay_controller(const std::vector<TraceEvent>& trace,
 }  // namespace
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
-                         AdmissionController& controller) {
-  return replay_controller(trace, controller, [] {}, [] {});
+                         AdmissionController& controller, obs::Obs* obs) {
+  const ReplayStats out =
+      replay_controller(trace, controller, [] {}, [] {});
+  record_replay(obs, trace.size(), out);
+  return out;
 }
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
                          AdmissionController& controller,
-                         const ReplayPersistence& persistence) {
+                         const ReplayPersistence& persistence,
+                         obs::Obs* obs) {
   persist::JournalOptions jopts;
   jopts.fsync = persistence.fsync;
   std::optional<persist::Journal> journal;
@@ -239,6 +258,9 @@ ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
     if (persistence.journal_path.empty()) return;
     journal.emplace(
         persist::Journal::open_append(persistence.journal_path, jopts));
+    if (obs != nullptr && obs->config().metrics) {
+      journal->attach_obs(obs->journal());
+    }
     controller.attach_journal(&*journal);
   };
   open_journal();
@@ -282,13 +304,14 @@ ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
   }
   out.snapshots = snapshots;
   controller.attach_journal(nullptr);
+  record_replay(obs, trace.size(), out);
   return out;
 }
 
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
-                         AdmissionEngine& engine) {
+                         AdmissionEngine& engine, obs::Obs* obs) {
   std::unordered_map<std::uint64_t, std::vector<GlobalTaskId>> resident;
-  return replay_core(
+  const ReplayStats out = replay_core(
       trace,
       [&](const TraceEvent& ev) {
         if (ev.op == TraceOp::ArriveGroup) {
@@ -313,6 +336,8 @@ ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
         return gone;
       },
       [&] { return engine.utilization_estimate(); }, [] {});
+  record_replay(obs, trace.size(), out);
+  return out;
 }
 
 }  // namespace edfkit

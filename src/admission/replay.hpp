@@ -25,6 +25,10 @@
 
 namespace edfkit {
 
+namespace obs {
+class Obs;
+}
+
 /// Crash marks a process-death point in the trace: the persistence-
 /// enabled controller replay drops all in-memory state there and
 /// recovers from its snapshot + journal before continuing — a
@@ -106,9 +110,13 @@ struct ReplayStats {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Drive a single controller through the trace, in order.
+/// Drive a single controller through the trace, in order. With `obs`
+/// attached (src/obs/), the driver folds its event counters into the
+/// replay_* metrics when done — per-decision instrumentation is the
+/// controller's own attach_obs concern, not the driver's.
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
-                         AdmissionController& controller);
+                         AdmissionController& controller,
+                         obs::Obs* obs = nullptr);
 
 /// Durability wiring for the persistence-enabled controller replay.
 struct ReplayPersistence {
@@ -128,14 +136,18 @@ struct ReplayPersistence {
 /// TraceOp::Crash events by recovering the controller in place from
 /// snapshot + journal — the crash/resume driver behind the
 /// crash-recovery CI harness.
+/// With `obs`, every journal this replay opens (including re-opens
+/// after a crash) additionally records append/fsync latency.
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
                          AdmissionController& controller,
-                         const ReplayPersistence& persistence);
+                         const ReplayPersistence& persistence,
+                         obs::Obs* obs = nullptr);
 
 /// Drive a sharded engine through the trace, in order (synchronous
 /// admits; concurrency is exercised by submitting multiple independent
 /// traces from multiple threads — see examples/admission_server.cpp).
 ReplayStats replay_trace(const std::vector<TraceEvent>& trace,
-                         AdmissionEngine& engine);
+                         AdmissionEngine& engine,
+                         obs::Obs* obs = nullptr);
 
 }  // namespace edfkit

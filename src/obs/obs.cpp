@@ -1,0 +1,141 @@
+#include "obs/obs.hpp"
+
+namespace edfkit::obs {
+namespace {
+
+std::string rung_metric(std::size_t rung, const char* suffix) {
+  return "admission_rung" + std::to_string(rung) + suffix;
+}
+
+}  // namespace
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+namespace detail {
+
+double calibrate_ns_per_tick() noexcept {
+  // Spin ~1ms against the ns clock; the TSC is invariant on anything
+  // this library targets, so one calibration serves the process. A
+  // non-advancing TSC (emulators) degrades to the 1:1 fallback.
+  const std::uint64_t t0 = now_ticks();
+  const std::uint64_t n0 = now_ns();
+  while (now_ns() - n0 < 1000000) {
+  }
+  const std::uint64_t dt = now_ticks() - t0;
+  const std::uint64_t dn = now_ns() - n0;
+  if (dt == 0 || dn == 0) return 1.0;
+  return static_cast<double>(dn) / static_cast<double>(dt);
+}
+
+}  // namespace detail
+#endif
+
+Obs::Obs(ObsConfig cfg, std::size_t shards)
+    : cfg_(cfg),
+      registry_(cfg.metrics),
+      recorder_(cfg.tracing ? shards : 0, cfg.trace_capacity) {
+  // Force tick-clock calibration now, not inside the first decision.
+  if (cfg.any()) (void)ns_per_tick();
+}
+
+AdmissionInstruments* Obs::admission() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (admission_ == nullptr) {
+    auto b = std::make_unique<AdmissionInstruments>();
+    std::vector<std::string> admit_names;
+    for (std::size_t r = 0; r < kTraceRungs; ++r) {
+      b->rung_admits[r] = registry_.counter(rung_metric(r, "_admits_total"));
+      b->rung_ns[r] = registry_.histogram(rung_metric(r, "_ns"));
+      // One rung_ns sample is recorded per entered rung, so the
+      // attempts counter is exactly that histogram's sample count —
+      // derived at read time, free on the decision path. Settled
+      // follows from the ladder escalating one rung at a time: a
+      // decision settles at r iff it entered r and not r + 1.
+      registry_.derive_counter(rung_metric(r, "_attempts_total"),
+                               {rung_metric(r, "_ns")});
+      registry_.derive_counter(
+          rung_metric(r, "_settled_total"), {rung_metric(r, "_ns")}, {}, {},
+          r + 1 < kTraceRungs
+              ? std::vector<std::string>{rung_metric(r + 1, "_ns")}
+              : std::vector<std::string>{});
+      admit_names.push_back(rung_metric(r, "_admits_total"));
+    }
+    b->decision_ns = registry_.histogram("admission_decision_ns");
+    registry_.derive_counter("admission_admits_total", {}, admit_names);
+    registry_.derive_counter("admission_rejects_total",
+                             {rung_metric(0, "_ns")}, {}, admit_names);
+    b->removals = registry_.counter("admission_removals_total");
+    b->group_decisions = registry_.counter("admission_group_decisions_total");
+    b->rollbacks = registry_.counter("admission_rollbacks_total");
+    b->cert_cover_misses =
+        registry_.counter("admission_cert_cover_misses_total");
+    // Every rung-2 entrant runs the cover test, so hits are implied.
+    registry_.derive_counter("admission_cert_cover_hits_total",
+                             {rung_metric(2, "_ns")}, {},
+                             {"admission_cert_cover_misses_total"});
+    b->scan_iterations = registry_.counter("admission_scan_iterations_total");
+    b->scan_refinements =
+        registry_.counter("admission_scan_refinements_total");
+    b->segments_walked =
+        registry_.counter("admission_segments_walked_total");
+    b->segments_fast_forwarded =
+        registry_.counter("admission_segments_fast_forwarded_total");
+    b->tombstone_compactions =
+        registry_.counter("admission_tombstone_compactions_total");
+    admission_ = std::move(b);
+  }
+  return admission_.get();
+}
+
+EngineInstruments* Obs::engine(std::size_t shards) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<EngineInstruments>();
+    engine_->placements = registry_.counter("engine_placements_total");
+    engine_->group_placements =
+        registry_.counter("engine_group_placements_total");
+    engine_->placement_rejects =
+        registry_.counter("engine_placement_rejects_total");
+    engine_->stats_read_retries =
+        registry_.counter("engine_stats_read_retries_total");
+    engine_->placement_ns = registry_.histogram("engine_placement_ns");
+    engine_->shards_tried = registry_.histogram("engine_shards_tried");
+  }
+  while (engine_->shard_decision_ns.size() < shards) {
+    engine_->shard_decision_ns.push_back(registry_.histogram(
+        "engine_shard" +
+        std::to_string(engine_->shard_decision_ns.size()) +
+        "_decision_ns"));
+  }
+  return engine_.get();
+}
+
+JournalInstruments* Obs::journal() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) {
+    journal_ = std::make_unique<JournalInstruments>();
+    journal_->appends = registry_.counter("journal_appends_total");
+    journal_->fsyncs = registry_.counter("journal_fsyncs_total");
+    journal_->append_ns = registry_.histogram("journal_append_ns");
+    journal_->fsync_ns = registry_.histogram("journal_fsync_ns");
+  }
+  return journal_.get();
+}
+
+ReplayInstruments* Obs::replay() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (replay_ == nullptr) {
+    replay_ = std::make_unique<ReplayInstruments>();
+    replay_->events = registry_.counter("replay_events_total");
+    replay_->arrivals = registry_.counter("replay_arrivals_total");
+    replay_->departures = registry_.counter("replay_departures_total");
+    replay_->crashes = registry_.counter("replay_crashes_total");
+    replay_->snapshots = registry_.counter("replay_snapshots_total");
+  }
+  return replay_.get();
+}
+
+Histogram Obs::query_ns(const std::string& backend) {
+  return registry_.histogram("query_ns_" + backend);
+}
+
+}  // namespace edfkit::obs

@@ -1,0 +1,197 @@
+/// \file obs.hpp
+/// The observability facade: one `Obs` object owns the metrics
+/// registry, the flight recorder, and the named instrument bundles the
+/// admission subsystem attaches to (`attach_obs` on the controller,
+/// engine and journal mirrors `attach_journal`).
+///
+/// Everything is compiled-in-but-cheap: `Obs{ObsConfig::disabled()}`
+/// hands out null metric handles and a zero-capacity recorder, and the
+/// consumers skip their probes entirely when nothing is attached — the
+/// perf_suite `obs` cell gates the instrumented-vs-disabled overhead
+/// in CI.
+///
+/// Metric name catalog (all exported with an `edfkit_` prefix; the
+/// README "Observability" section is the user-facing copy):
+///
+///   admission_admits_total / admission_rejects_total /
+///   admission_removals_total / admission_group_decisions_total /
+///   admission_rollbacks_total
+///   admission_rung{0..3}_attempts_total / _settled_total /
+///   _admits_total       — escalation-ladder rung statistics
+///   (admits/rejects/rung attempts are derived at read time from the
+///   rung histograms and per-rung counters; see derive_counter())
+///   admission_rung{0..3}_ns, admission_decision_ns   — histograms
+///   admission_cert_cover_hits_total / _misses_total
+///   admission_scan_iterations_total /
+///   admission_scan_refinements_total /
+///   admission_segments_walked_total /
+///   admission_segments_fast_forwarded_total /
+///   admission_tombstone_compactions_total            — scan internals
+///   engine_placements_total / engine_group_placements_total /
+///   engine_placement_rejects_total / engine_stats_read_retries_total
+///   engine_placement_ns, engine_shards_tried,
+///   engine_shard{i}_decision_ns                      — histograms
+///   journal_appends_total / journal_fsyncs_total
+///   journal_append_ns, journal_fsync_ns              — histograms
+///   replay_events_total / replay_arrivals_total /
+///   replay_departures_total / replay_crashes_total /
+///   replay_snapshots_total
+///   query_ns_<backend>                               — batch_analyze
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace edfkit::obs {
+
+struct ObsConfig {
+  bool metrics = true;
+  bool tracing = true;
+  /// Flight-recorder slots per shard (rounded up to a power of two).
+  /// The default keeps one shard's ring around 50KB: pushing a record
+  /// dirties fresh cache lines until the ring wraps, and a recorder
+  /// sized past L2 measurably evicts the admission working set (it was
+  /// most of the obs cell's overhead before the default was sized to
+  /// fit). 512 decisions per shard is ample for post-mortem dumps;
+  /// raise it explicitly when deeper history matters more than the
+  /// last percent of admit throughput.
+  std::size_t trace_capacity = 512;
+
+  [[nodiscard]] static ObsConfig disabled() noexcept {
+    return ObsConfig{false, false, 0};
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return metrics || (tracing && trace_capacity > 0);
+  }
+};
+
+/// Monotonic nanosecond clock for probe timestamps.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Fast monotonic tick source for intra-decision interval timing: the
+/// TSC on x86-64 (one rdtsc, ~5ns, vs ~25ns for clock_gettime), the ns
+/// clock elsewhere. Probes subtract ticks on the hot path and convert
+/// to ns once per decision via `ns_per_tick()`, whose scale is
+/// calibrated against the ns clock on first use (the Obs constructor
+/// forces that, keeping the ~1ms spin off the decision path).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+namespace detail {
+[[nodiscard]] double calibrate_ns_per_tick() noexcept;  // obs.cpp
+}
+[[nodiscard]] inline std::uint64_t now_ticks() noexcept {
+  return __builtin_ia32_rdtsc();
+}
+[[nodiscard]] inline double ns_per_tick() noexcept {
+  static const double scale = detail::calibrate_ns_per_tick();
+  return scale;
+}
+#else
+[[nodiscard]] inline std::uint64_t now_ticks() noexcept { return now_ns(); }
+[[nodiscard]] inline double ns_per_tick() noexcept { return 1.0; }
+#endif
+
+/// Controller-side handles (one bundle shared by all shards; writes
+/// are internally sharded).
+/// Note: several ladder counters are *derived* at read time rather
+/// than written on the decision path, exploiting two structural
+/// invariants — the probe records exactly one rung_ns sample per
+/// entered rung, and the ladder escalates one rung at a time:
+///   rung{r}_attempts ≡ count(rung{r}_ns)
+///   rung{r}_settled  ≡ count(rung{r}_ns) − count(rung{r+1}_ns)
+///   admits           ≡ Σ rung_admits
+///   rejects          ≡ count(rung0_ns) − Σ rung_admits
+///   cert_cover_hits  ≡ count(rung2_ns) − cert_cover_misses
+/// They have no handles here; read them by name. A cover-hit admit
+/// thus pays only the samples it must record anyway (rung_ns ×
+/// entered rungs, decision_ns, rung_admits).
+struct AdmissionInstruments {
+  std::array<Counter, kTraceRungs> rung_admits;
+  std::array<Histogram, kTraceRungs> rung_ns;
+  Histogram decision_ns;
+  Counter removals;
+  Counter group_decisions;
+  Counter rollbacks;
+  Counter cert_cover_misses;
+  Counter scan_iterations;
+  Counter scan_refinements;
+  Counter segments_walked;
+  Counter segments_fast_forwarded;
+  Counter tombstone_compactions;
+};
+
+struct EngineInstruments {
+  Counter placements;
+  Counter group_placements;
+  Counter placement_rejects;
+  Counter stats_read_retries;
+  Histogram placement_ns;
+  Histogram shards_tried;
+  std::vector<Histogram> shard_decision_ns;
+};
+
+struct JournalInstruments {
+  Counter appends;
+  Counter fsyncs;
+  Histogram append_ns;
+  Histogram fsync_ns;
+};
+
+struct ReplayInstruments {
+  Counter events;
+  Counter arrivals;
+  Counter departures;
+  Counter crashes;
+  Counter snapshots;
+};
+
+class Obs {
+ public:
+  explicit Obs(ObsConfig cfg = {}, std::size_t shards = 1);
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  [[nodiscard]] const ObsConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+
+  /// Instrument bundles, created on first use (null handles when the
+  /// registry is disabled). Pointers stay valid for the Obs lifetime.
+  [[nodiscard]] AdmissionInstruments* admission();
+  [[nodiscard]] EngineInstruments* engine(std::size_t shards);
+  [[nodiscard]] JournalInstruments* journal();
+  [[nodiscard]] ReplayInstruments* replay();
+
+  /// Per-backend query latency histogram (`query_ns_<backend>`).
+  [[nodiscard]] Histogram query_ns(const std::string& backend);
+
+ private:
+  ObsConfig cfg_;
+  MetricsRegistry registry_;
+  FlightRecorder recorder_;
+  std::mutex mu_;
+  std::unique_ptr<AdmissionInstruments> admission_;
+  std::unique_ptr<EngineInstruments> engine_;
+  std::unique_ptr<JournalInstruments> journal_;
+  std::unique_ptr<ReplayInstruments> replay_;
+};
+
+}  // namespace edfkit::obs

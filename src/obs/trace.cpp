@@ -1,0 +1,182 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace edfkit::obs {
+namespace {
+
+constexpr std::uint64_t kFlagAdmitted = 1u << 0;
+constexpr std::uint64_t kFlagCertCover = 1u << 1;
+constexpr std::uint64_t kFlagRollback = 1u << 2;
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+const char* rung_name(std::size_t rung) noexcept {
+  switch (rung) {
+    case 0: return "structural";
+    case 1: return "utilization";
+    case 2: return "approximate";
+    case 3: return "exact";
+    default: return "unknown";
+  }
+}
+
+void pack_trace(const DecisionTrace& t,
+                std::array<std::uint64_t, kTraceSlotWords>& w) noexcept {
+  w[0] = t.sequence;
+  w[1] = t.task_id;
+  w[2] = (static_cast<std::uint64_t>(t.group_size) << 32) | t.refinements;
+  std::uint64_t flags = 0;
+  if (t.admitted) flags |= kFlagAdmitted;
+  if (t.cert_cover) flags |= kFlagCertCover;
+  if (t.rollback) flags |= kFlagRollback;
+  flags |= static_cast<std::uint64_t>(t.rung) << 8;
+  flags |= static_cast<std::uint64_t>(t.rungs_entered) << 16;
+  flags |= static_cast<std::uint64_t>(t.shard) << 32;
+  w[3] = flags;
+  w[4] = t.segments_walked;
+  w[5] = t.segments_fast_forwarded;
+  for (std::size_t r = 0; r < kTraceRungs; ++r) w[6 + r] = t.rung_ns[r];
+  w[10] = t.total_ns;
+  w[11] = 0;  // reserved
+}
+
+DecisionTrace unpack_trace(
+    const std::array<std::uint64_t, kTraceSlotWords>& w) noexcept {
+  DecisionTrace t;
+  t.sequence = w[0];
+  t.task_id = w[1];
+  t.group_size = static_cast<std::uint32_t>(w[2] >> 32);
+  t.refinements = static_cast<std::uint32_t>(w[2]);
+  const std::uint64_t flags = w[3];
+  t.admitted = (flags & kFlagAdmitted) != 0;
+  t.cert_cover = (flags & kFlagCertCover) != 0;
+  t.rollback = (flags & kFlagRollback) != 0;
+  t.rung = static_cast<std::uint8_t>(flags >> 8);
+  t.rungs_entered = static_cast<std::uint8_t>(flags >> 16);
+  t.shard = static_cast<std::uint32_t>(flags >> 32);
+  t.segments_walked = w[4];
+  t.segments_fast_forwarded = w[5];
+  for (std::size_t r = 0; r < kTraceRungs; ++r) t.rung_ns[r] = w[6 + r];
+  t.total_ns = w[10];
+  return t;
+}
+
+std::string traces_to_json(const std::vector<DecisionTrace>& traces) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const DecisionTrace& t : traces) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"sequence\":" << t.sequence << ",\"shard\":" << t.shard
+       << ",\"task_id\":" << t.task_id
+       << ",\"group_size\":" << t.group_size
+       << ",\"admitted\":" << (t.admitted ? "true" : "false")
+       << ",\"rung\":\"" << rung_name(t.rung) << '"'
+       << ",\"cert_cover\":" << (t.cert_cover ? "true" : "false")
+       << ",\"rollback\":" << (t.rollback ? "true" : "false")
+       << ",\"refinements\":" << t.refinements
+       << ",\"segments_walked\":" << t.segments_walked
+       << ",\"segments_fast_forwarded\":" << t.segments_fast_forwarded
+       << ",\"rung_ns\":[";
+    for (std::size_t r = 0; r < kTraceRungs; ++r) {
+      if (r > 0) os << ',';
+      os << t.rung_ns[r];
+    }
+    os << "],\"total_ns\":" << t.total_ns << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity == 0) return;
+  cap_ = round_up_pow2(capacity);
+  mask_ = cap_ - 1;
+  slots_ = std::make_unique<Slot[]>(cap_);
+}
+
+void TraceRing::push(const DecisionTrace& t) noexcept {
+  if (cap_ == 0) return;
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& s = slots_[h & mask_];
+  const std::uint64_t v = s.version.load(std::memory_order_relaxed);
+  s.version.store(v + 1, std::memory_order_relaxed);  // odd: writing
+  std::atomic_thread_fence(std::memory_order_release);
+  std::array<std::uint64_t, kTraceSlotWords> w;
+  pack_trace(t, w);
+  for (std::size_t i = 0; i < kTraceSlotWords; ++i) {
+    s.words[i].store(w[i], std::memory_order_relaxed);
+  }
+  s.version.store(v + 2, std::memory_order_release);
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::size_t TraceRing::capture(std::vector<DecisionTrace>& out) const {
+  if (cap_ == 0) return 0;
+  const std::size_t before = out.size();
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = h > cap_ ? h - cap_ : 0;
+  for (std::uint64_t i = lo; i < h; ++i) {
+    const Slot& s = slots_[i & mask_];
+    // The slot version doubles as a generation stamp: completing the
+    // write for ring index i leaves it at exactly 2 * (i / cap_ + 1).
+    // Requiring that value (not merely an even version) rejects slots
+    // the writer has lapped during this scan — accepting a lapped
+    // slot's newer record at an older index would break the
+    // oldest-first ordering of the captured window.
+    const std::uint64_t want = 2 * (i / cap_ + 1);
+    const std::uint64_t v1 = s.version.load(std::memory_order_acquire);
+    if (v1 != want) continue;  // writer mid-slot, or slot lapped
+    std::array<std::uint64_t, kTraceSlotWords> w;
+    for (std::size_t j = 0; j < kTraceSlotWords; ++j) {
+      w[j] = s.words[j].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.version.load(std::memory_order_relaxed) != v1) continue;  // torn
+    out.push_back(unpack_trace(w));
+  }
+  return out.size() - before;
+}
+
+FlightRecorder::FlightRecorder(std::size_t shards, std::size_t capacity) {
+  if (shards == 0 || capacity == 0) return;
+  rings_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity));
+  }
+}
+
+TraceRing* FlightRecorder::ring(std::size_t shard) noexcept {
+  return shard < rings_.size() ? rings_[shard].get() : nullptr;
+}
+
+std::size_t FlightRecorder::capture_all(
+    std::vector<DecisionTrace>& out) const {
+  std::size_t captured = 0;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const std::size_t at = out.size();
+    captured += rings_[i]->capture(out);
+    for (std::size_t j = at; j < out.size(); ++j) {
+      out[j].shard = static_cast<std::uint32_t>(i);
+    }
+  }
+  return captured;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::vector<DecisionTrace> traces;
+  capture_all(traces);
+  std::ostringstream os;
+  os << "{\"shards\":" << rings_.size() << ",\"captured\":"
+     << traces.size() << ",\"records\":" << traces_to_json(traces) << '}';
+  return os.str();
+}
+
+}  // namespace edfkit::obs

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace edfkit::persist {
 namespace {
 
@@ -96,7 +98,8 @@ Journal::Journal(Journal&& o) noexcept
       path_(std::move(o.path_)),
       opts_(o.opts_),
       next_lsn_(o.next_lsn_),
-      unsynced_(o.unsynced_) {}
+      unsynced_(o.unsynced_),
+      metrics_(std::exchange(o.metrics_, nullptr)) {}
 
 Journal::~Journal() {
   if (fd_ >= 0) {
@@ -146,11 +149,16 @@ Journal Journal::open_append(const std::string& path, JournalOptions opts) {
 
 std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
   const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t t0 = metrics_ != nullptr ? obs::now_ns() : 0;
   ByteWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(crc32(payload));
   frame.bytes(payload.data(), payload.size());
   write_all(fd_, frame.data().data(), frame.size(), path_);
+  if (metrics_ != nullptr) {
+    metrics_->appends.add();
+    metrics_->append_ns.record(obs::now_ns() - t0);
+  }
   const std::uint64_t lsn = next_lsn_++;
   ++unsynced_;
   const bool flush =
@@ -158,7 +166,12 @@ std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
       (opts_.fsync == FsyncPolicy::EveryN &&
        unsynced_ >= std::max<std::uint64_t>(1, opts_.fsync_interval));
   if (flush) {
+    const std::uint64_t f0 = metrics_ != nullptr ? obs::now_ns() : 0;
     if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    if (metrics_ != nullptr) {
+      metrics_->fsyncs.add();
+      metrics_->fsync_ns.record(obs::now_ns() - f0);
+    }
     unsynced_ = 0;
   }
   return lsn;
@@ -171,7 +184,14 @@ std::uint64_t Journal::lsn() const noexcept {
 
 void Journal::sync() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ >= 0 && ::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+  if (fd_ >= 0) {
+    const std::uint64_t f0 = metrics_ != nullptr ? obs::now_ns() : 0;
+    if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    if (metrics_ != nullptr) {
+      metrics_->fsyncs.add();
+      metrics_->fsync_ns.record(obs::now_ns() - f0);
+    }
+  }
   unsynced_ = 0;
 }
 

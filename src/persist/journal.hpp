@@ -43,6 +43,10 @@
 
 #include "persist/format.hpp"
 
+namespace edfkit::obs {
+struct JournalInstruments;
+}
+
 namespace edfkit::persist {
 
 inline constexpr char kJournalMagic[8] = {'E', 'D', 'F', 'K',
@@ -104,6 +108,16 @@ class Journal {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Observability (src/obs/): while attached, every append records
+  /// its frame-write latency (journal_append_ns, fdatasync excluded)
+  /// and every policy- or sync()-triggered flush its fdatasync latency
+  /// (journal_fsync_ns). Pass nullptr to detach. The instruments must
+  /// outlive the attachment.
+  void attach_obs(const obs::JournalInstruments* metrics) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = metrics;
+  }
+
  private:
   Journal(int fd, std::string path, JournalOptions opts,
           std::uint64_t next_lsn) noexcept;
@@ -114,6 +128,7 @@ class Journal {
   JournalOptions opts_;
   std::uint64_t next_lsn_ = 0;
   std::uint64_t unsynced_ = 0;
+  const obs::JournalInstruments* metrics_ = nullptr;
 };
 
 }  // namespace edfkit::persist

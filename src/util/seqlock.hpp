@@ -40,13 +40,27 @@ class SeqlockEpoch {
   /// returns the epoch it belongs to (monotone across calls).
   template <typename Copy>
   std::uint64_t read(Copy&& copy) const noexcept {
+    std::uint64_t retries = 0;
+    return read(std::forward<Copy>(copy), retries);
+  }
+
+  /// As read(), additionally counting the times the copy had to be
+  /// re-taken because the writer lapped it (the "lapped reader"
+  /// monitoring signal: each retry is a publication that landed while
+  /// the copy was in flight).
+  template <typename Copy>
+  std::uint64_t read(Copy&& copy, std::uint64_t& retries) const noexcept {
     for (;;) {
       const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
-      if ((e1 & 1) != 0) continue;  // publication between its stores
+      if ((e1 & 1) != 0) {  // publication between its stores
+        ++retries;
+        continue;
+      }
       copy(static_cast<std::size_t>((e1 >> 1) & 1));
       std::atomic_thread_fence(std::memory_order_acquire);
       const std::uint64_t e2 = epoch_.load(std::memory_order_relaxed);
       if (e2 - e1 < 2) return e1;
+      ++retries;
     }
   }
 
