@@ -15,7 +15,7 @@
 /// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Sections (schema = 4):
+/// Sections (schema = 5):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
@@ -77,14 +77,21 @@
 ///    registry (Prometheus text) and flight recorder (JSON) as CI
 ///    artifacts.
 ///
-/// JSON schema (schema = 4; v3 had no obs section and no
-/// known_regressions; v2 had no persist section; v1 had no
-/// batch/removal/read sections). `known_regressions` documents the
+///  * net — the cost of serving decisions over the wire (src/net/): the
+///    same churn replayed through a loopback net::Server over one
+///    synchronous connection vs straight into the controller.
+///    `wire_overhead_ns` is the framing + epoll + syscall cost added
+///    per decision. Reported, not gated (the net-load CI job gates
+///    end-to-end latency under concurrent load).
+///
+/// JSON schema (schema = 5; v4 had no net section; v3 had no obs
+/// section and no known_regressions; v2 had no persist section; v1 had
+/// no batch/removal/read sections). `known_regressions` documents the
 /// accepted sub-1x admission cells (n=100 slack-index maintenance) with
 /// the scan-internals counters that explain them — the small-n gate
 /// tolerates those cells; a *new* regression shows up as a cell outside
 /// this list.
-///   { "bench": "perf_suite", "schema": 4, "seed": N, "quick": bool,
+///   { "bench": "perf_suite", "schema": 5, "seed": N, "quick": bool,
 ///     "epsilon": e,
 ///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
 ///                      "old_dps": f, "new_dps": f, "speedup": f,
@@ -105,6 +112,8 @@
 ///                      "load_ns": f, "journal_append_ns": f } ... ],
 ///     "obs":       [ { "n": N, "u": U, "events": N, "plain_dps": f,
 ///                      "instr_dps": f, "ratio": f } ],
+///     "net":       [ { "n": N, "u": U, "events": N, "local_dps": f,
+///                      "net_dps": f, "wire_overhead_ns": f } ... ],
 ///     "known_regressions": [ { "section": "admission", "n": N, "u": U,
 ///                      "speedup": f, "note": "...",
 ///                      "index_off": { scan-internals counters },
@@ -136,6 +145,8 @@
 #include "admission/snapshot.hpp"
 #include "bench_common.hpp"
 #include "gen/taskset_gen.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/obs.hpp"
 #include "query/query.hpp"
 
@@ -813,6 +824,95 @@ ObsRow run_obs_cell(obs::Obs& obs, std::size_t n, double u,
   return row;
 }
 
+struct NetRow {
+  std::size_t n = 0;
+  double u = 0.0;
+  std::size_t events = 0;
+  double local_dps = 0.0;  ///< trace straight into the controller
+  double net_dps = 0.0;    ///< synchronous round trips over loopback
+  double overhead_ns = 0.0;  ///< wall time the wire adds per decision
+};
+
+/// The cost of serving a decision over the wire instead of in-process:
+/// the same churn trace replayed through a loopback net::Server (one
+/// blocking connection, synchronous round trips — the worst case for
+/// transport overhead; batching and fusing only improve on it) vs
+/// straight into an AdmissionController. The controller options match
+/// the admission headline (rung <= 2, slack index on), so
+/// `overhead_ns` isolates framing + epoll + syscalls. Each repetition
+/// serves a fresh tenant so the store evolution is identical on both
+/// sides. Reported, not gated — the CI net-load job gates end-to-end
+/// latency under concurrent load instead.
+NetRow run_net_cell(std::size_t n, double u, std::size_t events,
+                    double epsilon, std::uint64_t seed, std::int64_t reps) {
+  const std::vector<TraceEvent> trace = make_trace(n, u, events, seed, 0.0, 1);
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.skip_exact = true;
+  opts.use_slack_index = true;
+
+  NetRow row;
+  row.n = n;
+  row.u = u;
+  row.events = trace.size();
+
+  const double best_local = timed_replay(
+      trace, [&] { return Shadow(opts); }, reps);
+
+  net::ServerOptions sopts;
+  sopts.tenants.admission = opts;
+  net::Server server(sopts);
+  std::thread loop([&server] { server.run(); });
+  double best_net = 1e300;
+  for (std::int64_t rep = 0; rep < reps + 1; ++rep) {  // +1 warmup pass
+    net::Client client = net::Client::connect("127.0.0.1", server.port());
+    (void)client.hello("perf-rep-" + std::to_string(rep));
+    std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> live;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const TraceEvent& ev : trace) {
+      net::NetRequest req;
+      if (ev.op == TraceOp::Arrive) {
+        req.hdr.op = static_cast<std::uint8_t>(net::NetOp::Admit);
+        req.task = ev.task;
+      } else if (ev.op == TraceOp::ArriveGroup) {
+        req.hdr.op = static_cast<std::uint8_t>(net::NetOp::AdmitGroup);
+        req.group = ev.group;
+      } else if (ev.op == TraceOp::Depart) {
+        std::size_t at = live.size();
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i].first == ev.key) at = i;
+        }
+        if (at == live.size()) continue;
+        req.hdr.op = static_cast<std::uint8_t>(net::NetOp::RemoveGroup);
+        req.ids = std::move(live[at].second);
+        live[at] = live.back();
+        live.pop_back();
+      } else {
+        continue;
+      }
+      const net::NetResponse resp = client.call(std::move(req));
+      if (resp.hdr.status ==
+              static_cast<std::uint8_t>(net::NetStatus::Ok) &&
+          ev.op == TraceOp::Arrive) {
+        live.emplace_back(ev.key, std::vector<TaskId>{resp.id});
+      } else if (resp.hdr.status ==
+                     static_cast<std::uint8_t>(net::NetStatus::Ok) &&
+                 ev.op == TraceOp::ArriveGroup) {
+        live.emplace_back(ev.key, resp.ids);
+      }
+    }
+    if (rep > 0) best_net = std::min(best_net, seconds_since(t0));
+  }
+  server.stop();
+  loop.join();
+
+  const double total = static_cast<double>(trace.size());
+  row.local_dps = total / best_local;
+  row.net_dps = total / best_net;
+  row.overhead_ns = (best_net - best_local) / total * 1e9;
+  return row;
+}
+
 /// Scan-internals counters for one replay — the evidence attached to
 /// known_regressions entries (why a cell is allowed below 1x).
 struct ScanInternals {
@@ -1060,6 +1160,21 @@ int main(int argc, char** argv) {
                        static_cast<long long>(row.events), row.plain_dps,
                        row.instr_dps, row.ratio);
     }
+    // Wire overhead: the same decisions served over a loopback socket.
+    std::vector<NetRow> net_rows;
+    for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
+      const NetRow row = run_net_cell(n, 0.99, events, epsilon,
+                                      setup.seed + 53 * n, setup.sets);
+      net_rows.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s "
+                  "(+%.0fns/decision on the wire)\n",
+                  "net", row.n, row.u, row.events, row.local_dps,
+                  row.net_dps, row.overhead_ns);
+      setup.csv.row_of("net", static_cast<long long>(row.n), row.u,
+                       static_cast<long long>(row.events), row.local_dps,
+                       row.net_dps, row.overhead_ns);
+    }
+
     if (!obs_metrics_out.empty()) {
       std::ofstream out(obs_metrics_out);
       out << obs_sink.registry().to_prometheus();
@@ -1083,7 +1198,7 @@ int main(int argc, char** argv) {
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 4LL)
+        .kv("schema", 5LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -1169,6 +1284,18 @@ int main(int argc, char** argv) {
           .kv("plain_dps", row.plain_dps)
           .kv("instr_dps", row.instr_dps)
           .kv("ratio", row.ratio)
+          .end();
+    }
+    json.end();
+    json.begin_array("net");
+    for (const NetRow& row : net_rows) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("events", static_cast<long long>(row.events))
+          .kv("local_dps", row.local_dps)
+          .kv("net_dps", row.net_dps)
+          .kv("wire_overhead_ns", row.overhead_ns)
           .end();
     }
     json.end();

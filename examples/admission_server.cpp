@@ -1,107 +1,69 @@
 /// \file admission_server.cpp
-/// Simulated online admission server: a sharded AdmissionEngine serving
-/// concurrent client streams of task arrivals/departures.
+/// The admission engine as a real network service: a net::Server epoll
+/// event loop serving the binary wire protocol (net/protocol.hpp) to
+/// remote clients, multi-tenant, with per-tenant durability and
+/// load-shedding backpressure.
 ///
-///   ./admission_server [--shards 4] [--workers 8] [--streams 4]
-///                      [--events 500] [--epsilon 0.1]
-///                      [--placement first-fit|worst-fit|best-fit]
-///                      [--utilization 0.9] [--seed N]
-///                      [--snapshot engine.snap] [--journal engine.wal]
-///                      [--checkpoint-ms 250] [--fsync none|record]
+///   ./admission_server [--port 7433] [--bind 127.0.0.1]
+///                      [--data-dir DIR] [--checkpoint-every 4096]
+///                      [--epsilon 0.1] [--skip-exact]
+///                      [--max-pending 1024] [--max-residents 0]
+///                      [--util-headroom 1.0] [--retry-after-ms 50]
+///                      [--idle-timeout-ms 0] [--max-connections 256]
+///                      [--max-fuse 64]
 ///                      [--metrics-dump] [--trace-out flight.json]
 ///                      [--trace-capacity 512]
 ///
-/// Each stream generates its own churn trace (gen/scenario §5 workload)
-/// and pushes arrivals through the engine's worker pool via submit();
-/// departures withdraw previously admitted tasks. The run ends with the
-/// merged engine statistics and a from-scratch exact re-analysis of
-/// every shard — which must come back Feasible (the admission
-/// invariant).
+/// Tenants are created on first HELLO; with --data-dir each tenant gets
+/// its own snapshot + write-ahead journal under that directory and is
+/// recovered from disk on first HELLO after a restart (client-held
+/// TaskIds stay valid — controller replay is bit-identical). With
+/// --checkpoint-every N each tenant snapshots and rotates its journal
+/// every N journaled operations, bounding on-disk state.
 ///
-/// Durability (admission/snapshot.hpp): with --snapshot/--journal the
-/// server recovers any existing state on startup (snapshot + committed
-/// journal suffix), journals every committed placement, and checkpoints
-/// periodically from a background thread. SIGTERM drains the client
-/// streams at the next event boundary, then flushes one final snapshot
-/// and fsyncs the journal before exiting — a restart resumes from
-/// exactly that state.
+/// Backpressure: --max-pending / --max-residents / --util-headroom
+/// drive the shed policy (net/shed.hpp) — admits past the limits are
+/// answered Shed with --retry-after-ms, without running the ladder.
 ///
-/// Observability (src/obs/): the server always runs with metrics and
-/// the per-shard flight recorder attached. SIGUSR1 dumps the registry
-/// (Prometheus text format) to stderr at any point mid-run without
-/// pausing the streams; --metrics-dump prints the same dump to stdout
-/// at the end; --trace-out writes the flight recorder's most recent
-/// decision traces as JSON.
-#include <algorithm>
+/// Shutdown: SIGTERM (or SIGINT) stops the loop at the next tick
+/// boundary, drains — fdatasyncs every tenant journal — then runs the
+/// admission invariant (an exact from-scratch re-check of every
+/// tenant's resident set) and emits the final metrics dump. SIGUSR1
+/// dumps the metrics registry (Prometheus text format) to stderr
+/// mid-run, serviced on the loop thread between ticks so the export
+/// never runs in signal context.
 #include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <exception>
 #include <fstream>
-#include <memory>
-#include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
-#include "admission/engine.hpp"
-#include "admission/replay.hpp"
-#include "admission/snapshot.hpp"
+#include "net/server.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
-#include "util/random.hpp"
 
 namespace {
 
 using namespace edfkit;
 
-/// SIGTERM drains the streams; the flush happens on the main thread.
+/// SIGTERM/SIGINT stop the loop; the drain happens on the main thread.
 std::atomic<bool> g_stop{false};
+/// stop() is async-signal-safe (one eventfd write), so the handler may
+/// call it directly — that is what wakes a loop parked in epoll_wait.
+net::Server* g_server = nullptr;
 
-void on_sigterm(int) { g_stop.store(true, std::memory_order_relaxed); }
+void on_sigterm(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  if (g_server != nullptr) g_server->stop();
+}
 
-/// SIGUSR1 requests a metrics dump; the handler only sets a flag — a
-/// monitor thread does the (allocating, non-async-signal-safe) export.
+/// SIGUSR1 requests a metrics dump; the handler only sets a flag — the
+/// loop thread does the (allocating, non-async-signal-safe) export.
 std::atomic<bool> g_dump{false};
 
 void on_sigusr1(int) { g_dump.store(true, std::memory_order_relaxed); }
-
-PlacementPolicy parse_placement(const std::string& s) {
-  for (const PlacementPolicy p :
-       {PlacementPolicy::FirstFit, PlacementPolicy::WorstFit,
-        PlacementPolicy::BestFit}) {
-    if (s == to_string(p)) return p;
-  }
-  throw std::invalid_argument("unknown placement '" + s +
-                              "' (first-fit|worst-fit|best-fit)");
-}
-
-/// One client stream: drives its trace through submit()/remove().
-void run_stream(AdmissionEngine& engine, const std::vector<TraceEvent>& trace,
-                std::uint64_t* admitted, std::uint64_t* rejected) {
-  std::unordered_map<std::uint64_t, GlobalTaskId> resident;
-  for (const TraceEvent& ev : trace) {
-    if (g_stop.load(std::memory_order_relaxed)) return;  // SIGTERM drain
-    if (ev.op == TraceOp::Arrive) {
-      const PlacementDecision d = engine.submit(ev.task).get();
-      if (d.admitted) {
-        resident.emplace(ev.key, d.id);
-        ++*admitted;
-      } else {
-        ++*rejected;
-      }
-    } else {
-      const auto it = resident.find(ev.key);
-      if (it != resident.end()) {
-        engine.remove(it->second);
-        resident.erase(it);
-      }
-    }
-  }
-}
 
 }  // namespace
 
@@ -109,20 +71,28 @@ int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
 
-    EngineOptions opts;
-    opts.shards = static_cast<std::size_t>(flags.get_int("shards", 4));
-    opts.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
-    opts.placement =
-        parse_placement(flags.get("placement", "worst-fit"));
-    opts.admission.epsilon = flags.get_double("epsilon", 0.1);
+    net::ServerOptions opts;
+    opts.bind_address = flags.get("bind", "127.0.0.1");
+    opts.port = static_cast<std::uint16_t>(flags.get_int("port", 7433));
+    opts.max_connections =
+        static_cast<std::size_t>(flags.get_int("max-connections", 256));
+    opts.idle_timeout_ms =
+        static_cast<std::uint64_t>(flags.get_int("idle-timeout-ms", 0));
+    opts.max_fuse = static_cast<std::size_t>(flags.get_int("max-fuse", 64));
 
-    const auto streams =
-        static_cast<std::size_t>(flags.get_int("streams", 4));
-    ChurnConfig churn;
-    churn.events = static_cast<std::size_t>(flags.get_int("events", 500));
-    churn.pool_utilization = flags.get_double("utilization", 0.9);
-    const auto seed =
-        static_cast<std::uint64_t>(flags.get_int("seed", 20050307));
+    opts.tenants.data_dir = flags.get("data-dir", "");
+    opts.tenants.checkpoint_every =
+        static_cast<std::size_t>(flags.get_int("checkpoint-every", 4096));
+    opts.tenants.admission.epsilon = flags.get_double("epsilon", 0.1);
+    opts.tenants.admission.skip_exact = flags.get_bool("skip-exact", false);
+
+    opts.shed.max_pending =
+        static_cast<std::size_t>(flags.get_int("max-pending", 1024));
+    opts.shed.max_residents =
+        static_cast<std::size_t>(flags.get_int("max-residents", 0));
+    opts.shed.utilization_headroom = flags.get_double("util-headroom", 1.0);
+    opts.shed.retry_after_ms =
+        static_cast<std::uint32_t>(flags.get_int("retry-after-ms", 50));
 
     const bool metrics_dump = flags.get_bool("metrics-dump", false);
     const std::string trace_out = flags.get("trace-out", "");
@@ -130,122 +100,65 @@ int main(int argc, char** argv) {
     ocfg.trace_capacity =
         static_cast<std::size_t>(flags.get_int("trace-capacity", 512));
 
-    const std::string snapshot_path = flags.get("snapshot", "");
-    const std::string journal_path = flags.get("journal", "");
-    const auto checkpoint_ms = flags.get_int("checkpoint-ms", 250);
-    const std::string fsync_name = flags.get("fsync", "none");
-    persist::JournalOptions jopts;
-    if (fsync_name == "record") {
-      jopts.fsync = persist::FsyncPolicy::EveryRecord;
-    } else if (fsync_name != "none") {
-      throw std::invalid_argument("unknown --fsync '" + fsync_name + "'");
-    }
+    obs::Obs obs(ocfg, /*shards=*/1);
+    net::Server server(opts, &obs);
+    g_server = &server;
 
-    // The journal and the Obs sink outlive the engine (declared first,
-    // destroyed last): worker threads may append / record until the
-    // engine's destructor joins them.
-    std::optional<persist::Journal> journal;
-    obs::Obs obs(ocfg, std::max<std::size_t>(1, opts.shards));
-    AdmissionEngine engine(opts);
-    engine.attach_obs(&obs);
-
-    // Resume whatever a previous process left behind, then arm
-    // durability for this run. Recovery runs before any stream starts
-    // (the engine is not serving yet).
-    if (!snapshot_path.empty() || !journal_path.empty()) {
-      const RecoveryResult rec =
-          recover(engine, snapshot_path, journal_path);
-      std::printf("recovery: snapshot %s(lsn=%llu), %llu/%llu journal "
-                  "records replayed%s%s, %zu resident\n",
-                  rec.snapshot_loaded ? "loaded " : "absent ",
-                  static_cast<unsigned long long>(rec.snapshot_lsn),
-                  static_cast<unsigned long long>(rec.replayed),
-                  static_cast<unsigned long long>(rec.journal_records),
-                  rec.torn_tail ? ", torn tail dropped" : "",
-                  rec.skipped != 0 ? ", some records skipped" : "",
-                  engine.stats().resident);
-    }
-    if (!journal_path.empty()) {
-      journal.emplace(persist::Journal::open_append(journal_path, jopts));
-      journal->attach_obs(obs.journal());
-      engine.attach_journal(&*journal);
-    }
-    std::optional<CheckpointDaemon> checkpointer;
-    if (!snapshot_path.empty()) {
-      checkpointer.emplace(engine, snapshot_path,
-                           std::chrono::milliseconds(checkpoint_ms),
-                           journal.has_value() ? &*journal : nullptr);
-    }
-    if (!snapshot_path.empty() || !journal_path.empty()) {
-      // Journal-only runs need the graceful drain too: SIGTERM must
-      // end in a journal fsync, not a mid-append kill.
-      std::signal(SIGTERM, on_sigterm);
-    }
-
-    // SIGUSR1 → live metrics dump to stderr, serviced by a polling
-    // monitor so the export (which allocates) never runs in signal
-    // context. The registry aggregates lock-free, so dumping does not
-    // pause the streams.
+    std::signal(SIGTERM, on_sigterm);
+    std::signal(SIGINT, on_sigterm);
     std::signal(SIGUSR1, on_sigusr1);
-    std::atomic<bool> monitor_stop{false};
-    std::thread monitor([&] {
-      while (!monitor_stop.load(std::memory_order_relaxed)) {
-        if (g_dump.exchange(false, std::memory_order_relaxed)) {
-          const std::string text = obs.registry().to_prometheus();
-          std::fwrite(text.data(), 1, text.size(), stderr);
-          std::fflush(stderr);
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as EPIPE writes
+
+    // The resolved port on one greppable line, flushed before serving —
+    // harnesses start the server with --port 0 and scrape this.
+    std::printf("listening on %s:%u data-dir=%s checkpoint-every=%zu "
+                "epsilon=%.3f\n",
+                opts.bind_address.c_str(), server.port(),
+                opts.tenants.data_dir.empty() ? "(none)"
+                                              : opts.tenants.data_dir.c_str(),
+                opts.tenants.checkpoint_every,
+                opts.tenants.admission.epsilon);
+    std::fflush(stdout);
+
+    // The event loop, driven tick by tick so SIGUSR1 dumps run on this
+    // thread between ticks. stop() (from the SIGTERM handler) both
+    // interrupts a parked epoll_wait and sets the flag poll_once acts
+    // on, so shutdown latency is one tick, not one timeout.
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      server.poll_once(/*timeout_ms=*/100);
+      if (g_dump.exchange(false, std::memory_order_relaxed)) {
+        const std::string text = obs.registry().to_prometheus();
+        std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
       }
+    }
+
+    // SIGTERM drain: every tenant journal fdatasynced while no request
+    // is in flight (the loop is stopped) — a restart recovers exactly
+    // the decisions clients were told about.
+    server.tenants().flush_all();
+    std::printf("drained: %zu tenants flushed, %zu connections open\n",
+                server.tenants().size(), server.connections());
+
+    // The admission invariant, per tenant: every resident set the
+    // server built over the wire is provably feasible under an exact
+    // from-scratch test.
+    bool invariant_ok = true;
+    server.tenants().for_each([&](net::Tenant& t) {
+      const FeasibilityResult r =
+          t.controller().analyze_resident(TestKind::ProcessorDemand);
+      const StoreHeader h = t.controller().demand_header();
+      std::printf("tenant %s: residents=%llu exact re-check: %s "
+                  "journal=[%llu, %llu)\n",
+                  t.name().c_str(),
+                  static_cast<unsigned long long>(h.residents),
+                  to_string(r.verdict),
+                  static_cast<unsigned long long>(t.journal_base_lsn()),
+                  static_cast<unsigned long long>(t.journal_lsn()));
+      if (!r.feasible() && h.residents > 0) invariant_ok = false;
     });
 
-    const std::string workers =
-        opts.workers == 0 ? "auto" : std::to_string(opts.workers);
-    std::printf("admission server: %zu shards, %s workers, %s placement, "
-                "epsilon=%.3f\n%zu streams x %zu events\n\n",
-                engine.shards(), workers.c_str(), to_string(opts.placement),
-                opts.admission.epsilon, streams, churn.events);
-
-    Rng rng(seed);
-    std::vector<std::vector<TraceEvent>> traces;
-    traces.reserve(streams);
-    for (std::size_t s = 0; s < streams; ++s) {
-      Rng child = rng.fork();
-      traces.push_back(generate_churn_trace(child, churn));
-    }
-
-    std::vector<std::uint64_t> admitted(streams, 0);
-    std::vector<std::uint64_t> rejected(streams, 0);
-    const auto start = std::chrono::steady_clock::now();
-    {
-      std::vector<std::thread> clients;
-      clients.reserve(streams);
-      for (std::size_t s = 0; s < streams; ++s) {
-        clients.emplace_back(run_stream, std::ref(engine),
-                             std::cref(traces[s]), &admitted[s],
-                             &rejected[s]);
-      }
-      for (std::thread& c : clients) c.join();
-    }
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-
-    std::uint64_t events = 0;
-    for (const auto& t : traces) events += t.size();
-    for (std::size_t s = 0; s < streams; ++s) {
-      std::printf("stream %zu: admitted=%llu rejected=%llu\n", s,
-                  static_cast<unsigned long long>(admitted[s]),
-                  static_cast<unsigned long long>(rejected[s]));
-    }
-    std::printf("\n%s\n", engine.stats().to_string().c_str());
-    std::printf("\n%llu events in %.3fs -> %.0f decisions/sec\n",
-                static_cast<unsigned long long>(events), secs,
-                static_cast<double>(events) / secs);
-
-    monitor_stop.store(true, std::memory_order_relaxed);
-    monitor.join();
+    // Final metrics dump — the same registry SIGUSR1 exports mid-run.
     if (metrics_dump) {
       const std::string text = obs.registry().to_prometheus();
       std::fwrite(text.data(), 1, text.size(), stdout);
@@ -259,29 +172,8 @@ int main(int argc, char** argv) {
       std::printf("flight recorder -> %s\n", trace_out.c_str());
     }
 
-    // Durable shutdown: one final snapshot + journal fsync while the
-    // engine is quiesced (streams joined above). This is the same path
-    // a SIGTERM drain takes — a restart resumes from exactly here.
-    if (checkpointer.has_value()) checkpointer->flush_now();
-    if (journal.has_value()) journal->sync();
-    if (g_stop.load(std::memory_order_relaxed)) {
-      std::printf("SIGTERM: streams drained, state flushed to %s%s%s\n",
-                  snapshot_path.c_str(),
-                  snapshot_path.empty() || journal_path.empty() ? ""
-                                                                : " + ",
-                  journal_path.c_str());
-    }
-
-    // The admission invariant: every shard's resident set is provably
-    // feasible under an exact from-scratch test.
-    for (std::size_t i = 0; i < engine.shards(); ++i) {
-      const FeasibilityResult r =
-          engine.analyze_shard(i, TestKind::ProcessorDemand);
-      std::printf("shard %zu exact re-check: %s\n", i,
-                  to_string(r.verdict));
-      if (!r.feasible() && engine.shard_snapshot(i).size() > 0) return 1;
-    }
-    return 0;
+    g_server = nullptr;
+    return invariant_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -154,6 +154,26 @@ struct DecisionProbe {
   }
 };
 
+/// Build the decision's certificate (opts.return_certificate): the
+/// resident set is post-settlement here — it includes an admitted
+/// arrival and has rolled back a rejected one. Infeasibility needs only
+/// the analysis record; feasibility pays a construction sweep over the
+/// residents. A failed construction (pathological U == 1 set past the
+/// step cap) leaves kind == None rather than an unsound certificate.
+Certificate decision_certificate(const FeasibilityResult& analysis,
+                                 bool admitted, const TaskSet& resident) {
+  if (!admitted && analysis.verdict == Verdict::Infeasible) {
+    return make_infeasibility_certificate(analysis);
+  }
+  if (admitted) {
+    if (std::optional<Certificate> cert =
+            build_feasibility_certificate(resident)) {
+      return *std::move(cert);
+    }
+  }
+  return Certificate{};
+}
+
 }  // namespace
 
 const char* to_string(AdmissionRung r) noexcept {
@@ -240,6 +260,10 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
     ++(admitted ? stats_.admitted : stats_.rejected);
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
+    if (opts_.return_certificate) {
+      d.certificate =
+          decision_certificate(d.analysis, admitted, demand_.resident());
+    }
     probe.finish(admitted, rung, d.sequence, d.id, 0,
                  demand_.compactions());
     return d;
@@ -358,6 +382,10 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
     if (!admitted) d.ids.clear();
+    if (opts_.return_certificate) {
+      d.certificate =
+          decision_certificate(d.analysis, admitted, demand_.resident());
+    }
     probe.finish(admitted, rung, d.sequence,
                  d.ids.empty() ? kInvalidTaskId : d.ids.front(),
                  group.size(), demand_.compactions());

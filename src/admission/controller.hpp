@@ -31,6 +31,7 @@
 
 #include "admission/incremental_dbf.hpp"
 #include "core/analyzer.hpp"
+#include "query/certificate.hpp"
 
 namespace edfkit {
 
@@ -93,6 +94,15 @@ struct AdmissionOptions {
   /// keeps steady-state scans cheap under sustained group churn;
   /// membership and aggregates are restored exact-inverse either way.
   bool rollback_refinements = false;
+  /// Attach a machine-checkable certificate (query/certificate.hpp) to
+  /// every decision that proves something: a feasibility certificate on
+  /// admits, an infeasibility certificate on proven rejects (policy and
+  /// Unknown rejects carry none). The caller — or a remote client, over
+  /// the wire — can then verify() the verdict independently against its
+  /// own view of the set. Off by default: each admit pays one
+  /// certificate-construction sweep over the resident set, and journal
+  /// replay re-pays it (the option is serialized with the controller).
+  bool return_certificate = false;
 };
 
 /// One admit/reject decision, instrumented like the offline tests.
@@ -107,6 +117,11 @@ struct AdmissionDecision {
   FeasibilityResult analysis;
   /// Monotone per-controller decision counter.
   std::uint64_t sequence = 0;
+  /// With AdmissionOptions::return_certificate: feasibility certificate
+  /// over the post-admit resident set, or infeasibility certificate for
+  /// a proven reject. kind == None otherwise (option off, policy gate,
+  /// or Unknown verdict).
+  Certificate certificate;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -122,6 +137,9 @@ struct GroupDecision {
   /// set* (resident + group): one scan decides the group.
   FeasibilityResult analysis;
   std::uint64_t sequence = 0;
+  /// Certificate semantics as AdmissionDecision, for the whole widened
+  /// set.
+  Certificate certificate;
 
   [[nodiscard]] std::string to_string() const;
 };

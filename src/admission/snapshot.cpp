@@ -431,6 +431,7 @@ struct SnapshotCodec {
     w.boolean(o.use_slack_index);
     w.boolean(o.eager_compaction);
     w.boolean(o.rollback_refinements);
+    w.boolean(o.return_certificate);
 
     const AdmissionStats& s = c.stats_;
     w.u64(s.arrivals);
@@ -473,6 +474,7 @@ struct SnapshotCodec {
     o.use_slack_index = r.boolean();
     o.eager_compaction = r.boolean();
     o.rollback_refinements = r.boolean();
+    o.return_certificate = r.boolean();
     if (!o.skip_exact && !is_exact(o.exact_fallback)) {
       // Same invariant the constructor enforces.
       throw PersistError(PersistErrc::BadValue,
@@ -743,12 +745,20 @@ RecoveryResult recover(AdmissionController& out,
       const persist::JournalScan scan = persist::scan_journal(journal_path);
       result.torn_tail = scan.torn_tail;
       result.journal_records = scan.records.size();
-      if (result.snapshot_lsn > scan.records.size()) {
+      if (result.snapshot_lsn >
+          scan.base_lsn + scan.records.size()) {
         throw PersistError(PersistErrc::BadValue,
                            "snapshot is ahead of the journal");
       }
-      for (std::uint64_t i = result.snapshot_lsn; i < scan.records.size();
-           ++i) {
+      if (result.snapshot_lsn < scan.base_lsn) {
+        // rotate() GC'd records this recovery still needs — the cut
+        // outran the snapshot. Replaying only the suffix would
+        // silently skip committed operations.
+        throw PersistError(PersistErrc::BadValue,
+                           "journal rotated past the snapshot LSN");
+      }
+      for (std::uint64_t i = result.snapshot_lsn - scan.base_lsn;
+           i < scan.records.size(); ++i) {
         const Record rec = decode_record(scan.records[i]);
         switch (rec.op) {
           case JournalOp::Admit:
@@ -797,13 +807,18 @@ RecoveryResult recover(AdmissionEngine& out,
       const persist::JournalScan scan = persist::scan_journal(journal_path);
       result.torn_tail = scan.torn_tail;
       result.journal_records = scan.records.size();
-      if (result.snapshot_lsn > scan.records.size()) {
+      if (result.snapshot_lsn >
+          scan.base_lsn + scan.records.size()) {
         throw PersistError(PersistErrc::BadValue,
                            "snapshot is ahead of the journal");
       }
+      if (result.snapshot_lsn < scan.base_lsn) {
+        throw PersistError(PersistErrc::BadValue,
+                           "journal rotated past the snapshot LSN");
+      }
       std::map<std::pair<std::uint32_t, TaskId>, TaskId> remap;
-      for (std::uint64_t i = result.snapshot_lsn; i < scan.records.size();
-           ++i) {
+      for (std::uint64_t i = result.snapshot_lsn - scan.base_lsn;
+           i < scan.records.size(); ++i) {
         const Record rec = decode_record(scan.records[i]);
         SnapshotCodec::engine_apply(out, rec, remap, result);
         ++result.replayed;

@@ -1,0 +1,146 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace edfkit::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    throw_errno("inet_pton");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)),
+      next_request_id_(o.next_request_id_),
+      rbuf_(std::move(o.rbuf_)) {}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    next_request_id_ = o.next_request_id_;
+    rbuf_ = std::move(o.rbuf_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+std::uint64_t Client::send(NetRequest req) {
+  if (fd_ < 0) {
+    errno = ENOTCONN;
+    throw_errno("send");
+  }
+  req.hdr.request_id = next_request_id_++;
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, encode_request(req));
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return req.hdr.request_id;
+}
+
+NetResponse Client::receive() {
+  if (fd_ < 0) {
+    errno = ENOTCONN;
+    throw_errno("receive");
+  }
+  for (;;) {
+    FrameView frame;
+    switch (try_parse_frame(rbuf_, frame)) {
+      case FrameStatus::Ok: {
+        NetResponse resp = decode_response(frame.payload);
+        rbuf_.erase(rbuf_.begin(),
+                    rbuf_.begin() + static_cast<std::ptrdiff_t>(frame.consumed));
+        return resp;
+      }
+      case FrameStatus::NeedMore:
+        break;
+      case FrameStatus::TooLarge:
+        throw std::runtime_error("server sent an oversized frame");
+      case FrameStatus::BadCrc:
+        throw std::runtime_error("server frame failed CRC");
+    }
+    std::uint8_t chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      errno = ECONNRESET;
+      throw_errno("read: connection closed");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
+NetResponse Client::call(NetRequest req) {
+  send(std::move(req));
+  return receive();
+}
+
+NetResponse Client::hello(const std::string& tenant,
+                          persist::FsyncPolicy fsync,
+                          std::uint64_t fsync_interval, std::uint8_t flags) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
+  req.hdr.flags = flags;
+  req.tenant = tenant;
+  req.durability = static_cast<std::uint8_t>(fsync);
+  req.fsync_interval = fsync_interval;
+  return call(std::move(req));
+}
+
+}  // namespace edfkit::net

@@ -1,0 +1,68 @@
+/// \file client.hpp
+/// Minimal blocking client for the admission wire protocol: connect,
+/// frame-encode requests, reassemble framed responses. One connection,
+/// synchronous by default, with explicit send()/receive() split for
+/// pipelining (the server matches requests to responses by request_id,
+/// answering a connection's requests in order).
+///
+/// This is the client the load driver (examples/admission_client.cpp)
+/// and the end-to-end tests build on — deliberately simple: blocking
+/// socket, no internal threads, request ids assigned monotonically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "persist/journal.hpp"
+
+namespace edfkit::net {
+
+class Client {
+ public:
+  /// Connect to host:port. \throws std::system_error on failure.
+  [[nodiscard]] static Client connect(const std::string& host,
+                                      std::uint16_t port);
+
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one request (assigns hdr.request_id; returns it).
+  /// \throws std::system_error when the connection is gone.
+  std::uint64_t send(NetRequest req);
+
+  /// Block until the next complete response frame.
+  /// \throws std::system_error on EOF/error,
+  /// std::runtime_error on a framing violation from the server.
+  [[nodiscard]] NetResponse receive();
+
+  /// send() + receive() — the synchronous round trip.
+  [[nodiscard]] NetResponse call(NetRequest req);
+
+  /// Convenience HELLO. `flags` are the kFlag* HELLO bits.
+  [[nodiscard]] NetResponse hello(const std::string& tenant,
+                                  persist::FsyncPolicy fsync =
+                                      persist::FsyncPolicy::None,
+                                  std::uint64_t fsync_interval = 64,
+                                  std::uint8_t flags = 0);
+
+  void close() noexcept;
+
+  /// The raw socket (tests poke torn/corrupt bytes through it).
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> rbuf_;
+};
+
+}  // namespace edfkit::net

@@ -1,0 +1,191 @@
+/// \file protocol.hpp
+/// Binary wire protocol for admission-as-a-service: length-prefixed,
+/// CRC-framed request/response messages over a byte stream (TCP).
+///
+/// Frame layout (little-endian, mirroring the journal's record frame):
+///
+///   [len u32] [crc32 u32 of payload] [payload len bytes]
+///
+/// The framing layer distinguishes exactly three failure shapes:
+///   * short read      — the frame is not fully buffered yet; keep the
+///     bytes and wait (FrameStatus::NeedMore). Torn frames reassemble
+///     across any number of reads.
+///   * oversized frame — len exceeds kMaxFrameBytes; the stream cannot
+///     be resynchronized (FrameStatus::TooLarge; close the connection).
+///   * CRC mismatch    — the payload is fully present but the bits are
+///     wrong (FrameStatus::BadCrc; close the connection — once a frame
+///     lies, every subsequent length prefix is suspect).
+///
+/// Payload layout: a fixed header
+///
+///   [version u8] [op u8] [status u8] [flags u8] [request_id u64]
+///
+/// followed by an op-specific body (codecs below). `request_id` is an
+/// opaque client token echoed verbatim in the response, so a client may
+/// pipeline requests and match replies. `status` is zero in requests.
+///
+/// Ops: HELLO names the tenant and negotiates its durability class
+/// (persist/journal.hpp FsyncPolicy) and whether decisions build
+/// certificates; every other op requires a prior HELLO on the same
+/// connection. ADMIT/ADMIT_GROUP/REMOVE/REMOVE_GROUP map 1:1 onto the
+/// AdmissionController entry points (admission/controller.hpp), STATS
+/// returns the tenant's wait-free StoreHeader plus its running
+/// counters, PING is a framing no-op.
+///
+/// Responses carry typed status codes: Ok vs Rejected separates "the
+/// admission test said no" (a normal, certified outcome) from protocol
+/// errors; Shed means the server refused to run the test at all
+/// (backpressure — see net/shed.hpp) and names a retry delay. With
+/// kFlagWantCertificate, ADMIT/ADMIT_GROUP responses attach the
+/// decision's machine-checkable certificate (query/certificate.hpp)
+/// when the tenant was HELLOed with certificates on — the client can
+/// re-verify the verdict against its own view of the resident set
+/// without trusting the server.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "admission/incremental_dbf.hpp"
+#include "model/task.hpp"
+#include "query/certificate.hpp"
+#include "util/binio.hpp"
+
+namespace edfkit::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Frames larger than this are a protocol violation (a length prefix
+/// this big is noise or abuse, not a real request).
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4;  // len + crc
+inline constexpr std::size_t kMessageHeaderBytes = 4 + 8;
+
+enum class NetOp : std::uint8_t {
+  Hello = 1,
+  Admit = 2,
+  AdmitGroup = 3,
+  Remove = 4,
+  RemoveGroup = 5,
+  Stats = 6,
+  Ping = 7,
+};
+inline constexpr std::size_t kNetOpCount = 8;  ///< incl. slot 0 = unknown
+
+[[nodiscard]] const char* to_string(NetOp op) noexcept;
+
+enum class NetStatus : std::uint8_t {
+  Ok = 0,
+  Rejected = 1,       ///< admission test ran and said no (certified)
+  Shed = 2,           ///< backpressure: not tested; retry_after_ms set
+  BadRequest = 3,     ///< undecodable body or invalid task parameters
+  BadVersion = 4,     ///< unsupported protocol version
+  UnknownOp = 5,
+  NeedHello = 6,      ///< tenant-scoped op before HELLO
+  InternalError = 7,
+};
+
+[[nodiscard]] const char* to_string(NetStatus s) noexcept;
+
+/// Request flags.
+inline constexpr std::uint8_t kFlagWantCertificate = 1u << 0;
+/// HELLO only: opt this connection into speculative batch-fusing of
+/// consecutive ADMITs (decision-equivalent, not journal-bit-identical —
+/// see net/server.hpp).
+inline constexpr std::uint8_t kFlagBatchFuse = 1u << 1;
+/// HELLO only: build certificates for every decision of this tenant
+/// (AdmissionOptions::return_certificate on the tenant's controller).
+inline constexpr std::uint8_t kFlagCertifiedTenant = 1u << 2;
+/// Response flags.
+inline constexpr std::uint8_t kFlagHasCertificate = 1u << 0;
+
+struct MessageHeader {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t op = 0;
+  std::uint8_t status = 0;  ///< NetStatus; zero in requests
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+};
+
+/// One request, union-style: only the op's fields are meaningful
+/// (the Record idiom of admission/snapshot.cpp).
+struct NetRequest {
+  MessageHeader hdr;
+  // Hello
+  std::string tenant;
+  std::uint8_t durability = 0;  ///< persist::FsyncPolicy as u8
+  std::uint64_t fsync_interval = 64;
+  // Admit
+  Task task;
+  // AdmitGroup
+  std::vector<Task> group;
+  // Remove
+  TaskId id = 0;
+  // RemoveGroup
+  std::vector<TaskId> ids;
+};
+
+/// One response, union-style.
+struct NetResponse {
+  MessageHeader hdr;
+  // Admit / AdmitGroup
+  TaskId id = 0;
+  std::vector<TaskId> ids;
+  std::uint8_t rung = 0;     ///< AdmissionRung of the settled decision
+  std::uint8_t verdict = 0;  ///< Verdict of the analysis record
+  Certificate certificate;   ///< present iff kFlagHasCertificate
+  // Remove / RemoveGroup
+  std::uint64_t removed = 0;
+  // Stats
+  StoreHeader stats;
+  std::string stats_json;
+  // Hello: the tenant journal's durable window (0/0 when not journaled)
+  std::uint64_t base_lsn = 0;
+  std::uint64_t lsn = 0;
+  // Shed
+  std::uint32_t retry_after_ms = 0;
+};
+
+// ----------------------------------------------------------- framing
+
+/// Append one complete frame (header + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload);
+
+enum class FrameStatus : std::uint8_t {
+  Ok,        ///< one complete, CRC-verified frame parsed
+  NeedMore,  ///< buffer ends mid-frame; read more and retry
+  TooLarge,  ///< length prefix exceeds kMaxFrameBytes — unrecoverable
+  BadCrc,    ///< payload present but corrupt — unrecoverable
+};
+
+struct FrameView {
+  /// The verified payload, aliasing the input buffer.
+  std::span<const std::uint8_t> payload;
+  /// Bytes of the input buffer this frame consumed (header included).
+  std::size_t consumed = 0;
+};
+
+/// Try to parse one frame from the front of `buf`. On Ok, `out` is
+/// filled; on NeedMore nothing is consumed; TooLarge/BadCrc mean the
+/// stream is unsynchronizable and the connection must be dropped.
+[[nodiscard]] FrameStatus try_parse_frame(
+    std::span<const std::uint8_t> buf, FrameView& out);
+
+// ------------------------------------------------------------ codecs
+
+/// Encode a request/response payload (header + op body). Frame it with
+/// append_frame for the wire.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const NetRequest& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const NetResponse& r);
+
+/// Decode a verified frame payload. \throws std::out_of_range when the
+/// body is shorter than its op demands (the caller answers BadRequest).
+/// An unknown op decodes to just the header — the caller inspects
+/// hdr.op and answers UnknownOp; the body is not touched.
+[[nodiscard]] NetRequest decode_request(std::span<const std::uint8_t> payload);
+[[nodiscard]] NetResponse decode_response(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace edfkit::net

@@ -1,0 +1,609 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/obs.hpp"
+#include "persist/format.hpp"
+
+namespace edfkit::net {
+
+// The obs layer mirrors the op count for its per-op histograms; keep
+// the mirror honest where both headers are visible.
+static_assert(obs::kNetOps == kNetOpCount,
+              "obs::kNetOps must mirror net::kNetOpCount");
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts, obs::Obs* obs)
+    : opts_(std::move(opts)),
+      obs_(obs),
+      metrics_(obs != nullptr && obs->config().metrics ? obs->net()
+                                                       : nullptr),
+      tenants_(opts_.tenants, obs),
+      shed_(opts_.shed) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    throw std::invalid_argument("Server: bad bind address " +
+                                opts_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::listen(listen_fd_, opts_.backlog) != 0) throw_errno("listen");
+
+  stop_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (stop_fd_ < 0) throw_errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    throw_errno("epoll_ctl listen");
+  }
+  ev.data.fd = stop_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_fd_, &ev) != 0) {
+    throw_errno("epoll_ctl eventfd");
+  }
+}
+
+Server::~Server() {
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) close_connection(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_fd_ >= 0) ::close(stop_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Server::run() {
+  while (!stop_requested_) {
+    (void)poll_once(100);
+  }
+  // Drain: a SIGTERM must not strand buffered journal tails.
+  tenants_.flush_all();
+}
+
+void Server::stop() noexcept {
+  const std::uint64_t one = 1;
+  // Async-signal-safe: one write(2) on an eventfd.
+  (void)!::write(stop_fd_, &one, sizeof one);
+}
+
+bool Server::poll_once(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  const int n =
+      ::epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), timeout_ms);
+  if (n < 0 && errno != EINTR) throw_errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    if (fd == stop_fd_) {
+      std::uint64_t drain = 0;
+      (void)!::read(stop_fd_, &drain, sizeof drain);
+      stop_requested_ = true;
+      continue;
+    }
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // closed earlier this tick
+    Connection& c = *it->second;
+    if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+      close_connection(fd);
+      continue;
+    }
+    if ((events[i].events & EPOLLOUT) != 0) write_ready(c);
+    if (conns_.find(fd) == conns_.end()) continue;
+    if ((events[i].events & EPOLLIN) != 0) read_ready(c);
+  }
+  const bool served = !pending_.empty();
+  serve_pending();
+  sweep_idle();
+  return served;
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failures must not kill the loop
+    }
+    if (conns_.size() >= opts_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity_ns = obs::now_ns();
+    conns_.emplace(fd, std::move(conn));
+    if (metrics_ != nullptr) {
+      metrics_->accepted.add();
+      metrics_->connections.set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void Server::read_ready(Connection& c) {
+  const int fd = c.fd;
+  bool closed = false;
+  for (;;) {
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      c.rbuf.insert(c.rbuf.end(), chunk, chunk + n);
+      if (metrics_ != nullptr) {
+        metrics_->bytes_in.add(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (n == 0) {
+      closed = true;  // orderly EOF
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    closed = true;
+    break;
+  }
+  c.last_activity_ns = obs::now_ns();
+  drain_frames(c);
+  // drain_frames may have closed on a framing violation.
+  if (conns_.find(fd) == conns_.end()) return;
+  if (closed) close_connection(fd);
+}
+
+void Server::drain_frames(Connection& c) {
+  std::size_t off = 0;
+  for (;;) {
+    FrameView frame;
+    const FrameStatus st = try_parse_frame(
+        std::span<const std::uint8_t>(c.rbuf).subspan(off), frame);
+    if (st == FrameStatus::NeedMore) break;
+    if (st != FrameStatus::Ok) {
+      // TooLarge / BadCrc: the stream cannot be resynchronized — every
+      // later length prefix is untrustworthy. Drop the connection.
+      if (metrics_ != nullptr) metrics_->protocol_errors.add();
+      close_connection(c.fd);
+      return;
+    }
+    try {
+      Pending p;
+      p.fd = c.fd;
+      p.req = decode_request(frame.payload);
+      pending_.push_back(std::move(p));
+    } catch (const std::out_of_range&) {
+      // The frame was intact (length + CRC verified) but the body is
+      // shorter than its op demands: a malformed request, not a broken
+      // stream. Answer BadRequest and keep the connection — the next
+      // frame boundary is still trustworthy.
+      if (metrics_ != nullptr) metrics_->protocol_errors.add();
+      NetResponse resp;
+      if (frame.payload.size() >= kMessageHeaderBytes) {
+        // Header-only parse (no body decode — that is what just threw).
+        ByteReader hdr{frame.payload};
+        resp.hdr.version = hdr.u8();
+        resp.hdr.op = hdr.u8();
+        (void)hdr.u8();  // status, zero in requests
+        (void)hdr.u8();  // request flags are not echoed
+        resp.hdr.request_id = hdr.u64();
+      }
+      resp.hdr.status = static_cast<std::uint8_t>(NetStatus::BadRequest);
+      send_response(c, resp);
+      if (conns_.find(c.fd) == conns_.end()) return;
+    }
+    off += frame.consumed;
+  }
+  if (off != 0) {
+    c.rbuf.erase(c.rbuf.begin(),
+                 c.rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+void Server::serve_pending() {
+  const std::size_t depth = pending_.size();
+  for (std::size_t i = 0; i < pending_.size();) {
+    const auto it = conns_.find(pending_[i].fd);
+    if (it == conns_.end()) {  // connection died earlier this tick
+      ++i;
+      continue;
+    }
+    Connection& c = *it->second;
+    const NetRequest& req = pending_[i].req;
+    if (c.fuse && c.tenant != nullptr &&
+        req.hdr.op == static_cast<std::uint8_t>(NetOp::Admit) &&
+        req.hdr.version == kProtocolVersion) {
+      // Extend the fuse run: consecutive single ADMITs for the same
+      // tenant from fuse-enabled connections.
+      std::size_t run = 1;
+      while (i + run < pending_.size() && run < opts_.max_fuse) {
+        const Pending& p = pending_[i + run];
+        const auto jt = conns_.find(p.fd);
+        if (jt == conns_.end()) break;
+        const Connection& c2 = *jt->second;
+        if (!c2.fuse || c2.tenant != c.tenant) break;
+        if (p.req.hdr.op != static_cast<std::uint8_t>(NetOp::Admit) ||
+            p.req.hdr.version != kProtocolVersion) {
+          break;
+        }
+        ++run;
+      }
+      if (run > 1) {
+        serve_fused(*c.tenant, i, run, depth);
+        i += run;
+        continue;
+      }
+    }
+    serve_one(c, req, depth);
+    ++i;
+  }
+  pending_.clear();
+}
+
+void Server::serve_one(Connection& c, const NetRequest& req,
+                       std::size_t queue_depth) {
+  const std::uint64_t t0 = metrics_ != nullptr ? obs::now_ns() : 0;
+  const NetOp op = static_cast<NetOp>(req.hdr.op);
+  const std::size_t op_slot =
+      req.hdr.op < kNetOpCount && req.hdr.op != 0 ? req.hdr.op : 0;
+  if (metrics_ != nullptr) metrics_->requests.add();
+
+  NetResponse resp;
+  resp.hdr.op = req.hdr.op;
+  resp.hdr.request_id = req.hdr.request_id;
+  const auto fail = [&](NetStatus s) {
+    resp.hdr.status = static_cast<std::uint8_t>(s);
+  };
+
+  if (req.hdr.version != kProtocolVersion) {
+    fail(NetStatus::BadVersion);
+  } else {
+    switch (op) {
+      case NetOp::Hello: {
+        if (req.durability >
+            static_cast<std::uint8_t>(persist::FsyncPolicy::EveryN)) {
+          fail(NetStatus::BadRequest);
+          break;
+        }
+        try {
+          Tenant& t = tenants_.get_or_create(
+              req.tenant,
+              static_cast<persist::FsyncPolicy>(req.durability),
+              req.fsync_interval,
+              (req.hdr.flags & kFlagCertifiedTenant) != 0);
+          c.tenant = &t;
+          c.fuse = (req.hdr.flags & kFlagBatchFuse) != 0;
+          resp.base_lsn = t.journal_base_lsn();
+          resp.lsn = t.journal_lsn();
+        } catch (const std::invalid_argument&) {
+          fail(NetStatus::BadRequest);
+        } catch (const persist::PersistError&) {
+          fail(NetStatus::InternalError);
+        }
+        break;
+      }
+      case NetOp::Ping:
+        break;
+      case NetOp::Admit: {
+        if (c.tenant == nullptr) {
+          fail(NetStatus::NeedHello);
+          break;
+        }
+        AdmissionController& ctl = c.tenant->controller();
+        if (shed_.should_shed(op, queue_depth, ctl.demand_header())) {
+          fail(NetStatus::Shed);
+          resp.retry_after_ms = shed_.options().retry_after_ms;
+          if (metrics_ != nullptr) metrics_->sheds.add();
+          break;
+        }
+        try {
+          const AdmissionDecision d = ctl.try_admit(req.task);
+          resp.hdr.status = static_cast<std::uint8_t>(
+              d.admitted ? NetStatus::Ok : NetStatus::Rejected);
+          resp.id = d.id;
+          resp.rung = static_cast<std::uint8_t>(d.rung);
+          resp.verdict = static_cast<std::uint8_t>(d.analysis.verdict);
+          if ((req.hdr.flags & kFlagWantCertificate) != 0 &&
+              d.certificate.present()) {
+            resp.hdr.flags |= kFlagHasCertificate;
+            resp.certificate = d.certificate;
+          }
+          c.tenant->on_operation();
+        } catch (const std::invalid_argument&) {
+          fail(NetStatus::BadRequest);
+        } catch (const persist::PersistError&) {
+          fail(NetStatus::InternalError);
+        }
+        break;
+      }
+      case NetOp::AdmitGroup: {
+        if (c.tenant == nullptr) {
+          fail(NetStatus::NeedHello);
+          break;
+        }
+        AdmissionController& ctl = c.tenant->controller();
+        if (shed_.should_shed(op, queue_depth, ctl.demand_header())) {
+          fail(NetStatus::Shed);
+          resp.retry_after_ms = shed_.options().retry_after_ms;
+          if (metrics_ != nullptr) metrics_->sheds.add();
+          break;
+        }
+        try {
+          const GroupDecision d = ctl.admit_group(req.group);
+          resp.hdr.status = static_cast<std::uint8_t>(
+              d.admitted ? NetStatus::Ok : NetStatus::Rejected);
+          resp.ids = d.ids;
+          resp.rung = static_cast<std::uint8_t>(d.rung);
+          resp.verdict = static_cast<std::uint8_t>(d.analysis.verdict);
+          if ((req.hdr.flags & kFlagWantCertificate) != 0 &&
+              d.certificate.present()) {
+            resp.hdr.flags |= kFlagHasCertificate;
+            resp.certificate = d.certificate;
+          }
+          c.tenant->on_operation();
+        } catch (const std::invalid_argument&) {
+          fail(NetStatus::BadRequest);
+        } catch (const persist::PersistError&) {
+          fail(NetStatus::InternalError);
+        }
+        break;
+      }
+      case NetOp::Remove: {
+        if (c.tenant == nullptr) {
+          fail(NetStatus::NeedHello);
+          break;
+        }
+        resp.removed = c.tenant->controller().remove(req.id) ? 1 : 0;
+        c.tenant->on_operation();
+        break;
+      }
+      case NetOp::RemoveGroup: {
+        if (c.tenant == nullptr) {
+          fail(NetStatus::NeedHello);
+          break;
+        }
+        resp.removed = c.tenant->controller().remove_group(req.ids);
+        c.tenant->on_operation();
+        break;
+      }
+      case NetOp::Stats: {
+        if (c.tenant == nullptr) {
+          fail(NetStatus::NeedHello);
+          break;
+        }
+        const AdmissionController& ctl = c.tenant->controller();
+        resp.stats = ctl.demand_header();
+        resp.stats_json = ctl.stats().to_json();
+        break;
+      }
+      default:
+        fail(NetStatus::UnknownOp);
+        break;
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->op_ns[op_slot].record(obs::now_ns() - t0);
+  }
+  send_response(c, resp);
+}
+
+void Server::serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
+                         std::size_t queue_depth) {
+  const std::uint64_t t0 = metrics_ != nullptr ? obs::now_ns() : 0;
+  AdmissionController& ctl = tenant.controller();
+
+  const auto respond = [&](std::size_t k, const NetResponse& resp) {
+    const auto it = conns_.find(pending_[i + k].fd);
+    if (it != conns_.end()) send_response(*it->second, resp);
+  };
+  const auto base_response = [&](std::size_t k) {
+    NetResponse resp;
+    resp.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+    resp.hdr.request_id = pending_[i + k].req.hdr.request_id;
+    return resp;
+  };
+
+  if (shed_.should_shed(NetOp::Admit, queue_depth, ctl.demand_header())) {
+    if (metrics_ != nullptr) {
+      metrics_->requests.add(n);
+      metrics_->sheds.add(n);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      NetResponse resp = base_response(k);
+      resp.hdr.status = static_cast<std::uint8_t>(NetStatus::Shed);
+      resp.retry_after_ms = shed_.options().retry_after_ms;
+      respond(k, resp);
+    }
+    return;
+  }
+
+  // Speculative fuse: one admit_group (one certified scan) for the
+  // whole run. Sound because subsets of a feasible set are feasible —
+  // an all-or-nothing accept admits exactly what sequential accepts
+  // would. A group reject proves nothing about individual members, so
+  // fall back to serving them sequentially.
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  bool invalid = false;
+  for (std::size_t k = 0; k < n; ++k) {
+    tasks.push_back(pending_[i + k].req.task);
+    try {
+      tasks.back().validate();
+    } catch (const std::invalid_argument&) {
+      invalid = true;
+    }
+  }
+
+  if (!invalid) {
+    try {
+      const GroupDecision d = ctl.admit_group(tasks);
+      if (d.admitted) {
+        tenant.on_operation();
+        if (metrics_ != nullptr) {
+          metrics_->requests.add(n);
+          metrics_->fused_admits.add(n);
+          const std::uint64_t dt = obs::now_ns() - t0;
+          for (std::size_t k = 0; k < n; ++k) {
+            metrics_->op_ns[static_cast<std::size_t>(NetOp::Admit)]
+                .record(dt / n);
+          }
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          NetResponse resp = base_response(k);
+          resp.id = d.ids[k];
+          resp.rung = static_cast<std::uint8_t>(d.rung);
+          resp.verdict = static_cast<std::uint8_t>(d.analysis.verdict);
+          if ((pending_[i + k].req.hdr.flags & kFlagWantCertificate) !=
+                  0 &&
+              d.certificate.present()) {
+            resp.hdr.flags |= kFlagHasCertificate;
+            resp.certificate = d.certificate;
+          }
+          respond(k, resp);
+        }
+        return;
+      }
+    } catch (const persist::PersistError&) {
+      // Journal failure mid-fuse: fall through to the sequential path,
+      // which reports per-request InternalError as it hits it again.
+    }
+  }
+
+  // Sequential fallback (group rejected, or a member failed
+  // validation): every request gets the decision sequential serving
+  // would have produced.
+  if (metrics_ != nullptr) metrics_->fuse_fallbacks.add();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto it = conns_.find(pending_[i + k].fd);
+    if (it == conns_.end()) continue;
+    serve_one(*it->second, pending_[i + k].req, queue_depth);
+  }
+}
+
+void Server::send_response(Connection& c, const NetResponse& resp) {
+  const std::vector<std::uint8_t> payload = encode_response(resp);
+  append_frame(c.wbuf, payload);
+  write_ready(c);  // opportunistic immediate flush
+}
+
+void Server::write_ready(Connection& c) {
+  const int fd = c.fd;
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = ::write(fd, c.wbuf.data() + c.woff,
+                              c.wbuf.size() - c.woff);
+    if (n > 0) {
+      c.woff += static_cast<std::size_t>(n);
+      if (metrics_ != nullptr) {
+        metrics_->bytes_out.add(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+  if (c.woff == c.wbuf.size()) {
+    c.wbuf.clear();
+    c.woff = 0;
+  }
+  c.last_activity_ns = obs::now_ns();
+  update_epollout(c);
+}
+
+void Server::update_epollout(Connection& c) {
+  const bool want = c.woff < c.wbuf.size();
+  if (want == c.want_epollout) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.want_epollout = want;
+  }
+}
+
+void Server::close_connection(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_->closed.add();
+    metrics_->connections.set(static_cast<double>(conns_.size()));
+  }
+}
+
+void Server::sweep_idle() {
+  if (opts_.idle_timeout_ms == 0) return;
+  const std::uint64_t now = obs::now_ns();
+  const std::uint64_t limit = opts_.idle_timeout_ms * 1000000ull;
+  std::vector<int> stale;
+  for (const auto& [fd, conn] : conns_) {
+    if (now - conn->last_activity_ns > limit) stale.push_back(fd);
+  }
+  for (const int fd : stale) close_connection(fd);
+}
+
+}  // namespace edfkit::net

@@ -1,0 +1,144 @@
+/// \file server.hpp
+/// Single-threaded epoll event loop serving the admission wire
+/// protocol (net/protocol.hpp) over TCP.
+///
+/// Design: one thread owns everything — the listener, every
+/// connection, every tenant controller. Admission decisions are
+/// microseconds (the ladder settles most arrivals at rung 1/2), so a
+/// single loop sustains tens of thousands of decisions per second
+/// without locks, and the controllers' single-mutator contract holds
+/// by construction. The loop is level-triggered and non-blocking
+/// throughout: accept/read/write never block, torn frames reassemble
+/// across reads in per-connection buffers, and short writes park their
+/// tail in a per-connection write buffer drained on EPOLLOUT.
+///
+/// Per-tick batching: each poll tick drains every readable connection,
+/// decodes all complete frames into one pending queue, then serves the
+/// queue. The queue depth at decode time is the backpressure signal
+/// (net/shed.hpp). With batch-fusing (HELLO kFlagBatchFuse), runs of
+/// consecutive single ADMITs for the same tenant inside one tick are
+/// fused into one admit_group call — one certified scan for the run
+/// instead of one per request. A fused accept is decision-equivalent
+/// to the sequential accepts (subsets of a feasible set are feasible);
+/// a fused reject falls back to serving the run sequentially, so no
+/// request is rejected that sequential serving would have admitted.
+/// The journal records the fused shape (one AdmitGroup vs N Admits),
+/// so fusing is opt-in and off for bit-identical replay comparisons.
+///
+/// Shutdown: stop() is async-signal-safe (one eventfd write). The loop
+/// drains on exit — flushes every tenant journal — before run()
+/// returns; the caller (examples/admission_server.cpp) then dumps
+/// final metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/shed.hpp"
+#include "net/tenant.hpp"
+
+namespace edfkit::obs {
+class Obs;
+struct NetInstruments;
+}  // namespace edfkit::obs
+
+namespace edfkit::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind. Loopback by default: the protocol carries
+  /// no authentication; anything wider is a deployment's TLS/proxy
+  /// problem (see ROADMAP follow-ons).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the actual port back via port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_connections = 256;
+  /// Close connections idle longer than this. 0 = never.
+  std::uint64_t idle_timeout_ms = 0;
+  /// Cap on single ADMITs fused into one admit_group per run.
+  std::size_t max_fuse = 64;
+  TenantOptions tenants;
+  ShedOptions shed;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run()).
+  /// \throws std::system_error on socket failures.
+  explicit Server(ServerOptions opts, obs::Obs* obs = nullptr);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serve until stop(). Drains (journal flush) before returning.
+  void run();
+
+  /// One event-loop tick: wait up to `timeout_ms` for events, then
+  /// drain reads, serve decoded requests, flush writes, and sweep idle
+  /// connections. Returns true if any request was served. run() is
+  /// this in a loop; tests drive ticks directly.
+  bool poll_once(int timeout_ms);
+
+  /// Request run() to exit. Async-signal-safe (one eventfd write).
+  void stop() noexcept;
+
+  [[nodiscard]] TenantTable& tenants() noexcept { return tenants_; }
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return conns_.size();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;  ///< bytes of wbuf already written
+    Tenant* tenant = nullptr;
+    bool fuse = false;            ///< HELLO kFlagBatchFuse
+    bool want_epollout = false;   ///< EPOLLOUT currently armed
+    std::uint64_t last_activity_ns = 0;
+  };
+
+  /// One decoded request awaiting service this tick.
+  struct Pending {
+    int fd = -1;  ///< by fd, not pointer: the conn may die mid-tick
+    NetRequest req;
+  };
+
+  void accept_ready();
+  void read_ready(Connection& c);
+  void write_ready(Connection& c);
+  void drain_frames(Connection& c);
+  void serve_pending();
+  void serve_one(Connection& c, const NetRequest& req,
+                 std::size_t queue_depth);
+  /// Serve pending_[i, i+n) as one fused admit_group on `tenant`.
+  void serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
+                   std::size_t queue_depth);
+  void send_response(Connection& c, const NetResponse& resp);
+  void close_connection(int fd);
+  void update_epollout(Connection& c);
+  void sweep_idle();
+
+  ServerOptions opts_;
+  obs::Obs* obs_ = nullptr;
+  obs::NetInstruments* metrics_ = nullptr;
+  TenantTable tenants_;
+  ShedPolicy shed_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int stop_fd_ = -1;  ///< eventfd; stop() writes, the loop exits
+  std::uint16_t port_ = 0;
+  bool stop_requested_ = false;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace edfkit::net

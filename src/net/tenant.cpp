@@ -1,0 +1,104 @@
+#include "net/tenant.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "admission/snapshot.hpp"
+#include "obs/obs.hpp"
+
+namespace edfkit::net {
+
+Tenant::Tenant(std::string name, const TenantOptions& opts,
+               persist::FsyncPolicy fsync, std::uint64_t fsync_interval,
+               bool certified, obs::Obs* obs)
+    : name_(std::move(name)),
+      ctl_([&] {
+        AdmissionOptions a = opts.admission;
+        a.return_certificate = a.return_certificate || certified;
+        return AdmissionController(a);
+      }()),
+      checkpoint_every_(opts.checkpoint_every) {
+  if (!opts.data_dir.empty()) {
+    std::filesystem::create_directories(opts.data_dir);
+    snapshot_path_ = opts.data_dir + "/" + name_ + ".snap";
+    journal_path_ = opts.data_dir + "/" + name_ + ".wal";
+    // Recover first (tolerates missing artifacts — a clean cold
+    // start), then open the journal for append; recovery itself must
+    // not re-journal the replayed operations.
+    (void)recover(ctl_, snapshot_path_, journal_path_);
+    persist::JournalOptions jopts;
+    jopts.fsync = fsync;
+    jopts.fsync_interval = fsync_interval;
+    journal_.emplace(persist::Journal::open_append(journal_path_, jopts));
+    if (obs != nullptr && obs->config().metrics) {
+      journal_->attach_obs(obs->journal());
+    }
+    ctl_.attach_journal(&*journal_);
+  }
+  if (obs != nullptr) ctl_.attach_obs(obs);
+}
+
+Tenant::~Tenant() {
+  ctl_.attach_journal(nullptr);
+  if (journal_) journal_->attach_obs(nullptr);
+}
+
+void Tenant::on_operation() {
+  if (!journal_ || checkpoint_every_ == 0) return;
+  if (++ops_since_checkpoint_ < checkpoint_every_) return;
+  checkpoint();
+}
+
+void Tenant::checkpoint() {
+  if (!journal_) return;
+  const std::uint64_t lsn = journal_->lsn();
+  save_snapshot(ctl_, snapshot_path_, lsn);
+  (void)journal_->rotate(lsn);
+  ops_since_checkpoint_ = 0;
+}
+
+void Tenant::flush() {
+  if (journal_) journal_->sync();
+}
+
+bool valid_tenant_name(const std::string& name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TenantTable::TenantTable(TenantOptions opts, obs::Obs* obs)
+    : opts_(std::move(opts)), obs_(obs) {}
+
+Tenant& TenantTable::get_or_create(const std::string& name,
+                                   persist::FsyncPolicy fsync,
+                                   std::uint64_t fsync_interval,
+                                   bool certified) {
+  if (!valid_tenant_name(name)) {
+    throw std::invalid_argument("invalid tenant name");
+  }
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(name, std::make_unique<Tenant>(
+                                name, opts_, fsync, fsync_interval,
+                                certified, obs_))
+             .first;
+  }
+  return *it->second;
+}
+
+Tenant* TenantTable::find(const std::string& name) noexcept {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void TenantTable::flush_all() {
+  for (auto& [name, tenant] : tenants_) tenant->flush();
+}
+
+}  // namespace edfkit::net

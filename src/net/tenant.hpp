@@ -1,0 +1,144 @@
+/// \file tenant.hpp
+/// Per-tenant admission state for the network server: each tenant name
+/// maps to its own AdmissionController (its own resident set, TaskId
+/// space, stats and ladder options) plus, when a data directory is
+/// configured, its own write-ahead journal and snapshot file.
+///
+/// Tenants use *controller-level* durability, not engine-level, on
+/// purpose: controller journal replay is bit-identical — the TaskIds a
+/// recovered controller assigns are exactly the ids it handed out
+/// before the crash, so the ids remote clients hold stay valid across
+/// a server restart. (Engine recovery may remap ids; that is fine for
+/// in-process callers holding GlobalTaskIds, fatal for clients across
+/// a reconnect.)
+///
+/// Durability class is negotiated at HELLO (net/protocol.hpp): the
+/// first HELLO for a name creates the tenant with the requested
+/// persist::FsyncPolicy; later HELLOs attach to the existing tenant
+/// (its class does not change mid-life — mixed-durability writers to
+/// one journal would make the weakest class the real one).
+///
+/// Checkpointing ties into journal compaction (persist/journal.hpp
+/// rotate()): every `checkpoint_every` journaled operations the tenant
+/// snapshots at the current LSN and rotates the journal there, so a
+/// long-lived tenant's on-disk footprint is one snapshot plus a
+/// bounded suffix instead of an unbounded operation history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "admission/controller.hpp"
+#include "persist/journal.hpp"
+
+namespace edfkit::obs {
+class Obs;
+}
+
+namespace edfkit::net {
+
+struct TenantOptions {
+  /// Base ladder options every tenant's controller starts from (HELLO
+  /// may additionally switch return_certificate on).
+  AdmissionOptions admission;
+  /// Directory for per-tenant durability artifacts
+  /// (<dir>/<tenant>.snap, <dir>/<tenant>.wal). Empty = in-memory
+  /// tenants, no journal, nothing to recover.
+  std::string data_dir;
+  /// Journaled operations between checkpoint+rotate cycles; 0 = never
+  /// checkpoint automatically (flush()/checkpoint() still work).
+  std::size_t checkpoint_every = 0;
+};
+
+/// One tenant: name, controller, optional journal. Created via
+/// TenantTable; not movable once created (the controller holds a raw
+/// journal pointer).
+class Tenant {
+ public:
+  Tenant(std::string name, const TenantOptions& opts,
+         persist::FsyncPolicy fsync, std::uint64_t fsync_interval,
+         bool certified, obs::Obs* obs);
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+  ~Tenant();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] AdmissionController& controller() noexcept { return ctl_; }
+  [[nodiscard]] const AdmissionController& controller() const noexcept {
+    return ctl_;
+  }
+  [[nodiscard]] bool journaled() const noexcept {
+    return journal_.has_value();
+  }
+  [[nodiscard]] std::uint64_t journal_base_lsn() const noexcept {
+    return journal_ ? journal_->base_lsn() : 0;
+  }
+  [[nodiscard]] std::uint64_t journal_lsn() const noexcept {
+    return journal_ ? journal_->lsn() : 0;
+  }
+
+  /// Call after every journaled mutating operation: counts toward the
+  /// checkpoint_every cycle and checkpoints when it is due.
+  void on_operation();
+
+  /// Snapshot now at the journal's LSN and rotate the journal there
+  /// (no-op for in-memory tenants). \throws PersistError on IO failure
+  /// — the caller decides whether that degrades or kills serving.
+  void checkpoint();
+
+  /// fdatasync the journal now (the SIGTERM drain path). No-op for
+  /// in-memory tenants.
+  void flush();
+
+ private:
+  std::string name_;
+  AdmissionController ctl_;
+  std::optional<persist::Journal> journal_;
+  std::string snapshot_path_;
+  std::string journal_path_;
+  std::size_t checkpoint_every_ = 0;
+  std::size_t ops_since_checkpoint_ = 0;
+};
+
+/// True iff `name` is a safe tenant name: 1..64 chars drawn from
+/// [A-Za-z0-9_-] (tenant names become file names; nothing else may).
+[[nodiscard]] bool valid_tenant_name(const std::string& name) noexcept;
+
+/// Name -> Tenant. Single-threaded, like the server's event loop.
+class TenantTable {
+ public:
+  explicit TenantTable(TenantOptions opts, obs::Obs* obs = nullptr);
+
+  /// Look up `name`, creating (and, when durable artifacts exist,
+  /// recovering) it on first use. The fsync/certified parameters only
+  /// apply at creation. \throws std::invalid_argument for invalid
+  /// names, PersistError when recovery finds corrupt artifacts.
+  [[nodiscard]] Tenant& get_or_create(const std::string& name,
+                                      persist::FsyncPolicy fsync,
+                                      std::uint64_t fsync_interval,
+                                      bool certified);
+
+  /// Look up only; nullptr when absent.
+  [[nodiscard]] Tenant* find(const std::string& name) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return tenants_.size(); }
+
+  /// fdatasync every tenant journal (SIGTERM drain).
+  void flush_all();
+
+  /// Visit every tenant in name order.
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& [name, tenant] : tenants_) f(*tenant);
+  }
+
+ private:
+  TenantOptions opts_;
+  obs::Obs* obs_ = nullptr;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace edfkit::net

@@ -134,6 +134,33 @@ ReplayInstruments* Obs::replay() {
   return replay_.get();
 }
 
+NetInstruments* Obs::net() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (net_ == nullptr) {
+    // Slot order mirrors net::NetOp (slot 0 = unknown).
+    static constexpr const char* kOpNames[kNetOps] = {
+        "unknown", "hello",        "admit", "admit_group",
+        "remove",  "remove_group", "stats", "ping"};
+    auto b = std::make_unique<NetInstruments>();
+    b->accepted = registry_.counter("net_accepted_total");
+    b->closed = registry_.counter("net_closed_total");
+    b->connections = registry_.gauge("net_connections");
+    b->requests = registry_.counter("net_requests_total");
+    b->sheds = registry_.counter("net_shed_total");
+    b->protocol_errors = registry_.counter("net_protocol_errors_total");
+    b->bytes_in = registry_.counter("net_bytes_in_total");
+    b->bytes_out = registry_.counter("net_bytes_out_total");
+    b->fused_admits = registry_.counter("net_fused_admits_total");
+    b->fuse_fallbacks = registry_.counter("net_fuse_fallbacks_total");
+    for (std::size_t i = 0; i < kNetOps; ++i) {
+      b->op_ns[i] =
+          registry_.histogram(std::string("net_op_") + kOpNames[i] + "_ns");
+    }
+    net_ = std::move(b);
+  }
+  return net_.get();
+}
+
 Histogram Obs::query_ns(const std::string& backend) {
   return registry_.histogram("query_ns_" + backend);
 }

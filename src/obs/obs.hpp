@@ -36,6 +36,14 @@
 ///   replay_events_total / replay_arrivals_total /
 ///   replay_departures_total / replay_crashes_total /
 ///   replay_snapshots_total
+///   net_accepted_total / net_closed_total / net_connections (gauge) /
+///   net_requests_total / net_shed_total /
+///   net_protocol_errors_total / net_bytes_in_total /
+///   net_bytes_out_total / net_fused_admits_total /
+///   net_fuse_fallbacks_total
+///   net_op_<op>_ns                                   — per-op service
+///   latency histograms (hello/admit/admit_group/remove/remove_group/
+///   stats/ping, plus unknown)
 ///   query_ns_<backend>                               — batch_analyze
 #pragma once
 
@@ -157,6 +165,27 @@ struct ReplayInstruments {
   Counter snapshots;
 };
 
+/// Wire-op slots for NetInstruments::op_ns. Index 0 is the unknown-op
+/// bucket; 1..7 mirror net::NetOp (protocol.hpp static_asserts the
+/// mirror, keeping obs a dependency leaf like kTraceRungs does for the
+/// admission ladder).
+inline constexpr std::size_t kNetOps = 8;
+
+struct NetInstruments {
+  Counter accepted;
+  Counter closed;
+  Gauge connections;
+  Counter requests;
+  Counter sheds;
+  Counter protocol_errors;
+  Counter bytes_in;
+  Counter bytes_out;
+  Counter fused_admits;
+  Counter fuse_fallbacks;
+  /// Decode-to-encode service time per op, unknown ops in slot 0.
+  std::array<Histogram, kNetOps> op_ns;
+};
+
 class Obs {
  public:
   explicit Obs(ObsConfig cfg = {}, std::size_t shards = 1);
@@ -179,6 +208,7 @@ class Obs {
   [[nodiscard]] EngineInstruments* engine(std::size_t shards);
   [[nodiscard]] JournalInstruments* journal();
   [[nodiscard]] ReplayInstruments* replay();
+  [[nodiscard]] NetInstruments* net();
 
   /// Per-backend query latency histogram (`query_ns_<backend>`).
   [[nodiscard]] Histogram query_ns(const std::string& backend);
@@ -192,6 +222,7 @@ class Obs {
   std::unique_ptr<EngineInstruments> engine_;
   std::unique_ptr<JournalInstruments> journal_;
   std::unique_ptr<ReplayInstruments> replay_;
+  std::unique_ptr<NetInstruments> net_;
 };
 
 }  // namespace edfkit::obs

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -12,8 +13,14 @@
 namespace edfkit::persist {
 namespace {
 
-constexpr std::size_t kJournalHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kJournalHeaderV1Bytes = 8 + 4 + 4;
+constexpr std::size_t kJournalHeaderBytes =
+    kJournalHeaderV1Bytes + 8;  // v2 appends base_lsn
 constexpr std::size_t kRecordFrameBytes = 4 + 4;  // len + crc
+
+[[nodiscard]] std::size_t header_bytes(std::uint32_t version) noexcept {
+  return version == 1 ? kJournalHeaderV1Bytes : kJournalHeaderBytes;
+}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw PersistError(PersistErrc::IoError,
@@ -38,7 +45,7 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len,
 JournalScan scan_journal(const std::string& path) {
   const std::vector<std::uint8_t> bytes = read_file(path);
   JournalScan out;
-  if (bytes.size() < kJournalHeaderBytes) {
+  if (bytes.size() < kJournalHeaderV1Bytes) {
     // Even the header is cut: treat a partial header as a torn creation
     // (nothing was ever committed), but a wrong magic as corruption.
     if (!bytes.empty() &&
@@ -54,12 +61,20 @@ JournalScan scan_journal(const std::string& path) {
   }
   ByteReader hdr{std::span<const std::uint8_t>(bytes).subspan(8)};
   const std::uint32_t version = hdr.u32();
-  if (version != kJournalVersion) {
+  if (version != 1 && version != kJournalVersion) {
     throw PersistError(PersistErrc::BadVersion,
                        path + ": journal version " +
                            std::to_string(version));
   }
-  std::size_t off = kJournalHeaderBytes;
+  if (version >= 2) {
+    (void)hdr.u32();  // reserved
+    if (bytes.size() < kJournalHeaderBytes) {
+      out.torn_tail = true;  // base_lsn field cut mid-creation
+      return out;
+    }
+    out.base_lsn = hdr.u64();
+  }
+  std::size_t off = header_bytes(version);
   out.valid_bytes = off;
   while (off < bytes.size()) {
     if (bytes.size() - off < kRecordFrameBytes) {
@@ -90,14 +105,19 @@ JournalScan scan_journal(const std::string& path) {
 }
 
 Journal::Journal(int fd, std::string path, JournalOptions opts,
-                 std::uint64_t next_lsn) noexcept
-    : fd_(fd), path_(std::move(path)), opts_(opts), next_lsn_(next_lsn) {}
+                 std::uint64_t next_lsn, std::uint64_t base_lsn) noexcept
+    : fd_(fd),
+      path_(std::move(path)),
+      opts_(opts),
+      next_lsn_(next_lsn),
+      base_lsn_(base_lsn) {}
 
 Journal::Journal(Journal&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
       path_(std::move(o.path_)),
       opts_(o.opts_),
       next_lsn_(o.next_lsn_),
+      base_lsn_(o.base_lsn_),
       unsynced_(o.unsynced_),
       metrics_(std::exchange(o.metrics_, nullptr)) {}
 
@@ -108,28 +128,39 @@ Journal::~Journal() {
   }
 }
 
-Journal Journal::create(const std::string& path, JournalOptions opts) {
-  const int fd = ::open(path.c_str(),
-                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) throw_errno("open " + path);
+namespace {
+
+[[nodiscard]] std::vector<std::uint8_t> encode_header(
+    std::uint64_t base_lsn) {
   ByteWriter hdr;
   hdr.bytes(kJournalMagic, sizeof kJournalMagic);
   hdr.u32(kJournalVersion);
   hdr.u32(0);  // reserved
+  hdr.u64(base_lsn);
+  return hdr.take();
+}
+
+}  // namespace
+
+Journal Journal::create(const std::string& path, JournalOptions opts) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  const std::vector<std::uint8_t> hdr = encode_header(0);
   try {
-    write_all(fd, hdr.data().data(), hdr.size(), path);
+    write_all(fd, hdr.data(), hdr.size(), path);
     if (::fdatasync(fd) != 0) throw_errno("fdatasync " + path);
   } catch (...) {
     ::close(fd);
     throw;
   }
-  return Journal(fd, path, opts, 0);
+  return Journal(fd, path, opts, 0, 0);
 }
 
 Journal Journal::open_append(const std::string& path, JournalOptions opts) {
   if (!file_exists(path)) return create(path, opts);
   const JournalScan scan = scan_journal(path);
-  if (scan.valid_bytes < kJournalHeaderBytes) {
+  if (scan.valid_bytes < kJournalHeaderV1Bytes) {
     // Header itself torn: nothing committed — start over.
     return create(path, opts);
   }
@@ -144,7 +175,60 @@ Journal Journal::open_append(const std::string& path, JournalOptions opts) {
     ::close(fd);
     throw_errno("lseek " + path);
   }
-  return Journal(fd, path, opts, scan.records.size());
+  return Journal(fd, path, opts, scan.base_lsn + scan.records.size(),
+                 scan.base_lsn);
+}
+
+std::uint64_t Journal::base_lsn() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
+std::uint64_t Journal::rotate(std::uint64_t keep_from_lsn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t cut =
+      std::min(std::max(keep_from_lsn, base_lsn_), next_lsn_);
+  if (cut == base_lsn_) return 0;  // nothing below the cut to drop
+  // Settle the current file before re-reading it: every record with
+  // LSN < next_lsn_ must be intact on disk for the scan below.
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+  const JournalScan scan = scan_journal(path_);
+  if (scan.base_lsn != base_lsn_ ||
+      scan.base_lsn + scan.records.size() != next_lsn_) {
+    throw PersistError(PersistErrc::BadValue,
+                       path_ + ": journal changed underneath rotate()");
+  }
+  const std::uint64_t dropped = cut - base_lsn_;
+
+  // Rewrite header + surviving suffix to a sibling and rename over the
+  // live file — a crash at any point leaves a valid journal (old or
+  // new, never torn).
+  ByteWriter out;
+  {
+    const std::vector<std::uint8_t> hdr = encode_header(cut);
+    out.bytes(hdr.data(), hdr.size());
+  }
+  for (std::uint64_t i = dropped; i < scan.records.size(); ++i) {
+    const std::vector<std::uint8_t>& payload = scan.records[i];
+    out.u32(static_cast<std::uint32_t>(payload.size()));
+    out.u32(crc32(payload));
+    out.bytes(payload.data(), payload.size());
+  }
+  write_file_atomic(path_, out.data());
+
+  // Swap the append fd to the new inode (the old fd still points at
+  // the unlinked pre-rotation file).
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open " + path_);
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    throw_errno("lseek " + path_);
+  }
+  ::close(fd_);
+  fd_ = fd;
+  base_lsn_ = cut;
+  unsynced_ = 0;  // write_file_atomic fsynced the new file
+  return dropped;
 }
 
 std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {

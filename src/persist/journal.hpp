@@ -5,8 +5,11 @@
 ///
 /// File layout (little-endian):
 ///
-///   [magic 8B "EDFKJRNL"] [version u32] [reserved u32]
+///   [magic 8B "EDFKJRNL"] [version u32] [reserved u32] [base_lsn u64]
 ///   record*: [len u32] [crc32 u32 of payload] [payload len bytes]
+///
+/// (Version 1 files — no base_lsn field, implicitly base 0 — are still
+/// readable; rotate() and create() write version 2.)
 ///
 /// Records are opaque byte payloads here; the admission layer defines
 /// their encoding (admission/snapshot.hpp). Each record carries its own
@@ -33,6 +36,14 @@
 /// concurrent admit paths. LSNs are record indices (0-based): a
 /// snapshot taken at lsn L reflects exactly records [0, L), and
 /// recovery replays [L, end).
+///
+/// Compaction: rotate(L) garbage-collects every record below LSN L —
+/// the prefix a snapshot at LSN >= L has already folded in — by
+/// rewriting the file (atomic tmp + rename) with base_lsn = L and only
+/// the surviving suffix. LSNs are stable across rotation: the i-th
+/// record of a rotated file has LSN base_lsn + i, so a snapshot/journal
+/// pair keeps composing exactly as before while long-lived journals
+/// stop growing without bound.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +62,7 @@ namespace edfkit::persist {
 
 inline constexpr char kJournalMagic[8] = {'E', 'D', 'F', 'K',
                                           'J', 'R', 'N', 'L'};
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 enum class FsyncPolicy : std::uint8_t { None, EveryRecord, EveryN };
 
@@ -63,8 +74,12 @@ struct JournalOptions {
 
 /// Result of scanning a journal file front to back.
 struct JournalScan {
-  /// Every intact record's payload, in append order.
+  /// Every intact record's payload, in append order. records[i] has
+  /// LSN base_lsn + i.
   std::vector<std::vector<std::uint8_t>> records;
+  /// LSN of the first record in the file: 0 for a never-rotated
+  /// journal, the GC cut for a rotated one.
+  std::uint64_t base_lsn = 0;
   /// The file ended inside the final record's frame; the partial
   /// record was dropped (crash mid-append, not an error).
   bool torn_tail = false;
@@ -99,8 +114,25 @@ class Journal {
   /// the fsync policy. \throws PersistError{IoError}
   std::uint64_t append(std::span<const std::uint8_t> payload);
 
-  /// Next LSN to be assigned == records committed so far.
+  /// Next LSN to be assigned == records committed so far (across every
+  /// rotation — LSNs are stable).
   [[nodiscard]] std::uint64_t lsn() const noexcept;
+
+  /// LSN of the oldest record still in the file (== the last rotate()
+  /// cut, 0 if never rotated). Records [base_lsn, lsn()) are on disk.
+  [[nodiscard]] std::uint64_t base_lsn() const noexcept;
+
+  /// Garbage-collect every record below `keep_from_lsn` — the prefix a
+  /// snapshot taken at LSN >= keep_from_lsn has already folded in. The
+  /// surviving suffix is rewritten to a fresh file with
+  /// base_lsn = keep_from_lsn and atomically renamed over path()
+  /// (a crash mid-rotate leaves the old journal intact). The cut is
+  /// clamped to [base_lsn(), lsn()]; rotating at or below the current
+  /// base is a no-op. Thread-safe (appends block for the duration).
+  /// \returns the number of records dropped.
+  /// \throws PersistError{IoError} on any filesystem failure (the
+  /// original journal is still valid in that case).
+  std::uint64_t rotate(std::uint64_t keep_from_lsn);
 
   /// Force an fdatasync now (e.g. a SIGTERM flush), regardless of
   /// policy.
@@ -120,13 +152,14 @@ class Journal {
 
  private:
   Journal(int fd, std::string path, JournalOptions opts,
-          std::uint64_t next_lsn) noexcept;
+          std::uint64_t next_lsn, std::uint64_t base_lsn) noexcept;
 
   mutable std::mutex mu_;
   int fd_ = -1;
   std::string path_;
   JournalOptions opts_;
   std::uint64_t next_lsn_ = 0;
+  std::uint64_t base_lsn_ = 0;
   std::uint64_t unsynced_ = 0;
   const obs::JournalInstruments* metrics_ = nullptr;
 };

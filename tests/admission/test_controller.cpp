@@ -181,6 +181,52 @@ TEST_P(ControllerChurnTest, VerdictsMatchFromScratchAfterEveryOp) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ControllerChurnTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(AdmissionController, CertificateCarryingDecisions) {
+  AdmissionOptions opts;
+  opts.return_certificate = true;
+  AdmissionController ctl(opts);
+
+  // Admit: a feasibility certificate over the widened resident set,
+  // independently re-checkable against a client-side copy of it.
+  const AdmissionDecision a = ctl.try_admit(tk(2, 8, 10));
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(a.certificate.present());
+  const CertificateCheck ok = verify(ctl.snapshot(), a.certificate);
+  EXPECT_TRUE(ok.valid) << ok.reason;
+
+  // Group admit: one certificate for the whole widened set.
+  const std::vector<Task> group = {tk(1, 10, 20), tk(2, 20, 40)};
+  const GroupDecision g = ctl.admit_group(group);
+  ASSERT_TRUE(g.admitted);
+  ASSERT_TRUE(g.certificate.present());
+  EXPECT_TRUE(verify(ctl.snapshot(), g.certificate).valid);
+
+  // Proven reject: an infeasibility certificate, verifying against the
+  // widened set the caller offered (residents + rejected arrival) —
+  // and against nothing else.
+  const AdmissionDecision r = ctl.try_admit(tk(9, 5, 100));
+  ASSERT_FALSE(r.admitted);
+  ASSERT_EQ(r.analysis.verdict, Verdict::Infeasible);
+  ASSERT_TRUE(r.certificate.present());
+  TaskSet widened = ctl.snapshot();
+  widened.add(tk(9, 5, 100));
+  EXPECT_TRUE(verify(widened, r.certificate).valid);
+  EXPECT_FALSE(verify(ctl.snapshot(), r.certificate).valid);
+
+  // Policy rejects prove nothing and carry nothing.
+  AdmissionOptions capped = opts;
+  capped.max_tasks = 1;
+  AdmissionController small(capped);
+  ASSERT_TRUE(small.try_admit(tk(1, 10, 10)).admitted);
+  const AdmissionDecision p = small.try_admit(tk(1, 10, 10));
+  EXPECT_FALSE(p.admitted);
+  EXPECT_FALSE(p.certificate.present());
+
+  // Off (the default), decisions stay certificate-free.
+  AdmissionController plain;
+  EXPECT_FALSE(plain.try_admit(tk(2, 8, 10)).certificate.present());
+}
+
 TEST(AdmissionLadder, TestSelectionIsDiscoverable) {
   AdmissionOptions opts;
   const std::vector<TestKind> kinds = admission_ladder_tests(opts);

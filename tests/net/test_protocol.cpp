@@ -1,0 +1,305 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "helpers.hpp"
+#include "query/certificate.hpp"
+#include "util/random.hpp"
+
+namespace edfkit::net {
+namespace {
+
+using edfkit::testing::tk;
+
+std::vector<std::uint8_t> framed(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, payload);
+  return wire;
+}
+
+// ------------------------------------------------------------ framing
+
+TEST(Framing, RoundTripAndExactConsumption) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> wire = framed(payload);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+  FrameView view;
+  ASSERT_EQ(try_parse_frame(wire, view), FrameStatus::Ok);
+  EXPECT_EQ(view.consumed, wire.size());
+  ASSERT_EQ(view.payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         view.payload.begin()));
+}
+
+TEST(Framing, EveryTruncationNeedsMore) {
+  // A torn frame must never parse, never consume, and never error —
+  // at *every* possible cut point.
+  const std::vector<std::uint8_t> wire = framed({9, 8, 7, 6});
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameView view;
+    const std::span<const std::uint8_t> prefix(wire.data(), cut);
+    EXPECT_EQ(try_parse_frame(prefix, view), FrameStatus::NeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Framing, BackToBackFramesParseOneAtATime) {
+  std::vector<std::uint8_t> wire = framed({1});
+  append_frame(wire, std::vector<std::uint8_t>{2, 2});
+  FrameView first;
+  ASSERT_EQ(try_parse_frame(wire, first), FrameStatus::Ok);
+  EXPECT_EQ(first.payload.size(), 1u);
+  const std::span<const std::uint8_t> rest(wire.data() + first.consumed,
+                                           wire.size() - first.consumed);
+  FrameView second;
+  ASSERT_EQ(try_parse_frame(rest, second), FrameStatus::Ok);
+  EXPECT_EQ(second.payload.size(), 2u);
+  EXPECT_EQ(first.consumed + second.consumed, wire.size());
+}
+
+TEST(Framing, OversizedLengthPrefixIsUnrecoverable) {
+  std::vector<std::uint8_t> wire = framed({1, 2, 3});
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(wire.data(), &huge, sizeof(huge));
+  FrameView view;
+  EXPECT_EQ(try_parse_frame(wire, view), FrameStatus::TooLarge);
+}
+
+TEST(Framing, AnySingleBitFlipInPayloadFailsCrc) {
+  const std::vector<std::uint8_t> wire = framed({0xAA, 0x55, 0x00, 0xFF});
+  for (std::size_t byte = kFrameHeaderBytes; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bad = wire;
+      bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameView view;
+      EXPECT_EQ(try_parse_frame(bad, view), FrameStatus::BadCrc)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// ------------------------------------------------------------- codecs
+
+TEST(Codec, HelloRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
+  req.hdr.flags = kFlagBatchFuse | kFlagCertifiedTenant;
+  req.hdr.request_id = 0xDEADBEEFCAFE;
+  req.tenant = "tenant-A_1";
+  req.durability = 2;
+  req.fsync_interval = 128;
+
+  const NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.hdr.op, req.hdr.op);
+  EXPECT_EQ(out.hdr.flags, req.hdr.flags);
+  EXPECT_EQ(out.hdr.request_id, req.hdr.request_id);
+  EXPECT_EQ(out.tenant, req.tenant);
+  EXPECT_EQ(out.durability, req.durability);
+  EXPECT_EQ(out.fsync_interval, req.fsync_interval);
+}
+
+TEST(Codec, AdmitAndGroupRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+  req.hdr.flags = kFlagWantCertificate;
+  req.task = tk(3, 17, 40);
+  req.task.name = "camera";
+  NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.task.wcet, 3);
+  EXPECT_EQ(out.task.deadline, 17);
+  EXPECT_EQ(out.task.period, 40);
+  EXPECT_EQ(out.task.name, "camera");
+
+  NetRequest grp;
+  grp.hdr.op = static_cast<std::uint8_t>(NetOp::AdmitGroup);
+  grp.group = {tk(1, 10, 20), tk(2, 30, 60), tk(5, 50, 100)};
+  out = decode_request(encode_request(grp));
+  ASSERT_EQ(out.group.size(), 3u);
+  EXPECT_EQ(out.group[1].wcet, 2);
+  EXPECT_EQ(out.group[2].period, 100);
+}
+
+TEST(Codec, RemoveOpsRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Remove);
+  req.id = 42;
+  EXPECT_EQ(decode_request(encode_request(req)).id, 42u);
+
+  NetRequest grp;
+  grp.hdr.op = static_cast<std::uint8_t>(NetOp::RemoveGroup);
+  grp.ids = {7, 9, 11, 13};
+  const NetRequest out = decode_request(encode_request(grp));
+  EXPECT_EQ(out.ids, grp.ids);
+}
+
+TEST(Codec, ResponseRoundTripPerStatus) {
+  NetResponse ok;
+  ok.hdr.op = static_cast<std::uint8_t>(NetOp::AdmitGroup);
+  ok.hdr.status = static_cast<std::uint8_t>(NetStatus::Ok);
+  ok.hdr.request_id = 77;
+  ok.ids = {100, 101, 102};
+  ok.rung = 2;
+  ok.verdict = 1;
+  NetResponse out = decode_response(encode_response(ok));
+  EXPECT_EQ(out.hdr.request_id, 77u);
+  EXPECT_EQ(out.ids, ok.ids);
+  EXPECT_EQ(out.rung, 2);
+
+  NetResponse shed;
+  shed.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+  shed.hdr.status = static_cast<std::uint8_t>(NetStatus::Shed);
+  shed.retry_after_ms = 250;
+  out = decode_response(encode_response(shed));
+  EXPECT_EQ(out.retry_after_ms, 250u);
+
+  NetResponse stats;
+  stats.hdr.op = static_cast<std::uint8_t>(NetOp::Stats);
+  stats.stats.residents = 12;
+  stats.stats.utilization = 0.625;
+  stats.stats_json = "{\"arrivals\":3}";
+  out = decode_response(encode_response(stats));
+  EXPECT_EQ(out.stats.residents, 12u);
+  EXPECT_DOUBLE_EQ(out.stats.utilization, 0.625);
+  EXPECT_EQ(out.stats_json, stats.stats_json);
+
+  NetResponse hello;
+  hello.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
+  hello.base_lsn = 640;
+  hello.lsn = 700;
+  out = decode_response(encode_response(hello));
+  EXPECT_EQ(out.base_lsn, 640u);
+  EXPECT_EQ(out.lsn, 700u);
+}
+
+TEST(Codec, CertificateRidesTheResponse) {
+  // Build a real certificate and check it survives the wire bit-exact
+  // (the client re-verifies it, so every field matters).
+  const TaskSet ts = testing::set_of({tk(1, 10, 20), tk(2, 20, 40)});
+  const auto cert = build_feasibility_certificate(ts);
+  ASSERT_TRUE(cert.has_value());
+
+  NetResponse resp;
+  resp.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+  resp.hdr.flags = kFlagHasCertificate;
+  resp.id = 5;
+  resp.certificate = *cert;
+  const NetResponse out = decode_response(encode_response(resp));
+  ASSERT_TRUE((out.hdr.flags & kFlagHasCertificate) != 0);
+  EXPECT_EQ(out.certificate.kind, cert->kind);
+  EXPECT_EQ(out.certificate.borders, cert->borders);
+  EXPECT_TRUE(verify(ts, out.certificate).valid);
+}
+
+TEST(Codec, ShortBodyThrowsOutOfRange) {
+  // A frame whose CRC is fine but whose body is shorter than the op
+  // demands must throw (the server answers BadRequest), not read junk.
+  for (const NetOp op : {NetOp::Hello, NetOp::Admit, NetOp::AdmitGroup,
+                         NetOp::Remove, NetOp::RemoveGroup}) {
+    NetRequest req;
+    req.hdr.op = static_cast<std::uint8_t>(op);
+    req.tenant = "t";
+    req.group = {tk(1, 5, 10)};
+    req.ids = {1};
+    std::vector<std::uint8_t> payload = encode_request(req);
+    payload.resize(kMessageHeaderBytes);  // keep the header, drop the body
+    if (op == NetOp::Hello || op == NetOp::Admit) {
+      EXPECT_THROW((void)decode_request(payload), std::out_of_range)
+          << to_string(op);
+    } else {
+      // Count-prefixed bodies: also try lying about the count.
+      EXPECT_THROW((void)decode_request(payload), std::out_of_range)
+          << to_string(op);
+    }
+  }
+}
+
+TEST(Codec, CountPrefixCannotOverrunTheBody) {
+  // An AdmitGroup whose count claims more tasks than the body could
+  // possibly hold must throw, not allocate or scan past the end.
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::AdmitGroup);
+  req.group = {tk(1, 5, 10)};
+  std::vector<std::uint8_t> payload = encode_request(req);
+  const std::uint32_t lie = 0x00FFFFFF;
+  std::memcpy(payload.data() + kMessageHeaderBytes, &lie, sizeof(lie));
+  EXPECT_THROW((void)decode_request(payload), std::out_of_range);
+}
+
+TEST(Codec, UnknownOpDecodesHeaderOnly) {
+  NetRequest req;
+  req.hdr.op = 99;
+  req.hdr.request_id = 1234;
+  const NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.hdr.op, 99);
+  EXPECT_EQ(out.hdr.request_id, 1234u);
+}
+
+TEST(Codec, RandomRequestRoundTripFuzz) {
+  // Property fuzz: arbitrary-but-valid requests survive
+  // encode -> frame -> parse -> decode unchanged.
+  Rng rng(2005);
+  const std::uint64_t iters = 200 * testing::fuzz_multiplier();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    NetRequest req;
+    const auto op = static_cast<NetOp>(1 + rng.uniform_int(0, 6));
+    req.hdr.op = static_cast<std::uint8_t>(op);
+    req.hdr.flags = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+    req.hdr.request_id = rng.engine()();
+    switch (op) {
+      case NetOp::Hello:
+        req.tenant = "f" + std::to_string(rng.uniform_int(0, 1 << 30));
+        req.durability = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+        req.fsync_interval = static_cast<std::uint64_t>(
+            rng.uniform_int(1, 1 << 20));
+        break;
+      case NetOp::Admit:
+        req.task = tk(1 + rng.uniform_int(0, 99),
+                      100 + rng.uniform_int(0, 899),
+                      1000 + rng.uniform_int(0, 9000));
+        break;
+      case NetOp::AdmitGroup:
+        for (int k = rng.uniform_int(0, 8); k > 0; --k) {
+          req.group.push_back(tk(1 + rng.uniform_int(0, 9),
+                                 10 + rng.uniform_int(0, 89),
+                                 100 + rng.uniform_int(0, 900)));
+        }
+        break;
+      case NetOp::Remove:
+        req.id = rng.engine()();
+        break;
+      case NetOp::RemoveGroup:
+        for (int k = rng.uniform_int(0, 16); k > 0; --k) {
+          req.ids.push_back(rng.engine()());
+        }
+        break;
+      case NetOp::Stats:
+      case NetOp::Ping:
+        break;
+    }
+
+    std::vector<std::uint8_t> wire;
+    append_frame(wire, encode_request(req));
+    FrameView view;
+    ASSERT_EQ(try_parse_frame(wire, view), FrameStatus::Ok);
+    const NetRequest out = decode_request(view.payload);
+    EXPECT_EQ(out.hdr.op, req.hdr.op);
+    EXPECT_EQ(out.hdr.request_id, req.hdr.request_id);
+    EXPECT_EQ(out.tenant, req.tenant);
+    EXPECT_EQ(out.ids, req.ids);
+    ASSERT_EQ(out.group.size(), req.group.size());
+    for (std::size_t g = 0; g < req.group.size(); ++g) {
+      EXPECT_EQ(out.group[g].wcet, req.group[g].wcet);
+      EXPECT_EQ(out.group[g].deadline, req.group[g].deadline);
+      EXPECT_EQ(out.group[g].period, req.group[g].period);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edfkit::net

@@ -299,6 +299,107 @@ TEST(Recovery, EmptyJournalAndNoArtifactsAreCleanColdStarts) {
   std::remove(wal.c_str());
 }
 
+// ------------------------------------------------- rotation (journal GC)
+
+TEST(Journal, RotateDropsPrefixAndKeepsLsnsStable) {
+  const std::string path = temp_path("rotate");
+  std::remove(path.c_str());
+  persist::Journal j = persist::Journal::create(path);
+  for (char c = 'a'; c < 'a' + 8; ++c) (void)j.append(payload_of(c, 16));
+  EXPECT_EQ(j.lsn(), 8u);
+  EXPECT_EQ(j.base_lsn(), 0u);
+  const auto before = std::filesystem::file_size(path);
+
+  EXPECT_EQ(j.rotate(5), 5u);
+  EXPECT_EQ(j.base_lsn(), 5u);
+  EXPECT_EQ(j.lsn(), 8u);  // LSNs unaffected by GC
+  EXPECT_LT(std::filesystem::file_size(path), before);
+
+  // Appends continue with stable LSNs into the rotated file.
+  EXPECT_EQ(j.append(payload_of('z', 16)), 8u);
+
+  const persist::JournalScan scan = persist::scan_journal(path);
+  EXPECT_EQ(scan.base_lsn, 5u);
+  ASSERT_EQ(scan.records.size(), 4u);  // LSNs 5,6,7 survive + 8 appended
+  EXPECT_EQ(scan.records[0], payload_of('f', 16));
+  EXPECT_EQ(scan.records[3], payload_of('z', 16));
+
+  // Rotating at or below the current base is a no-op; beyond lsn()
+  // clamps to the end (drops everything currently on disk).
+  EXPECT_EQ(j.rotate(3), 0u);
+  EXPECT_EQ(j.rotate(100), 4u);
+  EXPECT_EQ(j.base_lsn(), 9u);
+  EXPECT_EQ(persist::scan_journal(path).records.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, OpenAppendResumesARotatedJournal) {
+  const std::string path = temp_path("rotate_resume");
+  std::remove(path.c_str());
+  {
+    persist::Journal j = persist::Journal::create(path);
+    for (int i = 0; i < 6; ++i) (void)j.append(payload_of('p', 8));
+    (void)j.rotate(4);
+  }
+  persist::Journal j = persist::Journal::open_append(path);
+  EXPECT_EQ(j.base_lsn(), 4u);
+  EXPECT_EQ(j.lsn(), 6u);
+  EXPECT_EQ(j.append(payload_of('q', 8)), 6u);
+  // A torn tail after rotation still truncates cleanly on reopen.
+  truncate_to(path, std::filesystem::file_size(path) - 3);
+  persist::Journal again = persist::Journal::open_append(path);
+  EXPECT_EQ(again.lsn(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(Recovery, RecoverAfterRotateMatchesUnrotatedTwin) {
+  const std::string wal = temp_path("rotgc.wal");
+  const std::string wal_twin = temp_path("rotgc_twin.wal");
+  const std::string snap = temp_path("rotgc.snap");
+  for (const auto& p : {wal, wal_twin, snap}) std::remove(p.c_str());
+
+  // Two identical journaled runs; one journal is rotated at the
+  // snapshot LSN (the compaction pattern: snapshot, then GC the records
+  // the snapshot folded in), the twin keeps its full history.
+  AdmissionController original(fast_options());
+  AdmissionController twin_src(fast_options());
+  {
+    persist::Journal j = persist::Journal::create(wal);
+    persist::Journal jt = persist::Journal::create(wal_twin);
+    original.attach_journal(&j);
+    twin_src.attach_journal(&jt);
+    (void)churn(original, 91, 300);
+    (void)churn(twin_src, 91, 300);
+    save_snapshot(original, snap, j.lsn());
+    EXPECT_EQ(j.rotate(j.lsn()), j.lsn());  // GC everything snapshotted
+    (void)churn(original, 92, 150);  // suffix lands in the rotated file
+    (void)churn(twin_src, 92, 150);
+    original.attach_journal(nullptr);
+    twin_src.attach_journal(nullptr);
+  }
+  expect_same_store(original, twin_src);
+
+  AdmissionController recovered(fast_options());
+  const RecoveryResult rec = recover(recovered, snap, wal);
+  EXPECT_TRUE(rec.snapshot_loaded);
+  EXPECT_GT(rec.snapshot_lsn, 0u);
+  EXPECT_EQ(rec.replayed, rec.journal_records);  // whole rotated file
+  expect_same_store(original, recovered);
+  EXPECT_TRUE(recovered.verify_consistency());
+
+  // The rotated journal without its snapshot is refused: the records a
+  // cold replay would need are gone, and that must never be silent.
+  AdmissionController cold(fast_options());
+  try {
+    (void)recover(cold, "", wal);
+    FAIL() << "cold recovery from a rotated journal accepted";
+  } catch (const persist::PersistError& e) {
+    EXPECT_EQ(e.code(), persist::PersistErrc::BadValue);
+  }
+
+  for (const auto& p : {wal, wal_twin, snap}) std::remove(p.c_str());
+}
+
 TEST(Recovery, TornJournalTailRecoversThePrefix) {
   const std::string wal = temp_path("torntail.wal");
   std::remove(wal.c_str());
