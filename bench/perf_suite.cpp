@@ -8,14 +8,14 @@
 ///                [--baseline path/to/committed.json] [--tolerance 0.2]
 ///                [--gate-batch X] [--gate-small-n X]
 ///                [--gate-obs-overhead X] [--obs-metrics-out FILE]
-///                [--obs-trace-out FILE]
+///                [--obs-trace-out FILE] [--gate-fault-overhead X]
 ///
 /// --quick only reduces timing repetitions (best-of-1) and query/read
 /// cell iterations; the sweep grid and trace lengths stay identical so
 /// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Sections (schema = 5):
+/// Sections (schema = 6):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
@@ -77,6 +77,18 @@
 ///    registry (Prometheus text) and flight recorder (JSON) as CI
 ///    artifacts.
 ///
+///  * fault — the zero-overhead-when-off contract of the failpoint
+///    registry (src/fault/), measured on the journaled headline churn:
+///    the n=1000/U=0.99 trace replayed through a controller with a WAL
+///    attached (every decision appends a record, crossing the persist
+///    failpoints), all kPersistSites disarmed vs armed with a schedule
+///    that never fires (after, n=1e15 — the armed-check upper bound:
+///    every hit runs the full consume() path, no fault is ever
+///    injected). `ratio` is best-of/best-of over interleaved
+///    alternating replays, the run_obs_cell estimator; CI gates it
+///    with --gate-fault-overhead (0.99 = at most 1% overhead, tighter
+///    than obs because the disarmed check is one relaxed load).
+///
 ///  * net — the cost of serving decisions over the wire (src/net/): the
 ///    same churn replayed through a loopback net::Server over one
 ///    synchronous connection vs straight into the controller.
@@ -84,14 +96,14 @@
 ///    per decision. Reported, not gated (the net-load CI job gates
 ///    end-to-end latency under concurrent load).
 ///
-/// JSON schema (schema = 5; v4 had no net section; v3 had no obs
-/// section and no known_regressions; v2 had no persist section; v1 had
-/// no batch/removal/read sections). `known_regressions` documents the
+/// JSON schema (schema = 6; v5 had no fault section; v4 had no net
+/// section; v3 had no obs section and no known_regressions; v2 had no
+/// persist section; v1 had no batch/removal/read sections). `known_regressions` documents the
 /// accepted sub-1x admission cells (n=100 slack-index maintenance) with
 /// the scan-internals counters that explain them — the small-n gate
 /// tolerates those cells; a *new* regression shows up as a cell outside
 /// this list.
-///   { "bench": "perf_suite", "schema": 5, "seed": N, "quick": bool,
+///   { "bench": "perf_suite", "schema": 6, "seed": N, "quick": bool,
 ///     "epsilon": e,
 ///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
 ///                      "old_dps": f, "new_dps": f, "speedup": f,
@@ -112,6 +124,8 @@
 ///                      "load_ns": f, "journal_append_ns": f } ... ],
 ///     "obs":       [ { "n": N, "u": U, "events": N, "plain_dps": f,
 ///                      "instr_dps": f, "ratio": f } ],
+///     "fault":     [ { "n": N, "u": U, "events": N, "off_dps": f,
+///                      "armed_dps": f, "ratio": f } ],
 ///     "net":       [ { "n": N, "u": U, "events": N, "local_dps": f,
 ///                      "net_dps": f, "wire_overhead_ns": f } ... ],
 ///     "known_regressions": [ { "section": "admission", "n": N, "u": U,
@@ -127,7 +141,8 @@
 /// speedup regressed by more than --tolerance (default 0.2) vs the
 /// committed BENCH_perf.json; 5 = batch headline speedup below
 /// --gate-batch; 6 = some n=10 admission cell below --gate-small-n;
-/// 7 = instrumented/plain decision rate below --gate-obs-overhead.
+/// 7 = instrumented/plain decision rate below --gate-obs-overhead;
+/// 8 = armed/disarmed decision rate below --gate-fault-overhead.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -144,6 +159,7 @@
 #include "admission/replay.hpp"
 #include "admission/snapshot.hpp"
 #include "bench_common.hpp"
+#include "fault/fault.hpp"
 #include "gen/taskset_gen.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -824,6 +840,79 @@ ObsRow run_obs_cell(obs::Obs& obs, std::size_t n, double u,
   return row;
 }
 
+struct FaultRow {
+  std::size_t n = 0;
+  double u = 0.0;
+  std::size_t events = 0;
+  double off_dps = 0.0;    ///< all persist failpoints disarmed
+  double armed_dps = 0.0;  ///< armed with a never-firing schedule
+  double ratio = 0.0;      ///< armed/off; 1.0 = free when armed
+};
+
+/// The zero-overhead-when-off contract of src/fault/, measured where
+/// it matters: the headline churn with a WAL attached, so every
+/// decision's journal append crosses the persist failpoints. The
+/// disarmed side is the shipped configuration (each site is one
+/// relaxed atomic load); the armed side uses `after, n=1e15` — every
+/// hit takes the full consume() slow path but no fault ever fires, the
+/// worst case a chaos run imposes on operations it does not break.
+/// Same best-of/best-of interleaved estimator as run_obs_cell.
+FaultRow run_fault_cell(std::size_t n, double u, std::size_t events,
+                        double epsilon, std::uint64_t seed,
+                        std::int64_t reps) {
+  const std::vector<TraceEvent> trace =
+      make_trace(n, u, events, seed, 0.0, 1);
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.skip_exact = true;  // headline configuration: rung <= 2
+  opts.use_slack_index = true;
+  const std::string wal = "perf_fault.tmp.wal";
+
+  const auto run_once = [&](bool armed) {
+    fault::disarm_all();
+    if (armed) {
+      for (const char* site : fault::kPersistSites) {
+        fault::point(site).arm(fault::Mode::AfterN,
+                               /*n=*/1000000000000000ULL);
+      }
+    }
+    Shadow shadow(opts);
+    persist::Journal journal = persist::Journal::create(wal);
+    shadow.ctl.attach_journal(&journal);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const TraceEvent& ev : trace) (void)shadow.step(ev);
+    const double secs = seconds_since(t0);
+    shadow.ctl.attach_journal(nullptr);
+    return secs;
+  };
+
+  FaultRow row;
+  row.n = n;
+  row.u = u;
+  row.events = trace.size();
+  (void)run_once(false);  // warm both paths before timing
+  (void)run_once(true);
+  double best_off = 1e300;
+  double best_armed = 1e300;
+  const std::int64_t pairs = std::max<std::int64_t>(10 * reps, 40);
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    if (p % 2 == 0) {
+      best_off = std::min(best_off, run_once(false));
+      best_armed = std::min(best_armed, run_once(true));
+    } else {
+      best_armed = std::min(best_armed, run_once(true));
+      best_off = std::min(best_off, run_once(false));
+    }
+  }
+  fault::disarm_all();
+  std::remove(wal.c_str());
+  const double total = static_cast<double>(trace.size());
+  row.off_dps = total / best_off;
+  row.armed_dps = total / best_armed;
+  row.ratio = best_off / best_armed;
+  return row;
+}
+
 struct NetRow {
   std::size_t n = 0;
   double u = 0.0;
@@ -983,6 +1072,7 @@ int main(int argc, char** argv) {
     const double gate_batch = flags.get_double("gate-batch", 0.0);
     const double gate_small_n = flags.get_double("gate-small-n", 0.0);
     const double gate_obs = flags.get_double("gate-obs-overhead", 0.0);
+    const double gate_fault = flags.get_double("gate-fault-overhead", 0.0);
     const std::string obs_metrics_out = flags.get("obs-metrics-out", "");
     const std::string obs_trace_out = flags.get("obs-trace-out", "");
 
@@ -1160,6 +1250,32 @@ int main(int argc, char** argv) {
                        static_cast<long long>(row.events), row.plain_dps,
                        row.instr_dps, row.ratio);
     }
+    // Failpoint overhead: the journaled headline churn with every
+    // persist site disarmed vs armed-but-never-firing.
+    std::vector<FaultRow> fault_rows;
+    {
+      const std::uint64_t fault_seed =
+          setup.seed + 1000 * 1000 + static_cast<std::uint64_t>(0.99 * 100);
+      FaultRow row = run_fault_cell(1000, 0.99, events, epsilon, fault_seed,
+                                    setup.sets);
+      // Same marginal-answer policy as the obs cell: a noise spike
+      // fails at most one re-measurement, a real regression fails all.
+      for (int attempt = 1;
+           gate_fault > 0.0 && row.ratio < gate_fault && attempt < 3;
+           ++attempt) {
+        const FaultRow again = run_fault_cell(1000, 0.99, events, epsilon,
+                                              fault_seed, setup.sets);
+        if (again.ratio > row.ratio) row = again;
+      }
+      fault_rows.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx "
+                  "(disarmed/armed)\n",
+                  "fault", row.n, row.u, row.events, row.off_dps,
+                  row.armed_dps, row.ratio);
+      setup.csv.row_of("fault", static_cast<long long>(row.n), row.u,
+                       static_cast<long long>(row.events), row.off_dps,
+                       row.armed_dps, row.ratio);
+    }
     // Wire overhead: the same decisions served over a loopback socket.
     std::vector<NetRow> net_rows;
     for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
@@ -1198,7 +1314,7 @@ int main(int argc, char** argv) {
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 5LL)
+        .kv("schema", 6LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -1283,6 +1399,18 @@ int main(int argc, char** argv) {
           .kv("events", static_cast<long long>(row.events))
           .kv("plain_dps", row.plain_dps)
           .kv("instr_dps", row.instr_dps)
+          .kv("ratio", row.ratio)
+          .end();
+    }
+    json.end();
+    json.begin_array("fault");
+    for (const FaultRow& row : fault_rows) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("events", static_cast<long long>(row.events))
+          .kv("off_dps", row.off_dps)
+          .kv("armed_dps", row.armed_dps)
           .kv("ratio", row.ratio)
           .end();
     }
@@ -1408,6 +1536,19 @@ int main(int argc, char** argv) {
                        "below the %.2fx gate (n=%zu, u=%.2f)\n",
                        row.ratio, gate_obs, row.n, row.u);
           return 7;
+        }
+      }
+    }
+    if (gate_fault > 0.0) {
+      for (const FaultRow& row : fault_rows) {
+        std::printf("fault gate: %.3fx armed/disarmed vs %.2fx required\n",
+                    row.ratio, gate_fault);
+        if (row.ratio < gate_fault) {
+          std::fprintf(stderr,
+                       "REGRESSION: armed-failpoint overhead ratio %.3fx "
+                       "below the %.2fx gate (n=%zu, u=%.2f)\n",
+                       row.ratio, gate_fault, row.n, row.u);
+          return 8;
         }
       }
     }

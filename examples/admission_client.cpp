@@ -4,7 +4,7 @@
 /// through net::Client.
 ///
 ///   ./admission_client [--host 127.0.0.1] [--port 7433]
-///                      [--mode load|replay]
+///                      [--mode load|replay|chaos]
 ///                      [--tenant bench] [--tenants 1]
 ///                      [--connections 2] [--events 2000] [--rate 0]
 ///                      [--seed N] [--utilization 0.9]
@@ -14,6 +14,8 @@
 ///                      [--fsync-interval 64] [--fuse] [--certify]
 ///                      [--epsilon 0.1] [--skip-exact]
 ///                      [--gate-p99-us 0] [--expect-no-shed]
+///                      [--client chaos] [--retry-timeout-ms 1000]
+///                      [--retry-attempts 50]
 ///
 /// `--mode load` — open-loop benchmark: each connection (one thread
 /// each) replays its own deterministic churn trace (gen/scenario §5
@@ -37,6 +39,20 @@
 /// the reconnect. With --certify, every admit response's certificate is
 /// re-verified client-side against the twin's resident set — the
 /// client checks the server's proof without trusting the server.
+///
+/// `--mode chaos` — the replay differential through a RetryingClient
+/// (net/client.hpp) with a stable client id: every transport failure —
+/// dropped responses (fault-injected or real), connection resets,
+/// server kills and restarts, tenant quarantines — is retried under
+/// the original request id, and the server's exactly-once dedup window
+/// answers resends from the applied result. The twin comparison is the
+/// same as replay, so the gate it proves is stronger: decisions stay
+/// bit-identical even when the harness is actively killing the server
+/// (the chaos CI job runs exactly this under an EDFKIT_FAULTS matrix
+/// plus a kill -9 loop). --retry-timeout-ms bounds each attempt's
+/// receive wait; the final line reports retries / reconnects /
+/// observed restarts for the harness to reconcile against server
+/// metrics.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -490,6 +506,157 @@ int run_replay(const ClientConfig& cfg) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------ chaos
+
+/// The replay differential driven through RetryingClient: transport
+/// failures, drops, restarts, and quarantines are absorbed by the
+/// exactly-once retry path instead of the manual reconnect above, so
+/// the comparison loop itself never sees them — only the counters do.
+int run_chaos(const ClientConfig& cfg, const std::string& client_id,
+              std::uint64_t retry_timeout_ms, std::size_t retry_attempts) {
+  Rng rng(cfg.seed);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, cfg.churn);
+
+  AdmissionController twin(cfg.twin);
+
+  net::RetryPolicy policy;
+  policy.receive_timeout_ms = retry_timeout_ms;
+  policy.send_timeout_ms = retry_timeout_ms;
+  policy.connect_timeout_ms = retry_timeout_ms;
+  policy.max_attempts = retry_attempts;
+  policy.seed = cfg.seed;  // deterministic jitter for reproducible runs
+  // Fusing would change the journal/decision shape, and fused batches
+  // are excluded from dedup anyway — chaos runs sequential ops.
+  net::RetryingClient rc(cfg.host, cfg.port, cfg.tenant, client_id, policy,
+                         cfg.fsync, cfg.fsync_interval,
+                         hello_flags(cfg) & ~net::kFlagBatchFuse);
+
+  std::unordered_map<std::uint64_t, std::vector<TaskId>> wire_resident;
+  std::unordered_map<std::uint64_t, std::vector<TaskId>> twin_resident;
+  std::uint64_t mismatches = 0;
+  const auto diverge = [&](std::size_t i, const std::string& what) {
+    std::fprintf(stderr, "DIVERGENCE at event %zu: %s\n", i, what.c_str());
+    ++mismatches;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& ev = trace[i];
+    if (ev.op == TraceOp::Crash) continue;
+
+    std::vector<TaskId> depart_ids;
+    if (ev.op == TraceOp::Depart) {
+      const auto it = wire_resident.find(ev.key);
+      if (it == wire_resident.end()) {
+        if (twin_resident.count(ev.key) != 0) {
+          diverge(i, "key resident in twin but not over the wire");
+        }
+        continue;
+      }
+      depart_ids = std::move(it->second);
+      wire_resident.erase(it);
+    }
+
+    // RetryingClient owns every failure mode here: a lost response is
+    // resent under the same id and answered from the server's dedup
+    // window, so the decision we compare is the one applied exactly
+    // once — even across a kill -9 and journal recovery.
+    const net::NetResponse resp =
+        rc.call(request_for(ev, depart_ids, /*want_certificate=*/false));
+    const auto status = static_cast<net::NetStatus>(resp.hdr.status);
+    if (status != net::NetStatus::Ok && status != net::NetStatus::Rejected) {
+      diverge(i, std::string("unexpected status ") + net::to_string(status));
+      continue;
+    }
+    const bool wire_admitted = status == net::NetStatus::Ok;
+
+    switch (ev.op) {
+      case TraceOp::Arrive: {
+        const AdmissionDecision d = twin.try_admit(ev.task);
+        if (d.admitted != wire_admitted) {
+          diverge(i, "admit verdicts differ");
+        } else if (d.admitted && d.id != resp.id) {
+          diverge(i, "admitted TaskIds differ");
+        }
+        if (static_cast<std::uint8_t>(d.rung) != resp.rung) {
+          diverge(i, "settling rungs differ");
+        }
+        if (static_cast<std::uint8_t>(d.analysis.verdict) != resp.verdict) {
+          diverge(i, "verdicts differ");
+        }
+        if (d.admitted) {
+          wire_resident.emplace(ev.key, std::vector<TaskId>{resp.id});
+          twin_resident.emplace(ev.key, std::vector<TaskId>{d.id});
+        }
+        break;
+      }
+      case TraceOp::ArriveGroup: {
+        const GroupDecision d = twin.admit_group(ev.group);
+        if (d.admitted != wire_admitted) {
+          diverge(i, "group verdicts differ");
+        } else if (d.admitted && d.ids != resp.ids) {
+          diverge(i, "group TaskIds differ");
+        }
+        if (static_cast<std::uint8_t>(d.rung) != resp.rung) {
+          diverge(i, "group settling rungs differ");
+        }
+        if (d.admitted) {
+          wire_resident.emplace(ev.key, resp.ids);
+          twin_resident.emplace(ev.key, d.ids);
+        }
+        break;
+      }
+      case TraceOp::Depart: {
+        const auto it = twin_resident.find(ev.key);
+        std::size_t removed = 0;
+        if (it != twin_resident.end()) {
+          removed = twin.remove_group(it->second);
+          twin_resident.erase(it);
+        }
+        if (removed != resp.removed) diverge(i, "removal counts differ");
+        break;
+      }
+      case TraceOp::Crash:
+        break;
+    }
+  }
+
+  // Final-state differential, same shape as replay. Epoch is excluded
+  // (restarts change it by design — epoch_changes() counts them).
+  net::NetRequest stats_req;
+  stats_req.hdr.op = static_cast<std::uint8_t>(net::NetOp::Stats);
+  const net::NetResponse stats = rc.call(std::move(stats_req));
+  const StoreHeader a = stats.stats;
+  const StoreHeader b = twin.demand_header();
+  if (a.residents != b.residents || a.constrained != b.constrained ||
+      a.live_checkpoints != b.live_checkpoints ||
+      a.utilization != b.utilization || a.cert_ratio != b.cert_ratio) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: final headers differ "
+                 "(server %llu residents u=%.6f, twin %llu u=%.6f)\n",
+                 static_cast<unsigned long long>(a.residents), a.utilization,
+                 static_cast<unsigned long long>(b.residents), b.utilization);
+    ++mismatches;
+  }
+  if (stats.stats_json != twin.stats().to_json()) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: stats json differs\nserver: %s\ntwin:   %s\n",
+                 stats.stats_json.c_str(), twin.stats().to_json().c_str());
+    ++mismatches;
+  }
+
+  std::printf("chaos differential: %zu events, %llu residents, "
+              "%llu mismatches\n",
+              trace.size(), static_cast<unsigned long long>(b.residents),
+              static_cast<unsigned long long>(mismatches));
+  std::printf("chaos transport: retries=%llu reconnects=%llu "
+              "restarts-observed=%llu epoch=%llu\n",
+              static_cast<unsigned long long>(rc.retries()),
+              static_cast<unsigned long long>(rc.reconnects()),
+              static_cast<unsigned long long>(rc.epoch_changes()),
+              static_cast<unsigned long long>(rc.epoch()));
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -528,8 +695,14 @@ int main(int argc, char** argv) {
                       flags.get_bool("expect-no-shed", false));
     }
     if (mode == "replay") return run_replay(cfg);
+    if (mode == "chaos") {
+      return run_chaos(
+          cfg, flags.get("client", "chaos"),
+          static_cast<std::uint64_t>(flags.get_int("retry-timeout-ms", 1000)),
+          static_cast<std::size_t>(flags.get_int("retry-attempts", 50)));
+    }
     throw std::invalid_argument("unknown --mode '" + mode +
-                                "' (load|replay)");
+                                "' (load|replay|chaos)");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

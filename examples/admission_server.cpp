@@ -10,7 +10,7 @@
 ///                      [--max-pending 1024] [--max-residents 0]
 ///                      [--util-headroom 1.0] [--retry-after-ms 50]
 ///                      [--idle-timeout-ms 0] [--max-connections 256]
-///                      [--max-fuse 64]
+///                      [--max-fuse 64] [--reprobe-interval-ms 200]
 ///                      [--metrics-dump] [--trace-out flight.json]
 ///                      [--trace-capacity 512]
 ///
@@ -32,14 +32,22 @@
 /// dumps the metrics registry (Prometheus text format) to stderr
 /// mid-run, serviced on the loop thread between ticks so the export
 /// never runs in signal context.
+///
+/// Fault injection: the EDFKIT_FAULTS environment spec (src/fault)
+/// arms persist/server failpoints at startup — the chaos CI job runs
+/// this binary under fsync flaps, snapshot rename failures, and random
+/// short writes. Armed points are announced on stdout, and the metrics
+/// dumps append per-point hit/fire counters.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "net/server.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
@@ -65,6 +73,20 @@ std::atomic<bool> g_dump{false};
 
 void on_sigusr1(int) { g_dump.store(true, std::memory_order_relaxed); }
 
+/// Append the failpoint hit/fire counters to a metrics dump — the
+/// chaos harness reconciles fires against quarantine/retry metrics.
+void dump_fault_counters(std::FILE* out) {
+  for (const fault::FailPoint* fp : fault::list()) {
+    if (fp->hits() == 0 && !fp->armed()) continue;
+    std::fprintf(out, "edfkit_fault_hits_total{point=\"%s\"} %llu\n",
+                 fp->name().c_str(),
+                 static_cast<unsigned long long>(fp->hits()));
+    std::fprintf(out, "edfkit_fault_fires_total{point=\"%s\"} %llu\n",
+                 fp->name().c_str(),
+                 static_cast<unsigned long long>(fp->fires()));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +101,8 @@ int main(int argc, char** argv) {
     opts.idle_timeout_ms =
         static_cast<std::uint64_t>(flags.get_int("idle-timeout-ms", 0));
     opts.max_fuse = static_cast<std::size_t>(flags.get_int("max-fuse", 64));
+    opts.reprobe_interval_ms = static_cast<std::uint64_t>(
+        flags.get_int("reprobe-interval-ms", 200));
 
     opts.tenants.data_dir = flags.get("data-dir", "");
     opts.tenants.checkpoint_every =
@@ -101,6 +125,20 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("trace-capacity", 512));
 
     obs::Obs obs(ocfg, /*shards=*/1);
+    // Chaos harnesses arm failpoints through the environment; a
+    // malformed spec must abort loudly, not serve un-faulted.
+    if (const char* spec = std::getenv("EDFKIT_FAULTS");
+        spec != nullptr && *spec != '\0') {
+      std::string err;
+      if (!fault::configure(spec, &err)) {
+        throw std::runtime_error("EDFKIT_FAULTS: " + err);
+      }
+      std::size_t armed = 0;
+      for (const fault::FailPoint* fp : fault::list()) {
+        armed += fp->armed() ? 1 : 0;
+      }
+      std::printf("fault injection: %zu failpoint(s) armed\n", armed);
+    }
     net::Server server(opts, &obs);
     g_server = &server;
 
@@ -129,6 +167,7 @@ int main(int argc, char** argv) {
       if (g_dump.exchange(false, std::memory_order_relaxed)) {
         const std::string text = obs.registry().to_prometheus();
         std::fwrite(text.data(), 1, text.size(), stderr);
+        dump_fault_counters(stderr);
         std::fflush(stderr);
       }
     }
@@ -162,6 +201,7 @@ int main(int argc, char** argv) {
     if (metrics_dump) {
       const std::string text = obs.registry().to_prometheus();
       std::fwrite(text.data(), 1, text.size(), stdout);
+      dump_fault_counters(stdout);
     }
     if (!trace_out.empty()) {
       std::ofstream out(trace_out);

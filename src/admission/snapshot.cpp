@@ -96,6 +96,10 @@ struct Record {
   std::vector<TaskId> ids;
   std::uint32_t shard = 0;
   std::vector<TaskId> assigned;
+  // ClientMark
+  std::string client;
+  std::uint64_t request_id = 0;
+  std::uint8_t mark_flags = 0;
 };
 
 Record decode_record(std::span<const std::uint8_t> payload) {
@@ -143,6 +147,11 @@ Record decode_record(std::span<const std::uint8_t> payload) {
     case JournalOp::EngineRemove:
       rec.shard = r.u32();
       rec.id = r.u64();
+      break;
+    case JournalOp::ClientMark:
+      rec.client = r.str();
+      rec.request_id = r.u64();
+      rec.mark_flags = r.u8();
       break;
     default:
       throw PersistError(PersistErrc::BadValue,
@@ -217,6 +226,17 @@ std::vector<std::uint8_t> engine_remove(GlobalTaskId id) {
   w.u8(static_cast<std::uint8_t>(JournalOp::EngineRemove));
   w.u32(id.shard);
   w.u64(id.local);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> client_mark(const std::string& client,
+                                      std::uint64_t request_id,
+                                      std::uint8_t flags) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::ClientMark));
+  w.str(client);
+  w.u64(request_id);
+  w.u8(flags);
   return std::move(w).take();
 }
 
@@ -724,7 +744,8 @@ SnapshotMeta load_snapshot(AdmissionEngine& out, const std::string& path) {
 
 RecoveryResult recover(AdmissionController& out,
                        const std::string& snapshot_path,
-                       const std::string& journal_path) {
+                       const std::string& journal_path,
+                       ReplayObserver* observer) {
   RecoveryResult result;
   // Replay must not re-journal the records it applies.
   persist::Journal* attached = out.journal();
@@ -761,17 +782,36 @@ RecoveryResult recover(AdmissionController& out,
            i < scan.records.size(); ++i) {
         const Record rec = decode_record(scan.records[i]);
         switch (rec.op) {
-          case JournalOp::Admit:
-            (void)out.try_admit(rec.task);
+          case JournalOp::Admit: {
+            const AdmissionDecision d = out.try_admit(rec.task);
+            if (observer != nullptr) observer->on_admit(d);
             break;
-          case JournalOp::AdmitGroup:
-            (void)out.admit_group(rec.group);
+          }
+          case JournalOp::AdmitGroup: {
+            const GroupDecision d = out.admit_group(rec.group);
+            if (observer != nullptr) observer->on_admit_group(d);
             break;
-          case JournalOp::Remove:
-            (void)out.remove(rec.id);
+          }
+          case JournalOp::Remove: {
+            const bool removed = out.remove(rec.id);
+            if (observer != nullptr) observer->on_remove(rec.id, removed);
             break;
-          case JournalOp::RemoveGroup:
-            (void)out.remove_group(rec.ids);
+          }
+          case JournalOp::RemoveGroup: {
+            const std::size_t removed = out.remove_group(rec.ids);
+            if (observer != nullptr) {
+              observer->on_remove_group(rec.ids, removed);
+            }
+            break;
+          }
+          case JournalOp::ClientMark:
+            // Pure annotation — no controller state change. The
+            // observer learns which (client, request_id) the NEXT
+            // record's outcome belongs to.
+            if (observer != nullptr) {
+              observer->on_mark(rec.client, rec.request_id,
+                                rec.mark_flags);
+            }
             break;
           default:
             throw PersistError(PersistErrc::BadValue,

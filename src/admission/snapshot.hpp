@@ -74,6 +74,15 @@ enum class JournalOp : std::uint8_t {
   EngineAdmit = 16,       ///< engine: committed single placement
   EngineAdmitGroup = 17,  ///< engine: committed group placement
   EngineRemove = 18,      ///< engine: committed removal
+  /// Server-side exactly-once bookkeeping: "the next controller record
+  /// was requested by (client, request_id)". Appended by the network
+  /// server immediately before the operation record it annotates, so a
+  /// recovery replay can rebuild the per-client dedup window and answer
+  /// a resent request from the applied result. Pure annotation: replay
+  /// applies no state change for it, and a mark with no following
+  /// operation record (crash between the two appends) means the op
+  /// never committed — the client's retry is correct to re-execute.
+  ClientMark = 32,
 };
 
 /// Record encoders (the attach_journal hooks call these; tests build
@@ -92,6 +101,9 @@ namespace journal_codec {
     std::uint32_t shard, std::span<const GlobalTaskId> assigned,
     std::span<const Task> group);
 [[nodiscard]] std::vector<std::uint8_t> engine_remove(GlobalTaskId id);
+[[nodiscard]] std::vector<std::uint8_t> client_mark(
+    const std::string& client, std::uint64_t request_id,
+    std::uint8_t flags);
 }  // namespace journal_codec
 
 /// Serialize the controller (options + stats + sequence + the complete
@@ -121,6 +133,25 @@ SnapshotMeta load_snapshot(AdmissionController& out,
 /// are already running.
 SnapshotMeta load_snapshot(AdmissionEngine& out, const std::string& path);
 
+/// Watches a controller recovery replay record by record. The network
+/// server implements this to rebuild its per-client exactly-once dedup
+/// window: on_mark announces the (client, request_id) a ClientMark
+/// record carried, and the following result callback delivers the
+/// re-executed operation's outcome — bit-identical to the original run,
+/// so the rebuilt cached response matches the one originally sent.
+/// Every callback defaults to a no-op.
+class ReplayObserver {
+ public:
+  virtual ~ReplayObserver() = default;
+  virtual void on_mark(const std::string& /*client*/,
+                       std::uint64_t /*request_id*/, std::uint8_t /*flags*/) {}
+  virtual void on_admit(const AdmissionDecision& /*d*/) {}
+  virtual void on_admit_group(const GroupDecision& /*d*/) {}
+  virtual void on_remove(TaskId /*id*/, bool /*removed*/) {}
+  virtual void on_remove_group(std::span<const TaskId> /*ids*/,
+                               std::size_t /*removed*/) {}
+};
+
 struct RecoveryResult {
   bool snapshot_loaded = false;
   std::uint64_t snapshot_lsn = 0;   ///< journal records folded into it
@@ -144,9 +175,12 @@ struct RecoveryResult {
 /// attached journal (if any) is detached for the duration — replay
 /// must not re-journal. \throws PersistError on corruption (a torn
 /// journal tail is NOT corruption — it is dropped and reported).
+/// An optional observer sees every replayed record's outcome (see
+/// ReplayObserver) — the network server's dedup-window rebuild.
 RecoveryResult recover(AdmissionController& out,
                        const std::string& snapshot_path,
-                       const std::string& journal_path);
+                       const std::string& journal_path,
+                       ReplayObserver* observer = nullptr);
 
 /// Engine recovery: snapshot + committed-op replay with id remapping
 /// (replayed admits may be assigned fresh local ids; later removes are

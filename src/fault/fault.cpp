@@ -1,0 +1,291 @@
+#include "fault/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace edfkit::fault {
+namespace {
+
+/// xorshift64* step — good enough for fault schedules, cheap enough
+/// for an armed hot path.
+[[nodiscard]] std::uint64_t xorshift64(std::uint64_t x) noexcept {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<FailPoint>> points;
+};
+
+Registry& registry() {
+  // Leaked on purpose: sites cache FailPoint references in
+  // function-local statics whose destruction order vs this map is
+  // otherwise unsequenced.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+const std::map<std::string, int>& errno_names() {
+  static const std::map<std::string, int> names = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EDQUOT", EDQUOT},
+      {"EACCES", EACCES}, {"EROFS", EROFS},   {"EMFILE", EMFILE},
+      {"ENFILE", ENFILE}, {"ENOENT", ENOENT}, {"EFBIG", EFBIG},
+      {"EPERM", EPERM},   {"EAGAIN", EAGAIN}, {"EINTR", EINTR},
+  };
+  return names;
+}
+
+}  // namespace
+
+const char* to_string(Mode m) noexcept {
+  switch (m) {
+    case Mode::Off: return "off";
+    case Mode::Once: return "once";
+    case Mode::EveryN: return "every";
+    case Mode::AfterN: return "after";
+    case Mode::Random: return "prob";
+  }
+  return "?";
+}
+
+FaultResult FailPoint::consume() noexcept {
+  // The hit index is local to the current arming: a point armed
+  // `every,n=3` fires on its 3rd/6th/9th hit *since arming*,
+  // regardless of history.
+  const std::uint64_t hit =
+      hits_.fetch_add(1, std::memory_order_relaxed) + 1 -
+      armed_at_hit_.load(std::memory_order_relaxed);
+  FaultResult r;
+  switch (static_cast<Mode>(mode_.load(std::memory_order_relaxed))) {
+    case Mode::Off:
+      return r;
+    case Mode::Once:
+      if (hit != 1) return r;
+      break;
+    case Mode::EveryN: {
+      const std::uint64_t n = n_.load(std::memory_order_relaxed);
+      if (n == 0 || hit % n != 0) return r;
+      break;
+    }
+    case Mode::AfterN:
+      if (hit <= n_.load(std::memory_order_relaxed)) return r;
+      break;
+    case Mode::Random: {
+      // Relaxed load/advance/store: concurrent hits may reuse a state
+      // (a duplicated draw), which only perturbs the schedule — fault
+      // injection needs determinism per thread sequence, not a global
+      // total order — and stays TSan-clean (atomics throughout).
+      const std::uint64_t s = rng_.load(std::memory_order_relaxed);
+      const std::uint64_t next = xorshift64(s);
+      rng_.store(next, std::memory_order_relaxed);
+      if (next >= prob_bits_.load(std::memory_order_relaxed)) return r;
+      break;
+    }
+  }
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  r.fire = true;
+  r.err = err_.load(std::memory_order_relaxed);
+  r.short_len = short_len_.load(std::memory_order_relaxed);
+  return r;
+}
+
+bool FailPoint::should_fail() noexcept {
+  const FaultResult r = consume();
+  if (r.fire) errno = r.err;
+  return r.fire;
+}
+
+void FailPoint::arm(Mode mode, std::uint64_t n, double probability,
+                    std::uint64_t seed, int err,
+                    std::size_t short_len) noexcept {
+  n_.store(n, std::memory_order_relaxed);
+  // p scaled to the full u64 range; clamp so p=1.0 always fires.
+  double p = probability;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  prob_bits_.store(
+      p >= 1.0 ? ~0ull
+               : static_cast<std::uint64_t>(
+                     p * 18446744073709551616.0 /* 2^64 */),
+      std::memory_order_relaxed);
+  rng_.store(seed == 0 ? 1 : seed, std::memory_order_relaxed);
+  err_.store(err, std::memory_order_relaxed);
+  short_len_.store(short_len, std::memory_order_relaxed);
+  armed_at_hit_.store(hits_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  mode_.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+  // armed_ last: a site observing armed sees the full configuration
+  // (release pairs with the site's consume() loads via the data; the
+  // relaxed hot path tolerates a stale read for at most one hit).
+  armed_.store(mode == Mode::Off ? 0 : 1, std::memory_order_release);
+}
+
+void FailPoint::disarm() noexcept {
+  armed_.store(0, std::memory_order_relaxed);
+  mode_.store(static_cast<std::uint8_t>(Mode::Off),
+              std::memory_order_relaxed);
+}
+
+FailPoint& point(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) {
+    it = r.points.emplace(name, std::make_unique<FailPoint>(name)).first;
+  }
+  return *it->second;
+}
+
+std::vector<FailPoint*> list() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<FailPoint*> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, fp] : r.points) out.push_back(fp.get());
+  return out;
+}
+
+void disarm_all() noexcept {
+  for (FailPoint* fp : list()) fp->disarm();
+}
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool parse_entry(const std::string& entry, std::string* error) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    if (error != nullptr) *error = "entry '" + entry + "': expected NAME=MODE";
+    return false;
+  }
+  const std::string name = trim(entry.substr(0, eq));
+  std::string rest = entry.substr(eq + 1);
+
+  // MODE[,key=value...]
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t comma = rest.find(',', start);
+    const std::size_t end = comma == std::string::npos ? rest.size() : comma;
+    parts.push_back(trim(rest.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (parts.empty() || parts[0].empty()) {
+    if (error != nullptr) *error = "entry '" + entry + "': missing mode";
+    return false;
+  }
+
+  Mode mode;
+  const std::string& m = parts[0];
+  if (m == "off") {
+    mode = Mode::Off;
+  } else if (m == "once") {
+    mode = Mode::Once;
+  } else if (m == "every") {
+    mode = Mode::EveryN;
+  } else if (m == "after") {
+    mode = Mode::AfterN;
+  } else if (m == "prob") {
+    mode = Mode::Random;
+  } else {
+    if (error != nullptr) *error = "entry '" + entry + "': unknown mode " + m;
+    return false;
+  }
+
+  std::uint64_t n = 1;
+  double p = 0.0;
+  std::uint64_t seed = 1;
+  int err = EIO;
+  std::size_t short_len = static_cast<std::size_t>(-1);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t keq = parts[i].find('=');
+    if (keq == std::string::npos) {
+      if (error != nullptr) {
+        *error = "entry '" + entry + "': expected key=value, got " + parts[i];
+      }
+      return false;
+    }
+    const std::string key = parts[i].substr(0, keq);
+    const std::string val = parts[i].substr(keq + 1);
+    char* endp = nullptr;
+    if (key == "n") {
+      n = std::strtoull(val.c_str(), &endp, 10);
+    } else if (key == "p") {
+      p = std::strtod(val.c_str(), &endp);
+    } else if (key == "seed") {
+      seed = std::strtoull(val.c_str(), &endp, 10);
+    } else if (key == "short") {
+      short_len = std::strtoull(val.c_str(), &endp, 10);
+    } else if (key == "errno") {
+      const auto it = errno_names().find(val);
+      if (it != errno_names().end()) {
+        err = it->second;
+        endp = nullptr;
+      } else {
+        err = static_cast<int>(std::strtol(val.c_str(), &endp, 10));
+        if (err <= 0) {
+          if (error != nullptr) {
+            *error = "entry '" + entry + "': unknown errno " + val;
+          }
+          return false;
+        }
+      }
+    } else {
+      if (error != nullptr) {
+        *error = "entry '" + entry + "': unknown key " + key;
+      }
+      return false;
+    }
+    if (endp != nullptr && (*endp != '\0' || endp == val.c_str())) {
+      if (error != nullptr) {
+        *error = "entry '" + entry + "': bad value for " + key;
+      }
+      return false;
+    }
+  }
+  point(name).arm(mode, n, p, seed, err, short_len);
+  return true;
+}
+
+}  // namespace
+
+bool configure(const std::string& spec, std::string* error) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::size_t end = semi == std::string::npos ? spec.size() : semi;
+    const std::string entry = trim(spec.substr(start, end - start));
+    if (!entry.empty() && !parse_entry(entry, error)) return false;
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return true;
+}
+
+std::size_t configure_from_env() {
+  const char* env = std::getenv("EDFKIT_FAULTS");
+  if (env == nullptr || *env == '\0') return 0;
+  if (!configure(env)) return 0;
+  std::size_t armed = 0;
+  for (const FailPoint* fp : list()) {
+    if (fp->armed()) ++armed;
+  }
+  return armed;
+}
+
+}  // namespace edfkit::fault

@@ -1,0 +1,180 @@
+/// \file fault.hpp
+/// Deterministic fault injection: a process-global registry of named
+/// failpoints threaded through the persist layer's syscall sites
+/// (open/write/fsync/rename/truncate) and the server's response path,
+/// so every failure shape the service must survive — ENOSPC on a
+/// journal append, a crash-torn write, a snapshot rename that never
+/// lands, a response dropped after the commit — can be provoked on
+/// demand and differential-tested instead of waited for.
+///
+/// Cost model: a site is
+///
+///   fault::FailPoint& fp = EDFKIT_FAULT_POINT("journal.append.write");
+///   if (fp.armed() && fp.should_fail()) throw ...;
+///
+/// `armed()` is one relaxed atomic load behind a function-local static
+/// reference, so a disarmed site costs a load and a predicted branch —
+/// the perf suite's `fault_off` cell gates the armed-but-never-firing
+/// state (which upper-bounds it) at <1% on the headline churn cell.
+/// consume()/should_fail() run only when armed and are lock-free
+/// (atomics throughout), so arming a point never serializes the paths
+/// it instruments — TSan-clean by construction.
+///
+/// Trigger modes (per point):
+///   off      — never fires (the disarmed state).
+///   once     — fires on the first hit after arming, then never again.
+///   every,n= — fires on every n-th hit (n=1: every hit).
+///   after,n= — fires on every hit after the first n.
+///   prob,p=,seed= — fires with probability p per hit (seeded
+///              xorshift64*, so a given seed replays the same fault
+///              schedule against the same hit sequence).
+///
+/// Every mode composes with `errno=` (named — ENOSPC, EIO, … — or
+/// numeric) selecting the errno the site reports, and write sites
+/// honor `short=K`: write K bytes for real before failing, producing a
+/// genuine torn tail on disk rather than a clean error.
+///
+/// Configuration: programmatic (point(name).arm(...)) or the
+/// `EDFKIT_FAULTS` environment spec for harnesses —
+///
+///   EDFKIT_FAULTS="journal.append.fsync=every,n=50,errno=EIO;
+///                  snapshot.rename=once;
+///                  journal.append.write=prob,p=0.01,seed=7,short=3"
+///
+/// (entries ';'-separated, whitespace ignored). configure() reports
+/// malformed specs instead of silently arming nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace edfkit::fault {
+
+enum class Mode : std::uint8_t { Off = 0, Once, EveryN, AfterN, Random };
+
+[[nodiscard]] const char* to_string(Mode m) noexcept;
+
+/// Outcome of one armed hit.
+struct FaultResult {
+  bool fire = false;
+  int err = 0;  ///< errno to report when firing
+  /// Write sites: bytes to write for real before failing (a torn
+  /// tail). SIZE_MAX = fail cleanly without writing.
+  std::size_t short_len = static_cast<std::size_t>(-1);
+};
+
+/// One named failpoint. Never destroyed (the registry leaks its points
+/// on purpose — sites cache references for the process lifetime).
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The hot-path check: one relaxed load.
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Count a hit and decide whether it fires. Call only when armed()
+  /// (calling disarmed is harmless but counts a hit). Lock-free.
+  FaultResult consume() noexcept;
+
+  /// consume() and, when firing, set errno to the configured value.
+  /// The site then throws whatever its real failure would throw.
+  [[nodiscard]] bool should_fail() noexcept;
+
+  /// Arm with `mode`. `n` parameterizes EveryN/AfterN, `probability` +
+  /// `seed` parameterize Random, `err` is the injected errno,
+  /// `short_len` the torn-write length (SIZE_MAX = clean failure).
+  void arm(Mode mode, std::uint64_t n = 1, double probability = 0.0,
+           std::uint64_t seed = 1, int err = 5 /*EIO*/,
+           std::size_t short_len = static_cast<std::size_t>(-1)) noexcept;
+
+  void disarm() noexcept;
+
+  /// Hits seen while armed (consume() calls) and hits that fired.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Mode mode() const noexcept {
+    return static_cast<Mode>(mode_.load(std::memory_order_relaxed));
+  }
+
+  /// Reset counters (arming does not, so a harness can arm once and
+  /// read totals across phases).
+  void reset_counters() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    fires_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint8_t> armed_{0};
+  std::atomic<std::uint8_t> mode_{0};
+  std::atomic<std::uint64_t> n_{1};
+  std::atomic<std::uint64_t> prob_bits_{0};  ///< p scaled to 2^64
+  std::atomic<std::uint64_t> rng_{1};
+  std::atomic<int> err_{5};
+  std::atomic<std::size_t> short_len_{static_cast<std::size_t>(-1)};
+  std::atomic<std::uint64_t> armed_at_hit_{0};  ///< hits() when armed
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+};
+
+/// Find-or-create the point named `name`. Thread-safe; the reference
+/// stays valid for the process lifetime.
+[[nodiscard]] FailPoint& point(const std::string& name);
+
+/// Every point ever created, in name order.
+[[nodiscard]] std::vector<FailPoint*> list();
+
+/// Disarm every registered point (test teardown).
+void disarm_all() noexcept;
+
+/// Parse and apply a fault spec (see file header). Returns false and
+/// fills `error` (when non-null) on a malformed spec; points named
+/// before the malformed entry stay armed.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// configure(getenv("EDFKIT_FAULTS")); no-op when unset. Returns the
+/// number of entries armed (0 when unset or malformed).
+std::size_t configure_from_env();
+
+/// The canonical persist-layer site names, in the order a
+/// journal+snapshot lifecycle hits them. tests/fault iterates this
+/// list; a test cross-checks it against the registry after exercising
+/// a full lifecycle, so a new site cannot be added without being
+/// enumerated (or the list test fails).
+inline constexpr const char* kPersistSites[] = {
+    "journal.create.open",   "journal.create.write",
+    "journal.create.fsync",  "journal.open.open",
+    "journal.open.truncate", "journal.append.write",
+    "journal.append.fsync",  "journal.append.truncate_back",
+    "journal.rotate.fsync",  "journal.rotate.open",
+    "journal.sync.fsync",    "snapshot.tmp.open",
+    "snapshot.tmp.write",    "snapshot.tmp.fsync",
+    "snapshot.rename",
+};
+
+/// The server's post-commit response drop (emulates a kill between
+/// commit and reply — the exactly-once retry differential arms it).
+inline constexpr const char* kDropResponseSite = "net.server.drop_response";
+
+#define EDFKIT_FAULT_POINT(name_literal)                          \
+  ([]() -> ::edfkit::fault::FailPoint& {                          \
+    static ::edfkit::fault::FailPoint& fp_ =                      \
+        ::edfkit::fault::point(name_literal);                     \
+    return fp_;                                                   \
+  }())
+
+}  // namespace edfkit::fault

@@ -1,15 +1,20 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 namespace edfkit::net {
@@ -20,9 +25,35 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// Wait until `fd` is ready for `events`; throws NetTimeout when
+/// `timeout_ms` (nonzero) expires first.
+void poll_or_throw(int fd, short events, std::uint64_t timeout_ms,
+                   const char* what) {
+  if (timeout_ms == 0) return;  // unbounded: let the syscall block
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int r = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    if (r > 0) return;
+    if (r == 0) throw NetTimeout(std::string(what) + ": timed out");
+    if (errno == EINTR) continue;
+    throw_errno(what);
+  }
+}
+
+void set_blocking(int fd, bool blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl F_GETFL");
+  const int want =
+      blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl F_SETFL");
+}
+
 }  // namespace
 
-Client Client::connect(const std::string& host, std::uint16_t port) {
+Client Client::connect(const std::string& host, std::uint16_t port,
+                       std::uint64_t connect_timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw_errno("socket");
 
@@ -34,12 +65,37 @@ Client Client::connect(const std::string& host, std::uint16_t port) {
     errno = EINVAL;
     throw_errno("inet_pton");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    int saved = errno;
+  try {
+    if (connect_timeout_ms == 0) {
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        throw_errno("connect");
+      }
+    } else {
+      // Bounded handshake: non-blocking connect, poll for writability,
+      // read the outcome back via SO_ERROR, then restore blocking mode.
+      set_blocking(fd, false);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS) throw_errno("connect");
+        poll_or_throw(fd, POLLOUT, connect_timeout_ms, "connect");
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+          throw_errno("getsockopt SO_ERROR");
+        }
+        if (err != 0) {
+          errno = err;
+          throw_errno("connect");
+        }
+      }
+      set_blocking(fd, true);
+    }
+  } catch (...) {
+    const int saved = errno;
     ::close(fd);
     errno = saved;
-    throw_errno("connect");
+    throw;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -49,6 +105,8 @@ Client Client::connect(const std::string& host, std::uint16_t port) {
 Client::Client(Client&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
       next_request_id_(o.next_request_id_),
+      send_timeout_ms_(o.send_timeout_ms_),
+      receive_timeout_ms_(o.receive_timeout_ms_),
       rbuf_(std::move(o.rbuf_)) {}
 
 Client& Client::operator=(Client&& o) noexcept {
@@ -56,6 +114,8 @@ Client& Client::operator=(Client&& o) noexcept {
     close();
     fd_ = std::exchange(o.fd_, -1);
     next_request_id_ = o.next_request_id_;
+    send_timeout_ms_ = o.send_timeout_ms_;
+    receive_timeout_ms_ = o.receive_timeout_ms_;
     rbuf_ = std::move(o.rbuf_);
   }
   return *this;
@@ -76,15 +136,25 @@ std::uint64_t Client::send(NetRequest req) {
     errno = ENOTCONN;
     throw_errno("send");
   }
-  req.hdr.request_id = next_request_id_++;
+  if (req.hdr.request_id == 0) {
+    req.hdr.request_id = next_request_id_++;
+  } else {
+    // A caller-chosen id (the retry path resends under the original
+    // one); keep the counter ahead of it.
+    next_request_id_ = std::max(next_request_id_, req.hdr.request_id + 1);
+  }
   std::vector<std::uint8_t> wire;
   append_frame(wire, encode_request(req));
   std::size_t off = 0;
   while (off < wire.size()) {
-    ssize_t n = ::write(fd_, wire.data() + off, wire.size() - off);
+    poll_or_throw(fd_, POLLOUT, send_timeout_ms_, "send");
+    // MSG_NOSIGNAL: a server that vanished mid-send must surface as
+    // EPIPE, not as a process-wide SIGPIPE.
+    ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                       MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      throw_errno("send");
     }
     off += static_cast<std::size_t>(n);
   }
@@ -112,6 +182,7 @@ NetResponse Client::receive() {
       case FrameStatus::BadCrc:
         throw std::runtime_error("server frame failed CRC");
     }
+    poll_or_throw(fd_, POLLIN, receive_timeout_ms_, "receive");
     std::uint8_t chunk[4096];
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n == 0) {
@@ -133,13 +204,127 @@ NetResponse Client::call(NetRequest req) {
 
 NetResponse Client::hello(const std::string& tenant,
                           persist::FsyncPolicy fsync,
-                          std::uint64_t fsync_interval, std::uint8_t flags) {
+                          std::uint64_t fsync_interval, std::uint8_t flags,
+                          const std::string& client) {
   NetRequest req;
   req.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
   req.hdr.flags = flags;
   req.tenant = tenant;
   req.durability = static_cast<std::uint8_t>(fsync);
   req.fsync_interval = fsync_interval;
+  req.client = client;
+  return call(std::move(req));
+}
+
+// ---------------------------------------------------- RetryingClient
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               std::string tenant, std::string client_id,
+                               RetryPolicy policy,
+                               persist::FsyncPolicy fsync,
+                               std::uint64_t fsync_interval,
+                               std::uint8_t hello_flags)
+    : host_(std::move(host)),
+      port_(port),
+      tenant_(std::move(tenant)),
+      client_id_(std::move(client_id)),
+      policy_(policy),
+      fsync_(fsync),
+      fsync_interval_(fsync_interval),
+      hello_flags_(hello_flags),
+      rng_(policy.seed != 0 ? policy.seed
+                            : (static_cast<std::uint64_t>(
+                                   std::random_device{}())
+                                   << 32) |
+                                  std::random_device{}()) {}
+
+void RetryingClient::ensure_connected() {
+  if (conn_.connected()) return;
+  conn_ = Client::connect(host_, port_, policy_.connect_timeout_ms);
+  conn_.set_timeouts(policy_.send_timeout_ms, policy_.receive_timeout_ms);
+  ++reconnects_;
+  const NetResponse h =
+      conn_.hello(tenant_, fsync_, fsync_interval_, hello_flags_,
+                  client_id_);
+  if (h.hdr.status != static_cast<std::uint8_t>(NetStatus::Ok)) {
+    conn_.close();
+    throw std::runtime_error(std::string("hello failed: ") +
+                             to_string(static_cast<NetStatus>(
+                                 h.hdr.status)));
+  }
+  if (epoch_ != 0 && h.epoch != epoch_) ++epoch_changes_;
+  epoch_ = h.epoch;
+  // Resume ids above what the server already applied for us: after a
+  // server restart the dedup window was rebuilt from the journal, and
+  // after a client restart this seeds the id sequence correctly.
+  next_id_ = std::max(next_id_, h.highest_applied + 1);
+}
+
+void RetryingClient::backoff_sleep(std::uint64_t floor_ms) {
+  // Decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)),
+  // floored by the server's retry_after_ms hint when it gave one.
+  const std::uint64_t base = std::max<std::uint64_t>(
+      1, std::max(policy_.backoff_base_ms, floor_ms));
+  const std::uint64_t hi =
+      std::max(base + 1, std::min(policy_.backoff_cap_ms,
+                                  std::max(prev_sleep_ms_, base) * 3));
+  std::uniform_int_distribution<std::uint64_t> dist(base, hi);
+  prev_sleep_ms_ = std::min(policy_.backoff_cap_ms, dist(rng_));
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(prev_sleep_ms_));
+}
+
+NetResponse RetryingClient::call(NetRequest req) {
+  // The id is fixed once — after the first successful HELLO, which may
+  // advance next_id_ past what the server already applied for this
+  // client — and reused verbatim on every resend. That is what makes
+  // the server's dedup window able to recognize a retry of an
+  // already-applied operation.
+  std::uint64_t id = 0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      ensure_connected();
+      if (id == 0) id = next_id_++;
+      req.hdr.request_id = id;
+      NetRequest copy = req;
+      (void)conn_.send(std::move(copy));
+      const NetResponse resp = conn_.receive();
+      const NetStatus st = static_cast<NetStatus>(resp.hdr.status);
+      if (st == NetStatus::Unavailable || st == NetStatus::Shed) {
+        // Transient by contract: the op was NOT applied. Honor the
+        // server's retry hint, then resend the same id.
+        if (attempt >= policy_.max_attempts) return resp;
+        ++retries_;
+        backoff_sleep(resp.retry_after_ms);
+        continue;
+      }
+      return resp;
+    } catch (const std::system_error&) {
+      conn_.close();
+      if (attempt >= policy_.max_attempts) throw;
+    } catch (const NetTimeout&) {
+      // A late response would desynchronize the stream — drop the
+      // connection and resend on a fresh one.
+      conn_.close();
+      if (attempt >= policy_.max_attempts) throw;
+    }
+    ++retries_;
+    backoff_sleep(0);
+  }
+}
+
+NetResponse RetryingClient::admit(const Task& t, std::uint8_t flags) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+  req.hdr.flags = flags;
+  req.task = t;
+  return call(std::move(req));
+}
+
+NetResponse RetryingClient::remove(TaskId id) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::Remove);
+  req.id = id;
   return call(std::move(req));
 }
 

@@ -8,9 +8,17 @@
 /// This is the client the load driver (examples/admission_client.cpp)
 /// and the end-to-end tests build on — deliberately simple: blocking
 /// socket, no internal threads, request ids assigned monotonically.
+///
+/// RetryingClient wraps it with deadlines + exactly-once retry: every
+/// request keeps its id across reconnects, the server's per-client
+/// dedup window (HELLO `client`, net/tenant.hpp) answers resends from
+/// the applied result, and transient failures (timeouts, resets,
+/// Unavailable, Shed) back off with decorrelated jitter.
 #pragma once
 
 #include <cstdint>
+#include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,11 +27,26 @@
 
 namespace edfkit::net {
 
+/// A poll(2) deadline expired before the socket was ready. Distinct
+/// from std::system_error so callers can retry timeouts specifically.
+class NetTimeout : public std::runtime_error {
+ public:
+  explicit NetTimeout(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 class Client {
  public:
-  /// Connect to host:port. \throws std::system_error on failure.
+  /// A disconnected client (connected() == false); assign a
+  /// connect()ed one into it to go live.
+  Client() noexcept = default;
+
+  /// Connect to host:port. `connect_timeout_ms` bounds the TCP
+  /// handshake (0 = OS default, blocking). \throws std::system_error
+  /// on failure, NetTimeout when the deadline expires.
   [[nodiscard]] static Client connect(const std::string& host,
-                                      std::uint16_t port);
+                                      std::uint16_t port,
+                                      std::uint64_t connect_timeout_ms = 0);
 
   Client(Client&& o) noexcept;
   Client& operator=(Client&& o) noexcept;
@@ -33,24 +56,39 @@ class Client {
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
-  /// Send one request (assigns hdr.request_id; returns it).
-  /// \throws std::system_error when the connection is gone.
+  /// Deadlines for send()/receive() (0 = block forever, the default).
+  /// Enforced with poll(2) ahead of each write/read; expiry throws
+  /// NetTimeout and leaves the connection open (callers that retry
+  /// should close() — a late response would desynchronize the stream).
+  void set_timeouts(std::uint64_t send_timeout_ms,
+                    std::uint64_t receive_timeout_ms) noexcept {
+    send_timeout_ms_ = send_timeout_ms;
+    receive_timeout_ms_ = receive_timeout_ms;
+  }
+
+  /// Send one request; returns its request_id. A zero hdr.request_id
+  /// is assigned from the monotone counter; a pre-set nonzero id is
+  /// kept verbatim (the retry path resends under the original id) and
+  /// the counter advances past it. \throws std::system_error when the
+  /// connection is gone, NetTimeout on the send deadline.
   std::uint64_t send(NetRequest req);
 
   /// Block until the next complete response frame.
-  /// \throws std::system_error on EOF/error,
-  /// std::runtime_error on a framing violation from the server.
+  /// \throws std::system_error on EOF/error, NetTimeout on the receive
+  /// deadline, std::runtime_error on a framing violation.
   [[nodiscard]] NetResponse receive();
 
   /// send() + receive() — the synchronous round trip.
   [[nodiscard]] NetResponse call(NetRequest req);
 
-  /// Convenience HELLO. `flags` are the kFlag* HELLO bits.
+  /// Convenience HELLO. `flags` are the kFlag* HELLO bits; a nonempty
+  /// `client` opts into server-side exactly-once dedup.
   [[nodiscard]] NetResponse hello(const std::string& tenant,
                                   persist::FsyncPolicy fsync =
                                       persist::FsyncPolicy::None,
                                   std::uint64_t fsync_interval = 64,
-                                  std::uint8_t flags = 0);
+                                  std::uint8_t flags = 0,
+                                  const std::string& client = "");
 
   void close() noexcept;
 
@@ -62,7 +100,91 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t send_timeout_ms_ = 0;
+  std::uint64_t receive_timeout_ms_ = 0;
   std::vector<std::uint8_t> rbuf_;
+};
+
+/// Knobs for RetryingClient. Defaults suit tests and LAN services;
+/// production callers tune deadlines to their latency budget.
+struct RetryPolicy {
+  std::uint64_t connect_timeout_ms = 1000;
+  std::uint64_t send_timeout_ms = 1000;
+  std::uint64_t receive_timeout_ms = 1000;
+  /// Attempts per request (first try included). Exhaustion rethrows
+  /// the last failure.
+  std::size_t max_attempts = 8;
+  /// Decorrelated-jitter backoff (AWS architecture blog shape):
+  /// sleep = min(cap, uniform(base, prev * 3)).
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t backoff_cap_ms = 2000;
+  /// Jitter RNG seed; 0 = seed from std::random_device.
+  std::uint64_t seed = 0;
+};
+
+/// Exactly-once calls over an unreliable server: each request gets a
+/// stable id, and any transient failure — connect/send/receive
+/// timeout, connection reset, server restart, Unavailable (tenant
+/// quarantined), Shed (backpressure) — reconnects (re-HELLOing under
+/// the same client id) and resends the SAME id after a jittered
+/// backoff. The server's dedup window answers already-applied resends
+/// from the cached result, so an op is never applied twice even when
+/// only the response was lost. Non-transient statuses (BadRequest,
+/// Rejected, ...) are returned to the caller, not retried.
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, std::uint16_t port, std::string tenant,
+                 std::string client_id, RetryPolicy policy = {},
+                 persist::FsyncPolicy fsync = persist::FsyncPolicy::None,
+                 std::uint64_t fsync_interval = 64,
+                 std::uint8_t hello_flags = 0);
+
+  /// One exactly-once round trip. Fills hdr.request_id itself (callers
+  /// leave it zero). \throws the last transport error (std::system_error
+  /// / NetTimeout) after max_attempts, std::runtime_error on framing
+  /// violations.
+  [[nodiscard]] NetResponse call(NetRequest req);
+
+  /// Convenience wrappers over call().
+  [[nodiscard]] NetResponse admit(const Task& t, std::uint8_t flags = 0);
+  [[nodiscard]] NetResponse remove(TaskId id);
+
+  /// Drop the connection (the next call reconnects). Chaos tests use
+  /// this to exercise the resend path deliberately.
+  void disconnect() noexcept { conn_.close(); }
+
+  /// Session epoch from the most recent HELLO (0 before the first).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Times the HELLO epoch changed — i.e. observed server restarts.
+  [[nodiscard]] std::uint64_t epoch_changes() const noexcept {
+    return epoch_changes_;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  /// Resends after a transport failure or Unavailable/Shed answer.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+ private:
+  void ensure_connected();
+  void backoff_sleep(std::uint64_t floor_ms);
+
+  std::string host_;
+  std::uint16_t port_;
+  std::string tenant_;
+  std::string client_id_;
+  RetryPolicy policy_;
+  persist::FsyncPolicy fsync_;
+  std::uint64_t fsync_interval_;
+  std::uint8_t hello_flags_;
+  Client conn_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_changes_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t prev_sleep_ms_ = 0;
+  std::mt19937_64 rng_;
 };
 
 }  // namespace edfkit::net

@@ -85,6 +85,7 @@ const char* to_string(NetStatus s) noexcept {
     case NetStatus::UnknownOp: return "unknown_op";
     case NetStatus::NeedHello: return "need_hello";
     case NetStatus::InternalError: return "internal_error";
+    case NetStatus::Unavailable: return "unavailable";
   }
   return "?";
 }
@@ -123,6 +124,9 @@ std::vector<std::uint8_t> encode_request(const NetRequest& r) {
       w.str(r.tenant);
       w.u8(r.durability);
       w.u64(r.fsync_interval);
+      // Trailing, so a pre-dedup peer's HELLO still decodes (the
+      // decoder probes remaining()).
+      w.str(r.client);
       break;
     case NetOp::Admit:
       encode_task(w, r.task);
@@ -154,6 +158,7 @@ NetRequest decode_request(std::span<const std::uint8_t> payload) {
       out.tenant = r.str();
       out.durability = r.u8();
       out.fsync_interval = r.u64();
+      if (r.remaining() > 0) out.client = r.str();
       break;
     case NetOp::Admit:
       out.task = decode_task(r);
@@ -191,7 +196,8 @@ NetRequest decode_request(std::span<const std::uint8_t> payload) {
 std::vector<std::uint8_t> encode_response(const NetResponse& r) {
   ByteWriter w;
   encode_header(w, r.hdr);
-  if (static_cast<NetStatus>(r.hdr.status) == NetStatus::Shed) {
+  const NetStatus st = static_cast<NetStatus>(r.hdr.status);
+  if (st == NetStatus::Shed || st == NetStatus::Unavailable) {
     w.u32(r.retry_after_ms);
     return w.take();
   }
@@ -199,6 +205,8 @@ std::vector<std::uint8_t> encode_response(const NetResponse& r) {
     case NetOp::Hello:
       w.u64(r.base_lsn);
       w.u64(r.lsn);
+      w.u64(r.epoch);
+      w.u64(r.highest_applied);
       break;
     case NetOp::Admit:
       w.u64(r.id);
@@ -242,7 +250,8 @@ NetResponse decode_response(std::span<const std::uint8_t> payload) {
   ByteReader r{payload};
   NetResponse out;
   out.hdr = decode_header(r);
-  if (static_cast<NetStatus>(out.hdr.status) == NetStatus::Shed) {
+  const NetStatus st = static_cast<NetStatus>(out.hdr.status);
+  if (st == NetStatus::Shed || st == NetStatus::Unavailable) {
     out.retry_after_ms = r.u32();
     return out;
   }
@@ -254,6 +263,10 @@ NetResponse decode_response(std::span<const std::uint8_t> payload) {
     case NetOp::Hello:
       out.base_lsn = r.u64();
       out.lsn = r.u64();
+      if (r.remaining() >= 16) {
+        out.epoch = r.u64();
+        out.highest_applied = r.u64();
+      }
       break;
     case NetOp::Admit:
       out.id = r.u64();

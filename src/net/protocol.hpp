@@ -84,6 +84,12 @@ enum class NetStatus : std::uint8_t {
   UnknownOp = 5,
   NeedHello = 6,      ///< tenant-scoped op before HELLO
   InternalError = 7,
+  /// The tenant is quarantined (its durability artifacts failed and a
+  /// background re-probe is trying to recover them): the op was NOT
+  /// applied; retry after retry_after_ms. Distinct from Shed (healthy
+  /// but overloaded — backpressure) and from the certified Rejected
+  /// (the admission test ran and said no).
+  Unavailable = 8,
 };
 
 [[nodiscard]] const char* to_string(NetStatus s) noexcept;
@@ -116,6 +122,13 @@ struct NetRequest {
   std::string tenant;
   std::uint8_t durability = 0;  ///< persist::FsyncPolicy as u8
   std::uint64_t fsync_interval = 64;
+  /// Optional stable client identity (HELLO). Naming one opts the
+  /// connection into exactly-once retry: the server keeps a per-tenant
+  /// sliding window of applied (client, request_id) results, so a
+  /// resent ADMIT/REMOVE after a lost reply is answered from the
+  /// applied result instead of being applied twice. Mutually exclusive
+  /// with kFlagBatchFuse. Empty (the default) = anonymous, no dedup.
+  std::string client;
   // Admit
   Task task;
   // AdmitGroup
@@ -143,7 +156,15 @@ struct NetResponse {
   // Hello: the tenant journal's durable window (0/0 when not journaled)
   std::uint64_t base_lsn = 0;
   std::uint64_t lsn = 0;
-  // Shed
+  /// Hello: the tenant's session epoch — a random nonce minted when the
+  /// tenant is (re)opened. A retrying client compares it across
+  /// reconnects: a changed epoch means the server restarted and
+  /// recovered, so the dedup window was rebuilt from the journal.
+  std::uint64_t epoch = 0;
+  /// Hello: highest request_id already applied for this client (0 when
+  /// anonymous or never seen). The client resumes ids above this.
+  std::uint64_t highest_applied = 0;
+  // Shed / Unavailable
   std::uint32_t retry_after_ms = 0;
 };
 

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "persist/format.hpp"
 
@@ -148,6 +149,7 @@ bool Server::poll_once(int timeout_ms) {
   const bool served = !pending_.empty();
   serve_pending();
   sweep_idle();
+  reprobe_quarantined();
   return served;
 }
 
@@ -270,18 +272,26 @@ void Server::serve_pending() {
     }
     Connection& c = *it->second;
     const NetRequest& req = pending_[i].req;
-    if (c.fuse && c.tenant != nullptr &&
+    // Containment: no per-request failure may take down the event loop
+    // (persist failures are handled — and quarantined — inside
+    // serve_one; this is the backstop for everything else).
+    if (c.fuse && c.tenant != nullptr && c.client_id.empty() &&
+        !c.tenant->quarantined() &&
         req.hdr.op == static_cast<std::uint8_t>(NetOp::Admit) &&
         req.hdr.version == kProtocolVersion) {
       // Extend the fuse run: consecutive single ADMITs for the same
-      // tenant from fuse-enabled connections.
+      // tenant from fuse-enabled connections. (Dedup connections never
+      // fuse — the fused journal shape could not rebuild their cached
+      // responses on replay — and HELLO rejects the combination.)
       std::size_t run = 1;
       while (i + run < pending_.size() && run < opts_.max_fuse) {
         const Pending& p = pending_[i + run];
         const auto jt = conns_.find(p.fd);
         if (jt == conns_.end()) break;
         const Connection& c2 = *jt->second;
-        if (!c2.fuse || c2.tenant != c.tenant) break;
+        if (!c2.fuse || c2.tenant != c.tenant || !c2.client_id.empty()) {
+          break;
+        }
         if (p.req.hdr.op != static_cast<std::uint8_t>(NetOp::Admit) ||
             p.req.hdr.version != kProtocolVersion) {
           break;
@@ -289,12 +299,29 @@ void Server::serve_pending() {
         ++run;
       }
       if (run > 1) {
-        serve_fused(*c.tenant, i, run, depth);
+        try {
+          serve_fused(*c.tenant, i, run, depth);
+        } catch (...) {
+          if (metrics_ != nullptr) metrics_->protocol_errors.add();
+        }
         i += run;
         continue;
       }
     }
-    serve_one(c, req, depth);
+    try {
+      serve_one(c, req, depth);
+    } catch (...) {
+      if (metrics_ != nullptr) metrics_->protocol_errors.add();
+      const auto jt = conns_.find(pending_[i].fd);
+      if (jt != conns_.end()) {
+        NetResponse resp;
+        resp.hdr.op = req.hdr.op;
+        resp.hdr.request_id = req.hdr.request_id;
+        resp.hdr.status =
+            static_cast<std::uint8_t>(NetStatus::InternalError);
+        send_response(*jt->second, resp);
+      }
+    }
     ++i;
   }
   pending_.clear();
@@ -308,12 +335,74 @@ void Server::serve_one(Connection& c, const NetRequest& req,
       req.hdr.op < kNetOpCount && req.hdr.op != 0 ? req.hdr.op : 0;
   if (metrics_ != nullptr) metrics_->requests.add();
 
+  // send_payload may close the connection (outbound cap, write error),
+  // invalidating `c`; the tenant outlives it — keep a stable handle
+  // for the post-send checkpoint hook.
+  Tenant* tenant = c.tenant;
+  const auto finish_op_ns = [&] {
+    if (metrics_ != nullptr) {
+      metrics_->op_ns[op_slot].record(obs::now_ns() - t0);
+    }
+  };
+
   NetResponse resp;
   resp.hdr.op = req.hdr.op;
   resp.hdr.request_id = req.hdr.request_id;
   const auto fail = [&](NetStatus s) {
     resp.hdr.status = static_cast<std::uint8_t>(s);
   };
+  const auto unavailable = [&] {
+    fail(NetStatus::Unavailable);
+    resp.retry_after_ms =
+        static_cast<std::uint32_t>(opts_.reprobe_interval_ms);
+    if (metrics_ != nullptr) metrics_->unavailable.add();
+  };
+
+  const bool mutating =
+      op == NetOp::Admit || op == NetOp::AdmitGroup ||
+      op == NetOp::Remove || op == NetOp::RemoveGroup;
+  const bool marked = mutating && !c.client_id.empty();
+
+  // Exactly-once and failure-domain gates, ahead of op dispatch.
+  if (req.hdr.version == kProtocolVersion && mutating &&
+      tenant != nullptr) {
+    if (marked && req.hdr.request_id == 0) {
+      fail(NetStatus::BadRequest);  // dedup needs real ids (>= 1)
+      finish_op_ns();
+      send_response(c, resp);
+      return;
+    }
+    if (marked) {
+      // Dedup BEFORE the quarantine gate: an op applied before the
+      // fault can answer its retry even while quarantined.
+      const std::vector<std::uint8_t>* cached = nullptr;
+      switch (
+          tenant->dedup_lookup(c.client_id, req.hdr.request_id, &cached)) {
+        case Tenant::DedupResult::Hit:
+          if (metrics_ != nullptr) metrics_->dedup_hits.add();
+          finish_op_ns();
+          send_payload(c, *cached);
+          return;
+        case Tenant::DedupResult::Evicted:
+          // Applied, but the response fell off the window. Anything
+          // but an error risks a double-apply; the client surfaces it.
+          fail(NetStatus::InternalError);
+          finish_op_ns();
+          send_response(c, resp);
+          return;
+        case Tenant::DedupResult::Miss:
+          break;
+      }
+    }
+    if (tenant->quarantined()) {
+      unavailable();
+      finish_op_ns();
+      send_response(c, resp);
+      return;
+    }
+  }
+
+  bool applied = false;  // run the checkpoint hook after sending
 
   if (req.hdr.version != kProtocolVersion) {
     fail(NetStatus::BadVersion);
@@ -325,6 +414,17 @@ void Server::serve_one(Connection& c, const NetRequest& req,
           fail(NetStatus::BadRequest);
           break;
         }
+        // A client id opts into exactly-once dedup; it is journaled
+        // and persisted, so it obeys the tenant-name rule, and it is
+        // mutually exclusive with batch-fusing (a fused run journals
+        // one AdmitGroup, which replay could not split back into the
+        // per-request responses the dedup cache needs).
+        if (!req.client.empty() &&
+            (!valid_tenant_name(req.client) ||
+             (req.hdr.flags & kFlagBatchFuse) != 0)) {
+          fail(NetStatus::BadRequest);
+          break;
+        }
         try {
           Tenant& t = tenants_.get_or_create(
               req.tenant,
@@ -332,9 +432,14 @@ void Server::serve_one(Connection& c, const NetRequest& req,
               req.fsync_interval,
               (req.hdr.flags & kFlagCertifiedTenant) != 0);
           c.tenant = &t;
+          tenant = &t;
+          c.client_id = req.client;
           c.fuse = (req.hdr.flags & kFlagBatchFuse) != 0;
           resp.base_lsn = t.journal_base_lsn();
           resp.lsn = t.journal_lsn();
+          resp.epoch = t.epoch();
+          resp.highest_applied =
+              req.client.empty() ? 0 : t.highest_applied(req.client);
         } catch (const std::invalid_argument&) {
           fail(NetStatus::BadRequest);
         } catch (const persist::PersistError&) {
@@ -345,11 +450,11 @@ void Server::serve_one(Connection& c, const NetRequest& req,
       case NetOp::Ping:
         break;
       case NetOp::Admit: {
-        if (c.tenant == nullptr) {
+        if (tenant == nullptr) {
           fail(NetStatus::NeedHello);
           break;
         }
-        AdmissionController& ctl = c.tenant->controller();
+        AdmissionController& ctl = tenant->controller();
         if (shed_.should_shed(op, queue_depth, ctl.demand_header())) {
           fail(NetStatus::Shed);
           resp.retry_after_ms = shed_.options().retry_after_ms;
@@ -357,31 +462,30 @@ void Server::serve_one(Connection& c, const NetRequest& req,
           break;
         }
         try {
-          const AdmissionDecision d = ctl.try_admit(req.task);
-          resp.hdr.status = static_cast<std::uint8_t>(
-              d.admitted ? NetStatus::Ok : NetStatus::Rejected);
-          resp.id = d.id;
-          resp.rung = static_cast<std::uint8_t>(d.rung);
-          resp.verdict = static_cast<std::uint8_t>(d.analysis.verdict);
-          if ((req.hdr.flags & kFlagWantCertificate) != 0 &&
-              d.certificate.present()) {
-            resp.hdr.flags |= kFlagHasCertificate;
-            resp.certificate = d.certificate;
+          if (marked) {
+            // Validate before journaling the mark, keeping orphan
+            // marks out of the journal on malformed requests.
+            req.task.validate();
+            tenant->append_mark(c.client_id, req.hdr.request_id,
+                                req.hdr.flags);
           }
-          c.tenant->on_operation();
+          const AdmissionDecision d = ctl.try_admit(req.task);
+          resp = make_admit_response(req.hdr.request_id, req.hdr.flags, d);
+          applied = true;
         } catch (const std::invalid_argument&) {
           fail(NetStatus::BadRequest);
-        } catch (const persist::PersistError&) {
-          fail(NetStatus::InternalError);
+        } catch (const persist::PersistError& e) {
+          quarantine_tenant(*tenant, e);
+          unavailable();
         }
         break;
       }
       case NetOp::AdmitGroup: {
-        if (c.tenant == nullptr) {
+        if (tenant == nullptr) {
           fail(NetStatus::NeedHello);
           break;
         }
-        AdmissionController& ctl = c.tenant->controller();
+        AdmissionController& ctl = tenant->controller();
         if (shed_.should_shed(op, queue_depth, ctl.demand_header())) {
           fail(NetStatus::Shed);
           resp.retry_after_ms = shed_.options().retry_after_ms;
@@ -389,49 +493,70 @@ void Server::serve_one(Connection& c, const NetRequest& req,
           break;
         }
         try {
-          const GroupDecision d = ctl.admit_group(req.group);
-          resp.hdr.status = static_cast<std::uint8_t>(
-              d.admitted ? NetStatus::Ok : NetStatus::Rejected);
-          resp.ids = d.ids;
-          resp.rung = static_cast<std::uint8_t>(d.rung);
-          resp.verdict = static_cast<std::uint8_t>(d.analysis.verdict);
-          if ((req.hdr.flags & kFlagWantCertificate) != 0 &&
-              d.certificate.present()) {
-            resp.hdr.flags |= kFlagHasCertificate;
-            resp.certificate = d.certificate;
+          if (marked) {
+            for (const Task& t : req.group) t.validate();
+            tenant->append_mark(c.client_id, req.hdr.request_id,
+                                req.hdr.flags);
           }
-          c.tenant->on_operation();
+          const GroupDecision d = ctl.admit_group(req.group);
+          resp = make_admit_group_response(req.hdr.request_id,
+                                           req.hdr.flags, d);
+          applied = true;
         } catch (const std::invalid_argument&) {
           fail(NetStatus::BadRequest);
-        } catch (const persist::PersistError&) {
-          fail(NetStatus::InternalError);
+        } catch (const persist::PersistError& e) {
+          quarantine_tenant(*tenant, e);
+          unavailable();
         }
         break;
       }
       case NetOp::Remove: {
-        if (c.tenant == nullptr) {
+        if (tenant == nullptr) {
           fail(NetStatus::NeedHello);
           break;
         }
-        resp.removed = c.tenant->controller().remove(req.id) ? 1 : 0;
-        c.tenant->on_operation();
+        try {
+          if (marked) {
+            tenant->append_mark(c.client_id, req.hdr.request_id,
+                                req.hdr.flags);
+          }
+          const bool removed = tenant->controller().remove(req.id);
+          resp = make_remove_response(NetOp::Remove, req.hdr.request_id,
+                                      removed ? 1 : 0);
+          applied = true;
+        } catch (const persist::PersistError& e) {
+          quarantine_tenant(*tenant, e);
+          unavailable();
+        }
         break;
       }
       case NetOp::RemoveGroup: {
-        if (c.tenant == nullptr) {
+        if (tenant == nullptr) {
           fail(NetStatus::NeedHello);
           break;
         }
-        resp.removed = c.tenant->controller().remove_group(req.ids);
-        c.tenant->on_operation();
+        try {
+          if (marked) {
+            tenant->append_mark(c.client_id, req.hdr.request_id,
+                                req.hdr.flags);
+          }
+          const std::uint64_t removed =
+              tenant->controller().remove_group(req.ids);
+          resp = make_remove_response(NetOp::RemoveGroup,
+                                      req.hdr.request_id, removed);
+          applied = true;
+        } catch (const persist::PersistError& e) {
+          quarantine_tenant(*tenant, e);
+          unavailable();
+        }
         break;
       }
       case NetOp::Stats: {
-        if (c.tenant == nullptr) {
+        if (tenant == nullptr) {
           fail(NetStatus::NeedHello);
           break;
         }
-        const AdmissionController& ctl = c.tenant->controller();
+        const AdmissionController& ctl = tenant->controller();
         resp.stats = ctl.demand_header();
         resp.stats_json = ctl.stats().to_json();
         break;
@@ -442,10 +567,22 @@ void Server::serve_one(Connection& c, const NetRequest& req,
     }
   }
 
-  if (metrics_ != nullptr) {
-    metrics_->op_ns[op_slot].record(obs::now_ns() - t0);
+  finish_op_ns();
+  const std::vector<std::uint8_t> payload = encode_response(resp);
+  if (applied && marked) {
+    tenant->record_applied(c.client_id, req.hdr.request_id, payload);
   }
-  send_response(c, resp);
+  send_payload(c, payload);
+  // The checkpoint cycle runs after the response is queued: a failing
+  // checkpoint quarantines the tenant for *later* operations instead
+  // of clobbering an already-successful decision.
+  if (applied && tenant != nullptr && !tenant->quarantined()) {
+    try {
+      tenant->on_operation();
+    } catch (const persist::PersistError& e) {
+      quarantine_tenant(*tenant, e);
+    }
+  }
 }
 
 void Server::serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
@@ -499,7 +636,6 @@ void Server::serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
     try {
       const GroupDecision d = ctl.admit_group(tasks);
       if (d.admitted) {
-        tenant.on_operation();
         if (metrics_ != nullptr) {
           metrics_->requests.add(n);
           metrics_->fused_admits.add(n);
@@ -522,11 +658,19 @@ void Server::serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
           }
           respond(k, resp);
         }
+        // Checkpoint after the responses are queued (see serve_one):
+        // a failing checkpoint quarantines, never clobbers decisions.
+        try {
+          tenant.on_operation();
+        } catch (const persist::PersistError& e) {
+          quarantine_tenant(tenant, e);
+        }
         return;
       }
     } catch (const persist::PersistError&) {
       // Journal failure mid-fuse: fall through to the sequential path,
-      // which reports per-request InternalError as it hits it again.
+      // which quarantines the tenant as it hits the fault again and
+      // answers every request Unavailable.
     }
   }
 
@@ -542,16 +686,33 @@ void Server::serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
 }
 
 void Server::send_response(Connection& c, const NetResponse& resp) {
-  const std::vector<std::uint8_t> payload = encode_response(resp);
+  send_payload(c, encode_response(resp));
+}
+
+void Server::send_payload(Connection& c,
+                          std::span<const std::uint8_t> payload) {
+  // Chaos hook: swallow the response after the operation applied — the
+  // client times out and retries, and the retry must dedup-hit.
+  fault::FailPoint& fp_drop = EDFKIT_FAULT_POINT(fault::kDropResponseSite);
+  if (fp_drop.armed() && fp_drop.should_fail()) return;
   append_frame(c.wbuf, payload);
+  if (c.wbuf.size() - c.woff > opts_.max_outbound_bytes) {
+    // A consumer that stopped reading while we kept answering must not
+    // grow server memory without bound.
+    if (metrics_ != nullptr) metrics_->protocol_errors.add();
+    close_connection(c.fd);
+    return;
+  }
   write_ready(c);  // opportunistic immediate flush
 }
 
 void Server::write_ready(Connection& c) {
   const int fd = c.fd;
   while (c.woff < c.wbuf.size()) {
-    const ssize_t n = ::write(fd, c.wbuf.data() + c.woff,
-                              c.wbuf.size() - c.woff);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE
+    // here, not as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, c.wbuf.data() + c.woff,
+                             c.wbuf.size() - c.woff, MSG_NOSIGNAL);
     if (n > 0) {
       c.woff += static_cast<std::size_t>(n);
       if (metrics_ != nullptr) {
@@ -592,6 +753,38 @@ void Server::close_connection(int fd) {
   if (metrics_ != nullptr) {
     metrics_->closed.add();
     metrics_->connections.set(static_cast<double>(conns_.size()));
+  }
+}
+
+void Server::quarantine_tenant(Tenant& t, const persist::PersistError& e) {
+  const bool was = t.quarantined();
+  t.quarantine(e);
+  if (!was && metrics_ != nullptr) {
+    metrics_->quarantines.add();
+    std::size_t q = 0;
+    tenants_.for_each([&](Tenant& x) { q += x.quarantined() ? 1 : 0; });
+    metrics_->quarantined.set(static_cast<double>(q));
+  }
+}
+
+void Server::reprobe_quarantined() {
+  if (opts_.reprobe_interval_ms == 0) return;
+  const std::uint64_t now = obs::now_ns();
+  if (now < next_reprobe_ns_) return;
+  next_reprobe_ns_ = now + opts_.reprobe_interval_ms * 1000000ull;
+  std::size_t quarantined = 0;
+  tenants_.for_each([&](Tenant& t) {
+    if (t.quarantined() && t.quarantine_retryable()) {
+      if (t.try_recover()) {
+        if (metrics_ != nullptr) metrics_->unquarantines.add();
+      } else if (metrics_ != nullptr) {
+        metrics_->reprobe_failures.add();
+      }
+    }
+    quarantined += t.quarantined() ? 1 : 0;
+  });
+  if (metrics_ != nullptr) {
+    metrics_->quarantined.set(static_cast<double>(quarantined));
   }
 }
 

@@ -25,6 +25,22 @@
 /// The journal records the fused shape (one AdmitGroup vs N Admits),
 /// so fusing is opt-in and off for bit-identical replay comparisons.
 ///
+/// Failure domains: a PersistError from one tenant's journal or
+/// checkpoint quarantines *that tenant* — its mutating ops answer
+/// Unavailable (with a retry_after_ms hint) while STATS/PING/HELLO
+/// keep working — and a background probe re-runs a full recovery every
+/// reprobe_interval_ms until the fault clears. Other tenants, and the
+/// event loop itself, are unaffected: no per-request exception escapes
+/// serve_pending().
+///
+/// Exactly-once retry: a connection that HELLOs with a client id gets
+/// a per-tenant dedup window — the server journals a ClientMark ahead
+/// of each operation record and caches the encoded response, so a
+/// resent request (lost reply, reconnect, even a server restart, via
+/// journal replay) is answered from the applied result, never applied
+/// twice. See net/tenant.hpp; net/client.hpp's RetryingClient is the
+/// matching caller.
+///
 /// Shutdown: stop() is async-signal-safe (one eventfd write). The loop
 /// drains on exit — flushes every tenant journal — before run()
 /// returns; the caller (examples/admission_server.cpp) then dumps
@@ -61,6 +77,13 @@ struct ServerOptions {
   std::uint64_t idle_timeout_ms = 0;
   /// Cap on single ADMITs fused into one admit_group per run.
   std::size_t max_fuse = 64;
+  /// Milliseconds between recovery probes of quarantined tenants (and
+  /// the retry_after_ms hint Unavailable responses carry). 0 = never
+  /// re-probe automatically.
+  std::uint64_t reprobe_interval_ms = 200;
+  /// Close a connection whose outbound buffer exceeds this (a consumer
+  /// that stopped reading must not grow server memory without bound).
+  std::size_t max_outbound_bytes = 4u << 20;
   TenantOptions tenants;
   ShedOptions shed;
 };
@@ -101,6 +124,7 @@ class Server {
     std::vector<std::uint8_t> wbuf;
     std::size_t woff = 0;  ///< bytes of wbuf already written
     Tenant* tenant = nullptr;
+    std::string client_id;        ///< HELLO client (exactly-once dedup)
     bool fuse = false;            ///< HELLO kFlagBatchFuse
     bool want_epollout = false;   ///< EPOLLOUT currently armed
     std::uint64_t last_activity_ns = 0;
@@ -123,6 +147,15 @@ class Server {
   void serve_fused(Tenant& tenant, std::size_t i, std::size_t n,
                    std::size_t queue_depth);
   void send_response(Connection& c, const NetResponse& resp);
+  /// Queue an already-encoded response payload (the dedup-cache resend
+  /// path; send_response goes through here too). Enforces the outbound
+  /// cap and the net.server.drop_response failpoint.
+  void send_payload(Connection& c, std::span<const std::uint8_t> payload);
+  /// Move the tenant into quarantine (Unavailable until a re-probe
+  /// recovers it) and bump the metrics.
+  void quarantine_tenant(Tenant& t, const persist::PersistError& e);
+  /// Periodic try_recover() pass over quarantined tenants.
+  void reprobe_quarantined();
   void close_connection(int fd);
   void update_epollout(Connection& c);
   void sweep_idle();
@@ -137,6 +170,7 @@ class Server {
   int stop_fd_ = -1;  ///< eventfd; stop() writes, the loop exits
   std::uint16_t port_ = 0;
   bool stop_requested_ = false;
+  std::uint64_t next_reprobe_ns_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
   std::vector<Pending> pending_;
 };

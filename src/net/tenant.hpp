@@ -26,12 +26,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "admission/controller.hpp"
+#include "net/protocol.hpp"
 #include "persist/journal.hpp"
 
 namespace edfkit::obs {
@@ -51,6 +55,12 @@ struct TenantOptions {
   /// Journaled operations between checkpoint+rotate cycles; 0 = never
   /// checkpoint automatically (flush()/checkpoint() still work).
   std::size_t checkpoint_every = 0;
+  /// Per-client applied responses retained for exactly-once retry: a
+  /// resent request whose id is still inside the window is answered
+  /// from the cached result; one that fell off (the client is more
+  /// than this many requests behind) gets InternalError rather than a
+  /// silent double-apply.
+  std::size_t dedup_window = 128;
 };
 
 /// One tenant: name, controller, optional journal. Created via
@@ -93,18 +103,132 @@ class Tenant {
   /// in-memory tenants.
   void flush();
 
+  // ------------------------------------------- failure domain
+  // A PersistError from this tenant's journal/checkpoint quarantines
+  // *this tenant only*: its journal handle is dropped (it may be
+  // poisoned), mutating ops are answered Unavailable by the server,
+  // and a background re-probe periodically attempts a full recovery
+  // from the on-disk artifacts. Other tenants keep serving.
+
+  [[nodiscard]] bool quarantined() const noexcept { return quarantined_; }
+  /// False when the quarantining error was fatal (corrupt artifacts) —
+  /// re-probing cannot help; the tenant stays dark until an operator
+  /// repairs or removes the files.
+  [[nodiscard]] bool quarantine_retryable() const noexcept {
+    return quarantine_retryable_;
+  }
+  [[nodiscard]] const std::string& quarantine_reason() const noexcept {
+    return quarantine_reason_;
+  }
+
+  /// Enter quarantine: detach + drop the journal handle, remember the
+  /// error. Idempotent.
+  void quarantine(const persist::PersistError& e);
+
+  /// One recovery probe: discard in-memory state and rebuild everything
+  /// from the on-disk artifacts — dedup sidecar, snapshot, full journal
+  /// replay (rebuilding the dedup window from ClientMark records), then
+  /// reopen the journal for append. A *full* pass on purpose: a failed
+  /// fsync may have left an operation journaled-but-not-executed, so
+  /// memory must be re-derived from disk, not patched. Returns true and
+  /// clears the quarantine on success; on failure stays quarantined
+  /// (updating retryability from the new error) and returns false.
+  [[nodiscard]] bool try_recover();
+
+  // ------------------------------------------- exactly-once dedup
+  // The server journals a ClientMark record naming (client, request_id)
+  // immediately before the operation record it annotates, and caches
+  // the encoded response after applying. A resent request (lost reply,
+  // reconnect, server restart) is answered from the cache — never
+  // applied twice. Request ids must be issued monotonically per client
+  // (the client library does), starting at 1.
+
+  /// Session epoch: a random nonce minted when this Tenant object was
+  /// created. A retrying client that sees it change across reconnects
+  /// knows the server restarted (and recovered from disk).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Highest request id applied for `client` (0 = never seen).
+  [[nodiscard]] std::uint64_t highest_applied(
+      const std::string& client) const noexcept;
+
+  enum class DedupResult : std::uint8_t {
+    Miss,     ///< new request — execute it
+    Hit,      ///< already applied; *out points at the cached response
+    Evicted,  ///< applied, but the response fell off the window
+  };
+  [[nodiscard]] DedupResult dedup_lookup(
+      const std::string& client, std::uint64_t request_id,
+      const std::vector<std::uint8_t>** out) const noexcept;
+
+  /// Journal the (client, request_id, flags) mark ahead of the
+  /// operation record. No-op for in-memory tenants (their window is
+  /// process-local). \throws PersistError — the op must NOT run then.
+  void append_mark(const std::string& client, std::uint64_t request_id,
+                   std::uint8_t flags);
+
+  /// Cache an applied operation's encoded response payload and advance
+  /// highest_applied. Idempotent: ids at or below highest_applied are
+  /// ignored (the recovery replay may revisit sidecar-covered records).
+  void record_applied(const std::string& client, std::uint64_t request_id,
+                      std::vector<std::uint8_t> response);
+
  private:
+  struct ClientSession {
+    std::uint64_t highest_applied = 0;
+    /// (request_id, encoded response payload), oldest first.
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> window;
+  };
+
+  /// Recover + dedup rebuild + journal open — the shared body of the
+  /// constructor and try_recover(). \throws PersistError
+  void open_artifacts();
+  /// Persist the dedup sessions to the sidecar (<dir>/<name>.dedup) at
+  /// journal LSN `lsn`. Written *before* the snapshot in checkpoint():
+  /// if the snapshot then fails, marks in [sidecar_lsn, snapshot_lsn)
+  /// are still replayed (idempotently); the reverse order could lose
+  /// them — neither in the sidecar nor replayed.
+  void save_dedup(std::uint64_t lsn) const;
+  void load_dedup();
+
   std::string name_;
   AdmissionController ctl_;
   std::optional<persist::Journal> journal_;
   std::string snapshot_path_;
   std::string journal_path_;
+  std::string dedup_path_;
+  persist::FsyncPolicy fsync_ = persist::FsyncPolicy::None;
+  std::uint64_t fsync_interval_ = 64;
+  obs::Obs* obs_ = nullptr;
   std::size_t checkpoint_every_ = 0;
   std::size_t ops_since_checkpoint_ = 0;
+  std::size_t dedup_window_ = 128;
+  std::uint64_t epoch_ = 0;
+  std::map<std::string, ClientSession> sessions_;
+  bool quarantined_ = false;
+  bool quarantine_retryable_ = true;
+  std::string quarantine_reason_;
 };
+
+/// Build the wire response for an applied mutating operation. Shared
+/// by the serving path (net/server.cpp) and the recovery replay's
+/// dedup-window rebuild, so a cached retry answer is bit-identical to
+/// the response originally sent. `flags` are the *request* flags (the
+/// ClientMark record carries them for replay).
+[[nodiscard]] NetResponse make_admit_response(std::uint64_t request_id,
+                                              std::uint8_t flags,
+                                              const AdmissionDecision& d);
+[[nodiscard]] NetResponse make_admit_group_response(std::uint64_t request_id,
+                                                    std::uint8_t flags,
+                                                    const GroupDecision& d);
+[[nodiscard]] NetResponse make_remove_response(NetOp op,
+                                               std::uint64_t request_id,
+                                               std::uint64_t removed);
 
 /// True iff `name` is a safe tenant name: 1..64 chars drawn from
 /// [A-Za-z0-9_-] (tenant names become file names; nothing else may).
+/// Client ids (HELLO `client`) use the same rule — they are journaled
+/// and persisted in the dedup sidecar.
 [[nodiscard]] bool valid_tenant_name(const std::string& name) noexcept;
 
 /// Name -> Tenant. Single-threaded, like the server's event loop.

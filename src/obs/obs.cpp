@@ -152,6 +152,13 @@ NetInstruments* Obs::net() {
     b->bytes_out = registry_.counter("net_bytes_out_total");
     b->fused_admits = registry_.counter("net_fused_admits_total");
     b->fuse_fallbacks = registry_.counter("net_fuse_fallbacks_total");
+    b->unavailable = registry_.counter("net_unavailable_total");
+    b->dedup_hits = registry_.counter("net_dedup_hits_total");
+    b->quarantines = registry_.counter("net_tenant_quarantines_total");
+    b->unquarantines = registry_.counter("net_tenant_unquarantines_total");
+    b->reprobe_failures =
+        registry_.counter("net_tenant_reprobe_failures_total");
+    b->quarantined = registry_.gauge("net_tenants_quarantined");
     for (std::size_t i = 0; i < kNetOps; ++i) {
       b->op_ns[i] =
           registry_.histogram(std::string("net_op_") + kOpNames[i] + "_ns");

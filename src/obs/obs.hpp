@@ -182,6 +182,16 @@ struct NetInstruments {
   Counter bytes_out;
   Counter fused_admits;
   Counter fuse_fallbacks;
+  /// Fault-domain + exactly-once counters (net/server.hpp): responses
+  /// answered Unavailable because the tenant is quarantined, retries
+  /// answered from the dedup window, quarantine entries/exits, failed
+  /// re-probe attempts, and the current quarantined-tenant gauge.
+  Counter unavailable;
+  Counter dedup_hits;
+  Counter quarantines;
+  Counter unquarantines;
+  Counter reprobe_failures;
+  Gauge quarantined;
   /// Decode-to-encode service time per op, unknown ops in slot 0.
   std::array<Histogram, kNetOps> op_ns;
 };

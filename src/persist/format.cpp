@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/fault.hpp"
+
 namespace edfkit::persist {
 namespace {
 
@@ -64,11 +66,35 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 
 void write_file_atomic(const std::string& path,
                        std::span<const std::uint8_t> bytes) {
+  // Injected failures at any of these four sites leave `path` exactly
+  // as it was: everything up to the rename touches only the sibling
+  // tmp file, and a failed rename leaves the old target in place —
+  // the same guarantee a real crash gets (tests/fault asserts it).
+  fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("snapshot.tmp.open");
+  fault::FailPoint& fp_write = EDFKIT_FAULT_POINT("snapshot.tmp.write");
+  fault::FailPoint& fp_fsync = EDFKIT_FAULT_POINT("snapshot.tmp.fsync");
+  fault::FailPoint& fp_rename = EDFKIT_FAULT_POINT("snapshot.rename");
+
   const std::string tmp = path + ".tmp";
+  if (fp_open.armed() && fp_open.should_fail()) throw_errno("open " + tmp);
   const int fd =
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("open " + tmp);
   std::size_t off = 0;
+  if (fp_write.armed()) {
+    const fault::FaultResult r = fp_write.consume();
+    if (r.fire) {
+      // A torn tmp write: put short_len real bytes down, then fail.
+      // The torn file is the *sibling*, so the live snapshot is safe.
+      const std::size_t torn = std::min(r.short_len, bytes.size());
+      if (torn != 0 && torn != static_cast<std::size_t>(-1)) {
+        (void)!::write(fd, bytes.data(), torn);
+      }
+      ::close(fd);
+      errno = r.err;
+      throw_errno("write " + tmp);
+    }
+  }
   while (off < bytes.size()) {
     const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
     if (n < 0) {
@@ -78,12 +104,15 @@ void write_file_atomic(const std::string& path,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if ((fp_fsync.armed() && fp_fsync.should_fail()) || ::fsync(fd) != 0) {
     ::close(fd);
     throw_errno("fsync " + tmp);
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename " + tmp);
+  if ((fp_rename.armed() && fp_rename.should_fail()) ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename " + tmp);
+  }
   // Make the rename itself durable: fsync the containing directory.
   const int dirfd =
       ::open(dirname_of(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);

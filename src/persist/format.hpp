@@ -47,17 +47,39 @@ enum class PersistErrc : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PersistErrc e) noexcept;
 
-/// The persistence layer's typed exception.
+/// Whether a failure class is worth retrying. IoError is transient by
+/// default (ENOSPC clears when space frees, EIO when the device
+/// recovers — the atomic-write discipline means the on-disk artifacts
+/// are still consistent, so a later recovery pass can succeed).
+/// Everything else describes *content* — wrong magic, corrupt CRC,
+/// invariant violations — which no retry repairs.
+[[nodiscard]] constexpr bool default_retryable(PersistErrc e) noexcept {
+  return e == PersistErrc::IoError;
+}
+
+/// The persistence layer's typed exception, carrying both the failure
+/// class and its retryability. Callers that degrade on failure (the
+/// server's tenant quarantine) re-probe retryable errors and leave
+/// fatal ones dark; sites that know better than the default — e.g. a
+/// failed truncate-back that leaves a journal poisoned — override it.
 class PersistError : public std::runtime_error {
  public:
   PersistError(PersistErrc code, const std::string& what)
       : std::runtime_error(std::string(to_string(code)) + ": " + what),
-        code_(code) {}
+        code_(code),
+        retryable_(default_retryable(code)) {}
+
+  PersistError(PersistErrc code, const std::string& what, bool retryable)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what),
+        code_(code),
+        retryable_(retryable) {}
 
   [[nodiscard]] PersistErrc code() const noexcept { return code_; }
+  [[nodiscard]] bool retryable() const noexcept { return retryable_; }
 
  private:
   PersistErrc code_;
+  bool retryable_;
 };
 
 /// Write `bytes` to `path` atomically (tmp + fsync + rename + directory

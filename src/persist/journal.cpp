@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace edfkit::persist {
@@ -38,6 +39,27 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len,
     }
     off += static_cast<std::size_t>(n);
   }
+}
+
+/// write_all with an injectable failure: when the named failpoint
+/// fires with short=K, the first K bytes are written for real before
+/// the error — a genuine torn frame on disk, the crash-mid-append
+/// shape the torn-tail recovery machinery must absorb.
+void write_all_faultable(fault::FailPoint& fp, int fd,
+                         const std::uint8_t* data, std::size_t len,
+                         const std::string& path) {
+  if (fp.armed()) {
+    const fault::FaultResult r = fp.consume();
+    if (r.fire) {
+      const std::size_t torn = std::min(r.short_len, len);
+      if (torn != 0 && torn != static_cast<std::size_t>(-1)) {
+        write_all(fd, data, torn, path);
+      }
+      errno = r.err;
+      throw_errno("write " + path);
+    }
+  }
+  write_all(fd, data, len, path);
 }
 
 }  // namespace
@@ -105,12 +127,14 @@ JournalScan scan_journal(const std::string& path) {
 }
 
 Journal::Journal(int fd, std::string path, JournalOptions opts,
-                 std::uint64_t next_lsn, std::uint64_t base_lsn) noexcept
+                 std::uint64_t next_lsn, std::uint64_t base_lsn,
+                 std::uint64_t committed_bytes) noexcept
     : fd_(fd),
       path_(std::move(path)),
       opts_(opts),
       next_lsn_(next_lsn),
-      base_lsn_(base_lsn) {}
+      base_lsn_(base_lsn),
+      committed_bytes_(committed_bytes) {}
 
 Journal::Journal(Journal&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
@@ -119,6 +143,8 @@ Journal::Journal(Journal&& o) noexcept
       next_lsn_(o.next_lsn_),
       base_lsn_(o.base_lsn_),
       unsynced_(o.unsynced_),
+      committed_bytes_(o.committed_bytes_),
+      poisoned_(o.poisoned_),
       metrics_(std::exchange(o.metrics_, nullptr)) {}
 
 Journal::~Journal() {
@@ -143,31 +169,44 @@ namespace {
 }  // namespace
 
 Journal Journal::create(const std::string& path, JournalOptions opts) {
+  fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("journal.create.open");
+  fault::FailPoint& fp_write = EDFKIT_FAULT_POINT("journal.create.write");
+  fault::FailPoint& fp_fsync = EDFKIT_FAULT_POINT("journal.create.fsync");
+  if (fp_open.armed() && fp_open.should_fail()) throw_errno("open " + path);
   const int fd = ::open(path.c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("open " + path);
   const std::vector<std::uint8_t> hdr = encode_header(0);
   try {
-    write_all(fd, hdr.data(), hdr.size(), path);
-    if (::fdatasync(fd) != 0) throw_errno("fdatasync " + path);
+    write_all_faultable(fp_write, fd, hdr.data(), hdr.size(), path);
+    if ((fp_fsync.armed() && fp_fsync.should_fail()) ||
+        ::fdatasync(fd) != 0) {
+      throw_errno("fdatasync " + path);
+    }
   } catch (...) {
+    // A torn creation (partial header) is what open_append() treats as
+    // "nothing committed, start over" — recoverable by construction.
     ::close(fd);
     throw;
   }
-  return Journal(fd, path, opts, 0, 0);
+  return Journal(fd, path, opts, 0, 0, hdr.size());
 }
 
 Journal Journal::open_append(const std::string& path, JournalOptions opts) {
+  fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("journal.open.open");
+  fault::FailPoint& fp_trunc = EDFKIT_FAULT_POINT("journal.open.truncate");
   if (!file_exists(path)) return create(path, opts);
   const JournalScan scan = scan_journal(path);
   if (scan.valid_bytes < kJournalHeaderV1Bytes) {
     // Header itself torn: nothing committed — start over.
     return create(path, opts);
   }
+  if (fp_open.armed() && fp_open.should_fail()) throw_errno("open " + path);
   const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) throw_errno("open " + path);
   if (scan.torn_tail &&
-      ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      ((fp_trunc.armed() && fp_trunc.should_fail()) ||
+       ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0)) {
     ::close(fd);
     throw_errno("ftruncate " + path);
   }
@@ -176,7 +215,7 @@ Journal Journal::open_append(const std::string& path, JournalOptions opts) {
     throw_errno("lseek " + path);
   }
   return Journal(fd, path, opts, scan.base_lsn + scan.records.size(),
-                 scan.base_lsn);
+                 scan.base_lsn, scan.valid_bytes);
 }
 
 std::uint64_t Journal::base_lsn() const noexcept {
@@ -185,13 +224,18 @@ std::uint64_t Journal::base_lsn() const noexcept {
 }
 
 std::uint64_t Journal::rotate(std::uint64_t keep_from_lsn) {
+  fault::FailPoint& fp_fsync = EDFKIT_FAULT_POINT("journal.rotate.fsync");
+  fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("journal.rotate.open");
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t cut =
       std::min(std::max(keep_from_lsn, base_lsn_), next_lsn_);
   if (cut == base_lsn_) return 0;  // nothing below the cut to drop
   // Settle the current file before re-reading it: every record with
   // LSN < next_lsn_ must be intact on disk for the scan below.
-  if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+  if ((fp_fsync.armed() && fp_fsync.should_fail()) ||
+      ::fdatasync(fd_) != 0) {
+    throw_errno("fdatasync " + path_);
+  }
   const JournalScan scan = scan_journal(path_);
   if (scan.base_lsn != base_lsn_ ||
       scan.base_lsn + scan.records.size() != next_lsn_) {
@@ -217,28 +261,77 @@ std::uint64_t Journal::rotate(std::uint64_t keep_from_lsn) {
   write_file_atomic(path_, out.data());
 
   // Swap the append fd to the new inode (the old fd still points at
-  // the unlinked pre-rotation file).
-  const int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
-  if (fd < 0) throw_errno("open " + path_);
-  if (::lseek(fd, 0, SEEK_END) < 0) {
-    ::close(fd);
-    throw_errno("lseek " + path_);
+  // the unlinked pre-rotation file). Failing to reopen here poisons
+  // the handle: the rename already landed, so appending through the
+  // old fd would write into the unlinked inode and silently vanish on
+  // the next open. The on-disk journal itself is valid — a reopen
+  // recovers fully.
+  if ((fp_open.armed() && fp_open.should_fail()) ||
+      [&] {
+        const int nfd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+        if (nfd < 0) return true;
+        const off_t e = ::lseek(nfd, 0, SEEK_END);
+        if (e < 0) {
+          ::close(nfd);
+          return true;
+        }
+        ::close(fd_);
+        fd_ = nfd;
+        committed_bytes_ = static_cast<std::uint64_t>(e);
+        return false;
+      }()) {
+    poisoned_ = true;
+    throw PersistError(PersistErrc::IoError,
+                       path_ + ": rotate renamed but reopen failed — "
+                               "journal poisoned (reopen to recover)",
+                       /*retryable=*/false);
   }
-  ::close(fd_);
-  fd_ = fd;
   base_lsn_ = cut;
   unsynced_ = 0;  // write_file_atomic fsynced the new file
   return dropped;
 }
 
 std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
+  fault::FailPoint& fp_write = EDFKIT_FAULT_POINT("journal.append.write");
+  fault::FailPoint& fp_fsync = EDFKIT_FAULT_POINT("journal.append.fsync");
+  fault::FailPoint& fp_tback =
+      EDFKIT_FAULT_POINT("journal.append.truncate_back");
   const std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    throw PersistError(PersistErrc::IoError,
+                       path_ + ": journal poisoned by an earlier failed "
+                               "append (reopen to recover)",
+                       /*retryable=*/false);
+  }
   const std::uint64_t t0 = metrics_ != nullptr ? obs::now_ns() : 0;
   ByteWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(crc32(payload));
   frame.bytes(payload.data(), payload.size());
-  write_all(fd_, frame.data().data(), frame.size(), path_);
+  try {
+    write_all_faultable(fp_write, fd_, frame.data().data(), frame.size(),
+                        path_);
+  } catch (...) {
+    // Roll the torn frame back to the committed prefix so the journal
+    // stays appendable and the failure is retryable. If even that
+    // fails, the file may end mid-frame with the fd past the tear:
+    // poison this handle — only a reopen (which re-scans and
+    // truncates) makes the journal writable again.
+    const bool torn_remains =
+        (fp_tback.armed() && fp_tback.should_fail()) ||
+        ::ftruncate(fd_, static_cast<off_t>(committed_bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(committed_bytes_), SEEK_SET) < 0;
+    if (torn_remains) {
+      poisoned_ = true;
+      throw PersistError(
+          PersistErrc::IoError,
+          path_ + ": append failed and truncate-back failed — journal "
+                  "poisoned (reopen to recover)",
+          /*retryable=*/false);
+    }
+    throw;
+  }
+  committed_bytes_ += frame.size();
   if (metrics_ != nullptr) {
     metrics_->appends.add();
     metrics_->append_ns.record(obs::now_ns() - t0);
@@ -251,7 +344,15 @@ std::uint64_t Journal::append(std::span<const std::uint8_t> payload) {
        unsynced_ >= std::max<std::uint64_t>(1, opts_.fsync_interval));
   if (flush) {
     const std::uint64_t f0 = metrics_ != nullptr ? obs::now_ns() : 0;
-    if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    // The record is fully written and the LSN advanced: an fsync
+    // failure here means "committed but not yet durable" — the page
+    // cache still holds the bytes, a crash-free process keeps serving
+    // from them, and recovery replays the record if it reached disk.
+    // Retryable by classification; a caller that degrades re-probes.
+    if ((fp_fsync.armed() && fp_fsync.should_fail()) ||
+        ::fdatasync(fd_) != 0) {
+      throw_errno("fdatasync " + path_);
+    }
     if (metrics_ != nullptr) {
       metrics_->fsyncs.add();
       metrics_->fsync_ns.record(obs::now_ns() - f0);
@@ -267,10 +368,13 @@ std::uint64_t Journal::lsn() const noexcept {
 }
 
 void Journal::sync() {
+  fault::FailPoint& fp = EDFKIT_FAULT_POINT("journal.sync.fsync");
   const std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
     const std::uint64_t f0 = metrics_ != nullptr ? obs::now_ns() : 0;
-    if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path_);
+    if ((fp.armed() && fp.should_fail()) || ::fdatasync(fd_) != 0) {
+      throw_errno("fdatasync " + path_);
+    }
     if (metrics_ != nullptr) {
       metrics_->fsyncs.add();
       metrics_->fsync_ns.record(obs::now_ns() - f0);

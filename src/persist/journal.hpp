@@ -112,6 +112,16 @@ class Journal {
 
   /// Append one record; returns its LSN. Thread-safe. Durability per
   /// the fsync policy. \throws PersistError{IoError}
+  ///
+  /// Failure atomicity: a failed (or torn) frame write is rolled back
+  /// by truncating the file to the last committed record before the
+  /// error propagates, so the journal stays appendable and a scan sees
+  /// exactly the committed prefix — the error is *retryable*. If the
+  /// truncate-back itself fails the file may end mid-frame with the fd
+  /// past the torn bytes; the journal marks itself poisoned and every
+  /// later append throws a *fatal* PersistError (recovery via
+  /// open_append(), which re-scans and truncates, is the only way
+  /// forward — exactly what the server's tenant quarantine does).
   std::uint64_t append(std::span<const std::uint8_t> payload);
 
   /// Next LSN to be assigned == records committed so far (across every
@@ -150,9 +160,17 @@ class Journal {
     metrics_ = metrics;
   }
 
+  /// True when a failed append could not be rolled back (see append());
+  /// the file may end mid-frame and this handle refuses further writes.
+  [[nodiscard]] bool poisoned() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return poisoned_;
+  }
+
  private:
   Journal(int fd, std::string path, JournalOptions opts,
-          std::uint64_t next_lsn, std::uint64_t base_lsn) noexcept;
+          std::uint64_t next_lsn, std::uint64_t base_lsn,
+          std::uint64_t committed_bytes) noexcept;
 
   mutable std::mutex mu_;
   int fd_ = -1;
@@ -161,6 +179,10 @@ class Journal {
   std::uint64_t next_lsn_ = 0;
   std::uint64_t base_lsn_ = 0;
   std::uint64_t unsynced_ = 0;
+  /// File size through the last fully-written record — the
+  /// truncate-back target when an append fails partway.
+  std::uint64_t committed_bytes_ = 0;
+  bool poisoned_ = false;
   const obs::JournalInstruments* metrics_ = nullptr;
 };
 
