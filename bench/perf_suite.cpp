@@ -9,13 +9,14 @@
 ///                [--gate-batch X] [--gate-small-n X]
 ///                [--gate-obs-overhead X] [--obs-metrics-out FILE]
 ///                [--obs-trace-out FILE] [--gate-fault-overhead X]
+///                [--gate-repl-overhead X]
 ///
 /// --quick only reduces timing repetitions (best-of-1) and query/read
 /// cell iterations; the sweep grid and trace lengths stay identical so
 /// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Sections (schema = 6):
+/// Sections (schema = 7):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
@@ -96,9 +97,19 @@
 ///    per decision. Reported, not gated (the net-load CI job gates
 ///    end-to-end latency under concurrent load).
 ///
-/// JSON schema (schema = 6; v5 had no fault section; v4 had no net
-/// section; v3 had no obs section and no known_regressions; v2 had no
-/// persist section; v1 had no batch/removal/read sections). `known_regressions` documents the
+///  * repl — the primary's cost of a live hot standby (src/repl/): the
+///    journaled headline churn served over loopback with a shipper
+///    tailing the WAL into a follower server + periodic digest pushes,
+///    vs the identical server with nothing attached. `overhead_x` is
+///    attached/detached wall time (best-of/best-of, interleaved); CI
+///    gates it with --gate-repl-overhead (1.05 = at most 5% added —
+///    the shipper reads page cache out-of-thread, so the serving path
+///    should pay ~nothing).
+///
+/// JSON schema (schema = 7; v6 had no repl section; v5 had no fault
+/// section; v4 had no net section; v3 had no obs section and no
+/// known_regressions; v2 had no persist section; v1 had no
+/// batch/removal/read sections). `known_regressions` documents the
 /// accepted sub-1x admission cells (n=100 slack-index maintenance) with
 /// the scan-internals counters that explain them — the small-n gate
 /// tolerates those cells; a *new* regression shows up as a cell outside
@@ -128,6 +139,8 @@
 ///                      "armed_dps": f, "ratio": f } ],
 ///     "net":       [ { "n": N, "u": U, "events": N, "local_dps": f,
 ///                      "net_dps": f, "wire_overhead_ns": f } ... ],
+///     "repl":      [ { "n": N, "u": U, "events": N, "plain_dps": f,
+///                      "repl_dps": f, "overhead_x": f } ],
 ///     "known_regressions": [ { "section": "admission", "n": N, "u": U,
 ///                      "speedup": f, "note": "...",
 ///                      "index_off": { scan-internals counters },
@@ -142,12 +155,17 @@
 /// committed BENCH_perf.json; 5 = batch headline speedup below
 /// --gate-batch; 6 = some n=10 admission cell below --gate-small-n;
 /// 7 = instrumented/plain decision rate below --gate-obs-overhead;
-/// 8 = armed/disarmed decision rate below --gate-fault-overhead.
+/// 8 = armed/disarmed decision rate below --gate-fault-overhead;
+/// 9 = standby-attached/detached serving time above --gate-repl-overhead.
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -165,6 +183,7 @@
 #include "net/server.hpp"
 #include "obs/obs.hpp"
 #include "query/query.hpp"
+#include "repl/shipper.hpp"
 
 namespace {
 
@@ -1002,6 +1021,167 @@ NetRow run_net_cell(std::size_t n, double u, std::size_t events,
   return row;
 }
 
+struct ReplRow {
+  std::size_t n = 0;
+  double u = 0.0;
+  std::size_t events = 0;
+  double plain_dps = 0.0;  ///< decisions per serving-thread CPU second
+  double repl_dps = 0.0;   ///< same, with a live standby + shipper attached
+  double overhead_x = 0.0; ///< attached/detached serving-thread CPU time
+};
+
+/// CPU seconds consumed so far by `t`, via its POSIX thread CPU clock.
+double thread_cpu_seconds(std::thread& t) {
+  clockid_t cid{};
+  if (pthread_getcpuclockid(t.native_handle(), &cid) != 0) return 0.0;
+  timespec ts{};
+  if (clock_gettime(cid, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// The pay-nothing-on-the-hot-path contract of src/repl/, measured:
+/// the journaled headline churn served over a loopback net::Server
+/// with a live hot standby attached (shipper tailing the WALs +
+/// follower replaying + periodic digest pushes) vs the identical
+/// server with no standby. The gated quantity is the *serving
+/// thread's CPU time* per pass (its POSIX thread CPU clock, read
+/// around each pass), not client wall time: the standby replays every
+/// decision by design — duplicated work that on a small machine
+/// steals wall clock through the scheduler without the primary doing
+/// anything more — while everything the tentpole promises to keep off
+/// the hot path (digest serialization, queue pushes) runs *in* the
+/// loop thread and lands in its CPU clock. CI gates the ratio with
+/// --gate-repl-overhead (1.05 = at most 5% added). Interleaved
+/// best-of/best-of, alternating order; each side serves one stable
+/// tenant so store evolution stays identical pass-for-pass across
+/// sides (and digest pushes cover exactly one store per side).
+ReplRow run_repl_cell(std::size_t n, double u, std::size_t events,
+                      double epsilon, std::uint64_t seed,
+                      std::int64_t reps) {
+  const std::vector<TraceEvent> trace =
+      make_trace(n, u, events, seed, 0.0, 1);
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.skip_exact = true;  // headline configuration: rung <= 2
+  opts.use_slack_index = true;
+
+  const std::string plain_dir = "perf_repl_plain.tmp";
+  const std::string primary_dir = "perf_repl_primary.tmp";
+  const std::string standby_dir = "perf_repl_standby.tmp";
+  for (const auto& d : {plain_dir, primary_dir, standby_dir}) {
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+  }
+
+  // Detached side: a journaled server, nothing tailing it.
+  net::ServerOptions plain_opts;
+  plain_opts.tenants.admission = opts;
+  plain_opts.tenants.data_dir = plain_dir;
+  net::Server plain(plain_opts);
+  std::thread plain_loop([&plain] { plain.run(); });
+
+  // Attached side: standby + shipper + digest pushes, all live.
+  net::ServerOptions standby_opts;
+  standby_opts.tenants.admission = opts;
+  standby_opts.tenants.data_dir = standby_dir;
+  standby_opts.tenants.standby = true;
+  net::Server standby(standby_opts);
+  std::thread standby_loop([&standby] { standby.run(); });
+  repl::ShipperOptions ship_opts;
+  ship_opts.port = standby.port();
+  ship_opts.data_dir = primary_dir;
+  ship_opts.poll_interval_ms = 1;
+  repl::Shipper ship(ship_opts);
+  net::ServerOptions primary_opts;
+  primary_opts.tenants.admission = opts;
+  primary_opts.tenants.data_dir = primary_dir;
+  primary_opts.shipper = &ship;  // digest cadence: the shipped default
+  net::Server primary(primary_opts);
+  std::thread primary_loop([&primary] { primary.run(); });
+  ship.start();
+
+  // One serving pass: the trace over one blocking connection. Each
+  // side reuses its one tenant, so pass k's store evolution is
+  // identical on both sides for every k. Returns the serving thread's
+  // CPU seconds consumed by the pass.
+  const auto serve_pass = [&](net::Server& server, std::thread& loop,
+                              const char* tenant) {
+    net::Client client = net::Client::connect("127.0.0.1", server.port());
+    (void)client.hello(tenant);
+    std::vector<std::pair<std::uint64_t, std::vector<TaskId>>> live;
+    const double cpu0 = thread_cpu_seconds(loop);
+    for (const TraceEvent& ev : trace) {
+      net::NetRequest req;
+      if (ev.op == TraceOp::Arrive) {
+        req.hdr.op = static_cast<std::uint8_t>(net::NetOp::Admit);
+        req.task = ev.task;
+      } else if (ev.op == TraceOp::Depart) {
+        std::size_t at = live.size();
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i].first == ev.key) at = i;
+        }
+        if (at == live.size()) continue;
+        req.hdr.op = static_cast<std::uint8_t>(net::NetOp::RemoveGroup);
+        req.ids = std::move(live[at].second);
+        live[at] = live.back();
+        live.pop_back();
+      } else {
+        continue;
+      }
+      const net::NetResponse resp = client.call(std::move(req));
+      if (resp.hdr.status ==
+              static_cast<std::uint8_t>(net::NetStatus::Ok) &&
+          ev.op == TraceOp::Arrive) {
+        live.emplace_back(ev.key, std::vector<TaskId>{resp.id});
+      }
+    }
+    return thread_cpu_seconds(loop) - cpu0;
+  };
+  const auto plain_pass = [&] {
+    return serve_pass(plain, plain_loop, "plain");
+  };
+  const auto repl_pass = [&] {
+    return serve_pass(primary, primary_loop, "repl");
+  };
+
+  ReplRow row;
+  row.n = n;
+  row.u = u;
+  row.events = trace.size();
+  (void)plain_pass();  // warm both paths before timing
+  (void)repl_pass();
+  double best_plain = 1e300;
+  double best_repl = 1e300;
+  const std::int64_t pairs = std::max<std::int64_t>(reps + 1, 4);
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    if (p % 2 == 0) {
+      best_plain = std::min(best_plain, plain_pass());
+      best_repl = std::min(best_repl, repl_pass());
+    } else {
+      best_repl = std::min(best_repl, repl_pass());
+      best_plain = std::min(best_plain, plain_pass());
+    }
+  }
+
+  ship.stop();
+  plain.stop();
+  primary.stop();
+  standby.stop();
+  plain_loop.join();
+  primary_loop.join();
+  standby_loop.join();
+  for (const auto& d : {plain_dir, primary_dir, standby_dir}) {
+    std::filesystem::remove_all(d);
+  }
+
+  const double total = static_cast<double>(trace.size());
+  row.plain_dps = total / best_plain;
+  row.repl_dps = total / best_repl;
+  row.overhead_x = best_repl / best_plain;
+  return row;
+}
+
 /// Scan-internals counters for one replay — the evidence attached to
 /// known_regressions entries (why a cell is allowed below 1x).
 struct ScanInternals {
@@ -1073,6 +1253,7 @@ int main(int argc, char** argv) {
     const double gate_small_n = flags.get_double("gate-small-n", 0.0);
     const double gate_obs = flags.get_double("gate-obs-overhead", 0.0);
     const double gate_fault = flags.get_double("gate-fault-overhead", 0.0);
+    const double gate_repl = flags.get_double("gate-repl-overhead", 0.0);
     const std::string obs_metrics_out = flags.get("obs-metrics-out", "");
     const std::string obs_trace_out = flags.get("obs-trace-out", "");
 
@@ -1290,6 +1471,32 @@ int main(int argc, char** argv) {
                        static_cast<long long>(row.events), row.local_dps,
                        row.net_dps, row.overhead_ns);
     }
+    // Replication overhead: the journaled headline churn served with a
+    // live hot standby attached vs detached.
+    std::vector<ReplRow> repl_rows;
+    {
+      const std::uint64_t repl_seed =
+          setup.seed + 1000 * 1000 + static_cast<std::uint64_t>(0.99 * 100);
+      ReplRow row = run_repl_cell(1000, 0.99, events, epsilon, repl_seed,
+                                  setup.sets);
+      // Same marginal-answer policy as the obs/fault cells: noise fails
+      // at most one re-measurement, a real regression fails them all.
+      for (int attempt = 1;
+           gate_repl > 0.0 && row.overhead_x > gate_repl && attempt < 3;
+           ++attempt) {
+        const ReplRow again = run_repl_cell(1000, 0.99, events, epsilon,
+                                            repl_seed, setup.sets);
+        if (again.overhead_x < row.overhead_x) row = again;
+      }
+      repl_rows.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12.0f/s %8.2fx "
+                  "(serving-thread CPU, standby-attached/detached)\n",
+                  "repl", row.n, row.u, row.events, row.plain_dps,
+                  row.repl_dps, row.overhead_x);
+      setup.csv.row_of("repl", static_cast<long long>(row.n), row.u,
+                       static_cast<long long>(row.events), row.plain_dps,
+                       row.repl_dps, row.overhead_x);
+    }
 
     if (!obs_metrics_out.empty()) {
       std::ofstream out(obs_metrics_out);
@@ -1314,7 +1521,7 @@ int main(int argc, char** argv) {
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 6LL)
+        .kv("schema", 7LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -1424,6 +1631,18 @@ int main(int argc, char** argv) {
           .kv("local_dps", row.local_dps)
           .kv("net_dps", row.net_dps)
           .kv("wire_overhead_ns", row.overhead_ns)
+          .end();
+    }
+    json.end();
+    json.begin_array("repl");
+    for (const ReplRow& row : repl_rows) {
+      json.begin_object()
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("events", static_cast<long long>(row.events))
+          .kv("plain_dps", row.plain_dps)
+          .kv("repl_dps", row.repl_dps)
+          .kv("overhead_x", row.overhead_x)
           .end();
     }
     json.end();
@@ -1549,6 +1768,21 @@ int main(int argc, char** argv) {
                        "below the %.2fx gate (n=%zu, u=%.2f)\n",
                        row.ratio, gate_fault, row.n, row.u);
           return 8;
+        }
+      }
+    }
+    if (gate_repl > 0.0) {
+      for (const ReplRow& row : repl_rows) {
+        std::printf("repl gate: %.3fx standby-attached/detached vs "
+                    "%.2fx allowed\n",
+                    row.overhead_x, gate_repl);
+        if (row.overhead_x > gate_repl) {
+          std::fprintf(stderr,
+                       "REGRESSION: hot-standby attachment costs %.3fx "
+                       "on the primary serving path, above the %.2fx "
+                       "gate (n=%zu, u=%.2f)\n",
+                       row.overhead_x, gate_repl, row.n, row.u);
+          return 9;
         }
       }
     }

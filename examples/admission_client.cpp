@@ -16,6 +16,7 @@
 ///                      [--gate-p99-us 0] [--expect-no-shed]
 ///                      [--client chaos] [--retry-timeout-ms 1000]
 ///                      [--retry-attempts 50]
+///                      [--failover-to HOST:PORT[,HOST:PORT...]]
 ///
 /// `--mode load` — open-loop benchmark: each connection (one thread
 /// each) replays its own deterministic churn trace (gen/scenario §5
@@ -53,14 +54,29 @@
 /// receive wait; the final line reports retries / reconnects /
 /// observed restarts for the harness to reconcile against server
 /// metrics.
+///
+/// With --failover-to, chaos mode is also the failover differential:
+/// the RetryingClient walks the endpoint list when the primary dies,
+/// and because replication acks are asynchronous (src/repl/shipper.hpp)
+/// the driver keeps a sliding window of acked (id, request, response)
+/// triples — on every reconnect it compares the endpoint's
+/// highest_applied watermark against its own last acked id and
+/// re-drives the gap under the original ids, in order, before the
+/// in-flight request (RetryingClient's on_reconnect hook guarantees
+/// the ordering). Each re-driven answer must match the answer the dead
+/// primary gave — determinism makes that exact — so the run proves
+/// zero lost acked ops and zero double-applies across a kill -9 +
+/// promote.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "admission/controller.hpp"
@@ -91,6 +107,30 @@ struct ClientConfig {
   ChurnConfig churn;
   AdmissionOptions twin;  ///< replay-mode twin controller options
 };
+
+/// Parse a comma-separated HOST:PORT list (--failover-to).
+std::vector<net::Endpoint> parse_endpoints(const std::string& spec) {
+  std::vector<net::Endpoint> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string one = spec.substr(pos, comma - pos);
+    const std::size_t colon = one.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= one.size()) {
+      throw std::invalid_argument("--failover-to: expected HOST:PORT, got '" +
+                                  one + "'");
+    }
+    const unsigned long port = std::stoul(one.substr(colon + 1));
+    if (port == 0 || port > 65535) {
+      throw std::invalid_argument("--failover-to: port out of range in '" +
+                                  one + "'");
+    }
+    out.push_back({one.substr(0, colon), static_cast<std::uint16_t>(port)});
+    pos = comma + 1;
+  }
+  return out;
+}
 
 persist::FsyncPolicy parse_fsync(const std::string& s) {
   if (s == "none") return persist::FsyncPolicy::None;
@@ -513,7 +553,8 @@ int run_replay(const ClientConfig& cfg) {
 /// exactly-once retry path instead of the manual reconnect above, so
 /// the comparison loop itself never sees them — only the counters do.
 int run_chaos(const ClientConfig& cfg, const std::string& client_id,
-              std::uint64_t retry_timeout_ms, std::size_t retry_attempts) {
+              std::uint64_t retry_timeout_ms, std::size_t retry_attempts,
+              const std::vector<net::Endpoint>& standbys) {
   Rng rng(cfg.seed);
   const std::vector<TraceEvent> trace = generate_churn_trace(rng, cfg.churn);
 
@@ -525,9 +566,11 @@ int run_chaos(const ClientConfig& cfg, const std::string& client_id,
   policy.connect_timeout_ms = retry_timeout_ms;
   policy.max_attempts = retry_attempts;
   policy.seed = cfg.seed;  // deterministic jitter for reproducible runs
+  std::vector<net::Endpoint> endpoints{{cfg.host, cfg.port}};
+  endpoints.insert(endpoints.end(), standbys.begin(), standbys.end());
   // Fusing would change the journal/decision shape, and fused batches
   // are excluded from dedup anyway — chaos runs sequential ops.
-  net::RetryingClient rc(cfg.host, cfg.port, cfg.tenant, client_id, policy,
+  net::RetryingClient rc(std::move(endpoints), cfg.tenant, client_id, policy,
                          cfg.fsync, cfg.fsync_interval,
                          hello_flags(cfg) & ~net::kFlagBatchFuse);
 
@@ -538,6 +581,51 @@ int run_chaos(const ClientConfig& cfg, const std::string& client_id,
     std::fprintf(stderr, "DIVERGENCE at event %zu: %s\n", i, what.c_str());
     ++mismatches;
   };
+
+  // Failover re-drive window: the last kRedriveWindow acked mutating
+  // operations — id, the request as sent, the answer the server gave.
+  // Asynchronous replication means a killed primary may have acked ops
+  // the standby never received; the on_reconnect hook below re-sends
+  // everything above the fresh endpoint's watermark under the original
+  // ids (in order, ahead of the in-flight request) and checks that the
+  // new endpoint gives the very same answers. Ids below the watermark
+  // that we re-send anyway are answered from the dedup window, so the
+  // hook is harmless on ordinary (same-server restart) reconnects.
+  struct SentOp {
+    std::uint64_t id = 0;
+    net::NetRequest req;
+    net::NetResponse expected;
+  };
+  constexpr std::size_t kRedriveWindow = 1024;
+  std::deque<SentOp> window;
+  std::uint64_t redriven = 0;
+  std::uint64_t redrive_mismatches = 0;
+  bool window_overrun = false;
+  const auto responses_match = [](const net::NetResponse& a,
+                                  const net::NetResponse& b) {
+    return a.hdr.status == b.hdr.status && a.id == b.id && a.ids == b.ids &&
+           a.rung == b.rung && a.verdict == b.verdict &&
+           a.removed == b.removed;
+  };
+  rc.set_on_reconnect([&] {
+    const std::uint64_t watermark = rc.highest_applied();
+    if (window.empty() || window.back().id <= watermark) return;
+    if (window.front().id > watermark + 1) window_overrun = true;
+    for (const SentOp& op : window) {
+      if (op.id <= watermark) continue;
+      net::NetRequest copy = op.req;
+      copy.hdr.request_id = op.id;
+      const net::NetResponse got = rc.call(std::move(copy));
+      ++redriven;
+      if (!responses_match(op.expected, got)) {
+        std::fprintf(stderr,
+                     "DIVERGENCE: re-driven id %llu answered differently "
+                     "after failover\n",
+                     static_cast<unsigned long long>(op.id));
+        ++redrive_mismatches;
+      }
+    }
+  });
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const TraceEvent& ev = trace[i];
@@ -560,10 +648,15 @@ int run_chaos(const ClientConfig& cfg, const std::string& client_id,
     // resent under the same id and answered from the server's dedup
     // window, so the decision we compare is the one applied exactly
     // once — even across a kill -9 and journal recovery.
-    const net::NetResponse resp =
-        rc.call(request_for(ev, depart_ids, /*want_certificate=*/false));
+    const net::NetRequest req =
+        request_for(ev, depart_ids, /*want_certificate=*/false);
+    const net::NetResponse resp = rc.call(req);
     const auto status = static_cast<net::NetStatus>(resp.hdr.status);
-    if (status != net::NetStatus::Ok && status != net::NetStatus::Rejected) {
+    if (status == net::NetStatus::Ok || status == net::NetStatus::Rejected) {
+      // An acked mutation: remember it for the failover re-drive.
+      window.push_back({rc.last_request_id(), req, resp});
+      if (window.size() > kRedriveWindow) window.pop_front();
+    } else {
       diverge(i, std::string("unexpected status ") + net::to_string(status));
       continue;
     }
@@ -644,17 +737,29 @@ int run_chaos(const ClientConfig& cfg, const std::string& client_id,
     ++mismatches;
   }
 
+  if (window_overrun) {
+    std::fprintf(stderr,
+                 "GATE: acked operations fell off the %zu-entry re-drive "
+                 "window before failover — ops lost\n",
+                 kRedriveWindow);
+  }
   std::printf("chaos differential: %zu events, %llu residents, "
               "%llu mismatches\n",
               trace.size(), static_cast<unsigned long long>(b.residents),
               static_cast<unsigned long long>(mismatches));
   std::printf("chaos transport: retries=%llu reconnects=%llu "
-              "restarts-observed=%llu epoch=%llu\n",
+              "restarts-observed=%llu epoch=%llu failovers=%llu "
+              "redriven=%llu redrive-mismatches=%llu\n",
               static_cast<unsigned long long>(rc.retries()),
               static_cast<unsigned long long>(rc.reconnects()),
               static_cast<unsigned long long>(rc.epoch_changes()),
-              static_cast<unsigned long long>(rc.epoch()));
-  return mismatches == 0 ? 0 : 1;
+              static_cast<unsigned long long>(rc.epoch()),
+              static_cast<unsigned long long>(rc.failovers()),
+              static_cast<unsigned long long>(redriven),
+              static_cast<unsigned long long>(redrive_mismatches));
+  return (mismatches == 0 && redrive_mismatches == 0 && !window_overrun)
+             ? 0
+             : 1;
 }
 
 }  // namespace
@@ -696,10 +801,13 @@ int main(int argc, char** argv) {
     }
     if (mode == "replay") return run_replay(cfg);
     if (mode == "chaos") {
+      const std::string failover_to = flags.get("failover-to", "");
       return run_chaos(
           cfg, flags.get("client", "chaos"),
           static_cast<std::uint64_t>(flags.get_int("retry-timeout-ms", 1000)),
-          static_cast<std::size_t>(flags.get_int("retry-attempts", 50)));
+          static_cast<std::size_t>(flags.get_int("retry-attempts", 50)),
+          failover_to.empty() ? std::vector<net::Endpoint>{}
+                              : parse_endpoints(failover_to));
     }
     throw std::invalid_argument("unknown --mode '" + mode +
                                 "' (load|replay|chaos)");

@@ -13,6 +13,9 @@
 ///                      [--max-fuse 64] [--reprobe-interval-ms 200]
 ///                      [--metrics-dump] [--trace-out flight.json]
 ///                      [--trace-capacity 512]
+///                      [--replicate-to HOST:PORT]
+///                      [--digest-interval-ms 250]
+///                      [--standby] [--promote-on-signal]
 ///
 /// Tenants are created on first HELLO; with --data-dir each tenant gets
 /// its own snapshot + write-ahead journal under that directory and is
@@ -38,18 +41,29 @@
 /// this binary under fsync flaps, snapshot rename failures, and random
 /// short writes. Armed points are announced on stdout, and the metrics
 /// dumps append per-point hit/fire counters.
+///
+/// Replication (src/repl): --replicate-to HOST:PORT attaches a journal
+/// shipper that streams every tenant's WAL to a standby server started
+/// with --standby (which answers client mutations Unavailable until
+/// promoted). --promote-on-signal makes SIGUSR2 promote a standby to
+/// serving primary (refused while any tenant is diverged); the failover
+/// CI job kills the primary, SIGUSR2s the standby, and lets clients
+/// fail over.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "fault/fault.hpp"
 #include "net/server.hpp"
 #include "obs/obs.hpp"
+#include "repl/shipper.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -72,6 +86,28 @@ void on_sigterm(int) {
 std::atomic<bool> g_dump{false};
 
 void on_sigusr1(int) { g_dump.store(true, std::memory_order_relaxed); }
+
+/// SIGUSR2 (with --promote-on-signal) requests standby promotion; like
+/// the dump it only sets a flag — the loop thread runs promote().
+std::atomic<bool> g_promote{false};
+
+void on_sigusr2(int) { g_promote.store(true, std::memory_order_relaxed); }
+
+/// Split "host:port" (last colon wins, so bare IPv4/hostnames only).
+/// \throws std::runtime_error on a malformed spec.
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    throw std::runtime_error("expected HOST:PORT, got '" + spec + "'");
+  }
+  const unsigned long port = std::stoul(spec.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    throw std::runtime_error("port out of range in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
 
 /// Append the failpoint hit/fire counters to a metrics dump — the
 /// chaos harness reconciles fires against quarantine/retry metrics.
@@ -118,6 +154,13 @@ int main(int argc, char** argv) {
     opts.shed.retry_after_ms =
         static_cast<std::uint32_t>(flags.get_int("retry-after-ms", 50));
 
+    opts.tenants.standby = flags.get_bool("standby", false);
+    opts.digest_interval_ms = static_cast<std::uint64_t>(
+        flags.get_int("digest-interval-ms", 250));
+    const std::string replicate_to = flags.get("replicate-to", "");
+    const bool promote_on_signal =
+        flags.get_bool("promote-on-signal", false);
+
     const bool metrics_dump = flags.get_bool("metrics-dump", false);
     const std::string trace_out = flags.get("trace-out", "");
     obs::ObsConfig ocfg;
@@ -139,23 +182,53 @@ int main(int argc, char** argv) {
       }
       std::printf("fault injection: %zu failpoint(s) armed\n", armed);
     }
+
+    // Primary-side replication: the shipper tails the same data-dir the
+    // tenants journal into, so it must outlive the server (the server
+    // holds only the raw pointer for digest pushes).
+    std::unique_ptr<repl::Shipper> shipper;
+    if (!replicate_to.empty()) {
+      if (opts.tenants.data_dir.empty()) {
+        throw std::runtime_error("--replicate-to requires --data-dir");
+      }
+      if (opts.tenants.standby) {
+        throw std::runtime_error(
+            "--replicate-to and --standby are mutually exclusive "
+            "(multi-standby fan-out is a ROADMAP follow-on)");
+      }
+      const auto [rhost, rport] = parse_host_port(replicate_to);
+      repl::ShipperOptions sopts;
+      sopts.host = rhost;
+      sopts.port = rport;
+      sopts.data_dir = opts.tenants.data_dir;
+      shipper = std::make_unique<repl::Shipper>(sopts, &obs);
+      opts.shipper = shipper.get();
+    }
+
     net::Server server(opts, &obs);
     g_server = &server;
+    if (shipper) {
+      shipper->start();
+      std::printf("replicating to %s data-dir=%s\n", replicate_to.c_str(),
+                  opts.tenants.data_dir.c_str());
+    }
 
     std::signal(SIGTERM, on_sigterm);
     std::signal(SIGINT, on_sigterm);
     std::signal(SIGUSR1, on_sigusr1);
+    if (promote_on_signal) std::signal(SIGUSR2, on_sigusr2);
     std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as EPIPE writes
 
     // The resolved port on one greppable line, flushed before serving —
     // harnesses start the server with --port 0 and scrape this.
     std::printf("listening on %s:%u data-dir=%s checkpoint-every=%zu "
-                "epsilon=%.3f\n",
+                "epsilon=%.3f role=%s\n",
                 opts.bind_address.c_str(), server.port(),
                 opts.tenants.data_dir.empty() ? "(none)"
                                               : opts.tenants.data_dir.c_str(),
                 opts.tenants.checkpoint_every,
-                opts.tenants.admission.epsilon);
+                opts.tenants.admission.epsilon,
+                opts.tenants.standby ? "standby" : "primary");
     std::fflush(stdout);
 
     // The event loop, driven tick by tick so SIGUSR1 dumps run on this
@@ -170,7 +243,27 @@ int main(int argc, char** argv) {
         dump_fault_counters(stderr);
         std::fflush(stderr);
       }
+      if (g_promote.exchange(false, std::memory_order_relaxed)) {
+        // Refuse while any follower tenant is diverged — a diverged
+        // store serving admits would hand out wrong answers; the
+        // operator re-seeds (restart the standby) instead.
+        bool diverged = false;
+        server.tenants().for_each([&](net::Tenant& t) {
+          if (t.diverged()) {
+            std::fprintf(stderr, "promote refused: tenant %s diverged: %s\n",
+                         t.name().c_str(), t.diverged_reason().c_str());
+            diverged = true;
+          }
+        });
+        if (!diverged) {
+          const std::uint64_t n = server.promote();
+          std::printf("promoted: %llu tenant(s) now serving\n",
+                      static_cast<unsigned long long>(n));
+          std::fflush(stdout);
+        }
+      }
     }
+    if (shipper) shipper->stop();
 
     // SIGTERM drain: every tenant journal fdatasynced while no request
     // is in flight (the loop is stopped) — a restart recovers exactly

@@ -742,6 +742,83 @@ SnapshotMeta load_snapshot(AdmissionEngine& out, const std::string& path) {
   }
 }
 
+void apply_record(AdmissionController& out,
+                  std::span<const std::uint8_t> payload,
+                  ReplayObserver* observer) {
+  const Record rec = decode_record(payload);
+  switch (rec.op) {
+    case JournalOp::Admit: {
+      const AdmissionDecision d = out.try_admit(rec.task);
+      if (observer != nullptr) observer->on_admit(d);
+      break;
+    }
+    case JournalOp::AdmitGroup: {
+      const GroupDecision d = out.admit_group(rec.group);
+      if (observer != nullptr) observer->on_admit_group(d);
+      break;
+    }
+    case JournalOp::Remove: {
+      const bool removed = out.remove(rec.id);
+      if (observer != nullptr) observer->on_remove(rec.id, removed);
+      break;
+    }
+    case JournalOp::RemoveGroup: {
+      const std::size_t removed = out.remove_group(rec.ids);
+      if (observer != nullptr) {
+        observer->on_remove_group(rec.ids, removed);
+      }
+      break;
+    }
+    case JournalOp::ClientMark:
+      // Pure annotation — no controller state change. The observer
+      // learns which (client, request_id) the NEXT record's outcome
+      // belongs to.
+      if (observer != nullptr) {
+        observer->on_mark(rec.client, rec.request_id, rec.mark_flags);
+      }
+      break;
+    default:
+      throw PersistError(PersistErrc::BadValue,
+                         "engine record in controller journal");
+  }
+}
+
+std::vector<std::uint8_t> encode_snapshot(
+    const AdmissionController& controller, std::uint64_t journal_lsn) {
+  persist::SectionWriter sw;
+  encode_meta(sw, SnapshotKind::Controller, journal_lsn);
+  SnapshotCodec::encode_controller(controller, sw.begin(kSecController));
+  return sw.encode();
+}
+
+SnapshotMeta load_snapshot_bytes(AdmissionController& out,
+                                 std::vector<std::uint8_t> bytes) {
+  try {
+    const persist::SectionReader sr(std::move(bytes));
+    const SnapshotMeta meta = decode_meta(sr, SnapshotKind::Controller);
+    ByteReader r = sr.section(kSecController);
+    SnapshotCodec::decode_controller(out, r);
+    return meta;
+  } catch (const std::out_of_range&) {
+    throw PersistError(PersistErrc::Truncated, "snapshot bytes");
+  }
+}
+
+SnapshotMeta read_snapshot_meta(std::vector<std::uint8_t> bytes) {
+  try {
+    const persist::SectionReader sr(std::move(bytes));
+    return decode_meta(sr, SnapshotKind::Controller);
+  } catch (const std::out_of_range&) {
+    throw PersistError(PersistErrc::Truncated, "snapshot bytes");
+  }
+}
+
+std::uint32_t store_digest(const AdmissionController& controller) {
+  ByteWriter w;
+  SnapshotCodec::encode_controller(controller, w);
+  return crc32(w.data());
+}
+
 RecoveryResult recover(AdmissionController& out,
                        const std::string& snapshot_path,
                        const std::string& journal_path,
@@ -780,43 +857,7 @@ RecoveryResult recover(AdmissionController& out,
       }
       for (std::uint64_t i = result.snapshot_lsn - scan.base_lsn;
            i < scan.records.size(); ++i) {
-        const Record rec = decode_record(scan.records[i]);
-        switch (rec.op) {
-          case JournalOp::Admit: {
-            const AdmissionDecision d = out.try_admit(rec.task);
-            if (observer != nullptr) observer->on_admit(d);
-            break;
-          }
-          case JournalOp::AdmitGroup: {
-            const GroupDecision d = out.admit_group(rec.group);
-            if (observer != nullptr) observer->on_admit_group(d);
-            break;
-          }
-          case JournalOp::Remove: {
-            const bool removed = out.remove(rec.id);
-            if (observer != nullptr) observer->on_remove(rec.id, removed);
-            break;
-          }
-          case JournalOp::RemoveGroup: {
-            const std::size_t removed = out.remove_group(rec.ids);
-            if (observer != nullptr) {
-              observer->on_remove_group(rec.ids, removed);
-            }
-            break;
-          }
-          case JournalOp::ClientMark:
-            // Pure annotation — no controller state change. The
-            // observer learns which (client, request_id) the NEXT
-            // record's outcome belongs to.
-            if (observer != nullptr) {
-              observer->on_mark(rec.client, rec.request_id,
-                                rec.mark_flags);
-            }
-            break;
-          default:
-            throw PersistError(PersistErrc::BadValue,
-                               "engine record in controller journal");
-        }
+        apply_record(out, scan.records[i], observer);
         ++result.replayed;
       }
     }

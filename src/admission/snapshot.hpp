@@ -189,6 +189,42 @@ RecoveryResult recover(AdmissionEngine& out,
                        const std::string& snapshot_path,
                        const std::string& journal_path);
 
+/// Apply ONE journal record payload through the normal controller
+/// entry points — the body of recover()'s replay loop, exposed so a
+/// replication follower (src/repl/) can run the recovery path
+/// *continuously*, record by record, as the primary ships them.
+/// The caller is responsible for journal discipline: a follower keeps
+/// its controller's journal detached and appends the shipped bytes to
+/// its local journal itself (byte-identical WAL), then applies here.
+/// \throws PersistError on a malformed or engine-level record.
+void apply_record(AdmissionController& out,
+                  std::span<const std::uint8_t> payload,
+                  ReplayObserver* observer = nullptr);
+
+/// save_snapshot()'s container as bytes — what a REPL_SNAPSHOT frame
+/// carries when a follower is (re-)seeded.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const AdmissionController& controller, std::uint64_t journal_lsn = 0);
+
+/// load_snapshot() from bytes (same container, no file).
+SnapshotMeta load_snapshot_bytes(AdmissionController& out,
+                                 std::vector<std::uint8_t> bytes);
+
+/// Decode only the meta section (kind + journal LSN) of a controller
+/// snapshot container — how the shipper labels a snapshot it forwards
+/// without paying for a store decode.
+[[nodiscard]] SnapshotMeta read_snapshot_meta(
+    std::vector<std::uint8_t> bytes);
+
+/// CRC32 over the snapshot codec's serialized store: options, stats,
+/// decision sequence, and the complete demand store — everything the
+/// decision paths read, nothing transient. Two controllers with equal
+/// digests are bit-identical deciders from here on; this is the
+/// replication divergence check (primary and follower exchange digests
+/// at matching journal LSNs).
+[[nodiscard]] std::uint32_t store_digest(
+    const AdmissionController& controller);
+
 /// Periodic engine checkpointing: a background thread that
 /// save_snapshot()s the engine every `interval` (first write one
 /// interval after start). flush_now() forces a synchronous checkpoint

@@ -161,7 +161,8 @@ inline constexpr const char* kPersistSites[] = {
     "journal.open.truncate", "journal.append.write",
     "journal.append.fsync",  "journal.append.truncate_back",
     "journal.rotate.fsync",  "journal.rotate.open",
-    "journal.sync.fsync",    "snapshot.tmp.open",
+    "journal.sync.fsync",    "journal.tail.open",
+    "journal.tail.read",     "snapshot.tmp.open",
     "snapshot.tmp.write",    "snapshot.tmp.fsync",
     "snapshot.rename",
 };
@@ -169,6 +170,13 @@ inline constexpr const char* kPersistSites[] = {
 /// The server's post-commit response drop (emulates a kill between
 /// commit and reply — the exactly-once retry differential arms it).
 inline constexpr const char* kDropResponseSite = "net.server.drop_response";
+
+/// The replication shipper's post-read payload corruption: flip one
+/// byte of a shipped record AFTER it left the journal (its wire CRC is
+/// computed over the corrupt bytes, so framing passes) — the digest
+/// divergence differential arms it to prove a follower detects and
+/// re-seeds rather than silently diverging.
+inline constexpr const char* kReplCorruptSite = "repl.ship.corrupt";
 
 #define EDFKIT_FAULT_POINT(name_literal)                          \
   ([]() -> ::edfkit::fault::FailPoint& {                          \

@@ -224,8 +224,18 @@ RetryingClient::RetryingClient(std::string host, std::uint16_t port,
                                persist::FsyncPolicy fsync,
                                std::uint64_t fsync_interval,
                                std::uint8_t hello_flags)
-    : host_(std::move(host)),
-      port_(port),
+    : RetryingClient(
+          std::vector<Endpoint>{Endpoint{std::move(host), port}},
+          std::move(tenant), std::move(client_id), policy, fsync,
+          fsync_interval, hello_flags) {}
+
+RetryingClient::RetryingClient(std::vector<Endpoint> endpoints,
+                               std::string tenant, std::string client_id,
+                               RetryPolicy policy,
+                               persist::FsyncPolicy fsync,
+                               std::uint64_t fsync_interval,
+                               std::uint8_t hello_flags)
+    : endpoints_(std::move(endpoints)),
       tenant_(std::move(tenant)),
       client_id_(std::move(client_id)),
       policy_(policy),
@@ -236,11 +246,34 @@ RetryingClient::RetryingClient(std::string host, std::uint16_t port,
                             : (static_cast<std::uint64_t>(
                                    std::random_device{}())
                                    << 32) |
-                                  std::random_device{}()) {}
+                                  std::random_device{}()) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("RetryingClient: empty endpoint list");
+  }
+}
+
+void RetryingClient::rotate_endpoint() {
+  if (endpoints_.size() < 2) return;
+  endpoint_idx_ = (endpoint_idx_ + 1) % endpoints_.size();
+  ++failovers_;
+  unavailable_streak_ = 0;
+}
 
 void RetryingClient::ensure_connected() {
   if (conn_.connected()) return;
-  conn_ = Client::connect(host_, port_, policy_.connect_timeout_ms);
+  // Walk the endpoint list starting from the one that last worked: a
+  // connect failure rotates to the next, and only when every endpoint
+  // refused does the last error reach call()'s attempt accounting.
+  for (std::size_t tried = 0;; ++tried) {
+    const Endpoint& ep = endpoints_[endpoint_idx_];
+    try {
+      conn_ = Client::connect(ep.host, ep.port, policy_.connect_timeout_ms);
+      break;
+    } catch (const std::exception&) {
+      if (tried + 1 >= endpoints_.size()) throw;
+      rotate_endpoint();
+    }
+  }
   conn_.set_timeouts(policy_.send_timeout_ms, policy_.receive_timeout_ms);
   ++reconnects_;
   const NetResponse h =
@@ -254,22 +287,40 @@ void RetryingClient::ensure_connected() {
   }
   if (epoch_ != 0 && h.epoch != epoch_) ++epoch_changes_;
   epoch_ = h.epoch;
+  highest_applied_ = h.highest_applied;
   // Resume ids above what the server already applied for us: after a
   // server restart the dedup window was rebuilt from the journal, and
   // after a client restart this seeds the id sequence correctly.
   next_id_ = std::max(next_id_, h.highest_applied + 1);
+  // Re-drive hook: the caller gets a look at the fresh endpoint's
+  // highest_applied before the in-flight request goes out, so lost
+  // acked ops are re-applied in their original order ahead of it.
+  if (on_reconnect_ && !in_reconnect_cb_) {
+    in_reconnect_cb_ = true;
+    try {
+      on_reconnect_();
+    } catch (...) {
+      in_reconnect_cb_ = false;
+      throw;
+    }
+    in_reconnect_cb_ = false;
+  }
 }
 
 void RetryingClient::backoff_sleep(std::uint64_t floor_ms) {
   // Decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)),
-  // floored by the server's retry_after_ms hint when it gave one.
+  // floored by the server's retry_after_ms hint when it gave one. The
+  // floor wins over the cap: the hint is the server saying when it
+  // will be ready — sleeping less just burns an attempt (a cap below
+  // the hint used to undercut it here).
   const std::uint64_t base = std::max<std::uint64_t>(
       1, std::max(policy_.backoff_base_ms, floor_ms));
   const std::uint64_t hi =
       std::max(base + 1, std::min(policy_.backoff_cap_ms,
                                   std::max(prev_sleep_ms_, base) * 3));
   std::uniform_int_distribution<std::uint64_t> dist(base, hi);
-  prev_sleep_ms_ = std::min(policy_.backoff_cap_ms, dist(rng_));
+  prev_sleep_ms_ =
+      std::max(floor_ms, std::min(policy_.backoff_cap_ms, dist(rng_)));
   std::this_thread::sleep_for(
       std::chrono::milliseconds(prev_sleep_ms_));
 }
@@ -279,13 +330,15 @@ NetResponse RetryingClient::call(NetRequest req) {
   // advance next_id_ past what the server already applied for this
   // client — and reused verbatim on every resend. That is what makes
   // the server's dedup window able to recognize a retry of an
-  // already-applied operation.
-  std::uint64_t id = 0;
+  // already-applied operation. A caller-preset nonzero id survives
+  // as-is (the failover re-drive path).
+  std::uint64_t id = req.hdr.request_id;
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       ensure_connected();
       if (id == 0) id = next_id_++;
       req.hdr.request_id = id;
+      last_id_ = id;
       NetRequest copy = req;
       (void)conn_.send(std::move(copy));
       const NetResponse resp = conn_.receive();
@@ -293,11 +346,26 @@ NetResponse RetryingClient::call(NetRequest req) {
       if (st == NetStatus::Unavailable || st == NetStatus::Shed) {
         // Transient by contract: the op was NOT applied. Honor the
         // server's retry hint, then resend the same id.
+        if (st == NetStatus::Unavailable) {
+          // A persistent-Unavailable endpoint is likely an unpromoted
+          // standby (or a dead tenant) — walk to the next endpoint
+          // rather than burning every attempt against it. Shed resets
+          // the streak: a shedding server is alive, just busy.
+          if (++unavailable_streak_ >=
+                  policy_.failover_after_unavailable &&
+              endpoints_.size() > 1) {
+            conn_.close();
+            rotate_endpoint();
+          }
+        } else {
+          unavailable_streak_ = 0;
+        }
         if (attempt >= policy_.max_attempts) return resp;
         ++retries_;
         backoff_sleep(resp.retry_after_ms);
         continue;
       }
+      unavailable_streak_ = 0;
       return resp;
     } catch (const std::system_error&) {
       conn_.close();

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -115,11 +116,27 @@ struct RetryPolicy {
   /// the last failure.
   std::size_t max_attempts = 8;
   /// Decorrelated-jitter backoff (AWS architecture blog shape):
-  /// sleep = min(cap, uniform(base, prev * 3)).
+  /// sleep = min(cap, uniform(base, prev * 3)) — except that a server
+  /// retry_after_ms hint is a hard floor, even above the cap (the
+  /// server knows when it will be ready; sleeping less only burns
+  /// attempts).
   std::uint64_t backoff_base_ms = 10;
   std::uint64_t backoff_cap_ms = 2000;
   /// Jitter RNG seed; 0 = seed from std::random_device.
   std::uint64_t seed = 0;
+  /// Failover: consecutive Unavailable answers from one endpoint
+  /// before rotating to the next (a standby answers every mutating op
+  /// Unavailable until promoted, so a client that lands on one walks
+  /// on after this many; a primary's transient quarantine rides out
+  /// shorter streaks in place). Connect failures rotate immediately.
+  std::size_t failover_after_unavailable = 3;
+};
+
+/// One server address. RetryingClient accepts a list: the first is the
+/// primary, the rest are standbys in preference order.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
 };
 
 /// Exactly-once calls over an unreliable server: each request gets a
@@ -131,6 +148,15 @@ struct RetryPolicy {
 /// from the cached result, so an op is never applied twice even when
 /// only the response was lost. Non-transient statuses (BadRequest,
 /// Rejected, ...) are returned to the caller, not retried.
+///
+/// Failover: constructed with an endpoint list, the client walks it —
+/// a connect failure rotates immediately, a persistent-Unavailable
+/// streak (RetryPolicy::failover_after_unavailable) rotates too — and
+/// resends in-flight requests under their original ids. Because the
+/// standby's dedup windows replicate from the primary (ClientMark
+/// records + snapshot sidecars, src/repl/), an op the primary applied
+/// before dying is answered from the standby's cache, and one it never
+/// applied executes exactly once on the promoted standby.
 class RetryingClient {
  public:
   RetryingClient(std::string host, std::uint16_t port, std::string tenant,
@@ -138,11 +164,20 @@ class RetryingClient {
                  persist::FsyncPolicy fsync = persist::FsyncPolicy::None,
                  std::uint64_t fsync_interval = 64,
                  std::uint8_t hello_flags = 0);
+  /// Failover-aware: `endpoints` in preference order (front first).
+  /// \throws std::invalid_argument when the list is empty.
+  RetryingClient(std::vector<Endpoint> endpoints, std::string tenant,
+                 std::string client_id, RetryPolicy policy = {},
+                 persist::FsyncPolicy fsync = persist::FsyncPolicy::None,
+                 std::uint64_t fsync_interval = 64,
+                 std::uint8_t hello_flags = 0);
 
-  /// One exactly-once round trip. Fills hdr.request_id itself (callers
-  /// leave it zero). \throws the last transport error (std::system_error
-  /// / NetTimeout) after max_attempts, std::runtime_error on framing
-  /// violations.
+  /// One exactly-once round trip. Fills hdr.request_id itself when the
+  /// caller leaves it zero; a pre-set nonzero id is kept verbatim — the
+  /// failover re-drive path resends lost acked operations under their
+  /// original ids this way. \throws the last transport error
+  /// (std::system_error / NetTimeout) after max_attempts,
+  /// std::runtime_error on framing violations.
   [[nodiscard]] NetResponse call(NetRequest req);
 
   /// Convenience wrappers over call().
@@ -164,13 +199,44 @@ class RetryingClient {
   }
   /// Resends after a transport failure or Unavailable/Shed answer.
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Endpoint rotations (0 with a single endpoint).
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_;
+  }
+  /// The endpoint the connection currently targets.
+  [[nodiscard]] const Endpoint& endpoint() const noexcept {
+    return endpoints_[endpoint_idx_];
+  }
+  /// highest_applied from the most recent HELLO: the server-side
+  /// watermark of this client's applied ids. After a failover the
+  /// caller compares it against its own last-acked id and re-drives
+  /// the gap (ids above the watermark were lost with the primary).
+  [[nodiscard]] std::uint64_t highest_applied() const noexcept {
+    return highest_applied_;
+  }
+  /// The request_id the most recent call() used (0 before the first).
+  /// Failover drivers record it per request so the re-drive hook can
+  /// resend lost acked operations under their original ids.
+  [[nodiscard]] std::uint64_t last_request_id() const noexcept {
+    return last_id_;
+  }
+  /// Invoked after every successful (re)connect + HELLO, *before* the
+  /// in-flight request is resent — the failover re-drive hook. The
+  /// callback typically compares highest_applied() against its own
+  /// last-acked id and re-calls the gap under original ids (calling
+  /// back into call() is supported; a reconnect that happens inside
+  /// the callback does not re-fire it, so re-drive cannot recurse).
+  void set_on_reconnect(std::function<void()> cb) {
+    on_reconnect_ = std::move(cb);
+  }
 
  private:
   void ensure_connected();
   void backoff_sleep(std::uint64_t floor_ms);
+  void rotate_endpoint();
 
-  std::string host_;
-  std::uint16_t port_;
+  std::vector<Endpoint> endpoints_;
+  std::size_t endpoint_idx_ = 0;
   std::string tenant_;
   std::string client_id_;
   RetryPolicy policy_;
@@ -183,6 +249,12 @@ class RetryingClient {
   std::uint64_t epoch_changes_ = 0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t highest_applied_ = 0;
+  std::uint64_t last_id_ = 0;
+  std::size_t unavailable_streak_ = 0;
+  std::function<void()> on_reconnect_;
+  bool in_reconnect_cb_ = false;
   std::uint64_t prev_sleep_ms_ = 0;
   std::mt19937_64 rng_;
 };

@@ -71,6 +71,11 @@ const char* to_string(NetOp op) noexcept {
     case NetOp::RemoveGroup: return "remove_group";
     case NetOp::Stats: return "stats";
     case NetOp::Ping: return "ping";
+    case NetOp::ReplHello: return "repl_hello";
+    case NetOp::ReplAppend: return "repl_append";
+    case NetOp::ReplAck: return "repl_ack";
+    case NetOp::ReplSnapshot: return "repl_snapshot";
+    case NetOp::Promote: return "promote";
   }
   return "unknown";
 }
@@ -142,8 +147,31 @@ std::vector<std::uint8_t> encode_request(const NetRequest& r) {
       w.u32(static_cast<std::uint32_t>(r.ids.size()));
       for (const TaskId id : r.ids) w.u64(id);
       break;
+    case NetOp::ReplHello:
+      w.str(r.tenant);
+      w.u8(r.durability);
+      w.u64(r.fsync_interval);
+      break;
+    case NetOp::ReplAppend:
+      w.str(r.tenant);
+      w.u64(r.repl_lsn);
+      w.u32(static_cast<std::uint32_t>(r.repl_records.size()));
+      for (const std::vector<std::uint8_t>& rec : r.repl_records) {
+        w.blob(rec);
+      }
+      w.u64(r.digest_lsn);
+      w.u32(r.digest);
+      break;
+    case NetOp::ReplSnapshot:
+      w.str(r.tenant);
+      w.u64(r.repl_lsn);
+      w.blob(r.repl_snapshot);
+      w.blob(r.repl_dedup);
+      break;
     case NetOp::Stats:
     case NetOp::Ping:
+    case NetOp::ReplAck:   // never a request body
+    case NetOp::Promote:
       break;  // header-only
   }
   return w.take();
@@ -184,8 +212,35 @@ NetRequest decode_request(std::span<const std::uint8_t> payload) {
       for (std::uint32_t i = 0; i < n; ++i) out.ids.push_back(r.u64());
       break;
     }
+    case NetOp::ReplHello:
+      out.tenant = r.str();
+      out.durability = r.u8();
+      out.fsync_interval = r.u64();
+      break;
+    case NetOp::ReplAppend: {
+      out.tenant = r.str();
+      out.repl_lsn = r.u64();
+      const std::uint32_t n = r.u32();
+      // Each record frame is at least 4 bytes (its length prefix).
+      if (n > payload.size() / 4) throw std::out_of_range("record count");
+      out.repl_records.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out.repl_records.push_back(r.blob());
+      }
+      out.digest_lsn = r.u64();
+      out.digest = r.u32();
+      break;
+    }
+    case NetOp::ReplSnapshot:
+      out.tenant = r.str();
+      out.repl_lsn = r.u64();
+      out.repl_snapshot = r.blob();
+      out.repl_dedup = r.blob();
+      break;
     case NetOp::Stats:
     case NetOp::Ping:
+    case NetOp::ReplAck:
+    case NetOp::Promote:
       break;
     default:
       break;  // unknown op: header only, caller answers UnknownOp
@@ -239,6 +294,20 @@ std::vector<std::uint8_t> encode_response(const NetResponse& r) {
       w.f64(r.stats.utilization);
       w.f64(r.stats.cert_ratio);
       w.str(r.stats_json);
+      break;
+    case NetOp::ReplHello:
+    case NetOp::ReplAppend:
+    case NetOp::ReplAck:
+    case NetOp::ReplSnapshot:
+      // All follower-side repl ops answer with the ack body (the
+      // server sets hdr.op = ReplAck; the shared case keeps echoed-op
+      // responses decodable too).
+      w.u64(r.base_lsn);
+      w.u64(r.lsn);
+      w.u8(r.repl_flags);
+      break;
+    case NetOp::Promote:
+      w.u64(r.promoted);
       break;
     case NetOp::Ping:
       break;
@@ -302,6 +371,17 @@ NetResponse decode_response(std::span<const std::uint8_t> payload) {
       out.stats.utilization = r.f64();
       out.stats.cert_ratio = r.f64();
       out.stats_json = r.str();
+      break;
+    case NetOp::ReplHello:
+    case NetOp::ReplAppend:
+    case NetOp::ReplAck:
+    case NetOp::ReplSnapshot:
+      out.base_lsn = r.u64();
+      out.lsn = r.u64();
+      out.repl_flags = r.u8();
+      break;
+    case NetOp::Promote:
+      out.promoted = r.u64();
       break;
     case NetOp::Ping:
       break;

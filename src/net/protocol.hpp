@@ -70,8 +70,22 @@ enum class NetOp : std::uint8_t {
   RemoveGroup = 5,
   Stats = 6,
   Ping = 7,
+  /// Replication (src/repl/): a primary's shipper speaks these to a
+  /// standby server over the same framing. REPL_HELLO opens (or
+  /// recovers) the follower tenant and reports its applied window;
+  /// REPL_APPEND ships a batch of raw journal record payloads starting
+  /// at a named LSN, optionally carrying a store digest to verify at a
+  /// matching LSN; REPL_ACK is the response op for all three
+  /// follower-side ops (applied window + condition flags);
+  /// REPL_SNAPSHOT (re-)seeds the follower from a snapshot container +
+  /// dedup sidecar; PROMOTE turns the standby into a serving primary.
+  ReplHello = 8,
+  ReplAppend = 9,
+  ReplAck = 10,
+  ReplSnapshot = 11,
+  Promote = 12,
 };
-inline constexpr std::size_t kNetOpCount = 8;  ///< incl. slot 0 = unknown
+inline constexpr std::size_t kNetOpCount = 13;  ///< incl. slot 0 = unknown
 
 [[nodiscard]] const char* to_string(NetOp op) noexcept;
 
@@ -106,6 +120,16 @@ inline constexpr std::uint8_t kFlagCertifiedTenant = 1u << 2;
 /// Response flags.
 inline constexpr std::uint8_t kFlagHasCertificate = 1u << 0;
 
+/// REPL_ACK condition flags (NetResponse::repl_flags).
+/// The follower cannot apply from the shipped LSN (gap, unknown
+/// tenant, or fresh follower behind the primary's rotated journal) —
+/// the shipper must REPL_SNAPSHOT before appending further.
+inline constexpr std::uint8_t kReplNeedSnapshot = 1u << 0;
+/// A digest check failed: the follower's store is NOT bit-identical.
+/// It refuses further appends (and promotion) for this tenant until
+/// re-seeded — divergence is a hard fault, never served.
+inline constexpr std::uint8_t kReplDiverged = 1u << 1;
+
 struct MessageHeader {
   std::uint8_t version = kProtocolVersion;
   std::uint8_t op = 0;
@@ -137,6 +161,25 @@ struct NetRequest {
   TaskId id = 0;
   // RemoveGroup
   std::vector<TaskId> ids;
+  // ReplAppend: LSN of repl_records[0]; ReplSnapshot: the journal LSN
+  // the snapshot reflects (the follower's journal restarts there).
+  std::uint64_t repl_lsn = 0;
+  /// ReplAppend: raw journal record payloads (exactly the bytes the
+  /// primary journaled — the follower appends them verbatim, keeping
+  /// its WAL byte-identical), consecutive from repl_lsn.
+  std::vector<std::vector<std::uint8_t>> repl_records;
+  /// ReplAppend: primary store digest taken at digest_lsn (0 = none
+  /// attached). The follower recomputes when its applied LSN reaches
+  /// digest_lsn — possibly mid-batch — and flags kReplDiverged on
+  /// mismatch. A 0-record append with a digest is a pure check (idle
+  /// primaries still verify within one interval).
+  std::uint64_t digest_lsn = 0;
+  std::uint32_t digest = 0;
+  /// ReplSnapshot: snapshot container bytes (empty = reset the
+  /// follower tenant to empty at repl_lsn 0) + dedup sidecar bytes
+  /// (empty = no sessions), as written by the primary's checkpoint.
+  std::vector<std::uint8_t> repl_snapshot;
+  std::vector<std::uint8_t> repl_dedup;
 };
 
 /// One response, union-style.
@@ -166,6 +209,11 @@ struct NetResponse {
   std::uint64_t highest_applied = 0;
   // Shed / Unavailable
   std::uint32_t retry_after_ms = 0;
+  /// ReplAck (reusing base_lsn/lsn for the follower's on-disk window
+  /// and applied LSN): condition flags, kRepl* above.
+  std::uint8_t repl_flags = 0;
+  /// Promote: tenants switched to serving.
+  std::uint64_t promoted = 0;
 };
 
 // ----------------------------------------------------------- framing

@@ -15,9 +15,11 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "admission/snapshot.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "persist/format.hpp"
+#include "repl/shipper.hpp"
 
 namespace edfkit::net {
 
@@ -46,8 +48,11 @@ Server::Server(ServerOptions opts, obs::Obs* obs)
       obs_(obs),
       metrics_(obs != nullptr && obs->config().metrics ? obs->net()
                                                        : nullptr),
+      repl_ins_(obs != nullptr && obs->config().metrics ? obs->repl()
+                                                        : nullptr),
       tenants_(opts_.tenants, obs),
-      shed_(opts_.shed) {
+      shed_(opts_.shed),
+      standby_(opts_.tenants.standby) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) throw_errno("epoll_create1");
 
@@ -150,7 +155,37 @@ bool Server::poll_once(int timeout_ms) {
   serve_pending();
   sweep_idle();
   reprobe_quarantined();
+  push_digests();
   return served;
+}
+
+void Server::push_digests() {
+  if (opts_.shipper == nullptr || standby_ ||
+      opts_.digest_interval_ms == 0) {
+    return;
+  }
+  const std::uint64_t now = obs::now_ns();
+  if (now < next_digest_ns_) return;
+  next_digest_ns_ = now + opts_.digest_interval_ms * 1000000ull;
+  tenants_.for_each([&](Tenant& t) {
+    if (!t.journaled() || t.quarantined()) return;
+    opts_.shipper->push_digest(t.name(), t.journal_lsn(),
+                               store_digest(t.controller()));
+  });
+}
+
+std::uint64_t Server::promote() {
+  if (!standby_) return 0;
+  std::uint64_t n = 0;
+  tenants_.for_each([&](Tenant& t) {
+    if (t.standby()) {
+      t.promote();
+      ++n;
+    }
+  });
+  tenants_.set_standby(false);
+  standby_ = false;
+  return n;
 }
 
 void Server::accept_ready() {
@@ -275,8 +310,8 @@ void Server::serve_pending() {
     // Containment: no per-request failure may take down the event loop
     // (persist failures are handled — and quarantined — inside
     // serve_one; this is the backstop for everything else).
-    if (c.fuse && c.tenant != nullptr && c.client_id.empty() &&
-        !c.tenant->quarantined() &&
+    if (!standby_ && c.fuse && c.tenant != nullptr &&
+        c.client_id.empty() && !c.tenant->quarantined() &&
         req.hdr.op == static_cast<std::uint8_t>(NetOp::Admit) &&
         req.hdr.version == kProtocolVersion) {
       // Extend the fuse run: consecutive single ADMITs for the same
@@ -362,6 +397,17 @@ void Server::serve_one(Connection& c, const NetRequest& req,
       op == NetOp::Admit || op == NetOp::AdmitGroup ||
       op == NetOp::Remove || op == NetOp::RemoveGroup;
   const bool marked = mutating && !c.client_id.empty();
+
+  // Standby gate, ahead of even the dedup lookup: a follower must not
+  // answer mutating client ops at all before promotion — not even from
+  // its dedup cache, whose authoritative copy is still the primary's.
+  // HELLO/STATS/PING stay up (health checks, pre-failover probes).
+  if (standby_ && mutating && req.hdr.version == kProtocolVersion) {
+    unavailable();
+    finish_op_ns();
+    send_response(c, resp);
+    return;
+  }
 
   // Exactly-once and failure-domain gates, ahead of op dispatch.
   if (req.hdr.version == kProtocolVersion && mutating &&
@@ -561,6 +607,30 @@ void Server::serve_one(Connection& c, const NetRequest& req,
         resp.stats_json = ctl.stats().to_json();
         break;
       }
+      case NetOp::ReplHello:
+        serve_repl_hello(req, resp);
+        break;
+      case NetOp::ReplAppend:
+        serve_repl_append(req, resp);
+        break;
+      case NetOp::ReplSnapshot:
+        serve_repl_snapshot(req, resp);
+        break;
+      case NetOp::Promote: {
+        if (standby_) {
+          // A diverged follower must never serve: refuse until the
+          // shipper re-seeds it (or an operator intervenes).
+          bool diverged = false;
+          tenants_.for_each(
+              [&](Tenant& t) { diverged = diverged || t.diverged(); });
+          if (diverged) {
+            unavailable();
+            break;
+          }
+        }
+        resp.promoted = promote();
+        break;
+      }
       default:
         fail(NetStatus::UnknownOp);
         break;
@@ -582,6 +652,155 @@ void Server::serve_one(Connection& c, const NetRequest& req,
     } catch (const persist::PersistError& e) {
       quarantine_tenant(*tenant, e);
     }
+  }
+}
+
+void Server::serve_repl_hello(const NetRequest& req, NetResponse& resp) {
+  const auto fail = [&](NetStatus s) {
+    resp.hdr.status = static_cast<std::uint8_t>(s);
+  };
+  if (!standby_) {
+    fail(NetStatus::BadRequest);  // repl ops address followers only
+    return;
+  }
+  if (req.durability >
+      static_cast<std::uint8_t>(persist::FsyncPolicy::EveryN)) {
+    fail(NetStatus::BadRequest);
+    return;
+  }
+  try {
+    Tenant& t = tenants_.get_or_create(
+        req.tenant, static_cast<persist::FsyncPolicy>(req.durability),
+        req.fsync_interval, false);
+    resp.base_lsn = t.journal_base_lsn();
+    resp.lsn = t.replica_lsn();
+    resp.epoch = t.epoch();
+    if (t.diverged()) resp.repl_flags |= kReplDiverged;
+    if (t.quarantined()) {
+      fail(NetStatus::Unavailable);
+      resp.retry_after_ms =
+          static_cast<std::uint32_t>(opts_.reprobe_interval_ms);
+      if (metrics_ != nullptr) metrics_->unavailable.add();
+    }
+  } catch (const std::invalid_argument&) {
+    fail(NetStatus::BadRequest);
+  } catch (const persist::PersistError&) {
+    fail(NetStatus::InternalError);
+  }
+}
+
+void Server::serve_repl_append(const NetRequest& req, NetResponse& resp) {
+  const auto fail = [&](NetStatus s) {
+    resp.hdr.status = static_cast<std::uint8_t>(s);
+  };
+  if (!standby_) {
+    fail(NetStatus::BadRequest);
+    return;
+  }
+  Tenant* t = tenants_.find(req.tenant);
+  if (t == nullptr) {
+    // The shipper skipped REPL_HELLO (or we restarted): make it seed.
+    resp.repl_flags |= kReplNeedSnapshot;
+    return;
+  }
+  if (t->quarantined()) {
+    fail(NetStatus::Unavailable);
+    resp.retry_after_ms =
+        static_cast<std::uint32_t>(opts_.reprobe_interval_ms);
+    if (metrics_ != nullptr) metrics_->unavailable.add();
+    return;
+  }
+  resp.base_lsn = t->journal_base_lsn();
+  resp.lsn = t->replica_lsn();
+  if (t->diverged()) {
+    resp.repl_flags |= kReplDiverged;
+    return;
+  }
+  // Verify an attached digest whenever the applied LSN reaches its LSN
+  // — before the batch (a pure check), between records (mid-batch), or
+  // after the last one.
+  const auto check_digest = [&] {
+    if (req.digest_lsn == 0 || t->replica_lsn() != req.digest_lsn ||
+        (resp.repl_flags & kReplDiverged) != 0) {
+      return;
+    }
+    if (repl_ins_ != nullptr) repl_ins_->digests_checked.add();
+    const std::uint32_t mine = store_digest(t->controller());
+    if (mine != req.digest) {
+      t->mark_diverged("store digest mismatch at lsn " +
+                       std::to_string(req.digest_lsn));
+      resp.repl_flags |= kReplDiverged;
+    }
+  };
+  check_digest();
+  std::uint64_t rlsn = req.repl_lsn;
+  try {
+    for (const auto& record : req.repl_records) {
+      if ((resp.repl_flags & kReplDiverged) != 0) break;
+      if (rlsn < t->replica_lsn()) {
+        ++rlsn;  // idempotent resend of an already-applied prefix
+        continue;
+      }
+      if (rlsn > t->replica_lsn()) {
+        resp.repl_flags |= kReplNeedSnapshot;  // gap — records were lost
+        break;
+      }
+      t->apply_replicated(record);
+      if (repl_ins_ != nullptr) repl_ins_->applied.add();
+      ++rlsn;
+      check_digest();
+    }
+  } catch (const persist::PersistError& e) {
+    quarantine_tenant(*t, e);
+    fail(NetStatus::Unavailable);
+    resp.retry_after_ms =
+        static_cast<std::uint32_t>(opts_.reprobe_interval_ms);
+    if (metrics_ != nullptr) metrics_->unavailable.add();
+  } catch (const std::out_of_range&) {
+    // A record that cannot be decoded is corruption the wire CRC did
+    // not catch (it was computed over the corrupt bytes): divergence.
+    t->mark_diverged("undecodable shipped record at lsn " +
+                     std::to_string(rlsn));
+    resp.repl_flags |= kReplDiverged;
+  }
+  resp.base_lsn = t->journal_base_lsn();
+  resp.lsn = t->replica_lsn();
+}
+
+void Server::serve_repl_snapshot(const NetRequest& req, NetResponse& resp) {
+  const auto fail = [&](NetStatus s) {
+    resp.hdr.status = static_cast<std::uint8_t>(s);
+  };
+  if (!standby_) {
+    fail(NetStatus::BadRequest);
+    return;
+  }
+  Tenant* t = tenants_.find(req.tenant);
+  try {
+    if (t == nullptr) {
+      t = &tenants_.get_or_create(req.tenant, persist::FsyncPolicy::None,
+                                  64, false);
+    }
+  } catch (const std::invalid_argument&) {
+    fail(NetStatus::BadRequest);
+    return;
+  } catch (const persist::PersistError&) {
+    fail(NetStatus::InternalError);
+    return;
+  }
+  try {
+    t->seed_from(req.repl_snapshot, req.repl_dedup, req.repl_lsn);
+    if (repl_ins_ != nullptr) repl_ins_->seeds_applied.add();
+    resp.base_lsn = t->journal_base_lsn();
+    resp.lsn = t->replica_lsn();
+  } catch (const persist::PersistError& e) {
+    quarantine_tenant(*t, e);
+    fail(NetStatus::Unavailable);
+    resp.retry_after_ms =
+        static_cast<std::uint32_t>(opts_.reprobe_interval_ms);
+    if (metrics_ != nullptr) metrics_->unavailable.add();
+  } catch (const std::out_of_range&) {
+    fail(NetStatus::BadRequest);  // malformed container
   }
 }
 

@@ -60,7 +60,12 @@
 namespace edfkit::obs {
 class Obs;
 struct NetInstruments;
+struct ReplInstruments;
 }  // namespace edfkit::obs
+
+namespace edfkit::repl {
+class Shipper;
+}
 
 namespace edfkit::net {
 
@@ -86,6 +91,13 @@ struct ServerOptions {
   std::size_t max_outbound_bytes = 4u << 20;
   TenantOptions tenants;
   ShedOptions shed;
+  /// Primary side of replication: when a shipper is attached
+  /// (src/repl/shipper.hpp, owned by the caller, outliving the
+  /// server), the loop pushes a store digest per journaled tenant into
+  /// it every digest_interval_ms — the standby verifies bit-identity
+  /// within one interval of any divergence. 0 disables digests.
+  repl::Shipper* shipper = nullptr;
+  std::uint64_t digest_interval_ms = 250;
 };
 
 class Server {
@@ -116,6 +128,21 @@ class Server {
   [[nodiscard]] std::size_t connections() const noexcept {
     return conns_.size();
   }
+
+  /// True while this server is a replication standby
+  /// (ServerOptions::tenants.standby): it applies REPL_* ops and
+  /// answers every mutating client op Unavailable.
+  [[nodiscard]] bool standby() const noexcept { return standby_; }
+
+  /// Flip standby -> serving primary: every follower tenant attaches
+  /// its controller to the WAL it has been mirroring and mints a fresh
+  /// session epoch; later tenants are created as primaries. Returns
+  /// the number of tenants promoted (0 when already a primary — the
+  /// call is idempotent). The wire PROMOTE op and the server binary's
+  /// promote-on-signal path both land here. Callers must check that no
+  /// tenant is diverged first (the wire handler refuses; direct callers
+  /// share that responsibility).
+  std::uint64_t promote();
 
  private:
   struct Connection {
@@ -159,10 +186,17 @@ class Server {
   void close_connection(int fd);
   void update_epollout(Connection& c);
   void sweep_idle();
+  /// Periodic digest push into the attached shipper (primary only).
+  void push_digests();
+  /// REPL_* op bodies (serve_one dispatches here; standby only).
+  void serve_repl_hello(const NetRequest& req, NetResponse& resp);
+  void serve_repl_append(const NetRequest& req, NetResponse& resp);
+  void serve_repl_snapshot(const NetRequest& req, NetResponse& resp);
 
   ServerOptions opts_;
   obs::Obs* obs_ = nullptr;
   obs::NetInstruments* metrics_ = nullptr;
+  obs::ReplInstruments* repl_ins_ = nullptr;
   TenantTable tenants_;
   ShedPolicy shed_;
   int epoll_fd_ = -1;
@@ -170,7 +204,9 @@ class Server {
   int stop_fd_ = -1;  ///< eventfd; stop() writes, the loop exits
   std::uint16_t port_ = 0;
   bool stop_requested_ = false;
+  bool standby_ = false;
   std::uint64_t next_reprobe_ns_ = 0;
+  std::uint64_t next_digest_ns_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
   std::vector<Pending> pending_;
 };

@@ -139,6 +139,8 @@ Tenant::Tenant(std::string name, const TenantOptions& opts,
       checkpoint_every_(opts.checkpoint_every),
       dedup_window_(opts.dedup_window),
       epoch_(mint_epoch()) {
+  standby_ = opts.standby;
+  if (standby_) standby_rebuild_ = std::make_unique<DedupRebuild>(*this);
   if (!opts.data_dir.empty()) {
     std::filesystem::create_directories(opts.data_dir);
     snapshot_path_ = opts.data_dir + "/" + name_ + ".snap";
@@ -171,8 +173,94 @@ void Tenant::open_artifacts() {
   if (obs_ != nullptr && obs_->config().metrics) {
     journal_->attach_obs(obs_->journal());
   }
-  ctl_.attach_journal(&*journal_);
+  // A standby's controller never journals its own operations — the WAL
+  // is written by apply_replicated() with the primary's exact bytes.
+  ctl_.attach_journal(standby_ ? nullptr : &*journal_);
+  repl_lsn_ = journal_->lsn();
   ops_since_checkpoint_ = 0;
+}
+
+void Tenant::apply_replicated(std::span<const std::uint8_t> payload) {
+  // WAL-before-apply, and byte-identical to the primary's journal: a
+  // follower crash recovers through the ordinary open_artifacts() path
+  // and lands exactly where the primary's record stream left it.
+  if (journal_) (void)journal_->append(payload);
+  apply_record(ctl_, payload, standby_rebuild_.get());
+  ++repl_lsn_;
+  const bool is_mark =
+      !payload.empty() &&
+      payload[0] == static_cast<std::uint8_t>(JournalOp::ClientMark);
+  if (!is_mark) on_operation();
+}
+
+void Tenant::seed_from(std::span<const std::uint8_t> snapshot_bytes,
+                       std::span<const std::uint8_t> dedup_bytes,
+                       std::uint64_t lsn) {
+  ctl_.attach_journal(nullptr);
+  if (journal_) {
+    journal_->attach_obs(nullptr);
+    journal_.reset();
+  }
+  sessions_.clear();
+  if (!snapshot_path_.empty()) {
+    // Persist the primary's artifacts verbatim first: a follower crash
+    // after the seed recovers to exactly the seeded state.
+    if (snapshot_bytes.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(snapshot_path_, ec);
+    } else {
+      persist::write_file_atomic(snapshot_path_, snapshot_bytes);
+    }
+    if (dedup_bytes.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(dedup_path_, ec);
+    } else {
+      persist::write_file_atomic(dedup_path_, dedup_bytes);
+    }
+  }
+  if (snapshot_bytes.empty()) {
+    // A primary that never checkpointed seeds an empty store at LSN 0.
+    (void)recover(ctl_, "", "");
+  } else {
+    (void)load_snapshot_bytes(
+        ctl_, std::vector<std::uint8_t>(snapshot_bytes.begin(),
+                                        snapshot_bytes.end()));
+  }
+  if (!dedup_bytes.empty()) {
+    load_dedup_bytes(std::vector<std::uint8_t>(dedup_bytes.begin(),
+                                               dedup_bytes.end()));
+  }
+  if (!journal_path_.empty()) {
+    persist::JournalOptions jopts;
+    jopts.fsync = fsync_;
+    jopts.fsync_interval = fsync_interval_;
+    journal_.emplace(persist::Journal::create(journal_path_, jopts, lsn));
+    if (obs_ != nullptr && obs_->config().metrics) {
+      journal_->attach_obs(obs_->journal());
+    }
+    if (!standby_) ctl_.attach_journal(&*journal_);
+  }
+  repl_lsn_ = lsn;
+  ops_since_checkpoint_ = 0;
+  diverged_ = false;
+  diverged_reason_.clear();
+  quarantined_ = false;
+  quarantine_retryable_ = true;
+  quarantine_reason_.clear();
+}
+
+void Tenant::promote() {
+  if (!standby_) return;
+  standby_ = false;
+  if (journal_ && !quarantined_) ctl_.attach_journal(&*journal_);
+  // A fresh epoch tells retrying clients the serving identity changed:
+  // they re-HELLO, learn highest_applied, and re-drive the gap.
+  epoch_ = mint_epoch();
+}
+
+void Tenant::mark_diverged(std::string reason) {
+  diverged_ = true;
+  diverged_reason_ = std::move(reason);
 }
 
 void Tenant::on_operation() {
@@ -293,7 +381,11 @@ void Tenant::save_dedup(std::uint64_t lsn) const {
 
 void Tenant::load_dedup() {
   if (dedup_path_.empty() || !persist::file_exists(dedup_path_)) return;
-  const persist::SectionReader sr(persist::read_file(dedup_path_));
+  load_dedup_bytes(persist::read_file(dedup_path_));
+}
+
+void Tenant::load_dedup_bytes(std::vector<std::uint8_t> bytes) {
+  const persist::SectionReader sr(std::move(bytes));
   try {
     ByteReader meta = sr.section(kSecDedupMeta);
     (void)meta.u64();  // sidecar lsn (diagnostic; replay is idempotent)
@@ -315,8 +407,9 @@ void Tenant::load_dedup() {
       sessions_.emplace(client, std::move(s));
     }
   } catch (const std::out_of_range&) {
-    throw persist::PersistError(persist::PersistErrc::Truncated,
-                                dedup_path_);
+    throw persist::PersistError(
+        persist::PersistErrc::Truncated,
+        dedup_path_.empty() ? "dedup bytes" : dedup_path_);
   }
 }
 

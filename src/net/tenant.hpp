@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,10 @@
 #include "admission/controller.hpp"
 #include "net/protocol.hpp"
 #include "persist/journal.hpp"
+
+namespace edfkit {
+class ReplayObserver;  // admission/snapshot.hpp
+}
 
 namespace edfkit::obs {
 class Obs;
@@ -61,6 +66,12 @@ struct TenantOptions {
   /// than this many requests behind) gets InternalError rather than a
   /// silent double-apply.
   std::size_t dedup_window = 128;
+  /// Create tenants as replication followers (src/repl/): the
+  /// controller does not journal its own operations — instead
+  /// apply_replicated() appends the primary's exact record bytes and
+  /// replays each through the same recovery path, keeping the follower
+  /// bit-identical. promote() flips a follower into a serving primary.
+  bool standby = false;
 };
 
 /// One tenant: name, controller, optional journal. Created via
@@ -173,6 +184,55 @@ class Tenant {
   void record_applied(const std::string& client, std::uint64_t request_id,
                       std::vector<std::uint8_t> response);
 
+  // ------------------------------------------- standby replica
+  // A standby tenant mirrors a primary record-for-record: every shipped
+  // journal payload is appended verbatim to the local WAL (the two
+  // files stay byte-identical) and then applied through the same
+  // replay path recovery uses, with a persistent dedup-rebuild observer
+  // so ClientMark records carry the exactly-once windows across
+  // failover. Replication piggybacks on replay determinism: the
+  // follower's resident set, TaskIds, headers and stats match the
+  // primary bit for bit, which the digest exchange verifies.
+
+  [[nodiscard]] bool standby() const noexcept { return standby_; }
+  /// Next record LSN apply_replicated() expects (== primary journal
+  /// LSNs already applied).
+  [[nodiscard]] std::uint64_t replica_lsn() const noexcept {
+    return repl_lsn_;
+  }
+
+  /// Append one shipped record to the local WAL (durability first),
+  /// then replay it into the controller. Counts non-mark records
+  /// toward the checkpoint cycle so a long-lived follower's footprint
+  /// stays bounded. \throws PersistError on WAL append failure (the
+  /// caller quarantines), std::out_of_range on an undecodable record.
+  void apply_replicated(std::span<const std::uint8_t> payload);
+
+  /// Discard all state and re-seed from a primary checkpoint: write
+  /// the snapshot container + dedup sidecar bytes as this tenant's own
+  /// artifacts, load them, and restart the WAL empty at base `lsn`.
+  /// Empty snapshot bytes reset to a fresh controller (a primary that
+  /// has never checkpointed). Clears divergence *and* quarantine — the
+  /// seed replaces whatever was broken. \throws PersistError
+  void seed_from(std::span<const std::uint8_t> snapshot_bytes,
+                 std::span<const std::uint8_t> dedup_bytes,
+                 std::uint64_t lsn);
+
+  /// Flip follower -> serving primary: attach the controller to the
+  /// WAL it has been mirroring and mint a fresh session epoch (clients
+  /// see the epoch change and resync their dedup expectations). The
+  /// server refuses to promote diverged tenants; this trusts it.
+  void promote();
+
+  /// A digest check failed: refuse apply_replicated()/promote() until
+  /// seed_from() replaces the state. Divergence is a hard fault — a
+  /// follower that cannot prove bit-identity must never serve.
+  void mark_diverged(std::string reason);
+  [[nodiscard]] bool diverged() const noexcept { return diverged_; }
+  [[nodiscard]] const std::string& diverged_reason() const noexcept {
+    return diverged_reason_;
+  }
+
  private:
   struct ClientSession {
     std::uint64_t highest_applied = 0;
@@ -190,6 +250,9 @@ class Tenant {
   /// them — neither in the sidecar nor replayed.
   void save_dedup(std::uint64_t lsn) const;
   void load_dedup();
+  /// Parse a dedup sidecar container into sessions_ (the shared body
+  /// of load_dedup() and seed_from()).
+  void load_dedup_bytes(std::vector<std::uint8_t> bytes);
 
   std::string name_;
   AdmissionController ctl_;
@@ -208,6 +271,14 @@ class Tenant {
   bool quarantined_ = false;
   bool quarantine_retryable_ = true;
   std::string quarantine_reason_;
+  bool standby_ = false;
+  std::uint64_t repl_lsn_ = 0;
+  bool diverged_ = false;
+  std::string diverged_reason_;
+  /// Persistent dedup-window rebuilder fed by apply_replicated() (the
+  /// same observer class recovery uses, kept armed across records so a
+  /// ClientMark and its operation may arrive in different batches).
+  std::unique_ptr<ReplayObserver> standby_rebuild_;
 };
 
 /// Build the wire response for an applied mutating operation. Shared
@@ -252,6 +323,10 @@ class TenantTable {
 
   /// fdatasync every tenant journal (SIGTERM drain).
   void flush_all();
+
+  /// Flip the standby flag for tenants created *after* this call
+  /// (promotion flips existing tenants individually via promote()).
+  void set_standby(bool standby) noexcept { opts_.standby = standby; }
 
   /// Visit every tenant in name order.
   template <typename F>

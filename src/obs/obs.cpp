@@ -139,8 +139,10 @@ NetInstruments* Obs::net() {
   if (net_ == nullptr) {
     // Slot order mirrors net::NetOp (slot 0 = unknown).
     static constexpr const char* kOpNames[kNetOps] = {
-        "unknown", "hello",        "admit", "admit_group",
-        "remove",  "remove_group", "stats", "ping"};
+        "unknown",    "hello",       "admit",    "admit_group",
+        "remove",     "remove_group", "stats",   "ping",
+        "repl_hello", "repl_append", "repl_ack", "repl_snapshot",
+        "promote"};
     auto b = std::make_unique<NetInstruments>();
     b->accepted = registry_.counter("net_accepted_total");
     b->closed = registry_.counter("net_closed_total");
@@ -166,6 +168,27 @@ NetInstruments* Obs::net() {
     net_ = std::move(b);
   }
   return net_.get();
+}
+
+ReplInstruments* Obs::repl() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (repl_ == nullptr) {
+    auto b = std::make_unique<ReplInstruments>();
+    b->shipped = registry_.counter("repl_shipped_records_total");
+    b->ship_batches = registry_.counter("repl_ship_batches_total");
+    b->acked = registry_.counter("repl_acked_records_total");
+    b->ship_errors = registry_.counter("repl_ship_errors_total");
+    b->seeds_sent = registry_.counter("repl_seeds_sent_total");
+    b->digests_sent = registry_.counter("repl_digests_sent_total");
+    b->applied = registry_.counter("repl_applied_records_total");
+    b->digests_checked = registry_.counter("repl_digests_checked_total");
+    b->digest_mismatches =
+        registry_.counter("repl_digest_mismatches_total");
+    b->seeds_applied = registry_.counter("repl_seeds_applied_total");
+    b->lag = registry_.gauge("repl_lag_records");
+    repl_ = std::move(b);
+  }
+  return repl_.get();
 }
 
 Histogram Obs::query_ns(const std::string& backend) {

@@ -43,7 +43,13 @@
 ///   net_fuse_fallbacks_total
 ///   net_op_<op>_ns                                   — per-op service
 ///   latency histograms (hello/admit/admit_group/remove/remove_group/
-///   stats/ping, plus unknown)
+///   stats/ping, the repl_* ops and promote, plus unknown)
+///   repl_shipped_records_total / repl_ship_batches_total /
+///   repl_acked_records_total / repl_ship_errors_total /
+///   repl_seeds_sent_total / repl_digests_sent_total /
+///   repl_applied_records_total / repl_digests_checked_total /
+///   repl_digest_mismatches_total / repl_seeds_applied_total /
+///   repl_lag_records (gauge)                         — replication
 ///   query_ns_<backend>                               — batch_analyze
 #pragma once
 
@@ -165,11 +171,31 @@ struct ReplayInstruments {
   Counter snapshots;
 };
 
+/// Replication instruments (src/repl/ + the server's follower path).
+/// Primary side: shipped/acked record counts, batches, snapshot
+/// (re-)seeds sent, transport errors, digests attached, and the
+/// current shipping lag in records (journal head minus last ack).
+/// Follower side: records applied through controller replay, digests
+/// checked, mismatches (each one forces a re-seed), and seeds applied.
+struct ReplInstruments {
+  Counter shipped;
+  Counter ship_batches;
+  Counter acked;
+  Counter ship_errors;
+  Counter seeds_sent;
+  Counter digests_sent;
+  Counter applied;
+  Counter digests_checked;
+  Counter digest_mismatches;
+  Counter seeds_applied;
+  Gauge lag;
+};
+
 /// Wire-op slots for NetInstruments::op_ns. Index 0 is the unknown-op
-/// bucket; 1..7 mirror net::NetOp (protocol.hpp static_asserts the
+/// bucket; 1..12 mirror net::NetOp (protocol.hpp static_asserts the
 /// mirror, keeping obs a dependency leaf like kTraceRungs does for the
-/// admission ladder).
-inline constexpr std::size_t kNetOps = 8;
+/// admission ladder). Slots 8..12 are the replication ops (PR 9).
+inline constexpr std::size_t kNetOps = 13;
 
 struct NetInstruments {
   Counter accepted;
@@ -219,6 +245,7 @@ class Obs {
   [[nodiscard]] JournalInstruments* journal();
   [[nodiscard]] ReplayInstruments* replay();
   [[nodiscard]] NetInstruments* net();
+  [[nodiscard]] ReplInstruments* repl();
 
   /// Per-backend query latency histogram (`query_ns_<backend>`).
   [[nodiscard]] Histogram query_ns(const std::string& backend);
@@ -233,6 +260,7 @@ class Obs {
   std::unique_ptr<JournalInstruments> journal_;
   std::unique_ptr<ReplayInstruments> replay_;
   std::unique_ptr<NetInstruments> net_;
+  std::unique_ptr<ReplInstruments> repl_;
 };
 
 }  // namespace edfkit::obs

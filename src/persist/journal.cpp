@@ -168,7 +168,8 @@ namespace {
 
 }  // namespace
 
-Journal Journal::create(const std::string& path, JournalOptions opts) {
+Journal Journal::create(const std::string& path, JournalOptions opts,
+                        std::uint64_t base_lsn) {
   fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("journal.create.open");
   fault::FailPoint& fp_write = EDFKIT_FAULT_POINT("journal.create.write");
   fault::FailPoint& fp_fsync = EDFKIT_FAULT_POINT("journal.create.fsync");
@@ -176,7 +177,7 @@ Journal Journal::create(const std::string& path, JournalOptions opts) {
   const int fd = ::open(path.c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("open " + path);
-  const std::vector<std::uint8_t> hdr = encode_header(0);
+  const std::vector<std::uint8_t> hdr = encode_header(base_lsn);
   try {
     write_all_faultable(fp_write, fd, hdr.data(), hdr.size(), path);
     if ((fp_fsync.armed() && fp_fsync.should_fail()) ||
@@ -189,7 +190,7 @@ Journal Journal::create(const std::string& path, JournalOptions opts) {
     ::close(fd);
     throw;
   }
-  return Journal(fd, path, opts, 0, 0, hdr.size());
+  return Journal(fd, path, opts, base_lsn, base_lsn, hdr.size());
 }
 
 Journal Journal::open_append(const std::string& path, JournalOptions opts) {

@@ -95,9 +95,15 @@ struct JournalScan {
 
 class Journal {
  public:
-  /// Create (or truncate) a fresh journal at `path`.
+  /// Create (or truncate) a fresh journal at `path`. A nonzero
+  /// `base_lsn` creates it empty-but-rotated — the first append gets
+  /// LSN base_lsn, exactly as if records [0, base_lsn) had been
+  /// garbage-collected. A replication follower seeded from a snapshot
+  /// at LSN L starts its local journal this way, so the LSN spaces of
+  /// primary and standby stay aligned.
   [[nodiscard]] static Journal create(const std::string& path,
-                                      JournalOptions opts = {});
+                                      JournalOptions opts = {},
+                                      std::uint64_t base_lsn = 0);
   /// Open an existing journal for append: scans it (throwing on
   /// corruption), truncates any torn tail, and resumes LSNs after the
   /// last intact record.

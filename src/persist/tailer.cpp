@@ -1,0 +1,223 @@
+#include "persist/tailer.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.hpp"
+
+namespace edfkit::persist {
+namespace {
+
+constexpr std::size_t kHeaderV1Bytes = 8 + 4 + 4;
+constexpr std::size_t kHeaderV2Bytes = kHeaderV1Bytes + 8;
+constexpr std::size_t kRecordFrameBytes = 4 + 4;  // len + crc
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw PersistError(PersistErrc::IoError,
+                     what + ": " + std::strerror(errno));
+}
+
+/// pread the full range or up to EOF; EINTR-safe.
+[[nodiscard]] std::size_t pread_some(int fd, std::uint8_t* dst,
+                                     std::size_t len, std::uint64_t off,
+                                     const std::string& path) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::pread(fd, dst + got, len - got,
+                              static_cast<off_t>(off + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read " + path);
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+JournalTailer::JournalTailer(std::string path, std::uint64_t from_lsn)
+    : path_(std::move(path)), next_lsn_(from_lsn) {}
+
+JournalTailer::~JournalTailer() { close_fd(); }
+
+void JournalTailer::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ino_ = 0;
+  read_off_ = 0;
+  skip_ = 0;
+  buf_.clear();
+}
+
+void JournalTailer::seek(std::uint64_t lsn) {
+  next_lsn_ = lsn;
+  close_fd();
+}
+
+bool JournalTailer::ensure_open(TailStatus& rotated) {
+  if (fd_ >= 0) {
+    // The writer rotates by rename (new inode) and rolls torn appends
+    // back by truncating in place — detect both and rescan.
+    struct stat st{};
+    if (::stat(path_.c_str(), &st) != 0) {
+      if (errno == ENOENT) {
+        close_fd();  // mid-rename window; retry next poll
+        return false;
+      }
+      throw_errno("stat " + path_);
+    }
+    const std::uint64_t consumed = read_off_ - buf_.size();
+    if (st.st_ino == ino_ &&
+        static_cast<std::uint64_t>(st.st_size) >= consumed) {
+      return true;
+    }
+    close_fd();
+  }
+
+  fault::FailPoint& fp_open = EDFKIT_FAULT_POINT("journal.tail.open");
+  if (fp_open.armed() && fp_open.should_fail()) {
+    throw_errno("open " + path_);
+  }
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return false;  // journal not created yet
+    throw_errno("open " + path_);
+  }
+  fd_ = fd;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int saved = errno;
+    close_fd();
+    errno = saved;
+    throw_errno("fstat " + path_);
+  }
+  ino_ = st.st_ino;
+
+  std::uint8_t hdr[kHeaderV2Bytes];
+  const std::size_t got = pread_some(fd_, hdr, sizeof hdr, 0, path_);
+  if (got < kHeaderV1Bytes) {
+    // Torn creation — the writer has not committed a header yet.
+    if (got != 0 &&
+        std::memcmp(hdr, kJournalMagic,
+                    std::min<std::size_t>(got, 8)) != 0) {
+      close_fd();
+      throw PersistError(PersistErrc::BadMagic, path_);
+    }
+    close_fd();
+    return false;
+  }
+  if (std::memcmp(hdr, kJournalMagic, 8) != 0) {
+    close_fd();
+    throw PersistError(PersistErrc::BadMagic, path_);
+  }
+  ByteReader r{std::span<const std::uint8_t>(hdr, got).subspan(8)};
+  const std::uint32_t version = r.u32();
+  std::uint64_t base = 0;
+  std::size_t header_bytes = kHeaderV1Bytes;
+  if (version == kJournalVersion) {
+    if (got < kHeaderV2Bytes) {
+      close_fd();  // base_lsn field still mid-write
+      return false;
+    }
+    (void)r.u32();  // reserved
+    base = r.u64();
+    header_bytes = kHeaderV2Bytes;
+  } else if (version != 1) {
+    close_fd();
+    throw PersistError(PersistErrc::BadVersion,
+                       path_ + ": journal version " +
+                           std::to_string(version));
+  }
+  if (next_lsn_ < base) {
+    // Rotated past us: the records we still need are gone. Only a
+    // snapshot re-seed (then seek()) can resume.
+    close_fd();
+    rotated = TailStatus::RotatedPast;
+    return false;
+  }
+  skip_ = next_lsn_ - base;
+  read_off_ = header_bytes;
+  buf_.clear();
+  return true;
+}
+
+TailStatus JournalTailer::poll(TailedRecord& out) {
+  fault::FailPoint& fp_read = EDFKIT_FAULT_POINT("journal.tail.read");
+  const auto fill = [&]() -> bool {
+    if (fp_read.armed() && fp_read.should_fail()) {
+      throw_errno("read " + path_);
+    }
+    std::uint8_t chunk[kReadChunk];
+    const std::size_t n =
+        pread_some(fd_, chunk, sizeof chunk, read_off_, path_);
+    if (n == 0) return false;
+    buf_.insert(buf_.end(), chunk, chunk + n);
+    read_off_ += n;
+    return true;
+  };
+  // Never cache a partial frame across polls: the writer may truncate
+  // a torn append back and overwrite those bytes with a fresh record,
+  // and if the file regrows past our offset the stat-based rescan in
+  // ensure_open() cannot tell. Rewinding to the frame boundary makes
+  // the next poll re-read the tail bytes fresh (page-cached, cheap).
+  const auto caught_up = [&]() -> TailStatus {
+    read_off_ -= buf_.size();
+    buf_.clear();
+    return TailStatus::CaughtUp;
+  };
+  for (;;) {
+    TailStatus shape = TailStatus::CaughtUp;
+    if (!ensure_open(shape)) return shape;
+    while (buf_.size() < kRecordFrameBytes) {
+      if (!fill()) return caught_up();  // idle or torn frame
+    }
+    ByteReader fr{std::span<const std::uint8_t>(buf_)};
+    const std::uint32_t len = fr.u32();
+    const std::uint32_t crc = fr.u32();
+    while (buf_.size() < kRecordFrameBytes + len) {
+      if (!fill()) return caught_up();  // payload mid-write
+    }
+    const std::uint8_t* payload = buf_.data() + kRecordFrameBytes;
+    const std::uint64_t lsn = next_lsn_ - skip_;
+    if (crc32(payload, len) != crc) {
+      // A live writer may have truncated a torn append back AFTER we
+      // buffered its bytes, then appended fresh ones — our buffer is
+      // stale, not the file. One full rescan settles it; a mismatch
+      // that survives the rescan at the SAME lsn is real corruption,
+      // never skipped (same contract as scan_journal()). The retry is
+      // tracked per-lsn: the rescan re-verifies every earlier record,
+      // and those passing must not grant the suspect a fresh retry.
+      if (!crc_retried_ || crc_retry_lsn_ != lsn) {
+        crc_retried_ = true;
+        crc_retry_lsn_ = lsn;
+        close_fd();
+        continue;
+      }
+      throw PersistError(PersistErrc::BadCrc,
+                         path_ + ": record at lsn " + std::to_string(lsn));
+    }
+    if (crc_retried_ && lsn >= crc_retry_lsn_) crc_retried_ = false;
+    const bool deliver = skip_ == 0;
+    if (deliver) {
+      out.lsn = next_lsn_++;
+      out.payload.assign(payload, payload + len);
+    } else {
+      --skip_;
+    }
+    buf_.erase(buf_.begin(),
+               buf_.begin() +
+                   static_cast<std::ptrdiff_t>(kRecordFrameBytes + len));
+    if (deliver) return TailStatus::Record;
+  }
+}
+
+}  // namespace edfkit::persist

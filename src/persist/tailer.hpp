@@ -1,0 +1,107 @@
+/// \file tailer.hpp
+/// Incremental read-side of the journal: follow a live journal file
+/// record by record while a writer keeps appending to it — the feed
+/// for primary→standby replication (src/repl/), where the shipper
+/// tails each tenant's WAL out-of-process from the serving thread.
+///
+/// A tailer owns its own O_RDONLY fd and a byte offset; poll() parses
+/// the next complete [len][crc][payload] frame and hands the payload
+/// out with its LSN. The three non-record outcomes mirror the journal
+/// failure taxonomy:
+///
+///   * CaughtUp  — no complete frame past the offset. Either the
+///     writer is idle or a frame is mid-write (a transient torn tail:
+///     the bytes will complete). Also returned while the file does not
+///     exist yet.
+///   * RotatedPast — the writer rotated (new inode) and the new file's
+///     base_lsn is above our next LSN: the records we still needed
+///     were garbage-collected. The caller must re-seed from a snapshot
+///     (seek() repositions after it does).
+///   * corruption — a fully-present record whose CRC fails throws
+///     PersistError{BadCrc}, exactly like scan_journal(): bit rot is
+///     never silently skipped.
+///
+/// Rotation with a surviving suffix (new base_lsn <= next LSN) is
+/// handled transparently: the tailer reopens the new inode and skips
+/// forward to where it left off — LSNs are stable across rotation by
+/// the journal's contract. A same-inode shrink (the writer's
+/// truncate-back of a torn append) below the consumed offset likewise
+/// forces a clean rescan.
+///
+/// Single-threaded: one tailer per (thread, file). The writer may be
+/// any thread or another process; only append/rotate semantics are
+/// assumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "persist/format.hpp"
+#include "persist/journal.hpp"
+
+namespace edfkit::persist {
+
+enum class TailStatus : std::uint8_t {
+  Record,       ///< `out` holds the next record
+  CaughtUp,     ///< nothing complete to read (yet)
+  RotatedPast,  ///< journal rotated beyond us — re-seed, then seek()
+};
+
+struct TailedRecord {
+  std::uint64_t lsn = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class JournalTailer {
+ public:
+  /// Tail `path` starting at LSN `from_lsn`. The file need not exist
+  /// yet (poll() reports CaughtUp until it does).
+  explicit JournalTailer(std::string path, std::uint64_t from_lsn = 0);
+  JournalTailer(const JournalTailer&) = delete;
+  JournalTailer& operator=(const JournalTailer&) = delete;
+  ~JournalTailer();
+
+  /// Advance by at most one record. \throws PersistError on CRC
+  /// corruption, bad magic/version, or I/O errors (failpoints
+  /// journal.tail.open / journal.tail.read inject the latter).
+  [[nodiscard]] TailStatus poll(TailedRecord& out);
+
+  /// Next LSN poll() would deliver.
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept {
+    return next_lsn_;
+  }
+
+  /// Reposition at `lsn` (after a re-seed) and force a fresh open.
+  void seek(std::uint64_t lsn);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  /// Returns false while the file is missing or its header is still
+  /// incomplete (both CaughtUp shapes); true once positioned.
+  bool ensure_open(TailStatus& rotated);
+  void close_fd() noexcept;
+
+  std::string path_;
+  int fd_ = -1;
+  ino_t ino_ = 0;
+  std::uint64_t next_lsn_ = 0;
+  /// Records still to skip after an open before delivery resumes
+  /// (reopening mid-file rescans from the header).
+  std::uint64_t skip_ = 0;
+  /// Byte offset of the next unread byte in the current file.
+  std::uint64_t read_off_ = 0;
+  /// Unparsed bytes already read from [read_off_ - buf_.size(),
+  /// read_off_).
+  std::vector<std::uint8_t> buf_;
+  /// One CRC mismatch at crc_retry_lsn_ already triggered a rescan
+  /// (stale-buffer suppression); a second mismatch at the SAME lsn is
+  /// real corruption. Tracked per-lsn: the rescan re-verifies earlier
+  /// records, and their passing must not re-arm the suspect's retry.
+  bool crc_retried_ = false;
+  std::uint64_t crc_retry_lsn_ = 0;
+};
+
+}  // namespace edfkit::persist

@@ -65,6 +65,11 @@ class ByteWriter {
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + len);
   }
+  /// u32 length prefix + raw bytes (the binary counterpart of str()).
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    bytes(b.data(), b.size());
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
     return buf_;
@@ -117,6 +122,13 @@ class ByteReader {
     const std::uint32_t n = u32();
     const std::span<const std::uint8_t> b = take(n);
     return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  /// Inverse of ByteWriter::blob(). Bounds-checked before any
+  /// allocation (a corrupt length cannot force a huge reserve).
+  [[nodiscard]] std::vector<std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    const std::span<const std::uint8_t> b = take(n);
+    return std::vector<std::uint8_t>(b.begin(), b.end());
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept {

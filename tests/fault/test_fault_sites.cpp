@@ -32,6 +32,7 @@
 #include "net/tenant.hpp"
 #include "obs/obs.hpp"
 #include "persist/format.hpp"
+#include "persist/tailer.hpp"
 
 namespace edfkit::net {
 namespace {
@@ -65,8 +66,10 @@ struct Outcome {
 
 /// One full durable-tenant lifecycle against `dir`: open (create or
 /// recover), ten journaled admits with periodic checkpoints, a final
-/// flush. A PersistError anywhere stops the run (the server-level
-/// analogue is quarantine); the outcome records how far it got.
+/// flush, then a tail-back of the journal (the replication shipper's
+/// read path — its journal.tail.* sites are part of the sweep). A
+/// PersistError anywhere stops the run (the server-level analogue is
+/// quarantine); the outcome records how far it got.
 Outcome run_lifecycle(const std::string& dir) {
   Outcome out;
   const TenantOptions opts = durable_opts(dir);
@@ -81,6 +84,10 @@ Outcome run_lifecycle(const std::string& dir) {
       t.on_operation();
     }
     t.flush();
+    persist::JournalTailer tail(dir + "/t.wal", t.journal_base_lsn());
+    persist::TailedRecord rec;
+    while (tail.poll(rec) == persist::TailStatus::Record) {
+    }
   } catch (const persist::PersistError& e) {
     out.faulted = true;
     out.what = e.what();

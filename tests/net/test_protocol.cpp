@@ -301,5 +301,75 @@ TEST(Codec, RandomRequestRoundTripFuzz) {
   }
 }
 
+// ----------------------------------------------------- repl op codecs
+
+TEST(Codec, ReplHelloRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::ReplHello);
+  req.hdr.request_id = 9;
+  req.tenant = "pc";
+  req.durability = 2;  // FsyncPolicy::EveryN
+  req.fsync_interval = 32;
+  const NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.hdr.op, req.hdr.op);
+  EXPECT_EQ(out.tenant, "pc");
+  EXPECT_EQ(out.durability, req.durability);
+  EXPECT_EQ(out.fsync_interval, 32u);
+}
+
+TEST(Codec, ReplAppendRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::ReplAppend);
+  req.tenant = "pc";
+  req.repl_lsn = 1234;
+  req.repl_records = {{0x01, 0x02, 0x03}, {}, {0xff}};
+  req.digest_lsn = 1237;
+  req.digest = 0xdeadbeef;
+  const NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.repl_lsn, 1234u);
+  EXPECT_EQ(out.repl_records, req.repl_records);
+  EXPECT_EQ(out.digest_lsn, 1237u);
+  EXPECT_EQ(out.digest, 0xdeadbeefu);
+
+  // A 0-record append with a digest is the idle pure-check shape.
+  req.repl_records.clear();
+  const NetRequest pure = decode_request(encode_request(req));
+  EXPECT_TRUE(pure.repl_records.empty());
+  EXPECT_EQ(pure.digest_lsn, 1237u);
+}
+
+TEST(Codec, ReplSnapshotRoundTrip) {
+  NetRequest req;
+  req.hdr.op = static_cast<std::uint8_t>(NetOp::ReplSnapshot);
+  req.tenant = "pc";
+  req.repl_lsn = 77;
+  req.repl_snapshot = {0xaa, 0xbb, 0xcc, 0xdd};
+  req.repl_dedup = {0x11};
+  const NetRequest out = decode_request(encode_request(req));
+  EXPECT_EQ(out.repl_lsn, 77u);
+  EXPECT_EQ(out.repl_snapshot, req.repl_snapshot);
+  EXPECT_EQ(out.repl_dedup, req.repl_dedup);
+}
+
+TEST(Codec, ReplAckAndPromoteResponsesRoundTrip) {
+  NetResponse ack;
+  ack.hdr.op = static_cast<std::uint8_t>(NetOp::ReplAppend);
+  ack.hdr.status = static_cast<std::uint8_t>(NetStatus::Ok);
+  ack.base_lsn = 64;
+  ack.lsn = 96;
+  ack.repl_flags = kReplNeedSnapshot | kReplDiverged;
+  NetResponse out = decode_response(encode_response(ack));
+  EXPECT_EQ(out.base_lsn, 64u);
+  EXPECT_EQ(out.lsn, 96u);
+  EXPECT_EQ(out.repl_flags, kReplNeedSnapshot | kReplDiverged);
+
+  NetResponse prom;
+  prom.hdr.op = static_cast<std::uint8_t>(NetOp::Promote);
+  prom.hdr.status = static_cast<std::uint8_t>(NetStatus::Ok);
+  prom.promoted = 3;
+  out = decode_response(encode_response(prom));
+  EXPECT_EQ(out.promoted, 3u);
+}
+
 }  // namespace
 }  // namespace edfkit::net

@@ -385,5 +385,101 @@ TEST_F(RetryTest, RetryingClientRidesOutAQuarantine) {
   std::filesystem::remove_all(dir);
 }
 
+// ------------------------------------------- backoff floor + failover
+
+// A server retry_after_ms hint is a hard floor on the backoff sleep,
+// even when the policy's jitter cap sits below it (the cap used to
+// undercut the hint, burning every attempt inside the server's stated
+// not-before window). A standby answers mutating ops Unavailable with
+// retry_after_ms = reprobe_interval_ms; with a 10ms cap and two
+// attempts, honoring the 150ms hint is visible in wall-clock time.
+TEST_F(RetryTest, RetryAfterHintFloorsBackoffAboveCap) {
+  ServerOptions so;
+  so.tenants.standby = true;
+  so.reprobe_interval_ms = 150;
+  Server server(so);
+  std::thread loop([&] { server.run(); });
+
+  RetryPolicy pol;
+  pol.max_attempts = 2;
+  pol.backoff_base_ms = 1;
+  pol.backoff_cap_ms = 10;
+  RetryingClient rc("127.0.0.1", server.port(), "t", "c1", pol);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const NetResponse r = rc.admit(tk(1, 8, 8));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(status_of(r), NetStatus::Unavailable);
+  EXPECT_EQ(r.retry_after_ms, 150u);
+  EXPECT_GE(elapsed.count(), 150);
+
+  server.stop();
+  loop.join();
+}
+
+// A connect failure rotates to the next endpoint immediately: the
+// first endpoint in the list refuses (nothing listens there), and the
+// very first call lands on the second.
+TEST_F(RetryTest, FailoverOnConnectFailure) {
+  std::uint16_t dead_port = 0;
+  {
+    Server ephemeral({});  // bind, learn a free port, release it
+    dead_port = ephemeral.port();
+  }
+  Server server({});
+  std::thread loop([&] { server.run(); });
+
+  RetryingClient rc({{"127.0.0.1", dead_port},
+                     {"127.0.0.1", server.port()}},
+                    "t", "c1");
+  EXPECT_EQ(status_of(rc.admit(tk(1, 8, 8))), NetStatus::Ok);
+  EXPECT_EQ(rc.failovers(), 1u);
+  EXPECT_EQ(rc.endpoint().port, server.port());
+
+  server.stop();
+  loop.join();
+}
+
+// A persistent-Unavailable streak rotates too: the first endpoint is
+// an unpromoted standby that answers every mutating op Unavailable;
+// after failover_after_unavailable consecutive answers the client
+// walks to the healthy primary instead of burning all its attempts.
+TEST_F(RetryTest, FailoverOnUnavailableStreak) {
+  ServerOptions so;
+  so.tenants.standby = true;
+  Server standby(so);
+  std::thread standby_loop([&] { standby.run(); });
+  Server primary({});
+  std::thread primary_loop([&] { primary.run(); });
+
+  RetryPolicy pol;
+  pol.failover_after_unavailable = 2;
+  pol.backoff_base_ms = 1;
+  pol.backoff_cap_ms = 5;
+  RetryingClient rc({{"127.0.0.1", standby.port()},
+                     {"127.0.0.1", primary.port()}},
+                    "t", "c1", pol);
+
+  EXPECT_EQ(status_of(rc.admit(tk(1, 8, 8))), NetStatus::Ok);
+  EXPECT_EQ(rc.failovers(), 1u);
+  EXPECT_EQ(rc.endpoint().port, primary.port());
+  // Settled on the new endpoint: no further rotation.
+  EXPECT_EQ(status_of(rc.admit(tk(1, 16, 16))), NetStatus::Ok);
+  EXPECT_EQ(rc.failovers(), 1u);
+
+  standby.stop();
+  primary.stop();
+  standby_loop.join();
+  primary_loop.join();
+}
+
+// An empty endpoint list is a construction error, not a first-call
+// surprise.
+TEST_F(RetryTest, EmptyEndpointListThrows) {
+  EXPECT_THROW(RetryingClient(std::vector<Endpoint>{}, "t", "c1"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace edfkit::net

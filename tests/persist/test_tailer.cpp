@@ -1,0 +1,195 @@
+/// \file test_tailer.cpp
+/// JournalTailer unit tests: live follow (records interleaved with
+/// appends), catch-up semantics, resuming from an arbitrary LSN,
+/// rotation with a surviving suffix (transparent), rotation past the
+/// reader (RotatedPast + seek), missing files, torn tails, and CRC
+/// corruption (throws, never skips).
+#include "persist/tailer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "persist/journal.hpp"
+
+namespace edfkit::persist {
+namespace {
+
+std::string temp_path() {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("edfkit_tailer_test_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return (dir / "t.wal").string();
+}
+
+std::vector<std::uint8_t> rec(std::uint8_t tag, std::size_t len = 16) {
+  std::vector<std::uint8_t> payload(len, tag);
+  payload[0] = tag;
+  return payload;
+}
+
+TEST(Tailer, FollowsLiveAppends) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  JournalTailer tail(path);
+  TailedRecord out;
+
+  // Nothing yet: caught up, not an error.
+  EXPECT_EQ(tail.poll(out), TailStatus::CaughtUp);
+
+  (void)j.append(rec(1));
+  (void)j.append(rec(2));
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 0u);
+  EXPECT_EQ(out.payload, rec(1));
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 1u);
+  EXPECT_EQ(out.payload, rec(2));
+  EXPECT_EQ(tail.poll(out), TailStatus::CaughtUp);
+  EXPECT_EQ(tail.next_lsn(), 2u);
+
+  // The writer keeps going; the tailer picks it up on the next poll.
+  (void)j.append(rec(3));
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 2u);
+  EXPECT_EQ(out.payload, rec(3));
+}
+
+TEST(Tailer, MissingFileIsCaughtUpUntilCreated) {
+  const std::string path = temp_path();
+  JournalTailer tail(path);
+  TailedRecord out;
+  EXPECT_EQ(tail.poll(out), TailStatus::CaughtUp);
+
+  Journal j = Journal::create(path);
+  (void)j.append(rec(7));
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 0u);
+}
+
+TEST(Tailer, ResumesFromRequestedLsn) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  for (std::uint8_t i = 0; i < 10; ++i) (void)j.append(rec(i));
+
+  JournalTailer tail(path, /*from_lsn=*/7);
+  TailedRecord out;
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 7u);
+  EXPECT_EQ(out.payload, rec(7));
+}
+
+TEST(Tailer, RotationWithSurvivingSuffixIsTransparent) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  for (std::uint8_t i = 0; i < 8; ++i) (void)j.append(rec(i));
+
+  JournalTailer tail(path);
+  TailedRecord out;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(tail.poll(out), TailStatus::Record);
+    EXPECT_EQ(out.lsn, i);
+  }
+
+  // GC the prefix the tailer already consumed: new inode, base_lsn 4.
+  EXPECT_EQ(j.rotate(4), 4u);
+  (void)j.append(rec(8));
+
+  // LSNs are stable across rotation; delivery continues at 4.
+  for (std::uint64_t i = 4; i < 9; ++i) {
+    ASSERT_EQ(tail.poll(out), TailStatus::Record) << "lsn " << i;
+    EXPECT_EQ(out.lsn, i);
+    EXPECT_EQ(out.payload, rec(static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(tail.poll(out), TailStatus::CaughtUp);
+}
+
+TEST(Tailer, RotatedPastRequiresSeek) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  for (std::uint8_t i = 0; i < 8; ++i) (void)j.append(rec(i));
+
+  JournalTailer tail(path);
+  TailedRecord out;
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);  // consumed lsn 0
+
+  // GC beyond the tailer's position: records [1, 6) are gone.
+  EXPECT_EQ(j.rotate(6), 6u);
+  EXPECT_EQ(tail.poll(out), TailStatus::RotatedPast);
+  // Still RotatedPast until the caller re-seeds (poll is idempotent).
+  EXPECT_EQ(tail.poll(out), TailStatus::RotatedPast);
+
+  // A re-seed (snapshot at LSN 6) repositions; delivery resumes there.
+  tail.seek(6);
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 6u);
+  EXPECT_EQ(out.payload, rec(6));
+}
+
+TEST(Tailer, TornTailIsCaughtUpThenCompletes) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  (void)j.append(rec(1));
+  j.sync();
+
+  // Append torn bytes by hand: a frame length prefix with no payload.
+  const std::uint64_t intact_size = std::filesystem::file_size(path);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const std::uint32_t len = 64;
+    f.write(reinterpret_cast<const char*>(&len), sizeof len);
+  }
+
+  JournalTailer tail(path);
+  TailedRecord out;
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 0u);
+  // The torn frame is a transient: CaughtUp, never an error.
+  EXPECT_EQ(tail.poll(out), TailStatus::CaughtUp);
+
+  // The writer's crash recovery truncates the torn bytes back and the
+  // next append lands where the torn one began; the tailer follows.
+  std::filesystem::resize_file(path, intact_size);
+  Journal reopened = Journal::open_append(path);
+  (void)reopened.append(rec(2));
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);
+  EXPECT_EQ(out.lsn, 1u);
+  EXPECT_EQ(out.payload, rec(2));
+}
+
+TEST(Tailer, CrcCorruptionThrows) {
+  const std::string path = temp_path();
+  Journal j = Journal::create(path);
+  (void)j.append(rec(1, 64));
+  (void)j.append(rec(2, 64));
+  j.sync();
+
+  // Flip one payload byte of the second record on disk.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-8, std::ios::end);
+    char b;
+    f.seekg(-8, std::ios::end);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(-8, std::ios::end);
+    f.write(&b, 1);
+  }
+
+  JournalTailer tail(path);
+  TailedRecord out;
+  ASSERT_EQ(tail.poll(out), TailStatus::Record);  // record 0 intact
+  EXPECT_THROW((void)tail.poll(out), PersistError);
+}
+
+}  // namespace
+}  // namespace edfkit::persist
