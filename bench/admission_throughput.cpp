@@ -26,7 +26,6 @@
 #include "admission/controller.hpp"
 #include "admission/replay.hpp"
 #include "bench_common.hpp"
-#include "core/analyzer.hpp"
 #include "query/query.hpp"
 
 namespace {

@@ -16,7 +16,7 @@
 /// a quick run's headline is directly comparable to the committed
 /// full-run baseline (the CI gate depends on this).
 ///
-/// Sections (schema = 7):
+/// Sections (schema = 8):
 ///
 ///  * admission — churn traces (gen/scenario Fixed family) with
 ///    n in {10, 100, 1000} resident tasks and pool utilization
@@ -106,7 +106,19 @@
 ///    the shipper reads page cache out-of-thread, so the serving path
 ///    should pay ~nothing).
 ///
-/// JSON schema (schema = 7; v6 had no repl section; v5 had no fault
+///  * multi — global-admission ladder throughput: Fixed-family churn
+///    (100-task pools at U=0.99 each) replayed through one
+///    AdmissionController with AdmissionOptions::platform = {m} for
+///    m in {2, 4, 8}, after a 100*m-arrival warmup that saturates the
+///    platform so timed decisions exercise the full gfb -> window ->
+///    rta -> sim cascade near capacity. `ladder_dps` is whole-trace
+///    decisions/sec (best of --sets reps); `admit_rate` (untimed pass)
+///    is the saturation evidence — well under 1.0 means the ladder is
+///    actually refusing work at the boundary, not rubber-stamping.
+///    Reported, not gated (absolute rates; no old-path twin exists for
+///    a ratio).
+///
+/// JSON schema (schema = 8; v7 had no multi section; v6 had no repl section; v5 had no fault
 /// section; v4 had no net section; v3 had no obs section and no
 /// known_regressions; v2 had no persist section; v1 had no
 /// batch/removal/read sections). `known_regressions` documents the
@@ -114,7 +126,7 @@
 /// the scan-internals counters that explain them — the small-n gate
 /// tolerates those cells; a *new* regression shows up as a cell outside
 /// this list.
-///   { "bench": "perf_suite", "schema": 6, "seed": N, "quick": bool,
+///   { "bench": "perf_suite", "schema": 8, "seed": N, "quick": bool,
 ///     "epsilon": e,
 ///     "admission": [ { "n": N, "u": U, "events": N, "ladder": bool,
 ///                      "old_dps": f, "new_dps": f, "speedup": f,
@@ -141,6 +153,8 @@
 ///                      "net_dps": f, "wire_overhead_ns": f } ... ],
 ///     "repl":      [ { "n": N, "u": U, "events": N, "plain_dps": f,
 ///                      "repl_dps": f, "overhead_x": f } ],
+///     "multi":     [ { "m": M, "n": N, "u": U, "events": N,
+///                      "ladder_dps": f, "admit_rate": f } ... ],
 ///     "known_regressions": [ { "section": "admission", "n": N, "u": U,
 ///                      "speedup": f, "note": "...",
 ///                      "index_off": { scan-internals counters },
@@ -1182,6 +1196,67 @@ ReplRow run_repl_cell(std::size_t n, double u, std::size_t events,
   return row;
 }
 
+// ---------------------------------------------------------------- multi
+
+struct MultiRow {
+  std::uint32_t m = 0;     ///< platform width (global-EDF processors)
+  std::size_t n = 0;       ///< warmup arrivals (resident scale ~ m pools)
+  double u = 0.0;          ///< per-pool utilization
+  std::size_t events = 0;
+  double dps = 0.0;        ///< full-ladder global decisions per second
+  double admit_rate = 0.0; ///< admitted arrivals / arrivals
+};
+
+/// Global-ladder throughput: the headline churn shape replayed through
+/// ONE controller admitting against m processors (AdmissionOptions::
+/// platform). Warmup scales with m — each 100-task pool carries ~0.99
+/// utilization, and m pools resident saturate the platform — so the
+/// cell exercises the whole cascade (GFB accepts early, the window
+/// rungs and RTA near saturation, rejects past it), not just the
+/// cheap-accept fast path.
+MultiRow run_multi_cell(std::uint32_t m, std::size_t events, double epsilon,
+                        std::uint64_t seed, std::int64_t reps) {
+  constexpr std::size_t kPoolTasks = 100;
+  ChurnConfig churn;
+  churn.warmup_arrivals = kPoolTasks * m;
+  churn.events = events;
+  churn.pool_utilization = 0.99;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = static_cast<int>(kPoolTasks);
+  Rng rng(seed);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+
+  AdmissionOptions opts;
+  opts.epsilon = epsilon;
+  opts.platform = Platform{m};
+
+  MultiRow row;
+  row.m = m;
+  row.n = kPoolTasks * m;
+  row.u = 0.99;
+  row.events = trace.size();
+  {
+    // Untimed pass for the admit rate (the saturation evidence).
+    Shadow shadow(opts);
+    std::size_t arrivals = 0;
+    std::size_t admits = 0;
+    for (const TraceEvent& ev : trace) {
+      const bool ok = shadow.step(ev);
+      if (ev.op != TraceOp::Depart) {
+        ++arrivals;
+        admits += ok ? 1 : 0;
+      }
+    }
+    row.admit_rate =
+        arrivals == 0 ? 0.0
+                      : static_cast<double>(admits) /
+                            static_cast<double>(arrivals);
+  }
+  row.dps = static_cast<double>(trace.size()) /
+            timed_replay(trace, [&] { return Shadow(opts); }, reps);
+  return row;
+}
+
 /// Scan-internals counters for one replay — the evidence attached to
 /// known_regressions entries (why a cell is allowed below 1x).
 struct ScanInternals {
@@ -1497,6 +1572,21 @@ int main(int argc, char** argv) {
                        static_cast<long long>(row.events), row.plain_dps,
                        row.repl_dps, row.overhead_x);
     }
+    // Global-EDF ladder throughput at m processors (one controller,
+    // AdmissionOptions::platform) — the multiprocessor portfolio cell.
+    std::vector<MultiRow> multi_rows;
+    for (const std::uint32_t m : {2u, 4u, 8u}) {
+      const MultiRow row = run_multi_cell(
+          m, events, epsilon, setup.seed + 77 * m, setup.sets);
+      multi_rows.push_back(row);
+      std::printf("%-10s %6zu %6.2f %8zu %12.0f/s %12s (m=%u, admit rate "
+                  "%.2f)\n",
+                  "multi", row.n, row.u, row.events, row.dps, "-", row.m,
+                  row.admit_rate);
+      setup.csv.row_of("multi", static_cast<long long>(row.n), row.u,
+                       static_cast<long long>(row.events), row.dps,
+                       static_cast<double>(row.m), row.admit_rate);
+    }
 
     if (!obs_metrics_out.empty()) {
       std::ofstream out(obs_metrics_out);
@@ -1521,7 +1611,7 @@ int main(int argc, char** argv) {
 
     bench::JsonEmitter json;
     json.kv("bench", "perf_suite")
-        .kv("schema", 7LL)
+        .kv("schema", 8LL)
         .kv("seed", static_cast<long long>(setup.seed))
         .kv("quick", quick)
         .kv("epsilon", epsilon);
@@ -1643,6 +1733,18 @@ int main(int argc, char** argv) {
           .kv("plain_dps", row.plain_dps)
           .kv("repl_dps", row.repl_dps)
           .kv("overhead_x", row.overhead_x)
+          .end();
+    }
+    json.end();
+    json.begin_array("multi");
+    for (const MultiRow& row : multi_rows) {
+      json.begin_object()
+          .kv("m", static_cast<long long>(row.m))
+          .kv("n", static_cast<long long>(row.n))
+          .kv("u", row.u)
+          .kv("events", static_cast<long long>(row.events))
+          .kv("ladder_dps", row.dps)
+          .kv("admit_rate", row.admit_rate)
           .end();
     }
     json.end();

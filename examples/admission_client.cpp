@@ -12,6 +12,7 @@
 ///                      [--depart-probability 0.5]
 ///                      [--fsync none|record|interval]
 ///                      [--fsync-interval 64] [--fuse] [--certify]
+///                      [--platform-m 1]
 ///                      [--epsilon 0.1] [--skip-exact]
 ///                      [--gate-p99-us 0] [--expect-no-shed]
 ///                      [--client chaos] [--retry-timeout-ms 1000]
@@ -104,6 +105,9 @@ struct ClientConfig {
   std::uint64_t fsync_interval = 64;
   bool fuse = false;
   bool certify = false;
+  /// HELLO platform_m: 1 = uniprocessor ladder, > 1 = global admission
+  /// mode over m processors (protocol v2).
+  std::uint32_t platform_m = 1;
   ChurnConfig churn;
   AdmissionOptions twin;  ///< replay-mode twin controller options
 };
@@ -193,7 +197,8 @@ void run_load_connection(const ClientConfig& cfg, std::string tenant,
   try {
     net::Client client = net::Client::connect(cfg.host, cfg.port);
     const net::NetResponse h =
-        client.hello(tenant, cfg.fsync, cfg.fsync_interval, hello_flags(cfg));
+        client.hello(tenant, cfg.fsync, cfg.fsync_interval,
+                     hello_flags(cfg), "", cfg.platform_m);
     if (h.hdr.status != static_cast<std::uint8_t>(net::NetStatus::Ok)) {
       throw std::runtime_error(std::string("HELLO failed: ") +
                                net::to_string(
@@ -373,7 +378,8 @@ int run_replay(const ClientConfig& cfg) {
       client.hello(cfg.tenant, cfg.fsync, cfg.fsync_interval,
                    // Fusing would change the journal/decision shape; the
                    // differential needs the sequential one.
-                   hello_flags(cfg) & ~net::kFlagBatchFuse);
+                   hello_flags(cfg) & ~net::kFlagBatchFuse, "",
+                   cfg.platform_m);
   if (h.hdr.status != static_cast<std::uint8_t>(net::NetStatus::Ok)) {
     std::fprintf(stderr, "HELLO failed: %s\n",
                  net::to_string(static_cast<net::NetStatus>(h.hdr.status)));
@@ -419,7 +425,8 @@ int run_replay(const ClientConfig& cfg) {
                    e.what());
       client = connect_with_retry(cfg, /*budget_ms=*/10000);
       h = client.hello(cfg.tenant, cfg.fsync, cfg.fsync_interval,
-                       hello_flags(cfg) & ~net::kFlagBatchFuse);
+                       hello_flags(cfg) & ~net::kFlagBatchFuse, "",
+                       cfg.platform_m);
       if (h.hdr.status != static_cast<std::uint8_t>(net::NetStatus::Ok)) {
         std::fprintf(stderr, "re-HELLO failed\n");
         return 2;
@@ -572,7 +579,8 @@ int run_chaos(const ClientConfig& cfg, const std::string& client_id,
   // are excluded from dedup anyway — chaos runs sequential ops.
   net::RetryingClient rc(std::move(endpoints), cfg.tenant, client_id, policy,
                          cfg.fsync, cfg.fsync_interval,
-                         hello_flags(cfg) & ~net::kFlagBatchFuse);
+                         hello_flags(cfg) & ~net::kFlagBatchFuse,
+                         cfg.platform_m);
 
   std::unordered_map<std::uint64_t, std::vector<TaskId>> wire_resident;
   std::unordered_map<std::uint64_t, std::vector<TaskId>> twin_resident;
@@ -782,6 +790,8 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.get_int("fsync-interval", 64));
     cfg.fuse = flags.get_bool("fuse", false);
     cfg.certify = flags.get_bool("certify", false);
+    cfg.platform_m =
+        static_cast<std::uint32_t>(flags.get_int("platform-m", 1));
 
     cfg.churn.events = static_cast<std::size_t>(flags.get_int("events", 2000));
     cfg.churn.pool_utilization = flags.get_double("utilization", 0.9);
@@ -791,6 +801,9 @@ int main(int argc, char** argv) {
 
     cfg.twin.epsilon = flags.get_double("epsilon", 0.1);
     cfg.twin.skip_exact = flags.get_bool("skip-exact", false);
+    // The differential twin mirrors the wire tenant's platform, so
+    // replay/chaos compare global decisions against global decisions.
+    cfg.twin.platform.m = cfg.platform_m;
 
     const std::string mode = flags.get("mode", "load");
     if (mode == "load") {

@@ -13,8 +13,8 @@
 
 #include "analysis/devi.hpp"
 #include "core/all_approx.hpp"
-#include "core/analyzer.hpp"
 #include "lit/literature.hpp"
+#include "query/query.hpp"
 
 namespace {
 
@@ -65,6 +65,6 @@ int main() {
   const TaskSet at_margin = scale_wcets(gap.tasks, lo);
   std::printf("\nEffort comparison at the margin (U ~ %.4f):\n%s\n",
               at_margin.utilization_double(),
-              compare_all(at_margin).c_str());
+              comparison_table(Workload::periodic(at_margin)).c_str());
   return 0;
 }

@@ -83,12 +83,9 @@ std::vector<TestKind> parse_tests(const std::string& spec) {
   std::istringstream is(spec);
   std::string token;
   while (std::getline(is, token, ',')) {
-    const BackendInfo* info = BackendRegistry::instance().find(token);
-    if (info == nullptr) {
-      throw std::invalid_argument("unknown test '" + token +
-                                  "' (--list shows registry names)");
-    }
-    out.push_back(info->kind);
+    // resolve() throws UnknownBackendError with a did-you-mean list for
+    // close names (--list shows the full registry).
+    out.push_back(BackendRegistry::instance().resolve(token).kind);
   }
   if (out.empty()) throw std::invalid_argument("--tests selected nothing");
   return out;

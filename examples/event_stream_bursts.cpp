@@ -10,7 +10,6 @@
 
 #include "analysis/devi.hpp"
 #include "core/all_approx.hpp"
-#include "core/analyzer.hpp"
 #include "model/event_stream.hpp"
 #include "query/query.hpp"
 #include "rtc/arrival.hpp"
@@ -70,6 +69,7 @@ int main() {
                 curve.eval(static_cast<double>(i)),
                 static_cast<long long>(streams[0].dbf(i)));
   }
-  std::printf("\nfull comparison:\n%s\n", compare_all(ts).c_str());
+  std::printf("\nfull comparison:\n%s\n",
+              comparison_table(Workload::periodic(ts)).c_str());
   return 0;
 }

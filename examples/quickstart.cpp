@@ -11,7 +11,6 @@
 #include <string>
 
 #include "analysis/bounds.hpp"
-#include "core/analyzer.hpp"
 #include "model/io.hpp"
 #include "model/task_set.hpp"
 #include "query/query.hpp"
@@ -49,7 +48,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(default_test_bound(ts)));
 
     // One-call comparison across every registered backend.
-    std::printf("%s\n", compare_all(ts).c_str());
+    std::printf("%s\n", comparison_table(Workload::periodic(ts)).c_str());
 
     // Programmatic use: query the paper's all-approximated exact test.
     // Exact decisive outcomes carry a machine-checkable certificate.

@@ -6,7 +6,6 @@
 #include <cstdio>
 
 #include "analysis/bounds.hpp"
-#include "core/analyzer.hpp"
 #include "model/io.hpp"
 #include "query/query.hpp"
 #include "sim/edf_sim.hpp"

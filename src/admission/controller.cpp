@@ -5,9 +5,11 @@
 #include <stdexcept>
 
 #include "admission/snapshot.hpp"
+#include "analysis/multi/global_tests.hpp"
 #include "obs/obs.hpp"
 #include "persist/journal.hpp"
 #include "query/query.hpp"
+#include "sim/oracle.hpp"
 
 namespace edfkit {
 
@@ -174,6 +176,99 @@ Certificate decision_certificate(const FeasibilityResult& analysis,
   return Certificate{};
 }
 
+/// One settled pass of the global-EDF admission ladder over the widened
+/// (candidate-resident) set. Rung mapping mirrors the header comment:
+/// Utilization = GFB + its O(n) infeasibility gates, Approximate = the
+/// window sufficient tests, Exact = global RTA then the decisive sim.
+struct GlobalLadderOutcome {
+  bool accept = false;
+  AdmissionRung rung = AdmissionRung::Utilization;
+  /// The backend whose condition decided (certificate construction
+  /// re-derives exactly this condition).
+  TestKind decided_by = TestKind::GfbDensity;
+  FeasibilityResult analysis;
+};
+
+void fold_instrumentation(FeasibilityResult& acc,
+                          const FeasibilityResult& r) {
+  acc.iterations += r.iterations;
+  acc.revisions += r.revisions;
+  acc.max_interval_tested =
+      std::max(acc.max_interval_tested, r.max_interval_tested);
+  acc.degraded = acc.degraded || r.degraded;
+}
+
+GlobalLadderOutcome run_global_ladder(const TaskSet& widened,
+                                      const Platform& p, bool skip_exact,
+                                      DecisionProbe& probe) {
+  GlobalLadderOutcome out;
+
+  // Rung 1 (Utilization): GFB density accept + the O(n) infeasibility
+  // gates (U > m capacity, C_i > D_i overlong job) it owns.
+  const FeasibilityResult gfb = multi::gfb_density_test(widened, p);
+  fold_instrumentation(out.analysis, gfb);
+  if (gfb.verdict != Verdict::Unknown) {
+    out.accept = gfb.verdict == Verdict::Feasible;
+    out.analysis.verdict = gfb.verdict;
+    out.analysis.witness = gfb.witness;
+    return out;
+  }
+
+  // Rung 2 (Approximate): window sufficient tests, cheapest first. They
+  // answer Feasible or Unknown, never Infeasible.
+  probe.enter(AdmissionRung::Approximate);
+  using WindowTest = FeasibilityResult (*)(const TaskSet&, const Platform&);
+  const std::pair<TestKind, WindowTest> windows[] = {
+      {TestKind::GlobalBcl,
+       [](const TaskSet& ts, const Platform& pp) {
+         return multi::global_bcl_test(ts, pp);
+       }},
+      {TestKind::GlobalBclIterative,
+       [](const TaskSet& ts, const Platform& pp) {
+         return multi::global_bcl_iterative_test(ts, pp);
+       }},
+      {TestKind::GlobalLoad,
+       [](const TaskSet& ts, const Platform& pp) {
+         return multi::global_load_test(ts, pp);
+       }},
+  };
+  for (const auto& [kind, run] : windows) {
+    const FeasibilityResult r = run(widened, p);
+    fold_instrumentation(out.analysis, r);
+    if (r.verdict == Verdict::Feasible) {
+      out.accept = true;
+      out.rung = AdmissionRung::Approximate;
+      out.decided_by = kind;
+      out.analysis.verdict = Verdict::Feasible;
+      return out;
+    }
+  }
+  if (skip_exact) {
+    out.rung = AdmissionRung::Approximate;
+    out.analysis.verdict = Verdict::Unknown;  // no infeasibility proof
+    return out;
+  }
+
+  // Rung 3 (Exact): global RTA, then the decisive simulation rung.
+  probe.enter(AdmissionRung::Exact);
+  out.rung = AdmissionRung::Exact;
+  const FeasibilityResult rta = multi::global_rta_test(widened, p);
+  fold_instrumentation(out.analysis, rta);
+  if (rta.verdict == Verdict::Feasible) {
+    out.accept = true;
+    out.decided_by = TestKind::GlobalRta;
+    out.analysis.verdict = Verdict::Feasible;
+    return out;
+  }
+  const FeasibilityResult sim = simulate_global_feasibility(widened, p.m);
+  fold_instrumentation(out.analysis, sim);
+  out.decided_by = TestKind::GlobalSim;
+  out.analysis.verdict = sim.verdict;
+  out.analysis.witness = sim.witness;
+  out.accept = sim.verdict == Verdict::Feasible;
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(AdmissionRung r) noexcept {
@@ -235,7 +330,14 @@ std::string AdmissionStats::to_json() const {
 AdmissionController::AdmissionController(AdmissionOptions opts)
     : opts_(opts),
       demand_(opts.epsilon, opts.use_slack_index, opts.eager_compaction) {
-  if (!opts_.skip_exact && !is_exact(opts_.exact_fallback)) {
+  if (!platform_valid(opts_.platform)) {
+    throw std::invalid_argument("AdmissionController: invalid platform " +
+                                edfkit::to_string(opts_.platform));
+  }
+  // The fallback kind only runs on the uniprocessor ladder; global mode
+  // closes with RTA + simulation instead.
+  if (!opts_.skip_exact && opts_.platform.uniprocessor() &&
+      !is_exact(opts_.exact_fallback)) {
     throw std::invalid_argument(
         "AdmissionController: exact_fallback must be an exact test kind");
   }
@@ -260,7 +362,7 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
     ++(admitted ? stats_.admitted : stats_.rejected);
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
-    if (opts_.return_certificate) {
+    if (opts_.return_certificate && opts_.platform.uniprocessor()) {
       d.certificate =
           decision_certificate(d.analysis, admitted, demand_.resident());
     }
@@ -269,14 +371,45 @@ AdmissionDecision AdmissionController::try_admit(const Task& t) {
     return d;
   };
 
-  // Policy gates: no analysis, verdict stays Unknown.
+  // Policy gates: no analysis, verdict stays Unknown. The utilization
+  // cap is a fraction of platform capacity (m processors).
   if (opts_.max_tasks != 0 && demand_.size() >= opts_.max_tasks) {
     return settle(false, AdmissionRung::Structural);
   }
   if (opts_.utilization_cap < 1.0 &&
       demand_.utilization_double() + t.utilization_double() >
-          opts_.utilization_cap) {
+          opts_.utilization_cap * static_cast<double>(opts_.platform.m)) {
     return settle(false, AdmissionRung::Structural);
+  }
+
+  if (global_mode()) {
+    // Global ladder over the widened set: tentative insert (the add is
+    // journaled above and consumes a TaskId even on reject, exactly
+    // like the uniprocessor rung-2 path), one settled ladder pass, and
+    // exact-inverse rollback on reject. The demand store's epsilon
+    // machinery keeps its aggregates maintained but takes no part in
+    // the verdict.
+    probe.enter(AdmissionRung::Utilization);
+    const TaskId id = demand_.add(t);
+    const GlobalLadderOutcome g = run_global_ladder(
+        demand_.resident(), opts_.platform, opts_.skip_exact, probe);
+    d.analysis = g.analysis;
+    if (opts_.return_certificate &&
+        (g.accept || d.analysis.verdict == Verdict::Infeasible)) {
+      // Certify while the widened set is still materialized: the
+      // certificate's claim is about resident + candidate either way.
+      if (auto cert = build_multiprocessor_certificate(
+              demand_.resident(), opts_.platform, g.decided_by,
+              d.analysis)) {
+        d.certificate = *std::move(cert);
+      }
+    }
+    if (g.accept) {
+      d.id = id;
+    } else {
+      demand_.remove(id);
+    }
+    return settle(g.accept, g.rung);
   }
 
   // Rung 1: exact utilization classification of the widened set, O(1)
@@ -382,7 +515,7 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
     ++stats_.by_rung[static_cast<std::size_t>(rung)];
     stats_.total_effort += d.analysis.effort();
     if (!admitted) d.ids.clear();
-    if (opts_.return_certificate) {
+    if (opts_.return_certificate && opts_.platform.uniprocessor()) {
       d.certificate =
           decision_certificate(d.analysis, admitted, demand_.resident());
     }
@@ -407,9 +540,33 @@ GroupDecision AdmissionController::admit_group(std::span<const Task> group) {
   if (opts_.utilization_cap < 1.0) {
     double u = demand_.utilization_double();
     for (const Task& t : group) u += t.utilization_double();
-    if (u > opts_.utilization_cap) {
+    if (u > opts_.utilization_cap * static_cast<double>(opts_.platform.m)) {
       return settle(false, AdmissionRung::Structural);
     }
+  }
+
+  if (global_mode()) {
+    // All-or-nothing under the global ladder: fused insert, one settled
+    // ladder pass over the whole widened set, exact-inverse rollback on
+    // reject (membership and aggregates restore to pre-call values).
+    probe.enter(AdmissionRung::Utilization);
+    demand_.add_group(group, d.ids);
+    const GlobalLadderOutcome g = run_global_ladder(
+        demand_.resident(), opts_.platform, opts_.skip_exact, probe);
+    d.analysis = g.analysis;
+    if (opts_.return_certificate &&
+        (g.accept || d.analysis.verdict == Verdict::Infeasible)) {
+      if (auto cert = build_multiprocessor_certificate(
+              demand_.resident(), opts_.platform, g.decided_by,
+              d.analysis)) {
+        d.certificate = *std::move(cert);
+      }
+    }
+    if (!g.accept) {
+      (void)demand_.remove_group(d.ids);
+      probe.rollback();
+    }
+    return settle(g.accept, g.rung);
   }
 
   // Rung 1: one exact utilization classification of the widened set.
@@ -550,6 +707,18 @@ FeasibilityResult AdmissionController::analyze_resident(TestKind kind) const {
 }
 
 std::vector<TestKind> admission_ladder_tests(const AdmissionOptions& opts) {
+  if (!opts.platform.uniprocessor()) {
+    // Global mode: GFB + window tests, then (unless skip_exact) the RTA
+    // and decisive simulation rungs — the order run_global_ladder runs.
+    std::vector<TestKind> kinds = {
+        TestKind::GfbDensity, TestKind::GlobalBcl,
+        TestKind::GlobalBclIterative, TestKind::GlobalLoad};
+    if (!opts.skip_exact) {
+      kinds.push_back(TestKind::GlobalRta);
+      kinds.push_back(TestKind::GlobalSim);
+    }
+    return kinds;
+  }
   // The ladder is the query layer's default escalation: the registry's
   // incremental backends, then the configured exact fallback.
   return default_ladder_kinds(opts.exact_fallback, !opts.skip_exact);

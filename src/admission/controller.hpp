@@ -20,6 +20,25 @@
 /// the controller's standing invariant. Every decision returns a
 /// FeasibilityResult-compatible instrumentation record.
 ///
+/// Global mode (AdmissionOptions::platform.m > 1): one controller admits
+/// against m identical processors under global EDF. The ladder reshapes
+/// onto the multiprocessor portfolio (analysis/multi/global_tests.hpp),
+/// mapped onto the same rung names so stats, traces, and wire STATS stay
+/// comparable with partitioned deployments:
+///   Utilization — U > m capacity reject (exact rationals) + the GFB
+///                 density accept, both O(n);
+///   Approximate — the window sufficient tests (BCL, iterated BCL,
+///                 load/busy-window), cheapest first;
+///   Exact       — global RTA, then the decisive m-processor simulation
+///                 rung (a sim miss is an infeasibility proof; accepts
+///                 carry periodic-interpretation semantics, see
+///                 sim/oracle.hpp).
+/// Monotone removal safety holds unchanged: every global sufficient
+/// condition is monotone in the task set, so the standing invariant
+/// survives removals. With return_certificate, every decided outcome
+/// carries a MultiprocessorCertificate (query/certificate.hpp) built
+/// over the widened set while it is still materialized.
+///
 /// Not thread-safe; AdmissionEngine provides sharding + locking.
 #pragma once
 
@@ -31,6 +50,7 @@
 
 #include "admission/incremental_dbf.hpp"
 #include "core/analyzer.hpp"
+#include "model/platform.hpp"
 #include "query/certificate.hpp"
 
 namespace edfkit {
@@ -103,6 +123,13 @@ struct AdmissionOptions {
   /// certificate-construction sweep over the resident set, and journal
   /// replay re-pays it (the option is serialized with the controller).
   bool return_certificate = false;
+  /// Execution platform. m == 1 (default) is the classic uniprocessor
+  /// ladder; m > 1 switches the controller into *global* admission mode
+  /// (see the file comment). The utilization_cap policy gate scales with
+  /// m (a cap of 0.9 means 0.9 * m admitted utilization); epsilon and
+  /// exact_fallback apply only to the uniprocessor ladder. Serialized
+  /// with the controller (snapshot format v2).
+  Platform platform;
 };
 
 /// One admit/reject decision, instrumented like the offline tests.
@@ -166,9 +193,18 @@ struct AdmissionStats {
 
 class AdmissionController {
  public:
-  /// \throws std::invalid_argument on non-exact fallback kind or an
-  /// epsilon outside (0, 1].
+  /// \throws std::invalid_argument on non-exact fallback kind, an
+  /// epsilon outside (0, 1], or an invalid platform.
   explicit AdmissionController(AdmissionOptions opts = {});
+
+  /// True when the controller admits against m > 1 processors under
+  /// global EDF (AdmissionOptions::platform).
+  [[nodiscard]] bool global_mode() const noexcept {
+    return !opts_.platform.uniprocessor();
+  }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return opts_.platform;
+  }
 
   /// Admit `t` iff the widened resident set is provably EDF-feasible
   /// (subject to the policy gates). On rejection the resident set is

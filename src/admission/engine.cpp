@@ -22,8 +22,10 @@ const char* to_string(PlacementPolicy p) noexcept {
 
 std::string EngineStats::to_string() const {
   std::ostringstream os;
-  os << "resident=" << resident << " total-utilization="
-     << total_utilization << "\n" << admission.to_string() << "\nshards:";
+  os << "mode=" << (global ? "global" : "partitioned")
+     << " processors=" << processors << " resident=" << resident
+     << " total-utilization=" << total_utilization << "\n"
+     << admission.to_string() << "\nshards:";
   for (std::size_t i = 0; i < shard_utilization.size(); ++i) {
     os << " [" << i << "] n=" << shard_resident[i]
        << " U=" << shard_utilization[i];
@@ -34,6 +36,8 @@ std::string EngineStats::to_string() const {
 std::string EngineStats::to_json() const {
   std::ostringstream os;
   os << "{\"admission\":" << admission.to_json()
+     << ",\"mode\":\"" << (global ? "global" : "partitioned")
+     << "\",\"processors\":" << processors
      << ",\"resident\":" << resident
      << ",\"total_utilization\":" << total_utilization
      << ",\"stats_read_retries\":" << stats_read_retries << ",\"shards\":[";
@@ -92,6 +96,11 @@ void AdmissionEngine::Shard::read_stats(
 AdmissionEngine::AdmissionEngine(EngineOptions opts) : opts_(opts) {
   if (opts_.shards == 0) {
     throw std::invalid_argument("AdmissionEngine: shards >= 1 required");
+  }
+  if (!opts_.admission.platform.uniprocessor()) {
+    // Global mode: the m processors are one scheduling domain, so the
+    // engine degenerates to a single controller (see EngineOptions).
+    opts_.shards = 1;
   }
   shards_.reserve(opts_.shards);
   for (std::size_t i = 0; i < opts_.shards; ++i) {
@@ -322,6 +331,8 @@ void merge_shard(EngineStats& out, const AdmissionStats& s,
 
 void AdmissionEngine::stats_into(EngineStats& out) const {
   reset_stats(out, shards_.size());
+  out.global = global_mode();
+  out.processors = processors();
   std::uint64_t retries = 0;
   for (const auto& shard : shards_) {
     AdmissionStats s;
@@ -342,6 +353,8 @@ void AdmissionEngine::stats_into(EngineStats& out) const {
 
 void AdmissionEngine::stats_locked_into(EngineStats& out) const {
   reset_stats(out, shards_.size());
+  out.global = global_mode();
+  out.processors = processors();
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
     merge_shard(out, shard->controller.stats(), shard->controller.size(),

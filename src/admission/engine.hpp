@@ -70,7 +70,12 @@ enum class PlacementPolicy : std::uint8_t {
 struct EngineOptions {
   std::size_t shards = 4;  ///< partitions (processors); >= 1
   PlacementPolicy placement = PlacementPolicy::FirstFit;
-  AdmissionOptions admission;  ///< per-shard controller options
+  /// Per-shard controller options. When `admission.platform.m > 1`
+  /// the engine runs in *global* mode: one controller admits the whole
+  /// set against m processors (global EDF), so `shards` is coerced to
+  /// 1 and `placement` is irrelevant — partitioned sharding and global
+  /// admission are mutually exclusive views of the same m processors.
+  AdmissionOptions admission;
   /// Worker threads behind submit(); 0 = hardware_concurrency.
   std::size_t workers = 0;
 };
@@ -104,6 +109,11 @@ struct EngineStats {
   double total_utilization = 0.0;  ///< sum over shards
   std::vector<double> shard_utilization;
   std::vector<std::size_t> shard_resident;
+  /// Platform the counters were earned against: partitioned engines
+  /// report one processor per shard; a global engine reports its
+  /// controller's platform width.
+  std::uint32_t processors = 1;
+  bool global = false;  ///< global-EDF mode (one m-processor controller)
   /// Cumulative seqlock read retries ("lapped reader" count) the
   /// wait-free stats path has paid across the engine's lifetime, as of
   /// this snapshot: each retry is a publication that landed while a
@@ -144,6 +154,16 @@ class AdmissionEngine {
   [[nodiscard]] std::future<PlacementDecision> submit(Task t);
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  /// Global-EDF mode: one controller, m processors (see EngineOptions).
+  [[nodiscard]] bool global_mode() const noexcept {
+    return !opts_.admission.platform.uniprocessor();
+  }
+  /// Processor count the engine admits against: shard count when
+  /// partitioned, the platform width when global.
+  [[nodiscard]] std::uint32_t processors() const noexcept {
+    return global_mode() ? opts_.admission.platform.m
+                         : static_cast<std::uint32_t>(shards_.size());
+  }
   /// Worker threads currently running (0 until the first submit()).
   [[nodiscard]] std::size_t workers() const {
     const std::lock_guard<std::mutex> lock(queue_mu_);

@@ -452,6 +452,7 @@ struct SnapshotCodec {
     w.boolean(o.eager_compaction);
     w.boolean(o.rollback_refinements);
     w.boolean(o.return_certificate);
+    w.u32(o.platform.m);  // format v2: global admission mode
 
     const AdmissionStats& s = c.stats_;
     w.u64(s.arrivals);
@@ -495,7 +496,12 @@ struct SnapshotCodec {
     o.eager_compaction = r.boolean();
     o.rollback_refinements = r.boolean();
     o.return_certificate = r.boolean();
-    if (!o.skip_exact && !is_exact(o.exact_fallback)) {
+    o.platform.m = r.u32();  // format v2
+    if (!platform_valid(o.platform)) {
+      throw PersistError(PersistErrc::BadValue, "platform processor count");
+    }
+    if (!o.skip_exact && o.platform.uniprocessor() &&
+        !is_exact(o.exact_fallback)) {
       // Same invariant the constructor enforces.
       throw PersistError(PersistErrc::BadValue,
                          "exact_fallback is not an exact test kind");

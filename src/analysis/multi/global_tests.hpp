@@ -1,0 +1,158 @@
+/// \file global_tests.hpp
+/// Global-EDF schedulability tests for m identical processors, over the
+/// SoA `TaskColumns` kernels (demand/task_view.hpp).
+///
+/// Shape follows schedcat's HRT_TESTS cascade (SNIPPETS.md): a ladder of
+/// *sufficient* tests ordered cheapest-first, closed by a decisive
+/// simulation rung. Each accept is a theorem; each test that cannot
+/// prove schedulability answers Unknown, never a guess — the
+/// cross-validation suite (tests/analysis/test_multi_edf.cpp) asserts
+/// that no accept here is ever contradicted by the m-processor
+/// `sim/edf_sim` oracle on a legal sporadic arrival sequence.
+///
+/// Every condition below is derived from two elementary facts about
+/// preemptive global EDF on m processors (zero jitter, at most one
+/// active job per task — guaranteed pre-first-miss for constrained
+/// deadlines):
+///
+///  (F1) *Blocked instants are all-busy.* While a released, incomplete
+///       job J with absolute deadline t_d is not executing, all m
+///       processors run jobs with deadline <= t_d ("competing work").
+///       If J misses at t_d it executed < C in [t_d - D, t_d), so at
+///       least L = D - C + 1 integer slots of its window are blocked,
+///       and the first L of them carry >= m*L units of competing work.
+///  (F2) *Per-task workload caps.* In a window [a, b) with b <= t_d and
+///       no deadline missed before t_d, task i contributes at most
+///       dbf_i(b - a) from jobs released inside the window (their
+///       deadlines are <= b), plus at most one carry-in job released
+///       before `a` contributing min(C_i, D_i - 1 - s_i) where s_i is a
+///       proven completion-slack lower bound (0 when unproven; the
+///       carry job's deadline is < a + D_i, and it finishes s_i early).
+///       During any set of K blocked slots a single task contributes at
+///       most min(workload, K): its jobs never run in parallel.
+///
+/// The rungs (registry names in brackets):
+///   [gfb]          Goossens–Funk–Baruah density bound, O(n):
+///                  sum(delta_i) <= m - (m-1)*max(delta_i) with
+///                  delta_i = C_i/min(D_i, T_i) in exact rationals
+///                  (density generalization per Bertogna/Cirinei/Lipari;
+///                  valid for arbitrary deadlines). Also owns the two
+///                  O(n) *infeasibility* proofs: U > m (capacity) and
+///                  C_i > D_i (a job cannot parallelize past one
+///                  processor).
+///   [gbl-bcl]      Bertogna–Cirinei–Lipari-style window test, O(n^2):
+///                  task k safe if
+///                    sum_{i != k} min(dbf_i(D_k) + min(C_i, D_i - 1),
+///                                     L_k)  <  m * L_k,
+///                  L_k = D_k - C_k + 1 (direct from F1 + F2).
+///   [gbl-bcl-iter] The same condition with slack iteration: proven
+///                  slacks s_i = D_i - C_i - floor(I_i/m) shrink the
+///                  carry-in term min(C_i, D_i - 1 - s_i) monotonically
+///                  (slack usable only when D_i <= D_k, which forces the
+///                  carry job's deadline strictly before t_d).
+///   [gbl-load]     Busy-window/load test (Baruah-style): extend the
+///                  window left to the last not-all-busy slot; then at
+///                  most m-1 tasks carry in, and for every window length
+///                  A >= D_k,
+///                    sum_i dbf_i(A) - C_k + CS_k  <  m * (A - C_k + 1)
+///                  must fail for a miss to exist, where CS_k is the sum
+///                  of the m-1 largest min(C_i, D_i - 1). The left side
+///                  is piecewise constant in A and the right side grows,
+///                  so only deadline step points up to a closed-form
+///                  A_max (finite when U < m) need checking.
+///   [gbl-rta]      Global response-time analysis: least fixpoint of
+///                    R = C_k + floor(sum_{i != k} min(W_i, R - C_k + 1)
+///                                    / m),
+///                  W_i = dbf_i(D_k) + carry_i(s); accept if R <= D_k,
+///                  with outer slack iteration as in gbl-bcl-iter. The
+///                  response bounds it converges to are the witness the
+///                  MultiprocessorCertificate re-derives.
+///   [gbl-sim]      The decisive rung: m-processor EDF simulation of the
+///                  synchronous periodic pattern (sim/oracle.hpp). A
+///                  miss is a sporadic infeasibility proof; no miss over
+///                  the hyperperiod horizon is exact for the periodic
+///                  interpretation (constrained deadlines, zero jitter).
+///
+/// BAK (Baker's arbitrary-deadline test) was deliberately *not* ported:
+/// its condition could not be re-derived from first principles here, and
+/// an unsound transcription would poison the oracle contract. Sets with
+/// unconstrained deadlines are served by gfb and gbl-sim; the window
+/// rungs answer Unknown for them.
+///
+/// Preconditions, enforced by the TaskSet entry points (columns-level
+/// kernels document rather than check them): zero jitter — the column
+/// `deadline` equals the raw D — and, for the window rungs, constrained
+/// deadlines D_i <= T_i. Violations answer Unknown, never a guess.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "demand/task_view.hpp"
+#include "model/platform.hpp"
+#include "model/task_set.hpp"
+
+namespace edfkit::multi {
+
+/// Shared knobs for the pseudo-polynomial rungs. All caps degrade to
+/// Unknown when exceeded — never to a wrong verdict.
+struct GlobalTestConfig {
+  /// Slack-iteration rounds for gbl-bcl-iter / gbl-rta (each round is
+  /// one pass over all tasks; slacks improve monotonically so a small
+  /// cap loses only precision).
+  unsigned max_rounds = 32;
+  /// Inner fixpoint steps per task for gbl-rta.
+  unsigned max_rta_iterations = 4096;
+  /// Step-point budget per task for gbl-load's window sweep.
+  std::uint64_t max_load_points = 1u << 18;
+};
+
+/// [gfb] O(n log 1) density bound + the O(n) infeasibility gates
+/// (U > m, C_i > D_i). Arbitrary deadlines. \pre zero jitter.
+[[nodiscard]] FeasibilityResult gfb_density_test(const TaskColumns& c,
+                                                 std::uint32_t m);
+
+/// [gbl-bcl] One-pass window test. \pre zero jitter, D_i <= T_i.
+[[nodiscard]] FeasibilityResult global_bcl_test(const TaskColumns& c,
+                                                std::uint32_t m);
+
+/// [gbl-bcl-iter] Slack-iterated window test.
+/// \pre zero jitter, D_i <= T_i.
+[[nodiscard]] FeasibilityResult global_bcl_iterative_test(
+    const TaskColumns& c, std::uint32_t m, const GlobalTestConfig& cfg = {});
+
+/// [gbl-load] Busy-window/load sweep. \pre zero jitter, D_i <= T_i.
+[[nodiscard]] FeasibilityResult global_load_test(
+    const TaskColumns& c, std::uint32_t m, const GlobalTestConfig& cfg = {});
+
+/// [gbl-rta] Global response-time analysis. On accept, `response_bounds`
+/// (when non-null) receives one proven response-time upper bound per
+/// row, aligned with column order — the MultiprocessorCertificate's
+/// witness vector. \pre zero jitter, D_i <= T_i.
+[[nodiscard]] FeasibilityResult global_rta_test(
+    const TaskColumns& c, std::uint32_t m, const GlobalTestConfig& cfg = {},
+    std::vector<Time>* response_bounds = nullptr);
+
+/// TaskSet entry points: enforce the jitter/constrained-deadline gates
+/// (answering Unknown when violated), build the columns, and dispatch.
+/// These are what the registry runners and the admission controller's
+/// global ladder call.
+[[nodiscard]] FeasibilityResult gfb_density_test(const TaskSet& ts,
+                                                 const Platform& p);
+[[nodiscard]] FeasibilityResult global_bcl_test(const TaskSet& ts,
+                                                const Platform& p);
+[[nodiscard]] FeasibilityResult global_bcl_iterative_test(
+    const TaskSet& ts, const Platform& p, const GlobalTestConfig& cfg = {});
+[[nodiscard]] FeasibilityResult global_load_test(
+    const TaskSet& ts, const Platform& p, const GlobalTestConfig& cfg = {});
+[[nodiscard]] FeasibilityResult global_rta_test(
+    const TaskSet& ts, const Platform& p, const GlobalTestConfig& cfg = {},
+    std::vector<Time>* response_bounds = nullptr);
+
+/// True when every task has zero jitter (column preconditions hold).
+[[nodiscard]] bool zero_jitter(const TaskSet& ts) noexcept;
+/// True when every task additionally has D_i <= T_i (window-rung gate).
+[[nodiscard]] bool window_rungs_applicable(const TaskSet& ts) noexcept;
+
+}  // namespace edfkit::multi

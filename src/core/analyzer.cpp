@@ -33,24 +33,13 @@ FeasibilityResult run_test(const TaskSet& ts, TestKind kind,
 }
 
 std::string compare_all(const TaskSet& ts, const AnalyzerOptions& opts) {
-  Query q;
-  q.with_policy(ExecPolicy::Batch).with_certificates(false);
-  for (const TestKind k : all_test_kinds()) {
-    q.add(k, params_from_legacy(k, opts));
+  std::vector<BackendSelection> backends;
+  if (!ts.empty()) {
+    for (const TestKind k : all_test_kinds()) {
+      backends.push_back(BackendSelection{k, params_from_legacy(k, opts)});
+    }
   }
-  std::ostringstream os;
-  os << std::left << std::setw(18) << "test" << std::setw(12) << "verdict"
-     << std::setw(12) << "iterations" << std::setw(11) << "revisions"
-     << "max interval\n";
-  if (ts.empty()) return os.str();
-  const Outcome out = q.run(Workload::periodic(ts));
-  for (const BackendAttempt& a : out.attempts) {
-    os << std::left << std::setw(18) << to_string(a.kind) << std::setw(12)
-       << to_string(a.result.verdict) << std::setw(12) << a.result.iterations
-       << std::setw(11) << a.result.revisions << a.result.max_interval_tested
-       << "\n";
-  }
-  return os.str();
+  return comparison_table(Workload::periodic(ts), backends);
 }
 
 }  // namespace edfkit

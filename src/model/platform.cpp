@@ -1,0 +1,14 @@
+#include "model/platform.hpp"
+
+namespace edfkit {
+
+bool platform_valid(const Platform& p) noexcept {
+  return p.m >= 1 && p.m <= kMaxProcessors;
+}
+
+std::string to_string(const Platform& p) {
+  if (p.uniprocessor()) return "uniprocessor";
+  return "m=" + std::to_string(p.m) + " identical";
+}
+
+}  // namespace edfkit

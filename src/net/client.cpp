@@ -205,7 +205,8 @@ NetResponse Client::call(NetRequest req) {
 NetResponse Client::hello(const std::string& tenant,
                           persist::FsyncPolicy fsync,
                           std::uint64_t fsync_interval, std::uint8_t flags,
-                          const std::string& client) {
+                          const std::string& client,
+                          std::uint32_t platform_m) {
   NetRequest req;
   req.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
   req.hdr.flags = flags;
@@ -213,6 +214,7 @@ NetResponse Client::hello(const std::string& tenant,
   req.durability = static_cast<std::uint8_t>(fsync);
   req.fsync_interval = fsync_interval;
   req.client = client;
+  req.platform_m = platform_m;
   return call(std::move(req));
 }
 
@@ -223,18 +225,20 @@ RetryingClient::RetryingClient(std::string host, std::uint16_t port,
                                RetryPolicy policy,
                                persist::FsyncPolicy fsync,
                                std::uint64_t fsync_interval,
-                               std::uint8_t hello_flags)
+                               std::uint8_t hello_flags,
+                               std::uint32_t platform_m)
     : RetryingClient(
           std::vector<Endpoint>{Endpoint{std::move(host), port}},
           std::move(tenant), std::move(client_id), policy, fsync,
-          fsync_interval, hello_flags) {}
+          fsync_interval, hello_flags, platform_m) {}
 
 RetryingClient::RetryingClient(std::vector<Endpoint> endpoints,
                                std::string tenant, std::string client_id,
                                RetryPolicy policy,
                                persist::FsyncPolicy fsync,
                                std::uint64_t fsync_interval,
-                               std::uint8_t hello_flags)
+                               std::uint8_t hello_flags,
+                               std::uint32_t platform_m)
     : endpoints_(std::move(endpoints)),
       tenant_(std::move(tenant)),
       client_id_(std::move(client_id)),
@@ -242,6 +246,7 @@ RetryingClient::RetryingClient(std::vector<Endpoint> endpoints,
       fsync_(fsync),
       fsync_interval_(fsync_interval),
       hello_flags_(hello_flags),
+      platform_m_(platform_m),
       rng_(policy.seed != 0 ? policy.seed
                             : (static_cast<std::uint64_t>(
                                    std::random_device{}())
@@ -278,7 +283,7 @@ void RetryingClient::ensure_connected() {
   ++reconnects_;
   const NetResponse h =
       conn_.hello(tenant_, fsync_, fsync_interval_, hello_flags_,
-                  client_id_);
+                  client_id_, platform_m_);
   if (h.hdr.status != static_cast<std::uint8_t>(NetStatus::Ok)) {
     conn_.close();
     throw std::runtime_error(std::string("hello failed: ") +

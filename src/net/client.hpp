@@ -83,13 +83,17 @@ class Client {
   [[nodiscard]] NetResponse call(NetRequest req);
 
   /// Convenience HELLO. `flags` are the kFlag* HELLO bits; a nonempty
-  /// `client` opts into server-side exactly-once dedup.
+  /// `client` opts into server-side exactly-once dedup; `platform_m`
+  /// > 1 asks for global admission mode (m processors) at tenant
+  /// creation — the response's platform_m is the tenant's real
+  /// platform, which an attach does not change.
   [[nodiscard]] NetResponse hello(const std::string& tenant,
                                   persist::FsyncPolicy fsync =
                                       persist::FsyncPolicy::None,
                                   std::uint64_t fsync_interval = 64,
                                   std::uint8_t flags = 0,
-                                  const std::string& client = "");
+                                  const std::string& client = "",
+                                  std::uint32_t platform_m = 1);
 
   void close() noexcept;
 
@@ -163,14 +167,16 @@ class RetryingClient {
                  std::string client_id, RetryPolicy policy = {},
                  persist::FsyncPolicy fsync = persist::FsyncPolicy::None,
                  std::uint64_t fsync_interval = 64,
-                 std::uint8_t hello_flags = 0);
+                 std::uint8_t hello_flags = 0,
+                 std::uint32_t platform_m = 1);
   /// Failover-aware: `endpoints` in preference order (front first).
   /// \throws std::invalid_argument when the list is empty.
   RetryingClient(std::vector<Endpoint> endpoints, std::string tenant,
                  std::string client_id, RetryPolicy policy = {},
                  persist::FsyncPolicy fsync = persist::FsyncPolicy::None,
                  std::uint64_t fsync_interval = 64,
-                 std::uint8_t hello_flags = 0);
+                 std::uint8_t hello_flags = 0,
+                 std::uint32_t platform_m = 1);
 
   /// One exactly-once round trip. Fills hdr.request_id itself when the
   /// caller leaves it zero; a pre-set nonzero id is kept verbatim — the
@@ -243,6 +249,7 @@ class RetryingClient {
   persist::FsyncPolicy fsync_;
   std::uint64_t fsync_interval_;
   std::uint8_t hello_flags_;
+  std::uint32_t platform_m_ = 1;
   Client conn_;
   std::uint64_t next_id_ = 1;
   std::uint64_t epoch_ = 0;

@@ -47,6 +47,12 @@ void encode_certificate(ByteWriter& w, const Certificate& c) {
   w.i64(c.bound);
   w.u32(static_cast<std::uint32_t>(c.borders.size()));
   for (const Time b : c.borders) w.i64(b);
+  // v2 trailing multiprocessor fields. The certificate is always the
+  // last element of its message, so a v1 decoder simply leaves these
+  // bytes unread (it never sees multiprocessor kinds anyway: a v1
+  // client cannot HELLO with platform_m > 1).
+  w.u32(c.processors);
+  w.u8(static_cast<std::uint8_t>(c.multi_test));
 }
 
 Certificate decode_certificate(ByteReader& r) {
@@ -57,6 +63,10 @@ Certificate decode_certificate(ByteReader& r) {
   const std::uint32_t n = r.u32();
   c.borders.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) c.borders.push_back(r.i64());
+  if (r.remaining() >= 5) {  // v2: processors u32 + multi_test u8
+    c.processors = r.u32();
+    c.multi_test = static_cast<MultiTest>(r.u8());
+  }
   return c;
 }
 
@@ -132,6 +142,7 @@ std::vector<std::uint8_t> encode_request(const NetRequest& r) {
       // Trailing, so a pre-dedup peer's HELLO still decodes (the
       // decoder probes remaining()).
       w.str(r.client);
+      w.u32(r.platform_m);  // v2 trailing: execution platform
       break;
     case NetOp::Admit:
       encode_task(w, r.task);
@@ -187,6 +198,7 @@ NetRequest decode_request(std::span<const std::uint8_t> payload) {
       out.durability = r.u8();
       out.fsync_interval = r.u64();
       if (r.remaining() > 0) out.client = r.str();
+      if (r.remaining() >= 4) out.platform_m = r.u32();  // v2
       break;
     case NetOp::Admit:
       out.task = decode_task(r);
@@ -262,6 +274,7 @@ std::vector<std::uint8_t> encode_response(const NetResponse& r) {
       w.u64(r.lsn);
       w.u64(r.epoch);
       w.u64(r.highest_applied);
+      w.u32(r.platform_m);  // v2 trailing: the tenant's real platform
       break;
     case NetOp::Admit:
       w.u64(r.id);
@@ -294,6 +307,7 @@ std::vector<std::uint8_t> encode_response(const NetResponse& r) {
       w.f64(r.stats.utilization);
       w.f64(r.stats.cert_ratio);
       w.str(r.stats_json);
+      w.u32(r.platform_m);  // v2 trailing: admission platform
       break;
     case NetOp::ReplHello:
     case NetOp::ReplAppend:
@@ -336,6 +350,7 @@ NetResponse decode_response(std::span<const std::uint8_t> payload) {
         out.epoch = r.u64();
         out.highest_applied = r.u64();
       }
+      if (r.remaining() >= 4) out.platform_m = r.u32();  // v2
       break;
     case NetOp::Admit:
       out.id = r.u64();
@@ -371,6 +386,7 @@ NetResponse decode_response(std::span<const std::uint8_t> payload) {
       out.stats.utilization = r.f64();
       out.stats.cert_ratio = r.f64();
       out.stats_json = r.str();
+      if (r.remaining() >= 4) out.platform_m = r.u32();  // v2
       break;
     case NetOp::ReplHello:
     case NetOp::ReplAppend:

@@ -25,9 +25,10 @@
 /// pipeline requests and match replies. `status` is zero in requests.
 ///
 /// Ops: HELLO names the tenant and negotiates its durability class
-/// (persist/journal.hpp FsyncPolicy) and whether decisions build
-/// certificates; every other op requires a prior HELLO on the same
-/// connection. ADMIT/ADMIT_GROUP/REMOVE/REMOVE_GROUP map 1:1 onto the
+/// (persist/journal.hpp FsyncPolicy), whether decisions build
+/// certificates, and (v2) the tenant's execution platform — platform_m
+/// processors, selecting global admission mode when > 1; every other
+/// op requires a prior HELLO on the same connection. ADMIT/ADMIT_GROUP/REMOVE/REMOVE_GROUP map 1:1 onto the
 /// AdmissionController entry points (admission/controller.hpp), STATS
 /// returns the tenant's wait-free StoreHeader plus its running
 /// counters, PING is a framing no-op.
@@ -55,7 +56,14 @@
 
 namespace edfkit::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 grew HELLO by a trailing `platform_m` (global admission mode:
+/// the tenant's controller admits against m processors instead of
+/// partitioned uniprocessor shards) and the certificate codec by the
+/// multiprocessor fields. All v2 fields are trailing, so v1 peers
+/// interoperate: the server accepts kMinProtocolVersion..kProtocolVersion
+/// and a v1 HELLO defaults to platform_m = 1.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 /// Frames larger than this are a protocol violation (a length prefix
 /// this big is noise or abuse, not a real request).
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
@@ -153,6 +161,12 @@ struct NetRequest {
   /// applied result instead of being applied twice. Mutually exclusive
   /// with kFlagBatchFuse. Empty (the default) = anonymous, no dedup.
   std::string client;
+  /// HELLO (v2, trailing): processor count the tenant admits against.
+  /// 1 (the v1 default) = the classic uniprocessor ladder; m > 1 puts
+  /// the tenant's controller in global admission mode (global-EDF test
+  /// cascade over m identical processors). Like durability, the value
+  /// is fixed by the tenant's *first* HELLO; later HELLOs attach.
+  std::uint32_t platform_m = 1;
   // Admit
   Task task;
   // AdmitGroup
@@ -207,6 +221,11 @@ struct NetResponse {
   /// Hello: highest request_id already applied for this client (0 when
   /// anonymous or never seen). The client resumes ids above this.
   std::uint64_t highest_applied = 0;
+  /// Hello + Stats (v2, trailing): the processor count the tenant's
+  /// controller actually admits against. A HELLO that *attached* to an
+  /// existing tenant echoes the tenant's platform, which may differ
+  /// from the request's platform_m — clients should check.
+  std::uint32_t platform_m = 1;
   // Shed / Unavailable
   std::uint32_t retry_after_ms = 0;
   /// ReplAck (reusing base_lsn/lsn for the follower's on-disk window

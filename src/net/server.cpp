@@ -34,6 +34,14 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// The server speaks every version from kMinProtocolVersion up: all v2
+/// additions are trailing fields, so a v1 request decodes to the same
+/// struct with the defaults (platform_m = 1) and a v2 response's extra
+/// bytes are ignored by a v1 client.
+constexpr bool version_ok(std::uint8_t v) noexcept {
+  return v >= kMinProtocolVersion && v <= kProtocolVersion;
+}
+
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -313,7 +321,7 @@ void Server::serve_pending() {
     if (!standby_ && c.fuse && c.tenant != nullptr &&
         c.client_id.empty() && !c.tenant->quarantined() &&
         req.hdr.op == static_cast<std::uint8_t>(NetOp::Admit) &&
-        req.hdr.version == kProtocolVersion) {
+        version_ok(req.hdr.version)) {
       // Extend the fuse run: consecutive single ADMITs for the same
       // tenant from fuse-enabled connections. (Dedup connections never
       // fuse — the fused journal shape could not rebuild their cached
@@ -328,7 +336,7 @@ void Server::serve_pending() {
           break;
         }
         if (p.req.hdr.op != static_cast<std::uint8_t>(NetOp::Admit) ||
-            p.req.hdr.version != kProtocolVersion) {
+            !version_ok(p.req.hdr.version)) {
           break;
         }
         ++run;
@@ -402,7 +410,7 @@ void Server::serve_one(Connection& c, const NetRequest& req,
   // answer mutating client ops at all before promotion — not even from
   // its dedup cache, whose authoritative copy is still the primary's.
   // HELLO/STATS/PING stay up (health checks, pre-failover probes).
-  if (standby_ && mutating && req.hdr.version == kProtocolVersion) {
+  if (standby_ && mutating && version_ok(req.hdr.version)) {
     unavailable();
     finish_op_ns();
     send_response(c, resp);
@@ -410,7 +418,7 @@ void Server::serve_one(Connection& c, const NetRequest& req,
   }
 
   // Exactly-once and failure-domain gates, ahead of op dispatch.
-  if (req.hdr.version == kProtocolVersion && mutating &&
+  if (version_ok(req.hdr.version) && mutating &&
       tenant != nullptr) {
     if (marked && req.hdr.request_id == 0) {
       fail(NetStatus::BadRequest);  // dedup needs real ids (>= 1)
@@ -450,7 +458,7 @@ void Server::serve_one(Connection& c, const NetRequest& req,
 
   bool applied = false;  // run the checkpoint hook after sending
 
-  if (req.hdr.version != kProtocolVersion) {
+  if (!version_ok(req.hdr.version)) {
     fail(NetStatus::BadVersion);
   } else {
     switch (op) {
@@ -476,7 +484,8 @@ void Server::serve_one(Connection& c, const NetRequest& req,
               req.tenant,
               static_cast<persist::FsyncPolicy>(req.durability),
               req.fsync_interval,
-              (req.hdr.flags & kFlagCertifiedTenant) != 0);
+              (req.hdr.flags & kFlagCertifiedTenant) != 0,
+              req.platform_m);
           c.tenant = &t;
           tenant = &t;
           c.client_id = req.client;
@@ -486,6 +495,10 @@ void Server::serve_one(Connection& c, const NetRequest& req,
           resp.epoch = t.epoch();
           resp.highest_applied =
               req.client.empty() ? 0 : t.highest_applied(req.client);
+          // Echo the platform the tenant *actually* admits against —
+          // an attach to an existing tenant keeps its platform, like
+          // its durability class.
+          resp.platform_m = t.controller().platform().m;
         } catch (const std::invalid_argument&) {
           fail(NetStatus::BadRequest);
         } catch (const persist::PersistError&) {
@@ -605,6 +618,7 @@ void Server::serve_one(Connection& c, const NetRequest& req,
         const AdmissionController& ctl = tenant->controller();
         resp.stats = ctl.demand_header();
         resp.stats_json = ctl.stats().to_json();
+        resp.platform_m = ctl.platform().m;
         break;
       }
       case NetOp::ReplHello:

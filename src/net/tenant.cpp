@@ -126,11 +126,12 @@ class DedupRebuild final : public ReplayObserver {
 
 Tenant::Tenant(std::string name, const TenantOptions& opts,
                persist::FsyncPolicy fsync, std::uint64_t fsync_interval,
-               bool certified, obs::Obs* obs)
+               bool certified, obs::Obs* obs, std::uint32_t platform_m)
     : name_(std::move(name)),
       ctl_([&] {
         AdmissionOptions a = opts.admission;
         a.return_certificate = a.return_certificate || certified;
+        a.platform.m = platform_m;  // > 1 selects global admission mode
         return AdmissionController(a);
       }()),
       fsync_(fsync),
@@ -429,7 +430,8 @@ TenantTable::TenantTable(TenantOptions opts, obs::Obs* obs)
 Tenant& TenantTable::get_or_create(const std::string& name,
                                    persist::FsyncPolicy fsync,
                                    std::uint64_t fsync_interval,
-                                   bool certified) {
+                                   bool certified,
+                                   std::uint32_t platform_m) {
   if (!valid_tenant_name(name)) {
     throw std::invalid_argument("invalid tenant name");
   }
@@ -438,7 +440,7 @@ Tenant& TenantTable::get_or_create(const std::string& name,
     it = tenants_
              .emplace(name, std::make_unique<Tenant>(
                                 name, opts_, fsync, fsync_interval,
-                                certified, obs_))
+                                certified, obs_, platform_m))
              .first;
   }
   return *it->second;

@@ -81,7 +81,7 @@ class Tenant {
  public:
   Tenant(std::string name, const TenantOptions& opts,
          persist::FsyncPolicy fsync, std::uint64_t fsync_interval,
-         bool certified, obs::Obs* obs);
+         bool certified, obs::Obs* obs, std::uint32_t platform_m = 1);
   Tenant(const Tenant&) = delete;
   Tenant& operator=(const Tenant&) = delete;
   ~Tenant();
@@ -308,13 +308,17 @@ class TenantTable {
   explicit TenantTable(TenantOptions opts, obs::Obs* obs = nullptr);
 
   /// Look up `name`, creating (and, when durable artifacts exist,
-  /// recovering) it on first use. The fsync/certified parameters only
-  /// apply at creation. \throws std::invalid_argument for invalid
-  /// names, PersistError when recovery finds corrupt artifacts.
+  /// recovering) it on first use. The fsync/certified/platform_m
+  /// parameters only apply at creation (platform_m > 1 creates the
+  /// tenant's controller in global admission mode; a recovered
+  /// snapshot's platform wins over the parameter). \throws
+  /// std::invalid_argument for invalid names or an invalid platform,
+  /// PersistError when recovery finds corrupt artifacts.
   [[nodiscard]] Tenant& get_or_create(const std::string& name,
                                       persist::FsyncPolicy fsync,
                                       std::uint64_t fsync_interval,
-                                      bool certified);
+                                      bool certified,
+                                      std::uint32_t platform_m = 1);
 
   /// Look up only; nullptr when absent.
   [[nodiscard]] Tenant* find(const std::string& name) noexcept;

@@ -33,7 +33,11 @@ namespace edfkit::persist {
 
 inline constexpr char kSnapshotMagic[8] = {'E', 'D', 'F', 'K',
                                            'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: AdmissionOptions grew the execution platform (processor count)
+/// for global admission mode. v1 snapshots predate the field and are
+/// rejected (re-seed from the journal, which is operation-level and
+/// version-independent).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class PersistErrc : std::uint8_t {
   IoError,     ///< open/read/write/rename/fsync failed

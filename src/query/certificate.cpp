@@ -1,15 +1,20 @@
 #include "query/certificate.hpp"
 
 #include <deque>
+#include <limits>
 #include <sstream>
 
 #include "analysis/bounds.hpp"
+#include "analysis/multi/global_tests.hpp"
 #include "analysis/utilization.hpp"
 #include "demand/accumulator.hpp"
 #include "demand/approx.hpp"
 #include "demand/dbf.hpp"
 #include "demand/intervals.hpp"
+#include "query/registry.hpp"
+#include "sim/oracle.hpp"
 #include "util/fixedpoint.hpp"
+#include "util/rational.hpp"
 
 namespace edfkit {
 namespace {
@@ -150,6 +155,135 @@ CertificateCheck verify_exhaustive(const TaskSet& ts, const Certificate& c,
   return out;
 }
 
+/// True when some task alone overloads one processor (C_i > D_i): no
+/// global schedule, on any m, can finish it — a job never parallelizes.
+bool some_job_overloads(const TaskSet& ts) noexcept {
+  for (const Task& t : ts.tasks()) {
+    if (t.wcet > t.effective_deadline()) return true;
+  }
+  return false;
+}
+
+/// Proof that U > m: exact rationals when they fit, else a certified
+/// double *lower* bound (nearest-rounded sum of n nonnegative terms is
+/// within (n + 4) * eps of the exact value, so deflating by that still
+/// exceeding m is a sound overload proof — realistic tick-resolution
+/// periods overflow the exact path routinely).
+bool utilization_provably_above(const TaskSet& ts, std::uint32_t m) {
+  const Rational u = ts.utilization();
+  if (u.exact()) return u.certainly_gt(static_cast<Time>(m));
+  double acc = 0.0;
+  for (const Task& t : ts.tasks()) {
+    if (is_time_infinite(t.period)) continue;
+    acc += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  const double slack = (static_cast<double>(ts.size()) + 4.0) *
+                       std::numeric_limits<double>::epsilon();
+  return acc * (1.0 - slack) > static_cast<double>(m);
+}
+
+CertificateCheck verify_multi(const TaskSet& ts, const Certificate& c,
+                              std::uint64_t max_points) {
+  const Platform p{c.processors};
+  if (!platform_valid(p)) return rejected("invalid processor count");
+  CertificateCheck out;
+  // Deterministic-recomputation budget: each rung's work is bounded by
+  // its own caps; count one "point" per task as replay bookkeeping.
+  out.points_checked = ts.size();
+  (void)max_points;
+  switch (c.kind) {
+    case CertificateKind::MultiFeasibleDensity: {
+      if (multi::gfb_density_test(ts, p).verdict != Verdict::Feasible) {
+        return rejected("GFB density condition does not hold");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::MultiFeasibleWindow: {
+      switch (c.multi_test) {
+        case MultiTest::Bcl:
+          if (multi::global_bcl_test(ts, p).verdict != Verdict::Feasible) {
+            return rejected("BCL window condition does not hold");
+          }
+          break;
+        case MultiTest::BclIter:
+          if (multi::global_bcl_iterative_test(ts, p).verdict !=
+              Verdict::Feasible) {
+            return rejected("iterated BCL window condition does not hold");
+          }
+          break;
+        case MultiTest::Load:
+          if (multi::global_load_test(ts, p).verdict != Verdict::Feasible) {
+            return rejected("load/busy-window condition does not hold");
+          }
+          break;
+        case MultiTest::Rta: {
+          std::vector<Time> recomputed;
+          if (multi::global_rta_test(ts, p, {}, &recomputed).verdict !=
+              Verdict::Feasible) {
+            return rejected("global RTA does not converge within deadlines");
+          }
+          if (c.borders.size() != ts.size()) {
+            return rejected("response-bound count does not match task count");
+          }
+          for (std::size_t i = 0; i < ts.size(); ++i) {
+            if (c.borders[i] > ts[i].effective_deadline()) {
+              return rejected("claimed response bound exceeds deadline of "
+                              "task " + std::to_string(i));
+            }
+            if (recomputed[i] > c.borders[i]) {
+              return rejected("claimed response bound below the recomputed "
+                              "bound for task " + std::to_string(i));
+            }
+          }
+          break;
+        }
+        default:
+          return rejected("window certificate names no window test");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::MultiFeasibleSim: {
+      OracleConfig cfg;
+      if (c.bound > 0) cfg.max_horizon = c.bound;
+      const FeasibilityResult r = simulate_global_feasibility(ts, p.m, cfg);
+      if (r.verdict != Verdict::Feasible) {
+        return rejected("simulation does not re-establish feasibility");
+      }
+      out.points_checked += static_cast<std::uint64_t>(r.iterations);
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::MultiInfeasibleOverload: {
+      if (!utilization_provably_above(ts, p.m)) {
+        return rejected("utilization not provably > m");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::MultiInfeasibleJob: {
+      if (!some_job_overloads(ts)) {
+        return rejected("no task has C > D");
+      }
+      out.valid = true;
+      return out;
+    }
+    case CertificateKind::MultiInfeasibleSim: {
+      OracleConfig cfg;
+      if (c.bound > 0) cfg.max_horizon = c.bound;
+      const FeasibilityResult r = simulate_global_feasibility(ts, p.m, cfg);
+      if (r.verdict != Verdict::Infeasible) {
+        return rejected("simulation does not reproduce the deadline miss");
+      }
+      out.points_checked += static_cast<std::uint64_t>(r.iterations);
+      out.valid = true;
+      return out;
+    }
+    default: return rejected("not a multiprocessor certificate");
+  }
+}
+
 }  // namespace
 
 const char* to_string(CertificateKind k) noexcept {
@@ -159,6 +293,27 @@ const char* to_string(CertificateKind k) noexcept {
     case CertificateKind::FeasibleExhaustive: return "feasible-exhaustive";
     case CertificateKind::InfeasibleWitness: return "infeasible-witness";
     case CertificateKind::InfeasibleOverload: return "infeasible-overload";
+    case CertificateKind::MultiFeasibleDensity:
+      return "multi-feasible-density";
+    case CertificateKind::MultiFeasibleWindow: return "multi-feasible-window";
+    case CertificateKind::MultiFeasibleSim: return "multi-feasible-sim";
+    case CertificateKind::MultiInfeasibleOverload:
+      return "multi-infeasible-overload";
+    case CertificateKind::MultiInfeasibleJob: return "multi-infeasible-job";
+    case CertificateKind::MultiInfeasibleSim: return "multi-infeasible-sim";
+  }
+  return "?";
+}
+
+const char* to_string(MultiTest t) noexcept {
+  switch (t) {
+    case MultiTest::None: return "none";
+    case MultiTest::Gfb: return "gfb";
+    case MultiTest::Bcl: return "bcl";
+    case MultiTest::BclIter: return "bcl-iter";
+    case MultiTest::Load: return "load";
+    case MultiTest::Rta: return "rta";
+    case MultiTest::Sim: return "sim";
   }
   return "?";
 }
@@ -173,6 +328,19 @@ std::string Certificate::to_string() const {
       break;
     case CertificateKind::FeasibleBorders:
       os << "(n=" << borders.size() << ")";
+      break;
+    case CertificateKind::MultiFeasibleWindow:
+      os << "(m=" << processors << ", test=" << edfkit::to_string(multi_test)
+         << ")";
+      break;
+    case CertificateKind::MultiInfeasibleSim:
+      os << "(m=" << processors << ", miss=" << witness << ")";
+      break;
+    case CertificateKind::MultiFeasibleDensity:
+    case CertificateKind::MultiFeasibleSim:
+    case CertificateKind::MultiInfeasibleOverload:
+    case CertificateKind::MultiInfeasibleJob:
+      os << "(m=" << processors << ")";
       break;
     default: break;
   }
@@ -207,6 +375,13 @@ CertificateCheck verify(const TaskSet& ts, const Certificate& c,
       return verify_borders(ts, c, max_points);
     case CertificateKind::FeasibleExhaustive:
       return verify_exhaustive(ts, c, max_points);
+    case CertificateKind::MultiFeasibleDensity:
+    case CertificateKind::MultiFeasibleWindow:
+    case CertificateKind::MultiFeasibleSim:
+    case CertificateKind::MultiInfeasibleOverload:
+    case CertificateKind::MultiInfeasibleJob:
+    case CertificateKind::MultiInfeasibleSim:
+      return verify_multi(ts, c, max_points);
   }
   return rejected("unknown certificate kind");
 }
@@ -290,6 +465,98 @@ std::optional<Certificate> build_feasibility_certificate(
     iold = point;
   }
   return cert;
+}
+
+std::optional<Certificate> build_multiprocessor_certificate(
+    const TaskSet& ts, const Platform& p, TestKind decided_by,
+    const FeasibilityResult& r) {
+  if (!platform_valid(p)) return std::nullopt;
+  Certificate c;
+  c.processors = p.m;
+
+  if (r.verdict == Verdict::Infeasible) {
+    // Classify by the strongest independently-checkable refutation, in
+    // gate order: a single overlong job, provable over-utilization, then
+    // the simulated miss (the sim rung's own evidence).
+    if (some_job_overloads(ts)) {
+      c.kind = CertificateKind::MultiInfeasibleJob;
+      c.witness = r.witness;
+      return c;
+    }
+    if (utilization_provably_above(ts, p.m)) {
+      c.kind = CertificateKind::MultiInfeasibleOverload;
+      return c;
+    }
+    if (decided_by == TestKind::GlobalSim) {
+      c.kind = CertificateKind::MultiInfeasibleSim;
+      c.witness = r.witness;
+      c.multi_test = MultiTest::Sim;
+      return c;
+    }
+    return std::nullopt;
+  }
+  if (r.verdict != Verdict::Feasible) return std::nullopt;
+
+  // Re-derive the accepting condition (with default budgets) instead of
+  // trusting the caller's result — an unsound claim must die here, not
+  // in the checker.
+  switch (decided_by) {
+    case TestKind::GfbDensity:
+      if (multi::gfb_density_test(ts, p).verdict != Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleDensity;
+      c.multi_test = MultiTest::Gfb;
+      return c;
+    case TestKind::GlobalBcl:
+      if (multi::global_bcl_test(ts, p).verdict != Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleWindow;
+      c.multi_test = MultiTest::Bcl;
+      return c;
+    case TestKind::GlobalBclIterative:
+      if (multi::global_bcl_iterative_test(ts, p).verdict !=
+          Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleWindow;
+      c.multi_test = MultiTest::BclIter;
+      return c;
+    case TestKind::GlobalLoad:
+      if (multi::global_load_test(ts, p).verdict != Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleWindow;
+      c.multi_test = MultiTest::Load;
+      return c;
+    case TestKind::GlobalRta: {
+      std::vector<Time> bounds;
+      if (multi::global_rta_test(ts, p, {}, &bounds).verdict !=
+          Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleWindow;
+      c.multi_test = MultiTest::Rta;
+      c.borders = std::move(bounds);
+      return c;
+    }
+    case TestKind::GlobalSim: {
+      OracleConfig cfg;
+      if (r.max_interval_tested > 0) {
+        cfg.max_horizon = r.max_interval_tested;
+      }
+      if (simulate_global_feasibility(ts, p.m, cfg).verdict !=
+          Verdict::Feasible) {
+        return std::nullopt;
+      }
+      c.kind = CertificateKind::MultiFeasibleSim;
+      c.multi_test = MultiTest::Sim;
+      c.bound = cfg.max_horizon;
+      return c;
+    }
+    default: return std::nullopt;
+  }
 }
 
 }  // namespace edfkit

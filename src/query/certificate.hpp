@@ -32,6 +32,20 @@
 /// exhaustive certificate: a bound B such that checking the exact dbf at
 /// every deadline in (0, B] proves feasibility; the checker recomputes
 /// its own sound bound and replays the full scan.
+///
+/// Multiprocessor verdicts (Platform.m > 1) carry a
+/// *MultiprocessorCertificate* extension: the same Certificate struct
+/// with `processors` and `multi_test` set, naming the sufficient
+/// condition (or simulation) that proved the verdict. The checker
+/// re-establishes the claim by *deterministic recomputation* of that
+/// named condition over the task set — never by checking claimed
+/// fixpoints (a transplanted "fixpoint" can be self-consistent yet
+/// unsound; recomputation from the sound starting point cannot). For
+/// the RTA form `borders` additionally carries the claimed per-task
+/// response bounds; the checker recomputes its own bounds and rejects
+/// when any recomputed bound exceeds the claimed one or any claim
+/// exceeds its deadline, so mutation (shrinking a bound, inflating one
+/// past D, transplanting onto another set) fails.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +54,13 @@
 #include <vector>
 
 #include "analysis/types.hpp"
+#include "model/platform.hpp"
 #include "model/task_set.hpp"
 #include "query/workload.hpp"
 
 namespace edfkit {
+
+enum class TestKind : int;  // full definition in query/registry.hpp
 
 enum class CertificateKind : std::uint8_t {
   None,                ///< no certificate attached
@@ -51,21 +68,52 @@ enum class CertificateKind : std::uint8_t {
   FeasibleExhaustive,  ///< bound B; full exact-dbf replay over (0, B]
   InfeasibleWitness,   ///< interval W with exact dbf(W) > W
   InfeasibleOverload,  ///< exact utilization > 1
+  MultiFeasibleDensity,    ///< GFB density condition holds on m procs
+  MultiFeasibleWindow,     ///< a window/RTA sufficient condition holds
+  MultiFeasibleSim,        ///< m-proc sim: no miss (periodic semantics)
+  MultiInfeasibleOverload, ///< exact utilization > m
+  MultiInfeasibleJob,      ///< some task has C_i > D_i
+  MultiInfeasibleSim,      ///< m-proc sim missed (sporadic refutation)
 };
 
 [[nodiscard]] const char* to_string(CertificateKind k) noexcept;
 
+/// Which global test a MultiFeasibleWindow certificate names; the
+/// checker recomputes exactly this condition.
+enum class MultiTest : std::uint8_t {
+  None,
+  Gfb,
+  Bcl,
+  BclIter,
+  Load,
+  Rta,
+  Sim,
+};
+
+[[nodiscard]] const char* to_string(MultiTest t) noexcept;
+
 struct Certificate {
   CertificateKind kind = CertificateKind::None;
   /// InfeasibleWitness: the overflow interval W.
+  /// MultiInfeasibleSim: the simulated miss instant (informational; the
+  /// checker re-runs the deterministic simulation rather than trust it).
   Time witness = -1;
   /// FeasibleExhaustive: the replay bound B.
+  /// MultiFeasibleSim / MultiInfeasibleSim: the simulation horizon cap.
   Time bound = 0;
   /// FeasibleBorders: border b_i per task, aligned with task order.
+  /// MultiFeasibleWindow(Rta): claimed response-time bound per task.
   std::vector<Time> borders;
+  /// Multiprocessor extension: platform width the claim is for (1 for
+  /// the uniprocessor kinds) and the named sufficient condition.
+  std::uint32_t processors = 1;
+  MultiTest multi_test = MultiTest::None;
 
   [[nodiscard]] bool present() const noexcept {
     return kind != CertificateKind::None;
+  }
+  [[nodiscard]] bool multiprocessor() const noexcept {
+    return kind >= CertificateKind::MultiFeasibleDensity;
   }
   [[nodiscard]] std::string to_string() const;
 };
@@ -107,5 +155,16 @@ inline constexpr std::uint64_t kDefaultVerifyPointCap = 1u << 22;
 /// set is not provably feasible (never emits an unsound certificate).
 [[nodiscard]] std::optional<Certificate> build_feasibility_certificate(
     const TaskSet& ts, std::uint64_t step_cap = 1u << 20);
+
+/// Build the MultiprocessorCertificate for a global-mode verdict decided
+/// by the backend `decided_by` (one of the Global* / GfbDensity kinds)
+/// on platform `p`. Re-derives everything it attaches (e.g. the RTA
+/// response bounds) rather than trusting `r`, so the result always
+/// passes verify() when the verdict was sound. Returns nullopt when the
+/// deciding kind is not a global backend or the condition cannot be
+/// re-established (a library bug — never emits an unsound certificate).
+[[nodiscard]] std::optional<Certificate> build_multiprocessor_certificate(
+    const TaskSet& ts, const Platform& p, TestKind decided_by,
+    const FeasibilityResult& r);
 
 }  // namespace edfkit

@@ -27,6 +27,12 @@ BackendParams default_params(TestKind kind) {
     case TestKind::AllApprox: return AllApproxOptions{};
     case TestKind::RtcCurve: return RtcCurveParams{};
     case TestKind::DeviEnvelope: return DeviEnvelopeParams{};
+    case TestKind::GfbDensity: return GfbParams{};
+    case TestKind::GlobalBcl: return GlobalBclParams{};
+    case TestKind::GlobalBclIterative: return GlobalBclIterParams{};
+    case TestKind::GlobalLoad: return GlobalLoadParams{};
+    case TestKind::GlobalRta: return GlobalRtaParams{};
+    case TestKind::GlobalSim: return GlobalSimParams{};
   }
   throw std::invalid_argument("default_params: unknown TestKind");
 }
@@ -51,6 +57,18 @@ bool params_match(TestKind kind, const BackendParams& params) noexcept {
       return std::holds_alternative<RtcCurveParams>(params);
     case TestKind::DeviEnvelope:
       return std::holds_alternative<DeviEnvelopeParams>(params);
+    case TestKind::GfbDensity:
+      return std::holds_alternative<GfbParams>(params);
+    case TestKind::GlobalBcl:
+      return std::holds_alternative<GlobalBclParams>(params);
+    case TestKind::GlobalBclIterative:
+      return std::holds_alternative<GlobalBclIterParams>(params);
+    case TestKind::GlobalLoad:
+      return std::holds_alternative<GlobalLoadParams>(params);
+    case TestKind::GlobalRta:
+      return std::holds_alternative<GlobalRtaParams>(params);
+    case TestKind::GlobalSim:
+      return std::holds_alternative<GlobalSimParams>(params);
   }
   return false;
 }
@@ -76,6 +94,15 @@ void validate_params(TestKind kind, const BackendParams& params) {
     if (aa->bound && *aa->bound <= 0) reject(kind, "bound must be > 0");
   } else if (const auto* pd = std::get_if<ProcessorDemandOptions>(&params)) {
     if (pd->bound && *pd->bound <= 0) reject(kind, "bound must be > 0");
+  } else if (const auto* bi = std::get_if<GlobalBclIterParams>(&params)) {
+    if (bi->max_rounds < 1) reject(kind, "max_rounds must be >= 1");
+  } else if (const auto* gl = std::get_if<GlobalLoadParams>(&params)) {
+    if (gl->max_points < 1) reject(kind, "max_points must be >= 1");
+  } else if (const auto* gr = std::get_if<GlobalRtaParams>(&params)) {
+    if (gr->max_rounds < 1) reject(kind, "max_rounds must be >= 1");
+    if (gr->max_iterations < 1) reject(kind, "max_iterations must be >= 1");
+  } else if (const auto* gs = std::get_if<GlobalSimParams>(&params)) {
+    if (gs->max_horizon <= 0) reject(kind, "max_horizon must be > 0");
   }
 }
 

@@ -51,6 +51,33 @@ struct RtcCurveParams {};
 /// Devi envelopes on the curve machinery — no knobs.
 struct DeviEnvelopeParams {};
 
+/// Global-EDF density bound (gfb) — no knobs.
+struct GfbParams {};
+
+/// Global-EDF one-pass window test (gbl-bcl) — no knobs.
+struct GlobalBclParams {};
+
+/// Global-EDF slack-iterated window test (gbl-bcl-iter).
+struct GlobalBclIterParams {
+  unsigned max_rounds = 32;  ///< >= 1 slack-iteration rounds
+};
+
+/// Global-EDF busy-window/load sweep (gbl-load).
+struct GlobalLoadParams {
+  std::uint64_t max_points = 1u << 18;  ///< >= 1 step points per task
+};
+
+/// Global-EDF response-time analysis (gbl-rta).
+struct GlobalRtaParams {
+  unsigned max_rounds = 32;          ///< >= 1 outer slack rounds
+  unsigned max_iterations = 4096;    ///< >= 1 inner fixpoint steps
+};
+
+/// Global-EDF simulation rung (gbl-sim): the decisive closer.
+struct GlobalSimParams {
+  Time max_horizon = 50'000'000;  ///< > 0; refuse longer hyperperiods
+};
+
 /// One variant alternative per backend; ProcessorDemandOptions,
 /// DynamicTestOptions and AllApproxOptions are reused directly from the
 /// analysis layer (they were already well-typed).
@@ -58,7 +85,9 @@ using BackendParams =
     std::variant<LiuLaylandParams, DeviParams, SuperPosParams,
                  ChakrabortyParams, ProcessorDemandOptions, QpaParams,
                  DynamicTestOptions, AllApproxOptions, RtcCurveParams,
-                 DeviEnvelopeParams>;
+                 DeviEnvelopeParams, GfbParams, GlobalBclParams,
+                 GlobalBclIterParams, GlobalLoadParams, GlobalRtaParams,
+                 GlobalSimParams>;
 
 /// Default-constructed params for `kind`.
 [[nodiscard]] BackendParams default_params(TestKind kind);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <iomanip>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -92,6 +93,21 @@ Query Query::ladder(TestKind exact_fallback, double epsilon,
   return q;
 }
 
+Query Query::cascade(const Platform& p) {
+  if (!platform_valid(p)) {
+    throw std::invalid_argument("Query::cascade: invalid platform " +
+                                edfkit::to_string(p));
+  }
+  if (p.uniprocessor()) return ladder();
+  Query q;
+  q.policy_ = ExecPolicy::Ladder;
+  q.platform_ = p;
+  for (const TestKind k : default_ladder_kinds(p)) {
+    q.backends_.push_back({k, default_params(k)});
+  }
+  return q;
+}
+
 Query Query::portfolio() {
   Query q;
   q.policy_ = ExecPolicy::Portfolio;
@@ -130,9 +146,26 @@ Query& Query::with_certificates(bool want) {
   return *this;
 }
 
+Query& Query::with_platform(Platform platform) {
+  platform_ = platform;
+  return *this;
+}
+
+Query& Query::with_options(const QueryOptions& options) {
+  policy_ = options.policy;
+  limits_ = options.limits;
+  certificates_ = options.certificates;
+  platform_ = options.platform;
+  return *this;
+}
+
 void Query::validate() const {
   if (backends_.empty()) {
     throw std::invalid_argument("Query: no backend selected");
+  }
+  if (!platform_valid(platform_)) {
+    throw std::invalid_argument("Query: invalid platform " +
+                                edfkit::to_string(platform_));
   }
   if (policy_ == ExecPolicy::Single && backends_.size() != 1) {
     throw std::invalid_argument(
@@ -173,17 +206,28 @@ Outcome Query::run(const WorkloadView& w) const {
       out.skipped.push_back(sel.kind);
       continue;
     }
+    if (!info->supports(platform_)) {
+      if (policy_ == ExecPolicy::Single) {
+        throw std::invalid_argument(
+            std::string("Query: backend '") + info->name +
+            "' does not support platform " + edfkit::to_string(platform_));
+      }
+      out.skipped.push_back(sel.kind);
+      continue;
+    }
     runnable.push_back(&sel);
   }
   if (runnable.empty()) {
     throw std::invalid_argument(
-        "Query: no selected backend supports this workload kind");
+        "Query: no selected backend supports this workload kind and "
+        "platform");
   }
 
   const auto run_one = [&](const BackendSelection& sel,
                            const std::atomic<bool>* stop = nullptr) {
     const BackendInfo* info = reg.find(sel.kind);
-    return info->run(ts, arm_stop(apply_limits(sel.params, limits_), stop));
+    return info->run(ts, platform_,
+                     arm_stop(apply_limits(sel.params, limits_), stop));
   };
 
   const auto settle = [&](TestKind kind, const FeasibilityResult& r) {
@@ -275,7 +319,15 @@ Outcome Query::run(const WorkloadView& w) const {
   }
 
   if (certificates_ && out.decided) {
-    if (out.verdict == Verdict::Infeasible) {
+    if (!platform_.uniprocessor()) {
+      // Multiprocessor verdicts carry the MultiprocessorCertificate
+      // extension: the named sufficient condition (or simulation) the
+      // checker re-establishes by deterministic recomputation.
+      if (auto cert = build_multiprocessor_certificate(
+              ts, platform_, out.decided_by, out.analysis)) {
+        out.certificate = std::move(*cert);
+      }
+    } else if (out.verdict == Verdict::Infeasible) {
       out.certificate = make_infeasibility_certificate(out.analysis);
     } else if (out.verdict == Verdict::Feasible) {
       // Sound accepts (exact or sufficient) admit a constructive
@@ -299,10 +351,52 @@ std::vector<TestKind> default_ladder_kinds(TestKind exact_fallback,
   }
   std::vector<TestKind> kinds;
   for (const BackendInfo& b : BackendRegistry::instance().all()) {
-    if (b.incremental) kinds.push_back(b.kind);
+    if (b.incremental && (b.platform_caps & kPlatformUniprocessor) != 0) {
+      kinds.push_back(b.kind);
+    }
   }
   if (include_exact) kinds.push_back(exact_fallback);
   return kinds;
+}
+
+std::vector<TestKind> default_ladder_kinds(const Platform& p,
+                                           bool include_sim) {
+  if (p.uniprocessor()) return default_ladder_kinds();
+  std::vector<TestKind> kinds = {
+      TestKind::GfbDensity,     TestKind::GlobalBcl,
+      TestKind::GlobalBclIterative, TestKind::GlobalLoad,
+      TestKind::GlobalRta,
+  };
+  if (include_sim) kinds.push_back(TestKind::GlobalSim);
+  return kinds;
+}
+
+std::string comparison_table(const Workload& w,
+                             const std::vector<BackendSelection>& backends) {
+  Query q;
+  q.with_policy(ExecPolicy::Batch).with_certificates(false);
+  for (const BackendSelection& b : backends) q.add(b.kind, b.params);
+  std::ostringstream os;
+  os << std::left << std::setw(18) << "test" << std::setw(12) << "verdict"
+     << std::setw(12) << "iterations" << std::setw(11) << "revisions"
+     << "max interval\n";
+  if (backends.empty()) return os.str();
+  const Outcome out = q.run(w);
+  for (const BackendAttempt& a : out.attempts) {
+    os << std::left << std::setw(18) << to_string(a.kind) << std::setw(12)
+       << to_string(a.result.verdict) << std::setw(12) << a.result.iterations
+       << std::setw(11) << a.result.revisions << a.result.max_interval_tested
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string comparison_table(const Workload& w, const Platform& p) {
+  std::vector<BackendSelection> backends;
+  for (const TestKind k : BackendRegistry::instance().kinds_for(p)) {
+    backends.push_back(BackendSelection{k, default_params(k)});
+  }
+  return comparison_table(w, backends);
 }
 
 }  // namespace edfkit

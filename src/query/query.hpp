@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "analysis/types.hpp"
+#include "model/platform.hpp"
 #include "query/certificate.hpp"
 #include "query/options.hpp"
 #include "query/registry.hpp"
@@ -44,6 +45,16 @@ namespace edfkit {
 enum class ExecPolicy : std::uint8_t { Single, Ladder, Portfolio, Batch };
 
 [[nodiscard]] const char* to_string(ExecPolicy p) noexcept;
+
+/// Aggregate of every query knob, for callers that configure in one
+/// place (the public api.hpp surface). Platform defaults to one
+/// processor, so existing uniprocessor call sites are source-compatible.
+struct QueryOptions {
+  ExecPolicy policy = ExecPolicy::Batch;
+  ResourceLimits limits;
+  bool certificates = true;
+  Platform platform;
+};
 
 /// One backend the query will (attempt to) run.
 struct BackendSelection {
@@ -101,6 +112,12 @@ class Query {
                                     double epsilon = 0.25,
                                     bool include_exact = true);
 
+  /// The platform-aware escalation ladder: for m == 1 exactly ladder();
+  /// for m > 1 the global-EDF cascade (cheapest-first, simulation last)
+  /// with the platform pre-set — "give me the right test portfolio for
+  /// this platform" as one call.
+  [[nodiscard]] static Query cascade(const Platform& p);
+
   /// Race every exact backend in the registry.
   [[nodiscard]] static Query portfolio();
 
@@ -112,6 +129,12 @@ class Query {
   Query& with_policy(ExecPolicy policy);
   Query& with_limits(ResourceLimits limits);
   Query& with_certificates(bool want);
+  /// Target platform; every selected backend must support it (filtered
+  /// under multi-backend policies, rejected under Single). Certificates
+  /// switch to the multiprocessor forms when m > 1.
+  Query& with_platform(Platform platform);
+  /// All knobs at once (the api.hpp configuration surface).
+  Query& with_options(const QueryOptions& options);
 
   [[nodiscard]] const std::vector<BackendSelection>& backends() const noexcept {
     return backends_;
@@ -121,6 +144,9 @@ class Query {
     return limits_;
   }
   [[nodiscard]] bool certificates() const noexcept { return certificates_; }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return platform_;
+  }
 
   /// Boundary validation (also run by run()): throws std::invalid_argument
   /// on an empty selection, on out-of-range parameters (epsilon outside
@@ -158,6 +184,7 @@ class Query {
   ExecPolicy policy_ = ExecPolicy::Batch;
   ResourceLimits limits_;
   bool certificates_ = true;
+  Platform platform_;
 };
 
 /// The escalation-ladder kinds the default ladder (and the online
@@ -166,5 +193,23 @@ class Query {
 /// include_exact and the fallback is not exact.
 [[nodiscard]] std::vector<TestKind> default_ladder_kinds(
     TestKind exact_fallback = TestKind::Qpa, bool include_exact = true);
+
+/// The platform-aware ladder kinds: delegates to the uniprocessor
+/// ladder for m == 1; for m > 1 the global cascade in cost order —
+/// GfbDensity, GlobalBcl, GlobalBclIterative, GlobalLoad, GlobalRta,
+/// then GlobalSim as the decisive closer (`include_sim` drops it for
+/// analysis-only sweeps).
+[[nodiscard]] std::vector<TestKind> default_ladder_kinds(
+    const Platform& p, bool include_sim = true);
+
+/// Run the given backends (default: every one the platform supports,
+/// with default params) over `w` in Batch policy and render an aligned
+/// text table (test, verdict, iterations, revisions, max interval) —
+/// the diagnostics/examples comparison view. Platform-aware: on m > 1
+/// only global-capable backends are enumerated.
+[[nodiscard]] std::string comparison_table(const Workload& w,
+                                           const Platform& p = {});
+[[nodiscard]] std::string comparison_table(
+    const Workload& w, const std::vector<BackendSelection>& backends);
 
 }  // namespace edfkit

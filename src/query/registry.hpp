@@ -14,10 +14,13 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/types.hpp"
+#include "model/platform.hpp"
 #include "model/task_set.hpp"
 #include "query/options.hpp"
 #include "query/workload.hpp"
@@ -37,9 +40,28 @@ enum class TestKind : int {
   AllApprox,        ///< all-approximated exact test (paper §4.2)
   RtcCurve,         ///< real-time-calculus 2-segment curve test (§3.6)
   DeviEnvelope,     ///< Devi's envelopes on the RTC curve machinery (§3.6)
+  GfbDensity,       ///< global-EDF density bound (analysis/multi)
+  GlobalBcl,        ///< global-EDF window test, one pass
+  GlobalBclIterative,  ///< global-EDF window test, slack-iterated
+  GlobalLoad,       ///< global-EDF busy-window/load sweep
+  GlobalRta,        ///< global-EDF response-time analysis
+  GlobalSim,        ///< m-processor simulation rung (decisive closer)
 };
 
 [[nodiscard]] const char* to_string(TestKind k) noexcept;
+
+/// Platform capability flags: which execution platforms a backend's
+/// verdict applies to. `uniprocessor_only` tests answer for m == 1;
+/// `global` tests answer for global EDF on any m; `partitioned` marks
+/// uniprocessor tests the sharded AdmissionEngine may run per shard
+/// (shards *are* uniprocessors, so today the two uniprocessor flags
+/// travel together — the split exists so a future per-shard-unsafe
+/// backend can opt out of engine use).
+enum PlatformCap : std::uint8_t {
+  kPlatformUniprocessor = 1u << 0,
+  kPlatformGlobal = 1u << 1,
+  kPlatformPartitioned = 1u << 2,
+};
 
 /// One registered backend: capabilities plus the uniform runner.
 struct BackendInfo {
@@ -47,6 +69,9 @@ struct BackendInfo {
   const char* name;     ///< stable registry/CLI name (e.g. "qpa")
   const char* summary;  ///< one-line description for listings
   /// True for tests whose Feasible *and* Infeasible verdicts are proofs.
+  /// (The global sufficient tests are not exact; gbl-sim's Feasible is
+  /// exact only for the synchronous periodic interpretation, so it also
+  /// registers as non-exact — sim/oracle.hpp documents the semantics.)
   bool exact = false;
   /// Workload kinds the backend accepts (event streams run on the exact
   /// dbf-preserving sporadic expansion unless natively supported).
@@ -55,15 +80,45 @@ struct BackendInfo {
   /// True when the test has an incremental/online formulation used by the
   /// admission controller's cheap rungs (utilization, epsilon-approx).
   bool incremental = false;
-  /// Uniform entry point: canonical sporadic form + typed params. The
-  /// params variant must hold the alternative for `kind` (see
-  /// validate_params); Query guarantees this before dispatch.
-  FeasibilityResult (*run)(const TaskSet& ts, const BackendParams& params);
+  /// PlatformCap bitmask; see supports(const Platform&).
+  std::uint8_t platform_caps = kPlatformUniprocessor | kPlatformPartitioned;
+  /// Uniform entry point: canonical sporadic form + platform + typed
+  /// params. The params variant must hold the alternative for `kind`
+  /// (see validate_params); Query guarantees this before dispatch.
+  /// Uniprocessor backends ignore the platform (Query only routes them
+  /// m == 1 work).
+  FeasibilityResult (*run)(const TaskSet& ts, const Platform& platform,
+                           const BackendParams& params);
 
   [[nodiscard]] bool supports(WorkloadKind w) const noexcept {
     return w == WorkloadKind::PeriodicTasks ? supports_tasks
                                             : supports_streams;
   }
+  /// Platform filtering: m == 1 queries run the uniprocessor backends
+  /// (the global tests degenerate there but the classic exact tests
+  /// dominate them); m > 1 queries run the global backends.
+  [[nodiscard]] bool supports(const Platform& p) const noexcept {
+    return (platform_caps &
+            (p.uniprocessor() ? kPlatformUniprocessor : kPlatformGlobal)) !=
+           0;
+  }
+};
+
+/// Typed lookup failure for name-based resolution: carries the unknown
+/// name and a did-you-mean candidate list (close names by edit
+/// distance, or the full registry when nothing is close).
+class UnknownBackendError : public std::invalid_argument {
+ public:
+  UnknownBackendError(std::string name, std::vector<std::string> candidates);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::string>& candidates() const noexcept {
+    return candidates_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> candidates_;
 };
 
 /// Immutable singleton table of every backend.
@@ -75,6 +130,14 @@ class BackendRegistry {
   [[nodiscard]] const BackendInfo* find(TestKind k) const noexcept;
   /// Lookup by stable name ("qpa", "all-approx", ...); nullptr if unknown.
   [[nodiscard]] const BackendInfo* find(std::string_view name) const noexcept;
+  /// Lookup by name, throwing UnknownBackendError (with did-you-mean
+  /// candidates) instead of returning nullptr.
+  [[nodiscard]] const BackendInfo& resolve(std::string_view name) const;
+  /// The did-you-mean list for an unknown name: registered names within
+  /// edit distance 2 or sharing a prefix/substring; the full name list
+  /// when nothing is close.
+  [[nodiscard]] std::vector<std::string> suggestions(
+      std::string_view name) const;
 
   [[nodiscard]] std::span<const BackendInfo> all() const noexcept {
     return backends_;
@@ -84,9 +147,12 @@ class BackendRegistry {
   [[nodiscard]] std::vector<TestKind> exact_kinds() const;
   /// Kinds supporting the given workload kind, in registration order.
   [[nodiscard]] std::vector<TestKind> kinds_for(WorkloadKind w) const;
+  /// Kinds applicable to the given platform, in registration order.
+  [[nodiscard]] std::vector<TestKind> kinds_for(const Platform& p) const;
 
   /// Aligned text table of the registry (name, exactness, workloads,
-  /// incremental) — the README's capability table is generated from this.
+  /// incremental, platform) — the README's capability table is generated
+  /// from this.
   [[nodiscard]] std::string capability_table() const;
 
  private:

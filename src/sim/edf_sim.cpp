@@ -33,6 +33,190 @@ struct Release {
   }
 };
 
+/// Global-EDF simulation on m >= 2 identical processors. The m
+/// earliest-deadline ready jobs run (full migration, no affinity); ties
+/// follow the same (deadline, task, job) order as the uniprocessor
+/// path, so runs stay deterministic. Event instants are releases,
+/// completions, the horizon, and the earliest pending deadline of any
+/// incomplete job — the latter so misses are detected at the exact
+/// deadline instant even for jobs waiting behind m earlier-deadline
+/// runners (which cannot happen on a uniprocessor but is the common
+/// miss mode under global EDF).
+SimResult simulate_gedf(const TaskSet& ts, const SimConfig& cfg) {
+  const std::uint32_t m = cfg.processors;
+  SimResult res;
+
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> releases;
+  std::vector<Time> job_counter(ts.size(), 0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Time phi = cfg.offsets.empty() ? 0 : cfg.offsets[i];
+    if (phi < 0) throw std::invalid_argument("simulate_edf: negative offset");
+    if (phi < cfg.horizon) releases.push(Release{phi, i});
+  }
+
+  std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>> ready;
+  std::vector<ActiveJob> running;  // <= m entries, unordered
+  running.reserve(m);
+  Time now = 0;
+
+  auto pop_due_releases = [&](Time t) {
+    while (!releases.empty() && releases.top().when <= t) {
+      const Release rel = releases.top();
+      releases.pop();
+      const Task& task = ts[rel.task];
+      ActiveJob j;
+      j.task = rel.task;
+      j.job = job_counter[rel.task]++;
+      j.release = rel.when;
+      j.abs_deadline = rel.when + task.effective_deadline() + task.jitter;
+      j.remaining = task.wcet;
+      ready.push(j);
+      ++res.released_jobs;
+      if (!is_time_infinite(task.period)) {
+        const Time nxt = add_saturating(rel.when, task.period);
+        if (nxt < cfg.horizon) releases.push(Release{nxt, rel.task});
+      }
+    }
+  };
+
+  auto record_job = [&](const ActiveJob& j, Time completion) {
+    ++res.completed_jobs;
+    if (cfg.record_trace) {
+      JobRecord rec;
+      rec.task = j.task;
+      rec.job = j.job;
+      rec.release = j.release;
+      rec.absolute_deadline = j.abs_deadline;
+      rec.completion = completion;
+      res.trace.add_job(rec);
+    }
+    if (completion > j.abs_deadline &&
+        (!res.deadline_missed || j.abs_deadline < res.first_miss)) {
+      res.deadline_missed = true;
+      res.first_miss = j.abs_deadline;
+    }
+  };
+
+  auto note_miss = [&](Time deadline) {
+    if (!res.deadline_missed || deadline < res.first_miss) {
+      res.deadline_missed = true;
+      res.first_miss = deadline;
+    }
+  };
+
+  pop_due_releases(0);
+  while (now < cfg.horizon) {
+    // Dispatch: fill free processors with the earliest-deadline ready
+    // jobs. The ready queue is EDF-ordered, so this is globally EDF.
+    while (running.size() < m && !ready.empty()) {
+      running.push_back(ready.top());
+      ready.pop();
+    }
+
+    // Misses at the current instant: a job (running or waiting) whose
+    // deadline has arrived with work left has missed. The running check
+    // matters because EDF keeps executing a tardy job; the waiting
+    // check matters because m earlier-deadline jobs can starve it.
+    for (const ActiveJob& j : running)
+      if (j.remaining > 0 && j.abs_deadline <= now) note_miss(j.abs_deadline);
+    if (!ready.empty() && ready.top().abs_deadline <= now)
+      note_miss(ready.top().abs_deadline);
+    if (res.deadline_missed && cfg.stop_at_first_miss) return res;
+
+    if (running.empty()) {
+      // All processors idle until the next release (or horizon).
+      const Time next_rel =
+          releases.empty() ? cfg.horizon : releases.top().when;
+      const Time until = std::min(next_rel, cfg.horizon);
+      res.idle_time += static_cast<Time>(m) * (until - now);
+      now = until;
+      if (now >= cfg.horizon) break;
+      pop_due_releases(now);
+      continue;
+    }
+
+    // Next event: earliest completion, next release, horizon, or the
+    // earliest still-future deadline of an incomplete job (deadlines
+    // already <= now belong to missed jobs that keep executing).
+    Time until = cfg.horizon;
+    if (!releases.empty()) until = std::min(until, releases.top().when);
+    for (const ActiveJob& j : running) {
+      until = std::min(until, now + j.remaining);
+      if (j.abs_deadline > now) until = std::min(until, j.abs_deadline);
+    }
+    if (!ready.empty() && ready.top().abs_deadline > now)
+      until = std::min(until, ready.top().abs_deadline);
+
+    if (until > now) {
+      const Time dt = until - now;
+      for (ActiveJob& j : running) {
+        if (cfg.record_trace)
+          res.trace.add_slice(TraceSlice{now, until, j.task, j.job});
+        j.remaining -= dt;
+      }
+      res.idle_time +=
+          static_cast<Time>(m - running.size()) * dt;
+      now = until;
+    }
+
+    // Completions, retired in EDF order so trace/job records are
+    // deterministic regardless of the running vector's layout.
+    std::sort(running.begin(), running.end(),
+              [](const ActiveJob& a, const ActiveJob& b) { return b > a; });
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (running[i].remaining == 0) {
+        record_job(running[i], now);
+      } else {
+        running[keep++] = running[i];
+      }
+    }
+    running.resize(keep);
+    if (res.deadline_missed && cfg.stop_at_first_miss) return res;
+
+    if (now >= cfg.horizon) break;
+    pop_due_releases(now);
+
+    // Dispatch newly released work onto free processors NOW, so that a
+    // simultaneous batch of releases contends at one EDF instant. (If
+    // this waited for the top-of-loop dispatch, the preemption pass
+    // below — which needs every processor busy — would be skipped and
+    // an earlier-deadline arrival could sit behind a later-deadline
+    // runner until the next event: not EDF.)
+    while (running.size() < m && !ready.empty()) {
+      running.push_back(ready.top());
+      ready.pop();
+    }
+
+    // Preemption: while some ready job beats the latest-deadline runner
+    // and all processors are busy, displace it.
+    while (running.size() == m && !ready.empty()) {
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < running.size(); ++i)
+        if (running[i] > running[worst]) worst = i;
+      if (!(running[worst] > ready.top())) break;
+      ActiveJob next = ready.top();
+      ready.pop();
+      ready.push(running[worst]);
+      running[worst] = next;
+      ++res.preemptions;
+    }
+  }
+
+  // Horizon reached: anything still pending whose deadline is within
+  // the horizon has missed.
+  auto flush_miss = [&](const ActiveJob& j) {
+    if (j.remaining > 0 && j.abs_deadline <= cfg.horizon)
+      note_miss(j.abs_deadline);
+  };
+  for (const ActiveJob& j : running) flush_miss(j);
+  while (!ready.empty()) {
+    flush_miss(ready.top());
+    ready.pop();
+  }
+  return res;
+}
+
 }  // namespace
 
 SimResult simulate_edf(const TaskSet& ts, const SimConfig& cfg) {
@@ -40,6 +224,9 @@ SimResult simulate_edf(const TaskSet& ts, const SimConfig& cfg) {
     throw std::invalid_argument("simulate_edf: horizon <= 0");
   if (!cfg.offsets.empty() && cfg.offsets.size() != ts.size())
     throw std::invalid_argument("simulate_edf: offsets size mismatch");
+  if (cfg.processors == 0)
+    throw std::invalid_argument("simulate_edf: processors == 0");
+  if (cfg.processors > 1) return simulate_gedf(ts, cfg);
   SimResult res;
 
   std::priority_queue<Release, std::vector<Release>, std::greater<>> releases;

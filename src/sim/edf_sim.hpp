@@ -1,14 +1,25 @@
 /// \file edf_sim.hpp
-/// Discrete-event preemptive EDF uniprocessor simulator.
+/// Discrete-event preemptive EDF simulator (uniprocessor and global
+/// multiprocessor).
 ///
 /// Simulates the synchronous periodic arrival pattern (every task
-/// releases at 0, T, 2T, ...), which is the worst case the demand-bound
-/// criterion is built on — so the simulator doubles as an independent
-/// *oracle* for the analytical tests (see sim/oracle.hpp).
+/// releases at 0, T, 2T, ...). On a uniprocessor that pattern is the
+/// worst case the demand-bound criterion is built on, so the simulator
+/// doubles as an independent *oracle* for the analytical tests (see
+/// sim/oracle.hpp). With `processors = m > 1` it runs *global* EDF —
+/// the m earliest-deadline ready jobs execute, with full migration —
+/// and serves as the cross-validation oracle for the multiprocessor
+/// test ladder (src/analysis/multi/): synchronous periodic release is a
+/// legal sporadic arrival sequence, so any miss it finds refutes every
+/// sufficient schedulability test that accepted the set. (Synchronous
+/// release is NOT the sporadic worst case under global EDF, so the
+/// no-miss direction is only exact for the periodic interpretation;
+/// sim/oracle.hpp documents the exact semantics.)
 ///
-/// Scheduling: preemptive EDF, ties broken by task index (deterministic).
-/// Events are job releases, job completions, and the horizon; deadline
-/// misses are detected at the exact deadline instant.
+/// Scheduling: preemptive EDF, ties broken by task index then job index
+/// (deterministic, independent of m). Events are job releases, job
+/// completions, deadline instants, and the horizon; deadline misses are
+/// detected at the exact deadline instant.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +32,7 @@ namespace edfkit {
 
 struct SimConfig {
   Time horizon = 0;              ///< simulate [0, horizon)
+  std::uint32_t processors = 1;  ///< m identical processors (global EDF)
   bool stop_at_first_miss = true;
   bool record_trace = false;     ///< keep execution slices (memory!)
   /// Per-task initial release offsets (phases phi_i). Empty = synchronous
@@ -31,7 +43,7 @@ struct SimConfig {
 struct SimResult {
   bool deadline_missed = false;
   Time first_miss = -1;          ///< the missed absolute deadline
-  Time idle_time = 0;
+  Time idle_time = 0;            ///< summed over processors when m > 1
   std::uint64_t completed_jobs = 0;
   std::uint64_t released_jobs = 0;
   std::uint64_t preemptions = 0;

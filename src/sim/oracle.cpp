@@ -36,4 +36,54 @@ FeasibilityResult simulate_feasibility(const TaskSet& ts,
   return r;
 }
 
+FeasibilityResult simulate_global_feasibility(const TaskSet& ts,
+                                              std::uint32_t processors,
+                                              const OracleConfig& cfg) {
+  if (processors <= 1) return simulate_feasibility(ts, cfg);
+  FeasibilityResult r;
+  if (ts.empty()) {
+    r.verdict = Verdict::Feasible;
+    return r;
+  }
+  // Capacity: U > m is infeasible on m unit-speed processors under any
+  // scheduler. Inexact utilization degrades to Unknown, never a guess.
+  const Rational& u = ts.utilization();
+  if (u.certainly_gt(static_cast<Time>(processors))) {
+    r.verdict = Verdict::Infeasible;
+    return r;
+  }
+  if (!u.certainly_le(static_cast<Time>(processors))) {
+    r.verdict = Verdict::Unknown;
+    return r;
+  }
+  const Time horizon = hyperperiod_bound(ts);
+  if (is_time_infinite(horizon) || horizon > cfg.max_horizon) {
+    r.verdict = Verdict::Unknown;  // refuse: not tractable to simulate
+    return r;
+  }
+  // The no-miss direction is only a proof when the schedule provably
+  // repeats: constrained deadlines + zero jitter (see header).
+  bool periodicity_holds = true;
+  for (const Task& t : ts.tasks()) {
+    if (t.jitter != 0 || t.deadline > t.period) {
+      periodicity_holds = false;
+      break;
+    }
+  }
+  SimConfig sc;
+  sc.horizon = horizon;
+  sc.processors = processors;
+  sc.stop_at_first_miss = true;
+  const SimResult sim = simulate_edf(ts, sc);
+  r.iterations = sim.released_jobs;  // proxy for simulation effort
+  r.max_interval_tested = horizon;
+  if (sim.deadline_missed) {
+    r.verdict = Verdict::Infeasible;
+    r.witness = sim.first_miss;
+  } else {
+    r.verdict = periodicity_holds ? Verdict::Feasible : Verdict::Unknown;
+  }
+  return r;
+}
+
 }  // namespace edfkit

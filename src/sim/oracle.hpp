@@ -25,4 +25,30 @@ struct OracleConfig {
 [[nodiscard]] FeasibilityResult simulate_feasibility(
     const TaskSet& ts, const OracleConfig& cfg = {});
 
+/// Global-EDF schedulability on m identical processors by exhaustive
+/// simulation of the synchronous periodic pattern. Semantics differ
+/// from the uniprocessor oracle because global EDF has no tractable
+/// worst-case arrival pattern:
+///
+/// - Infeasible (+ witness): the simulation missed a deadline.
+///   Synchronous periodic release is a legal sporadic arrival sequence,
+///   so this soundly refutes global-EDF schedulability of the sporadic
+///   set — every *sufficient* test must reject too.
+/// - Feasible: no miss over [0, hyperperiod + D_max) with all deadlines
+///   constrained (D_i <= T_i) and zero jitter. Constrained deadlines
+///   mean every job released in [0, H) has its deadline at or before
+///   H + D_max and completed on time, so the system state at H equals
+///   the (empty) state at 0 and the deterministic schedule is
+///   H-periodic: the synchronous periodic interpretation never misses.
+///   This is exact *for that periodic interpretation* — the documented
+///   semantics of the `gbl-sim` ladder rung — not a sporadic guarantee.
+/// - Unknown: the horizon is intractable, deadlines are unconstrained,
+///   or jitter is present (only the no-miss direction degrades; misses
+///   still return Infeasible).
+///
+/// m == 1 falls back to simulate_feasibility (fully exact).
+[[nodiscard]] FeasibilityResult simulate_global_feasibility(
+    const TaskSet& ts, std::uint32_t processors,
+    const OracleConfig& cfg = {});
+
 }  // namespace edfkit

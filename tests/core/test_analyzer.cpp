@@ -36,7 +36,9 @@ TEST(Analyzer, ExactnessFlags) {
 
 TEST(Analyzer, DispatchRunsEveryKind) {
   const TaskSet ts = set_of({tk(2, 6, 8), tk(3, 10, 12), tk(4, 20, 24)});
-  for (const TestKind k : all_test_kinds()) {
+  // The legacy facade is a uniprocessor surface; the global backends are
+  // reached through the platform-aware Query API instead.
+  for (const TestKind k : BackendRegistry::instance().kinds_for(Platform{})) {
     const FeasibilityResult r = run_test(ts, k);
     // This set is exactly feasible; exact tests must say so, sufficient
     // tests may either accept or give up, but never claim infeasibility.
@@ -71,7 +73,7 @@ TEST(Analyzer, OptionsReachTheTests) {
 TEST(Analyzer, CompareAllMentionsEveryTest) {
   const TaskSet ts = set_of({tk(1, 4, 8)});
   const std::string table = compare_all(ts);
-  for (const TestKind k : all_test_kinds()) {
+  for (const TestKind k : BackendRegistry::instance().kinds_for(Platform{})) {
     EXPECT_NE(table.find(to_string(k)), std::string::npos) << to_string(k);
   }
 }

@@ -94,6 +94,7 @@ TEST(Codec, HelloRoundTrip) {
   req.tenant = "tenant-A_1";
   req.durability = 2;
   req.fsync_interval = 128;
+  req.platform_m = 4;  // v2: global admission over 4 processors
 
   const NetRequest out = decode_request(encode_request(req));
   EXPECT_EQ(out.hdr.op, req.hdr.op);
@@ -102,6 +103,45 @@ TEST(Codec, HelloRoundTrip) {
   EXPECT_EQ(out.tenant, req.tenant);
   EXPECT_EQ(out.durability, req.durability);
   EXPECT_EQ(out.fsync_interval, req.fsync_interval);
+  EXPECT_EQ(out.platform_m, 4u);
+}
+
+TEST(Codec, V1HelloDefaultsToUniprocessor) {
+  // A v1 peer's HELLO ends after fsync_interval (or after the client
+  // id); both shapes must decode with platform_m = 1 — the v2 fields
+  // are strictly trailing.
+  ByteWriter w;
+  w.u8(1);  // version 1
+  w.u8(static_cast<std::uint8_t>(NetOp::Hello));
+  w.u8(0);
+  w.u8(0);
+  w.u64(9);
+  w.str("legacy");
+  w.u8(0);
+  w.u64(64);
+  const NetRequest bare = decode_request(w.data());
+  EXPECT_EQ(bare.tenant, "legacy");
+  EXPECT_EQ(bare.platform_m, 1u);
+
+  w.str("client-7");  // dedup-era HELLO, still pre-platform
+  const NetRequest with_client = decode_request(w.data());
+  EXPECT_EQ(with_client.client, "client-7");
+  EXPECT_EQ(with_client.platform_m, 1u);
+
+  // And a v1-shaped HELLO *response* (ends at highest_applied).
+  ByteWriter r;
+  r.u8(1);
+  r.u8(static_cast<std::uint8_t>(NetOp::Hello));
+  r.u8(0);
+  r.u8(0);
+  r.u64(9);
+  r.u64(10);  // base_lsn
+  r.u64(20);  // lsn
+  r.u64(30);  // epoch
+  r.u64(0);   // highest_applied
+  const NetResponse resp = decode_response(r.data());
+  EXPECT_EQ(resp.lsn, 20u);
+  EXPECT_EQ(resp.platform_m, 1u);
 }
 
 TEST(Codec, AdmitAndGroupRoundTrip) {
@@ -163,18 +203,22 @@ TEST(Codec, ResponseRoundTripPerStatus) {
   stats.stats.residents = 12;
   stats.stats.utilization = 0.625;
   stats.stats_json = "{\"arrivals\":3}";
+  stats.platform_m = 8;
   out = decode_response(encode_response(stats));
   EXPECT_EQ(out.stats.residents, 12u);
   EXPECT_DOUBLE_EQ(out.stats.utilization, 0.625);
   EXPECT_EQ(out.stats_json, stats.stats_json);
+  EXPECT_EQ(out.platform_m, 8u);
 
   NetResponse hello;
   hello.hdr.op = static_cast<std::uint8_t>(NetOp::Hello);
   hello.base_lsn = 640;
   hello.lsn = 700;
+  hello.platform_m = 2;
   out = decode_response(encode_response(hello));
   EXPECT_EQ(out.base_lsn, 640u);
   EXPECT_EQ(out.lsn, 700u);
+  EXPECT_EQ(out.platform_m, 2u);
 }
 
 TEST(Codec, CertificateRidesTheResponse) {
@@ -194,6 +238,27 @@ TEST(Codec, CertificateRidesTheResponse) {
   EXPECT_EQ(out.certificate.kind, cert->kind);
   EXPECT_EQ(out.certificate.borders, cert->borders);
   EXPECT_TRUE(verify(ts, out.certificate).valid);
+}
+
+TEST(Codec, MultiprocessorCertificateRidesTheResponse) {
+  // The v2 trailing fields (processors, multi_test) must survive the
+  // wire: a global-mode client re-verifies the certificate locally,
+  // and verification recomputes the named test on the named platform.
+  Certificate cert;
+  cert.kind = CertificateKind::MultiFeasibleWindow;
+  cert.multi_test = MultiTest::Rta;
+  cert.processors = 4;
+  cert.borders = {7, 12, 31};
+
+  NetResponse resp;
+  resp.hdr.op = static_cast<std::uint8_t>(NetOp::Admit);
+  resp.hdr.flags = kFlagHasCertificate;
+  resp.certificate = cert;
+  const NetResponse out = decode_response(encode_response(resp));
+  EXPECT_EQ(out.certificate.kind, cert.kind);
+  EXPECT_EQ(out.certificate.multi_test, MultiTest::Rta);
+  EXPECT_EQ(out.certificate.processors, 4u);
+  EXPECT_EQ(out.certificate.borders, cert.borders);
 }
 
 TEST(Codec, ShortBodyThrowsOutOfRange) {
@@ -257,6 +322,8 @@ TEST(Codec, RandomRequestRoundTripFuzz) {
         req.durability = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
         req.fsync_interval = static_cast<std::uint64_t>(
             rng.uniform_int(1, 1 << 20));
+        req.platform_m =
+            static_cast<std::uint32_t>(rng.uniform_int(1, 64));
         break;
       case NetOp::Admit:
         req.task = tk(1 + rng.uniform_int(0, 99),
@@ -291,6 +358,7 @@ TEST(Codec, RandomRequestRoundTripFuzz) {
     EXPECT_EQ(out.hdr.op, req.hdr.op);
     EXPECT_EQ(out.hdr.request_id, req.hdr.request_id);
     EXPECT_EQ(out.tenant, req.tenant);
+    EXPECT_EQ(out.platform_m, req.platform_m);
     EXPECT_EQ(out.ids, req.ids);
     ASSERT_EQ(out.group.size(), req.group.size());
     for (std::size_t g = 0; g < req.group.size(); ++g) {

@@ -194,6 +194,73 @@ TEST(ServerEndToEnd, CertificateRoundTripVerifiesClientSide) {
   EXPECT_FALSE(verify(mine, rej.certificate).valid);
 }
 
+TEST(ServerEndToEnd, GlobalModeTenantAdmitsBeyondOneProcessor) {
+  Server server({});
+  Client client = Client::connect("127.0.0.1", server.port());
+
+  // HELLO with platform_m = 4: the tenant's controller runs the
+  // global-EDF ladder over 4 processors.
+  NetRequest hello = hello_request("gedf", kFlagCertifiedTenant);
+  hello.platform_m = 4;
+  const NetResponse h = round_trip(server, client, std::move(hello));
+  ASSERT_EQ(status_of(h), NetStatus::Ok);
+  EXPECT_EQ(h.platform_m, 4u);
+
+  // Three tasks of utilization 0.6 each: total density 1.8 > 1, so a
+  // uniprocessor tenant rejects the second arrival — but on m = 4,
+  // GFB (1.8 <= 4 - 3 * 0.6) admits all three.
+  TaskSet mine;
+  for (int i = 0; i < 3; ++i) {
+    const Task t = tk(6, 10, 10);
+    const NetResponse a = round_trip(
+        server, client, admit_request(t, kFlagWantCertificate));
+    ASSERT_EQ(status_of(a), NetStatus::Ok) << "arrival " << i;
+    ASSERT_NE(a.hdr.flags & kFlagHasCertificate, 0) << "arrival " << i;
+    mine.add(t);
+    // The certificate names the platform and must verify against the
+    // client's own copy of the resident set.
+    EXPECT_EQ(a.certificate.processors, 4u);
+    EXPECT_TRUE(a.certificate.multiprocessor());
+    EXPECT_TRUE(verify(mine, a.certificate).valid);
+  }
+
+  // STATS reports the admission platform.
+  NetRequest stats;
+  stats.hdr.op = static_cast<std::uint8_t>(NetOp::Stats);
+  const NetResponse s = round_trip(server, client, std::move(stats));
+  ASSERT_EQ(status_of(s), NetStatus::Ok);
+  EXPECT_EQ(s.platform_m, 4u);
+  EXPECT_EQ(s.stats.residents, 3u);
+
+  // A later HELLO attaches: the tenant keeps its platform (like its
+  // durability class) and the response says so.
+  Client second = Client::connect("127.0.0.1", server.port());
+  NetRequest attach = hello_request("gedf");
+  attach.platform_m = 1;
+  const NetResponse h2 = round_trip(server, second, std::move(attach));
+  ASSERT_EQ(status_of(h2), NetStatus::Ok);
+  EXPECT_EQ(h2.platform_m, 4u);
+
+  // The same workload on a fresh uniprocessor tenant rejects once the
+  // ladder sees utilization above 1.
+  Client uni = Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(status_of(round_trip(server, uni, hello_request("uni"))),
+            NetStatus::Ok);
+  ASSERT_EQ(status_of(round_trip(server, uni, admit_request(tk(6, 10, 10)))),
+            NetStatus::Ok);
+  EXPECT_EQ(status_of(round_trip(server, uni, admit_request(tk(6, 10, 10)))),
+            NetStatus::Rejected);
+}
+
+TEST(ServerGuards, BadPlatformHelloIsRejected) {
+  Server server({});
+  Client client = Client::connect("127.0.0.1", server.port());
+  NetRequest hello = hello_request("badm");
+  hello.platform_m = 0;  // invalid: a platform has >= 1 processor
+  EXPECT_EQ(status_of(round_trip(server, client, std::move(hello))),
+            NetStatus::BadRequest);
+}
+
 // ------------------------------------------------------------- guards
 
 TEST(ServerGuards, ProtocolErrorsGetTypedStatuses) {

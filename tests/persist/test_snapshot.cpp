@@ -9,6 +9,7 @@
 /// runs 20x).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -189,6 +190,67 @@ TEST(Snapshot, DifferentialFuzzRestoredVsNeverPersistedTwin) {
     EXPECT_TRUE(twin.verify_consistency());
     EXPECT_EQ(persisted->stats().to_string(), twin.stats().to_string());
   }
+  std::remove(path.c_str());
+}
+
+/// Global admission mode (format v2's platform field): a controller
+/// admitting against m processors must come back from disk *in* global
+/// mode — same platform, same aggregates — and keep deciding
+/// bit-identically to a never-persisted twin.
+TEST(Snapshot, GlobalControllerRoundTripKeepsPlatformAndDecisions) {
+  const std::string path = temp_path("global");
+  AdmissionOptions opts = fuzz_options();
+  opts.platform = Platform{2};
+  AdmissionController live(opts);
+  AdmissionController twin(opts);
+  // Pool ~1.9 utilization: saturates the 2-processor platform, so the
+  // trace exercises both global-ladder accepts past U = 1 and rejects.
+  ChurnConfig churn;
+  churn.warmup_arrivals = 40;
+  churn.events = 300;
+  churn.pool_utilization = 1.9;
+  churn.family = ChurnConfig::Family::Fixed;
+  churn.fixed_tasks = 40;
+  churn.group_probability = 0.35;
+  churn.group_size = 5;
+  Rng rng(29);
+  const std::vector<TraceEvent> trace = generate_churn_trace(rng, churn);
+  Stepper sl{&live, {}};
+  Stepper st{&twin, {}};
+  const std::size_t half = trace.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_EQ(sl.step(trace[i]), st.step(trace[i])) << "event " << i;
+  }
+  ASSERT_GT(live.size(), 0u);
+
+  save_snapshot(live, path, 5);
+  AdmissionController loaded;  // uniprocessor defaults, overwritten by load
+  (void)load_snapshot(loaded, path);
+  EXPECT_EQ(loaded.options().platform.m, 2u)
+      << "platform must survive the round trip";
+  expect_headers_equal(live.demand_header(), loaded.demand_header(),
+                       "after global-mode load");
+
+  // Second half of the trace: the loaded store vs the never-persisted
+  // twin, decision for decision. (Depart keys map through each
+  // stepper's own id table, so the loaded controller reuses live's.)
+  sl.ctl = &loaded;
+  double max_utilization = 0.0;
+  for (std::size_t i = half; i < trace.size(); ++i) {
+    ASSERT_EQ(sl.step(trace[i]), st.step(trace[i]))
+        << "post-load event " << i;
+    expect_headers_equal(loaded.demand_header(), twin.demand_header(),
+                         "post-load");
+    max_utilization =
+        std::max(max_utilization, loaded.demand_header().utilization);
+  }
+  // The restored controller must have admitted past uniprocessor
+  // capacity — the evidence it really came back in global mode — and a
+  // 1.9-utilization pool on m = 2 must also see rejects at the boundary.
+  EXPECT_GT(max_utilization, 1.0);
+  EXPECT_GT(loaded.stats().rejected, 0u);
+  EXPECT_TRUE(loaded.verify_consistency());
+  EXPECT_TRUE(twin.verify_consistency());
   std::remove(path.c_str());
 }
 

@@ -202,7 +202,12 @@ TEST(QueryPolicy, PortfolioRacesExactBackendsToAgreement) {
 TEST(QueryPolicy, BatchRunsEverySelectedBackend) {
   const Outcome out =
       Query::batch(all_test_kinds()).with_certificates(false).run(demo_set());
-  EXPECT_EQ(out.attempts.size(), all_test_kinds().size());
+  // The global backends are platform-filtered out of a uniprocessor run
+  // (skipped, not attempted); every uniprocessor backend runs.
+  const std::size_t uni =
+      BackendRegistry::instance().kinds_for(Platform{}).size();
+  EXPECT_EQ(out.attempts.size(), uni);
+  EXPECT_EQ(out.skipped.size(), all_test_kinds().size() - uni);
   EXPECT_TRUE(out.decided);
   EXPECT_TRUE(is_exact(out.decided_by));  // exact verdicts take precedence
   EXPECT_EQ(out.verdict, Verdict::Feasible);

@@ -61,8 +61,13 @@ TEST(Registry, WorkloadCapabilityFiltering) {
   // Every backend handles plain task sets.
   EXPECT_EQ(for_tasks.size(), reg.all().size());
   // liu-layland opts out of streams (offset expansion breaks its
-  // acceptance direction); everything else supports both.
-  EXPECT_EQ(for_streams.size(), reg.all().size() - 1);
+  // acceptance direction); so do the global backends (folded offsets
+  // read as jitter to the multi gates). Everything else supports both.
+  std::size_t stream_optouts = 1;  // liu-layland
+  for (const BackendInfo& b : reg.all()) {
+    if ((b.platform_caps & kPlatformUniprocessor) == 0) ++stream_optouts;
+  }
+  EXPECT_EQ(for_streams.size(), reg.all().size() - stream_optouts);
   for (const TestKind k : for_streams) {
     EXPECT_NE(k, TestKind::LiuLayland);
   }
